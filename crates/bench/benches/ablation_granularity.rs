@@ -1,0 +1,44 @@
+//! Ablation: thread-space partition search granularity.
+//!
+//! The paper's Fig. 6 steps the partition `d1` at a granularity of 128
+//! "because using an irregular block dimension often breaks memory access
+//! patterns". This ablation sweeps the granularity to show the trade-off:
+//! finer steps search more candidates (more profiling runs) for marginal
+//! gains; coarser steps can miss the best partition.
+
+use gpu_sim::GpuConfig;
+use hfuse_bench::pairs::build_inputs;
+use hfuse_core::{search_fusion_config, SearchOptions};
+use hfuse_kernels::dl_pairs;
+
+fn main() {
+    let cfg = GpuConfig::pascal_like();
+    println!("# Ablation — search granularity (d0 = 1024, {})", cfg.name);
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>8} {:>8}",
+        "Pair", "gran", "profiles", "best d1", "bound", "cycles"
+    );
+    // Representative pairs: one winner, one loser in the paper.
+    for pair in [&dl_pairs()[1], &dl_pairs()[5], &dl_pairs()[9]] {
+        let (a, b) = pair.at_scale(1.0);
+        for granularity in [64u32, 128, 256, 512] {
+            let (gpu, in1, in2) = build_inputs(&cfg, &a, &b);
+            let opts = SearchOptions { d0: 1024, granularity };
+            match search_fusion_config(&gpu, &in1, &in2, opts) {
+                Ok(report) => {
+                    let best = report.best();
+                    println!(
+                        "{:<22} {:>6} {:>10} {:>10} {:>8} {:>8}",
+                        pair.name(),
+                        granularity,
+                        report.candidates.len(),
+                        best.d1,
+                        best.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                        best.cycles,
+                    );
+                }
+                Err(e) => println!("{:<22} {:>6} failed: {e}", pair.name(), granularity),
+            }
+        }
+    }
+}

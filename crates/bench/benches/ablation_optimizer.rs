@@ -1,0 +1,56 @@
+//! Ablation: the IR optimizer's effect on code size, register pressure,
+//! and simulated execution time for every benchmark kernel.
+//!
+//! Without these passes, a naively lowered kernel issues far more
+//! instructions than real SASS would, which distorts the issue-utilization
+//! balance that the fusion study depends on (DESIGN.md §4.5).
+
+use gpu_sim::{Gpu, GpuConfig, Launch};
+use hfuse_core::BlockShape;
+use hfuse_kernels::AnyBenchmark;
+use thread_ir::{lower_kernel, lower_kernel_unoptimized, KernelIr};
+
+fn run(cfg: &GpuConfig, b: &AnyBenchmark, ir: KernelIr) -> u64 {
+    let bench = b.benchmark();
+    let mut gpu = Gpu::new(cfg.clone());
+    let args = bench.setup(gpu.memory_mut());
+    let dims = match bench.shape() {
+        BlockShape::Rows { y } => (bench.default_threads() / y, y, 1),
+        BlockShape::Linear => (bench.default_threads(), 1, 1),
+    };
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: bench.grid_dim(),
+        block_dim: dims,
+        dynamic_shared_bytes: bench.dynamic_shared(),
+        args,
+    };
+    gpu.run(&[launch]).expect("run").total_cycles
+}
+
+fn main() {
+    let cfg = GpuConfig::pascal_like();
+    println!("# Ablation — IR optimizer (const-fold + peephole + CSE + LICM + DCE), {}", cfg.name);
+    println!(
+        "{:<10} {:>14} {:>14} {:>16} {:>18}",
+        "Kernel", "insts raw→opt", "press raw→opt", "cycles raw", "cycles opt (Δ%)"
+    );
+    for b in AnyBenchmark::all().into_iter().chain(AnyBenchmark::extensions()) {
+        let k = b.benchmark().kernel();
+        let raw = lower_kernel_unoptimized(&k).expect("lower raw");
+        let opt = lower_kernel(&k).expect("lower opt");
+        let t_raw = run(&cfg, &b, raw.clone());
+        let t_opt = run(&cfg, &b, opt.clone());
+        println!(
+            "{:<10} {:>6}→{:<7} {:>6}→{:<7} {:>16} {:>10} ({:+.1}%)",
+            b.name(),
+            raw.insts.len(),
+            opt.insts.len(),
+            raw.reg_pressure(),
+            opt.reg_pressure(),
+            t_raw,
+            t_opt,
+            100.0 * (t_opt as f64 / t_raw as f64 - 1.0),
+        );
+    }
+}

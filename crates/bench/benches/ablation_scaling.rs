@@ -1,0 +1,50 @@
+//! Ablation: sensitivity of the fusion conclusions to the simulator's SM
+//! count.
+//!
+//! The GPU configs scale the real parts' SM counts down (28 → 4 for the
+//! 1080Ti-like preset) to keep profiling fast. This ablation sweeps the SM
+//! count (with DRAM bandwidth scaled proportionally) on one winning pair
+//! and one losing pair to show that *who wins* does not depend on the
+//! scale chosen.
+
+use gpu_sim::GpuConfig;
+use hfuse_bench::pairs::measure_pair;
+use hfuse_kernels::{crypto_pairs, dl_pairs};
+
+fn scaled_config(base: &GpuConfig, num_sms: u32) -> GpuConfig {
+    let mut cfg = base.clone();
+    // Keep per-SM bandwidth constant while scaling the SM count.
+    cfg.dram_transactions_per_cycle =
+        (base.dram_transactions_per_cycle * num_sms).div_ceil(base.num_sms).max(1);
+    cfg.num_sms = num_sms;
+    cfg.name = format!("{}@{}SM", base.name, num_sms);
+    cfg
+}
+
+fn main() {
+    let base = GpuConfig::pascal_like();
+    println!("# Ablation — SM-count sensitivity (per-SM resources fixed, DRAM scaled)");
+    println!("{:<22} {:>6} {:>10} {:>10} {:>12}", "Pair", "SMs", "native", "hfuse", "speedup(%)");
+    let pairs = [
+        dl_pairs().remove(5),     // Hist+*Maxpool* — a winner in the paper
+        crypto_pairs().remove(1), // Blake256+*Ethash* — a winner
+        crypto_pairs().remove(3), // *Blake256*+Blake2B — a loser
+    ];
+    for pair in &pairs {
+        let (a, b) = pair.at_scale(1.0);
+        for sms in [2u32, 4, 8] {
+            let cfg = scaled_config(&base, sms);
+            match measure_pair(&cfg, &a, &b) {
+                Ok(m) => println!(
+                    "{:<22} {:>6} {:>10} {:>10} {:>+12.1}",
+                    pair.name(),
+                    sms,
+                    m.native_cycles,
+                    m.hfuse.metrics.cycles,
+                    m.speedup_pct(m.hfuse.metrics.cycles),
+                ),
+                Err(e) => println!("{:<22} {:>6} failed: {e}", pair.name(), sms),
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Reproduces **Fig. 7** of the paper: kernel execution-time speedup of the
+//! fused kernels over native co-execution, as a function of the execution
+//! time ratio of the two kernels.
+//!
+//! For each of the sixteen pairs, the starred kernel's input size is swept
+//! (the paper varies input sizes; we scale the starred workload by the
+//! factors in `sweep_scales`). Four series are reported per pair and GPU:
+//! `HFuse` (profiled search), `VFuse` (vertical fusion), and `Naive`
+//! (even-partition horizontal fusion without profiling, deep-learning pairs
+//! only — for crypto pairs the native block sizes are the only partition,
+//! so Naive coincides with HFuse, as in the paper). The per-pair average
+//! speedup across ratios — the horizontal lines of the paper's subplots —
+//! closes each block.
+
+use hfuse_bench::pairs::{measure_pair, sweep_scales, both_gpus};
+use hfuse_kernels::all_pairs;
+
+fn main() {
+    let scales = sweep_scales();
+    println!("# Fig. 7 — Speedup vs execution-time ratio (positive = faster than native)");
+    for cfg in both_gpus() {
+        println!("\n## GPU: {}", cfg.name);
+        for pair in all_pairs() {
+            println!("\n{} [{}]", pair.name(), cfg.name);
+            println!(
+                "{:>6} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "scale", "ratio", "HFuse(%)", "VFuse(%)", "Naive(%)", "d1/bound"
+            );
+            let mut sums = [0.0f64; 3];
+            let mut counts = [0usize; 3];
+            for &scale in &scales {
+                let (a, b) = pair.at_scale(scale);
+                let m = match measure_pair(&cfg, &a, &b) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        println!("{scale:>6.2} measurement failed: {e}");
+                        continue;
+                    }
+                };
+                let hf = m.speedup_pct(m.hfuse.metrics.cycles);
+                let vf = m.vfuse_cycles.map(|c| m.speedup_pct(c));
+                let nv = m.naive_cycles.map(|c| m.speedup_pct(c));
+                sums[0] += hf;
+                counts[0] += 1;
+                if let Some(v) = vf {
+                    sums[1] += v;
+                    counts[1] += 1;
+                }
+                if let Some(n) = nv {
+                    sums[2] += n;
+                    counts[2] += 1;
+                }
+                println!(
+                    "{:>6.2} {:>7.2} {:>+10.1} {:>10} {:>10} {:>6}/{}",
+                    scale,
+                    m.ratio,
+                    hf,
+                    vf.map(|v| format!("{v:+.1}")).unwrap_or_else(|| "-".into()),
+                    nv.map(|v| format!("{v:+.1}")).unwrap_or_else(|| "-".into()),
+                    m.hfuse.d1,
+                    m.hfuse.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                );
+            }
+            let avg = |i: usize| {
+                if counts[i] == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:+.1}", sums[i] / counts[i] as f64)
+                }
+            };
+            println!(
+                "  avg: HFuse {} | VFuse {} | Naive {}",
+                avg(0),
+                avg(1),
+                avg(2)
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Reproduces **Fig. 8** of the paper: metrics of the nine individual
+//! kernels on both GPU configurations.
+//!
+//! Paper columns: Kernel Execution Time, Issue Slot Utilization (%),
+//! MemInst Stall (%), Occupancy (%), each shown as `1080Ti / V100`. Our
+//! execution time is in simulator kilocycles rather than milliseconds.
+
+use hfuse_bench::pairs::{both_gpus, measure_one};
+use hfuse_kernels::AnyBenchmark;
+
+fn main() {
+    let [pascal, volta] = both_gpus();
+    println!("# Fig. 8 — Metrics of individual kernels ({} / {})", pascal.name, volta.name);
+    println!(
+        "{:<10} {:>17} {:>19} {:>15} {:>15}",
+        "Kernel", "Time (kcycles)", "IssueSlotUtil (%)", "MemInstStall(%)", "Occupancy (%)"
+    );
+    for b in AnyBenchmark::all() {
+        let p = measure_one(&pascal, &b).expect("pascal run");
+        let v = measure_one(&volta, &b).expect("volta run");
+        println!(
+            "{:<10} {:>8.1} / {:<6.1} {:>9.2} / {:<7.2} {:>7.1} / {:<5.1} {:>7.1} / {:<5.1}",
+            b.name(),
+            p.cycles as f64 / 1000.0,
+            v.cycles as f64 / 1000.0,
+            p.issue_util,
+            v.issue_util,
+            p.mem_stall,
+            v.mem_stall,
+            p.occupancy,
+            v.occupancy,
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Reproduces **Fig. 9** of the paper: metrics of the HFuse fused kernels
+//! at the representative workload, for both register-bound variants.
+//!
+//! Paper columns per pair: Type (`N-RegCap` = compiled without a register
+//! bound, `RegCap` = with the Fig. 6 bound), Speedup (%) over native,
+//! Issue Slot Utilization of the fused kernel vs the cycle-weighted native
+//! average, MemInst Stall (%), and Occupancy (%), each as `1080Ti / V100`.
+
+use hfuse_bench::pairs::{both_gpus, measure_pair, FusedOutcome, PairMeasurement};
+use hfuse_kernels::all_pairs;
+
+struct Row {
+    speedup: f64,
+    util: f64,
+    native_util: f64,
+    mem_stall: f64,
+    occupancy: f64,
+}
+
+fn row(m: &PairMeasurement, v: &FusedOutcome) -> Row {
+    Row {
+        speedup: m.speedup_pct(v.metrics.cycles),
+        util: v.metrics.issue_util,
+        native_util: m.native_avg_util,
+        mem_stall: v.metrics.mem_stall,
+        occupancy: v.metrics.occupancy,
+    }
+}
+
+fn main() {
+    let [pascal, volta] = both_gpus();
+    println!(
+        "# Fig. 9 — Metrics of HFUSE fused kernels ({} / {})",
+        pascal.name, volta.name
+    );
+    println!(
+        "{:<22} {:<8} {:>15} {:>17} {:>15} {:>13} {:>13}",
+        "Pair", "Type", "Speedup (%)", "IssueUtil (%)", "NativeUtil (%)", "MemStall (%)", "Occup (%)"
+    );
+    for pair in all_pairs() {
+        let (a, b) = pair.at_scale(1.0);
+        let p = measure_pair(&pascal, &a, &b);
+        let v = measure_pair(&volta, &a, &b);
+        let (p, v) = match (p, v) {
+            (Ok(p), Ok(v)) => (p, v),
+            (e1, e2) => {
+                println!("{:<22} failed: {:?} {:?}", pair.name(), e1.err(), e2.err());
+                continue;
+            }
+        };
+        for (ty, select) in [
+            ("N-RegCap", &(|m: &PairMeasurement| m.hfuse_nocap) as &dyn Fn(&PairMeasurement) -> Option<FusedOutcome>),
+            ("RegCap", &|m: &PairMeasurement| m.hfuse_cap),
+        ] {
+            let (Some(rp), Some(rv)) = (select(&p), select(&v)) else {
+                println!("{:<22} {:<8} (variant infeasible)", pair.name(), ty);
+                continue;
+            };
+            let (rp, rv) = (row(&p, &rp), row(&v, &rv));
+            println!(
+                "{:<22} {:<8} {:>+6.1} / {:<+6.1} {:>7.2} / {:<7.2} {:>6.2} / {:<6.2} {:>5.1} / {:<5.1} {:>5.1} / {:<5.1}",
+                pair.name(),
+                ty,
+                rp.speedup,
+                rv.speedup,
+                rp.util,
+                rv.util,
+                rp.native_util,
+                rv.native_util,
+                rp.mem_stall,
+                rv.mem_stall,
+                rp.occupancy,
+                rv.occupancy,
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every table and figure of the HFUSE
+//! paper's evaluation. The runnable benches live in `benches/`:
+//!
+//! | Bench | Reproduces |
+//! |---|---|
+//! | `fig7` | Fig. 7: speedup vs execution-time ratio, 16 pairs × 2 GPUs |
+//! | `fig8` | Fig. 8: per-kernel metrics table |
+//! | `fig9` | Fig. 9: fused-kernel metrics, RegCap / N-RegCap |
+//! | `ablation_barrier` | partial vs full-block barriers |
+//! | `ablation_granularity` | thread-partition search granularity |
+//! | `throughput` | compiler + simulator throughput (Criterion-style timing) |
+//!
+//! Run them with `cargo bench`, or a single one with e.g.
+//! `cargo bench -p hfuse-bench --bench fig8`. Set `HFUSE_FAST=1` for a
+//! trimmed smoke run.
+
+pub mod pairs;

@@ -1,0 +1,184 @@
+//! Pair-experiment plumbing shared by the figure benches: measure native
+//! co-execution, the HFuse search (best overall, best without register
+//! bound, best with it), vertical fusion, and naive even-partition fusion
+//! for any benchmark pair on any GPU configuration.
+
+use gpu_sim::{Gpu, GpuConfig};
+use hfuse_core::{
+    measure_naive_horizontal, measure_native, measure_single, measure_vertical,
+    search_fusion_config, FusionInput, HfuseError, SearchCandidate, SearchOptions,
+};
+use hfuse_kernels::AnyBenchmark;
+
+/// Metrics of one measured variant.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantMetrics {
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Issue-slot utilization (%).
+    pub issue_util: f64,
+    /// Memory-instruction stall (%).
+    pub mem_stall: f64,
+    /// Achieved occupancy (%).
+    pub occupancy: f64,
+}
+
+impl VariantMetrics {
+    fn from_run(r: &gpu_sim::RunResult) -> Self {
+        VariantMetrics {
+            cycles: r.total_cycles,
+            issue_util: r.metrics.issue_slot_utilization(),
+            mem_stall: r.metrics.mem_stall_pct(),
+            occupancy: r.metrics.occupancy_pct(),
+        }
+    }
+
+    fn from_candidate(c: &SearchCandidate) -> Self {
+        VariantMetrics {
+            cycles: c.cycles,
+            issue_util: c.issue_util,
+            mem_stall: c.mem_stall,
+            occupancy: c.occupancy,
+        }
+    }
+}
+
+/// A fused variant plus its configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedOutcome {
+    /// Measured metrics.
+    pub metrics: VariantMetrics,
+    /// Winning partition (threads for the first kernel).
+    pub d1: u32,
+    /// Register bound applied, if any.
+    pub reg_bound: Option<u32>,
+}
+
+/// Everything measured for one pair at one workload point.
+#[derive(Debug, Clone)]
+pub struct PairMeasurement {
+    /// Execution-time ratio `t1 / t2` of the kernels run alone.
+    pub ratio: f64,
+    /// Per-kernel standalone metrics.
+    pub single: [VariantMetrics; 2],
+    /// Native co-execution (two launches on parallel streams).
+    pub native_cycles: u64,
+    /// Cycle-weighted average issue-slot utilization of the natives
+    /// (the paper's `I_{k1+k2}` formula).
+    pub native_avg_util: f64,
+    /// Best fused configuration overall.
+    pub hfuse: FusedOutcome,
+    /// Best configuration without a register bound (Fig. 9's `N-RegCap`).
+    pub hfuse_nocap: Option<FusedOutcome>,
+    /// Best configuration with the register bound (Fig. 9's `RegCap`).
+    pub hfuse_cap: Option<FusedOutcome>,
+    /// Vertical fusion, when the pair admits it.
+    pub vfuse_cycles: Option<u64>,
+    /// Naive even-partition horizontal fusion without profiling.
+    pub naive_cycles: Option<u64>,
+}
+
+impl PairMeasurement {
+    /// Speedup (%) of a fused variant against native co-execution.
+    pub fn speedup_pct(&self, fused_cycles: u64) -> f64 {
+        100.0 * (self.native_cycles as f64 / fused_cycles as f64 - 1.0)
+    }
+}
+
+/// Builds the fusion inputs of a pair on a fresh GPU.
+pub fn build_inputs(
+    cfg: &GpuConfig,
+    a: &AnyBenchmark,
+    b: &AnyBenchmark,
+) -> (Gpu, FusionInput, FusionInput) {
+    let mut gpu = Gpu::new(cfg.clone());
+    let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+    (gpu, in1, in2)
+}
+
+/// Measures every variant of a pair at its current workload.
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] when the pair cannot be fused or a simulation
+/// fails. VFuse / naive variants are individually optional (`None` when
+/// infeasible).
+pub fn measure_pair(
+    cfg: &GpuConfig,
+    a: &AnyBenchmark,
+    b: &AnyBenchmark,
+) -> Result<PairMeasurement, HfuseError> {
+    let (gpu, in1, in2) = build_inputs(cfg, a, b);
+
+    let s1 = measure_single(&gpu, &in1)?;
+    let s2 = measure_single(&gpu, &in2)?;
+    let native = measure_native(&gpu, &in1, &in2)?;
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default())?;
+
+    let best = |bound: bool| -> Option<FusedOutcome> {
+        report
+            .candidates
+            .iter()
+            .filter(|c| c.reg_bound.is_some() == bound)
+            .min_by_key(|c| c.cycles)
+            .map(|c| FusedOutcome {
+                metrics: VariantMetrics::from_candidate(c),
+                d1: c.d1,
+                reg_bound: c.reg_bound,
+            })
+    };
+    let overall = report.best();
+    let hfuse = FusedOutcome {
+        metrics: VariantMetrics::from_candidate(overall),
+        d1: overall.d1,
+        reg_bound: overall.reg_bound,
+    };
+
+    let c1 = s1.total_cycles as f64;
+    let c2 = s2.total_cycles as f64;
+    let u1 = s1.metrics.issue_slot_utilization();
+    let u2 = s2.metrics.issue_slot_utilization();
+
+    Ok(PairMeasurement {
+        ratio: c1 / c2,
+        single: [VariantMetrics::from_run(&s1), VariantMetrics::from_run(&s2)],
+        native_cycles: native.total_cycles,
+        native_avg_util: (u1 * c1 + u2 * c2) / (c1 + c2),
+        hfuse,
+        hfuse_nocap: best(false),
+        hfuse_cap: best(true),
+        vfuse_cycles: measure_vertical(&gpu, &in1, &in2).ok().map(|r| r.total_cycles),
+        naive_cycles: measure_naive_horizontal(&gpu, &in1, &in2, 1024)
+            .ok()
+            .map(|r| r.total_cycles),
+    })
+}
+
+/// Measures one benchmark standalone (for Fig. 8).
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] on simulation failure.
+pub fn measure_one(cfg: &GpuConfig, b: &AnyBenchmark) -> Result<VariantMetrics, HfuseError> {
+    let mut gpu = Gpu::new(cfg.clone());
+    let input = b.benchmark().fusion_input(gpu.memory_mut());
+    let r = measure_single(&gpu, &input)?;
+    Ok(VariantMetrics::from_run(&r))
+}
+
+/// The GPU configurations of the evaluation, in paper order
+/// (1080Ti-like Pascal, V100-like Volta).
+pub fn both_gpus() -> [GpuConfig; 2] {
+    [GpuConfig::pascal_like(), GpuConfig::volta_like()]
+}
+
+/// Workload scale factors for the Fig. 7 ratio sweeps. `HFUSE_FAST=1`
+/// trims the sweep for smoke runs.
+pub fn sweep_scales() -> Vec<f64> {
+    if std::env::var_os("HFUSE_FAST").is_some() {
+        vec![0.5, 1.0, 2.0]
+    } else {
+        vec![0.33, 0.5, 1.0, 2.0, 3.0]
+    }
+}

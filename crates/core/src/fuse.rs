@@ -1,0 +1,401 @@
+//! The `Generate` algorithm (Fig. 5 of the paper): horizontal fusion of two
+//! kernels.
+//!
+//! Given kernels `K1`, `K2` and their block shapes, the fused kernel:
+//!
+//! 1. merges the (freshly renamed) parameters and lifted local declarations
+//!    of both kernels,
+//! 2. defines prologue variables mapping the fused linear thread id back to
+//!    each kernel's `threadIdx.{x,y,z}` / `blockDim.{x,y,z}`,
+//! 3. rewrites `__syncthreads()` to partial barriers
+//!    (`bar.sync 1, d1` / `bar.sync 2, d2`),
+//! 4. appends both statement lists behind thread-range guards implemented
+//!    with `goto` (threads outside a kernel's interval skip its body).
+
+use cuda_frontend::ast::{BinOp, Block, Expr, Function, Param, Stmt, Ty, UnOp, VarDecl};
+
+use crate::remap::{decl_i32, ThreadRemap};
+use cuda_frontend::printer::print_function;
+use cuda_frontend::transform::{preprocess_kernel, replace_builtins, NameGen};
+use cuda_frontend::FrontendError;
+
+/// A horizontally fused kernel plus the partition metadata needed to launch
+/// and profile it.
+#[derive(Debug, Clone)]
+pub struct FusedKernel {
+    /// The fused `__global__` function.
+    pub function: Function,
+    /// Threads assigned to the first kernel (`d1`).
+    pub d1: u32,
+    /// Threads assigned to the second kernel (`d2`).
+    pub d2: u32,
+    /// Original block shape of the first kernel.
+    pub dims1: (u32, u32, u32),
+    /// Original block shape of the second kernel.
+    pub dims2: (u32, u32, u32),
+    /// Number of parameters taken by the first kernel (the fused parameter
+    /// list is `K1`'s parameters followed by `K2`'s).
+    pub params_split: usize,
+}
+
+impl FusedKernel {
+    /// Total threads per fused block (`d1 + d2`).
+    pub fn block_threads(&self) -> u32 {
+        self.d1 + self.d2
+    }
+
+    /// Pretty-prints the fused kernel as CUDA source (goto-guard style, as
+    /// in Fig. 4 of the paper).
+    pub fn to_source(&self) -> String {
+        print_function(&self.function)
+    }
+}
+
+fn dims_threads(d: (u32, u32, u32)) -> u32 {
+    d.0 * d.1 * d.2
+}
+
+/// Horizontally fuses `k1` and `k2` with the given block shapes.
+///
+/// The inputs are preprocessed internally (device-call inlining is the
+/// caller's job; renaming and declaration lifting happen here), so plain
+/// parsed kernels can be passed directly.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] when a kernel is malformed, when both kernels
+/// need `extern __shared__` memory (the fused kernel would alias the single
+/// dynamic region), or when an input already contains raw `bar.sync`
+/// barriers (their ids would collide with the ones fusion assigns).
+pub fn horizontal_fuse(
+    k1: &Function,
+    dims1: (u32, u32, u32),
+    k2: &Function,
+    dims2: (u32, u32, u32),
+) -> Result<FusedKernel, FrontendError> {
+    horizontal_fuse_with(k1, dims1, k2, dims2, FuseOptions::default())
+}
+
+/// Options for [`horizontal_fuse_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseOptions {
+    /// Keep `__syncthreads()` as full-block barriers instead of rewriting
+    /// them to partial `bar.sync` barriers. This reproduces the naive
+    /// fusion the paper's related work attempted: it couples the two
+    /// kernels' phases when their barrier counts match and *deadlocks*
+    /// when they do not — the motivation for HFuse's partial barriers.
+    pub full_barriers: bool,
+}
+
+/// [`horizontal_fuse`] with explicit [`FuseOptions`].
+///
+/// # Errors
+///
+/// Same as [`horizontal_fuse`].
+pub fn horizontal_fuse_with(
+    k1: &Function,
+    dims1: (u32, u32, u32),
+    k2: &Function,
+    dims2: (u32, u32, u32),
+    options: FuseOptions,
+) -> Result<FusedKernel, FrontendError> {
+    let d1 = dims_threads(dims1);
+    let d2 = dims_threads(dims2);
+    if d1 == 0 || d2 == 0 {
+        return Err(FrontendError::new("block shapes must be non-empty"));
+    }
+    if !d1.is_multiple_of(32) {
+        return Err(FrontendError::new(format!(
+            "first kernel's thread count {d1} must be a multiple of the warp size \
+             (partial barriers synchronize whole warps)"
+        )));
+    }
+
+    let mut names = NameGen::new();
+    let mut f1 = k1.clone();
+    let mut f2 = k2.clone();
+    preprocess_kernel(&mut f1, &[], &mut names)?;
+    preprocess_kernel(&mut f2, &[], &mut names)?;
+
+    for (f, which) in [(&f1, "first"), (&f2, "second")] {
+        if contains_bar_sync(&f.body) {
+            return Err(FrontendError::new(format!(
+                "{which} kernel already contains bar.sync barriers; cannot assign fresh ids"
+            )));
+        }
+    }
+    let dyn1 = uses_dynamic_shared(&f1);
+    let dyn2 = uses_dynamic_shared(&f2);
+    if dyn1 && dyn2 {
+        return Err(FrontendError::new(
+            "both kernels use extern __shared__ memory; the fused kernel would alias it",
+        ));
+    }
+
+    // Split lifted declarations from statements.
+    let (decls1, mut stmts1) = split_decls(f1.body);
+    let (decls2, mut stmts2) = split_decls(f2.body);
+
+    // Prologue: fused linear thread id and per-kernel remapped indices.
+    let gtid = "__hf_gtid";
+    let mut prologue: Vec<Stmt> = Vec::new();
+    prologue.push(decl_i32(gtid, Some(Expr::Builtin(cuda_frontend::ast::BuiltinVar::ThreadIdx(
+        cuda_frontend::ast::Axis::X,
+    )))));
+    let remap1 = ThreadRemap::new("__hf_k1", dims1, Expr::ident(gtid));
+    let remap2 = ThreadRemap::new(
+        "__hf_k2",
+        dims2,
+        Expr::bin(BinOp::Sub, Expr::ident(gtid), Expr::int(i64::from(d1))),
+    );
+    prologue.extend(remap1.decls());
+    prologue.extend(remap2.decls());
+
+    // Retarget built-ins inside each kernel's statements.
+    let mut b1 = Block::new(stmts1);
+    replace_builtins(&mut b1, &remap1.subst());
+    stmts1 = b1.stmts;
+    let mut b2 = Block::new(stmts2);
+    replace_builtins(&mut b2, &remap2.subst());
+    stmts2 = b2.stmts;
+
+    // Rewrite barriers to partial barriers with per-kernel ids (unless the
+    // ablation asked for the naive full-block barriers).
+    if !options.full_barriers {
+        replace_barriers(&mut stmts1, 1, d1);
+        replace_barriers(&mut stmts2, 2, d2);
+    }
+
+    // Assemble: decls, prologue, guarded S1, guarded S2 (goto style, Fig. 4).
+    let mut body: Vec<Stmt> = Vec::new();
+    body.extend(decls1.into_iter().map(Stmt::Decl));
+    body.extend(decls2.into_iter().map(Stmt::Decl));
+    body.extend(prologue);
+
+    let k1_end = "__hf_k1_end".to_owned();
+    let k2_end = "__hf_k2_end".to_owned();
+    // if (!(gtid < d1)) goto k1_end;
+    body.push(Stmt::If(
+        Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::bin(BinOp::Lt, Expr::ident(gtid), Expr::int(i64::from(d1)))),
+        ),
+        Block::new(vec![Stmt::Goto(k1_end.clone())]),
+        None,
+    ));
+    body.extend(stmts1);
+    body.push(Stmt::Label(k1_end));
+    // if (gtid < d1) goto k2_end;
+    body.push(Stmt::If(
+        Expr::bin(BinOp::Lt, Expr::ident(gtid), Expr::int(i64::from(d1))),
+        Block::new(vec![Stmt::Goto(k2_end.clone())]),
+        None,
+    ));
+    body.extend(stmts2);
+    body.push(Stmt::Label(k2_end));
+
+    let params: Vec<Param> = f1.params.iter().chain(f2.params.iter()).cloned().collect();
+    let params_split = f1.params.len();
+    let function = Function {
+        name: format!("{}_{}_fused", k1.name, k2.name),
+        params,
+        ret: Ty::Void,
+        is_kernel: true,
+        body: Block::new(body),
+    };
+    Ok(FusedKernel { function, d1, d2, dims1, dims2, params_split })
+}
+
+/// Splits a lifted kernel body into its leading declarations and the rest.
+fn split_decls(body: Block) -> (Vec<VarDecl>, Vec<Stmt>) {
+    let mut decls = Vec::new();
+    let mut rest = Vec::new();
+    let mut in_prefix = true;
+    for s in body.stmts {
+        match s {
+            Stmt::Decl(d) if in_prefix => decls.push(d),
+            other => {
+                in_prefix = false;
+                rest.push(other);
+            }
+        }
+    }
+    (decls, rest)
+}
+
+/// Replaces `__syncthreads()` with `bar.sync id, count` recursively.
+fn replace_barriers(stmts: &mut [Stmt], id: u32, count: u32) {
+    for s in stmts {
+        match s {
+            Stmt::SyncThreads => *s = Stmt::BarSync { id, count },
+            Stmt::If(_, t, e) => {
+                replace_barriers(&mut t.stmts, id, count);
+                if let Some(e) = e {
+                    replace_barriers(&mut e.stmts, id, count);
+                }
+            }
+            Stmt::For { body, .. } | Stmt::While(_, body) | Stmt::DoWhile(body, _) => {
+                replace_barriers(&mut body.stmts, id, count)
+            }
+            Stmt::Switch { cases, .. } => {
+                for case in cases {
+                    replace_barriers(&mut case.body, id, count);
+                }
+            }
+            Stmt::Block(b) => replace_barriers(&mut b.stmts, id, count),
+            _ => {}
+        }
+    }
+}
+
+fn contains_bar_sync(b: &Block) -> bool {
+    let mut found = false;
+    let mut clone = b.clone();
+    cuda_frontend::transform::visit::walk_stmts(&mut clone, &mut |s| {
+        if matches!(s, Stmt::BarSync { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn uses_dynamic_shared(f: &Function) -> bool {
+    let mut found = false;
+    let mut clone = f.body.clone();
+    cuda_frontend::transform::visit::walk_stmts(&mut clone, &mut |s| {
+        if matches!(s, Stmt::Decl(d) if d.quals.extern_shared) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_frontend::parse_kernel;
+
+    fn k(src: &str) -> Function {
+        parse_kernel(src).expect("parse")
+    }
+
+    fn simple_pair() -> (Function, Function) {
+        (
+            k("__global__ void a(float* x, int n) {\
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;\
+                 if (i < n) { x[i] = 1.0f; }\
+               }"),
+            k("__global__ void b(float* y, int m) {\
+                 int j = blockIdx.x * blockDim.x + threadIdx.x;\
+                 if (j < m) { y[j] = 2.0f; }\
+               }"),
+        )
+    }
+
+    #[test]
+    fn fused_kernel_shape() {
+        let (a, b) = simple_pair();
+        let fused = horizontal_fuse(&a, (128, 1, 1), &b, (64, 1, 1)).expect("fuse");
+        assert_eq!(fused.d1, 128);
+        assert_eq!(fused.d2, 64);
+        assert_eq!(fused.block_threads(), 192);
+        assert_eq!(fused.function.params.len(), 4);
+        assert_eq!(fused.params_split, 2);
+        assert!(fused.function.is_kernel);
+    }
+
+    #[test]
+    fn fused_source_has_goto_guards_and_reparses() {
+        let (a, b) = simple_pair();
+        let fused = horizontal_fuse(&a, (128, 1, 1), &b, (128, 1, 1)).expect("fuse");
+        let src = fused.to_source();
+        assert!(src.contains("goto __hf_k1_end;"), "{src}");
+        assert!(src.contains("goto __hf_k2_end;"), "{src}");
+        // The emitted CUDA source parses back.
+        let reparsed = parse_kernel(&src).expect("reparse fused source");
+        assert_eq!(reparsed.name, fused.function.name);
+    }
+
+    #[test]
+    fn barriers_become_partial_with_distinct_ids() {
+        let a = k("__global__ void a(float* x) {\
+                     __shared__ float s[64];\
+                     s[threadIdx.x % 64] = 0.0f;\
+                     __syncthreads();\
+                     x[threadIdx.x] = s[0];\
+                   }");
+        let b = k("__global__ void b(float* y) {\
+                     __shared__ float t[32];\
+                     t[threadIdx.x % 32] = 1.0f;\
+                     __syncthreads();\
+                     y[threadIdx.x] = t[0];\
+                   }");
+        let fused = horizontal_fuse(&a, (96, 1, 1), &b, (160, 1, 1)).expect("fuse");
+        let src = fused.to_source();
+        assert!(src.contains("bar.sync 1, 96;"), "{src}");
+        assert!(src.contains("bar.sync 2, 160;"), "{src}");
+        assert!(!src.contains("__syncthreads"), "{src}");
+    }
+
+    #[test]
+    fn builtins_remapped_to_prologue_vars() {
+        let (a, b) = simple_pair();
+        let fused = horizontal_fuse(&a, (128, 1, 1), &b, (128, 1, 1)).expect("fuse");
+        let src = fused.to_source();
+        // The kernels' threadIdx.x references are gone; only the prologue
+        // reads the real threadIdx.x.
+        assert_eq!(src.matches("threadIdx.x").count(), 1, "{src}");
+        assert!(src.contains("__hf_k1_tid_x"), "{src}");
+        assert!(src.contains("__hf_k2_tid_x"), "{src}");
+        // blockIdx is untouched.
+        assert!(src.contains("blockIdx.x"), "{src}");
+    }
+
+    #[test]
+    fn two_dimensional_block_remap() {
+        let a = k("__global__ void a(float* x) {\
+                     int t = threadIdx.x + threadIdx.y * blockDim.x;\
+                     x[t] = 1.0f;\
+                   }");
+        let b = k("__global__ void b(float* y) { y[threadIdx.x] = 2.0f; }");
+        let fused = horizontal_fuse(&a, (56, 16, 1), &b, (128, 1, 1)).expect("fuse");
+        assert_eq!(fused.d1, 896);
+        assert_eq!(fused.block_threads(), 1024);
+        let src = fused.to_source();
+        // y index maps through (ltid / dx) % dy
+        assert!(src.contains("% 56"), "{src}");
+        assert!(src.contains("/ 56"), "{src}");
+    }
+
+    #[test]
+    fn non_warp_aligned_partition_rejected() {
+        let (a, b) = simple_pair();
+        assert!(horizontal_fuse(&a, (100, 1, 1), &b, (28, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn double_dynamic_shared_rejected() {
+        let a = k("__global__ void a(float* x) { extern __shared__ float s[]; s[0] = 0.0f; x[0] = s[0]; }");
+        let b = k("__global__ void b(float* y) { extern __shared__ float t[]; t[0] = 1.0f; y[0] = t[0]; }");
+        let err = horizontal_fuse(&a, (32, 1, 1), &b, (32, 1, 1)).unwrap_err();
+        assert!(err.message().contains("extern __shared__"), "{err}");
+    }
+
+    #[test]
+    fn preexisting_bar_sync_rejected() {
+        let a = k("__global__ void a(float* x) { asm(\"bar.sync 3, 32;\"); x[0] = 1.0f; }");
+        let b = k("__global__ void b(float* y) { y[0] = 2.0f; }");
+        assert!(horizontal_fuse(&a, (32, 1, 1), &b, (32, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn parameters_renamed_apart() {
+        // Both kernels use the same parameter name `data`.
+        let a = k("__global__ void a(float* data) { data[threadIdx.x] = 1.0f; }");
+        let b = k("__global__ void b(float* data) { data[threadIdx.x] = 2.0f; }");
+        let fused = horizontal_fuse(&a, (32, 1, 1), &b, (32, 1, 1)).expect("fuse");
+        let names: Vec<&str> = fused.function.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+}

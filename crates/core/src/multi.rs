@@ -1,0 +1,347 @@
+//! N-way horizontal fusion — the natural generalization of the paper's
+//! two-kernel `Generate` algorithm.
+//!
+//! PTX provides 16 named barrier resources; fusion reserves id 0 (unused)
+//! and assigns ids 1..=15 to member kernels, so up to fifteen kernels with
+//! barriers can share one block. Every member gets its own contiguous
+//! thread interval, thread-id remap prologue, and goto guard, exactly as in
+//! the pairwise algorithm.
+
+use cuda_frontend::ast::{Axis, BinOp, Block, BuiltinVar, Expr, Function, Param, Stmt, Ty, UnOp};
+use cuda_frontend::printer::print_function;
+use cuda_frontend::transform::{preprocess_kernel, replace_builtins, NameGen};
+use cuda_frontend::FrontendError;
+
+use crate::remap::{decl_i32, ThreadRemap};
+
+/// Maximum member kernels: PTX has 16 barrier ids and fusion assigns one
+/// per member starting at 1.
+pub const MAX_FUSED_KERNELS: usize = 15;
+
+/// One member of an N-way fusion: the kernel and its block shape.
+#[derive(Debug, Clone)]
+pub struct FusionPart {
+    /// The kernel to fuse.
+    pub kernel: Function,
+    /// Its original block shape.
+    pub dims: (u32, u32, u32),
+}
+
+impl FusionPart {
+    /// Creates a part.
+    pub fn new(kernel: Function, dims: (u32, u32, u32)) -> Self {
+        Self { kernel, dims }
+    }
+
+    fn threads(&self) -> u32 {
+        self.dims.0 * self.dims.1 * self.dims.2
+    }
+}
+
+/// An N-way horizontally fused kernel.
+#[derive(Debug, Clone)]
+pub struct MultiFusedKernel {
+    /// The fused `__global__` function.
+    pub function: Function,
+    /// Thread interval sizes, in member order.
+    pub partitions: Vec<u32>,
+    /// Number of parameters contributed by each member (the fused parameter
+    /// list concatenates the members' parameters in order).
+    pub param_counts: Vec<usize>,
+}
+
+impl MultiFusedKernel {
+    /// Total threads per fused block.
+    pub fn block_threads(&self) -> u32 {
+        self.partitions.iter().sum()
+    }
+
+    /// Pretty-prints the fused kernel as CUDA source.
+    pub fn to_source(&self) -> String {
+        print_function(&self.function)
+    }
+}
+
+/// Horizontally fuses any number of kernels (2..=15).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] when fewer than two parts are given, when more
+/// than [`MAX_FUSED_KERNELS`] are given, when any partition boundary is not
+/// warp-aligned, when more than one member needs `extern __shared__`
+/// memory, or when a member already contains raw `bar.sync` barriers.
+pub fn horizontal_fuse_many(parts: &[FusionPart]) -> Result<MultiFusedKernel, FrontendError> {
+    if parts.len() < 2 {
+        return Err(FrontendError::new("fusion needs at least two kernels"));
+    }
+    if parts.len() > MAX_FUSED_KERNELS {
+        return Err(FrontendError::new(format!(
+            "cannot fuse {} kernels: PTX provides only {MAX_FUSED_KERNELS} usable barrier ids",
+            parts.len()
+        )));
+    }
+    // Every boundary except the final end must be warp-aligned so partial
+    // barriers synchronize whole warps.
+    let mut offset = 0u32;
+    for (i, p) in parts.iter().enumerate() {
+        let t = p.threads();
+        if t == 0 {
+            return Err(FrontendError::new(format!("member {i} has an empty block shape")));
+        }
+        if i + 1 < parts.len() && !(offset + t).is_multiple_of(32) {
+            return Err(FrontendError::new(format!(
+                "partition boundary after member {i} ({}) must be a multiple of the warp size",
+                offset + t
+            )));
+        }
+        offset += t;
+    }
+
+    let mut names = NameGen::new();
+    let mut prepped: Vec<Function> = Vec::with_capacity(parts.len());
+    for (i, p) in parts.iter().enumerate() {
+        let mut f = p.kernel.clone();
+        preprocess_kernel(&mut f, &[], &mut names)?;
+        if contains_bar_sync(&f.body) {
+            return Err(FrontendError::new(format!(
+                "member {i} already contains bar.sync barriers; cannot assign fresh ids"
+            )));
+        }
+        prepped.push(f);
+    }
+    let dyn_users = prepped.iter().filter(|f| uses_dynamic_shared(f)).count();
+    if dyn_users > 1 {
+        return Err(FrontendError::new(format!(
+            "{dyn_users} members use extern __shared__ memory; the fused kernel has one dynamic region"
+        )));
+    }
+
+    let gtid = "__hf_gtid";
+    let mut decls: Vec<Stmt> = Vec::new();
+    let mut prologue: Vec<Stmt> = Vec::new();
+    prologue.push(decl_i32(
+        gtid,
+        Some(Expr::Builtin(BuiltinVar::ThreadIdx(Axis::X))),
+    ));
+    let mut guarded: Vec<Stmt> = Vec::new();
+    let mut params: Vec<Param> = Vec::new();
+    let mut param_counts = Vec::with_capacity(parts.len());
+    let mut partitions = Vec::with_capacity(parts.len());
+
+    let mut offset = 0u32;
+    for (i, (part, f)) in parts.iter().zip(prepped).enumerate() {
+        let d = part.threads();
+        let barrier_id = (i + 1) as u32;
+        let (part_decls, mut stmts) = split_decls(f.body);
+        decls.extend(part_decls.into_iter().map(Stmt::Decl));
+
+        // Remap builtins through this member's prologue variables.
+        let ltid = if offset == 0 {
+            Expr::ident(gtid)
+        } else {
+            Expr::bin(BinOp::Sub, Expr::ident(gtid), Expr::int(i64::from(offset)))
+        };
+        let remap = ThreadRemap::new(&format!("__hf_k{}", i + 1), part.dims, ltid);
+        prologue.extend(remap.decls());
+        let mut b = Block::new(stmts);
+        replace_builtins(&mut b, &remap.subst());
+        stmts = b.stmts;
+        replace_barriers(&mut stmts, barrier_id, d);
+
+        // Guard: skip unless offset <= gtid < offset + d.
+        let in_range = Expr::bin(
+            BinOp::LogAnd,
+            Expr::bin(BinOp::Ge, Expr::ident(gtid), Expr::int(i64::from(offset))),
+            Expr::bin(BinOp::Lt, Expr::ident(gtid), Expr::int(i64::from(offset + d))),
+        );
+        let end_label = format!("__hf_k{}_end", i + 1);
+        guarded.push(Stmt::If(
+            Expr::Unary(UnOp::Not, Box::new(in_range)),
+            Block::new(vec![Stmt::Goto(end_label.clone())]),
+            None,
+        ));
+        guarded.extend(stmts);
+        guarded.push(Stmt::Label(end_label));
+
+        param_counts.push(f.params.len());
+        params.extend(f.params);
+        partitions.push(d);
+        offset += d;
+    }
+
+    let mut body = decls;
+    body.extend(prologue);
+    body.extend(guarded);
+    let name = parts
+        .iter()
+        .map(|p| p.kernel.name.as_str())
+        .collect::<Vec<_>>()
+        .join("_");
+    Ok(MultiFusedKernel {
+        function: Function {
+            name: format!("{name}_fused"),
+            params,
+            ret: Ty::Void,
+            is_kernel: true,
+            body: Block::new(body),
+        },
+        partitions,
+        param_counts,
+    })
+}
+
+fn split_decls(body: Block) -> (Vec<cuda_frontend::ast::VarDecl>, Vec<Stmt>) {
+    let mut decls = Vec::new();
+    let mut rest = Vec::new();
+    let mut in_prefix = true;
+    for s in body.stmts {
+        match s {
+            Stmt::Decl(d) if in_prefix => decls.push(d),
+            other => {
+                in_prefix = false;
+                rest.push(other);
+            }
+        }
+    }
+    (decls, rest)
+}
+
+fn replace_barriers(stmts: &mut [Stmt], id: u32, count: u32) {
+    for s in stmts {
+        match s {
+            Stmt::SyncThreads => *s = Stmt::BarSync { id, count },
+            Stmt::If(_, t, e) => {
+                replace_barriers(&mut t.stmts, id, count);
+                if let Some(e) = e {
+                    replace_barriers(&mut e.stmts, id, count);
+                }
+            }
+            Stmt::For { body, .. } | Stmt::While(_, body) | Stmt::DoWhile(body, _) => {
+                replace_barriers(&mut body.stmts, id, count)
+            }
+            Stmt::Switch { cases, .. } => {
+                for case in cases {
+                    replace_barriers(&mut case.body, id, count);
+                }
+            }
+            Stmt::Block(b) => replace_barriers(&mut b.stmts, id, count),
+            _ => {}
+        }
+    }
+}
+
+fn contains_bar_sync(b: &Block) -> bool {
+    let mut found = false;
+    let mut clone = b.clone();
+    cuda_frontend::transform::visit::walk_stmts(&mut clone, &mut |s| {
+        if matches!(s, Stmt::BarSync { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn uses_dynamic_shared(f: &Function) -> bool {
+    let mut found = false;
+    let mut clone = f.body.clone();
+    cuda_frontend::transform::visit::walk_stmts(&mut clone, &mut |s| {
+        if matches!(s, Stmt::Decl(d) if d.quals.extern_shared) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_frontend::parse_kernel;
+
+    fn writer(name: &str, value: f32) -> Function {
+        parse_kernel(&format!(
+            "__global__ void {name}(float* out) {{\
+               out[blockIdx.x * blockDim.x + threadIdx.x] = {value:?}f;\
+             }}"
+        ))
+        .expect("parse")
+    }
+
+    fn barrier_kernel(name: &str) -> Function {
+        parse_kernel(&format!(
+            "__global__ void {name}(float* out) {{\
+               __shared__ float s[64];\
+               s[threadIdx.x % 64] = threadIdx.x;\
+               __syncthreads();\
+               out[blockIdx.x * blockDim.x + threadIdx.x] = s[0];\
+             }}"
+        ))
+        .expect("parse")
+    }
+
+    #[test]
+    fn fuses_three_kernels() {
+        let parts = vec![
+            FusionPart::new(writer("a", 1.0), (128, 1, 1)),
+            FusionPart::new(writer("b", 2.0), (64, 1, 1)),
+            FusionPart::new(writer("c", 3.0), (32, 1, 1)),
+        ];
+        let fused = horizontal_fuse_many(&parts).expect("fuse");
+        assert_eq!(fused.block_threads(), 224);
+        assert_eq!(fused.partitions, vec![128, 64, 32]);
+        assert_eq!(fused.param_counts, vec![1, 1, 1]);
+        let src = fused.to_source();
+        for label in ["__hf_k1_end", "__hf_k2_end", "__hf_k3_end"] {
+            assert!(src.contains(label), "{src}");
+        }
+        // The emitted source reparses.
+        parse_kernel(&src).expect("reparse");
+    }
+
+    #[test]
+    fn assigns_distinct_barrier_ids() {
+        let parts = vec![
+            FusionPart::new(barrier_kernel("a"), (64, 1, 1)),
+            FusionPart::new(barrier_kernel("b"), (64, 1, 1)),
+            FusionPart::new(barrier_kernel("c"), (64, 1, 1)),
+        ];
+        let fused = horizontal_fuse_many(&parts).expect("fuse");
+        let src = fused.to_source();
+        assert!(src.contains("bar.sync 1, 64;"), "{src}");
+        assert!(src.contains("bar.sync 2, 64;"), "{src}");
+        assert!(src.contains("bar.sync 3, 64;"), "{src}");
+    }
+
+    #[test]
+    fn rejects_too_few_or_too_many() {
+        let one = vec![FusionPart::new(writer("a", 1.0), (32, 1, 1))];
+        assert!(horizontal_fuse_many(&one).is_err());
+        let many: Vec<FusionPart> =
+            (0..16).map(|i| FusionPart::new(writer(&format!("k{i}"), 1.0), (32, 1, 1))).collect();
+        assert!(horizontal_fuse_many(&many).is_err());
+    }
+
+    #[test]
+    fn rejects_unaligned_interior_boundary() {
+        let parts = vec![
+            FusionPart::new(writer("a", 1.0), (48, 1, 1)),
+            FusionPart::new(writer("b", 2.0), (80, 1, 1)),
+        ];
+        assert!(horizontal_fuse_many(&parts).is_err());
+    }
+
+    #[test]
+    fn pairwise_fusion_agrees_with_generic() {
+        // The dedicated two-kernel path and the N-way path must produce
+        // equivalent partitions and parameter layouts.
+        let a = writer("a", 1.0);
+        let b = writer("b", 2.0);
+        let two = crate::fuse::horizontal_fuse(&a, (128, 1, 1), &b, (128, 1, 1)).expect("pair");
+        let many = horizontal_fuse_many(&[
+            FusionPart::new(a, (128, 1, 1)),
+            FusionPart::new(b, (128, 1, 1)),
+        ])
+        .expect("many");
+        assert_eq!(two.block_threads(), many.block_threads());
+        assert_eq!(two.function.params.len(), many.function.params.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Prologue generation: remapping a fused kernel's linear thread id back to
+//! an original kernel's `threadIdx.{x,y,z}` / `blockDim.{x,y,z}`.
+//!
+//! Shared by horizontal fusion (Fig. 4's prologue) and by the generalized
+//! vertical fusion (which must remap when the two kernels use different
+//! block shapes).
+
+use cuda_frontend::ast::{BinOp, Expr, Stmt, Ty, VarDecl};
+use cuda_frontend::transform::BuiltinSubst;
+
+/// Prologue variables remapping a linear thread id expression to one
+/// kernel's original 3-D thread indices.
+#[derive(Debug, Clone)]
+pub struct ThreadRemap {
+    tid_names: [String; 3],
+    dim_names: [String; 3],
+    ltid: Expr,
+    dims: (u32, u32, u32),
+}
+
+impl ThreadRemap {
+    /// Creates a remap with fresh variable names under `prefix` for a
+    /// kernel whose original block shape is `dims`; `ltid` is the kernel's
+    /// local linear thread id within the fused block.
+    pub fn new(prefix: &str, dims: (u32, u32, u32), ltid: Expr) -> Self {
+        ThreadRemap {
+            tid_names: [
+                format!("{prefix}_tid_x"),
+                format!("{prefix}_tid_y"),
+                format!("{prefix}_tid_z"),
+            ],
+            dim_names: [
+                format!("{prefix}_dim_x"),
+                format!("{prefix}_dim_y"),
+                format!("{prefix}_dim_z"),
+            ],
+            ltid,
+            dims,
+        }
+    }
+
+    /// The prologue declarations computing the remapped indices.
+    pub fn decls(&self) -> Vec<Stmt> {
+        let (dx, dy, _dz) = self.dims;
+        let lt = self.ltid.clone();
+        vec![
+            decl_i32(&self.dim_names[0], Some(Expr::int(i64::from(dx)))),
+            decl_i32(&self.dim_names[1], Some(Expr::int(i64::from(self.dims.1)))),
+            decl_i32(&self.dim_names[2], Some(Expr::int(i64::from(self.dims.2)))),
+            // tid_x = ltid % dx
+            decl_i32(
+                &self.tid_names[0],
+                Some(Expr::bin(BinOp::Rem, lt.clone(), Expr::int(i64::from(dx)))),
+            ),
+            // tid_y = ltid / dx % dy
+            decl_i32(
+                &self.tid_names[1],
+                Some(Expr::bin(
+                    BinOp::Rem,
+                    Expr::bin(BinOp::Div, lt.clone(), Expr::int(i64::from(dx))),
+                    Expr::int(i64::from(dy)),
+                )),
+            ),
+            // tid_z = ltid / (dx*dy)
+            decl_i32(
+                &self.tid_names[2],
+                Some(Expr::bin(BinOp::Div, lt, Expr::int(i64::from(dx * dy)))),
+            ),
+        ]
+    }
+
+    /// The builtin substitution retargeting `threadIdx` / `blockDim` to the
+    /// prologue variables.
+    pub fn subst(&self) -> BuiltinSubst {
+        BuiltinSubst::new().thread_remap(
+            [&self.tid_names[0], &self.tid_names[1], &self.tid_names[2]],
+            [&self.dim_names[0], &self.dim_names[1], &self.dim_names[2]],
+        )
+    }
+}
+
+pub(crate) fn decl_i32(name: &str, init: Option<Expr>) -> Stmt {
+    Stmt::Decl(VarDecl {
+        name: name.to_owned(),
+        ty: Ty::I32,
+        quals: Default::default(),
+        array_len: None,
+        init,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_frontend::printer::print_stmt;
+
+    #[test]
+    fn decls_compute_xyz_from_linear_id() {
+        let r = ThreadRemap::new("__t", (56, 16, 1), Expr::ident("lt"));
+        let printed: String = r.decls().iter().map(print_stmt).collect();
+        assert!(printed.contains("int __t_tid_x = lt % 56;"), "{printed}");
+        assert!(printed.contains("int __t_tid_y = lt / 56 % 16;"), "{printed}");
+        assert!(printed.contains("int __t_tid_z = lt / 896;"), "{printed}");
+        assert!(printed.contains("int __t_dim_x = 56;"), "{printed}");
+    }
+}

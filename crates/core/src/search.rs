@@ -1,0 +1,653 @@
+//! The profiling-driven fusion-configuration search (Fig. 6 of the paper),
+//! plus the measurement helpers the evaluation harness uses (native
+//! co-execution, vertical fusion, naive even-partition horizontal fusion).
+//!
+//! For each candidate thread-space partition `d1` (stepped at a granularity
+//! of 128, because irregular block shapes break memory-access patterns), the
+//! search profiles the fused kernel twice on the simulator: once as
+//! compiled, and once with a register bound
+//! `r0 = SMNRegs / (b0 * d0)` where
+//! `b0 = min(b1, b2, SMShMem/ShMem(F), SMNThreads/d0)` — i.e. capped so the
+//! fused kernel can keep as many resident blocks as the originals.
+
+use std::fmt;
+
+use cuda_frontend::ast::Function;
+use cuda_frontend::FrontendError;
+use gpu_sim::{Gpu, GpuConfig, Launch, ParamValue, SimError};
+use thread_ir::ir::KernelIr;
+use thread_ir::lower_kernel;
+use thread_ir::spill::apply_register_bound;
+
+use crate::fuse::{horizontal_fuse, FusedKernel};
+
+/// Errors from fusing or profiling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HfuseError {
+    /// Frontend/lowering failure.
+    Frontend(FrontendError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// Invalid search input (mismatched grids, no viable partition, ...).
+    Config(String),
+}
+
+impl fmt::Display for HfuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfuseError::Frontend(e) => write!(f, "frontend: {e}"),
+            HfuseError::Sim(e) => write!(f, "{e}"),
+            HfuseError::Config(m) => write!(f, "configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HfuseError {}
+
+impl From<FrontendError> for HfuseError {
+    fn from(e: FrontendError) -> Self {
+        HfuseError::Frontend(e)
+    }
+}
+
+impl From<SimError> for HfuseError {
+    fn from(e: SimError) -> Self {
+        HfuseError::Sim(e)
+    }
+}
+
+/// How a kernel's block dimension maps to a 3-D shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockShape {
+    /// `(d, 1, 1)`.
+    Linear,
+    /// `(d / y, y, 1)` — e.g. the paper's batch-norm kernel uses 16 rows.
+    Rows {
+        /// Fixed `blockDim.y`.
+        y: u32,
+    },
+}
+
+impl BlockShape {
+    /// The 3-D dims for a total thread count, or `None` when `threads` is
+    /// incompatible with the shape.
+    pub fn dims(self, threads: u32) -> Option<(u32, u32, u32)> {
+        match self {
+            BlockShape::Linear => Some((threads, 1, 1)),
+            BlockShape::Rows { y } => {
+                if threads.is_multiple_of(y) && threads >= y {
+                    Some((threads / y, y, 1))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One kernel's contribution to a fusion experiment: source, launch
+/// geometry, and pre-allocated arguments.
+#[derive(Debug, Clone)]
+pub struct FusionInput {
+    /// The parsed kernel.
+    pub kernel: Function,
+    /// Arguments (buffers already allocated in the base memory snapshot).
+    pub args: Vec<ParamValue>,
+    /// Grid dimension the kernel runs with.
+    pub grid_dim: u32,
+    /// Dynamic shared memory bytes.
+    pub dynamic_shared: u32,
+    /// Block threads used when the kernel runs natively.
+    pub default_threads: u32,
+    /// Whether the block dimension is tunable (deep-learning kernels) or
+    /// fixed (crypto kernels).
+    pub tunable: bool,
+    /// Thread-shape rule.
+    pub shape: BlockShape,
+}
+
+impl FusionInput {
+    fn dims(&self, threads: u32) -> Option<(u32, u32, u32)> {
+        self.shape.dims(threads)
+    }
+}
+
+/// Search options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Desired fused block dimension `d0` for tunable pairs.
+    pub d0: u32,
+    /// Partition step (the paper uses 128).
+    pub granularity: u32,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self { d0: 1024, granularity: 128 }
+    }
+}
+
+/// One profiled fusion configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCandidate {
+    /// Threads given to the first kernel.
+    pub d1: u32,
+    /// Threads given to the second kernel.
+    pub d2: u32,
+    /// Register bound applied (`None` = unbounded compile).
+    pub reg_bound: Option<u32>,
+    /// Profiled execution cycles.
+    pub cycles: u64,
+    /// Issue-slot utilization (%).
+    pub issue_util: f64,
+    /// Memory-stall percentage.
+    pub mem_stall: f64,
+    /// Achieved occupancy (%).
+    pub occupancy: f64,
+}
+
+/// The search result: every profiled candidate plus the winner.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// All profiled configurations, in search order.
+    pub candidates: Vec<SearchCandidate>,
+    /// Index of the fastest candidate.
+    pub best_idx: usize,
+    /// The fused function of the best candidate.
+    pub best_function: Function,
+    /// The compiled best kernel (with the winning register bound applied).
+    pub best_kernel: KernelIr,
+    /// Fused block dimension.
+    pub d0: u32,
+}
+
+impl SearchReport {
+    /// The winning configuration.
+    pub fn best(&self) -> &SearchCandidate {
+        &self.candidates[self.best_idx]
+    }
+}
+
+/// Compiles a fused kernel, optionally applying a register bound.
+fn compile_fused(fused: &FusedKernel, bound: Option<u32>) -> Result<KernelIr, HfuseError> {
+    let mut ir = lower_kernel(&fused.function)?;
+    if let Some(b) = bound {
+        apply_register_bound(&mut ir, b);
+    }
+    Ok(ir)
+}
+
+/// Profiles a compiled fused kernel on a fresh copy of the base memory.
+fn profile_fused(
+    cfg: &GpuConfig,
+    base: &Gpu,
+    ir: &KernelIr,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    d0: u32,
+) -> Result<SearchCandidate, HfuseError> {
+    let mut gpu = base.clone();
+    debug_assert_eq!(cfg, gpu.config());
+    let mut args = in1.args.clone();
+    args.extend(in2.args.iter().copied());
+    let launch = Launch {
+        kernel: ir.clone(),
+        grid_dim: in1.grid_dim.max(in2.grid_dim),
+        block_dim: (d0, 1, 1),
+        dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
+        args,
+    };
+    let res = gpu.run(&[launch])?;
+    Ok(SearchCandidate {
+        d1: 0,
+        d2: 0,
+        reg_bound: None,
+        cycles: res.total_cycles,
+        issue_util: res.metrics.issue_slot_utilization(),
+        mem_stall: res.metrics.mem_stall_pct(),
+        occupancy: res.metrics.occupancy_pct(),
+    })
+}
+
+/// The register bound of Fig. 6 lines 13–16.
+///
+/// `nregs1`/`nregs2` are the register pressures of the original kernels;
+/// `shmem_fused` the fused kernel's total shared bytes per block.
+pub fn register_bound(
+    cfg: &GpuConfig,
+    d1: u32,
+    nregs1: u32,
+    d2: u32,
+    nregs2: u32,
+    shmem_fused: u32,
+    d0: u32,
+) -> u32 {
+    let b1 = cfg.regs_per_sm / (d1 * nregs1).max(1);
+    let b2 = cfg.regs_per_sm / (d2 * nregs2).max(1);
+    let b_sh = if shmem_fused == 0 { u32::MAX } else { cfg.shared_per_sm / shmem_fused };
+    let b_th = cfg.max_threads_per_sm / d0.max(1);
+    let b0 = b1.min(b2).min(b_sh).min(b_th).max(1);
+    (cfg.regs_per_sm / (b0 * d0).max(1)).max(1)
+}
+
+/// Runs the full Fig. 6 search: sweep partitions, profile each candidate
+/// with and without the register bound, and return the fastest.
+///
+/// Both inputs must use the same grid dimension. For non-tunable kernels
+/// (crypto), the single candidate is the kernels' native block sizes.
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] if no candidate partition is feasible or a
+/// profile run fails.
+pub fn search_fusion_config(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    opts: SearchOptions,
+) -> Result<SearchReport, HfuseError> {
+    let cfg = base.config().clone();
+    if in1.grid_dim != in2.grid_dim {
+        return Err(HfuseError::Config(format!(
+            "grid dimensions must match for fusion ({} vs {})",
+            in1.grid_dim, in2.grid_dim
+        )));
+    }
+    let nregs1 = lower_kernel(&in1.kernel)?.reg_pressure();
+    let nregs2 = lower_kernel(&in2.kernel)?.reg_pressure();
+
+    let partitions: Vec<(u32, u32)> = if in1.tunable && in2.tunable {
+        let mut v = Vec::new();
+        let mut d1 = opts.granularity;
+        while d1 < opts.d0 {
+            v.push((d1, opts.d0 - d1));
+            d1 += opts.granularity;
+        }
+        v
+    } else {
+        vec![(in1.default_threads, in2.default_threads)]
+    };
+
+    // Compile every candidate first (cheap), then profile them in parallel:
+    // each profile runs on its own clone of the device state, so candidates
+    // are fully independent and the result is deterministic regardless of
+    // thread scheduling.
+    struct Candidate {
+        d1: u32,
+        d2: u32,
+        bound: Option<u32>,
+        fused: FusedKernel,
+        ir: KernelIr,
+    }
+    let mut compiled: Vec<Candidate> = Vec::new();
+    for (d1, d2) in partitions {
+        let (Some(dims1), Some(dims2)) = (in1.dims(d1), in2.dims(d2)) else {
+            continue;
+        };
+        let Ok(fused) = horizontal_fuse(&in1.kernel, dims1, &in2.kernel, dims2) else {
+            continue;
+        };
+        let d0 = d1 + d2;
+        let ir = compile_fused(&fused, None)?;
+        let shmem_fused = ir.shared_bytes(in1.dynamic_shared + in2.dynamic_shared);
+        let r0 = register_bound(&cfg, d1, nregs1, d2, nregs2, shmem_fused, d0);
+        let ir_capped = compile_fused(&fused, Some(r0))?;
+        compiled.push(Candidate { d1, d2, bound: None, fused: fused.clone(), ir });
+        compiled.push(Candidate { d1, d2, bound: Some(r0), fused, ir: ir_capped });
+    }
+
+    // `HFUSE_SEARCH_THREADS` overrides the worker count (useful both to
+    // force the parallel path on single-core CI and to cap it on shared
+    // machines).
+    let threads = std::env::var("HFUSE_SEARCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(8);
+    let results: Vec<Result<SearchCandidate, HfuseError>> = if threads <= 1 || compiled.len() <= 1
+    {
+        compiled
+            .iter()
+            .map(|c| profile_fused(&cfg, base, &c.ir, in1, in2, c.d1 + c.d2))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<Result<SearchCandidate, HfuseError>>> =
+            (0..compiled.len()).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(compiled.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(cand) = compiled.get(i) else { break };
+                    let r = profile_fused(&cfg, base, &cand.ir, in1, in2, cand.d1 + cand.d2);
+                    slots_mutex.lock().expect("no panics while profiling")[i] = Some(r);
+                });
+            }
+        });
+        slots.into_iter().map(|r| r.expect("every candidate profiled")).collect()
+    };
+
+    let mut candidates = Vec::new();
+    let mut best: Option<(u64, usize, Function, KernelIr)> = None;
+    for (cand, result) in compiled.into_iter().zip(results) {
+        match result {
+            Ok(mut c) => {
+                c.d1 = cand.d1;
+                c.d2 = cand.d2;
+                c.reg_bound = cand.bound;
+                let idx = candidates.len();
+                if best.as_ref().is_none_or(|(cyc, ..)| c.cycles < *cyc) {
+                    best = Some((c.cycles, idx, cand.fused.function, cand.ir));
+                }
+                candidates.push(c);
+            }
+            // Unschedulable configuration (e.g. shared memory over budget);
+            // skip it, like a failed compile in the paper.
+            Err(HfuseError::Sim(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let (_, best_idx, best_function, best_kernel) = best.ok_or_else(|| {
+        HfuseError::Config("no feasible fusion configuration found".to_owned())
+    })?;
+    Ok(SearchReport { candidates, best_idx, best_function, best_kernel, d0: opts.d0 })
+}
+
+/// Measures native co-execution of the two kernels (two launches on
+/// parallel streams; the simulator's leftover block-dispatch policy).
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] if a launch is invalid or faults.
+pub fn measure_native(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+) -> Result<gpu_sim::RunResult, HfuseError> {
+    let mut gpu = base.clone();
+    let mk = |inp: &FusionInput| -> Result<Launch, HfuseError> {
+        let dims = inp
+            .dims(inp.default_threads)
+            .ok_or_else(|| HfuseError::Config("bad default block shape".to_owned()))?;
+        Ok(Launch {
+            kernel: lower_kernel(&inp.kernel)?,
+            grid_dim: inp.grid_dim,
+            block_dim: dims,
+            dynamic_shared_bytes: inp.dynamic_shared,
+            args: inp.args.clone(),
+        })
+    };
+    let launches = [mk(in1)?, mk(in2)?];
+    Ok(gpu.run(&launches)?)
+}
+
+/// Measures one kernel alone (for Fig. 8's per-kernel metrics).
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] if the launch is invalid or faults.
+pub fn measure_single(base: &Gpu, inp: &FusionInput) -> Result<gpu_sim::RunResult, HfuseError> {
+    let mut gpu = base.clone();
+    let dims = inp
+        .dims(inp.default_threads)
+        .ok_or_else(|| HfuseError::Config("bad default block shape".to_owned()))?;
+    let launch = Launch {
+        kernel: lower_kernel(&inp.kernel)?,
+        grid_dim: inp.grid_dim,
+        block_dim: dims,
+        dynamic_shared_bytes: inp.dynamic_shared,
+        args: inp.args.clone(),
+    };
+    Ok(gpu.run(&[launch])?)
+}
+
+/// Measures the vertically fused kernel. Requires matching block and grid
+/// dimensions.
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] on mismatched geometry or simulation failure.
+pub fn measure_vertical(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+) -> Result<gpu_sim::RunResult, HfuseError> {
+    if in1.grid_dim != in2.grid_dim {
+        return Err(HfuseError::Config("vertical fusion requires equal grids".to_owned()));
+    }
+    let threads = in1.default_threads.max(in2.default_threads);
+    let dims1 = in1
+        .dims(threads)
+        .ok_or_else(|| HfuseError::Config("bad block shape for vertical fusion".to_owned()))?;
+    let dims2 = in2
+        .dims(threads)
+        .ok_or_else(|| HfuseError::Config("bad block shape for vertical fusion".to_owned()))?;
+    let v = crate::vertical::vertical_fuse_shaped(&in1.kernel, dims1, &in2.kernel, dims2)?;
+    let mut gpu = base.clone();
+    let mut args = in1.args.clone();
+    args.extend(in2.args.iter().copied());
+    let launch = Launch {
+        kernel: lower_kernel(&v.function)?,
+        grid_dim: in1.grid_dim,
+        block_dim: (v.block_threads, 1, 1),
+        dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
+        args,
+    };
+    Ok(gpu.run(&[launch])?)
+}
+
+/// Measures the *naive* horizontal fusion: even thread-space partition, no
+/// profiling, no register bound (the `Naive` series in Fig. 7).
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] on infeasible shapes or simulation failure.
+pub fn measure_naive_horizontal(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    d0: u32,
+) -> Result<gpu_sim::RunResult, HfuseError> {
+    let (d1, d2) = if in1.tunable && in2.tunable {
+        (d0 / 2, d0 / 2)
+    } else {
+        (in1.default_threads, in2.default_threads)
+    };
+    let dims1 = in1
+        .dims(d1)
+        .ok_or_else(|| HfuseError::Config("even partition incompatible with shape".to_owned()))?;
+    let dims2 = in2
+        .dims(d2)
+        .ok_or_else(|| HfuseError::Config("even partition incompatible with shape".to_owned()))?;
+    let fused = horizontal_fuse(&in1.kernel, dims1, &in2.kernel, dims2)?;
+    let ir = lower_kernel(&fused.function)?;
+    let mut gpu = base.clone();
+    let mut args = in1.args.clone();
+    args.extend(in2.args.iter().copied());
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: in1.grid_dim.max(in2.grid_dim),
+        block_dim: (d1 + d2, 1, 1),
+        dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
+        args,
+    };
+    Ok(gpu.run(&[launch])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_frontend::parse_kernel;
+    use gpu_sim::GpuConfig;
+
+    fn mk_gpu() -> (Gpu, FusionInput, FusionInput) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let n = 2048usize;
+        let x = gpu.memory_mut().alloc_f32(n);
+        let y = gpu.memory_mut().alloc_f32(n);
+        let k1 = parse_kernel(
+            "__global__ void writer(float* x, int n) {\
+               for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;\
+                    i += gridDim.x * blockDim.x) { x[i] = i * 2.0f; }\
+             }",
+        )
+        .expect("parse");
+        let k2 = parse_kernel(
+            "__global__ void summer(float* y, int n) {\
+               for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;\
+                    i += gridDim.x * blockDim.x) {\
+                 float acc = 0.0f;\
+                 for (int j = 0; j < 8; j++) { acc += j * 1.5f; }\
+                 y[i] = acc;\
+               }\
+             }",
+        )
+        .expect("parse");
+        let in1 = FusionInput {
+            kernel: k1,
+            args: vec![ParamValue::Ptr(x), ParamValue::I32(n as i32)],
+            grid_dim: 4,
+            dynamic_shared: 0,
+            default_threads: 256,
+            tunable: true,
+            shape: BlockShape::Linear,
+        };
+        let in2 = FusionInput {
+            kernel: k2,
+            args: vec![ParamValue::Ptr(y), ParamValue::I32(n as i32)],
+            grid_dim: 4,
+            dynamic_shared: 0,
+            default_threads: 256,
+            tunable: true,
+            shape: BlockShape::Linear,
+        };
+        (gpu, in1, in2)
+    }
+
+    #[test]
+    fn block_shape_dims() {
+        assert_eq!(BlockShape::Linear.dims(256), Some((256, 1, 1)));
+        assert_eq!(BlockShape::Rows { y: 16 }.dims(896), Some((56, 16, 1)));
+        assert_eq!(BlockShape::Rows { y: 16 }.dims(100), None);
+    }
+
+    #[test]
+    fn register_bound_matches_paper_formula() {
+        let cfg = GpuConfig::pascal_like();
+        // d1 = 896, 32 regs → b1 = 65536/28672 = 2; d2 = 128, 16 regs →
+        // b2 = 32; shmem 24K → 4; threads → 2; b0 = 2 → r0 = 65536/2048 = 32.
+        let r0 = register_bound(&cfg, 896, 32, 128, 16, 24 * 1024, 1024);
+        assert_eq!(r0, 32);
+    }
+
+    #[test]
+    fn register_bound_handles_zero_shmem() {
+        let cfg = GpuConfig::pascal_like();
+        let r0 = register_bound(&cfg, 512, 16, 512, 16, 0, 1024);
+        // b1 = b2 = 8, threads limit = 2 → b0 = 2 → r0 = 32.
+        assert_eq!(r0, 32);
+    }
+
+    #[test]
+    fn search_finds_a_best_candidate() {
+        let (gpu, in1, in2) = mk_gpu();
+        let report = search_fusion_config(
+            &gpu,
+            &in1,
+            &in2,
+            SearchOptions { d0: 512, granularity: 128 },
+        )
+        .expect("search");
+        // 3 partitions × 2 register variants.
+        assert_eq!(report.candidates.len(), 6);
+        let best = report.best();
+        assert!(report.candidates.iter().all(|c| c.cycles >= best.cycles));
+        assert_eq!(best.d1 + best.d2, 512);
+        assert!(report.best_kernel.insts.len() > 10);
+    }
+
+    #[test]
+    fn search_rejects_mismatched_grids() {
+        let (gpu, in1, mut in2) = mk_gpu();
+        in2.grid_dim = 8;
+        assert!(matches!(
+            search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()),
+            Err(HfuseError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn non_tunable_pair_uses_native_partition() {
+        let (gpu, mut in1, mut in2) = mk_gpu();
+        in1.tunable = false;
+        in2.tunable = false;
+        in1.default_threads = 128;
+        in2.default_threads = 128;
+        let report =
+            search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
+        assert_eq!(report.candidates.len(), 2); // one partition, two variants
+        assert_eq!(report.best().d1, 128);
+        assert_eq!(report.best().d2, 128);
+    }
+
+    #[test]
+    fn measurement_helpers_run() {
+        let (gpu, in1, in2) = mk_gpu();
+        let native = measure_native(&gpu, &in1, &in2).expect("native");
+        assert!(native.total_cycles > 0);
+        let single = measure_single(&gpu, &in1).expect("single");
+        assert!(single.total_cycles > 0);
+        assert!(single.total_cycles <= native.total_cycles);
+        let vertical = measure_vertical(&gpu, &in1, &in2).expect("vertical");
+        assert!(vertical.total_cycles > 0);
+        let naive = measure_naive_horizontal(&gpu, &in1, &in2, 512).expect("naive");
+        assert!(naive.total_cycles > 0);
+    }
+
+    #[test]
+    fn fused_results_match_native_memory_state() {
+        // Run native and fused functionally and compare output buffers.
+        let (gpu, in1, in2) = mk_gpu();
+        let mut native = gpu.clone();
+        native
+            .run_functional(&[
+                Launch {
+                    kernel: lower_kernel(&in1.kernel).expect("lower"),
+                    grid_dim: 4,
+                    block_dim: (256, 1, 1),
+                    dynamic_shared_bytes: 0,
+                    args: in1.args.clone(),
+                },
+                Launch {
+                    kernel: lower_kernel(&in2.kernel).expect("lower"),
+                    grid_dim: 4,
+                    block_dim: (256, 1, 1),
+                    dynamic_shared_bytes: 0,
+                    args: in2.args.clone(),
+                },
+            ])
+            .expect("native run");
+
+        let fused =
+            horizontal_fuse(&in1.kernel, (256, 1, 1), &in2.kernel, (256, 1, 1)).expect("fuse");
+        let mut gpu2 = gpu.clone();
+        let mut args = in1.args.clone();
+        args.extend(in2.args.iter().copied());
+        gpu2.run_functional(&[Launch {
+            kernel: lower_kernel(&fused.function).expect("lower"),
+            grid_dim: 4,
+            block_dim: (512, 1, 1),
+            dynamic_shared_bytes: 0,
+            args,
+        }])
+        .expect("fused run");
+
+        let (ParamValue::Ptr(x), ParamValue::Ptr(y)) = (in1.args[0], in2.args[0]) else {
+            panic!("pointer args expected");
+        };
+        assert_eq!(native.memory().read_f32s(x), gpu2.memory().read_f32s(x));
+        assert_eq!(native.memory().read_f32s(y), gpu2.memory().read_f32s(y));
+    }
+}

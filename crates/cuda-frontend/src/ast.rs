@@ -1,0 +1,573 @@
+//! Abstract syntax tree for the CUDA-C dialect.
+//!
+//! The AST is deliberately close to the source: HFuse is a source-to-source
+//! transformation, so statements and expressions mirror what the programmer
+//! wrote. Kernels are later lowered to a flat SIMT IR by the `thread-ir`
+//! crate for simulation.
+
+use std::fmt;
+
+/// Scalar and pointer types of the dialect.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `void` (function return type only).
+    Void,
+    /// `bool`.
+    Bool,
+    /// `int` — 32-bit signed.
+    I32,
+    /// `unsigned int` — 32-bit unsigned.
+    U32,
+    /// `long long` — 64-bit signed.
+    I64,
+    /// `unsigned long long` — 64-bit unsigned.
+    U64,
+    /// `float` — 32-bit IEEE.
+    F32,
+    /// `double` — 64-bit IEEE.
+    F64,
+    /// Pointer to another type.
+    Ptr(Box<Ty>),
+}
+
+impl Ty {
+    /// Size of a value of this type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Ty::Void`], which has no size.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Ty::Void => panic!("void has no size"),
+            Ty::Bool => 1,
+            Ty::I32 | Ty::U32 | Ty::F32 => 4,
+            Ty::I64 | Ty::U64 | Ty::F64 | Ty::Ptr(_) => 8,
+        }
+    }
+
+    /// True for the integer types (including `bool`).
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Ty::Bool | Ty::I32 | Ty::U32 | Ty::I64 | Ty::U64)
+    }
+
+    /// True for `float` / `double`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for pointer types.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// For a pointer type, the pointee type.
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Wraps this type in a pointer.
+    pub fn ptr_to(self) -> Ty {
+        Ty::Ptr(Box::new(self))
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => f.write_str("void"),
+            Ty::Bool => f.write_str("bool"),
+            Ty::I32 => f.write_str("int"),
+            Ty::U32 => f.write_str("unsigned int"),
+            Ty::I64 => f.write_str("long long"),
+            Ty::U64 => f.write_str("unsigned long long"),
+            Ty::F32 => f.write_str("float"),
+            Ty::F64 => f.write_str("double"),
+            Ty::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+/// One axis of a CUDA `dim3` builtin variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `.x`
+    X,
+    /// `.y`
+    Y,
+    /// `.z`
+    Z,
+}
+
+impl Axis {
+    /// All three axes in `x`, `y`, `z` order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Lower-case axis letter.
+    pub fn letter(self) -> char {
+        match self {
+            Axis::X => 'x',
+            Axis::Y => 'y',
+            Axis::Z => 'z',
+        }
+    }
+}
+
+/// CUDA builtin special variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinVar {
+    /// `threadIdx.{x,y,z}`
+    ThreadIdx(Axis),
+    /// `blockIdx.{x,y,z}`
+    BlockIdx(Axis),
+    /// `blockDim.{x,y,z}`
+    BlockDim(Axis),
+    /// `gridDim.{x,y,z}`
+    GridDim(Axis),
+}
+
+impl fmt::Display for BuiltinVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (base, axis) = match self {
+            BuiltinVar::ThreadIdx(a) => ("threadIdx", a),
+            BuiltinVar::BlockIdx(a) => ("blockIdx", a),
+            BuiltinVar::BlockDim(a) => ("blockDim", a),
+            BuiltinVar::GridDim(a) => ("gridDim", a),
+        };
+        write!(f, "{base}.{}", axis.letter())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+}
+
+/// Binary operators (excluding assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the C operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// True for comparison operators (result type `int` 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for the short-circuiting logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+
+    /// Source spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::LogAnd => "&&",
+            BinOp::LogOr => "||",
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// Plain `=`.
+    Assign,
+    /// Compound assignment `op=`; the payload is the underlying operator.
+    Compound(BinOp),
+}
+
+impl AssignOp {
+    /// Source spelling of the operator.
+    pub fn symbol(self) -> String {
+        match self {
+            AssignOp::Assign => "=".to_owned(),
+            AssignOp::Compound(op) => format!("{}=", op.symbol()),
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal; `ty` is `I32`, `U32`, `I64`, or `U64` based on the
+    /// suffix and magnitude.
+    IntLit(i64, Ty),
+    /// Floating literal; `ty` is `F32` or `F64`.
+    FloatLit(f64, Ty),
+    /// Named variable reference.
+    Ident(String),
+    /// CUDA builtin variable (`threadIdx.x`, ...).
+    Builtin(BuiltinVar),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment (an expression, as in C).
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    /// Pre/post increment/decrement.
+    IncDec {
+        /// `true` for `++`, `false` for `--`.
+        inc: bool,
+        /// `true` for the prefix form.
+        pre: bool,
+        /// The lvalue operand.
+        target: Box<Expr>,
+    },
+    /// Conditional `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function or intrinsic call.
+    Call(String, Vec<Expr>),
+    /// Array/pointer subscript `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// C-style or `reinterpret_cast` cast.
+    Cast(Ty, Box<Expr>),
+    /// `&e`.
+    AddrOf(Box<Expr>),
+    /// `*e`.
+    Deref(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a signed `int` literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit(v, Ty::I32)
+    }
+
+    /// Convenience constructor for an identifier expression.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// True if the expression is a valid assignment target in the dialect.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(self, Expr::Ident(_) | Expr::Index(..) | Expr::Deref(_))
+    }
+}
+
+/// Storage qualifiers on a local declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeclQuals {
+    /// `__shared__`
+    pub shared: bool,
+    /// `extern __shared__` (dynamically sized shared memory)
+    pub extern_shared: bool,
+}
+
+/// A single-variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Element type (for arrays, the element type).
+    pub ty: Ty,
+    /// Storage qualifiers.
+    pub quals: DeclQuals,
+    /// Array length expression, if declared as an array. Must be a constant
+    /// expression. `extern __shared__ T x[];` has `Some(None)` semantics —
+    /// represented as `array_len: Some(None)` via [`ArrayLen`].
+    pub array_len: Option<ArrayLen>,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+/// The declared length of an array variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayLen {
+    /// Fixed length given by a constant expression.
+    Fixed(Expr),
+    /// `[]` — unsized `extern __shared__` array.
+    Unsized,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration.
+    Decl(VarDecl),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If(Expr, Block, Option<Block>),
+    /// `for (init; cond; step) body`. The init is either a declaration or an
+    /// expression statement.
+    For {
+        /// Loop initializer.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent means `true`).
+        cond: Option<Expr>,
+        /// Loop step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) body`.
+    While(Expr, Block),
+    /// `do body while (cond);` — body runs at least once.
+    DoWhile(Block, Expr),
+    /// `switch (scrutinee) { case k: ... default: ... }` with C fallthrough
+    /// semantics. Case labels must be integer constant expressions.
+    Switch {
+        /// The switched-on expression.
+        scrutinee: Expr,
+        /// Cases in source order: label (`None` = `default`) and the
+        /// statements up to the next label.
+        cases: Vec<SwitchCase>,
+    },
+    /// `return;` or `return expr;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested block.
+    Block(Block),
+    /// `__syncthreads();` — full block barrier.
+    SyncThreads,
+    /// Inline PTX partial barrier: `asm("bar.sync ID, COUNT;");`.
+    BarSync {
+        /// Barrier resource id (0–15).
+        id: u32,
+        /// Number of participating threads (must be a multiple of the warp
+        /// size in real PTX).
+        count: u32,
+    },
+    /// `goto label;` — in the dialect, only warp-uniform forward jumps are
+    /// valid (this is all HFuse generates).
+    Goto(String),
+    /// `label:` — a goto target.
+    Label(String),
+}
+
+/// One arm of a [`Stmt::Switch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// The case value; `None` for `default:`.
+    pub value: Option<i64>,
+    /// Statements until the next label (C fallthrough applies).
+    pub body: Vec<Stmt>,
+}
+
+/// A `{ ... }` statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Self { stmts }
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<I: IntoIterator<Item = Stmt>>(iter: I) -> Self {
+        Block { stmts: iter.into_iter().collect() }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// A function definition (`__global__` kernel or `__device__` helper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Ty,
+    /// `true` for `__global__` kernels, `false` for `__device__` functions.
+    pub is_kernel: bool,
+    /// Function body.
+    pub body: Block,
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// All function definitions in source order.
+    pub functions: Vec<Function>,
+}
+
+impl TranslationUnit {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Constant-folds an integer constant expression (array sizes, barrier
+/// counts). Supports literals, the arithmetic/bit operators, and unary minus.
+///
+/// Returns `None` for anything non-constant.
+pub fn const_eval_int(expr: &Expr) -> Option<i64> {
+    match expr {
+        Expr::IntLit(v, _) => Some(*v),
+        Expr::Unary(UnOp::Neg, e) => const_eval_int(e).map(|v| v.wrapping_neg()),
+        Expr::Unary(UnOp::BitNot, e) => const_eval_int(e).map(|v| !v),
+        Expr::Unary(UnOp::Not, e) => const_eval_int(e).map(|v| i64::from(v == 0)),
+        Expr::Binary(op, a, b) => {
+            let a = const_eval_int(a)?;
+            let b = const_eval_int(b)?;
+            Some(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::BitAnd => a & b,
+                BinOp::BitOr => a | b,
+                BinOp::BitXor => a ^ b,
+                BinOp::Lt => i64::from(a < b),
+                BinOp::Le => i64::from(a <= b),
+                BinOp::Gt => i64::from(a > b),
+                BinOp::Ge => i64::from(a >= b),
+                BinOp::Eq => i64::from(a == b),
+                BinOp::Ne => i64::from(a != b),
+                BinOp::LogAnd => i64::from(a != 0 && b != 0),
+                BinOp::LogOr => i64::from(a != 0 || b != 0),
+            })
+        }
+        Expr::Ternary(c, t, e) => {
+            if const_eval_int(c)? != 0 {
+                const_eval_int(t)
+            } else {
+                const_eval_int(e)
+            }
+        }
+        Expr::Cast(ty, e) if ty.is_integer() => const_eval_int(e),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+        assert_eq!(Ty::F32.ptr_to().size_bytes(), 8);
+    }
+
+    #[test]
+    fn ty_display() {
+        assert_eq!(Ty::U64.to_string(), "unsigned long long");
+        assert_eq!(Ty::F32.ptr_to().to_string(), "float*");
+        assert_eq!(Ty::F32.ptr_to().ptr_to().to_string(), "float**");
+    }
+
+    #[test]
+    fn builtin_display() {
+        assert_eq!(BuiltinVar::ThreadIdx(Axis::X).to_string(), "threadIdx.x");
+        assert_eq!(BuiltinVar::GridDim(Axis::Z).to_string(), "gridDim.z");
+    }
+
+    #[test]
+    fn const_eval_shared_array_size() {
+        // 2 * 2 * WARP_SIZE + WARP_SIZE with WARP_SIZE already expanded to 32.
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(2)), Expr::int(32)),
+            Expr::int(32),
+        );
+        assert_eq!(const_eval_int(&e), Some(160));
+    }
+
+    #[test]
+    fn const_eval_rejects_non_constant() {
+        assert_eq!(const_eval_int(&Expr::ident("n")), None);
+        assert_eq!(
+            const_eval_int(&Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0))),
+            None
+        );
+    }
+
+    #[test]
+    fn const_eval_ternary_and_shift() {
+        let e = Expr::Ternary(
+            Box::new(Expr::int(1)),
+            Box::new(Expr::bin(BinOp::Shl, Expr::int(1), Expr::int(4))),
+            Box::new(Expr::int(0)),
+        );
+        assert_eq!(const_eval_int(&e), Some(16));
+    }
+
+    #[test]
+    fn lvalue_classification() {
+        assert!(Expr::ident("x").is_lvalue());
+        assert!(Expr::Index(Box::new(Expr::ident("a")), Box::new(Expr::int(0))).is_lvalue());
+        assert!(!Expr::int(3).is_lvalue());
+    }
+}

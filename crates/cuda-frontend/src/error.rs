@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Error produced by the lexer, preprocessor, parser, type checker, or any
+/// of the AST transformation passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    message: String,
+    line: Option<u32>,
+}
+
+impl FrontendError {
+    /// Creates an error without source-position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into(), line: None }
+    }
+
+    /// Creates an error attached to a 1-based source line.
+    pub fn at_line(message: impl Into<String>, line: u32) -> Self {
+        Self { message: message.into(), line: Some(line) }
+    }
+
+    /// The human-readable message (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line, if known.
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+}
+
+impl FrontendError {
+    /// Renders the error with the offending source line when the position
+    /// is known — what the CLI shows for bad input files.
+    pub fn render(&self, source: &str) -> String {
+        match self.line {
+            Some(line) => {
+                let text = source.lines().nth(line as usize - 1).unwrap_or("");
+                format!(
+                    "error: {msg}
+ --> line {line}
+  |
+{line:3} | {text}
+  |",
+                    msg = self.message
+                )
+            }
+            None => format!("error: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_present() {
+        let e = FrontendError::at_line("unexpected token", 7);
+        assert_eq!(e.to_string(), "line 7: unexpected token");
+        assert_eq!(e.line(), Some(7));
+    }
+
+    #[test]
+    fn render_shows_offending_line() {
+        let src = "__global__ void k(int n) {\n  n = ;\n}";
+        let e = FrontendError::at_line("expected expression", 2);
+        let rendered = e.render(src);
+        assert!(rendered.contains("error: expected expression"), "{rendered}");
+        assert!(rendered.contains("  2 |   n = ;"), "{rendered}");
+    }
+
+    #[test]
+    fn render_without_line_is_plain() {
+        assert_eq!(FrontendError::new("boom").render("x"), "error: boom");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = FrontendError::new("oops");
+        assert_eq!(e.to_string(), "oops");
+        assert_eq!(e.line(), None);
+    }
+}

@@ -1,0 +1,479 @@
+//! Hand-written lexer for the CUDA-C dialect.
+//!
+//! Comments (`//` and `/* */`) are stripped. Preprocessor directives are
+//! tokenized: a `#` at the start of a (logical) line produces
+//! [`TokenKind::Hash`], and the newline that ends the directive produces
+//! [`TokenKind::DirectiveEnd`] so the preprocessor can delimit it. Backslash
+//! line continuations inside directives are honored.
+
+use crate::error::FrontendError;
+use crate::token::{Punct, Token, TokenKind};
+
+/// Lexes `src` into a token stream.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on unterminated comments/strings or characters
+/// outside the dialect.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// True while we are inside a `#` directive (until the next raw newline).
+    in_directive: bool,
+    /// True when no token has been produced yet on the current line.
+    at_line_start: bool,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            in_directive: false,
+            at_line_start: true,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.push(Token::new(kind, self.line));
+        self.at_line_start = false;
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        while let Some(b) = self.peek() {
+            match b {
+                b'\n' => {
+                    self.bump();
+                    if self.in_directive {
+                        self.out.push(Token::new(TokenKind::DirectiveEnd, self.line - 1));
+                        self.in_directive = false;
+                    }
+                    self.at_line_start = true;
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'\\' if self.in_directive && self.peek2() == Some(b'\n') => {
+                    // Line continuation inside a directive.
+                    self.bump();
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(FrontendError::at_line(
+                                    "unterminated block comment",
+                                    start_line,
+                                ))
+                            }
+                        }
+                    }
+                }
+                b'#' if self.at_line_start => {
+                    self.bump();
+                    self.in_directive = true;
+                    self.push(TokenKind::Hash);
+                }
+                b'"' => self.lex_string()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'.' if matches!(self.peek2(), Some(b'0'..=b'9')) => self.lex_number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+                _ => self.lex_punct()?,
+            }
+        }
+        if self.in_directive {
+            self.out.push(Token::new(TokenKind::DirectiveEnd, self.line));
+        }
+        Ok(self.out)
+    }
+
+    fn lex_string(&mut self) -> Result<(), FrontendError> {
+        let start_line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let esc = self.bump().ok_or_else(|| {
+                        FrontendError::at_line("unterminated string literal", start_line)
+                    })?;
+                    s.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => other as char,
+                    });
+                }
+                Some(c) => s.push(c as char),
+                None => {
+                    return Err(FrontendError::at_line("unterminated string literal", start_line))
+                }
+            }
+        }
+        self.push(TokenKind::StrLit(s));
+        Ok(())
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("identifier bytes are ASCII")
+            .to_owned();
+        self.push(TokenKind::Ident(text));
+    }
+
+    fn lex_number(&mut self) -> Result<(), FrontendError> {
+        let start = self.pos;
+        let line = self.line;
+        let mut is_float = false;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+            if self.peek() == Some(b'.') {
+                is_float = true;
+                self.bump();
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                let save = self.pos;
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    is_float = true;
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                } else {
+                    self.pos = save;
+                }
+            }
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII")
+            .to_owned();
+
+        // Suffixes: f/F (float), u/U, l/L (possibly ll).
+        let mut single = false;
+        let mut unsigned = false;
+        let mut long = false;
+        loop {
+            match self.peek() {
+                Some(b'f') | Some(b'F') if is_float || digits.contains('.') => {
+                    single = true;
+                    is_float = true;
+                    self.bump();
+                }
+                Some(b'f') | Some(b'F') => {
+                    // `1f` is also accepted as a float literal in our dialect.
+                    single = true;
+                    is_float = true;
+                    self.bump();
+                }
+                Some(b'u') | Some(b'U') => {
+                    unsigned = true;
+                    self.bump();
+                }
+                Some(b'l') | Some(b'L') => {
+                    long = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+
+        if is_float {
+            let value: f64 = digits
+                .parse()
+                .map_err(|_| FrontendError::at_line(format!("bad float literal `{digits}`"), line))?;
+            self.push(TokenKind::FloatLit { value, single });
+        } else {
+            let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+            {
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| FrontendError::at_line(format!("bad hex literal `{digits}`"), line))?
+            } else {
+                digits.parse().map_err(|_| {
+                    FrontendError::at_line(format!("bad integer literal `{digits}`"), line)
+                })?
+            };
+            self.push(TokenKind::IntLit { value, unsigned, long });
+        }
+        Ok(())
+    }
+
+    fn lex_punct(&mut self) -> Result<(), FrontendError> {
+        use Punct::*;
+        let line = self.line;
+        let b = self.bump().expect("caller checked peek");
+        let two = self.peek();
+        let three = self.peek2();
+        let mut take = |n: usize, p: Punct| {
+            for _ in 0..n {
+                self.bump();
+            }
+            p
+        };
+        let p = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b':' => Colon,
+            b'?' => Question,
+            b'.' => Dot,
+            b'~' => Tilde,
+            b'+' => match two {
+                Some(b'+') => take(1, PlusPlus),
+                Some(b'=') => take(1, PlusEq),
+                _ => Plus,
+            },
+            b'-' => match two {
+                Some(b'-') => take(1, MinusMinus),
+                Some(b'=') => take(1, MinusEq),
+                Some(b'>') => take(1, Arrow),
+                _ => Minus,
+            },
+            b'*' => match two {
+                Some(b'=') => take(1, StarEq),
+                _ => Star,
+            },
+            b'/' => match two {
+                Some(b'=') => take(1, SlashEq),
+                _ => Slash,
+            },
+            b'%' => match two {
+                Some(b'=') => take(1, PercentEq),
+                _ => Percent,
+            },
+            b'&' => match two {
+                Some(b'&') => take(1, AmpAmp),
+                Some(b'=') => take(1, AmpEq),
+                _ => Amp,
+            },
+            b'|' => match two {
+                Some(b'|') => take(1, PipePipe),
+                Some(b'=') => take(1, PipeEq),
+                _ => Pipe,
+            },
+            b'^' => match two {
+                Some(b'=') => take(1, CaretEq),
+                _ => Caret,
+            },
+            b'!' => match two {
+                Some(b'=') => take(1, Ne),
+                _ => Bang,
+            },
+            b'<' => match (two, three) {
+                (Some(b'<'), Some(b'=')) => take(2, ShlEq),
+                (Some(b'<'), _) => take(1, Shl),
+                (Some(b'='), _) => take(1, Le),
+                _ => Lt,
+            },
+            b'>' => match (two, three) {
+                (Some(b'>'), Some(b'=')) => take(2, ShrEq),
+                (Some(b'>'), _) => take(1, Shr),
+                (Some(b'='), _) => take(1, Ge),
+                _ => Gt,
+            },
+            b'=' => match two {
+                Some(b'=') => take(1, EqEq),
+                _ => Assign,
+            },
+            other => {
+                return Err(FrontendError::at_line(
+                    format!("unexpected character `{}`", other as char),
+                    line,
+                ))
+            }
+        };
+        self.push(TokenKind::Punct(p));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Punct as P;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex failed").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        assert_eq!(
+            kinds("foo 42"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::IntLit { value: 42, unsigned: false, long: false }
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixed_ints() {
+        assert_eq!(
+            kinds("0xFFu 7ull"),
+            vec![
+                TokenKind::IntLit { value: 255, unsigned: true, long: false },
+                TokenKind::IntLit { value: 7, unsigned: true, long: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats() {
+        assert_eq!(
+            kinds("1.5f 2.0 1e3"),
+            vec![
+                TokenKind::FloatLit { value: 1.5, single: true },
+                TokenKind::FloatLit { value: 2.0, single: false },
+                TokenKind::FloatLit { value: 1000.0, single: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_three_char_operators() {
+        assert_eq!(
+            kinds("a <<= b >>= c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(P::ShlEq),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(P::ShrEq),
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn shift_vs_comparison() {
+        assert_eq!(
+            kinds("1 << 2 <= 3"),
+            vec![
+                TokenKind::IntLit { value: 1, unsigned: false, long: false },
+                TokenKind::Punct(P::Shl),
+                TokenKind::IntLit { value: 2, unsigned: false, long: false },
+                TokenKind::Punct(P::Le),
+                TokenKind::IntLit { value: 3, unsigned: false, long: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn strips_comments() {
+        assert_eq!(
+            kinds("a // comment\n/* multi\nline */ b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn directive_markers() {
+        let ks = kinds("#define N 4\nx");
+        assert_eq!(ks[0], TokenKind::Hash);
+        assert!(ks.contains(&TokenKind::DirectiveEnd));
+        assert_eq!(*ks.last().expect("nonempty"), TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn directive_line_continuation() {
+        let ks = kinds("#define N 1 + \\\n 2\ny");
+        // The continuation keeps both `1 + 2` inside the directive.
+        let end = ks.iter().position(|k| *k == TokenKind::DirectiveEnd).expect("end");
+        assert_eq!(end, 6); // # define N 1 + 2
+    }
+
+    #[test]
+    fn hash_mid_line_is_error() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn string_literal_with_escapes() {
+        assert_eq!(kinds(r#""bar.sync 1, 896;""#), vec![TokenKind::StrLit("bar.sync 1, 896;".into())]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").expect("lex");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

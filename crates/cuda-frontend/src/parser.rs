@@ -1,0 +1,1193 @@
+//! Recursive-descent parser for the CUDA-C dialect.
+//!
+//! Expressions use precedence climbing with the standard C precedence table.
+//! All type names are keywords, so the declaration/expression ambiguity does
+//! not arise.
+
+use crate::ast::{
+    ArrayLen, AssignOp, Axis, BinOp, Block, BuiltinVar, DeclQuals, Expr, Function, Param, Stmt,
+    SwitchCase, TranslationUnit, Ty, UnOp, VarDecl,
+};
+use crate::error::FrontendError;
+use crate::token::{Punct, Token, TokenKind};
+
+/// Parses a macro-expanded token stream into a translation unit.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on any syntax error.
+pub fn parse(tokens: Vec<Token>) -> Result<TranslationUnit, FrontendError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        functions.push(p.parse_function()?);
+    }
+    Ok(TranslationUnit { functions })
+}
+
+/// Parses a single expression from source text (used heavily in tests and by
+/// the fusion pass to build guard expressions from snippets).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] if the text is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
+    let tokens = crate::lexer::lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a brace-delimited block of statements from source text.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] if the text is not exactly one `{ ... }` block.
+pub fn parse_block(src: &str) -> Result<Block, FrontendError> {
+    let tokens = crate::lexer::lex(src)?;
+    let tokens = crate::preprocess::expand_macros(tokens)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let b = p.block()?;
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after block"));
+    }
+    Ok(b)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const TYPE_KEYWORDS: &[&str] =
+    &["void", "bool", "int", "unsigned", "long", "float", "double", "signed"];
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_n(&self, n: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + n).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> FrontendError {
+        let found = match self.peek() {
+            Some(k) => format!(" (found `{k}`)"),
+            None => " (found end of input)".to_owned(),
+        };
+        FrontendError::at_line(format!("{}{found}", msg.into()), self.line())
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == Some(&TokenKind::Punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), FrontendError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`")))
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.peek().and_then(|k| k.as_ident()) == Some(name) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) if !is_keyword(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    /// True if the token at `self.pos + n` starts a type.
+    fn is_type_start_at(&self, n: usize) -> bool {
+        matches!(self.peek_n(n), Some(TokenKind::Ident(s)) if TYPE_KEYWORDS.contains(&s.as_str()))
+    }
+
+    /// True if the current `(` begins a C-style cast: `( type-keywords *... )`.
+    /// Distinguishes `(float)x` (cast) from `(float(x))` (parenthesized
+    /// functional cast).
+    fn is_cast_start(&self) -> bool {
+        debug_assert_eq!(self.peek(), Some(&TokenKind::Punct(Punct::LParen)));
+        if !self.is_type_start_at(1) {
+            return false;
+        }
+        let mut n = 1;
+        while matches!(
+            self.peek_n(n),
+            Some(TokenKind::Ident(s)) if TYPE_KEYWORDS.contains(&s.as_str()) || s == "const"
+        ) {
+            n += 1;
+        }
+        while self.peek_n(n) == Some(&TokenKind::Punct(Punct::Star)) {
+            n += 1;
+        }
+        self.peek_n(n) == Some(&TokenKind::Punct(Punct::RParen))
+    }
+
+    // ---- types ------------------------------------------------------------
+
+    /// Parses a type: optional `const`, base keywords, then `*`s.
+    fn parse_ty(&mut self) -> Result<Ty, FrontendError> {
+        self.eat_ident("const");
+        let mut words: Vec<String> = Vec::new();
+        while let Some(TokenKind::Ident(s)) = self.peek() {
+            if TYPE_KEYWORDS.contains(&s.as_str()) {
+                words.push(s.clone());
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if words.is_empty() {
+            return Err(self.error("expected type"));
+        }
+        let base = base_ty_from_words(&words)
+            .ok_or_else(|| self.error(format!("unsupported type `{}`", words.join(" "))))?;
+        let mut ty = base;
+        loop {
+            self.eat_ident("const");
+            if self.eat_punct(Punct::Star) {
+                ty = ty.ptr_to();
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+
+    // ---- functions ----------------------------------------------------------
+
+    fn parse_function(&mut self) -> Result<Function, FrontendError> {
+        let mut is_kernel = false;
+        loop {
+            if self.eat_ident("__global__") {
+                is_kernel = true;
+            } else if self.eat_ident("__device__")
+                || self.eat_ident("static")
+                || self.eat_ident("__forceinline__")
+                || self.eat_ident("inline")
+                || self.eat_ident("__launch_bounds__") && {
+                    // consume the argument list of __launch_bounds__(...)
+                    self.expect_punct(Punct::LParen)?;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.bump() {
+                            Some(TokenKind::Punct(Punct::LParen)) => depth += 1,
+                            Some(TokenKind::Punct(Punct::RParen)) => depth -= 1,
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated __launch_bounds__")),
+                        }
+                    }
+                    true
+                }
+            {
+                continue;
+            } else {
+                break;
+            }
+        }
+        let ret = self.parse_ty()?;
+        let name = self.expect_ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let ty = self.parse_ty()?;
+                let pname = self.expect_ident()?;
+                params.push(Param { name: pname, ty });
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, ret, is_kernel, body })
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, FrontendError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_end() {
+                return Err(self.error("unterminated block"));
+            }
+            self.stmt_into(&mut stmts)?;
+        }
+        Ok(Block { stmts })
+    }
+
+    /// Parses one statement. A declaration with multiple declarators expands
+    /// to several `Stmt::Decl`s, hence the out-parameter style.
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), FrontendError> {
+        // Empty statement.
+        if self.eat_punct(Punct::Semi) {
+            return Ok(());
+        }
+        // Label: `ident :` (but not `default:` etc. — no switch in dialect).
+        if let (Some(TokenKind::Ident(name)), Some(TokenKind::Punct(Punct::Colon))) =
+            (self.peek(), self.peek_n(1))
+        {
+            if !is_keyword(name) {
+                let name = name.clone();
+                self.pos += 2;
+                out.push(Stmt::Label(name));
+                return Ok(());
+            }
+        }
+        match self.peek().and_then(|k| k.as_ident()) {
+            Some("if") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_b = self.stmt_as_block()?;
+                let else_b = if self.eat_ident("else") {
+                    Some(self.stmt_as_block()?)
+                } else {
+                    None
+                };
+                out.push(Stmt::If(cond, then_b, else_b));
+            }
+            Some("for") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.eat_punct(Punct::Semi) {
+                    None
+                } else if self.is_decl_start() {
+                    let mut decls = Vec::new();
+                    self.parse_decl_into(&mut decls)?;
+                    if decls.len() != 1 {
+                        return Err(self.error("multiple declarators in for-init not supported"));
+                    }
+                    Some(Box::new(decls.pop().expect("len checked")))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(Punct::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == Some(&TokenKind::Punct(Punct::Semi)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let step = if self.peek() == Some(&TokenKind::Punct(Punct::RParen)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.stmt_as_block()?;
+                out.push(Stmt::For { init, cond, step, body });
+            }
+            Some("while") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.stmt_as_block()?;
+                out.push(Stmt::While(cond, body));
+            }
+            Some("do") => {
+                self.pos += 1;
+                let body = self.stmt_as_block()?;
+                if !self.eat_ident("while") {
+                    return Err(self.error("expected `while` after do-body"));
+                }
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semi)?;
+                out.push(Stmt::DoWhile(body, cond));
+            }
+            Some("return") => {
+                self.pos += 1;
+                let e = if self.peek() == Some(&TokenKind::Punct(Punct::Semi)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                out.push(Stmt::Return(e));
+            }
+            Some("break") => {
+                self.pos += 1;
+                self.expect_punct(Punct::Semi)?;
+                out.push(Stmt::Break);
+            }
+            Some("continue") => {
+                self.pos += 1;
+                self.expect_punct(Punct::Semi)?;
+                out.push(Stmt::Continue);
+            }
+            Some("goto") => {
+                self.pos += 1;
+                let label = self.expect_ident()?;
+                self.expect_punct(Punct::Semi)?;
+                out.push(Stmt::Goto(label));
+            }
+            Some("switch") => {
+                self.pos += 1;
+                out.push(self.parse_switch()?);
+            }
+            Some("asm") => {
+                self.pos += 1;
+                out.push(self.parse_asm()?);
+            }
+            _ if self.peek() == Some(&TokenKind::Punct(Punct::LBrace)) => {
+                let b = self.block()?;
+                out.push(Stmt::Block(b));
+            }
+            _ if self.is_decl_start() => {
+                self.parse_decl_into(out)?;
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(Punct::Semi)?;
+                // Canonicalize `__syncthreads()` calls into a dedicated node.
+                if let Expr::Call(name, args) = &e {
+                    if name == "__syncthreads" && args.is_empty() {
+                        out.push(Stmt::SyncThreads);
+                        return Ok(());
+                    }
+                }
+                out.push(Stmt::Expr(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a single statement and wraps it in a block unless it already is
+    /// one (used for `if`/`for`/`while` bodies).
+    fn stmt_as_block(&mut self) -> Result<Block, FrontendError> {
+        if self.peek() == Some(&TokenKind::Punct(Punct::LBrace)) {
+            self.block()
+        } else {
+            let mut stmts = Vec::new();
+            self.stmt_into(&mut stmts)?;
+            Ok(Block { stmts })
+        }
+    }
+
+    fn is_decl_start(&self) -> bool {
+        match self.peek().and_then(|k| k.as_ident()) {
+            Some("__shared__") | Some("extern") | Some("const") => true,
+            Some(s) => TYPE_KEYWORDS.contains(&s),
+            None => false,
+        }
+    }
+
+    fn parse_decl_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), FrontendError> {
+        let mut quals = DeclQuals::default();
+        let mut is_extern = false;
+        loop {
+            if self.eat_ident("__shared__") {
+                quals.shared = true;
+            } else if self.eat_ident("extern") {
+                is_extern = true;
+            } else if self.eat_ident("const") || self.eat_ident("volatile") {
+                // qualifiers are accepted and dropped
+            } else {
+                break;
+            }
+        }
+        if is_extern {
+            if !quals.shared {
+                // allow `extern __shared__` in either order
+                if self.eat_ident("__shared__") {
+                    quals.shared = true;
+                } else {
+                    return Err(self.error("`extern` is only supported as `extern __shared__`"));
+                }
+            }
+            quals.extern_shared = true;
+        }
+        let base_ty = self.parse_ty()?;
+        loop {
+            // Per-declarator extra pointers: `float *p, v;`
+            let mut ty = base_ty.clone();
+            while self.eat_punct(Punct::Star) {
+                ty = ty.ptr_to();
+            }
+            let name = self.expect_ident()?;
+            let array_len = if self.eat_punct(Punct::LBracket) {
+                if self.eat_punct(Punct::RBracket) {
+                    Some(ArrayLen::Unsized)
+                } else {
+                    let len = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    Some(ArrayLen::Fixed(len))
+                }
+            } else {
+                None
+            };
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.assign_expr()?)
+            } else {
+                None
+            };
+            out.push(Stmt::Decl(VarDecl { name, ty, quals, array_len, init }));
+            if self.eat_punct(Punct::Semi) {
+                break;
+            }
+            self.expect_punct(Punct::Comma)?;
+        }
+        Ok(())
+    }
+
+    /// Parses `switch (expr) { case N: ... default: ... }`. Case labels
+    /// must be integer constant expressions; statements belong to the most
+    /// recent label (C fallthrough semantics are preserved by lowering).
+    fn parse_switch(&mut self) -> Result<Stmt, FrontendError> {
+        self.expect_punct(Punct::LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect_punct(Punct::RParen)?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut cases: Vec<SwitchCase> = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_end() {
+                return Err(self.error("unterminated switch"));
+            }
+            if self.eat_ident("case") {
+                let value_expr = self.ternary_expr()?;
+                let value = crate::ast::const_eval_int(&value_expr)
+                    .ok_or_else(|| self.error("case label must be a constant expression"))?;
+                self.expect_punct(Punct::Colon)?;
+                if cases.iter().any(|c| c.value == Some(value)) {
+                    return Err(self.error(format!("duplicate case label {value}")));
+                }
+                cases.push(SwitchCase { value: Some(value), body: Vec::new() });
+            } else if self.eat_ident("default") {
+                self.expect_punct(Punct::Colon)?;
+                if cases.iter().any(|c| c.value.is_none()) {
+                    return Err(self.error("duplicate default label"));
+                }
+                cases.push(SwitchCase { value: None, body: Vec::new() });
+            } else {
+                let case = cases
+                    .last_mut()
+                    .ok_or_else(|| self.error("statement before first case label"))?;
+                self.stmt_into(&mut case.body)?;
+            }
+        }
+        Ok(Stmt::Switch { scrutinee, cases })
+    }
+
+    /// Parses `asm [volatile] ("...");` — only `bar.sync ID, COUNT;` strings
+    /// are meaningful in the dialect.
+    fn parse_asm(&mut self) -> Result<Stmt, FrontendError> {
+        self.eat_ident("volatile");
+        self.expect_punct(Punct::LParen)?;
+        let text = match self.bump() {
+            Some(TokenKind::StrLit(s)) => s,
+            _ => return Err(self.error("expected string literal in asm()")),
+        };
+        // Ignore any constraint clauses (`:: "r"(x)` style) — not needed for
+        // bar.sync, but skip to the closing paren robustly.
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                Some(TokenKind::Punct(Punct::LParen)) => depth += 1,
+                Some(TokenKind::Punct(Punct::RParen)) => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.error("unterminated asm()")),
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        parse_bar_sync(&text).ok_or_else(|| {
+            self.error(format!("unsupported inline asm `{text}` (only `bar.sync id, count;`)"))
+        })
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, FrontendError> {
+        let lhs = self.ternary_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Punct(Punct::Assign)) => Some(AssignOp::Assign),
+            Some(TokenKind::Punct(Punct::PlusEq)) => Some(AssignOp::Compound(BinOp::Add)),
+            Some(TokenKind::Punct(Punct::MinusEq)) => Some(AssignOp::Compound(BinOp::Sub)),
+            Some(TokenKind::Punct(Punct::StarEq)) => Some(AssignOp::Compound(BinOp::Mul)),
+            Some(TokenKind::Punct(Punct::SlashEq)) => Some(AssignOp::Compound(BinOp::Div)),
+            Some(TokenKind::Punct(Punct::PercentEq)) => Some(AssignOp::Compound(BinOp::Rem)),
+            Some(TokenKind::Punct(Punct::AmpEq)) => Some(AssignOp::Compound(BinOp::BitAnd)),
+            Some(TokenKind::Punct(Punct::PipeEq)) => Some(AssignOp::Compound(BinOp::BitOr)),
+            Some(TokenKind::Punct(Punct::CaretEq)) => Some(AssignOp::Compound(BinOp::BitXor)),
+            Some(TokenKind::Punct(Punct::ShlEq)) => Some(AssignOp::Compound(BinOp::Shl)),
+            Some(TokenKind::Punct(Punct::ShrEq)) => Some(AssignOp::Compound(BinOp::Shr)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            if !lhs.is_lvalue() {
+                return Err(self.error("left-hand side of assignment is not an lvalue"));
+            }
+            let rhs = self.assign_expr()?;
+            Ok(Expr::Assign(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_e = self.expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_e = self.ternary_expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(then_e), Box::new(else_e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(TokenKind::Punct(p)) => match binop_of_punct(*p) {
+                    Some(pair) => pair,
+                    None => break,
+                },
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek() {
+            Some(TokenKind::Punct(Punct::Minus)) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Some(TokenKind::Punct(Punct::Plus)) => {
+                self.pos += 1;
+                self.unary_expr()
+            }
+            Some(TokenKind::Punct(Punct::Bang)) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            Some(TokenKind::Punct(Punct::Tilde)) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary_expr()?)))
+            }
+            Some(TokenKind::Punct(Punct::Star)) => {
+                self.pos += 1;
+                Ok(Expr::Deref(Box::new(self.unary_expr()?)))
+            }
+            Some(TokenKind::Punct(Punct::Amp)) => {
+                self.pos += 1;
+                Ok(Expr::AddrOf(Box::new(self.unary_expr()?)))
+            }
+            Some(TokenKind::Punct(Punct::PlusPlus)) => {
+                self.pos += 1;
+                let target = self.unary_expr()?;
+                Ok(Expr::IncDec { inc: true, pre: true, target: Box::new(target) })
+            }
+            Some(TokenKind::Punct(Punct::MinusMinus)) => {
+                self.pos += 1;
+                let target = self.unary_expr()?;
+                Ok(Expr::IncDec { inc: false, pre: true, target: Box::new(target) })
+            }
+            // C-style cast: `(` type ... `)` unary
+            Some(TokenKind::Punct(Punct::LParen)) if self.is_cast_start() => {
+                self.pos += 1;
+                let ty = self.parse_ty()?;
+                self.expect_punct(Punct::RParen)?;
+                let operand = self.unary_expr()?;
+                Ok(Expr::Cast(ty, Box::new(operand)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Punct(Punct::LBracket)) => {
+                    self.pos += 1;
+                    let idx = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Some(TokenKind::Punct(Punct::PlusPlus)) => {
+                    self.pos += 1;
+                    e = Expr::IncDec { inc: true, pre: false, target: Box::new(e) };
+                }
+                Some(TokenKind::Punct(Punct::MinusMinus)) => {
+                    self.pos += 1;
+                    e = Expr::IncDec { inc: false, pre: false, target: Box::new(e) };
+                }
+                Some(TokenKind::Punct(Punct::Dot)) => {
+                    return Err(self.error("`.` member access is only valid on builtin variables"));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek().cloned() {
+            Some(TokenKind::IntLit { value, unsigned, long }) => {
+                self.pos += 1;
+                let ty = match (unsigned, long) {
+                    (false, false) => {
+                        if value <= i32::MAX as u64 {
+                            Ty::I32
+                        } else {
+                            Ty::I64
+                        }
+                    }
+                    (true, false) => Ty::U32,
+                    (false, true) => Ty::I64,
+                    (true, true) => Ty::U64,
+                };
+                Ok(Expr::IntLit(value as i64, ty))
+            }
+            Some(TokenKind::FloatLit { value, single }) => {
+                self.pos += 1;
+                Ok(Expr::FloatLit(value, if single { Ty::F32 } else { Ty::F64 }))
+            }
+            Some(TokenKind::Punct(Punct::LParen)) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(name)) => {
+                // Builtin dim3 variables.
+                if let Some(builtin) = self.try_builtin(&name)? {
+                    return Ok(builtin);
+                }
+                if name == "reinterpret_cast" || name == "static_cast" {
+                    self.pos += 1;
+                    self.expect_punct(Punct::Lt)?;
+                    let ty = self.parse_ty()?;
+                    self.expect_punct(Punct::Gt)?;
+                    self.expect_punct(Punct::LParen)?;
+                    let e = self.expr()?;
+                    self.expect_punct(Punct::RParen)?;
+                    return Ok(Expr::Cast(ty, Box::new(e)));
+                }
+                if name == "true" {
+                    self.pos += 1;
+                    return Ok(Expr::IntLit(1, Ty::Bool));
+                }
+                if name == "false" {
+                    self.pos += 1;
+                    return Ok(Expr::IntLit(0, Ty::Bool));
+                }
+                // `float(x)` style functional casts.
+                if let Some(fn_ty) = functional_cast_ty(&name) {
+                    if self.peek_n(1) == Some(&TokenKind::Punct(Punct::LParen)) {
+                        self.pos += 2;
+                        let e = self.expr()?;
+                        self.expect_punct(Punct::RParen)?;
+                        return Ok(Expr::Cast(fn_ty, Box::new(e)));
+                    }
+                }
+                if is_keyword(&name) {
+                    return Err(self.error(format!("unexpected keyword `{name}`")));
+                }
+                self.pos += 1;
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+
+    /// If the current identifier is a builtin dim3 (`threadIdx` etc.), parses
+    /// `name.axis` and returns the builtin expression.
+    fn try_builtin(&mut self, name: &str) -> Result<Option<Expr>, FrontendError> {
+        let ctor: fn(Axis) -> BuiltinVar = match name {
+            "threadIdx" => BuiltinVar::ThreadIdx,
+            "blockIdx" => BuiltinVar::BlockIdx,
+            "blockDim" => BuiltinVar::BlockDim,
+            "gridDim" => BuiltinVar::GridDim,
+            _ => return Ok(None),
+        };
+        self.pos += 1;
+        self.expect_punct(Punct::Dot)?;
+        let axis_name = self.expect_ident()?;
+        let axis = match axis_name.as_str() {
+            "x" => Axis::X,
+            "y" => Axis::Y,
+            "z" => Axis::Z,
+            other => return Err(self.error(format!("unknown dim3 axis `.{other}`"))),
+        };
+        Ok(Some(Expr::Builtin(ctor(axis))))
+    }
+}
+
+/// Maps a punct to its binary operator and precedence (higher binds tighter).
+fn binop_of_punct(p: Punct) -> Option<(BinOp, u8)> {
+    Some(match p {
+        Punct::Star => (BinOp::Mul, 100),
+        Punct::Slash => (BinOp::Div, 100),
+        Punct::Percent => (BinOp::Rem, 100),
+        Punct::Plus => (BinOp::Add, 90),
+        Punct::Minus => (BinOp::Sub, 90),
+        Punct::Shl => (BinOp::Shl, 80),
+        Punct::Shr => (BinOp::Shr, 80),
+        Punct::Lt => (BinOp::Lt, 70),
+        Punct::Le => (BinOp::Le, 70),
+        Punct::Gt => (BinOp::Gt, 70),
+        Punct::Ge => (BinOp::Ge, 70),
+        Punct::EqEq => (BinOp::Eq, 60),
+        Punct::Ne => (BinOp::Ne, 60),
+        Punct::Amp => (BinOp::BitAnd, 50),
+        Punct::Caret => (BinOp::BitXor, 45),
+        Punct::Pipe => (BinOp::BitOr, 40),
+        Punct::AmpAmp => (BinOp::LogAnd, 30),
+        Punct::PipePipe => (BinOp::LogOr, 20),
+        _ => return None,
+    })
+}
+
+fn base_ty_from_words(words: &[String]) -> Option<Ty> {
+    let joined = words.join(" ");
+    Some(match joined.as_str() {
+        "void" => Ty::Void,
+        "bool" => Ty::Bool,
+        "int" | "signed" | "signed int" => Ty::I32,
+        "unsigned" | "unsigned int" => Ty::U32,
+        "long" | "long int" | "long long" | "long long int" => Ty::I64,
+        "unsigned long" | "unsigned long long" | "unsigned long long int" => Ty::U64,
+        "float" => Ty::F32,
+        "double" => Ty::F64,
+        _ => return None,
+    })
+}
+
+fn functional_cast_ty(name: &str) -> Option<Ty> {
+    Some(match name {
+        "float" => Ty::F32,
+        "double" => Ty::F64,
+        "int" => Ty::I32,
+        "unsigned" => Ty::U32,
+        "bool" => Ty::Bool,
+        _ => return None,
+    })
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "for"
+            | "while"
+            | "do"
+            | "return"
+            | "break"
+            | "continue"
+            | "goto"
+            | "switch"
+            | "case"
+            | "default"
+            | "asm"
+            | "volatile"
+            | "const"
+            | "extern"
+            | "static"
+            | "true"
+            | "false"
+            | "reinterpret_cast"
+            | "static_cast"
+            | "__global__"
+            | "__device__"
+            | "__shared__"
+            | "__forceinline__"
+            | "inline"
+    ) || TYPE_KEYWORDS.contains(&s)
+}
+
+/// Parses a `bar.sync ID, COUNT;` PTX string into a [`Stmt::BarSync`].
+fn parse_bar_sync(text: &str) -> Option<Stmt> {
+    let t = text.trim().trim_end_matches(';').trim();
+    let rest = t.strip_prefix("bar.sync")?.trim();
+    let mut parts = rest.split(',');
+    let id: u32 = parts.next()?.trim().parse().ok()?;
+    let count: u32 = parts.next()?.trim().parse().ok()?;
+    if parts.next().is_some() || id > 15 {
+        return None;
+    }
+    Some(Stmt::BarSync { id, count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_translation_unit;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src).expect("parse_expr")
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(
+            expr("1 + 2 * 3"),
+            Expr::bin(BinOp::Add, Expr::int(1), Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3)))
+        );
+    }
+
+    #[test]
+    fn shift_precedence_below_add() {
+        assert_eq!(
+            expr("1 << 2 + 3"),
+            Expr::bin(BinOp::Shl, Expr::int(1), Expr::bin(BinOp::Add, Expr::int(2), Expr::int(3)))
+        );
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(
+            expr("1 - 2 - 3"),
+            Expr::bin(BinOp::Sub, Expr::bin(BinOp::Sub, Expr::int(1), Expr::int(2)), Expr::int(3))
+        );
+    }
+
+    #[test]
+    fn assignment_right_associative() {
+        let e = expr("a = b = 1");
+        match e {
+            Expr::Assign(AssignOp::Assign, lhs, rhs) => {
+                assert_eq!(*lhs, Expr::ident("a"));
+                assert!(matches!(*rhs, Expr::Assign(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert!(matches!(expr("x += 2"), Expr::Assign(AssignOp::Compound(BinOp::Add), ..)));
+        assert!(matches!(expr("x <<= 1"), Expr::Assign(AssignOp::Compound(BinOp::Shl), ..)));
+    }
+
+    #[test]
+    fn assignment_to_rvalue_rejected() {
+        assert!(parse_expr("1 = 2").is_err());
+    }
+
+    #[test]
+    fn builtin_variables() {
+        assert_eq!(expr("threadIdx.x"), Expr::Builtin(BuiltinVar::ThreadIdx(Axis::X)));
+        assert_eq!(expr("gridDim.y"), Expr::Builtin(BuiltinVar::GridDim(Axis::Y)));
+        assert!(parse_expr("threadIdx.w").is_err());
+    }
+
+    #[test]
+    fn cast_expressions() {
+        assert_eq!(expr("(float)x"), Expr::Cast(Ty::F32, Box::new(Expr::ident("x"))));
+        assert_eq!(
+            expr("(float*)p"),
+            Expr::Cast(Ty::F32.ptr_to(), Box::new(Expr::ident("p")))
+        );
+        assert_eq!(
+            expr("reinterpret_cast<unsigned int*>(p)"),
+            Expr::Cast(Ty::U32.ptr_to(), Box::new(Expr::ident("p")))
+        );
+        assert_eq!(expr("float(0)"), Expr::Cast(Ty::F32, Box::new(Expr::int(0))));
+    }
+
+    #[test]
+    fn ternary_and_comparison() {
+        let e = expr("a < b ? a : b");
+        assert!(matches!(e, Expr::Ternary(..)));
+    }
+
+    #[test]
+    fn call_and_index() {
+        assert_eq!(
+            expr("f(a, 1)[2]"),
+            Expr::Index(
+                Box::new(Expr::Call("f".into(), vec![Expr::ident("a"), Expr::int(1)])),
+                Box::new(Expr::int(2))
+            )
+        );
+    }
+
+    #[test]
+    fn inc_dec_forms() {
+        assert!(matches!(expr("i++"), Expr::IncDec { inc: true, pre: false, .. }));
+        assert!(matches!(expr("--i"), Expr::IncDec { inc: false, pre: true, .. }));
+    }
+
+    #[test]
+    fn addr_of_index() {
+        let e = expr("&smem[bin]");
+        assert!(matches!(e, Expr::AddrOf(_)));
+    }
+
+    fn parse_k(src: &str) -> Function {
+        crate::parse_kernel(src).expect("parse_kernel")
+    }
+
+    #[test]
+    fn parses_simple_kernel() {
+        let f = parse_k(
+            "__global__ void add(float* a, float* b, int n) {\
+               int i = blockIdx.x * blockDim.x + threadIdx.x;\
+               if (i < n) a[i] = a[i] + b[i];\
+             }",
+        );
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 3);
+        assert!(f.is_kernel);
+        assert_eq!(f.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_shared_decls() {
+        let f = parse_k(
+            "__global__ void k(int n) {\
+               __shared__ int buf[2 * 32];\
+               extern __shared__ float dyn[];\
+               buf[0] = n; dyn[0] = 0.0f;\
+             }",
+        );
+        match &f.body.stmts[0] {
+            Stmt::Decl(d) => {
+                assert!(d.quals.shared);
+                assert!(!d.quals.extern_shared);
+                assert!(matches!(d.array_len, Some(ArrayLen::Fixed(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.body.stmts[1] {
+            Stmt::Decl(d) => {
+                assert!(d.quals.shared && d.quals.extern_shared);
+                assert!(matches!(d.array_len, Some(ArrayLen::Unsized)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_declarator() {
+        let f = parse_k("__global__ void k(int n) { int a = 1, b, c = a; }");
+        assert_eq!(f.body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_syncthreads_as_dedicated_stmt() {
+        let f = parse_k("__global__ void k(int n) { __syncthreads(); }");
+        assert_eq!(f.body.stmts[0], Stmt::SyncThreads);
+    }
+
+    #[test]
+    fn parses_bar_sync_asm() {
+        let f = parse_k("__global__ void k(int n) { asm(\"bar.sync 1, 896;\"); }");
+        assert_eq!(f.body.stmts[0], Stmt::BarSync { id: 1, count: 896 });
+    }
+
+    #[test]
+    fn rejects_non_barrier_asm() {
+        assert!(crate::parse_kernel("__global__ void k(int n) { asm(\"mov.u32 r, 0;\"); }").is_err());
+    }
+
+    #[test]
+    fn parses_goto_and_label() {
+        let f = parse_k(
+            "__global__ void k(int n) { if (n < 0) goto end; n = n + 1; end: ; }",
+        );
+        assert!(f.body.stmts.iter().any(|s| matches!(s, Stmt::Label(l) if l == "end")));
+    }
+
+    #[test]
+    fn parses_for_loop_with_decl_init() {
+        let f = parse_k(
+            "__global__ void k(int n) { for (int i = 0; i < n; i += 1) { n = n - 1; } }",
+        );
+        match &f.body.stmts[0] {
+            Stmt::For { init, cond, step, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_while() {
+        let f = parse_k("__global__ void k(int n) { do { n = n - 1; } while (n > 0); }");
+        match &f.body.stmts[0] {
+            Stmt::DoWhile(body, cond) => {
+                assert_eq!(body.stmts.len(), 1);
+                assert!(matches!(cond, Expr::Binary(BinOp::Gt, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_while_requires_trailing_semicolon() {
+        assert!(crate::parse_kernel(
+            "__global__ void k(int n) { do { n = n - 1; } while (n > 0) }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_switch_with_cases_and_default() {
+        let f = parse_k(
+            "__global__ void k(int n) {\
+               switch (n % 3) {\
+                 case 0: n = 10; break;\
+                 case 1: n = 20;\
+                 default: n = 30; break;\
+               }\
+             }",
+        );
+        match &f.body.stmts[0] {
+            Stmt::Switch { cases, .. } => {
+                assert_eq!(cases.len(), 3);
+                assert_eq!(cases[0].value, Some(0));
+                assert_eq!(cases[1].value, Some(1));
+                assert_eq!(cases[2].value, None);
+                assert_eq!(cases[0].body.len(), 2); // assignment + break
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn switch_rejects_duplicate_and_nonconstant_labels() {
+        assert!(crate::parse_kernel(
+            "__global__ void k(int n) { switch (n) { case 1: break; case 1: break; } }"
+        )
+        .is_err());
+        assert!(crate::parse_kernel(
+            "__global__ void k(int n) { switch (n) { case n: break; } }"
+        )
+        .is_err());
+        assert!(crate::parse_kernel(
+            "__global__ void k(int n) { switch (n) { n = 1; } }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_unbraced_bodies() {
+        let f = parse_k("__global__ void k(int n) { if (n) n = 0; else n = 1; while (n) n = n - 1; }");
+        assert_eq!(f.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_device_function() {
+        let tu = parse_translation_unit(
+            "__device__ int sq(int x) { return x * x; } __global__ void k(int n) { n = sq(n); }",
+        )
+        .expect("parse");
+        assert_eq!(tu.functions.len(), 2);
+        assert!(!tu.functions[0].is_kernel);
+        assert!(tu.functions[1].is_kernel);
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let f = parse_k("__global__ void k(int n) { if (n) if (n) n = 1; else n = 2; }");
+        match &f.body.stmts[0] {
+            Stmt::If(_, then_b, None) => match &then_b.stmts[0] {
+                Stmt::If(_, _, Some(_)) => {}
+                other => panic!("inner if lost its else: {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_operator_precedence() {
+        // a || b && c parses as a || (b && c)
+        let e = expr("a || b && c");
+        assert!(matches!(e, Expr::Binary(BinOp::LogOr, _, _)));
+    }
+
+    #[test]
+    fn bitand_below_equality() {
+        // `tid % 32 == 0 & mask` parses as `((tid % 32) == 0) & mask`
+        let e = expr("a == 0 & b");
+        assert!(matches!(e, Expr::Binary(BinOp::BitAnd, _, _)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_translation_unit("__global__ void k(int n) {\n  n = ;\n}").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+    }
+}

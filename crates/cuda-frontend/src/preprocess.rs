@@ -1,0 +1,462 @@
+//! Token-level preprocessing: `#define` macro expansion (object-like and
+//! function-like, with recursive body expansion), `#undef`, and conditional
+//! compilation via `#ifdef` / `#ifndef` / `#else` / `#endif`.
+//! `#include` and other directives are ignored (the benchmark kernels are
+//! self-contained). A recursion-depth limit guards against self-referential
+//! macros.
+
+use std::collections::HashMap;
+
+use crate::error::FrontendError;
+use crate::token::{Punct, Token, TokenKind};
+
+const MAX_EXPANSION_DEPTH: u32 = 64;
+
+#[derive(Debug, Clone)]
+struct Macro {
+    /// `None` for object-like macros; parameter names otherwise.
+    params: Option<Vec<String>>,
+    body: Vec<Token>,
+}
+
+/// Expands `#define` macros in a token stream, removing all directives.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on malformed directives, arity mismatches in
+/// function-like macro calls, or runaway recursive expansion.
+pub fn expand_macros(tokens: Vec<Token>) -> Result<Vec<Token>, FrontendError> {
+    let mut macros: HashMap<String, Macro> = HashMap::new();
+    let mut out = Vec::with_capacity(tokens.len());
+    // Conditional-compilation stack: each frame records whether the current
+    // branch is active and whether any branch of this `#if` chain has
+    // already been taken.
+    let mut conds: Vec<CondFrame> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Hash {
+            i = parse_directive(&tokens, i, &mut macros, &mut conds)?;
+        } else if conds.iter().all(|c| c.active) {
+            let consumed = expand_at(&tokens, i, &macros, &mut out, 0)?;
+            i += consumed;
+        } else {
+            i += 1; // token inside an inactive conditional branch
+        }
+    }
+    if let Some(frame) = conds.last() {
+        return Err(FrontendError::at_line("unterminated #ifdef/#ifndef", frame.line));
+    }
+    Ok(out)
+}
+
+#[derive(Debug)]
+struct CondFrame {
+    active: bool,
+    taken: bool,
+    line: u32,
+}
+
+/// True when any *enclosing* conditional (all frames but the innermost) is
+/// inactive — an `#else` inside an inactive region must stay inactive.
+fn suppressed_above(conds: &[CondFrame]) -> bool {
+    conds[..conds.len().saturating_sub(1)].iter().any(|c| !c.active)
+}
+
+/// Parses one directive starting at the `#` token; returns the index just
+/// past its `DirectiveEnd`.
+fn parse_directive(
+    tokens: &[Token],
+    hash: usize,
+    macros: &mut HashMap<String, Macro>,
+    conds: &mut Vec<CondFrame>,
+) -> Result<usize, FrontendError> {
+    let line = tokens[hash].line;
+    let mut i = hash + 1;
+    let end = tokens[i..]
+        .iter()
+        .position(|t| t.kind == TokenKind::DirectiveEnd)
+        .map(|p| i + p)
+        .ok_or_else(|| FrontendError::at_line("unterminated directive", line))?;
+    let name = match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => s.clone(),
+        _ => return Err(FrontendError::at_line("expected directive name after `#`", line)),
+    };
+    i += 1;
+    let suppressed = !conds.iter().all(|c| c.active);
+    let cond_name = |i: usize| -> Result<String, FrontendError> {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) if i < end => Ok(s.clone()),
+            _ => Err(FrontendError::at_line("expected macro name", line)),
+        }
+    };
+    match name.as_str() {
+        "ifdef" | "ifndef" => {
+            let defined = !suppressed && macros.contains_key(&cond_name(i)?);
+            let active = !suppressed && (defined == (name == "ifdef"));
+            conds.push(CondFrame { active, taken: active, line });
+            return Ok(end + 1);
+        }
+        "else" => {
+            if conds.is_empty() {
+                return Err(FrontendError::at_line("#else without #ifdef", line));
+            }
+            let outer_suppressed = suppressed_above(conds);
+            let frame = conds.last_mut().expect("checked non-empty");
+            frame.active = !frame.taken && !outer_suppressed;
+            if frame.active {
+                frame.taken = true;
+            }
+            return Ok(end + 1);
+        }
+        "endif" => {
+            conds
+                .pop()
+                .ok_or_else(|| FrontendError::at_line("#endif without #ifdef", line))?;
+            return Ok(end + 1);
+        }
+        _ if suppressed => return Ok(end + 1),
+        "undef" => {
+            macros.remove(&cond_name(i)?);
+            return Ok(end + 1);
+        }
+        _ => {}
+    }
+    match name.as_str() {
+        "define" => {
+            let mac_name = match tokens.get(i).map(|t| &t.kind) {
+                Some(TokenKind::Ident(s)) if i < end => s.clone(),
+                _ => return Err(FrontendError::at_line("expected macro name", line)),
+            };
+            i += 1;
+            // Function-like only when `(` immediately follows (we do not track
+            // whitespace between tokens, so any `(` right after the name is
+            // treated as a parameter list — sufficient for the dialect).
+            let params = if i < end && tokens[i].kind == TokenKind::Punct(Punct::LParen) {
+                i += 1;
+                let mut params = Vec::new();
+                if i < end && tokens[i].kind != TokenKind::Punct(Punct::RParen) {
+                    loop {
+                        match tokens.get(i).map(|t| &t.kind) {
+                            Some(TokenKind::Ident(p)) if i < end => params.push(p.clone()),
+                            _ => {
+                                return Err(FrontendError::at_line(
+                                    "expected macro parameter name",
+                                    line,
+                                ))
+                            }
+                        }
+                        i += 1;
+                        match tokens.get(i).map(|t| &t.kind) {
+                            Some(TokenKind::Punct(Punct::Comma)) if i < end => i += 1,
+                            Some(TokenKind::Punct(Punct::RParen)) if i < end => break,
+                            _ => {
+                                return Err(FrontendError::at_line(
+                                    "expected `,` or `)` in macro parameter list",
+                                    line,
+                                ))
+                            }
+                        }
+                    }
+                }
+                i += 1; // consume `)`
+                Some(params)
+            } else {
+                None
+            };
+            let body = tokens[i..end].to_vec();
+            macros.insert(mac_name, Macro { params, body });
+        }
+        // Ignore everything else (#include, #pragma, #ifdef guards, ...).
+        _ => {}
+    }
+    Ok(end + 1)
+}
+
+/// Expands whatever starts at `tokens[i]`, appending to `out`. Returns the
+/// number of *input* tokens consumed.
+fn expand_at(
+    tokens: &[Token],
+    i: usize,
+    macros: &HashMap<String, Macro>,
+    out: &mut Vec<Token>,
+    depth: u32,
+) -> Result<usize, FrontendError> {
+    let tok = &tokens[i];
+    if depth > MAX_EXPANSION_DEPTH {
+        return Err(FrontendError::at_line("macro expansion too deep (recursive macro?)", tok.line));
+    }
+    let name = match tok.kind.as_ident() {
+        Some(n) => n.to_owned(),
+        None => {
+            out.push(tok.clone());
+            return Ok(1);
+        }
+    };
+    let Some(mac) = macros.get(&name) else {
+        out.push(tok.clone());
+        return Ok(1);
+    };
+    match &mac.params {
+        None => {
+            expand_tokens(&mac.body, macros, out, depth + 1)?;
+            Ok(1)
+        }
+        Some(params) => {
+            // Needs a call: `NAME ( args )`. Without one, emit verbatim.
+            if tokens.get(i + 1).map(|t| &t.kind) != Some(&TokenKind::Punct(Punct::LParen)) {
+                out.push(tok.clone());
+                return Ok(1);
+            }
+            let (args, consumed) = collect_args(tokens, i + 1, tok.line)?;
+            if args.len() != params.len() {
+                return Err(FrontendError::at_line(
+                    format!(
+                        "macro `{name}` expects {} arguments, got {}",
+                        params.len(),
+                        args.len()
+                    ),
+                    tok.line,
+                ));
+            }
+            // Pre-expand arguments, then substitute.
+            let mut expanded_args = Vec::with_capacity(args.len());
+            for arg in &args {
+                let mut buf = Vec::new();
+                expand_tokens(arg, macros, &mut buf, depth + 1)?;
+                expanded_args.push(buf);
+            }
+            let mut substituted = Vec::new();
+            for t in &mac.body {
+                if let Some(param_idx) =
+                    t.kind.as_ident().and_then(|id| params.iter().position(|p| p == id))
+                {
+                    substituted.extend(expanded_args[param_idx].iter().cloned());
+                } else {
+                    substituted.push(t.clone());
+                }
+            }
+            expand_tokens(&substituted, macros, out, depth + 1)?;
+            Ok(1 + consumed)
+        }
+    }
+}
+
+/// Expands a complete token slice into `out`.
+fn expand_tokens(
+    tokens: &[Token],
+    macros: &HashMap<String, Macro>,
+    out: &mut Vec<Token>,
+    depth: u32,
+) -> Result<(), FrontendError> {
+    let mut i = 0;
+    while i < tokens.len() {
+        i += expand_at(tokens, i, macros, out, depth)?;
+    }
+    Ok(())
+}
+
+/// Collects macro call arguments starting at the `(` token. Returns the
+/// argument token slices and the number of tokens consumed (including both
+/// parentheses).
+fn collect_args(
+    tokens: &[Token],
+    lparen: usize,
+    line: u32,
+) -> Result<(Vec<Vec<Token>>, usize), FrontendError> {
+    debug_assert_eq!(tokens[lparen].kind, TokenKind::Punct(Punct::LParen));
+    let mut args: Vec<Vec<Token>> = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    let mut depth = 1u32;
+    let mut i = lparen + 1;
+    loop {
+        let Some(t) = tokens.get(i) else {
+            return Err(FrontendError::at_line("unterminated macro call", line));
+        };
+        match &t.kind {
+            TokenKind::Punct(Punct::LParen) => {
+                depth += 1;
+                current.push(t.clone());
+            }
+            TokenKind::Punct(Punct::RParen) => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() || !args.is_empty() {
+                        args.push(current);
+                    }
+                    return Ok((args, i - lparen + 1));
+                }
+                current.push(t.clone());
+            }
+            TokenKind::Punct(Punct::Comma) if depth == 1 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(t.clone()),
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn expand(src: &str) -> Vec<String> {
+        expand_macros(lex(src).expect("lex"))
+            .expect("expand")
+            .into_iter()
+            .map(|t| t.kind.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn object_macro() {
+        assert_eq!(expand("#define N 32\nx = N;"), vec!["x", "=", "32", ";"]);
+    }
+
+    #[test]
+    fn object_macro_referencing_macro() {
+        assert_eq!(expand("#define A 1\n#define B A + A\nB"), vec!["1", "+", "1"]);
+    }
+
+    #[test]
+    fn function_macro() {
+        assert_eq!(expand("#define SQ(x) x * x\nSQ(3)"), vec!["3", "*", "3"]);
+    }
+
+    #[test]
+    fn function_macro_with_nested_parens_in_arg() {
+        assert_eq!(expand("#define ID(x) x\nID(f(a, b))"), vec!["f", "(", "a", ",", "b", ")"]);
+    }
+
+    #[test]
+    fn function_macro_multiple_params() {
+        assert_eq!(
+            expand("#define ADD(a, b) a + b\nADD(1, 2 * 3)"),
+            vec!["1", "+", "2", "*", "3"]
+        );
+    }
+
+    #[test]
+    fn function_macro_without_call_is_verbatim() {
+        assert_eq!(expand("#define F(x) x\nF ;"), vec!["F", ";"]);
+    }
+
+    #[test]
+    fn recursive_macro_detected() {
+        let toks = lex("#define A A\nA").expect("lex");
+        assert!(expand_macros(toks).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let toks = lex("#define F(a, b) a\nF(1)").expect("lex");
+        assert!(expand_macros(toks).is_err());
+    }
+
+    #[test]
+    fn include_is_ignored() {
+        assert_eq!(expand("#include \"foo.h\"\nx"), vec!["x"]);
+    }
+
+    #[test]
+    fn ifdef_selects_defined_branch() {
+        assert_eq!(
+            expand("#define FAST 1
+#ifdef FAST
+a
+#else
+b
+#endif
+c"),
+            vec!["a", "c"]
+        );
+        assert_eq!(expand("#ifdef FAST
+a
+#else
+b
+#endif
+c"), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn ifndef_is_the_complement() {
+        assert_eq!(expand("#ifndef FAST
+a
+#endif"), vec!["a"]);
+        assert_eq!(expand("#define FAST 1
+#ifndef FAST
+a
+#endif
+b"), vec!["b"]);
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let src = "#define A 1
+                   #ifdef A
+#ifdef B
+x
+#else
+y
+#endif
+#endif
+z";
+        assert_eq!(expand(src), vec!["y", "z"]);
+        // Inner branches of an inactive outer region stay inactive.
+        let src = "#ifdef A
+#ifndef B
+x
+#else
+y
+#endif
+#endif
+z";
+        assert_eq!(expand(src), vec!["z"]);
+    }
+
+    #[test]
+    fn defines_inside_inactive_branch_are_skipped() {
+        assert_eq!(
+            expand("#ifdef MISSING
+#define N 9
+#endif
+N"),
+            vec!["N"],
+            "N must stay an identifier, not expand to 9"
+        );
+    }
+
+    #[test]
+    fn undef_removes_macro() {
+        assert_eq!(expand("#define N 4
+#undef N
+N"), vec!["N"]);
+    }
+
+    #[test]
+    fn unterminated_ifdef_is_error() {
+        let toks = lex("#ifdef A
+x").expect("lex");
+        assert!(expand_macros(toks).is_err());
+    }
+
+    #[test]
+    fn stray_else_and_endif_are_errors() {
+        assert!(expand_macros(lex("#else
+").expect("lex")).is_err());
+        assert!(expand_macros(lex("#endif
+").expect("lex")).is_err());
+    }
+
+    #[test]
+    fn for_kernel_loop_macro() {
+        // The pattern the histogram kernel uses.
+        let got = expand(
+            "#define FOR_KERNEL_LOOP(i, n) for (int i = blockIdx.x * blockDim.x + threadIdx.x; \\\n i < n; i += gridDim.x * blockDim.x)\nFOR_KERNEL_LOOP(li, total) { }",
+        );
+        assert_eq!(got[0], "for");
+        assert!(got.contains(&"li".to_owned()));
+        assert!(got.contains(&"total".to_owned()));
+    }
+}

@@ -1,0 +1,486 @@
+//! Pretty-printer emitting CUDA source from the AST.
+//!
+//! Output is valid input for [`crate::parser`], enabling round-trip tests,
+//! and is formatted the way `HFuse` presents fused kernels in the paper:
+//! partial barriers print as inline PTX `asm("bar.sync id, count;")`.
+
+use std::fmt::Write as _;
+
+use crate::ast::{
+    ArrayLen, Block, Expr, Function, Stmt, TranslationUnit, Ty, UnOp, VarDecl,
+};
+
+/// Pretty-prints a whole translation unit.
+pub fn print_translation_unit(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for (i, f) in tu.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Pretty-prints a single function definition.
+pub fn print_function(f: &Function) -> String {
+    let mut p = Printer::new();
+    p.function(f);
+    p.out
+}
+
+/// Pretty-prints a statement at top level (no trailing newline trimming).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out
+}
+
+/// Pretty-prints an expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr, 0);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Self { out: String::new(), indent: 0 }
+    }
+
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn function(&mut self, f: &Function) {
+        if f.is_kernel {
+            self.out.push_str("__global__ ");
+        } else {
+            self.out.push_str("__device__ ");
+        }
+        let _ = write!(self.out, "{} {}(", f.ret, f.name);
+        for (i, param) in f.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let _ = write!(self.out, "{} {}", param.ty, param.name);
+        }
+        self.out.push_str(") ");
+        self.block(&f.body);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.out.push_str("{\n");
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Label(name) => {
+                // Labels print at reduced indent, followed by an empty
+                // statement so a label can legally end a block.
+                let _ = writeln!(self.out, "{name}: ;");
+                return;
+            }
+            _ => self.line_start(),
+        }
+        match s {
+            Stmt::Decl(d) => {
+                self.decl(d);
+                self.out.push_str(";\n");
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                self.out.push_str("if (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.block(then_b);
+                if let Some(else_b) = else_b {
+                    self.out.push_str(" else ");
+                    self.block(else_b);
+                }
+                self.out.push('\n');
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.out.push_str("for (");
+                match init.as_deref() {
+                    Some(Stmt::Decl(d)) => self.decl(d),
+                    Some(Stmt::Expr(e)) => self.expr(e, 0),
+                    Some(other) => panic!("invalid for-init statement {other:?}"),
+                    None => {}
+                }
+                self.out.push_str("; ");
+                if let Some(c) = cond {
+                    self.expr(c, 0);
+                }
+                self.out.push_str("; ");
+                if let Some(st) = step {
+                    self.expr(st, 0);
+                }
+                self.out.push_str(") ");
+                self.block(body);
+                self.out.push('\n');
+            }
+            Stmt::While(cond, body) => {
+                self.out.push_str("while (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.block(body);
+                self.out.push('\n');
+            }
+            Stmt::DoWhile(body, cond) => {
+                self.out.push_str("do ");
+                self.block(body);
+                self.out.push_str(" while (");
+                self.expr(cond, 0);
+                self.out.push_str(");\n");
+            }
+            Stmt::Switch { scrutinee, cases } => {
+                self.out.push_str("switch (");
+                self.expr(scrutinee, 0);
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                for case in cases {
+                    self.line_start();
+                    match case.value {
+                        Some(v) => {
+                            let _ = write!(self.out, "case {v}:\n");
+                        }
+                        None => self.out.push_str("default:\n"),
+                    }
+                    self.indent += 1;
+                    for s in &case.body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line_start();
+                self.out.push_str("}\n");
+            }
+            Stmt::Return(e) => {
+                self.out.push_str("return");
+                if let Some(e) = e {
+                    self.out.push(' ');
+                    self.expr(e, 0);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Break => self.out.push_str("break;\n"),
+            Stmt::Continue => self.out.push_str("continue;\n"),
+            Stmt::Block(b) => {
+                self.block(b);
+                self.out.push('\n');
+            }
+            Stmt::SyncThreads => self.out.push_str("__syncthreads();\n"),
+            Stmt::BarSync { id, count } => {
+                let _ = writeln!(self.out, "asm(\"bar.sync {id}, {count};\");");
+            }
+            Stmt::Goto(label) => {
+                let _ = writeln!(self.out, "goto {label};");
+            }
+            Stmt::Label(_) => unreachable!("handled above"),
+        }
+    }
+
+    fn decl(&mut self, d: &VarDecl) {
+        if d.quals.extern_shared {
+            self.out.push_str("extern ");
+        }
+        if d.quals.shared {
+            self.out.push_str("__shared__ ");
+        }
+        let _ = write!(self.out, "{} {}", d.ty, d.name);
+        match &d.array_len {
+            Some(ArrayLen::Fixed(len)) => {
+                self.out.push('[');
+                self.expr(len, 0);
+                self.out.push(']');
+            }
+            Some(ArrayLen::Unsized) => self.out.push_str("[]"),
+            None => {}
+        }
+        if let Some(init) = &d.init {
+            self.out.push_str(" = ");
+            self.expr(init, 0);
+        }
+    }
+
+    /// Prints `e`; parenthesizes when the expression's precedence is below
+    /// `min_prec` (the binding strength required by the context).
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let prec = expr_prec(e);
+        let parens = prec < min_prec;
+        if parens {
+            self.out.push('(');
+        }
+        match e {
+            Expr::IntLit(v, ty) => {
+                let _ = write!(self.out, "{v}");
+                match ty {
+                    Ty::U32 => self.out.push('u'),
+                    Ty::I64 => self.out.push_str("ll"),
+                    Ty::U64 => self.out.push_str("ull"),
+                    _ => {}
+                }
+            }
+            Expr::FloatLit(v, ty) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(self.out, "{v:.1}");
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+                if *ty == Ty::F32 {
+                    self.out.push('f');
+                }
+            }
+            Expr::Ident(name) => self.out.push_str(name),
+            Expr::Builtin(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            Expr::Unary(op, inner) => {
+                self.out.push(match op {
+                    UnOp::Neg => '-',
+                    UnOp::Not => '!',
+                    UnOp::BitNot => '~',
+                });
+                // `-(-x)` must not print as `--x` (decrement).
+                let clash = *op == UnOp::Neg
+                    && matches!(
+                        inner.as_ref(),
+                        Expr::Unary(UnOp::Neg, _) | Expr::IncDec { inc: false, pre: true, .. }
+                    );
+                self.expr(inner, if clash { POSTFIX_PREC + 1 } else { UNARY_PREC });
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let op_prec = binop_prec(*op);
+                self.expr(lhs, op_prec);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(rhs, op_prec + 1);
+            }
+            Expr::Assign(op, lhs, rhs) => {
+                self.expr(lhs, UNARY_PREC);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(rhs, ASSIGN_PREC);
+            }
+            Expr::IncDec { inc, pre, target } => {
+                let sym = if *inc { "++" } else { "--" };
+                if *pre {
+                    self.out.push_str(sym);
+                    self.expr(target, UNARY_PREC);
+                } else {
+                    self.expr(target, POSTFIX_PREC);
+                    self.out.push_str(sym);
+                }
+            }
+            Expr::Ternary(c, t, f) => {
+                self.expr(c, TERNARY_PREC + 1);
+                self.out.push_str(" ? ");
+                self.expr(t, 0);
+                self.out.push_str(" : ");
+                self.expr(f, TERNARY_PREC);
+            }
+            Expr::Call(name, args) => {
+                self.out.push_str(name);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, ASSIGN_PREC);
+                }
+                self.out.push(')');
+            }
+            Expr::Index(base, idx) => {
+                self.expr(base, POSTFIX_PREC);
+                self.out.push('[');
+                self.expr(idx, 0);
+                self.out.push(']');
+            }
+            Expr::Cast(ty, inner) => {
+                let _ = write!(self.out, "({ty})");
+                self.expr(inner, UNARY_PREC);
+            }
+            Expr::AddrOf(inner) => {
+                self.out.push('&');
+                self.expr(inner, UNARY_PREC);
+            }
+            Expr::Deref(inner) => {
+                self.out.push('*');
+                self.expr(inner, UNARY_PREC);
+            }
+        }
+        if parens {
+            self.out.push(')');
+        }
+    }
+}
+
+const TERNARY_PREC: u8 = 10;
+const ASSIGN_PREC: u8 = 5;
+const UNARY_PREC: u8 = 110;
+const POSTFIX_PREC: u8 = 120;
+
+fn binop_prec(op: crate::ast::BinOp) -> u8 {
+    use crate::ast::BinOp::*;
+    match op {
+        Mul | Div | Rem => 100,
+        Add | Sub => 90,
+        Shl | Shr => 80,
+        Lt | Le | Gt | Ge => 70,
+        Eq | Ne => 60,
+        BitAnd => 50,
+        BitXor => 45,
+        BitOr => 40,
+        LogAnd => 30,
+        LogOr => 20,
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary(op, ..) => binop_prec(*op),
+        Expr::Assign(..) => ASSIGN_PREC,
+        Expr::Ternary(..) => TERNARY_PREC,
+        Expr::Unary(..) | Expr::Cast(..) | Expr::AddrOf(_) | Expr::Deref(_) => UNARY_PREC,
+        Expr::IncDec { pre, .. } => {
+            if *pre {
+                UNARY_PREC
+            } else {
+                POSTFIX_PREC
+            }
+        }
+        _ => u8::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::{parse_kernel, parse_translation_unit};
+
+    fn round_trip_expr(src: &str) -> String {
+        print_expr(&parse_expr(src).expect("parse"))
+    }
+
+    #[test]
+    fn prints_precedence_parens_only_when_needed() {
+        assert_eq!(round_trip_expr("1 + 2 * 3"), "1 + 2 * 3");
+        assert_eq!(round_trip_expr("(1 + 2) * 3"), "(1 + 2) * 3");
+        assert_eq!(round_trip_expr("1 - (2 - 3)"), "1 - (2 - 3)");
+        assert_eq!(round_trip_expr("1 - 2 - 3"), "1 - 2 - 3");
+    }
+
+    #[test]
+    fn prints_shift_in_additive_context() {
+        assert_eq!(round_trip_expr("(1 << i) + 2"), "(1 << i) + 2");
+        assert_eq!(round_trip_expr("1 << i + 2"), "1 << i + 2");
+    }
+
+    #[test]
+    fn prints_literal_suffixes() {
+        assert_eq!(round_trip_expr("1u"), "1u");
+        assert_eq!(round_trip_expr("2ull"), "2ull");
+        assert_eq!(round_trip_expr("1.5f"), "1.5f");
+        assert_eq!(round_trip_expr("2.0"), "2.0");
+    }
+
+    #[test]
+    fn prints_casts_and_calls() {
+        assert_eq!(round_trip_expr("(float)x"), "(float)x");
+        assert_eq!(round_trip_expr("(unsigned int*)p"), "(unsigned int*)p");
+        assert_eq!(round_trip_expr("f(a, b + 1)"), "f(a, b + 1)");
+    }
+
+    #[test]
+    fn parse_print_parse_is_identity_on_kernel() {
+        let src = "__global__ void k(float* a, int n) {\
+                     __shared__ float s[64];\
+                     int i = blockIdx.x * blockDim.x + threadIdx.x;\
+                     for (int j = 0; j < n; j++) { s[threadIdx.x] += a[j]; }\
+                     __syncthreads();\
+                     asm(\"bar.sync 1, 128;\");\
+                     if (i < n) { a[i] = s[threadIdx.x]; } else { a[i] = 0.0f; }\
+                   }";
+        let k1 = parse_kernel(src).expect("first parse");
+        let printed = print_function(&k1);
+        let k2 = parse_kernel(&printed).expect("reparse printed output");
+        assert_eq!(k1, k2, "printed form must reparse to the same AST");
+    }
+
+    #[test]
+    fn prints_goto_form() {
+        let src = "__global__ void k(int n) { if (n < 0) goto end; n = 0; end: ; }";
+        let k = parse_kernel(src).expect("parse");
+        let printed = print_function(&k);
+        assert!(printed.contains("goto end;"));
+        assert!(printed.contains("end: ;"));
+        let k2 = parse_kernel(&printed).expect("reparse");
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn do_while_round_trips() {
+        let src = "__global__ void k(int n) { do { n = n - 1; } while (n > 0); }";
+        let k1 = parse_kernel(src).expect("parse");
+        let printed = print_function(&k1);
+        assert!(printed.contains("do {"), "{printed}");
+        assert!(printed.contains("} while (n > 0);"), "{printed}");
+        assert_eq!(parse_kernel(&printed).expect("reparse"), k1);
+    }
+
+    #[test]
+    fn switch_round_trips() {
+        let src = "__global__ void k(int n) {\
+                     switch (n & 3) { case 0: n = 1; break; case 2: n = 2; default: n = 3; }\
+                   }";
+        let k1 = parse_kernel(src).expect("parse");
+        let printed = print_function(&k1);
+        assert!(printed.contains("switch (n & 3) {"), "{printed}");
+        assert!(printed.contains("case 2:"), "{printed}");
+        assert!(printed.contains("default:"), "{printed}");
+        assert_eq!(parse_kernel(&printed).expect("reparse"), k1);
+    }
+
+    #[test]
+    fn prints_translation_unit() {
+        let src = "__device__ int sq(int x) { return x * x; }\n__global__ void k(int n) { n = sq(n); }\n";
+        let tu = parse_translation_unit(src).expect("parse");
+        let printed = print_translation_unit(&tu);
+        let tu2 = parse_translation_unit(&printed).expect("reparse");
+        assert_eq!(tu, tu2);
+    }
+
+    #[test]
+    fn prints_ternary_nested() {
+        assert_eq!(round_trip_expr("a ? b : c ? d : e"), "a ? b : c ? d : e");
+        assert_eq!(round_trip_expr("(a ? b : c) ? d : e"), "(a ? b : c) ? d : e");
+    }
+
+    #[test]
+    fn negation_of_negation_does_not_print_decrement() {
+        let printed = round_trip_expr("-(-x)");
+        assert_eq!(printed, "-(-x)");
+        // And the printed form parses back to the same AST.
+        let reparsed = parse_expr(&printed).expect("reparse");
+        assert_eq!(reparsed, parse_expr("-(-x)").expect("parse"));
+    }
+}

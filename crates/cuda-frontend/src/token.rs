@@ -1,0 +1,197 @@
+//! Token definitions shared by the lexer, preprocessor, and parser.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// Creates a token at the given line.
+    pub fn new(kind: TokenKind, line: u32) -> Self {
+        Self { kind, line }
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal with its suffix-derived signedness/width hints.
+    IntLit {
+        /// The literal's magnitude.
+        value: u64,
+        /// `u`/`U` suffix present.
+        unsigned: bool,
+        /// `l`/`ll` suffix present.
+        long: bool,
+    },
+    /// Floating literal; `single` is true for an `f`/`F` suffix.
+    FloatLit {
+        /// The literal's value.
+        value: f64,
+        /// `f`/`F` suffix present (32-bit float).
+        single: bool,
+    },
+    /// String literal contents (used by `asm("...")`).
+    StrLit(String),
+    /// Punctuation or operator, e.g. `+`, `<<=`, `(`.
+    Punct(Punct),
+    /// A `#` directive introducer at the start of a line (`#define`, ...).
+    Hash,
+    /// Explicit newline marker; only emitted while a `#` directive is open so
+    /// the preprocessor can find the end of the directive.
+    DirectiveEnd,
+}
+
+impl TokenKind {
+    /// Returns the identifier text when this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants mirror the C operators they name
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Colon => ":",
+            Punct::Question => "?",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Bang => "!",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::AmpAmp => "&&",
+            Punct::PipePipe => "||",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Assign => "=",
+            Punct::PlusEq => "+=",
+            Punct::MinusEq => "-=",
+            Punct::StarEq => "*=",
+            Punct::SlashEq => "/=",
+            Punct::PercentEq => "%=",
+            Punct::AmpEq => "&=",
+            Punct::PipeEq => "|=",
+            Punct::CaretEq => "^=",
+            Punct::ShlEq => "<<=",
+            Punct::ShrEq => ">>=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => f.write_str(s),
+            TokenKind::IntLit { value, .. } => write!(f, "{value}"),
+            TokenKind::FloatLit { value, .. } => write!(f, "{value}"),
+            TokenKind::StrLit(s) => write!(f, "{s:?}"),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Hash => f.write_str("#"),
+            TokenKind::DirectiveEnd => f.write_str("<eol>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punct_display_round_trips_compound_ops() {
+        assert_eq!(Punct::ShlEq.to_string(), "<<=");
+        assert_eq!(Punct::Arrow.to_string(), "->");
+        assert_eq!(Punct::PlusPlus.to_string(), "++");
+    }
+
+    #[test]
+    fn as_ident_only_matches_identifiers() {
+        assert_eq!(TokenKind::Ident("x".into()).as_ident(), Some("x"));
+        assert_eq!(TokenKind::Hash.as_ident(), None);
+    }
+}

@@ -1,0 +1,414 @@
+//! `__device__` function inlining.
+//!
+//! The paper inlines all function calls before fusing (Section III-C). The
+//! inliner supports non-recursive callees whose body either returns `void`
+//! (no `return` statements) or ends in a single trailing `return expr;`.
+//! Call sites may appear anywhere inside statement expressions except loop
+//! conditions/steps (where hoisting would change evaluation frequency).
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Expr, Function, Stmt, Ty, VarDecl};
+use crate::error::FrontendError;
+use crate::transform::rename::{uniquify, NameGen};
+use crate::typeck::Intrinsic;
+
+const MAX_INLINE_DEPTH: u32 = 32;
+
+/// Inlines every call to one of `helpers` inside `kernel`.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] for (mutually) recursive callees — the paper
+/// explicitly leaves recursion unsupported — for unsupported callee shapes,
+/// and for calls in positions that cannot be hoisted (loop conditions).
+pub fn inline_calls(kernel: &mut Function, helpers: &[Function]) -> Result<(), FrontendError> {
+    let by_name: HashMap<&str, &Function> =
+        helpers.iter().map(|f| (f.name.as_str(), f)).collect();
+    let mut names = NameGen::new();
+    let body = std::mem::take(&mut kernel.body);
+    kernel.body = inline_block(body, &by_name, &mut names, 0)?;
+    Ok(())
+}
+
+fn inline_block(
+    block: Block,
+    helpers: &HashMap<&str, &Function>,
+    names: &mut NameGen,
+    depth: u32,
+) -> Result<Block, FrontendError> {
+    let mut out: Vec<Stmt> = Vec::with_capacity(block.stmts.len());
+    for stmt in block.stmts {
+        inline_stmt(stmt, helpers, names, depth, &mut out)?;
+    }
+    Ok(Block { stmts: out })
+}
+
+fn inline_stmt(
+    stmt: Stmt,
+    helpers: &HashMap<&str, &Function>,
+    names: &mut NameGen,
+    depth: u32,
+    out: &mut Vec<Stmt>,
+) -> Result<(), FrontendError> {
+    match stmt {
+        Stmt::Expr(mut e) => {
+            hoist_calls_in_expr(&mut e, helpers, names, depth, out)?;
+            out.push(Stmt::Expr(e));
+        }
+        Stmt::Decl(mut d) => {
+            if let Some(init) = &mut d.init {
+                hoist_calls_in_expr(init, helpers, names, depth, out)?;
+            }
+            out.push(Stmt::Decl(d));
+        }
+        Stmt::If(mut c, t, e) => {
+            hoist_calls_in_expr(&mut c, helpers, names, depth, out)?;
+            let t = inline_block(t, helpers, names, depth)?;
+            let e = e.map(|b| inline_block(b, helpers, names, depth)).transpose()?;
+            out.push(Stmt::If(c, t, e));
+        }
+        Stmt::For { init, mut cond, mut step, body } => {
+            let init = match init {
+                Some(s) => {
+                    let mut pre = Vec::new();
+                    inline_stmt(*s, helpers, names, depth, &mut pre)?;
+                    // If hoisting produced extra statements, emit them before
+                    // the loop and keep the last as the init.
+                    let last = pre.pop();
+                    out.extend(pre);
+                    last.map(Box::new)
+                }
+                None => None,
+            };
+            if let Some(c) = &mut cond {
+                reject_calls(c, helpers, "loop condition")?;
+            }
+            if let Some(s) = &mut step {
+                reject_calls(s, helpers, "loop step")?;
+            }
+            let body = inline_block(body, helpers, names, depth)?;
+            out.push(Stmt::For { init, cond, step, body });
+        }
+        Stmt::While(mut c, body) => {
+            reject_calls(&mut c, helpers, "loop condition")?;
+            let body = inline_block(body, helpers, names, depth)?;
+            out.push(Stmt::While(c, body));
+        }
+        Stmt::DoWhile(body, mut c) => {
+            reject_calls(&mut c, helpers, "loop condition")?;
+            let body = inline_block(body, helpers, names, depth)?;
+            out.push(Stmt::DoWhile(body, c));
+        }
+        Stmt::Return(Some(mut e)) => {
+            hoist_calls_in_expr(&mut e, helpers, names, depth, out)?;
+            out.push(Stmt::Return(Some(e)));
+        }
+        Stmt::Block(b) => {
+            let b = inline_block(b, helpers, names, depth)?;
+            out.push(Stmt::Block(b));
+        }
+        Stmt::Switch { mut scrutinee, cases } => {
+            hoist_calls_in_expr(&mut scrutinee, helpers, names, depth, out)?;
+            let mut new_cases = Vec::with_capacity(cases.len());
+            for case in cases {
+                let body = inline_block(
+                    crate::ast::Block::new(case.body),
+                    helpers,
+                    names,
+                    depth,
+                )?;
+                new_cases.push(crate::ast::SwitchCase { value: case.value, body: body.stmts });
+            }
+            out.push(Stmt::Switch { scrutinee, cases: new_cases });
+        }
+        other => out.push(other),
+    }
+    Ok(())
+}
+
+fn reject_calls(
+    e: &mut Expr,
+    helpers: &HashMap<&str, &Function>,
+    position: &str,
+) -> Result<(), FrontendError> {
+    let mut bad: Option<String> = None;
+    crate::transform::visit::walk_expr(e, &mut |e| {
+        if let Expr::Call(name, _) = e {
+            if helpers.contains_key(name.as_str()) && bad.is_none() {
+                bad = Some(name.clone());
+            }
+        }
+    });
+    match bad {
+        Some(name) => Err(FrontendError::new(format!(
+            "cannot inline call to `{name}` inside a {position}"
+        ))),
+        None => Ok(()),
+    }
+}
+
+/// Replaces device-function calls inside `e` with fresh temporaries, pushing
+/// the inlined bodies onto `out` before the statement that contains `e`.
+fn hoist_calls_in_expr(
+    e: &mut Expr,
+    helpers: &HashMap<&str, &Function>,
+    names: &mut NameGen,
+    depth: u32,
+    out: &mut Vec<Stmt>,
+) -> Result<(), FrontendError> {
+    if depth > MAX_INLINE_DEPTH {
+        return Err(FrontendError::new(
+            "inlining too deep: recursive __device__ functions are not supported",
+        ));
+    }
+    // Recurse into children first so nested calls `f(g(x))` hoist `g` before
+    // `f`'s body (which then consumes the temporary).
+    match e {
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Ident(_) | Expr::Builtin(_) => {}
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => {
+            hoist_calls_in_expr(a, helpers, names, depth, out)?
+        }
+        Expr::IncDec { target, .. } => hoist_calls_in_expr(target, helpers, names, depth, out)?,
+        Expr::Binary(op, a, b) => {
+            if op.is_logical() {
+                // The right operand of `&&`/`||` is conditionally evaluated;
+                // hoisting would force it. Reject device calls there.
+                hoist_calls_in_expr(a, helpers, names, depth, out)?;
+                reject_calls(b, helpers, "short-circuit operand")?;
+            } else {
+                hoist_calls_in_expr(a, helpers, names, depth, out)?;
+                hoist_calls_in_expr(b, helpers, names, depth, out)?;
+            }
+        }
+        Expr::Assign(_, a, b) => {
+            hoist_calls_in_expr(a, helpers, names, depth, out)?;
+            hoist_calls_in_expr(b, helpers, names, depth, out)?;
+        }
+        Expr::Index(a, b) => {
+            hoist_calls_in_expr(a, helpers, names, depth, out)?;
+            hoist_calls_in_expr(b, helpers, names, depth, out)?;
+        }
+        Expr::Ternary(c, t, f) => {
+            hoist_calls_in_expr(c, helpers, names, depth, out)?;
+            reject_calls(t, helpers, "ternary arm")?;
+            reject_calls(f, helpers, "ternary arm")?;
+        }
+        Expr::Call(_, args) => {
+            for a in args.iter_mut() {
+                hoist_calls_in_expr(a, helpers, names, depth, out)?;
+            }
+        }
+    }
+    // Now handle this node if it is itself a device call.
+    let (name, args) = match e {
+        Expr::Call(name, args) => (name.clone(), args.clone()),
+        _ => return Ok(()),
+    };
+    if Intrinsic::lookup(&name, args.len()).is_some() {
+        return Ok(());
+    }
+    let Some(callee) = helpers.get(name.as_str()).copied() else {
+        return Ok(()); // unknown calls are left for typeck to reject later
+    };
+    if callee.params.len() != args.len() {
+        return Err(FrontendError::new(format!(
+            "call to `{name}` passes {} args, expected {}",
+            args.len(),
+            callee.params.len()
+        )));
+    }
+
+    // Clone and freshen the callee.
+    let mut body_fn = callee.clone();
+    uniquify(&mut body_fn, names);
+
+    // Bind arguments to the (renamed) parameters.
+    let mut binds: Vec<Stmt> = Vec::new();
+    for (param, arg) in body_fn.params.iter().zip(args) {
+        binds.push(Stmt::Decl(VarDecl {
+            name: param.name.clone(),
+            ty: param.ty.clone(),
+            quals: Default::default(),
+            array_len: None,
+            init: Some(arg),
+        }));
+    }
+
+    // Split off the trailing return, if any.
+    let mut stmts = body_fn.body.stmts;
+    let has_other_returns =
+        |ss: &mut [Stmt]| {
+            let mut found = false;
+            let mut block = Block { stmts: ss.to_vec() };
+            crate::transform::visit::walk_stmts(&mut block, &mut |s| {
+                if matches!(s, Stmt::Return(_)) {
+                    found = true;
+                }
+            });
+            found
+        };
+    let result_expr = match stmts.last() {
+        Some(Stmt::Return(Some(_))) => match stmts.pop() {
+            Some(Stmt::Return(Some(expr))) => Some(expr),
+            _ => unreachable!("just matched"),
+        },
+        Some(Stmt::Return(None)) => {
+            stmts.pop();
+            None
+        }
+        _ => None,
+    };
+    if has_other_returns(&mut stmts) {
+        return Err(FrontendError::new(format!(
+            "cannot inline `{name}`: only a single trailing return is supported"
+        )));
+    }
+    if callee.ret != Ty::Void && result_expr.is_none() {
+        return Err(FrontendError::new(format!(
+            "cannot inline `{name}`: non-void callee must end in `return expr;`"
+        )));
+    }
+
+    // Recursively inline calls inside the inlined body. The body statements
+    // are spliced directly into the caller (names are already unique), so
+    // the return expression keeps access to the body's locals.
+    let inlined_body = inline_block(Block { stmts }, helpers, names, depth + 1)?;
+
+    out.extend(binds);
+    out.extend(inlined_body.stmts);
+    match result_expr {
+        Some(mut ret) => {
+            hoist_calls_in_expr(&mut ret, helpers, names, depth + 1, out)?;
+            let tmp = names.fresh(&format!("__inl_{name}"));
+            out.push(Stmt::Decl(VarDecl {
+                name: tmp.clone(),
+                ty: callee.ret.clone(),
+                quals: Default::default(),
+                array_len: None,
+                init: Some(ret),
+            }));
+            *e = Expr::Ident(tmp);
+        }
+        None => {
+            // A void call used as a statement: the containing Stmt::Expr
+            // becomes a no-op constant.
+            *e = Expr::int(0);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_translation_unit;
+    use crate::printer::print_function;
+
+    fn inline_first_kernel(src: &str) -> Result<Function, FrontendError> {
+        let tu = parse_translation_unit(src)?;
+        let helpers: Vec<Function> =
+            tu.functions.iter().filter(|f| !f.is_kernel).cloned().collect();
+        let mut kernel =
+            tu.functions.iter().find(|f| f.is_kernel).expect("kernel present").clone();
+        inline_calls(&mut kernel, &helpers)?;
+        Ok(kernel)
+    }
+
+    #[test]
+    fn inlines_simple_call() {
+        let k = inline_first_kernel(
+            "__device__ int sq(int x) { return x * x; }\
+             __global__ void k(int n) { n = sq(n) + 1; }",
+        )
+        .expect("inline");
+        let out = print_function(&k);
+        assert!(!out.contains("sq("), "call must be gone: {out}");
+        assert!(out.contains("* "), "body must be inlined: {out}");
+    }
+
+    #[test]
+    fn inlines_nested_calls() {
+        let k = inline_first_kernel(
+            "__device__ int sq(int x) { return x * x; }\
+             __global__ void k(int n) { n = sq(sq(n)); }",
+        )
+        .expect("inline");
+        let out = print_function(&k);
+        assert!(!out.contains("sq("), "{out}");
+    }
+
+    #[test]
+    fn inlines_callee_calling_helper() {
+        let k = inline_first_kernel(
+            "__device__ int dbl(int x) { return x + x; }\
+             __device__ int quad(int x) { return dbl(dbl(x)); }\
+             __global__ void k(int n) { n = quad(n); }",
+        )
+        .expect("inline");
+        let out = print_function(&k);
+        assert!(!out.contains("quad("), "{out}");
+        assert!(!out.contains("dbl("), "{out}");
+    }
+
+    #[test]
+    fn void_callee_statements_inline() {
+        let k = inline_first_kernel(
+            "__device__ void touch(float* p, int i) { p[i] = 1.0f; }\
+             __global__ void k(float* p) { touch(p, 0); }",
+        )
+        .expect("inline");
+        let out = print_function(&k);
+        assert!(!out.contains("touch("), "{out}");
+        assert!(out.contains("[") && out.contains("= 1.0f"), "{out}");
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let err = inline_first_kernel(
+            "__device__ int f(int x) { return f(x); }\
+             __global__ void k(int n) { n = f(n); }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn early_return_rejected() {
+        let err = inline_first_kernel(
+            "__device__ int f(int x) { if (x) { return 0; } return x; }\
+             __global__ void k(int n) { n = f(n); }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("single trailing return"), "{err}");
+    }
+
+    #[test]
+    fn call_in_loop_condition_rejected() {
+        let err = inline_first_kernel(
+            "__device__ int f(int x) { return x; }\
+             __global__ void k(int n) { while (f(n)) { n = n - 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("loop condition"), "{err}");
+    }
+
+    #[test]
+    fn arguments_evaluate_once() {
+        let k = inline_first_kernel(
+            "__device__ int sq(int x) { return x * x; }\
+             __global__ void k(int n) { n = sq(n++); }",
+        )
+        .expect("inline");
+        let out = print_function(&k);
+        // The argument n++ appears exactly once (bound to the parameter).
+        assert_eq!(out.matches("n++").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn intrinsics_are_not_inlined() {
+        let k = inline_first_kernel("__global__ void k(float* p) { p[0] = fmaxf(p[0], 1.0f); }")
+            .expect("inline");
+        assert!(print_function(&k).contains("fmaxf("));
+    }
+}

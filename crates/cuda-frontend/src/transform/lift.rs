@@ -1,0 +1,174 @@
+//! Declaration lifting: hoists every local variable declaration to the top
+//! of the kernel body, leaving an assignment behind where the declaration
+//! had an initializer.
+//!
+//! The paper performs this step because the fused kernel instruments `goto`
+//! statements, and "CUDA may not allow goto statements to jump over local
+//! variable declarations" (Section III-C). Names must already be unique
+//! (run [`super::uniquify`] first).
+
+use crate::ast::{AssignOp, Block, Expr, Function, Stmt, VarDecl};
+
+/// Lifts all local declarations in `f` to the start of its body.
+///
+/// Initializers are preserved as assignments at the original location, so
+/// the observable behaviour is unchanged.
+pub fn lift_decls(f: &mut Function) {
+    let mut decls: Vec<VarDecl> = Vec::new();
+    let body = std::mem::take(&mut f.body);
+    let mut rest = lift_block(body, &mut decls);
+    let mut stmts: Vec<Stmt> = decls.into_iter().map(Stmt::Decl).collect();
+    stmts.append(&mut rest.stmts);
+    f.body = Block { stmts };
+}
+
+fn lift_block(block: Block, decls: &mut Vec<VarDecl>) -> Block {
+    let mut out = Vec::with_capacity(block.stmts.len());
+    for stmt in block.stmts {
+        match stmt {
+            Stmt::Decl(mut d) => {
+                let init = d.init.take();
+                decls.push(d.clone());
+                if let Some(init) = init {
+                    out.push(Stmt::Expr(Expr::Assign(
+                        AssignOp::Assign,
+                        Box::new(Expr::Ident(d.name.clone())),
+                        Box::new(init),
+                    )));
+                }
+            }
+            Stmt::If(c, t, e) => out.push(Stmt::If(
+                c,
+                lift_block(t, decls),
+                e.map(|b| lift_block(b, decls)),
+            )),
+            Stmt::For { init, cond, step, body } => {
+                let init = init.map(|s| match *s {
+                    Stmt::Decl(mut d) => {
+                        let i = d.init.take();
+                        decls.push(d.clone());
+                        match i {
+                            Some(i) => Some(Box::new(Stmt::Expr(Expr::Assign(
+                                AssignOp::Assign,
+                                Box::new(Expr::Ident(d.name)),
+                                Box::new(i),
+                            )))),
+                            None => None,
+                        }
+                    }
+                    other => Some(Box::new(other)),
+                });
+                out.push(Stmt::For {
+                    init: init.flatten(),
+                    cond,
+                    step,
+                    body: lift_block(body, decls),
+                });
+            }
+            Stmt::While(c, body) => out.push(Stmt::While(c, lift_block(body, decls))),
+            Stmt::DoWhile(body, c) => out.push(Stmt::DoWhile(lift_block(body, decls), c)),
+            Stmt::Switch { scrutinee, cases } => out.push(Stmt::Switch {
+                scrutinee,
+                cases: cases
+                    .into_iter()
+                    .map(|c| crate::ast::SwitchCase {
+                        value: c.value,
+                        body: lift_block(Block::new(c.body), decls).stmts,
+                    })
+                    .collect(),
+            }),
+            Stmt::Block(b) => out.push(Stmt::Block(lift_block(b, decls))),
+            other => out.push(other),
+        }
+    }
+    Block { stmts: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_kernel;
+    use crate::printer::print_function;
+    use crate::transform::rename::{uniquify, NameGen};
+
+    fn lifted(src: &str) -> Function {
+        let mut k = parse_kernel(src).expect("parse");
+        uniquify(&mut k, &mut NameGen::new());
+        lift_decls(&mut k);
+        k
+    }
+
+    fn leading_decl_count(f: &Function) -> usize {
+        f.body.stmts.iter().take_while(|s| matches!(s, Stmt::Decl(_))).count()
+    }
+
+    fn total_decl_count(f: &Function) -> usize {
+        let mut n = 0;
+        let mut f = f.clone();
+        crate::transform::visit::walk_stmts(&mut f.body, &mut |s| {
+            if matches!(s, Stmt::Decl(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn all_decls_move_to_top() {
+        let k = lifted(
+            "__global__ void k(int n) {\
+               int a = 1;\
+               if (n) { int b = 2; n = b; }\
+               for (int i = 0; i < n; i++) { int c = i; n += c; }\
+               __shared__ float s[32];\
+               s[0] = a;\
+             }",
+        );
+        assert_eq!(leading_decl_count(&k), 5); // a, b, i, c, s
+        assert_eq!(total_decl_count(&k), 5, "no declarations may remain nested");
+    }
+
+    #[test]
+    fn initializers_become_assignments_in_place() {
+        let k = lifted("__global__ void k(int n) { if (n) { int b = n * 2; n = b; } }");
+        let out = print_function(&k);
+        // The assignment stays inside the if.
+        assert!(out.contains("if (n_0) {"), "{out}");
+        assert!(out.contains("b_1 = n_0 * 2;"), "{out}");
+        // The declaration is at the top, without initializer.
+        assert!(out.contains("int b_1;"), "{out}");
+    }
+
+    #[test]
+    fn for_init_decl_becomes_assignment() {
+        let k = lifted("__global__ void k(int n) { for (int i = 0; i < n; i++) { } }");
+        let out = print_function(&k);
+        assert!(out.contains("for (i_1 = 0; i_1 < n_0; i_1++)"), "{out}");
+        assert!(out.contains("int i_1;"), "{out}");
+    }
+
+    #[test]
+    fn shared_arrays_lift_with_qualifiers() {
+        let k = lifted("__global__ void k(int n) { if (n) { __shared__ int s[64]; s[0] = n; } }");
+        match &k.body.stmts[0] {
+            Stmt::Decl(d) => {
+                assert!(d.quals.shared);
+                assert!(d.array_len.is_some());
+            }
+            other => panic!("expected lifted decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declaration_order_is_preserved() {
+        let k = lifted("__global__ void k(int n) { int a = 1; { int b = 2; } int c = 3; }");
+        let names: Vec<&str> = k.body.stmts[..3]
+            .iter()
+            .map(|s| match s {
+                Stmt::Decl(d) => d.name.as_str(),
+                other => panic!("expected decl, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["a_1", "b_2", "c_3"]);
+    }
+}

@@ -1,0 +1,48 @@
+//! AST transformation passes.
+//!
+//! These are the preprocessing steps the HFUSE paper performs before fusing
+//! (Section III-C):
+//!
+//! * [`inline`] — inline `__device__` function calls into kernels,
+//! * [`rename`] — give every local variable a globally fresh name,
+//! * [`lift`] — hoist local declarations to the top of the kernel body,
+//! * [`subst`] — substitute builtin variables / identifiers with expressions
+//!   (used by the fusion pass to retarget `threadIdx.x` and friends),
+//! * [`visit`] — the generic mutable AST walker the passes are built on.
+
+pub mod inline;
+pub mod lift;
+pub mod rename;
+pub mod subst;
+pub mod visit;
+
+pub use inline::inline_calls;
+pub use lift::lift_decls;
+pub use rename::{uniquify, NameGen};
+pub use subst::{replace_builtins, replace_idents, BuiltinSubst};
+
+use crate::ast::Function;
+use crate::error::FrontendError;
+
+/// Runs the full preprocessing pipeline on a kernel: inline all device-call
+/// sites using `helpers`, uniquify local names with `names`, and lift
+/// declarations to the top of the body.
+///
+/// After this, the kernel is in the canonical form the fusion algorithm of
+/// the paper assumes: "macros are preprocessed, function calls are all
+/// inlined, and local variable declarations are lifted to the top".
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] if inlining fails (recursive or unsupported
+/// call shapes).
+pub fn preprocess_kernel(
+    kernel: &mut Function,
+    helpers: &[Function],
+    names: &mut NameGen,
+) -> Result<(), FrontendError> {
+    inline_calls(kernel, helpers)?;
+    uniquify(kernel, names);
+    lift_decls(kernel);
+    Ok(())
+}

@@ -1,0 +1,276 @@
+//! Alpha-renaming: gives every parameter, local variable, and label a
+//! globally fresh name so two kernels can be merged without collisions.
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Expr, Function, Stmt};
+
+/// A generator of fresh names, shared across the kernels being fused so the
+/// merged function has no collisions.
+#[derive(Debug, Default)]
+pub struct NameGen {
+    counter: u64,
+}
+
+impl NameGen {
+    /// Creates a generator starting at suffix 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Produces a fresh name derived from `base`.
+    pub fn fresh(&mut self, base: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("{base}_{n}")
+    }
+}
+
+/// Renames every parameter, local variable, and label of `f` to a fresh
+/// name from `names`, updating all references. Shadowing is resolved: after
+/// this pass, every declaration in the function has a unique name.
+pub fn uniquify(f: &mut Function, names: &mut NameGen) {
+    let mut scopes: Vec<HashMap<String, String>> = vec![HashMap::new()];
+    for p in &mut f.params {
+        let fresh = names.fresh(&p.name);
+        scopes[0].insert(p.name.clone(), fresh.clone());
+        p.name = fresh;
+    }
+    // Labels are function-scoped; collect and rename them first.
+    let mut labels: HashMap<String, String> = HashMap::new();
+    collect_labels(&f.body, names, &mut labels);
+    rename_block(&mut f.body, &mut scopes, names, &labels);
+}
+
+fn collect_labels(block: &Block, names: &mut NameGen, labels: &mut HashMap<String, String>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Label(l) => {
+                labels.entry(l.clone()).or_insert_with(|| names.fresh(l));
+            }
+            Stmt::If(_, t, e) => {
+                collect_labels(t, names, labels);
+                if let Some(e) = e {
+                    collect_labels(e, names, labels);
+                }
+            }
+            Stmt::For { body, .. } | Stmt::While(_, body) | Stmt::DoWhile(body, _) => {
+                collect_labels(body, names, labels)
+            }
+            Stmt::Switch { cases, .. } => {
+                for case in cases {
+                    collect_labels(&Block::new(case.body.clone()), names, labels);
+                }
+            }
+            Stmt::Block(b) => collect_labels(b, names, labels),
+            _ => {}
+        }
+    }
+}
+
+fn rename_block(
+    block: &mut Block,
+    scopes: &mut Vec<HashMap<String, String>>,
+    names: &mut NameGen,
+    labels: &HashMap<String, String>,
+) {
+    scopes.push(HashMap::new());
+    for stmt in &mut block.stmts {
+        rename_stmt(stmt, scopes, names, labels);
+    }
+    scopes.pop();
+}
+
+fn rename_stmt(
+    stmt: &mut Stmt,
+    scopes: &mut Vec<HashMap<String, String>>,
+    names: &mut NameGen,
+    labels: &HashMap<String, String>,
+) {
+    match stmt {
+        Stmt::Decl(d) => {
+            // Initializer sees the *outer* binding (C semantics are that the
+            // name is in scope in its own initializer, but self-reference in
+            // an initializer is undefined; we rename references before
+            // introducing the new binding, matching sane kernels).
+            if let Some(crate::ast::ArrayLen::Fixed(len)) = &mut d.array_len {
+                rename_expr(len, scopes);
+            }
+            if let Some(init) = &mut d.init {
+                rename_expr(init, scopes);
+            }
+            let fresh = names.fresh(&d.name);
+            scopes
+                .last_mut()
+                .expect("scope stack never empty")
+                .insert(d.name.clone(), fresh.clone());
+            d.name = fresh;
+        }
+        Stmt::Expr(e) => rename_expr(e, scopes),
+        Stmt::If(c, t, e) => {
+            rename_expr(c, scopes);
+            rename_block(t, scopes, names, labels);
+            if let Some(e) = e {
+                rename_block(e, scopes, names, labels);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            // The for-init declaration scopes over cond/step/body.
+            scopes.push(HashMap::new());
+            if let Some(init) = init {
+                rename_stmt(init, scopes, names, labels);
+            }
+            if let Some(c) = cond {
+                rename_expr(c, scopes);
+            }
+            if let Some(s) = step {
+                rename_expr(s, scopes);
+            }
+            rename_block(body, scopes, names, labels);
+            scopes.pop();
+        }
+        Stmt::While(c, body) => {
+            rename_expr(c, scopes);
+            rename_block(body, scopes, names, labels);
+        }
+        Stmt::DoWhile(body, c) => {
+            rename_block(body, scopes, names, labels);
+            rename_expr(c, scopes);
+        }
+        Stmt::Switch { scrutinee, cases } => {
+            rename_expr(scrutinee, scopes);
+            // The whole switch body is one scope in C.
+            scopes.push(HashMap::new());
+            for case in cases {
+                for s in &mut case.body {
+                    rename_stmt(s, scopes, names, labels);
+                }
+            }
+            scopes.pop();
+        }
+        Stmt::Return(Some(e)) => rename_expr(e, scopes),
+        Stmt::Block(b) => rename_block(b, scopes, names, labels),
+        Stmt::Goto(l) => {
+            if let Some(fresh) = labels.get(l) {
+                *l = fresh.clone();
+            }
+        }
+        Stmt::Label(l) => {
+            if let Some(fresh) = labels.get(l) {
+                *l = fresh.clone();
+            }
+        }
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::SyncThreads
+        | Stmt::BarSync { .. } => {}
+    }
+}
+
+fn rename_expr(expr: &mut Expr, scopes: &[HashMap<String, String>]) {
+    // Manual recursion instead of `walk_expr` so shadowing-sensitive
+    // rewrites use the scope state at this statement.
+    match expr {
+        Expr::Ident(name) => {
+            if let Some(fresh) = scopes.iter().rev().find_map(|s| s.get(name.as_str())) {
+                *name = fresh.clone();
+            }
+        }
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Builtin(_) => {}
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => {
+            rename_expr(a, scopes)
+        }
+        Expr::IncDec { target, .. } => rename_expr(target, scopes),
+        Expr::Binary(_, a, b) | Expr::Assign(_, a, b) | Expr::Index(a, b) => {
+            rename_expr(a, scopes);
+            rename_expr(b, scopes);
+        }
+        Expr::Ternary(a, b, c) => {
+            rename_expr(a, scopes);
+            rename_expr(b, scopes);
+            rename_expr(c, scopes);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                rename_expr(a, scopes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_kernel;
+    use crate::printer::print_function;
+
+    fn uniquified(src: &str) -> String {
+        let mut k = parse_kernel(src).expect("parse");
+        uniquify(&mut k, &mut NameGen::new());
+        print_function(&k)
+    }
+
+    #[test]
+    fn renames_params_and_references() {
+        let out = uniquified("__global__ void k(int n) { n = n + 1; }");
+        assert!(out.contains("int n_0"), "{out}");
+        assert!(out.contains("n_0 = n_0 + 1;"), "{out}");
+    }
+
+    #[test]
+    fn shadowing_resolved() {
+        let out = uniquified(
+            "__global__ void k(int n) { int x = n; { int x = 2; x = x + 1; } x = x * 2; }",
+        );
+        // Outer x and inner x must have different names.
+        assert!(out.contains("x_1 = n_0"), "{out}");
+        assert!(out.contains("x_2 = 2"), "{out}");
+        assert!(out.contains("x_2 = x_2 + 1"), "{out}");
+        assert!(out.contains("x_1 = x_1 * 2"), "{out}");
+    }
+
+    #[test]
+    fn for_loop_variable_scoped() {
+        let out = uniquified(
+            "__global__ void k(int n) { int i = 9; for (int i = 0; i < n; i++) { n += i; } n += i; }",
+        );
+        assert!(out.contains("i_1 = 9"), "{out}");
+        assert!(out.contains("for (int i_2 = 0; i_2 < n_0; i_2++)"), "{out}");
+        // after the loop, `i` refers to the outer declaration again
+        assert!(out.contains("n_0 += i_1;"), "{out}");
+    }
+
+    #[test]
+    fn two_sequential_loops_get_distinct_names() {
+        let out = uniquified(
+            "__global__ void k(int n) { for (int i = 0; i < n; i++) { } for (int i = 0; i < n; i++) { } }",
+        );
+        assert!(out.contains("i_1"), "{out}");
+        assert!(out.contains("i_2"), "{out}");
+    }
+
+    #[test]
+    fn labels_and_gotos_renamed_consistently() {
+        let out = uniquified("__global__ void k(int n) { if (n) goto end; n = 1; end: ; }");
+        assert!(out.contains("goto end_1;"), "{out}");
+        assert!(out.contains("end_1: ;"), "{out}");
+    }
+
+    #[test]
+    fn initializer_sees_outer_binding() {
+        let out = uniquified("__global__ void k(int x) { { int x = x + 1; } }");
+        // inner decl's initializer refers to the parameter
+        assert!(out.contains("int x_1 = x_0 + 1;"), "{out}");
+    }
+
+    #[test]
+    fn shared_namegen_keeps_two_kernels_disjoint() {
+        let mut k1 = parse_kernel("__global__ void a(int n) { int x = n; }").expect("parse");
+        let mut k2 = parse_kernel("__global__ void b(int n) { int x = n; }").expect("parse");
+        let mut names = NameGen::new();
+        uniquify(&mut k1, &mut names);
+        uniquify(&mut k2, &mut names);
+        let out1 = print_function(&k1);
+        let out2 = print_function(&k2);
+        assert!(out1.contains("x_1"), "{out1}");
+        assert!(out2.contains("x_3"), "{out2}");
+    }
+}

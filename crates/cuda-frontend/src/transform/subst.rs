@@ -1,0 +1,118 @@
+//! Expression substitution utilities.
+//!
+//! The fusion pass uses these to replace `threadIdx.x` / `blockDim.x` with
+//! the prologue-defined variables (`tid_1`, `size_1`, ...) as in Figure 5 of
+//! the paper, and the inliner uses identifier substitution for argument
+//! binding checks.
+
+use std::collections::HashMap;
+
+use crate::ast::{Axis, Block, BuiltinVar, Expr};
+use crate::transform::visit::walk_exprs_block;
+
+/// A mapping from builtin dim3 variables to replacement expressions.
+///
+/// Unmapped builtins are left untouched (e.g. `blockIdx.x` keeps its meaning
+/// in the fused kernel).
+#[derive(Debug, Clone, Default)]
+pub struct BuiltinSubst {
+    map: HashMap<BuiltinVar, Expr>,
+}
+
+impl BuiltinSubst {
+    /// Creates an empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps one builtin to a replacement expression, returning `self` for
+    /// chaining.
+    pub fn set(mut self, var: BuiltinVar, replacement: Expr) -> Self {
+        self.map.insert(var, replacement);
+        self
+    }
+
+    /// Convenience: maps `threadIdx.{x,y,z}` and `blockDim.{x,y,z}` to the
+    /// given identifier names (the prologue variables of the fused kernel).
+    pub fn thread_remap(
+        mut self,
+        tid_names: [&str; 3],
+        dim_names: [&str; 3],
+    ) -> Self {
+        for (i, axis) in Axis::ALL.iter().enumerate() {
+            self.map.insert(BuiltinVar::ThreadIdx(*axis), Expr::ident(tid_names[i]));
+            self.map.insert(BuiltinVar::BlockDim(*axis), Expr::ident(dim_names[i]));
+        }
+        self
+    }
+
+    /// Looks up the replacement for a builtin.
+    pub fn get(&self, var: BuiltinVar) -> Option<&Expr> {
+        self.map.get(&var)
+    }
+}
+
+/// Replaces builtin variables throughout a block according to `subst`.
+pub fn replace_builtins(block: &mut Block, subst: &BuiltinSubst) {
+    walk_exprs_block(block, &mut |e| {
+        if let Expr::Builtin(b) = e {
+            if let Some(replacement) = subst.get(*b) {
+                *e = replacement.clone();
+            }
+        }
+    });
+}
+
+/// Replaces free identifiers throughout a block according to `map`.
+///
+/// Names must be unique in the block (run [`crate::transform::uniquify`]
+/// first); no scoping is applied.
+pub fn replace_idents(block: &mut Block, map: &HashMap<String, Expr>) {
+    walk_exprs_block(block, &mut |e| {
+        if let Expr::Ident(name) = e {
+            if let Some(replacement) = map.get(name.as_str()) {
+                *e = replacement.clone();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_block;
+    use crate::printer::print_stmt;
+
+    fn print_block(b: &Block) -> String {
+        b.stmts.iter().map(print_stmt).collect::<Vec<_>>().join("")
+    }
+
+    #[test]
+    fn replaces_thread_builtins_only() {
+        let mut b =
+            parse_block("{ int i = blockIdx.x * blockDim.x + threadIdx.x; }").expect("parse");
+        let subst = BuiltinSubst::new()
+            .thread_remap(["tid_1", "tidy_1", "tidz_1"], ["size_1", "sy_1", "sz_1"]);
+        replace_builtins(&mut b, &subst);
+        let out = print_block(&b);
+        assert!(out.contains("blockIdx.x * size_1 + tid_1"), "{out}");
+    }
+
+    #[test]
+    fn replacement_can_be_full_expression() {
+        let mut b = parse_block("{ x = threadIdx.x; }").expect("parse");
+        let repl = crate::parser::parse_expr("tid - 896").expect("parse");
+        let subst = BuiltinSubst::new().set(BuiltinVar::ThreadIdx(Axis::X), repl);
+        replace_builtins(&mut b, &subst);
+        assert!(print_block(&b).contains("x = tid - 896;"));
+    }
+
+    #[test]
+    fn replace_idents_rewrites_references() {
+        let mut b = parse_block("{ y = n + n; }").expect("parse");
+        let mut map = HashMap::new();
+        map.insert("n".to_owned(), Expr::int(5));
+        replace_idents(&mut b, &map);
+        assert!(print_block(&b).contains("y = 5 + 5;"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Generic mutable AST walkers.
+
+use crate::ast::{Block, Expr, Stmt};
+
+/// Applies `f` to every expression in a block, bottom-up (children first).
+pub fn walk_exprs_block(block: &mut Block, f: &mut impl FnMut(&mut Expr)) {
+    for stmt in &mut block.stmts {
+        walk_exprs_stmt(stmt, f);
+    }
+}
+
+/// Applies `f` to every expression in a statement, bottom-up.
+pub fn walk_exprs_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match stmt {
+        Stmt::Decl(d) => {
+            if let Some(crate::ast::ArrayLen::Fixed(len)) = &mut d.array_len {
+                walk_expr(len, f);
+            }
+            if let Some(init) = &mut d.init {
+                walk_expr(init, f);
+            }
+        }
+        Stmt::Expr(e) => walk_expr(e, f),
+        Stmt::If(c, t, e) => {
+            walk_expr(c, f);
+            walk_exprs_block(t, f);
+            if let Some(e) = e {
+                walk_exprs_block(e, f);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(init) = init {
+                walk_exprs_stmt(init, f);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, f);
+            }
+            if let Some(s) = step {
+                walk_expr(s, f);
+            }
+            walk_exprs_block(body, f);
+        }
+        Stmt::While(c, body) => {
+            walk_expr(c, f);
+            walk_exprs_block(body, f);
+        }
+        Stmt::DoWhile(body, c) => {
+            walk_exprs_block(body, f);
+            walk_expr(c, f);
+        }
+        Stmt::Switch { scrutinee, cases } => {
+            walk_expr(scrutinee, f);
+            for case in cases {
+                for s in &mut case.body {
+                    walk_exprs_stmt(s, f);
+                }
+            }
+        }
+        Stmt::Return(Some(e)) => walk_expr(e, f),
+        Stmt::Block(b) => walk_exprs_block(b, f),
+        Stmt::Return(None)
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::SyncThreads
+        | Stmt::BarSync { .. }
+        | Stmt::Goto(_)
+        | Stmt::Label(_) => {}
+    }
+}
+
+/// Applies `f` to `expr` and every sub-expression, children first.
+pub fn walk_expr(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match expr {
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Ident(_) | Expr::Builtin(_) => {}
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => {
+            walk_expr(a, f)
+        }
+        Expr::IncDec { target, .. } => walk_expr(target, f),
+        Expr::Binary(_, a, b) | Expr::Assign(_, a, b) | Expr::Index(a, b) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        Expr::Ternary(a, b, c) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+            walk_expr(c, f);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+    }
+    f(expr);
+}
+
+/// Applies `f` to every statement in a block, innermost blocks first. The
+/// callback receives each statement after its children were visited.
+pub fn walk_stmts(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If(_, t, e) => {
+                walk_stmts(t, f);
+                if let Some(e) = e {
+                    walk_stmts(e, f);
+                }
+            }
+            Stmt::For { init, body, .. } => {
+                if let Some(init) = init {
+                    f(init);
+                }
+                walk_stmts(body, f);
+            }
+            Stmt::While(_, body) | Stmt::DoWhile(body, _) => walk_stmts(body, f),
+            Stmt::Switch { cases, .. } => {
+                for case in cases {
+                    for s in &mut case.body {
+                        // Visit nested statements, then the statement itself.
+                        if let Stmt::Block(b) = s {
+                            walk_stmts(b, f);
+                        }
+                        f(s);
+                    }
+                }
+            }
+            Stmt::Block(b) => walk_stmts(b, f),
+            _ => {}
+        }
+        f(stmt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_block;
+
+    #[test]
+    fn walk_exprs_reaches_all_positions() {
+        let mut b = parse_block(
+            "{ int x = 1 + 2; if (x < 3) { x = f(x, 4); } for (int i = 0; i < x; i++) { x += i; } }",
+        )
+        .expect("parse");
+        let mut ints = Vec::new();
+        walk_exprs_block(&mut b, &mut |e| {
+            if let Expr::IntLit(v, _) = e {
+                ints.push(*v);
+            }
+        });
+        ints.sort_unstable();
+        assert_eq!(ints, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn walk_exprs_can_rewrite() {
+        let mut b = parse_block("{ x = 1; }").expect("parse");
+        walk_exprs_block(&mut b, &mut |e| {
+            if let Expr::IntLit(v, _) = e {
+                *v += 41;
+            }
+        });
+        let printed = crate::printer::print_stmt(&b.stmts[0]);
+        assert_eq!(printed.trim(), "x = 42;");
+    }
+
+    #[test]
+    fn walk_stmts_visits_nested() {
+        let mut b = parse_block("{ if (1) { x = 1; } while (0) { y = 2; } }").expect("parse");
+        let mut count = 0;
+        walk_stmts(&mut b, &mut |_| count += 1);
+        // if, x=1, while, y=2
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,379 @@
+//! Expression type inference and the intrinsic-function table.
+//!
+//! Lowering to the SIMT IR needs the static type of every expression (for
+//! operation selection and pointer-arithmetic scaling). The rules are the
+//! usual C rules, simplified to the dialect: integer ranks
+//! `bool < int < unsigned < long long < unsigned long long`, floats dominate
+//! integers, `double` dominates `float`, comparisons yield `int`.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Ty, UnOp};
+use crate::error::FrontendError;
+
+/// Recognized CUDA intrinsic functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `min(a, b)` — integer or float minimum by operand type.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// `fminf(a, b)` — `float` minimum.
+    FminF,
+    /// `fmaxf(a, b)` — `float` maximum.
+    FmaxF,
+    /// `fabsf(x)`.
+    FabsF,
+    /// `sqrtf(x)`.
+    SqrtF,
+    /// `rsqrtf(x)` — reciprocal square root.
+    RsqrtF,
+    /// `expf(x)`.
+    ExpF,
+    /// `logf(x)`.
+    LogF,
+    /// `__shfl_xor_sync(mask, var, laneMask, width)` or
+    /// `__shfl_xor(var, laneMask[, width])` — lane-crossing register exchange.
+    ShflXor,
+    /// `__shfl_down_sync(mask, var, delta, width)` or `__shfl_down(...)`.
+    ShflDown,
+    /// `atomicAdd(ptr, val)` — returns the old value.
+    AtomicAdd,
+    /// `atomicMax(ptr, val)` — returns the old value (integer only).
+    AtomicMax,
+    /// `atomicExch(ptr, val)` — returns the old value.
+    AtomicExch,
+    /// `__popc(x)` — population count of a 32-bit value.
+    Popc,
+    /// `__clz(x)` — count of leading zeros of a 32-bit value.
+    Clz,
+    /// `__brev(x)` — bit reversal of a 32-bit value.
+    Brev,
+    /// `__ballot_sync(mask, pred)` — bitmask of lanes with a true predicate.
+    Ballot,
+    /// `__any_sync(mask, pred)` — 1 if any participating lane's predicate
+    /// is true.
+    Any,
+    /// `__all_sync(mask, pred)` — 1 if every participating lane's predicate
+    /// is true.
+    All,
+}
+
+impl Intrinsic {
+    /// Looks up an intrinsic by call name and argument count.
+    pub fn lookup(name: &str, nargs: usize) -> Option<Intrinsic> {
+        Some(match (name, nargs) {
+            ("min", 2) => Intrinsic::Min,
+            ("max", 2) => Intrinsic::Max,
+            ("fminf", 2) | ("fmin", 2) => Intrinsic::FminF,
+            ("fmaxf", 2) | ("fmax", 2) => Intrinsic::FmaxF,
+            ("fabsf", 1) | ("fabs", 1) => Intrinsic::FabsF,
+            ("sqrtf", 1) | ("sqrt", 1) => Intrinsic::SqrtF,
+            ("rsqrtf", 1) | ("rsqrt", 1) => Intrinsic::RsqrtF,
+            ("expf", 1) | ("exp", 1) => Intrinsic::ExpF,
+            ("logf", 1) | ("log", 1) => Intrinsic::LogF,
+            ("__shfl_xor_sync", 4) | ("__shfl_xor", 2) | ("__shfl_xor", 3) => Intrinsic::ShflXor,
+            ("__shfl_down_sync", 4) | ("__shfl_down", 2) | ("__shfl_down", 3) => {
+                Intrinsic::ShflDown
+            }
+            ("atomicAdd", 2) => Intrinsic::AtomicAdd,
+            ("atomicMax", 2) => Intrinsic::AtomicMax,
+            ("atomicExch", 2) => Intrinsic::AtomicExch,
+            ("__popc", 1) => Intrinsic::Popc,
+            ("__clz", 1) => Intrinsic::Clz,
+            ("__brev", 1) => Intrinsic::Brev,
+            ("__ballot_sync", 2) | ("__ballot", 1) => Intrinsic::Ballot,
+            ("__any_sync", 2) | ("__any", 1) => Intrinsic::Any,
+            ("__all_sync", 2) | ("__all", 1) => Intrinsic::All,
+            _ => return None,
+        })
+    }
+
+    /// Index of the "value" argument whose type determines the result type.
+    fn value_arg(self, nargs: usize) -> usize {
+        match self {
+            // `_sync` variants put the value second, the legacy forms first.
+            Intrinsic::ShflXor | Intrinsic::ShflDown => usize::from(nargs == 4),
+            _ => 0,
+        }
+    }
+}
+
+/// A lexically scoped variable-type environment.
+///
+/// Scopes push on block entry and pop on exit; lookups scan inner-to-outer.
+#[derive(Debug, Default)]
+pub struct ScopeStack {
+    scopes: Vec<HashMap<String, Ty>>,
+}
+
+impl ScopeStack {
+    /// Creates an environment with one (outermost) scope.
+    pub fn new() -> Self {
+        Self { scopes: vec![HashMap::new()] }
+    }
+
+    /// Enters a nested scope.
+    pub fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leaves the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only the outermost scope remains.
+    pub fn pop(&mut self) {
+        assert!(self.scopes.len() > 1, "cannot pop outermost scope");
+        self.scopes.pop();
+    }
+
+    /// Declares a variable in the innermost scope.
+    pub fn declare(&mut self, name: impl Into<String>, ty: Ty) {
+        self.scopes.last_mut().expect("at least one scope").insert(name.into(), ty);
+    }
+
+    /// Looks a variable up, innermost scope first.
+    pub fn lookup(&self, name: &str) -> Option<&Ty> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+/// Integer promotion rank; higher absorbs lower.
+fn int_rank(ty: &Ty) -> u8 {
+    match ty {
+        Ty::Bool => 0,
+        Ty::I32 => 1,
+        Ty::U32 => 2,
+        Ty::I64 => 3,
+        Ty::U64 => 4,
+        _ => unreachable!("int_rank on non-integer"),
+    }
+}
+
+/// The usual arithmetic conversions, simplified.
+pub fn promote(a: &Ty, b: &Ty) -> Ty {
+    if *a == Ty::F64 || *b == Ty::F64 {
+        Ty::F64
+    } else if *a == Ty::F32 || *b == Ty::F32 {
+        Ty::F32
+    } else {
+        let ranked = if int_rank(a) >= int_rank(b) { a } else { b };
+        // bool promotes to int even alone.
+        if *ranked == Ty::Bool {
+            Ty::I32
+        } else {
+            ranked.clone()
+        }
+    }
+}
+
+/// Infers the type of `expr` under `env`.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] for undeclared variables, unknown calls, or
+/// ill-typed operations (e.g. indexing a non-pointer).
+pub fn expr_ty(expr: &Expr, env: &ScopeStack) -> Result<Ty, FrontendError> {
+    match expr {
+        Expr::IntLit(_, ty) | Expr::FloatLit(_, ty) => Ok(ty.clone()),
+        Expr::Ident(name) => env
+            .lookup(name)
+            .cloned()
+            .ok_or_else(|| FrontendError::new(format!("undeclared variable `{name}`"))),
+        Expr::Builtin(_) => Ok(Ty::I32),
+        Expr::Unary(op, inner) => {
+            let t = expr_ty(inner, env)?;
+            match op {
+                UnOp::Not => Ok(Ty::I32),
+                UnOp::Neg | UnOp::BitNot => Ok(promote(&t, &Ty::I32)),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let lt = expr_ty(lhs, env)?;
+            let rt = expr_ty(rhs, env)?;
+            if op.is_comparison() || op.is_logical() {
+                return Ok(Ty::I32);
+            }
+            match (*op, lt.is_pointer(), rt.is_pointer()) {
+                (BinOp::Add, true, false) | (BinOp::Sub, true, false) => Ok(lt),
+                (BinOp::Add, false, true) => Ok(rt),
+                (BinOp::Sub, true, true) => Ok(Ty::I64),
+                (BinOp::Shl | BinOp::Shr, false, false) => Ok(promote(&lt, &Ty::I32)),
+                (_, false, false) => Ok(promote(&lt, &rt)),
+                _ => Err(FrontendError::new(format!(
+                    "invalid pointer arithmetic `{lt} {} {rt}`",
+                    op.symbol()
+                ))),
+            }
+        }
+        Expr::Assign(_, lhs, _) => expr_ty(lhs, env),
+        Expr::IncDec { target, .. } => expr_ty(target, env),
+        Expr::Ternary(_, t, f) => {
+            let tt = expr_ty(t, env)?;
+            let ft = expr_ty(f, env)?;
+            if tt.is_pointer() {
+                Ok(tt)
+            } else if ft.is_pointer() {
+                Ok(ft)
+            } else {
+                Ok(promote(&tt, &ft))
+            }
+        }
+        Expr::Call(name, args) => {
+            let intrinsic = Intrinsic::lookup(name, args.len()).ok_or_else(|| {
+                FrontendError::new(format!(
+                    "unknown function `{name}` with {} args (device calls must be inlined first)",
+                    args.len()
+                ))
+            })?;
+            intrinsic_result_ty(intrinsic, args, env)
+        }
+        Expr::Index(base, _) => {
+            let bt = expr_ty(base, env)?;
+            bt.pointee().cloned().ok_or_else(|| {
+                FrontendError::new(format!("cannot index non-pointer of type `{bt}`"))
+            })
+        }
+        Expr::Cast(ty, _) => Ok(ty.clone()),
+        Expr::AddrOf(inner) => Ok(expr_ty(inner, env)?.ptr_to()),
+        Expr::Deref(inner) => {
+            let t = expr_ty(inner, env)?;
+            t.pointee().cloned().ok_or_else(|| {
+                FrontendError::new(format!("cannot dereference non-pointer of type `{t}`"))
+            })
+        }
+    }
+}
+
+/// Result type of an intrinsic call.
+pub fn intrinsic_result_ty(
+    intrinsic: Intrinsic,
+    args: &[Expr],
+    env: &ScopeStack,
+) -> Result<Ty, FrontendError> {
+    match intrinsic {
+        Intrinsic::Min | Intrinsic::Max => {
+            let a = expr_ty(&args[0], env)?;
+            let b = expr_ty(&args[1], env)?;
+            Ok(promote(&a, &b))
+        }
+        Intrinsic::FminF | Intrinsic::FmaxF => Ok(Ty::F32),
+        Intrinsic::FabsF | Intrinsic::SqrtF | Intrinsic::RsqrtF | Intrinsic::ExpF
+        | Intrinsic::LogF => Ok(Ty::F32),
+        Intrinsic::ShflXor | Intrinsic::ShflDown => {
+            expr_ty(&args[intrinsic.value_arg(args.len())], env)
+        }
+        Intrinsic::AtomicAdd | Intrinsic::AtomicMax | Intrinsic::AtomicExch => {
+            let pt = expr_ty(&args[0], env)?;
+            pt.pointee().cloned().ok_or_else(|| {
+                FrontendError::new(format!("atomic operation on non-pointer `{pt}`"))
+            })
+        }
+        Intrinsic::Popc | Intrinsic::Clz => Ok(Ty::I32),
+        Intrinsic::Brev | Intrinsic::Ballot => Ok(Ty::U32),
+        Intrinsic::Any | Intrinsic::All => Ok(Ty::I32),
+    }
+}
+
+/// Index of the value-carrying argument of a shuffle intrinsic call, given
+/// the argument count (the `_sync` forms carry the mask first).
+pub fn shuffle_value_arg(nargs: usize) -> usize {
+    usize::from(nargs == 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn env() -> ScopeStack {
+        let mut e = ScopeStack::new();
+        e.declare("i", Ty::I32);
+        e.declare("u", Ty::U32);
+        e.declare("f", Ty::F32);
+        e.declare("d", Ty::F64);
+        e.declare("p", Ty::F32.ptr_to());
+        e.declare("ip", Ty::I32.ptr_to());
+        e
+    }
+
+    fn ty(src: &str) -> Ty {
+        expr_ty(&parse_expr(src).expect("parse"), &env()).expect("type")
+    }
+
+    #[test]
+    fn promotion_rules() {
+        assert_eq!(ty("i + i"), Ty::I32);
+        assert_eq!(ty("i + u"), Ty::U32);
+        assert_eq!(ty("i + f"), Ty::F32);
+        assert_eq!(ty("f + d"), Ty::F64);
+        assert_eq!(ty("i + 1ll"), Ty::I64);
+    }
+
+    #[test]
+    fn comparisons_are_int() {
+        assert_eq!(ty("f < d"), Ty::I32);
+        assert_eq!(ty("i == u"), Ty::I32);
+        assert_eq!(ty("i && f"), Ty::I32);
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        assert_eq!(ty("p + i"), Ty::F32.ptr_to());
+        assert_eq!(ty("i + p"), Ty::F32.ptr_to());
+        assert_eq!(ty("p[i]"), Ty::F32);
+        assert_eq!(ty("*ip"), Ty::I32);
+        assert_eq!(ty("&p[i]"), Ty::F32.ptr_to());
+    }
+
+    #[test]
+    fn shifts_take_left_type() {
+        assert_eq!(ty("u << i"), Ty::U32);
+        assert_eq!(ty("i >> 1"), Ty::I32);
+    }
+
+    #[test]
+    fn builtin_and_cast() {
+        assert_eq!(ty("threadIdx.x"), Ty::I32);
+        assert_eq!(ty("(double)i"), Ty::F64);
+        assert_eq!(ty("(unsigned int*)p"), Ty::U32.ptr_to());
+    }
+
+    #[test]
+    fn intrinsic_types() {
+        assert_eq!(ty("fmaxf(f, f)"), Ty::F32);
+        assert_eq!(ty("min(i, u)"), Ty::U32);
+        assert_eq!(ty("sqrtf(f)"), Ty::F32);
+        assert_eq!(ty("atomicAdd(p, f)"), Ty::F32);
+        assert_eq!(ty("atomicAdd(ip, i)"), Ty::I32);
+        assert_eq!(ty("__shfl_xor_sync(0xffffffffu, f, 1, 32)"), Ty::F32);
+        assert_eq!(ty("__shfl_xor(i, 1, 32)"), Ty::I32);
+    }
+
+    #[test]
+    fn undeclared_variable_errors() {
+        assert!(expr_ty(&parse_expr("zzz").expect("parse"), &env()).is_err());
+    }
+
+    #[test]
+    fn unknown_call_errors() {
+        assert!(expr_ty(&parse_expr("mystery(i)").expect("parse"), &env()).is_err());
+    }
+
+    #[test]
+    fn scope_shadowing() {
+        let mut e = env();
+        e.push();
+        e.declare("i", Ty::F64);
+        assert_eq!(e.lookup("i"), Some(&Ty::F64));
+        e.pop();
+        assert_eq!(e.lookup("i"), Some(&Ty::I32));
+    }
+
+    #[test]
+    fn ternary_with_pointer_arm() {
+        assert_eq!(ty("i ? p : p"), Ty::F32.ptr_to());
+        assert_eq!(ty("i ? f : i"), Ty::F32);
+    }
+}

@@ -1,0 +1,41 @@
+use std::fmt;
+
+/// A runtime error raised while simulating a kernel (the GPU analogue of a
+/// fault: out-of-bounds access, bad launch configuration, or a barrier
+/// deadlock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    message: String,
+}
+
+impl SimError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_message() {
+        let e = SimError::new("out of bounds");
+        assert_eq!(e.to_string(), "simulation error: out of bounds");
+        assert_eq!(e.message(), "out of bounds");
+    }
+}

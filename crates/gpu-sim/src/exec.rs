@@ -1,0 +1,729 @@
+//! Functional execution of kernel IR at warp-group granularity.
+//!
+//! Threads carry their own program counters; a warp always issues the group
+//! of live threads sharing the *minimum* PC (the classic min-PC SIMT rule),
+//! so divergence serializes naturally and reconvergence happens when PCs
+//! meet again. Barriers park threads; the block releases them when the
+//! arrival count reaches the barrier's participation count.
+
+use thread_ir::ir::{
+    AtomOp, BarCount, BinIr, Inst, KernelIr, ScalarTy, ShflKind, SpecialReg, UnIr, VoteKind,
+};
+use thread_ir::MemAddr;
+
+use crate::error::SimError;
+use crate::launch::Launch;
+use crate::memory::GpuMemory;
+
+/// Threads per warp.
+pub const WARP_SIZE: usize = 32;
+
+/// One thread's architectural state.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    /// Current program counter (instruction index).
+    pub pc: usize,
+    /// True once the thread executed `Ret`.
+    pub done: bool,
+    /// Barrier id the thread is parked at, if any.
+    pub waiting_barrier: Option<u8>,
+    /// Register file (raw 64-bit words).
+    pub regs: Vec<u64>,
+    /// Per-thread local memory (local arrays, spill slots).
+    pub local: Vec<u8>,
+}
+
+/// What a warp can do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpPeek {
+    /// Every thread has exited.
+    Done,
+    /// All live threads are parked at barriers.
+    Blocked,
+    /// The min-PC group `mask` (bit i = warp-lane i) can issue `pc`.
+    Exec {
+        /// Program counter the group will execute.
+        pc: usize,
+        /// Lane mask of the participating threads.
+        mask: u32,
+    },
+}
+
+/// Instruction classes for the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// Simple ALU op (including casts, moves, immediates, specials regs).
+    Alu,
+    /// Integer divide/remainder.
+    Div,
+    /// Special function unit (sqrt, exp, ...).
+    Special,
+    /// Warp shuffle.
+    Shuffle,
+    /// Shared-memory access.
+    SharedMem,
+    /// Shared-memory atomic.
+    SharedAtomic,
+    /// Global-memory access.
+    GlobalMem,
+    /// Global-memory atomic.
+    GlobalAtomic,
+    /// Local-memory access (spills / local arrays).
+    LocalMem,
+    /// Branch / jump / return.
+    Control,
+    /// Barrier arrival.
+    Barrier,
+}
+
+/// The result of issuing one group-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Latency/queueing class.
+    pub kind: IssueKind,
+    /// Global-memory transactions generated (coalescing-aware).
+    pub transactions: u32,
+    /// Extra serialization cycles (atomic address conflicts).
+    pub conflict_extra: u32,
+}
+
+/// Execution state of one thread block.
+#[derive(Debug, Clone)]
+pub struct BlockExec {
+    /// Index of the owning launch within the run.
+    pub launch_idx: usize,
+    /// This block's `blockIdx.x`.
+    pub block_idx: u32,
+    /// All threads, warp-major (thread `i` is lane `i % 32` of warp `i/32`).
+    pub threads: Vec<ThreadState>,
+    /// The block's shared-memory frame (static + dynamic).
+    pub shared: Vec<u8>,
+    /// Arrival counters for the 16 named barriers.
+    pub barrier_arrivals: [u32; 16],
+}
+
+impl BlockExec {
+    /// Creates the initial state for one block of `launch`.
+    pub fn new(launch: &Launch, launch_idx: usize, block_idx: u32) -> Self {
+        let n = launch.threads_per_block() as usize;
+        let kernel = &launch.kernel;
+        let threads = (0..n)
+            .map(|_| ThreadState {
+                pc: 0,
+                done: false,
+                waiting_barrier: None,
+                regs: vec![0; kernel.num_regs as usize],
+                local: vec![0; kernel.local_bytes as usize],
+            })
+            .collect();
+        BlockExec {
+            launch_idx,
+            block_idx,
+            threads,
+            shared: vec![0; launch.shared_bytes_per_block() as usize],
+            barrier_arrivals: [0; 16],
+        }
+    }
+
+    /// Number of warps in the block.
+    pub fn num_warps(&self) -> usize {
+        self.threads.len().div_ceil(WARP_SIZE)
+    }
+
+    /// True once every thread has exited.
+    pub fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.done)
+    }
+
+    /// Number of warps with at least one unfinished thread.
+    pub fn live_warps(&self) -> u32 {
+        (0..self.num_warps())
+            .filter(|&w| self.warp_threads(w).iter().any(|t| !t.done))
+            .count() as u32
+    }
+
+    fn warp_bounds(&self, warp: usize) -> (usize, usize) {
+        let start = warp * WARP_SIZE;
+        let end = (start + WARP_SIZE).min(self.threads.len());
+        (start, end)
+    }
+
+    fn warp_threads(&self, warp: usize) -> &[ThreadState] {
+        let (s, e) = self.warp_bounds(warp);
+        &self.threads[s..e]
+    }
+
+    /// Decodes the memory space a `Ld`/`St`/`Atom` at the group's PC will
+    /// touch, by inspecting the first active lane's (already computed)
+    /// address register. Returns `None` for non-memory instructions.
+    pub fn peek_space(&self, warp: usize, mask: u32, pc: usize, kernel: &KernelIr) -> Option<thread_ir::Space> {
+        let addr_reg = match &kernel.insts[pc] {
+            Inst::Ld { addr, .. } | Inst::St { addr, .. } | Inst::Atom { addr, .. } => *addr,
+            _ => return None,
+        };
+        let lane = mask.trailing_zeros() as usize;
+        let (start, _) = self.warp_bounds(warp);
+        Some(MemAddr(self.threads[start + lane].regs[addr_reg as usize]).space())
+    }
+
+    /// Finds the min-PC runnable group of a warp.
+    pub fn peek_warp(&self, warp: usize) -> WarpPeek {
+        let (start, end) = self.warp_bounds(warp);
+        let mut min_pc = usize::MAX;
+        let mut any_live = false;
+        for t in &self.threads[start..end] {
+            if t.done {
+                continue;
+            }
+            any_live = true;
+            if t.waiting_barrier.is_none() && t.pc < min_pc {
+                min_pc = t.pc;
+            }
+        }
+        if !any_live {
+            return WarpPeek::Done;
+        }
+        if min_pc == usize::MAX {
+            return WarpPeek::Blocked;
+        }
+        let mut mask = 0u32;
+        for (lane, t) in self.threads[start..end].iter().enumerate() {
+            if !t.done && t.waiting_barrier.is_none() && t.pc == min_pc {
+                mask |= 1 << lane;
+            }
+        }
+        WarpPeek::Exec { pc: min_pc, mask }
+    }
+
+    /// Executes instruction `pc` for the lane group `mask` of `warp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on out-of-bounds accesses or malformed
+    /// addresses — the simulation should be aborted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` does not match runnable threads at `pc` (engine
+    /// bug, not user error).
+    pub fn exec_group(
+        &mut self,
+        launch: &Launch,
+        mem: &mut GpuMemory,
+        warp: usize,
+        pc: usize,
+        mask: u32,
+        seg_bytes: u32,
+    ) -> Result<ExecOutcome, SimError> {
+        let kernel = &launch.kernel;
+        let inst = &kernel.insts[pc];
+        let (warp_start, _) = self.warp_bounds(warp);
+        let lanes: Lanes = Lanes { mask };
+
+        let simple = |kind: IssueKind| ExecOutcome { kind, transactions: 0, conflict_extra: 0 };
+
+        match inst {
+            Inst::Imm { dst, value } => {
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.regs[*dst as usize] = *value;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::Mov { dst, src } => {
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.regs[*dst as usize] = t.regs[*src as usize];
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::Bin { op, ty, dst, a, b } => {
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    let va = t.regs[*a as usize];
+                    let vb = t.regs[*b as usize];
+                    t.regs[*dst as usize] = alu::bin(*op, *ty, va, vb);
+                    t.pc = pc + 1;
+                }
+                // Divides are iterative on real hardware for integers and
+                // a multi-instruction reciprocal sequence for floats.
+                let kind = if matches!(op, BinIr::Div | BinIr::Rem) {
+                    IssueKind::Div
+                } else {
+                    IssueKind::Alu
+                };
+                Ok(simple(kind))
+            }
+            Inst::Un { op, ty, dst, a } => {
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    let va = t.regs[*a as usize];
+                    t.regs[*dst as usize] = alu::un(*op, *ty, va);
+                    t.pc = pc + 1;
+                }
+                let kind = match op {
+                    UnIr::Sqrt | UnIr::Rsqrt | UnIr::Exp | UnIr::Log => IssueKind::Special,
+                    _ => IssueKind::Alu,
+                };
+                Ok(simple(kind))
+            }
+            Inst::Cast { dst, src, from, to } => {
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    let v = t.regs[*src as usize];
+                    t.regs[*dst as usize] = alu::cast(*from, *to, v);
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::Special { dst, reg } => {
+                for lane in lanes {
+                    let tid = warp_start + lane;
+                    let v = self.special_value(launch, *reg, tid);
+                    let t = &mut self.threads[tid];
+                    t.regs[*dst as usize] = v;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::LdParam { dst, index } => {
+                let bits = launch.args[*index as usize].to_bits();
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.regs[*dst as usize] = bits;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::SharedAddr { dst, offset } => {
+                let addr = MemAddr::shared(*offset).0;
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.regs[*dst as usize] = addr;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::LocalAddr { dst, offset } => {
+                let addr = MemAddr::local(*offset).0;
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.regs[*dst as usize] = addr;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Alu))
+            }
+            Inst::Ld { ty, dst, addr } => {
+                let mut segs = SegmentSet::new();
+                let mut kind = IssueKind::SharedMem;
+                for lane in lanes {
+                    let tid = warp_start + lane;
+                    let a = MemAddr(self.threads[tid].regs[*addr as usize]);
+                    let v = self.load(mem, tid, a, *ty)?;
+                    let t = &mut self.threads[tid];
+                    t.regs[*dst as usize] = v;
+                    t.pc = pc + 1;
+                    match a.space() {
+                        thread_ir::Space::Global => {
+                            kind = IssueKind::GlobalMem;
+                            segs.insert(a, seg_bytes);
+                        }
+                        thread_ir::Space::Local => kind = IssueKind::LocalMem,
+                        thread_ir::Space::Shared => {}
+                    }
+                }
+                Ok(ExecOutcome { kind, transactions: segs.count(), conflict_extra: 0 })
+            }
+            Inst::St { ty, addr, val } => {
+                let mut segs = SegmentSet::new();
+                let mut kind = IssueKind::SharedMem;
+                for lane in lanes {
+                    let tid = warp_start + lane;
+                    let a = MemAddr(self.threads[tid].regs[*addr as usize]);
+                    let v = self.threads[tid].regs[*val as usize];
+                    self.store(mem, tid, a, *ty, v)?;
+                    self.threads[tid].pc = pc + 1;
+                    match a.space() {
+                        thread_ir::Space::Global => {
+                            kind = IssueKind::GlobalMem;
+                            segs.insert(a, seg_bytes);
+                        }
+                        thread_ir::Space::Local => kind = IssueKind::LocalMem,
+                        thread_ir::Space::Shared => {}
+                    }
+                }
+                Ok(ExecOutcome { kind, transactions: segs.count(), conflict_extra: 0 })
+            }
+            Inst::Atom { op, ty, dst, addr, val } => {
+                let mut segs = SegmentSet::new();
+                let mut kind = IssueKind::SharedAtomic;
+                let mut addrs: Vec<u64> = Vec::new();
+                for lane in lanes {
+                    let tid = warp_start + lane;
+                    let a = MemAddr(self.threads[tid].regs[*addr as usize]);
+                    let v = self.threads[tid].regs[*val as usize];
+                    let old = self.load(mem, tid, a, *ty)?;
+                    let new = match op {
+                        AtomOp::Add => alu::bin(BinIr::Add, *ty, old, v),
+                        AtomOp::Max => alu::bin(BinIr::Max, *ty, old, v),
+                        AtomOp::Exch => v,
+                    };
+                    self.store(mem, tid, a, *ty, new)?;
+                    let t = &mut self.threads[tid];
+                    t.regs[*dst as usize] = old;
+                    t.pc = pc + 1;
+                    addrs.push(a.0);
+                    if a.space() == thread_ir::Space::Global {
+                        kind = IssueKind::GlobalAtomic;
+                        segs.insert(a, seg_bytes);
+                    }
+                }
+                // Serialization cost: colliding addresses retry one by one.
+                addrs.sort_unstable();
+                let conflicts =
+                    addrs.windows(2).filter(|w| w[0] == w[1]).count() as u32;
+                Ok(ExecOutcome { kind, transactions: segs.count(), conflict_extra: conflicts })
+            }
+            Inst::Shfl { kind, dst, src, lane: lane_reg, width } => {
+                // Phase 1: read all source values (before any write, since
+                // dst may alias src).
+                let (ws, we) = self.warp_bounds(warp);
+                let warp_vals: Vec<u64> =
+                    self.threads[ws..we].iter().map(|t| t.regs[*src as usize]).collect();
+                for lane in lanes {
+                    let tid = warp_start + lane;
+                    let operand = self.threads[tid].regs[*lane_reg as usize] as u32;
+                    let w = (self.threads[tid].regs[*width as usize] as u32).clamp(1, 32);
+                    let lane_u = lane as u32;
+                    let src_lane = match kind {
+                        ShflKind::Xor => lane_u ^ operand,
+                        ShflKind::Down => {
+                            let base = lane_u / w * w;
+                            let within = lane_u % w + operand;
+                            if within >= w {
+                                lane_u
+                            } else {
+                                base + within
+                            }
+                        }
+                    };
+                    let v = warp_vals
+                        .get(src_lane as usize)
+                        .copied()
+                        .unwrap_or(warp_vals[lane]);
+                    let t = &mut self.threads[tid];
+                    t.regs[*dst as usize] = v;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Shuffle))
+            }
+            Inst::Vote { kind, dst, src } => {
+                // Participants are the lanes of the executing group (the
+                // CUDA `_sync` mask is evaluated and dropped at lowering;
+                // fused-kernel guards are warp-uniform so the group *is*
+                // the active mask).
+                let mut ballot = 0u32;
+                for lane in lanes {
+                    if self.threads[warp_start + lane].regs[*src as usize] != 0 {
+                        ballot |= 1 << lane;
+                    }
+                }
+                let value = match kind {
+                    VoteKind::Ballot => u64::from(ballot),
+                    VoteKind::Any => u64::from(ballot != 0),
+                    VoteKind::All => u64::from(ballot == mask),
+                };
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.regs[*dst as usize] = value;
+                    t.pc = pc + 1;
+                }
+                Ok(simple(IssueKind::Shuffle))
+            }
+            Inst::Bar { id, count } => {
+                let expected = match count {
+                    BarCount::All => launch.threads_per_block(),
+                    BarCount::Fixed(n) => *n,
+                };
+                let group_size = mask.count_ones();
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    t.waiting_barrier = Some(*id as u8);
+                    t.pc = pc + 1;
+                }
+                self.barrier_arrivals[*id as usize] += group_size;
+                if self.barrier_arrivals[*id as usize] >= expected {
+                    self.barrier_arrivals[*id as usize] -= expected;
+                    let id8 = *id as u8;
+                    for t in &mut self.threads {
+                        if t.waiting_barrier == Some(id8) {
+                            t.waiting_barrier = None;
+                        }
+                    }
+                }
+                Ok(simple(IssueKind::Barrier))
+            }
+            Inst::Bra { cond, if_zero, target } => {
+                for lane in lanes {
+                    let t = &mut self.threads[warp_start + lane];
+                    let taken = (t.regs[*cond as usize] == 0) == *if_zero;
+                    t.pc = if taken { *target } else { pc + 1 };
+                }
+                Ok(simple(IssueKind::Control))
+            }
+            Inst::Jmp { target } => {
+                for lane in lanes {
+                    self.threads[warp_start + lane].pc = *target;
+                }
+                Ok(simple(IssueKind::Control))
+            }
+            Inst::Ret => {
+                for lane in lanes {
+                    self.threads[warp_start + lane].done = true;
+                }
+                Ok(simple(IssueKind::Control))
+            }
+        }
+    }
+
+    fn special_value(&self, launch: &Launch, reg: SpecialReg, tid: usize) -> u64 {
+        let (bx, by, _bz) = launch.block_dim;
+        let linear = tid as u32;
+        let v: u32 = match reg {
+            SpecialReg::ThreadIdxX => linear % bx,
+            SpecialReg::ThreadIdxY => linear / bx % by,
+            SpecialReg::ThreadIdxZ => linear / (bx * by),
+            SpecialReg::BlockIdxX => self.block_idx,
+            SpecialReg::BlockIdxY | SpecialReg::BlockIdxZ => 0,
+            SpecialReg::BlockDimX => launch.block_dim.0,
+            SpecialReg::BlockDimY => launch.block_dim.1,
+            SpecialReg::BlockDimZ => launch.block_dim.2,
+            SpecialReg::GridDimX => launch.grid_dim,
+            SpecialReg::GridDimY | SpecialReg::GridDimZ => 1,
+        };
+        u64::from(v)
+    }
+
+    fn load(
+        &self,
+        mem: &GpuMemory,
+        tid: usize,
+        addr: MemAddr,
+        ty: ScalarTy,
+    ) -> Result<u64, SimError> {
+        let w = ty.size_bytes();
+        let raw = match addr.space() {
+            thread_ir::Space::Global => mem.load(addr.buffer(), addr.offset(), w)?,
+            thread_ir::Space::Shared => {
+                read_bytes(&self.shared, addr.offset(), w, "shared load")?
+            }
+            thread_ir::Space::Local => {
+                read_bytes(&self.threads[tid].local, addr.offset(), w, "local load")?
+            }
+        };
+        Ok(alu::canon_load(ty, raw))
+    }
+
+    fn store(
+        &mut self,
+        mem: &mut GpuMemory,
+        tid: usize,
+        addr: MemAddr,
+        ty: ScalarTy,
+        value: u64,
+    ) -> Result<(), SimError> {
+        let w = ty.size_bytes();
+        match addr.space() {
+            thread_ir::Space::Global => mem.store(addr.buffer(), addr.offset(), w, value),
+            thread_ir::Space::Shared => {
+                write_bytes(&mut self.shared, addr.offset(), w, value, "shared store")
+            }
+            thread_ir::Space::Local => write_bytes(
+                &mut self.threads[tid].local,
+                addr.offset(),
+                w,
+                value,
+                "local store",
+            ),
+        }
+    }
+}
+
+fn read_bytes(buf: &[u8], offset: u32, width: u32, what: &str) -> Result<u64, SimError> {
+    let (o, w) = (offset as usize, width as usize);
+    if o + w > buf.len() {
+        return Err(SimError::new(format!(
+            "{what} out of bounds: offset {o}+{w} in {} bytes",
+            buf.len()
+        )));
+    }
+    let mut word = [0u8; 8];
+    word[..w].copy_from_slice(&buf[o..o + w]);
+    Ok(u64::from_le_bytes(word))
+}
+
+fn write_bytes(
+    buf: &mut [u8],
+    offset: u32,
+    width: u32,
+    value: u64,
+    what: &str,
+) -> Result<(), SimError> {
+    let (o, w) = (offset as usize, width as usize);
+    if o + w > buf.len() {
+        return Err(SimError::new(format!(
+            "{what} out of bounds: offset {o}+{w} in {} bytes",
+            buf.len()
+        )));
+    }
+    buf[o..o + w].copy_from_slice(&value.to_le_bytes()[..w]);
+    Ok(())
+}
+
+/// Iterator over set lanes of a mask.
+#[derive(Debug, Clone, Copy)]
+struct Lanes {
+    mask: u32,
+}
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.mask == 0 {
+            return None;
+        }
+        let lane = self.mask.trailing_zeros() as usize;
+        self.mask &= self.mask - 1;
+        Some(lane)
+    }
+}
+
+/// Distinct-memory-segment counter for coalescing.
+struct SegmentSet {
+    segs: Vec<u64>,
+}
+
+impl SegmentSet {
+    fn new() -> Self {
+        Self { segs: Vec::with_capacity(4) }
+    }
+
+    fn insert(&mut self, addr: MemAddr, seg_bytes: u32) {
+        let key = (u64::from(addr.buffer()) << 32) | u64::from(addr.offset() / seg_bytes);
+        if !self.segs.contains(&key) {
+            self.segs.push(key);
+        }
+    }
+
+    fn count(&self) -> u32 {
+        self.segs.len() as u32
+    }
+}
+
+pub use thread_ir::alu;
+
+#[cfg(test)]
+mod tests {
+    use super::alu;
+    use super::*;
+
+    #[test]
+    fn lanes_iterates_set_bits() {
+        let lanes: Vec<usize> = Lanes { mask: 0b1010_0001 }.collect();
+        assert_eq!(lanes, vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn segment_set_counts_distinct_lines() {
+        let mut s = SegmentSet::new();
+        s.insert(MemAddr::global(0, 0), 128);
+        s.insert(MemAddr::global(0, 64), 128); // same 128B line
+        s.insert(MemAddr::global(0, 128), 128); // next line
+        s.insert(MemAddr::global(1, 0), 128); // other buffer
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn alu_i32_canonicalizes_sign() {
+        let r = alu::bin(BinIr::Sub, ScalarTy::I32, 0, 1);
+        assert_eq!(r, u64::MAX, "-1 must be sign-extended");
+        assert_eq!(alu::bin(BinIr::Lt, ScalarTy::I32, r, 0), 1, "-1 < 0");
+    }
+
+    #[test]
+    fn alu_u32_wraps_and_zero_extends() {
+        let r = alu::bin(BinIr::Sub, ScalarTy::U32, 0, 1);
+        assert_eq!(r, u64::from(u32::MAX));
+        assert_eq!(alu::bin(BinIr::Gt, ScalarTy::U32, r, 0), 1, "u32::MAX > 0");
+    }
+
+    #[test]
+    fn alu_f32_round_trip() {
+        let a = u64::from(1.5f32.to_bits());
+        let b = u64::from(2.0f32.to_bits());
+        let r = alu::bin(BinIr::Mul, ScalarTy::F32, a, b);
+        assert_eq!(f32::from_bits(r as u32), 3.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero_for_ints() {
+        assert_eq!(alu::bin(BinIr::Div, ScalarTy::I32, 5, 0), 0);
+        assert_eq!(alu::bin(BinIr::Rem, ScalarTy::U64, 5, 0), 0);
+    }
+
+    #[test]
+    fn float_division_by_zero_is_inf() {
+        let one = u64::from(1.0f32.to_bits());
+        let zero = u64::from(0.0f32.to_bits());
+        let r = alu::bin(BinIr::Div, ScalarTy::F32, one, zero);
+        assert!(f32::from_bits(r as u32).is_infinite());
+    }
+
+    #[test]
+    fn oversized_shifts_clamp() {
+        assert_eq!(alu::bin(BinIr::Shl, ScalarTy::U32, 1, 32), 0);
+        // arithmetic right shift of a negative value saturates to -1
+        let neg = alu::bin(BinIr::Sub, ScalarTy::I32, 0, 8);
+        assert_eq!(alu::bin(BinIr::Shr, ScalarTy::I32, neg, 40), u64::MAX);
+    }
+
+    #[test]
+    fn cast_f32_to_i32_truncates() {
+        let v = u64::from(3.9f32.to_bits());
+        assert_eq!(alu::cast(ScalarTy::F32, ScalarTy::I32, v), 3);
+        let v = u64::from((-3.9f32).to_bits());
+        assert_eq!(alu::cast(ScalarTy::F32, ScalarTy::I32, v) as i64, -3);
+    }
+
+    #[test]
+    fn cast_i32_to_f32() {
+        let v = alu::bin(BinIr::Sub, ScalarTy::I32, 0, 7); // -7
+        let r = alu::cast(ScalarTy::I32, ScalarTy::F32, v);
+        assert_eq!(f32::from_bits(r as u32), -7.0);
+    }
+
+    #[test]
+    fn canon_load_sign_extends_i32() {
+        assert_eq!(alu::canon_load(ScalarTy::I32, 0xffff_ffff), u64::MAX);
+        assert_eq!(alu::canon_load(ScalarTy::U32, 0xffff_ffff), 0xffff_ffff);
+    }
+
+    #[test]
+    fn unary_not_and_neg() {
+        assert_eq!(alu::un(UnIr::Not, ScalarTy::I32, 0), 1);
+        assert_eq!(alu::un(UnIr::Not, ScalarTy::I32, 5), 0);
+        let nz = u64::from((-0.0f32).to_bits());
+        assert_eq!(alu::un(UnIr::Not, ScalarTy::F32, nz), 1, "-0.0 is falsy");
+        assert_eq!(alu::un(UnIr::Neg, ScalarTy::I32, 5) as i64, -5);
+    }
+
+    #[test]
+    fn special_functions() {
+        let four = u64::from(4.0f32.to_bits());
+        assert_eq!(f32::from_bits(alu::un(UnIr::Sqrt, ScalarTy::F32, four) as u32), 2.0);
+        assert_eq!(f32::from_bits(alu::un(UnIr::Rsqrt, ScalarTy::F32, four) as u32), 0.5);
+    }
+}

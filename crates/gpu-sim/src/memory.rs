@@ -1,0 +1,237 @@
+//! Device (global) memory: a pool of byte-addressable buffers.
+//!
+//! Pointer parameter values encode a [`BufferId`] plus byte offset (see
+//! [`thread_ir::MemAddr`]); all accesses are bounds-checked, so kernel bugs
+//! surface as [`SimError`]s instead of silent corruption.
+
+use crate::error::SimError;
+
+/// Handle to an allocated device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) u32);
+
+impl BufferId {
+    /// The raw index (used to build tagged addresses).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// The global-memory pool.
+#[derive(Debug, Default, Clone)]
+pub struct GpuMemory {
+    buffers: Vec<Vec<u8>>,
+}
+
+impl GpuMemory {
+    /// Creates an empty memory pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a zero-initialized buffer of `bytes` bytes.
+    pub fn alloc(&mut self, bytes: usize) -> BufferId {
+        self.buffers.push(vec![0; bytes]);
+        BufferId((self.buffers.len() - 1) as u32)
+    }
+
+    /// Allocates a buffer holding `n` `f32` values.
+    pub fn alloc_f32(&mut self, n: usize) -> BufferId {
+        self.alloc(n * 4)
+    }
+
+    /// Allocates a buffer holding `n` `i32`/`u32` values.
+    pub fn alloc_u32(&mut self, n: usize) -> BufferId {
+        self.alloc(n * 4)
+    }
+
+    /// Allocates a buffer holding `n` 64-bit values.
+    pub fn alloc_u64(&mut self, n: usize) -> BufferId {
+        self.alloc(n * 8)
+    }
+
+    /// Allocates and fills a buffer from `f32` data.
+    pub fn alloc_from_f32(&mut self, data: &[f32]) -> BufferId {
+        let id = self.alloc_f32(data.len());
+        self.write_f32s(id, data);
+        id
+    }
+
+    /// Allocates and fills a buffer from `u32` data.
+    pub fn alloc_from_u32(&mut self, data: &[u32]) -> BufferId {
+        let id = self.alloc_u32(data.len());
+        self.write_u32s(id, data);
+        id
+    }
+
+    /// Allocates and fills a buffer from `u64` data.
+    pub fn alloc_from_u64(&mut self, data: &[u64]) -> BufferId {
+        let id = self.alloc_u64(data.len());
+        for (i, v) in data.iter().enumerate() {
+            self.buffers[id.0 as usize][i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        id
+    }
+
+    /// Buffer size in bytes.
+    pub fn len_bytes(&self, id: BufferId) -> usize {
+        self.buffers[id.0 as usize].len()
+    }
+
+    pub(crate) fn load(&self, buffer: u32, offset: u32, width: u32) -> Result<u64, SimError> {
+        let buf = self
+            .buffers
+            .get(buffer as usize)
+            .ok_or_else(|| SimError::new(format!("load from unknown buffer {buffer}")))?;
+        let off = offset as usize;
+        let w = width as usize;
+        if off + w > buf.len() {
+            return Err(SimError::new(format!(
+                "global load out of bounds: buffer {buffer} ({} bytes) at offset {off}+{w}",
+                buf.len()
+            )));
+        }
+        let mut word = [0u8; 8];
+        word[..w].copy_from_slice(&buf[off..off + w]);
+        Ok(u64::from_le_bytes(word))
+    }
+
+    pub(crate) fn store(
+        &mut self,
+        buffer: u32,
+        offset: u32,
+        width: u32,
+        value: u64,
+    ) -> Result<(), SimError> {
+        let buf = self
+            .buffers
+            .get_mut(buffer as usize)
+            .ok_or_else(|| SimError::new(format!("store to unknown buffer {buffer}")))?;
+        let off = offset as usize;
+        let w = width as usize;
+        if off + w > buf.len() {
+            return Err(SimError::new(format!(
+                "global store out of bounds: buffer {buffer} ({} bytes) at offset {off}+{w}",
+                buf.len()
+            )));
+        }
+        buf[off..off + w].copy_from_slice(&value.to_le_bytes()[..w]);
+        Ok(())
+    }
+
+    /// Writes `f32` values starting at element 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small.
+    pub fn write_f32s(&mut self, id: BufferId, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.buffers[id.0 as usize][i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Writes `u32` values starting at element 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small.
+    pub fn write_u32s(&mut self, id: BufferId, data: &[u32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.buffers[id.0 as usize][i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads the `i`-th `f32` element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn read_f32(&self, id: BufferId, i: usize) -> f32 {
+        let b = &self.buffers[id.0 as usize][i * 4..i * 4 + 4];
+        f32::from_le_bytes(b.try_into().expect("4 bytes"))
+    }
+
+    /// Reads all elements as `f32`.
+    pub fn read_f32s(&self, id: BufferId) -> Vec<f32> {
+        let buf = &self.buffers[id.0 as usize];
+        buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
+    }
+
+    /// Reads the `i`-th `u32` element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn read_u32(&self, id: BufferId, i: usize) -> u32 {
+        let b = &self.buffers[id.0 as usize][i * 4..i * 4 + 4];
+        u32::from_le_bytes(b.try_into().expect("4 bytes"))
+    }
+
+    /// Reads all elements as `u32`.
+    pub fn read_u32s(&self, id: BufferId) -> Vec<u32> {
+        let buf = &self.buffers[id.0 as usize];
+        buf.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
+    }
+
+    /// Reads all elements as `u64`.
+    pub fn read_u64s(&self, id: BufferId) -> Vec<u64> {
+        let buf = &self.buffers[id.0 as usize];
+        buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+    }
+
+    /// Raw bytes of a buffer (for snapshot comparisons in tests).
+    pub fn bytes(&self, id: BufferId) -> &[u8] {
+        &self.buffers[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_round_trip_f32() {
+        let mut m = GpuMemory::new();
+        let b = m.alloc_from_f32(&[1.0, -2.5, 3.25]);
+        assert_eq!(m.read_f32(b, 1), -2.5);
+        assert_eq!(m.read_f32s(b), vec![1.0, -2.5, 3.25]);
+        assert_eq!(m.len_bytes(b), 12);
+    }
+
+    #[test]
+    fn typed_load_store() {
+        let mut m = GpuMemory::new();
+        let b = m.alloc(16);
+        m.store(b.0, 4, 4, 0xdead_beef).expect("store");
+        assert_eq!(m.load(b.0, 4, 4).expect("load"), 0xdead_beef);
+        // 8-byte access
+        m.store(b.0, 8, 8, u64::MAX).expect("store");
+        assert_eq!(m.load(b.0, 8, 8).expect("load"), u64::MAX);
+    }
+
+    #[test]
+    fn out_of_bounds_load_errors() {
+        let m = GpuMemory::new();
+        assert!(m.load(0, 0, 4).is_err());
+        let mut m = GpuMemory::new();
+        let b = m.alloc(8);
+        assert!(m.load(b.0, 5, 4).is_err());
+        assert!(m.load(b.0, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_store_errors() {
+        let mut m = GpuMemory::new();
+        let b = m.alloc(4);
+        assert!(m.store(b.0, 1, 4, 0).is_err());
+        assert!(m.store(b.0, 0, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut m = GpuMemory::new();
+        let b = m.alloc_from_u32(&[7, 8]);
+        assert_eq!(m.read_u32(b, 0), 7);
+        assert_eq!(m.read_u32s(b), vec![7, 8]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The occupancy calculator: how many blocks of a kernel fit on one SM.
+//!
+//! This implements the resource arithmetic the paper's search algorithm
+//! (Fig. 6) relies on: residency is bounded by registers, shared memory,
+//! threads, and hardware block slots, and the binding constraint determines
+//! whether a register cap can recover occupancy.
+
+use crate::config::GpuConfig;
+
+/// The per-resource block limits and the resulting residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyLimits {
+    /// Limit imposed by the register file.
+    pub by_registers: u32,
+    /// Limit imposed by shared memory.
+    pub by_shared_mem: u32,
+    /// Limit imposed by the thread count.
+    pub by_threads: u32,
+    /// Limit imposed by hardware block slots.
+    pub by_block_slots: u32,
+}
+
+impl OccupancyLimits {
+    /// The achievable resident blocks per SM (minimum over resources).
+    pub fn blocks(&self) -> u32 {
+        self.by_registers
+            .min(self.by_shared_mem)
+            .min(self.by_threads)
+            .min(self.by_block_slots)
+    }
+
+    /// The resource that binds (useful in reports). Ties break in the order
+    /// registers, shared memory, threads, block slots.
+    pub fn binding_resource(&self) -> &'static str {
+        let b = self.blocks();
+        if self.by_registers == b {
+            "registers"
+        } else if self.by_shared_mem == b {
+            "shared memory"
+        } else if self.by_threads == b {
+            "threads"
+        } else {
+            "block slots"
+        }
+    }
+}
+
+/// Computes per-resource residency limits for a kernel launch.
+///
+/// `regs_per_thread` is the kernel's register demand (after any bound),
+/// `threads_per_block` the block size, `shared_bytes` the total static +
+/// dynamic shared memory per block.
+pub fn occupancy_limits(
+    cfg: &GpuConfig,
+    regs_per_thread: u32,
+    threads_per_block: u32,
+    shared_bytes: u32,
+) -> OccupancyLimits {
+    let regs_per_block = regs_per_thread.max(1) * threads_per_block.max(1);
+    OccupancyLimits {
+        by_registers: cfg.regs_per_sm / regs_per_block.max(1),
+        by_shared_mem: if shared_bytes == 0 {
+            u32::MAX
+        } else {
+            cfg.shared_per_sm / shared_bytes
+        },
+        by_threads: cfg.max_threads_per_sm / threads_per_block.max(1),
+        by_block_slots: cfg.max_blocks_per_sm,
+    }
+}
+
+/// Resident blocks per SM for a launch (the minimum across resources). Zero
+/// means the block cannot be scheduled at all (e.g. too much shared memory).
+pub fn blocks_per_sm(
+    cfg: &GpuConfig,
+    regs_per_thread: u32,
+    threads_per_block: u32,
+    shared_bytes: u32,
+) -> u32 {
+    occupancy_limits(cfg, regs_per_thread, threads_per_block, shared_bytes).blocks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::pascal_like()
+    }
+
+    #[test]
+    fn paper_example_registers_bind() {
+        // Paper §II-A: 24K shared, 512 threads, 64 regs/thread → 2 blocks,
+        // registers are the bottleneck.
+        let lim = occupancy_limits(&cfg(), 64, 512, 24 * 1024);
+        assert_eq!(lim.blocks(), 2);
+        assert_eq!(lim.binding_resource(), "registers");
+    }
+
+    #[test]
+    fn paper_example_halving_registers_doubles_occupancy() {
+        // Paper §II-A: dropping to 32 regs/thread gives 4 blocks.
+        let lim = occupancy_limits(&cfg(), 32, 512, 24 * 1024);
+        assert_eq!(lim.blocks(), 4);
+        assert_eq!(lim.by_registers, 4);
+        assert_eq!(lim.by_shared_mem, 4);
+    }
+
+    #[test]
+    fn thread_limit_binds_for_large_blocks() {
+        let lim = occupancy_limits(&cfg(), 16, 1024, 0);
+        assert_eq!(lim.by_threads, 2);
+        assert_eq!(lim.blocks(), 2);
+        // registers allow 65536/(16*1024) = 4 blocks, so threads bind.
+        assert_eq!(lim.binding_resource(), "threads");
+    }
+
+    #[test]
+    fn block_slots_bind_for_tiny_blocks() {
+        let lim = occupancy_limits(&cfg(), 8, 32, 0);
+        assert_eq!(lim.blocks(), cfg().max_blocks_per_sm);
+        assert_eq!(lim.binding_resource(), "block slots");
+    }
+
+    #[test]
+    fn zero_shared_is_unlimited() {
+        let lim = occupancy_limits(&cfg(), 32, 256, 0);
+        assert_eq!(lim.by_shared_mem, u32::MAX);
+    }
+
+    #[test]
+    fn oversized_block_cannot_schedule() {
+        assert_eq!(blocks_per_sm(&cfg(), 32, 256, 200 * 1024), 0);
+    }
+
+    #[test]
+    fn more_registers_monotonically_reduce_occupancy() {
+        let mut prev = u32::MAX;
+        for regs in [16, 32, 64, 128, 255] {
+            let b = blocks_per_sm(&cfg(), regs, 256, 0);
+            assert!(b <= prev, "regs {regs}: {b} > {prev}");
+            prev = b;
+        }
+    }
+}

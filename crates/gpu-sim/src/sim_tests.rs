@@ -1,0 +1,493 @@
+//! Additional behavioural tests of the simulator: coalescing accounting,
+//! barrier reuse, shuffle widths, atomic types, divergence patterns, and
+//! 64-bit datapaths. Kept in a separate module to keep `timing.rs` focused.
+
+#![cfg(test)]
+
+use cuda_frontend::parse_kernel;
+use thread_ir::lower_kernel;
+
+use crate::config::GpuConfig;
+use crate::launch::{Launch, ParamValue};
+use crate::timing::Gpu;
+
+fn compile(src: &str) -> thread_ir::KernelIr {
+    lower_kernel(&parse_kernel(src).expect("parse")).expect("lower")
+}
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuConfig::test_tiny())
+}
+
+#[test]
+fn coalesced_loads_cost_fewer_transactions_than_strided() {
+    let run = |stride: i32| {
+        let ir = compile(
+            "__global__ void k(float* out, float* in, int stride) {\
+               int i = threadIdx.x;\
+               out[i] = in[i * stride];\
+             }",
+        );
+        let mut gpu = gpu();
+        let inp = gpu.memory_mut().alloc_f32(32 * 64);
+        let out = gpu.memory_mut().alloc_f32(64);
+        let launch = Launch {
+            kernel: ir,
+            grid_dim: 1,
+            block_dim: (64, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: vec![
+                ParamValue::Ptr(out),
+                ParamValue::Ptr(inp),
+                ParamValue::I32(stride),
+            ],
+        };
+        gpu.run(&[launch]).expect("run").metrics.mem_transactions
+    };
+    let sequential = run(1);
+    let strided = run(32);
+    assert!(
+        strided >= sequential * 8,
+        "stride-32 loads must generate far more transactions: {strided} vs {sequential}"
+    );
+}
+
+#[test]
+fn barrier_in_loop_resets_arrival_counter() {
+    // Each iteration all threads synchronize twice; the counter must reset
+    // between phases or the second iteration would deadlock/misfire.
+    let ir = compile(
+        "__global__ void k(int* out, int rounds) {\
+           __shared__ int s[1];\
+           int t = threadIdx.x;\
+           int acc = 0;\
+           for (int r = 0; r < rounds; r++) {\
+             if (t == r % 64) { s[0] = r * 10 + 1; }\
+             __syncthreads();\
+             acc += s[0];\
+             __syncthreads();\
+           }\
+           out[t] = acc;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(64);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (64, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::I32(5)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let want: u32 = (0..5).map(|r| r * 10 + 1).sum();
+    for (i, v) in gpu.memory().read_u32s(out).iter().enumerate() {
+        assert_eq!(*v, want, "thread {i}");
+    }
+}
+
+#[test]
+fn partial_barriers_with_distinct_ids_do_not_interfere() {
+    // Two independent 32-thread groups each use their own barrier id; a
+    // shared counter checks they both made exactly their own rounds.
+    let ir = compile(
+        "__global__ void k(unsigned int* out, int rounds) {\
+           __shared__ unsigned int a[1];\
+           __shared__ unsigned int b[1];\
+           int t = threadIdx.x;\
+           if (t < 32) {\
+             for (int r = 0; r < rounds; r++) {\
+               if (t == 0) { atomicAdd(&a[0], 1u); }\
+               asm(\"bar.sync 1, 32;\");\
+             }\
+             out[t] = a[0];\
+           } else {\
+             for (int r = 0; r < rounds * 2; r++) {\
+               if (t == 32) { atomicAdd(&b[0], 1u); }\
+               asm(\"bar.sync 2, 32;\");\
+             }\
+             out[t] = b[0];\
+           }\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(64);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (64, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::I32(3)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let v = gpu.memory().read_u32s(out);
+    assert!(v[..32].iter().all(|&x| x == 3), "{v:?}");
+    assert!(v[32..].iter().all(|&x| x == 6), "{v:?}");
+}
+
+#[test]
+fn shuffle_width_subgroups() {
+    // Width-16 xor reduction sums within each half-warp independently.
+    let ir = compile(
+        "__global__ void k(unsigned int* out) {\
+           unsigned int v = threadIdx.x;\
+           for (int i = 8; i > 0; i = i / 2) {\
+             v += __shfl_xor_sync(0xffffffffu, v, i, 16);\
+           }\
+           out[threadIdx.x] = v;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(32);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let v = gpu.memory().read_u32s(out);
+    let low: u32 = (0..16).sum();
+    let high: u32 = (16..32).sum();
+    assert!(v[..16].iter().all(|&x| x == low), "{v:?}");
+    assert!(v[16..].iter().all(|&x| x == high), "{v:?}");
+}
+
+#[test]
+fn shfl_down_shifts_within_width() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out) {\
+           unsigned int v = threadIdx.x;\
+           out[threadIdx.x] = __shfl_down_sync(0xffffffffu, v, 1u, 32);\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(32);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let v = gpu.memory().read_u32s(out);
+    assert_eq!(v[0], 1);
+    assert_eq!(v[30], 31);
+    // The last lane has no source below it and keeps its own value.
+    assert_eq!(v[31], 31);
+}
+
+#[test]
+fn float_atomic_add_accumulates() {
+    let ir = compile(
+        "__global__ void k(float* sum) { atomicAdd(&sum[0], 0.5f); }",
+    );
+    let mut gpu = gpu();
+    let sum = gpu.memory_mut().alloc_f32(1);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 2,
+        block_dim: (64, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(sum)],
+    };
+    gpu.run(&[launch]).expect("run");
+    assert_eq!(gpu.memory().read_f32(sum, 0), 64.0);
+}
+
+#[test]
+fn sixty_four_bit_loads_and_arithmetic() {
+    let ir = compile(
+        "__global__ void k(unsigned long long* out, unsigned long long* in) {\
+           int i = threadIdx.x;\
+           out[i] = in[i] * 2654435761ull + (unsigned long long)i;\
+         }",
+    );
+    let mut gpu = gpu();
+    let data: Vec<u64> = (0..32).map(|i| (i as u64) << 40 | 7).collect();
+    let inp = gpu.memory_mut().alloc_from_u64(&data);
+    let out = gpu.memory_mut().alloc_u64(32);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::Ptr(inp)],
+    };
+    gpu.run(&[launch]).expect("run");
+    for (i, v) in gpu.memory().read_u64s(out).iter().enumerate() {
+        let want = data[i].wrapping_mul(2654435761).wrapping_add(i as u64);
+        assert_eq!(*v, want, "lane {i}");
+    }
+}
+
+#[test]
+fn per_thread_loop_trip_counts_diverge_and_reconverge() {
+    // Thread t iterates t times; afterwards all threads store. Verifies the
+    // min-PC stepper handles ragged loop exits.
+    let ir = compile(
+        "__global__ void k(unsigned int* out) {\
+           unsigned int acc = 0u;\
+           for (int i = 0; i < threadIdx.x; i++) { acc += (unsigned int)i; }\
+           out[threadIdx.x] = acc + 100u;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(32);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out)],
+    };
+    gpu.run(&[launch]).expect("run");
+    for (t, v) in gpu.memory().read_u32s(out).iter().enumerate() {
+        let want: u32 = (0..t as u32).sum::<u32>() + 100;
+        assert_eq!(*v, want, "thread {t}");
+    }
+}
+
+#[test]
+fn local_arrays_are_private_per_thread() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out) {\
+           unsigned int scratch[4];\
+           for (int i = 0; i < 4; i++) { scratch[i] = threadIdx.x * 10u + (unsigned int)i; }\
+           out[threadIdx.x] = scratch[3];\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(64);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (64, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out)],
+    };
+    gpu.run(&[launch]).expect("run");
+    for (t, v) in gpu.memory().read_u32s(out).iter().enumerate() {
+        assert_eq!(*v, t as u32 * 10 + 3, "thread {t}");
+    }
+}
+
+#[test]
+fn do_while_executes_body_at_least_once() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out, int n) {\
+           unsigned int count = 0u;\
+           int i = n;\
+           do { count += 1u; i = i - 1; } while (i > 0);\
+           out[threadIdx.x] = count;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(32);
+    // n = 0: condition false immediately, but the body must run once.
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::I32(0)],
+    };
+    gpu.run(&[launch]).expect("run");
+    assert!(gpu.memory().read_u32s(out).iter().all(|&v| v == 1));
+}
+
+#[test]
+fn launch_overlap_is_reported_per_launch() {
+    // Launches on parallel streams may overlap, so a racy read-modify-write
+    // would lose updates; atomics make the cross-launch accumulation exact.
+    let ir = compile(
+        "__global__ void k(float* p, int n) {\
+           int i = blockIdx.x * blockDim.x + threadIdx.x;\
+           if (i < n) { atomicAdd(&p[i], 1.0f); }\
+         }",
+    );
+    let mut gpu = gpu();
+    let p = gpu.memory_mut().alloc_f32(512);
+    let mk = || Launch {
+        kernel: ir.clone(),
+        grid_dim: 4,
+        block_dim: (128, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(p), ParamValue::I32(512)],
+    };
+    let r = gpu.run(&[mk(), mk(), mk()]).expect("run");
+    assert_eq!(r.launch_finish.len(), 3);
+    // Overlapping streams give no cross-launch ordering guarantee; each
+    // launch just has to finish within the run.
+    for i in 0..3 {
+        assert!(r.launch_cycles(i) > 0);
+        assert!(r.launch_cycles(i) <= r.total_cycles);
+    }
+    // All three launches incremented every element exactly once.
+    assert!(gpu.memory().read_f32s(p).iter().all(|&v| v == 3.0));
+}
+
+#[test]
+fn traced_run_produces_samples_matching_totals() {
+    let ir = compile(
+        "__global__ void k(float* p, int n) {\
+           int i = blockIdx.x * blockDim.x + threadIdx.x;\
+           float acc = 0.0f;\
+           for (int j = 0; j < 64; j++) { acc += p[(i + j) % n]; }\
+           p[i % n] = acc;\
+         }",
+    );
+    let mut gpu = gpu();
+    let p = gpu.memory_mut().alloc_f32(2048);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 8,
+        block_dim: (256, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(p), ParamValue::I32(2048)],
+    };
+    let (result, trace) = gpu.run_traced(&[launch], 256).expect("traced run");
+    assert!(!trace.is_empty());
+    // Samples cover the run and are ordered.
+    assert!(trace.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    assert!(trace.last().expect("nonempty").cycle <= result.total_cycles + 256);
+    for s in &trace {
+        assert!((0.0..=100.0).contains(&s.issue_util), "{s:?}");
+        assert!(s.avg_warps >= 0.0);
+    }
+    // The utilization seen in windows should bracket the aggregate.
+    let max = trace.iter().map(|s| s.issue_util).fold(0.0, f64::max);
+    assert!(max + 1e-9 >= result.metrics.issue_slot_utilization());
+}
+
+#[test]
+fn bit_intrinsics_compute_correctly() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out, unsigned int* in) {\
+           unsigned int v = in[threadIdx.x];\
+           out[threadIdx.x * 3u] = (unsigned int)__popc(v);\
+           out[threadIdx.x * 3u + 1u] = (unsigned int)__clz(v);\
+           out[threadIdx.x * 3u + 2u] = __brev(v);\
+         }",
+    );
+    let mut gpu = gpu();
+    let data: Vec<u32> = (0..32).map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1).collect();
+    let inp = gpu.memory_mut().alloc_from_u32(&data);
+    let out = gpu.memory_mut().alloc_u32(96);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::Ptr(inp)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let v = gpu.memory().read_u32s(out);
+    for (i, &x) in data.iter().enumerate() {
+        assert_eq!(v[i * 3], x.count_ones(), "popc lane {i}");
+        assert_eq!(v[i * 3 + 1], x.leading_zeros(), "clz lane {i}");
+        assert_eq!(v[i * 3 + 2], x.reverse_bits(), "brev lane {i}");
+    }
+}
+
+#[test]
+fn switch_dispatch_fallthrough_and_break() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out) {\
+           int t = threadIdx.x;\
+           unsigned int v = 0u;\
+           switch (t % 4) {\
+             case 0: v = 100u; break;\
+             case 1: v = 200u;\
+             case 2: v += 11u; break;\
+             default: v = 900u;\
+           }\
+           out[t] = v;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(32);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let v = gpu.memory().read_u32s(out);
+    for t in 0..32 {
+        let want = match t % 4 {
+            0 => 100,            // break
+            1 => 211,            // falls through into case 2
+            2 => 11,             // case 2 directly
+            _ => 900,            // default
+        };
+        assert_eq!(v[t], want, "thread {t}");
+    }
+}
+
+#[test]
+fn continue_inside_switch_targets_enclosing_loop() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out, int n) {\
+           unsigned int acc = 0u;\
+           for (int i = 0; i < n; i++) {\
+             switch (i % 2) {\
+               case 0: continue;\
+               default: acc += (unsigned int)i;\
+             }\
+             acc += 100u;\
+           }\
+           out[threadIdx.x] = acc;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(32);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::I32(6)],
+    };
+    gpu.run(&[launch]).expect("run");
+    // odd i: acc += i then += 100 → i=1,3,5 → 9 + 300 = 309
+    assert!(gpu.memory().read_u32s(out).iter().all(|&v| v == 309));
+}
+
+#[test]
+fn warp_votes_ballot_any_all() {
+    let ir = compile(
+        "__global__ void k(unsigned int* out) {\
+           int t = threadIdx.x;\
+           unsigned int b = __ballot_sync(0xffffffffu, t % 2 == 0);\
+           int anyv = __any_sync(0xffffffffu, t == 5);\
+           int allv = __all_sync(0xffffffffu, t < 32);\
+           int none = __all_sync(0xffffffffu, t > 100);\
+           out[t * 4u] = b;\
+           out[t * 4u + 1u] = (unsigned int)anyv;\
+           out[t * 4u + 2u] = (unsigned int)allv;\
+           out[t * 4u + 3u] = (unsigned int)none;\
+         }",
+    );
+    let mut gpu = gpu();
+    let out = gpu.memory_mut().alloc_u32(128);
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: 1,
+        block_dim: (32, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out)],
+    };
+    gpu.run(&[launch]).expect("run");
+    let v = gpu.memory().read_u32s(out);
+    for t in 0..32 {
+        assert_eq!(v[t * 4], 0x5555_5555, "ballot lane {t}");
+        assert_eq!(v[t * 4 + 1], 1, "any lane {t}");
+        assert_eq!(v[t * 4 + 2], 1, "all lane {t}");
+        assert_eq!(v[t * 4 + 3], 0, "none lane {t}");
+    }
+}

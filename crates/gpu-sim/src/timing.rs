@@ -1,0 +1,1107 @@
+//! The cycle-driven timing engine: block dispatch, warp scheduling with
+//! scoreboarding, memory latency/bandwidth modeling, and metric collection.
+//!
+//! Each SM hosts resident blocks up to its register / shared-memory / thread
+//! / slot limits. Every cycle, each of its warp schedulers picks the first
+//! eligible warp in loose-round-robin order and issues one instruction for
+//! that warp's min-PC group. Eligibility requires the instruction's operand
+//! registers to be ready (per-warp scoreboard) and, for memory instructions,
+//! a free MSHR and DRAM bandwidth. Stall slots are classified the way
+//! `nvprof` classifies them (memory dependency, execution dependency,
+//! synchronization), which is what Figs. 8 and 9 of the paper report.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use thread_ir::ir::Inst;
+
+use crate::config::GpuConfig;
+use crate::error::SimError;
+use crate::exec::{BlockExec, ExecOutcome, IssueKind, WarpPeek, WARP_SIZE};
+use crate::launch::Launch;
+use crate::memory::GpuMemory;
+use crate::metrics::{RunMetrics, RunResult};
+
+/// Abort threshold: consecutive cycles with no issue, no retirement, and no
+/// dispatch anywhere on the device (a barrier deadlock or engine bug).
+const DEADLOCK_CYCLES: u64 = 50_000;
+
+/// Hard ceiling on simulated cycles.
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// The simulated GPU: a configuration plus device memory.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    config: GpuConfig,
+    memory: GpuMemory,
+}
+
+impl Gpu {
+    /// Creates a GPU with empty device memory.
+    pub fn new(config: GpuConfig) -> Self {
+        Self { config, memory: GpuMemory::new() }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Device memory (read side).
+    pub fn memory(&self) -> &GpuMemory {
+        &self.memory
+    }
+
+    /// Device memory (for allocation and input upload).
+    pub fn memory_mut(&mut self) -> &mut GpuMemory {
+        &mut self.memory
+    }
+
+    /// Runs the launches *functionally*: exact results, no timing. Launches
+    /// execute in order; blocks of a launch execute sequentially with
+    /// cooperative warp scheduling (so barriers and shuffles behave).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on faults or barrier deadlock.
+    pub fn run_functional(&mut self, launches: &[Launch]) -> Result<(), SimError> {
+        let seg = self.config.segment_bytes;
+        for (li, launch) in launches.iter().enumerate() {
+            launch.validate()?;
+            for b in 0..launch.grid_dim {
+                let mut blk = BlockExec::new(launch, li, b);
+                loop {
+                    let mut progressed = false;
+                    for w in 0..blk.num_warps() {
+                        while let WarpPeek::Exec { pc, mask } = blk.peek_warp(w) {
+                            blk.exec_group(launch, &mut self.memory, w, pc, mask, seg)?;
+                            progressed = true;
+                        }
+                    }
+                    if blk.all_done() {
+                        break;
+                    }
+                    if !progressed {
+                        return Err(SimError::new(format!(
+                            "barrier deadlock in `{}` block {b}",
+                            launch.kernel.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::run`], additionally sampling an issue-utilization /
+    /// occupancy timeline every `interval` cycles — the raw material for
+    /// visualizing how fusion fills one kernel's stall cycles with the
+    /// other's instructions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_traced(
+        &mut self,
+        launches: &[Launch],
+        interval: u64,
+    ) -> Result<(RunResult, Vec<crate::metrics::TraceSample>), SimError> {
+        for l in launches {
+            l.validate()?;
+        }
+        let mut engine = Engine::new(&self.config, launches);
+        engine.trace_interval = interval.max(1);
+        let result = engine.run(&mut self.memory)?;
+        let trace = std::mem::take(&mut engine.trace);
+        Ok((result, trace))
+    }
+
+    /// Runs the launches through the timing model and returns cycle counts
+    /// and metrics. Memory effects are identical to [`Self::run_functional`].
+    ///
+    /// Blocks are dispatched with the *leftover* policy: a launch's blocks
+    /// are only scheduled when every earlier launch has no undispatched
+    /// blocks (how concurrent streams behave for saturating kernels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on faults, deadlock, unschedulable blocks, or
+    /// cycle-limit overrun.
+    pub fn run(&mut self, launches: &[Launch]) -> Result<RunResult, SimError> {
+        for l in launches {
+            l.validate()?;
+            let blocks = crate::occupancy::blocks_per_sm(
+                &self.config,
+                l.kernel.reg_pressure(),
+                l.threads_per_block(),
+                l.shared_bytes_per_block(),
+            );
+            if blocks == 0 {
+                return Err(SimError::new(format!(
+                    "kernel `{}` cannot be scheduled: a single block exceeds SM resources",
+                    l.kernel.name
+                )));
+            }
+        }
+        let mut engine = Engine::new(&self.config, launches);
+        engine.run(&mut self.memory)
+    }
+}
+
+/// Per-launch precomputed issue information.
+struct LaunchCtx {
+    /// Per-instruction count of spilled-register operands.
+    spill_counts: Vec<u8>,
+    regs_per_block: u32,
+    shared_per_block: u32,
+    threads_per_block: u32,
+}
+
+impl LaunchCtx {
+    fn new(launch: &Launch) -> Self {
+        let k = &launch.kernel;
+        let mut spilled = vec![false; k.num_regs as usize];
+        for &r in &k.spilled_regs {
+            spilled[r as usize] = true;
+        }
+        let mut srcs = Vec::with_capacity(3);
+        let spill_counts = k
+            .insts
+            .iter()
+            .map(|inst| {
+                let mut n = 0u8;
+                if let Some(d) = inst.dst() {
+                    n += u8::from(spilled[d as usize]);
+                }
+                srcs.clear();
+                inst.srcs_into(&mut srcs);
+                for &s in &srcs {
+                    n += u8::from(spilled[s as usize]);
+                }
+                n
+            })
+            .collect();
+        LaunchCtx {
+            spill_counts,
+            regs_per_block: k.reg_pressure() * launch.threads_per_block(),
+            shared_per_block: launch.shared_bytes_per_block(),
+            threads_per_block: launch.threads_per_block(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallReason {
+    Memory,
+    Exec,
+    Sync,
+    Other,
+}
+
+struct WarpSlot {
+    block_slot: usize,
+    warp_idx: usize,
+    /// Scoreboard: cycle at which each register's value is ready.
+    ready: Vec<u64>,
+    /// Whether the pending writer of each register is a memory instruction.
+    mem_pending: Vec<bool>,
+    /// Cached earliest cycle at which a scoreboard-blocked warp can retry.
+    stall_until: u64,
+    stall_reason: StallReason,
+    peek: WarpPeek,
+    done: bool,
+}
+
+struct BlockSlot {
+    exec: BlockExec,
+    launch_idx: usize,
+    warp_slots: Vec<usize>,
+    live_warps: u32,
+}
+
+struct SmState {
+    blocks: Vec<Option<BlockSlot>>,
+    warps: Vec<Option<WarpSlot>>,
+    /// Warp-slot indices assigned to each scheduler.
+    sched_warps: Vec<Vec<usize>>,
+    rr: Vec<usize>,
+    regs_used: u32,
+    shared_used: u32,
+    threads_used: u32,
+    /// Outstanding memory transactions (MSHR occupancy).
+    inflight: u32,
+    /// (completion cycle, transactions) min-heap.
+    completions: BinaryHeap<Reverse<(u64, u32)>>,
+    live_warps_total: u32,
+    /// Cycle at which the global/local load-store pipe accepts the next
+    /// memory warp-instruction (uncoalesced accesses hold it longer).
+    global_pipe_free: u64,
+    /// Cycle at which the shared-memory pipe accepts the next warp
+    /// instruction (bank-conflicted atomics hold it longer).
+    shared_pipe_free: u64,
+}
+
+impl SmState {
+    fn new(cfg: &GpuConfig) -> Self {
+        SmState {
+            blocks: Vec::new(),
+            warps: Vec::new(),
+            sched_warps: vec![Vec::new(); cfg.schedulers_per_sm as usize],
+            rr: vec![0; cfg.schedulers_per_sm as usize],
+            regs_used: 0,
+            shared_used: 0,
+            threads_used: 0,
+            inflight: 0,
+            completions: BinaryHeap::new(),
+            live_warps_total: 0,
+            global_pipe_free: 0,
+            shared_pipe_free: 0,
+        }
+    }
+
+    fn resident_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|b| b.is_some()).count() as u32
+    }
+
+    fn is_active(&self) -> bool {
+        self.blocks.iter().any(|b| b.is_some())
+    }
+
+    fn fits(&self, cfg: &GpuConfig, ctx: &LaunchCtx) -> bool {
+        self.resident_blocks() < cfg.max_blocks_per_sm
+            && self.regs_used + ctx.regs_per_block <= cfg.regs_per_sm
+            && self.shared_used + ctx.shared_per_block <= cfg.shared_per_sm
+            && self.threads_used + ctx.threads_per_block <= cfg.max_threads_per_sm
+    }
+}
+
+struct Engine<'a> {
+    cfg: &'a GpuConfig,
+    launches: &'a [Launch],
+    ctxs: Vec<LaunchCtx>,
+    sms: Vec<SmState>,
+    /// Next undispatched block per launch.
+    next_block: Vec<u32>,
+    blocks_remaining: u64,
+    dram_tokens: i64,
+    metrics: RunMetrics,
+    launch_finish: Vec<u64>,
+    idle_cycles: u64,
+    /// Sampling interval for [`Gpu::run_traced`] (0 = no tracing).
+    trace_interval: u64,
+    trace: Vec<crate::metrics::TraceSample>,
+    window_issued: u64,
+    window_slots: u64,
+    window_warp_cycles: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a GpuConfig, launches: &'a [Launch]) -> Self {
+        Engine {
+            cfg,
+            launches,
+            ctxs: launches.iter().map(LaunchCtx::new).collect(),
+            sms: (0..cfg.num_sms).map(|_| SmState::new(cfg)).collect(),
+            next_block: vec![0; launches.len()],
+            blocks_remaining: launches.iter().map(|l| u64::from(l.grid_dim)).sum(),
+            dram_tokens: 0,
+            metrics: RunMetrics { max_warps_per_sm: cfg.max_warps_per_sm(), ..Default::default() },
+            launch_finish: vec![0; launches.len()],
+            idle_cycles: 0,
+            trace_interval: 0,
+            trace: Vec::new(),
+            window_issued: 0,
+            window_slots: 0,
+            window_warp_cycles: 0,
+        }
+    }
+
+    fn run(&mut self, memory: &mut GpuMemory) -> Result<RunResult, SimError> {
+        let mut cycle: u64 = 0;
+        let token_burst = i64::from(self.cfg.dram_transactions_per_cycle) * 4;
+        loop {
+            // Refill DRAM bandwidth tokens.
+            self.dram_tokens =
+                (self.dram_tokens + i64::from(self.cfg.dram_transactions_per_cycle))
+                    .min(token_burst);
+
+            let mut progress = false;
+
+            // Retire completed memory transactions.
+            for sm in &mut self.sms {
+                while let Some(&Reverse((t, n))) = sm.completions.peek() {
+                    if t > cycle {
+                        break;
+                    }
+                    sm.completions.pop();
+                    sm.inflight = sm.inflight.saturating_sub(n);
+                    progress = true;
+                }
+            }
+
+            // Dispatch blocks (leftover policy, one block per SM per cycle).
+            progress |= self.dispatch_blocks();
+
+            // Issue.
+            for sm_idx in 0..self.sms.len() {
+                if !self.sms[sm_idx].is_active() {
+                    continue;
+                }
+                self.metrics.active_sm_cycles += 1;
+                self.metrics.active_warp_cycles +=
+                    u64::from(self.sms[sm_idx].live_warps_total);
+                for sched in 0..self.cfg.schedulers_per_sm as usize {
+                    self.metrics.total_slots += 1;
+                    match self.issue_one(memory, sm_idx, sched, cycle)? {
+                        IssueResult::Issued => {
+                            self.metrics.issued_slots += 1;
+                            progress = true;
+                        }
+                        IssueResult::Stalled(reason) => match reason {
+                            StallReason::Memory => self.metrics.stall_mem += 1,
+                            StallReason::Exec => self.metrics.stall_exec += 1,
+                            StallReason::Sync => self.metrics.stall_sync += 1,
+                            StallReason::Other => self.metrics.stall_other += 1,
+                        },
+                    }
+                }
+            }
+
+            // Timeline sampling: emit a window sample from the metric
+            // deltas since the previous sample.
+            if self.trace_interval > 0 && (cycle + 1) % self.trace_interval == 0 {
+                let issued = self.metrics.issued_slots - self.window_issued;
+                let slots = self.metrics.total_slots - self.window_slots;
+                let warps = self.metrics.active_warp_cycles - self.window_warp_cycles;
+                self.window_issued = self.metrics.issued_slots;
+                self.window_slots = self.metrics.total_slots;
+                self.window_warp_cycles = self.metrics.active_warp_cycles;
+                self.trace.push(crate::metrics::TraceSample {
+                    cycle: cycle + 1,
+                    issue_util: if slots == 0 {
+                        0.0
+                    } else {
+                        100.0 * issued as f64 / slots as f64
+                    },
+                    avg_warps: warps as f64
+                        / (self.trace_interval as f64 * f64::from(self.cfg.num_sms)),
+                });
+            }
+
+            // Retire finished blocks.
+            progress |= self.retire_blocks(cycle);
+
+            if self.blocks_remaining == 0 && self.sms.iter().all(|s| !s.is_active()) {
+                cycle += 1;
+                break;
+            }
+
+            self.idle_cycles = if progress { 0 } else { self.idle_cycles + 1 };
+            if self.idle_cycles > DEADLOCK_CYCLES {
+                return Err(SimError::new(
+                    "device made no progress (barrier deadlock between thread groups?)",
+                ));
+            }
+            cycle += 1;
+            if cycle > MAX_CYCLES {
+                return Err(SimError::new("cycle limit exceeded"));
+            }
+        }
+        self.metrics.cycles = cycle;
+        Ok(RunResult {
+            total_cycles: cycle,
+            metrics: self.metrics,
+            launch_finish: std::mem::take(&mut self.launch_finish),
+        })
+    }
+
+    /// Picks the launch whose blocks may dispatch (leftover policy) and
+    /// places at most one block per SM.
+    fn dispatch_blocks(&mut self) -> bool {
+        let mut dispatched = false;
+        for sm_idx in 0..self.sms.len() {
+            // First launch that still has undispatched blocks.
+            let Some(li) = (0..self.launches.len())
+                .find(|&li| self.next_block[li] < self.launches[li].grid_dim)
+            else {
+                break;
+            };
+            let ctx = &self.ctxs[li];
+            if !self.sms[sm_idx].fits(self.cfg, ctx) {
+                continue;
+            }
+            let block_idx = self.next_block[li];
+            self.next_block[li] += 1;
+            self.place_block(sm_idx, li, block_idx);
+            dispatched = true;
+        }
+        dispatched
+    }
+
+    fn place_block(&mut self, sm_idx: usize, launch_idx: usize, block_idx: u32) {
+        let launch = &self.launches[launch_idx];
+        let ctx = &self.ctxs[launch_idx];
+        let exec = BlockExec::new(launch, launch_idx, block_idx);
+        let num_warps = exec.num_warps();
+        let sm = &mut self.sms[sm_idx];
+        sm.regs_used += ctx.regs_per_block;
+        sm.shared_used += ctx.shared_per_block;
+        sm.threads_used += ctx.threads_per_block;
+
+        let block_slot = match sm.blocks.iter().position(|b| b.is_none()) {
+            Some(i) => i,
+            None => {
+                sm.blocks.push(None);
+                sm.blocks.len() - 1
+            }
+        };
+
+        let mut warp_slots = Vec::with_capacity(num_warps);
+        for w in 0..num_warps {
+            let slot = WarpSlot {
+                block_slot,
+                warp_idx: w,
+                ready: vec![0; launch.kernel.num_regs as usize],
+                mem_pending: vec![false; launch.kernel.num_regs as usize],
+                stall_until: 0,
+                stall_reason: StallReason::Other,
+                peek: exec.peek_warp(w),
+                done: false,
+            };
+            let ws = match sm.warps.iter().position(|x| x.is_none()) {
+                Some(i) => {
+                    sm.warps[i] = Some(slot);
+                    i
+                }
+                None => {
+                    sm.warps.push(Some(slot));
+                    sm.warps.len() - 1
+                }
+            };
+            sm.sched_warps[ws % self.cfg.schedulers_per_sm as usize].push(ws);
+            warp_slots.push(ws);
+        }
+        sm.live_warps_total += num_warps as u32;
+        sm.blocks[block_slot] =
+            Some(BlockSlot { exec, launch_idx, warp_slots, live_warps: num_warps as u32 });
+    }
+
+    fn retire_blocks(&mut self, cycle: u64) -> bool {
+        let mut retired = false;
+        for sm in &mut self.sms {
+            for bi in 0..sm.blocks.len() {
+                let done = matches!(&sm.blocks[bi], Some(b) if b.live_warps == 0);
+                if !done {
+                    continue;
+                }
+                let block = sm.blocks[bi].take().expect("checked Some");
+                let ctx = &self.ctxs[block.launch_idx];
+                sm.regs_used -= ctx.regs_per_block;
+                sm.shared_used -= ctx.shared_per_block;
+                sm.threads_used -= ctx.threads_per_block;
+                for ws in &block.warp_slots {
+                    sm.warps[*ws] = None;
+                    for sched in &mut sm.sched_warps {
+                        sched.retain(|x| x != ws);
+                    }
+                }
+                self.launch_finish[block.launch_idx] =
+                    self.launch_finish[block.launch_idx].max(cycle);
+                self.blocks_remaining -= 1;
+                retired = true;
+            }
+        }
+        retired
+    }
+
+    /// Attempts to issue one instruction on scheduler `sched` of SM
+    /// `sm_idx`.
+    fn issue_one(
+        &mut self,
+        memory: &mut GpuMemory,
+        sm_idx: usize,
+        sched: usize,
+        now: u64,
+    ) -> Result<IssueResult, SimError> {
+        let n_warps = self.sms[sm_idx].sched_warps[sched].len();
+        if n_warps == 0 {
+            return Ok(IssueResult::Stalled(StallReason::Other));
+        }
+        let mut first_block_reason: Option<StallReason> = None;
+        let start = self.sms[sm_idx].rr[sched] % n_warps;
+        for k in 0..n_warps {
+            let pos = (start + k) % n_warps;
+            let ws = self.sms[sm_idx].sched_warps[sched][pos];
+            let reason = match self.try_issue_warp(memory, sm_idx, ws, now)? {
+                None => {
+                    // Issued: advance round-robin past this warp.
+                    let sm = &mut self.sms[sm_idx];
+                    sm.rr[sched] = (pos + 1) % n_warps.max(1);
+                    return Ok(IssueResult::Issued);
+                }
+                Some(r) => r,
+            };
+            if let Some(r) = reason {
+                first_block_reason.get_or_insert(r);
+            }
+        }
+        Ok(IssueResult::Stalled(first_block_reason.unwrap_or(StallReason::Other)))
+    }
+
+    /// Tries to issue the given warp. Returns:
+    /// * `Ok(None)` — issued,
+    /// * `Ok(Some(Some(reason)))` — live but blocked for `reason`,
+    /// * `Ok(Some(None))` — not a stall candidate (warp done).
+    #[allow(clippy::type_complexity)]
+    fn try_issue_warp(
+        &mut self,
+        memory: &mut GpuMemory,
+        sm_idx: usize,
+        ws: usize,
+        now: u64,
+    ) -> Result<Option<Option<StallReason>>, SimError> {
+        let sm = &mut self.sms[sm_idx];
+        let Some(warp) = sm.warps[ws].as_mut() else {
+            return Ok(Some(None));
+        };
+        if warp.done {
+            return Ok(Some(None));
+        }
+        let (pc, mask) = match warp.peek {
+            WarpPeek::Done => return Ok(Some(None)),
+            WarpPeek::Blocked => return Ok(Some(Some(StallReason::Sync))),
+            WarpPeek::Exec { pc, mask } => (pc, mask),
+        };
+        if warp.stall_until > now {
+            return Ok(Some(Some(warp.stall_reason)));
+        }
+        let block_slot = warp.block_slot;
+        let launch_idx =
+            sm.blocks[block_slot].as_ref().expect("warp's block resident").launch_idx;
+        let launch = &self.launches[launch_idx];
+        let inst = &launch.kernel.insts[pc];
+        let spill_cnt = self.ctxs[launch_idx].spill_counts[pc];
+
+        // Scoreboard: operand readiness (RAW) and destination (WAW).
+        let warp = sm.warps[ws].as_mut().expect("warp checked Some");
+        let mut need: u64 = 0;
+        let mut blocked_by_mem = false;
+        let check = |r: u32, warp: &WarpSlot| -> (u64, bool) {
+            (warp.ready[r as usize], warp.mem_pending[r as usize])
+        };
+        let mut srcs = Vec::with_capacity(3);
+        inst.srcs_into(&mut srcs);
+        if let Some(d) = inst.dst() {
+            srcs.push(d);
+        }
+        for &r in &srcs {
+            let (t, m) = check(r, warp);
+            if t > now {
+                need = need.max(t);
+                blocked_by_mem |= m;
+            }
+        }
+        if need > now {
+            warp.stall_until = need;
+            warp.stall_reason =
+                if blocked_by_mem { StallReason::Memory } else { StallReason::Exec };
+            return Ok(Some(Some(warp.stall_reason)));
+        }
+
+        // Structural hazards: the two memory pipelines.
+        let warp_idx = sm.warps[ws].as_ref().expect("warp checked Some").warp_idx;
+        let space = sm.blocks[block_slot]
+            .as_ref()
+            .expect("warp's block resident")
+            .exec
+            .peek_space(warp_idx, mask, pc, &launch.kernel);
+        let uses_global_pipe =
+            matches!(space, Some(thread_ir::Space::Global | thread_ir::Space::Local))
+                || spill_cnt > 0;
+        let uses_shared_pipe = space == Some(thread_ir::Space::Shared);
+        if uses_global_pipe
+            && (sm.inflight >= self.cfg.mshrs_per_sm
+                || self.dram_tokens <= 0
+                || sm.global_pipe_free > now)
+        {
+            return Ok(Some(Some(StallReason::Memory)));
+        }
+        if uses_shared_pipe && sm.shared_pipe_free > now {
+            // Shared-pipe serialization shows up as pipe-busy, not memory
+            // dependency, matching nvprof's classification.
+            return Ok(Some(Some(StallReason::Exec)));
+        }
+
+        // Issue: execute functionally, then account timing.
+        let block = sm.blocks[block_slot].as_mut().expect("warp's block resident");
+        let outcome = block.exec.exec_group(
+            launch,
+            memory,
+            warp_idx,
+            pc,
+            mask,
+            self.cfg.segment_bytes,
+        )?;
+        self.metrics.thread_insts += u64::from(mask.count_ones());
+        self.account_issue(sm_idx, ws, inst, outcome, spill_cnt, now);
+        Ok(None)
+    }
+
+    /// Extra memory latency from queueing: as the SM's outstanding
+    /// transactions approach the MSHR capacity, the effective round-trip
+    /// grows (DRAM contention).
+    fn queue_penalty(&self, sm_idx: usize) -> u32 {
+        let sm = &self.sms[sm_idx];
+        let lat = self.cfg.latencies.global_mem as u64;
+        (lat * u64::from(sm.inflight) / u64::from(self.cfg.mshrs_per_sm.max(1))) as u32
+    }
+
+    /// Post-issue timing bookkeeping: latency, scoreboard update, memory
+    /// pipeline occupancy, cache refreshes, retirement bookkeeping.
+    fn account_issue(
+        &mut self,
+        sm_idx: usize,
+        ws: usize,
+        inst: &Inst,
+        outcome: ExecOutcome,
+        spill_cnt: u8,
+        now: u64,
+    ) {
+        let lat = &self.cfg.latencies;
+        let extra_tx = u32::from(spill_cnt);
+        let (mut latency, is_mem_kind) = match outcome.kind {
+            IssueKind::Alu => (lat.alu, false),
+            IssueKind::Div => (lat.div, false),
+            IssueKind::Special => (lat.special, false),
+            IssueKind::Shuffle => (lat.shuffle, false),
+            IssueKind::SharedMem => (lat.shared_mem, false),
+            IssueKind::SharedAtomic => (
+                lat.shared_atomic + outcome.conflict_extra * lat.shared_atomic_retry,
+                false,
+            ),
+            IssueKind::GlobalMem => (
+                lat.global_mem
+                    + outcome.transactions.saturating_sub(1) * lat.uncoalesced_extra
+                    + self.queue_penalty(sm_idx),
+                true,
+            ),
+            IssueKind::GlobalAtomic => (
+                lat.global_atomic
+                    + (outcome.transactions.saturating_sub(1) + outcome.conflict_extra)
+                        * lat.uncoalesced_extra
+                    + self.queue_penalty(sm_idx),
+                true,
+            ),
+            IssueKind::LocalMem => (lat.local_mem, true),
+            IssueKind::Control => (lat.alu, false),
+            IssueKind::Barrier => (lat.alu, false),
+        };
+        latency += u32::from(spill_cnt) * lat.spill_access;
+
+        let total_tx = outcome.transactions + extra_tx;
+        let touches_dram = is_mem_kind || spill_cnt > 0;
+        let sm = &mut self.sms[sm_idx];
+        // Pipeline occupancy: the issuing warp holds the pipe long enough
+        // to generate its transactions / resolve its bank conflicts.
+        match outcome.kind {
+            IssueKind::SharedMem => sm.shared_pipe_free = now + 1,
+            IssueKind::SharedAtomic => {
+                sm.shared_pipe_free = now
+                    + 1
+                    + u64::from(outcome.conflict_extra) * u64::from(lat.shared_atomic_retry);
+            }
+            IssueKind::GlobalMem | IssueKind::GlobalAtomic | IssueKind::LocalMem => {
+                let gen_cycles = u64::from(total_tx.max(1)).div_ceil(4);
+                sm.global_pipe_free = now + gen_cycles.max(1);
+            }
+            _ if spill_cnt > 0 => sm.global_pipe_free = now + 1,
+            _ => {}
+        }
+        if touches_dram {
+            let tx = total_tx.max(1);
+            sm.inflight += tx;
+            sm.completions.push(Reverse((now + u64::from(latency), tx)));
+            self.dram_tokens -= i64::from(tx);
+            self.metrics.mem_transactions += u64::from(tx);
+        }
+
+        // Scoreboard update.
+        {
+            let warp = sm.warps[ws].as_mut().expect("issuing warp exists");
+            if let Some(d) = inst.dst() {
+                warp.ready[d as usize] = now + u64::from(latency);
+                warp.mem_pending[d as usize] = touches_dram;
+            }
+            warp.stall_until = now + 1;
+            warp.stall_reason = StallReason::Other;
+        }
+
+        // Refresh cached peeks: barriers may wake other warps of the block.
+        let block_slot = sm.warps[ws].as_ref().expect("issuing warp exists").block_slot;
+        if matches!(outcome.kind, IssueKind::Barrier) {
+            let slots =
+                sm.blocks[block_slot].as_ref().expect("block resident").warp_slots.clone();
+            for other in slots {
+                Self::refresh_warp(sm, block_slot, other);
+            }
+        } else {
+            Self::refresh_warp(sm, block_slot, ws);
+        }
+    }
+
+    fn refresh_warp(sm: &mut SmState, block_slot: usize, ws: usize) {
+        let block = sm.blocks[block_slot].as_ref().expect("block resident");
+        let warp_idx = match sm.warps[ws].as_ref() {
+            Some(w) => w.warp_idx,
+            None => return,
+        };
+        let peek = block.exec.peek_warp(warp_idx);
+        let warp = sm.warps[ws].as_mut().expect("checked Some");
+        let was_done = warp.done;
+        warp.peek = peek;
+        if peek == WarpPeek::Done && !was_done {
+            warp.done = true;
+            sm.live_warps_total -= 1;
+            let block = sm.blocks[block_slot].as_mut().expect("block resident");
+            block.live_warps -= 1;
+        }
+    }
+}
+
+enum IssueResult {
+    Issued,
+    Stalled(StallReason),
+}
+
+/// Returns the number of warps a block of `threads` threads occupies.
+pub fn warps_for_threads(threads: u32) -> u32 {
+    threads.div_ceil(WARP_SIZE as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::ParamValue;
+    use cuda_frontend::parse_kernel;
+    use thread_ir::lower_kernel;
+
+    fn compile(src: &str) -> thread_ir::KernelIr {
+        lower_kernel(&parse_kernel(src).expect("parse")).expect("lower")
+    }
+
+    fn tiny_gpu() -> Gpu {
+        Gpu::new(GpuConfig::test_tiny())
+    }
+
+    #[test]
+    fn fill_kernel_functional_and_timed_agree() {
+        let ir = compile(
+            "__global__ void fill(float* out, int n) {\
+               int i = blockIdx.x * blockDim.x + threadIdx.x;\
+               if (i < n) { out[i] = i * 2.0f; }\
+             }",
+        );
+        // functional
+        let mut gpu = tiny_gpu();
+        let buf = gpu.memory_mut().alloc_f32(100);
+        let launch = Launch::new(ir.clone(), 4, (32, 1, 1))
+            .arg(ParamValue::Ptr(buf))
+            .arg(ParamValue::I32(100));
+        gpu.run_functional(&[launch.clone()]).expect("functional run");
+        let func = gpu.memory().read_f32s(buf);
+
+        // timed
+        let mut gpu = tiny_gpu();
+        let buf2 = gpu.memory_mut().alloc_f32(100);
+        let launch = Launch::new(ir, 4, (32, 1, 1))
+            .arg(ParamValue::Ptr(buf2))
+            .arg(ParamValue::I32(100));
+        let res = gpu.run(&[launch]).expect("timed run");
+        assert!(res.total_cycles > 0);
+        assert_eq!(gpu.memory().read_f32s(buf2), func);
+        assert_eq!(func[99], 198.0);
+        assert_eq!(func[3], 6.0);
+    }
+
+    #[test]
+    fn reduction_with_syncthreads() {
+        let ir = compile(
+            "__global__ void reduce(float* out, float* in) {\
+               __shared__ float s[64];\
+               int t = threadIdx.x;\
+               s[t] = in[blockIdx.x * 64 + t];\
+               __syncthreads();\
+               for (int stride = 32; stride > 0; stride = stride / 2) {\
+                 if (t < stride) { s[t] += s[t + stride]; }\
+                 __syncthreads();\
+               }\
+               if (t == 0) { out[blockIdx.x] = s[0]; }\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let input: Vec<f32> = (0..128).map(|i| i as f32).collect();
+        let in_buf = gpu.memory_mut().alloc_from_f32(&input);
+        let out_buf = gpu.memory_mut().alloc_f32(2);
+        let launch = Launch::new(ir, 2, (64, 1, 1))
+            .arg(ParamValue::Ptr(out_buf))
+            .arg(ParamValue::Ptr(in_buf));
+        gpu.run(&[launch]).expect("run");
+        let out = gpu.memory().read_f32s(out_buf);
+        assert_eq!(out[0], (0..64).sum::<i32>() as f32);
+        assert_eq!(out[1], (64..128).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn partial_barrier_synchronizes_subset() {
+        // 64 threads; the first 32 use barrier 1 to hand a value through
+        // shared memory; the other 32 spin independently.
+        let ir = compile(
+            "__global__ void k(int* out) {\
+               __shared__ int s[1];\
+               int t = threadIdx.x;\
+               if (t < 32) {\
+                 if (t == 0) { s[0] = 42; }\
+                 asm(\"bar.sync 1, 32;\");\
+                 out[t] = s[0];\
+               } else {\
+                 out[t] = t;\
+               }\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let out = gpu.memory_mut().alloc_u32(64);
+        let launch = Launch::new(ir, 1, (64, 1, 1)).arg(ParamValue::Ptr(out));
+        gpu.run(&[launch]).expect("run");
+        let v = gpu.memory().read_u32s(out);
+        assert!(v[..32].iter().all(|&x| x == 42), "{v:?}");
+        assert_eq!(v[40], 40);
+    }
+
+    #[test]
+    fn divergent_branches_converge() {
+        let ir = compile(
+            "__global__ void k(int* out) {\
+               int t = threadIdx.x;\
+               int v;\
+               if (t % 2 == 0) { v = t * 10; } else { v = t; }\
+               out[t] = v + 1;\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let out = gpu.memory_mut().alloc_u32(32);
+        let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::Ptr(out));
+        gpu.run(&[launch]).expect("run");
+        let v = gpu.memory().read_u32s(out);
+        assert_eq!(v[2], 21);
+        assert_eq!(v[3], 4);
+    }
+
+    #[test]
+    fn atomics_accumulate_across_blocks() {
+        let ir = compile(
+            "__global__ void k(int* counter) { atomicAdd(&counter[0], 1); }",
+        );
+        let mut gpu = tiny_gpu();
+        let c = gpu.memory_mut().alloc_u32(1);
+        let launch = Launch::new(ir, 4, (64, 1, 1)).arg(ParamValue::Ptr(c));
+        gpu.run(&[launch]).expect("run");
+        assert_eq!(gpu.memory().read_u32(c, 0), 256);
+    }
+
+    #[test]
+    fn warp_shuffle_reduction() {
+        let ir = compile(
+            "__global__ void k(int* out) {\
+               int v = threadIdx.x;\
+               for (int i = 16; i > 0; i = i / 2) {\
+                 v += __shfl_xor_sync(0xffffffffu, v, i, 32);\
+               }\
+               out[threadIdx.x] = v;\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let out = gpu.memory_mut().alloc_u32(32);
+        let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::Ptr(out));
+        gpu.run(&[launch]).expect("run");
+        let v = gpu.memory().read_u32s(out);
+        let expected = (0..32).sum::<u32>();
+        assert!(v.iter().all(|&x| x == expected), "{v:?}");
+    }
+
+    #[test]
+    fn grid_stride_loop_covers_all_elements() {
+        let ir = compile(
+            "__global__ void k(unsigned int* out, int n) {\
+               for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;\
+                    i += gridDim.x * blockDim.x) {\
+                 out[i] = i;\
+               }\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let out = gpu.memory_mut().alloc_u32(500);
+        let launch =
+            Launch::new(ir, 2, (32, 1, 1)).arg(ParamValue::Ptr(out)).arg(ParamValue::I32(500));
+        gpu.run(&[launch]).expect("run");
+        let v = gpu.memory().read_u32s(out);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_reported() {
+        let ir = compile("__global__ void k(float* p) { p[999] = 1.0f; }");
+        let mut gpu = tiny_gpu();
+        let p = gpu.memory_mut().alloc_f32(4);
+        let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::Ptr(p));
+        assert!(gpu.run(&[launch]).is_err());
+    }
+
+    #[test]
+    fn metrics_are_sane() {
+        let ir = compile(
+            "__global__ void k(float* a, float* b, int n) {\
+               int i = blockIdx.x * blockDim.x + threadIdx.x;\
+               if (i < n) {\
+                 float acc = 0.0f;\
+                 for (int j = 0; j < 16; j++) { acc += a[(i + j * 64) % n]; }\
+                 b[i] = acc;\
+               }\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let n = 512;
+        let a = gpu.memory_mut().alloc_f32(n);
+        let b = gpu.memory_mut().alloc_f32(n);
+        let launch = Launch::new(ir, 8, (64, 1, 1))
+            .arg(ParamValue::Ptr(a))
+            .arg(ParamValue::Ptr(b))
+            .arg(ParamValue::I32(n as i32));
+        let res = gpu.run(&[launch]).expect("run");
+        let m = res.metrics;
+        assert!(m.cycles > 0);
+        assert!(m.issued_slots > 0);
+        assert!(m.total_slots >= m.issued_slots);
+        let util = m.issue_slot_utilization();
+        assert!((0.0..=100.0).contains(&util), "{util}");
+        let occ = m.occupancy_pct();
+        assert!((0.0..=100.0).contains(&occ), "{occ}");
+        assert!(m.mem_transactions > 0);
+        assert!(m.thread_insts > 0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_stalls_on_memory() {
+        // Pointer-chase-ish: each iteration loads a fresh uncached address.
+        let ir = compile(
+            "__global__ void k(unsigned int* data, unsigned int* out, int n) {\
+               unsigned int idx = threadIdx.x;\
+               for (int i = 0; i < 64; i++) { idx = data[idx % n]; }\
+               out[threadIdx.x] = idx;\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let n = 4096;
+        let data: Vec<u32> =
+            (0..n as u64).map(|i| ((i * 2654435761) % n as u64) as u32).collect();
+        let d = gpu.memory_mut().alloc_from_u32(&data);
+        let o = gpu.memory_mut().alloc_u32(64);
+        let launch = Launch::new(ir, 1, (64, 1, 1))
+            .arg(ParamValue::Ptr(d))
+            .arg(ParamValue::Ptr(o))
+            .arg(ParamValue::I32(n));
+        let res = gpu.run(&[launch]).expect("run");
+        let m = res.metrics;
+        assert!(
+            m.mem_stall_pct() > 50.0,
+            "dependent loads should dominate stalls: {}",
+            m.mem_stall_pct()
+        );
+        assert!(m.issue_slot_utilization() < 50.0);
+    }
+
+    #[test]
+    fn compute_bound_kernel_has_high_utilization() {
+        let ir = compile(
+            "__global__ void k(unsigned int* out) {\
+               unsigned int x = threadIdx.x + 1u;\
+               unsigned int y = threadIdx.x + 7u;\
+               unsigned int z = threadIdx.x + 13u;\
+               for (int i = 0; i < 200; i++) {\
+                 x = x * 1664525u + 1013904223u;\
+                 y = y * 22695477u + 1u;\
+                 z = (z << 5) ^ (z >> 3) ^ x;\
+               }\
+               out[threadIdx.x] = x ^ y ^ z;\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let o = gpu.memory_mut().alloc_u32(256);
+        let launch = Launch::new(ir, 4, (64, 1, 1)).arg(ParamValue::Ptr(o));
+        let res = gpu.run(&[launch]).expect("run");
+        let m = res.metrics;
+        assert!(
+            m.issue_slot_utilization() > 40.0,
+            "independent ALU chains should keep schedulers busy: {}",
+            m.issue_slot_utilization()
+        );
+        // Memory stalls must be a small share of all issue slots (the
+        // percentage-of-stalls metric is noisy when almost nothing stalls).
+        let mem_share = m.stall_mem as f64 / m.total_slots as f64;
+        assert!(mem_share < 0.25, "memory stall share {mem_share}");
+    }
+
+    #[test]
+    fn two_launches_finish_in_order_with_leftover_policy() {
+        let ir = compile(
+            "__global__ void k(float* p, int n) {\
+               int i = blockIdx.x * blockDim.x + threadIdx.x;\
+               float acc = 0.0f;\
+               for (int j = 0; j < 32; j++) { acc += p[(i + j) % n]; }\
+               p[i % n] = acc;\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let n = 1024;
+        let p = gpu.memory_mut().alloc_f32(n);
+        let mk = |ir: &thread_ir::KernelIr| {
+            Launch::new(ir.clone(), 8, (128, 1, 1))
+                .arg(ParamValue::Ptr(p))
+                .arg(ParamValue::I32(n as i32))
+        };
+        let res = gpu.run(&[mk(&ir), mk(&ir)]).expect("run");
+        assert!(res.launch_cycles(0) <= res.launch_cycles(1));
+        assert_eq!(res.total_cycles - 1, res.launch_cycles(1));
+    }
+
+    #[test]
+    fn barrier_deadlock_detected() {
+        // Barrier expects 64 participants but only 32 threads exist.
+        let ir = compile("__global__ void k(int n) { asm(\"bar.sync 1, 64;\"); }");
+        let mut gpu = tiny_gpu();
+        let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::I32(0));
+        let err = gpu.run(&[launch]).unwrap_err();
+        assert!(err.message().contains("progress"), "{err}");
+    }
+
+    #[test]
+    fn occupancy_reflects_block_residency() {
+        // 1024-thread blocks, 2 resident max (thread limit) → occupancy near
+        // 100% while both run; tiny grid keeps it high.
+        let ir = compile(
+            "__global__ void k(float* p) {\
+               float acc = 0.0f;\
+               for (int j = 0; j < 64; j++) { acc += j; }\
+               p[threadIdx.x + blockIdx.x * blockDim.x] = acc;\
+             }",
+        );
+        let mut gpu = tiny_gpu();
+        let p = gpu.memory_mut().alloc_f32(4096);
+        let launch = Launch::new(ir, 2, (1024, 1, 1)).arg(ParamValue::Ptr(p));
+        let res = gpu.run(&[launch]).expect("run");
+        assert!(
+            res.metrics.occupancy_pct() > 50.0,
+            "two 32-warp blocks resident: {}",
+            res.metrics.occupancy_pct()
+        );
+    }
+}

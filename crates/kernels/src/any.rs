@@ -1,0 +1,242 @@
+//! Uniform handle over the nine benchmarks and the sixteen evaluation pairs
+//! of the paper (ten deep-learning pairs, six crypto pairs).
+
+use crate::crypto::{blake256::Blake256, blake2b::Blake2b, ethash::Ethash, sha256::Sha256};
+use crate::dl::{batchnorm::Batchnorm, hist::Hist, im2col::Im2Col, maxpool::Maxpool,
+    softmax::Softmax, transpose::Transpose, upsample::Upsample};
+use crate::Benchmark;
+
+/// Any of the nine benchmark kernels, with its workload parameters.
+#[derive(Debug, Clone)]
+pub enum AnyBenchmark {
+    /// 2-D max pooling.
+    Maxpool(Maxpool),
+    /// Batch-norm statistics (the paper's Fig. 2 kernel).
+    Batchnorm(Batchnorm),
+    /// Bilinear upsampling.
+    Upsample(Upsample),
+    /// Image-to-column rearrangement.
+    Im2Col(Im2Col),
+    /// Histogram (the paper's Fig. 3 kernel).
+    Hist(Hist),
+    /// Ethash proof-of-work (synthetic DAG).
+    Ethash(Ethash),
+    /// SHA-256 proof-of-work.
+    Sha256(Sha256),
+    /// BLAKE-256 proof-of-work.
+    Blake256(Blake256),
+    /// BLAKE2b proof-of-work.
+    Blake2b(Blake2b),
+    /// Row-wise softmax (extension kernel, not in the paper's evaluation).
+    Softmax(Softmax),
+    /// Tiled matrix transpose (extension kernel, not in the paper's
+    /// evaluation).
+    Transpose(Transpose),
+}
+
+impl AnyBenchmark {
+    /// Borrows the underlying [`Benchmark`].
+    pub fn benchmark(&self) -> &dyn Benchmark {
+        match self {
+            AnyBenchmark::Maxpool(b) => b,
+            AnyBenchmark::Batchnorm(b) => b,
+            AnyBenchmark::Upsample(b) => b,
+            AnyBenchmark::Im2Col(b) => b,
+            AnyBenchmark::Hist(b) => b,
+            AnyBenchmark::Ethash(b) => b,
+            AnyBenchmark::Sha256(b) => b,
+            AnyBenchmark::Blake256(b) => b,
+            AnyBenchmark::Blake2b(b) => b,
+            AnyBenchmark::Softmax(b) => b,
+            AnyBenchmark::Transpose(b) => b,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.benchmark().name()
+    }
+
+    /// Returns the same benchmark with its workload scaled by `factor`
+    /// (the Fig. 7 execution-time-ratio sweeps scale the starred kernel).
+    pub fn scaled(&self, factor: f64) -> AnyBenchmark {
+        match self {
+            AnyBenchmark::Maxpool(b) => AnyBenchmark::Maxpool(b.scaled(factor)),
+            AnyBenchmark::Batchnorm(b) => AnyBenchmark::Batchnorm(b.scaled(factor)),
+            AnyBenchmark::Upsample(b) => AnyBenchmark::Upsample(b.scaled(factor)),
+            AnyBenchmark::Im2Col(b) => AnyBenchmark::Im2Col(b.scaled(factor)),
+            AnyBenchmark::Hist(b) => AnyBenchmark::Hist(b.scaled(factor)),
+            AnyBenchmark::Ethash(b) => AnyBenchmark::Ethash(b.scaled(factor)),
+            AnyBenchmark::Sha256(b) => AnyBenchmark::Sha256(b.scaled(factor)),
+            AnyBenchmark::Blake256(b) => AnyBenchmark::Blake256(b.scaled(factor)),
+            AnyBenchmark::Blake2b(b) => AnyBenchmark::Blake2b(b.scaled(factor)),
+            AnyBenchmark::Softmax(b) => AnyBenchmark::Softmax(b.scaled(factor)),
+            AnyBenchmark::Transpose(b) => AnyBenchmark::Transpose(b.scaled(factor)),
+        }
+    }
+
+    /// All nine benchmarks with default workloads, in the paper's order.
+    pub fn all() -> Vec<AnyBenchmark> {
+        vec![
+            AnyBenchmark::Maxpool(Maxpool::default()),
+            AnyBenchmark::Batchnorm(Batchnorm::default()),
+            AnyBenchmark::Upsample(Upsample::default()),
+            AnyBenchmark::Im2Col(Im2Col::default()),
+            AnyBenchmark::Hist(Hist::default()),
+            AnyBenchmark::Ethash(Ethash::default()),
+            AnyBenchmark::Sha256(Sha256::default()),
+            AnyBenchmark::Blake256(Blake256::default()),
+            AnyBenchmark::Blake2b(Blake2b::default()),
+        ]
+    }
+
+    /// Extension kernels beyond the paper's evaluation set.
+    pub fn extensions() -> Vec<AnyBenchmark> {
+        vec![
+            AnyBenchmark::Softmax(Softmax::default()),
+            AnyBenchmark::Transpose(Transpose::default()),
+        ]
+    }
+
+    /// Looks a benchmark up by its display name (paper set and extensions).
+    pub fn by_name(name: &str) -> Option<AnyBenchmark> {
+        Self::all()
+            .into_iter()
+            .chain(Self::extensions())
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// One evaluation pair. The *starred* member is the one whose input size the
+/// ratio sweep varies (marked `*K*` in the paper's Fig. 7 subplot titles).
+#[derive(Debug, Clone)]
+pub struct PairSpec {
+    /// First kernel (receives the `[0, d1)` thread interval).
+    pub first: AnyBenchmark,
+    /// Second kernel (receives the `[d1, d0)` interval).
+    pub second: AnyBenchmark,
+    /// Which member is starred: 0 = first, 1 = second.
+    pub starred: usize,
+}
+
+impl PairSpec {
+    fn new(first: AnyBenchmark, second: AnyBenchmark, starred: usize) -> Self {
+        Self { first, second, starred }
+    }
+
+    /// The pair's display name with the starred member marked, e.g.
+    /// `*Batchnorm*+Hist`.
+    pub fn name(&self) -> String {
+        let (a, b) = (self.first.name(), self.second.name());
+        if self.starred == 0 {
+            format!("*{a}*+{b}")
+        } else {
+            format!("{a}+*{b}*")
+        }
+    }
+
+    /// Returns the pair with the starred member's workload scaled.
+    pub fn at_scale(&self, factor: f64) -> (AnyBenchmark, AnyBenchmark) {
+        if self.starred == 0 {
+            (self.first.scaled(factor), self.second.clone())
+        } else {
+            (self.first.clone(), self.second.scaled(factor))
+        }
+    }
+}
+
+/// The ten deep-learning pairs, in the order of the paper's Fig. 9.
+pub fn dl_pairs() -> Vec<PairSpec> {
+    use AnyBenchmark as B;
+    vec![
+        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Upsample(Upsample::default()), 1),
+        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Hist(Hist::default()), 0),
+        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Im2Col(Im2Col::default()), 0),
+        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Maxpool(Maxpool::default()), 0),
+        PairSpec::new(B::Hist(Hist::default()), B::Im2Col(Im2Col::default()), 1),
+        PairSpec::new(B::Hist(Hist::default()), B::Maxpool(Maxpool::default()), 1),
+        PairSpec::new(B::Hist(Hist::default()), B::Upsample(Upsample::default()), 1),
+        PairSpec::new(B::Im2Col(Im2Col::default()), B::Maxpool(Maxpool::default()), 0),
+        PairSpec::new(B::Im2Col(Im2Col::default()), B::Upsample(Upsample::default()), 1),
+        PairSpec::new(B::Maxpool(Maxpool::default()), B::Upsample(Upsample::default()), 1),
+    ]
+}
+
+/// The six cryptography pairs, in the order of the paper's Fig. 9.
+pub fn crypto_pairs() -> Vec<PairSpec> {
+    use AnyBenchmark as B;
+    vec![
+        PairSpec::new(B::Blake2b(Blake2b::default()), B::Ethash(Ethash::default()), 1),
+        PairSpec::new(B::Blake256(Blake256::default()), B::Ethash(Ethash::default()), 1),
+        PairSpec::new(B::Ethash(Ethash::default()), B::Sha256(Sha256::default()), 0),
+        PairSpec::new(B::Blake256(Blake256::default()), B::Blake2b(Blake2b::default()), 0),
+        PairSpec::new(B::Blake256(Blake256::default()), B::Sha256(Sha256::default()), 0),
+        PairSpec::new(B::Blake2b(Blake2b::default()), B::Sha256(Sha256::default()), 0),
+    ]
+}
+
+/// All sixteen evaluation pairs.
+pub fn all_pairs() -> Vec<PairSpec> {
+    let mut v = dl_pairs();
+    v.extend(crypto_pairs());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_pairs_total() {
+        assert_eq!(dl_pairs().len(), 10);
+        assert_eq!(crypto_pairs().len(), 6);
+        assert_eq!(all_pairs().len(), 16);
+    }
+
+    #[test]
+    fn pair_names_mark_the_starred_member() {
+        let pairs = dl_pairs();
+        assert_eq!(pairs[1].name(), "*Batchnorm*+Hist");
+        assert_eq!(pairs[0].name(), "Batchnorm+*Upsample*");
+    }
+
+    #[test]
+    fn scaling_affects_only_the_starred_member() {
+        let pair = &dl_pairs()[1]; // *Batchnorm*+Hist
+        let (a, b) = pair.at_scale(2.0);
+        let AnyBenchmark::Batchnorm(bn) = &a else { panic!("first is batchnorm") };
+        assert_eq!(bn.width, Batchnorm::default().width * 2);
+        let AnyBenchmark::Hist(h) = &b else { panic!("second is hist") };
+        assert_eq!(h.total, Hist::default().total);
+    }
+
+    #[test]
+    fn extensions_are_not_in_the_paper_set() {
+        let paper: Vec<&str> = AnyBenchmark::all().iter().map(|b| b.name()).collect();
+        for e in AnyBenchmark::extensions() {
+            assert!(!paper.contains(&e.name()), "{}", e.name());
+        }
+        assert_eq!(AnyBenchmark::all().len(), 9);
+        assert_eq!(AnyBenchmark::extensions().len(), 2);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for b in AnyBenchmark::all().into_iter().chain(AnyBenchmark::extensions()) {
+            let found = AnyBenchmark::by_name(b.name()).expect("find by name");
+            assert_eq!(found.name(), b.name());
+        }
+        assert!(AnyBenchmark::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn crypto_pairs_are_fixed_block_dl_tunable() {
+        for p in crypto_pairs() {
+            assert!(!p.first.benchmark().tunable());
+            assert!(!p.second.benchmark().tunable());
+        }
+        for p in dl_pairs() {
+            assert!(p.first.benchmark().tunable());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! `batch_norm_collect_statistics` — the paper's Fig. 2 kernel.
+//!
+//! Computes per-plane mean and (unnormalized) variance of an `(N, C, W)`
+//! tensor using Welford accumulation, intra-warp shuffle reductions, a
+//! shared-memory staging area, and two block barriers. One block per plane
+//! (`blockIdx.x` is the channel). The block is two-dimensional with 16 rows
+//! (`blockDim.y == 16`), like the PyTorch original.
+
+use gpu_sim::{GpuMemory, ParamValue};
+use hfuse_core::BlockShape;
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Batchnorm workload over an `(N, C, W)` tensor; `C` equals the grid size.
+#[derive(Debug, Clone)]
+pub struct Batchnorm {
+    /// Batch size `N`.
+    pub batch: u32,
+    /// Channels `C` (one block per channel).
+    pub channels: u32,
+    /// Row width `W`.
+    pub width: u32,
+}
+
+impl Default for Batchnorm {
+    fn default() -> Self {
+        Self { batch: 8, channels: crate::DEFAULT_GRID, width: 512 }
+    }
+}
+
+impl Batchnorm {
+    fn in_len(&self) -> usize {
+        (self.batch * self.channels * self.width) as usize
+    }
+
+    /// Scales the row width by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            batch: self.batch,
+            channels: self.channels,
+            width: ((f64::from(self.width) * factor).round() as u32).max(32),
+        }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        (0..self.in_len())
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(1103515245).wrapping_add(12345);
+                (x % 2048) as f32 / 1024.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference: per-channel `(mean, var_n)` where `var_n` is the sum
+    /// of squared deviations (what the kernel's Welford merge produces).
+    pub fn reference(&self, input: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let (n, c, w) = (self.batch as usize, self.channels as usize, self.width as usize);
+        let mut means = vec![0.0f32; c];
+        let mut vars = vec![0.0f32; c];
+        for ci in 0..c {
+            // f64 accumulation: the GPU's tree-shaped merge is more accurate
+            // than naive f32 streaming, so compare against a stable value.
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for b in 0..n {
+                for x in 0..w {
+                    sum += f64::from(input[(b * c + ci) * w + x]);
+                    count += 1;
+                }
+            }
+            let mean = sum / count as f64;
+            let mut m2 = 0.0f64;
+            for b in 0..n {
+                for x in 0..w {
+                    let d = f64::from(input[(b * c + ci) * w + x]) - mean;
+                    m2 += d * d;
+                }
+            }
+            means[ci] = mean as f32;
+            vars[ci] = m2 as f32;
+        }
+        (means, vars)
+    }
+}
+
+impl Benchmark for Batchnorm {
+    fn name(&self) -> &'static str {
+        "Batchnorm"
+    }
+
+    fn source(&self) -> String {
+        r#"
+#define WARP_SIZE 32
+#define MSB_WARP 5
+
+__global__ void batch_norm_collect_statistics(
+        float* input, float* out_mean, float* out_var,
+        int N, int C, int W) {
+    __shared__ int shared_n[2 * 2 * WARP_SIZE + WARP_SIZE];
+
+    float* shared_avg_var = (float*) &shared_n[WARP_SIZE];
+    int plane = blockIdx.x;
+    int tid = threadIdx.x + threadIdx.y * blockDim.x;
+    float avg = 0.0f;
+    float var_n = 0.0f;
+    int n = 0;
+
+    // PART A: each thread accumulates its strided slice (Welford).
+    for (int batch = threadIdx.y; batch < N; batch += blockDim.y) {
+        for (int x = threadIdx.x; x < W; x += blockDim.x) {
+            float v = input[(batch * C + plane) * W + x];
+            float d1 = v - avg;
+            n++;
+            avg += d1 / n;
+            var_n += d1 * (v - avg);
+        }
+    }
+    // Intra-warp merge via shuffles.
+    for (int i = 0; i < MSB_WARP; ++i) {
+        float o_avg = __shfl_xor_sync(0xffffffffu, avg, 1 << i, WARP_SIZE);
+        int o_n = __shfl_xor_sync(0xffffffffu, n, 1 << i, WARP_SIZE);
+        float factor = 1.0f / fmaxf(1.0f, (float)(n + o_n));
+        var_n += __shfl_xor_sync(0xffffffffu, var_n, 1 << i, WARP_SIZE) +
+                 (avg - o_avg) * (avg - o_avg) * n * o_n * factor;
+        avg = (n * avg + o_n * o_avg) * factor;
+        n += o_n;
+    }
+    __syncthreads();
+
+    // PART B: warp leaders stage partials in shared memory.
+    if (tid % WARP_SIZE == 0) {
+        shared_n[tid / WARP_SIZE] = n;
+        shared_avg_var[tid / WARP_SIZE * 2] = avg;
+        shared_avg_var[tid / WARP_SIZE * 2 + 1] = var_n;
+    }
+    __syncthreads();
+
+    // PART C: first warp merges the staged partials.
+    if (tid < WARP_SIZE) {
+        n = (tid < blockDim.x * blockDim.y / WARP_SIZE ? shared_n[tid] : 0);
+        avg = (tid < blockDim.x * blockDim.y / WARP_SIZE ?
+               shared_avg_var[2 * tid] : 0.0f);
+        var_n = (tid < blockDim.x * blockDim.y / WARP_SIZE ?
+                 shared_avg_var[2 * tid + 1] : 0.0f);
+    }
+    for (int i = 0; i < MSB_WARP; ++i) {
+        float o_avg = __shfl_xor_sync(0xffffffffu, avg, 1 << i, WARP_SIZE);
+        int o_n = __shfl_xor_sync(0xffffffffu, n, 1 << i, WARP_SIZE);
+        float factor = 1.0f / fmaxf(1.0f, (float)(n + o_n));
+        var_n += __shfl_xor_sync(0xffffffffu, var_n, 1 << i, WARP_SIZE) +
+                 (avg - o_avg) * (avg - o_avg) * n * o_n * factor;
+        avg = (n * avg + o_n * o_avg) * factor;
+        n += o_n;
+    }
+    if (tid == 0) {
+        out_mean[plane] = avg;
+        out_var[plane] = var_n;
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn default_threads(&self) -> u32 {
+        512
+    }
+
+    fn shape(&self) -> BlockShape {
+        BlockShape::Rows { y: 16 }
+    }
+
+    fn grid_dim(&self) -> u32 {
+        self.channels
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let input = self.input_data();
+        let in_buf = mem.alloc_from_f32(&input);
+        let mean_buf = mem.alloc_f32(self.channels as usize);
+        let var_buf = mem.alloc_f32(self.channels as usize);
+        vec![
+            ParamValue::Ptr(in_buf),
+            ParamValue::Ptr(mean_buf),
+            ParamValue::Ptr(var_buf),
+            ParamValue::I32(self.batch as i32),
+            ParamValue::I32(self.channels as i32),
+            ParamValue::I32(self.width as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got_mean = mem.read_f32s(ptr_arg(args, 1));
+        let got_var = mem.read_f32s(ptr_arg(args, 2));
+        let (want_mean, want_var) = self.reference(&self.input_data());
+        compare_f32(&got_mean, &want_mean, 2e-3, "batchnorm mean")?;
+        compare_f32(&got_var, &want_var, 2e-2, "batchnorm var")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    fn run_and_check(wl: &Batchnorm, block: (u32, u32, u32)) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: wl.grid_dim(),
+            block_dim: block,
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn gpu_matches_reference_default_block() {
+        let wl = Batchnorm { batch: 4, channels: 2, width: 96 };
+        run_and_check(&wl, (32, 16, 1));
+    }
+
+    #[test]
+    fn gpu_matches_reference_alternate_blocks() {
+        // The kernel must be correct for every tunable block size the
+        // search may try.
+        let wl = Batchnorm { batch: 3, channels: 2, width: 64 };
+        run_and_check(&wl, (8, 16, 1)); // 128 threads
+        run_and_check(&wl, (24, 16, 1)); // 384 threads
+    }
+
+    #[test]
+    fn kernel_has_two_barriers_and_shuffles() {
+        let wl = Batchnorm::default();
+        let ir = lower_kernel(&wl.kernel()).expect("lower");
+        let bars =
+            ir.insts.iter().filter(|i| matches!(i, thread_ir::Inst::Bar { .. })).count();
+        assert_eq!(bars, 2);
+        assert!(ir.insts.iter().any(|i| matches!(i, thread_ir::Inst::Shfl { .. })));
+        assert_eq!(ir.shared_static_bytes, 160 * 4);
+    }
+
+    #[test]
+    fn reference_statistics_are_correct() {
+        let wl = Batchnorm { batch: 1, channels: 1, width: 4 };
+        let (m, v) = wl.reference(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m[0] - 2.5).abs() < 1e-6);
+        assert!((v[0] - 5.0).abs() < 1e-5); // sum of squared deviations
+    }
+}

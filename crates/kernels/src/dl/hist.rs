@@ -1,0 +1,201 @@
+//! `kernelHistogram1D` — the paper's Fig. 3 kernel.
+//!
+//! Builds a histogram of an input tensor using an `extern __shared__` bin
+//! array: initialize the shared counters, atomically increment them over a
+//! grid-stride loop, then merge into the global histogram — with a block
+//! barrier between each phase. Shared-memory atomics dominate, so the paper
+//! measures a *low* memory-stall percentage (1.4%) despite all the traffic.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{ptr_arg, Benchmark};
+
+/// Histogram workload.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    /// Number of bins (fits comfortably in shared memory).
+    pub nbins: u32,
+    /// Input elements.
+    pub total: u32,
+    /// Histogram range minimum.
+    pub min_value: f32,
+    /// Histogram range maximum.
+    pub max_value: f32,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self { nbins: 64, total: 256 * 1024, min_value: -1.0, max_value: 1.0 }
+    }
+}
+
+impl Hist {
+    /// Scales the input size by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            total: ((f64::from(self.total) * factor).round() as u32).max(1024),
+            ..*self
+        }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        // Bell-shaped values (sum of four uniforms), like the activation
+        // tensors the paper's histogram kernel consumes. The concentration
+        // around the central bins is what makes shared-memory atomics
+        // contend. Tails reach past [-1, 1] so the range check matters.
+        (0..self.total as usize)
+            .map(|i| {
+                let mut x = (i as u32).wrapping_mul(2654435761).wrapping_add(40503);
+                let mut acc = 0.0f32;
+                for _ in 0..4 {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    acc += (x >> 8) as f32 / (1u32 << 24) as f32; // [0, 1)
+                }
+                (acc / 4.0) * 2.5 - 1.25
+            })
+            .collect()
+    }
+
+    /// CPU reference histogram.
+    pub fn reference(&self, input: &[f32]) -> Vec<u32> {
+        let mut bins = vec![0u32; self.nbins as usize];
+        for &v in input {
+            if v >= self.min_value && v <= self.max_value {
+                let scaled =
+                    (v - self.min_value) / (self.max_value - self.min_value) * self.nbins as f32;
+                let bin = (scaled as u32).min(self.nbins - 1);
+                bins[bin as usize] += 1;
+            }
+        }
+        bins
+    }
+}
+
+impl Benchmark for Hist {
+    fn name(&self) -> &'static str {
+        "Hist"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void kernelHistogram1D(
+        unsigned int* out, float* in,
+        int nbins, float minvalue, float maxvalue, int totalElements) {
+    extern __shared__ unsigned int smem[];
+
+    // PART A: initialize shared memory counters.
+    for (int i = threadIdx.x; i < nbins; i += blockDim.x) {
+        smem[i] = 0u;
+    }
+    __syncthreads();
+
+    // PART B: walk the input, incrementing shared counters.
+    for (int li = blockIdx.x * blockDim.x + threadIdx.x; li < totalElements;
+         li += gridDim.x * blockDim.x) {
+        float bVal = in[li];
+        if (bVal >= minvalue && bVal <= maxvalue) {
+            int bin = (int)((bVal - minvalue) / (maxvalue - minvalue) * nbins);
+            bin = min(bin, nbins - 1);
+            atomicAdd(&smem[bin], 1u);
+        }
+    }
+    __syncthreads();
+
+    // PART C: merge the shared counters into the global histogram.
+    for (int i = threadIdx.x; i < nbins; i += blockDim.x) {
+        atomicAdd(&out[i], smem[i]);
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn dynamic_shared(&self) -> u32 {
+        self.nbins * 4
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let input = self.input_data();
+        let in_buf = mem.alloc_from_f32(&input);
+        let out_buf = mem.alloc_u32(self.nbins as usize);
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.nbins as i32),
+            ParamValue::F32(self.min_value),
+            ParamValue::F32(self.max_value),
+            ParamValue::I32(self.total as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_u32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        if got != want {
+            let idx = got.iter().zip(&want).position(|(g, w)| g != w).unwrap_or(0);
+            return Err(format!(
+                "hist[{idx}]: got {}, want {} (totals {} vs {})",
+                got[idx],
+                want[idx],
+                got.iter().sum::<u32>(),
+                want.iter().sum::<u32>()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference() {
+        let wl = Hist { nbins: 16, total: 4096, min_value: -1.0, max_value: 1.0 };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: 4,
+            block_dim: (128, 1, 1),
+            dynamic_shared_bytes: wl.dynamic_shared(),
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn timed_run_counts_every_in_range_element() {
+        let wl = Hist { nbins: 8, total: 2048, min_value: -1.0, max_value: 1.0 };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: 2,
+            block_dim: (64, 1, 1),
+            dynamic_shared_bytes: wl.dynamic_shared(),
+            args: args.clone(),
+        };
+        gpu.run(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn reference_respects_range() {
+        let wl = Hist { nbins: 4, total: 0, min_value: 0.0, max_value: 1.0 };
+        let bins = wl.reference(&[-0.5, 0.1, 0.99, 1.5, 1.0]);
+        assert_eq!(bins.iter().sum::<u32>(), 3); // -0.5 and 1.5 excluded
+        assert_eq!(bins[3], 2); // 0.99 and the inclusive max fall in the top bin
+    }
+
+    #[test]
+    fn uses_dynamic_shared_memory() {
+        let wl = Hist::default();
+        let ir = lower_kernel(&wl.kernel()).expect("lower");
+        assert!(ir.uses_dynamic_shared);
+        assert_eq!(wl.dynamic_shared(), wl.nbins * 4);
+    }
+}

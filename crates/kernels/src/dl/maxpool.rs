@@ -1,0 +1,178 @@
+//! 2-D max-pooling (2×2 window, stride 2) over a CHW tensor.
+//!
+//! Four strided loads and one store per output element with almost no
+//! arithmetic: strongly memory-bound (the paper measures 95% memory-stall
+//! and 8% issue-slot utilization for it on the 1080Ti).
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Maxpool workload: input `(channels, height, width)`, output
+/// `(channels, height/2, width/2)`.
+#[derive(Debug, Clone)]
+pub struct Maxpool {
+    /// Channels.
+    pub channels: u32,
+    /// Input height (even).
+    pub height: u32,
+    /// Input width (even).
+    pub width: u32,
+}
+
+impl Default for Maxpool {
+    fn default() -> Self {
+        Self { channels: 64, height: 64, width: 64 }
+    }
+}
+
+impl Maxpool {
+    /// Output elements.
+    pub fn out_len(&self) -> usize {
+        (self.channels * (self.height / 2) * (self.width / 2)) as usize
+    }
+
+    /// Input elements.
+    pub fn in_len(&self) -> usize {
+        (self.channels * self.height * self.width) as usize
+    }
+
+    /// Scales the spatial size by `factor` (used for the Fig. 7 ratio
+    /// sweeps). Width is kept a multiple of 2.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let h = (((f64::from(self.height) * factor).round() as u32).max(4) + 1) & !1;
+        Self { channels: self.channels, height: h, width: self.width }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        // Deterministic pseudo-random values.
+        (0..self.in_len())
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761);
+                (x % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference.
+    pub fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let (c, h, w) = (self.channels as usize, self.height as usize, self.width as usize);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; c * oh * ow];
+        for ci in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let base = (ci * h + y * 2) * w + x * 2;
+                    let m = input[base]
+                        .max(input[base + 1])
+                        .max(input[base + w])
+                        .max(input[base + w + 1]);
+                    out[(ci * oh + y) * ow + x] = m;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Maxpool {
+    fn name(&self) -> &'static str {
+        "Maxpool"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void maxpool(float* out, float* in, int C, int H, int W) {
+    int OH = H / 2;
+    int OW = W / 2;
+    int total = C * OH * OW;
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+         i += gridDim.x * blockDim.x) {
+        int ox = i % OW;
+        int oy = (i / OW) % OH;
+        int c = i / (OW * OH);
+        int base = (c * H + oy * 2) * W + ox * 2;
+        float m = in[base];
+        m = fmaxf(m, in[base + 1]);
+        m = fmaxf(m, in[base + W]);
+        m = fmaxf(m, in[base + W + 1]);
+        out[i] = m;
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let input = self.input_data();
+        let in_buf = mem.alloc_from_f32(&input);
+        let out_buf = mem.alloc_f32(self.out_len());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.channels as i32),
+            ParamValue::I32(self.height as i32),
+            ParamValue::I32(self.width as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        compare_f32(&got, &want, 1e-6, "maxpool")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference() {
+        let wl = Maxpool { channels: 4, height: 16, width: 16 };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: wl.grid_dim(),
+            block_dim: (wl.default_threads(), 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn timed_run_matches_reference_too() {
+        let wl = Maxpool { channels: 2, height: 8, width: 8 };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: 2,
+            block_dim: (64, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn scaled_keeps_even_height() {
+        let wl = Maxpool::default();
+        for f in [0.3, 0.77, 1.5, 2.0] {
+            assert_eq!(wl.scaled(f).height % 2, 0);
+        }
+    }
+
+    #[test]
+    fn reference_picks_window_max() {
+        let wl = Maxpool { channels: 1, height: 2, width: 2 };
+        let out = wl.reference(&[1.0, 5.0, 3.0, 2.0]);
+        assert_eq!(out, vec![5.0]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Deep-learning benchmark kernels (extracted from PyTorch in the paper),
+//! plus the extension kernels (`softmax`, `transpose`) that are not part of
+//! the paper's evaluation set.
+
+pub mod batchnorm;
+pub mod hist;
+pub mod im2col;
+pub mod maxpool;
+pub mod softmax;
+pub mod transpose;
+pub mod upsample;

@@ -1,0 +1,202 @@
+//! Row-wise softmax — an *extension* kernel (not part of the paper's nine).
+//!
+//! One block per row: a shared-memory max-reduction for numerical
+//! stability, an `expf` pass (special-function-unit heavy — a resource none
+//! of the paper's kernels saturates), a sum-reduction, and a normalization
+//! pass, with block barriers between phases. Interesting fusion partner
+//! because its bottleneck (SFU + barriers) differs from both the
+//! memory-bound and the integer-ALU-bound benchmark kernels.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Softmax workload: `rows` independent rows of width `cols`.
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    /// Number of rows (= grid dimension).
+    pub rows: u32,
+    /// Row width.
+    pub cols: u32,
+}
+
+impl Default for Softmax {
+    fn default() -> Self {
+        Self { rows: crate::DEFAULT_GRID, cols: 2048 }
+    }
+}
+
+impl Softmax {
+    fn len(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+
+    /// Scales the row width by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: ((f64::from(self.cols) * factor).round() as u32).max(64),
+        }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        (0..self.len())
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2891336453).wrapping_add(747796405);
+                (x % 2000) as f32 / 250.0 - 4.0 // logits in [-4, 4)
+            })
+            .collect()
+    }
+
+    /// CPU reference (numerically stable row softmax).
+    pub fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let (r, c) = (self.rows as usize, self.cols as usize);
+        let mut out = vec![0.0f32; r * c];
+        for row in 0..r {
+            let slice = &input[row * c..(row + 1) * c];
+            let max = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let sum: f32 = slice.iter().map(|v| (v - max).exp()).sum();
+            for (o, v) in out[row * c..(row + 1) * c].iter_mut().zip(slice) {
+                *o = (v - max).exp() / sum;
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Softmax {
+    fn name(&self) -> &'static str {
+        "Softmax"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void softmax_rows(float* out, float* in, int cols) {
+    __shared__ float red[32];
+    int row = blockIdx.x;
+    int t = threadIdx.x;
+
+    // Phase 1: per-thread max, warp-reduced then block-reduced.
+    float m = -3.0e38f;
+    for (int i = t; i < cols; i += blockDim.x) {
+        m = fmaxf(m, in[row * cols + i]);
+    }
+    for (int s = 16; s > 0; s = s / 2) {
+        m = fmaxf(m, __shfl_xor_sync(0xffffffffu, m, s, 32));
+    }
+    if (t % 32 == 0) { red[t / 32] = m; }
+    __syncthreads();
+    if (t < 32) {
+        m = (t < blockDim.x / 32 ? red[t] : -3.0e38f);
+        for (int s = 16; s > 0; s = s / 2) {
+            m = fmaxf(m, __shfl_xor_sync(0xffffffffu, m, s, 32));
+        }
+        if (t == 0) { red[0] = m; }
+    }
+    __syncthreads();
+    float row_max = red[0];
+    __syncthreads();
+
+    // Phase 2: exponentials and per-thread partial sums.
+    float sum = 0.0f;
+    for (int i = t; i < cols; i += blockDim.x) {
+        float e = expf(in[row * cols + i] - row_max);
+        out[row * cols + i] = e;
+        sum += e;
+    }
+    for (int s = 16; s > 0; s = s / 2) {
+        sum += __shfl_xor_sync(0xffffffffu, sum, s, 32);
+    }
+    if (t % 32 == 0) { red[t / 32] = sum; }
+    __syncthreads();
+    if (t < 32) {
+        sum = (t < blockDim.x / 32 ? red[t] : 0.0f);
+        for (int s = 16; s > 0; s = s / 2) {
+            sum += __shfl_xor_sync(0xffffffffu, sum, s, 32);
+        }
+        if (t == 0) { red[0] = sum; }
+    }
+    __syncthreads();
+    float row_sum = red[0];
+
+    // Phase 3: normalize.
+    for (int i = t; i < cols; i += blockDim.x) {
+        out[row * cols + i] = out[row * cols + i] / row_sum;
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn grid_dim(&self) -> u32 {
+        self.rows
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let input = self.input_data();
+        let in_buf = mem.alloc_from_f32(&input);
+        let out_buf = mem.alloc_f32(self.len());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.cols as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        compare_f32(&got, &want, 3e-3, "softmax")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    fn run_and_check(wl: &Softmax, threads: u32) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: wl.grid_dim(),
+            block_dim: (threads, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn gpu_matches_reference() {
+        run_and_check(&Softmax { rows: 2, cols: 300 }, 128);
+    }
+
+    #[test]
+    fn works_at_other_block_sizes() {
+        run_and_check(&Softmax { rows: 2, cols: 200 }, 256);
+        run_and_check(&Softmax { rows: 3, cols: 97 }, 64);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let wl = Softmax { rows: 2, cols: 64 };
+        let out = wl.reference(&wl.input_data());
+        for row in 0..2 {
+            let s: f32 = out[row * 64..(row + 1) * 64].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {row} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn uses_special_function_unit() {
+        let ir = lower_kernel(&Softmax::default().kernel()).expect("lower");
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            thread_ir::Inst::Un { op: thread_ir::ir::UnIr::Exp, .. }
+        )));
+    }
+}

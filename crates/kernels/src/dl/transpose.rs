@@ -1,0 +1,172 @@
+//! Tiled matrix transpose — an *extension* kernel (not part of the paper's
+//! nine).
+//!
+//! The classic 32×8 thread-block tile through shared memory: coalesced
+//! global reads, a barrier, coalesced global writes of the transposed tile.
+//! Pure data movement — every issue is a load, store, or address
+//! calculation — so it exercises both memory pipes at once, a different
+//! profile from all nine paper kernels.
+
+use gpu_sim::{GpuMemory, ParamValue};
+use hfuse_core::BlockShape;
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+const TILE: u32 = 32;
+const ROWS_PER_BLOCK: u32 = 8;
+
+/// Transpose workload over a `size × size` matrix (`size` a multiple of the
+/// 32-wide tile). The grid is linearized over tiles.
+#[derive(Debug, Clone)]
+pub struct Transpose {
+    /// Matrix dimension.
+    pub size: u32,
+}
+
+impl Default for Transpose {
+    fn default() -> Self {
+        // 16 × 16 tiles = 256 tiles, walked by DEFAULT_GRID blocks.
+        Self { size: 512 }
+    }
+}
+
+impl Transpose {
+    fn len(&self) -> usize {
+        (self.size * self.size) as usize
+    }
+
+    /// Scales the matrix dimension by `sqrt(factor)` (so the total work
+    /// scales by roughly `factor`), keeping it tile-aligned.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let dim = (f64::from(self.size) * factor.sqrt()).round() as u32;
+        Self { size: (dim.max(TILE) + TILE - 1) / TILE * TILE }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        (0..self.len())
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(374761393).wrapping_add(2246822519);
+                (x % 8192) as f32 / 4096.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference.
+    pub fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let n = self.size as usize;
+        let mut out = vec![0.0f32; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                out[c * n + r] = input[r * n + c];
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Transpose {
+    fn name(&self) -> &'static str {
+        "Transpose"
+    }
+
+    fn source(&self) -> String {
+        // 33-wide rows in shared memory avoid bank conflicts on real
+        // hardware; kept for fidelity even though the simulator does not
+        // model banks.
+        r#"
+__global__ void transpose_tiled(float* out, float* in, int n) {
+    __shared__ float tile[33 * 32];
+    int tilesPerSide = n / 32;
+    int totalTiles = tilesPerSide * tilesPerSide;
+    for (int t = blockIdx.x; t < totalTiles; t += gridDim.x) {
+        int tileX = t % tilesPerSide;
+        int tileY = t / tilesPerSide;
+        int x = tileX * 32 + threadIdx.x;
+        int yBase = tileY * 32;
+        for (int r = threadIdx.y; r < 32; r += blockDim.y) {
+            tile[r * 33 + threadIdx.x] = in[(yBase + r) * n + x];
+        }
+        __syncthreads();
+        int ox = tileY * 32 + threadIdx.x;
+        int oyBase = tileX * 32;
+        for (int r = threadIdx.y; r < 32; r += blockDim.y) {
+            out[(oyBase + r) * n + ox] = tile[threadIdx.x * 33 + r];
+        }
+        __syncthreads();
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn default_threads(&self) -> u32 {
+        TILE * ROWS_PER_BLOCK
+    }
+
+    fn shape(&self) -> BlockShape {
+        BlockShape::Rows { y: ROWS_PER_BLOCK }
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let input = self.input_data();
+        let in_buf = mem.alloc_from_f32(&input);
+        let out_buf = mem.alloc_f32(self.len());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.size as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        compare_f32(&got, &want, 0.0, "transpose")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    fn run_and_check(wl: &Transpose, grid: u32, block: (u32, u32, u32)) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: grid,
+            block_dim: block,
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn gpu_matches_reference() {
+        run_and_check(&Transpose { size: 64 }, 2, (32, 8, 1));
+    }
+
+    #[test]
+    fn works_with_fewer_rows_per_block() {
+        run_and_check(&Transpose { size: 64 }, 3, (32, 4, 1));
+    }
+
+    #[test]
+    fn reference_is_involution() {
+        let wl = Transpose { size: 32 };
+        let input = wl.input_data();
+        assert_eq!(wl.reference(&wl.reference(&input)), input);
+    }
+
+    #[test]
+    fn scaled_keeps_tile_alignment() {
+        let wl = Transpose::default();
+        for f in [0.3, 0.5, 1.7, 3.0] {
+            assert_eq!(wl.scaled(f).size % TILE, 0, "factor {f}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! 2-D bilinear upsampling (×2) over a CHW tensor, following PyTorch's
+//! `upsample_bilinear2d` with `align_corners = true`.
+//!
+//! Four gathered loads plus interpolation arithmetic per output element:
+//! memory-heavy with moderate floating-point work (the paper measures ~78%
+//! memory stall for it).
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Upsample workload: input `(channels, height, width)`, output scaled ×2.
+#[derive(Debug, Clone)]
+pub struct Upsample {
+    /// Channels.
+    pub channels: u32,
+    /// Input height (≥ 2).
+    pub height: u32,
+    /// Input width (≥ 2).
+    pub width: u32,
+}
+
+impl Default for Upsample {
+    fn default() -> Self {
+        Self { channels: 16, height: 32, width: 64 }
+    }
+}
+
+impl Upsample {
+    fn in_len(&self) -> usize {
+        (self.channels * self.height * self.width) as usize
+    }
+
+    fn out_len(&self) -> usize {
+        (self.channels * self.height * 2 * self.width * 2) as usize
+    }
+
+    /// Scales the input height by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            channels: self.channels,
+            height: ((f64::from(self.height) * factor).round() as u32).max(2),
+            width: self.width,
+        }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        (0..self.in_len())
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(747796405).wrapping_add(2891336453);
+                (x % 4096) as f32 / 2048.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference (bilinear, align_corners = true).
+    pub fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let (c, h, w) = (self.channels as usize, self.height as usize, self.width as usize);
+        let (oh, ow) = (h * 2, w * 2);
+        let rh = if oh > 1 { (h - 1) as f32 / (oh - 1) as f32 } else { 0.0 };
+        let rw = if ow > 1 { (w - 1) as f32 / (ow - 1) as f32 } else { 0.0 };
+        let mut out = vec![0.0f32; c * oh * ow];
+        for ci in 0..c {
+            for oy in 0..oh {
+                let fy = rh * oy as f32;
+                let y0 = fy as usize;
+                let y1 = if y0 + 1 < h { y0 + 1 } else { y0 };
+                let ly = fy - y0 as f32;
+                for ox in 0..ow {
+                    let fx = rw * ox as f32;
+                    let x0 = fx as usize;
+                    let x1 = if x0 + 1 < w { x0 + 1 } else { x0 };
+                    let lx = fx - x0 as f32;
+                    let v00 = input[(ci * h + y0) * w + x0];
+                    let v01 = input[(ci * h + y0) * w + x1];
+                    let v10 = input[(ci * h + y1) * w + x0];
+                    let v11 = input[(ci * h + y1) * w + x1];
+                    let top = v00 + (v01 - v00) * lx;
+                    let bot = v10 + (v11 - v10) * lx;
+                    out[(ci * oh + oy) * ow + ox] = top + (bot - top) * ly;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Upsample {
+    fn name(&self) -> &'static str {
+        "Upsample"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void upsample_bilinear2d(float* out, float* in, int C, int H, int W) {
+    int OH = H * 2;
+    int OW = W * 2;
+    float rh = OH > 1 ? (float)(H - 1) / (OH - 1) : 0.0f;
+    float rw = OW > 1 ? (float)(W - 1) / (OW - 1) : 0.0f;
+    int total = C * OH * OW;
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+         i += gridDim.x * blockDim.x) {
+        int ox = i % OW;
+        int oy = (i / OW) % OH;
+        int c = i / (OW * OH);
+        float fy = rh * oy;
+        int y0 = (int)fy;
+        int y1 = y0 + 1 < H ? y0 + 1 : y0;
+        float ly = fy - y0;
+        float fx = rw * ox;
+        int x0 = (int)fx;
+        int x1 = x0 + 1 < W ? x0 + 1 : x0;
+        float lx = fx - x0;
+        float v00 = in[(c * H + y0) * W + x0];
+        float v01 = in[(c * H + y0) * W + x1];
+        float v10 = in[(c * H + y1) * W + x0];
+        float v11 = in[(c * H + y1) * W + x1];
+        float top = v00 + (v01 - v00) * lx;
+        float bot = v10 + (v11 - v10) * lx;
+        out[i] = top + (bot - top) * ly;
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let input = self.input_data();
+        let in_buf = mem.alloc_from_f32(&input);
+        let out_buf = mem.alloc_f32(self.out_len());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.channels as i32),
+            ParamValue::I32(self.height as i32),
+            ParamValue::I32(self.width as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        compare_f32(&got, &want, 1e-4, "upsample")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference() {
+        let wl = Upsample { channels: 2, height: 8, width: 8 };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            grid_dim: 4,
+            block_dim: (64, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn corners_are_exact() {
+        // align_corners = true: corner outputs equal corner inputs.
+        let wl = Upsample { channels: 1, height: 4, width: 4 };
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = wl.reference(&input);
+        assert_eq!(out[0], input[0]);
+        assert_eq!(out[7], input[3]);
+        assert_eq!(out[8 * 7], input[4 * 3]);
+        assert_eq!(out[8 * 8 - 1], input[15]);
+    }
+}

@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+
+//! The paper's nine benchmark kernels, written in the CUDA dialect, with
+//! workload generators and CPU reference implementations.
+//!
+//! Five deep-learning kernels (extracted from PyTorch in the paper) and four
+//! cryptography kernels (from ethminer / ccminer):
+//!
+//! | Kernel    | Character | Tunable block dim |
+//! |-----------|-----------|-------------------|
+//! | Maxpool   | memory-bound (4 loads / 1 store, trivial compute) | yes |
+//! | Batchnorm | shuffles + shared memory + 2 barriers | yes (y = 16) |
+//! | Upsample  | bilinear interpolation, memory-heavy | yes |
+//! | Im2Col    | index-arithmetic heavy, mixed | yes |
+//! | Hist      | shared-memory atomics (`extern __shared__`) | yes |
+//! | Ethash    | dependent pseudo-random DAG loads (synthetic DAG) | no |
+//! | SHA256    | unrolled 64-round compression, pure ALU | no |
+//! | Blake256  | unrolled 14-round BLAKE-256, pure ALU | no |
+//! | Blake2B   | unrolled 12-round BLAKE2b, 64-bit ALU | no |
+//!
+//! Two *extension* kernels beyond the paper's set (excluded from the
+//! replication figures): Softmax (special-function-unit bound) and a tiled
+//! Transpose (pure data movement through shared memory).
+//!
+//! Every benchmark implements [`Benchmark`]: it can upload its inputs to a
+//! simulated GPU, produce a [`hfuse_core::FusionInput`] for the fusion
+//! search, and check the GPU results against a CPU reference.
+
+pub mod any;
+pub mod crypto;
+pub mod dl;
+
+pub use any::{all_pairs, crypto_pairs, dl_pairs, AnyBenchmark, PairSpec};
+
+use cuda_frontend::ast::Function;
+use cuda_frontend::parse_kernel;
+use gpu_sim::{GpuMemory, ParamValue};
+use hfuse_core::{BlockShape, FusionInput};
+
+/// Grid dimension of the deep-learning benchmarks. Any two benchmarks of
+/// the same domain share a grid so they can be fused (a fused kernel runs
+/// with one grid).
+pub const DEFAULT_GRID: u32 = 64;
+
+/// Grid dimension of the cryptography benchmarks (their per-thread work is
+/// much larger, so a smaller grid keeps simulation time reasonable).
+pub const CRYPTO_GRID: u32 = 32;
+
+/// A benchmark kernel: source, launch geometry, inputs, and a result check.
+pub trait Benchmark {
+    /// Display name, matching the paper (e.g. `"Batchnorm"`).
+    fn name(&self) -> &'static str;
+
+    /// CUDA source of the kernel.
+    fn source(&self) -> String;
+
+    /// Whether the block dimension is tunable (deep-learning kernels are,
+    /// crypto kernels are not — Section IV-A).
+    fn tunable(&self) -> bool {
+        true
+    }
+
+    /// Block threads used for native runs.
+    fn default_threads(&self) -> u32 {
+        256
+    }
+
+    /// Thread-shape rule mapping a thread count to 3-D block dims.
+    fn shape(&self) -> BlockShape {
+        BlockShape::Linear
+    }
+
+    /// Grid dimension.
+    fn grid_dim(&self) -> u32 {
+        DEFAULT_GRID
+    }
+
+    /// Dynamic `extern __shared__` bytes required.
+    fn dynamic_shared(&self) -> u32 {
+        0
+    }
+
+    /// Allocates and fills the kernel's buffers; returns its argument list.
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue>;
+
+    /// Verifies the kernel's outputs against the CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String>;
+
+    /// Parses the kernel source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not parse — benchmark sources are fixed at
+    /// build time, so this is a bug, not an input error.
+    fn kernel(&self) -> Function {
+        parse_kernel(&self.source())
+            .unwrap_or_else(|e| panic!("benchmark `{}` source must parse: {e}", self.name()))
+    }
+
+    /// Builds the [`FusionInput`] for this benchmark, uploading its inputs
+    /// into `mem`.
+    fn fusion_input(&self, mem: &mut GpuMemory) -> FusionInput {
+        let args = self.setup(mem);
+        FusionInput {
+            kernel: self.kernel(),
+            args,
+            grid_dim: self.grid_dim(),
+            dynamic_shared: self.dynamic_shared(),
+            default_threads: self.default_threads(),
+            tunable: self.tunable(),
+            shape: self.shape(),
+        }
+    }
+}
+
+/// Returns pointer argument `i` or panics (test helper used across modules).
+pub(crate) fn ptr_arg(args: &[ParamValue], i: usize) -> gpu_sim::BufferId {
+    match args[i] {
+        ParamValue::Ptr(b) => b,
+        other => panic!("argument {i} expected to be a pointer, got {other:?}"),
+    }
+}
+
+/// Compares two `f32` slices with a relative tolerance, reporting the first
+/// mismatch.
+pub(crate) fn compare_f32(got: &[f32], want: &[f32], tol: f32, what: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("{what}: length {} != {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        if (g - w).abs() > tol * scale {
+            return Err(format!("{what}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// The five deep-learning benchmarks with paper-default workloads.
+pub fn dl_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(dl::maxpool::Maxpool::default()),
+        Box::new(dl::batchnorm::Batchnorm::default()),
+        Box::new(dl::upsample::Upsample::default()),
+        Box::new(dl::im2col::Im2Col::default()),
+        Box::new(dl::hist::Hist::default()),
+    ]
+}
+
+/// The four cryptography benchmarks with paper-default workloads.
+pub fn crypto_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(crypto::ethash::Ethash::default()),
+        Box::new(crypto::sha256::Sha256::default()),
+        Box::new(crypto::blake256::Blake256::default()),
+        Box::new(crypto::blake2b::Blake2b::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmark_sources_parse() {
+        for b in dl_benchmarks().iter().chain(crypto_benchmarks().iter()) {
+            let k = b.kernel();
+            assert!(k.is_kernel, "{} must be __global__", b.name());
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_lower_to_ir() {
+        for b in dl_benchmarks().iter().chain(crypto_benchmarks().iter()) {
+            let ir = thread_ir::lower_kernel(&b.kernel())
+                .unwrap_or_else(|e| panic!("{} must lower: {e}", b.name()));
+            assert!(ir.insts.len() > 5, "{}", b.name());
+            let p = ir.reg_pressure();
+            assert!(p <= 200, "{}: implausible pressure {p}", b.name());
+        }
+    }
+
+    #[test]
+    fn crypto_benchmarks_are_not_tunable() {
+        for b in crypto_benchmarks() {
+            assert!(!b.tunable(), "{}", b.name());
+        }
+        for b in dl_benchmarks() {
+            assert!(b.tunable(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn compare_f32_reports_mismatch_index() {
+        let err = compare_f32(&[1.0, 2.0], &[1.0, 3.0], 1e-5, "t").unwrap_err();
+        assert!(err.contains("t[1]"), "{err}");
+        assert!(compare_f32(&[1.0], &[1.0 + 1e-7], 1e-5, "t").is_ok());
+    }
+}

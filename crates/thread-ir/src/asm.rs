@@ -1,0 +1,439 @@
+//! Parser for the IR listing format emitted by [`crate::printer`] — an
+//! "assembler" counterpart to the disassembler. Round-tripping through text
+//! lets tests pin down pass output exactly and lets developers hand-write
+//! IR fixtures.
+
+use crate::ir::{
+    AtomOp, BarCount, BinIr, Inst, KernelIr, ParamKind, Reg, ScalarTy, ShflKind, SpecialReg,
+    UnIr, VoteKind,
+};
+
+/// Parses a kernel listing produced by [`crate::printer::print_kernel_ir`].
+///
+/// The header comment is optional; `@pc:` label lines are ignored (targets
+/// are numeric); each instruction line is `  <pc>  <text>` or just
+/// `<text>`. Resource metadata that the text format does not carry
+/// (parameter kinds, shared sizes) is reconstructed conservatively:
+/// parameter count from the highest `ld.param` index, shared/local sizes
+/// from the highest referenced offsets.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_kernel_ir(text: &str) -> Result<KernelIr, String> {
+    let mut insts = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") || line.ends_with(':') {
+            continue;
+        }
+        // Strip a leading numeric index if present.
+        let body = match line.split_once("  ") {
+            Some((idx, rest)) if idx.trim().parse::<usize>().is_ok() => rest.trim(),
+            _ => line,
+        };
+        insts.push(parse_inst(body).map_err(|e| format!("`{line}`: {e}"))?);
+    }
+    if insts.is_empty() {
+        return Err("empty listing".to_owned());
+    }
+
+    // Reconstruct metadata.
+    let mut num_regs = 0;
+    let mut max_param = None::<u32>;
+    let mut shared_top = 0u32;
+    let mut local_top = 0u32;
+    let mut srcs = Vec::with_capacity(3);
+    for inst in &insts {
+        if let Some(d) = inst.dst() {
+            num_regs = num_regs.max(d + 1);
+        }
+        srcs.clear();
+        inst.srcs_into(&mut srcs);
+        for &s in &srcs {
+            num_regs = num_regs.max(s + 1);
+        }
+        match inst {
+            Inst::LdParam { index, .. } => {
+                max_param = Some(max_param.map_or(*index, |m: u32| m.max(*index)));
+            }
+            Inst::SharedAddr { offset, .. } => shared_top = shared_top.max(*offset + 8),
+            Inst::LocalAddr { offset, .. } => local_top = local_top.max(*offset + 8),
+            _ => {}
+        }
+    }
+    let mut kernel = KernelIr {
+        name: "asm".to_owned(),
+        insts,
+        num_regs,
+        params: (0..max_param.map_or(0, |m| m + 1))
+            .map(|_| ParamKind::Scalar(ScalarTy::U64))
+            .collect(),
+        shared_static_bytes: shared_top,
+        uses_dynamic_shared: false,
+        dynamic_shared_offset: shared_top,
+        local_bytes: local_top,
+        spilled_regs: Vec::new(),
+        pressure: 0,
+    };
+    kernel.pressure = crate::liveness::register_pressure(&kernel);
+    crate::verify::verify(&kernel)?;
+    Ok(kernel)
+}
+
+fn reg(tok: &str) -> Result<Reg, String> {
+    tok.trim()
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("expected register, got `{tok}`"))
+}
+
+fn target(tok: &str) -> Result<usize, String> {
+    tok.trim()
+        .strip_prefix('@')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("expected @target, got `{tok}`"))
+}
+
+fn scalar_ty(name: &str) -> Result<ScalarTy, String> {
+    Ok(match name {
+        "s32" => ScalarTy::I32,
+        "u32" => ScalarTy::U32,
+        "s64" => ScalarTy::I64,
+        "u64" => ScalarTy::U64,
+        "f32" => ScalarTy::F32,
+        "f64" => ScalarTy::F64,
+        other => return Err(format!("unknown type `{other}`")),
+    })
+}
+
+fn parse_imm(tok: &str) -> Result<u64, String> {
+    let t = tok.trim();
+    if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    } else {
+        t.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+fn special(name: &str) -> Result<SpecialReg, String> {
+    Ok(match name {
+        "%tid.x" => SpecialReg::ThreadIdxX,
+        "%tid.y" => SpecialReg::ThreadIdxY,
+        "%tid.z" => SpecialReg::ThreadIdxZ,
+        "%ctaid.x" => SpecialReg::BlockIdxX,
+        "%ctaid.y" => SpecialReg::BlockIdxY,
+        "%ctaid.z" => SpecialReg::BlockIdxZ,
+        "%ntid.x" => SpecialReg::BlockDimX,
+        "%ntid.y" => SpecialReg::BlockDimY,
+        "%ntid.z" => SpecialReg::BlockDimZ,
+        "%nctaid.x" => SpecialReg::GridDimX,
+        "%nctaid.y" => SpecialReg::GridDimY,
+        "%nctaid.z" => SpecialReg::GridDimZ,
+        other => return Err(format!("unknown special register `{other}`")),
+    })
+}
+
+fn bin_op(name: &str) -> Option<BinIr> {
+    Some(match name {
+        "add" => BinIr::Add,
+        "sub" => BinIr::Sub,
+        "mul" => BinIr::Mul,
+        "div" => BinIr::Div,
+        "rem" => BinIr::Rem,
+        "shl" => BinIr::Shl,
+        "shr" => BinIr::Shr,
+        "and" => BinIr::And,
+        "or" => BinIr::Or,
+        "xor" => BinIr::Xor,
+        "min" => BinIr::Min,
+        "max" => BinIr::Max,
+        "setp.lt" => BinIr::Lt,
+        "setp.le" => BinIr::Le,
+        "setp.gt" => BinIr::Gt,
+        "setp.ge" => BinIr::Ge,
+        "setp.eq" => BinIr::Eq,
+        "setp.ne" => BinIr::Ne,
+        _ => return None,
+    })
+}
+
+fn un_op(name: &str) -> Option<UnIr> {
+    Some(match name {
+        "neg" => UnIr::Neg,
+        "not" => UnIr::Not,
+        "bnot" => UnIr::BitNot,
+        "abs" => UnIr::Abs,
+        "sqrt" => UnIr::Sqrt,
+        "rsqrt" => UnIr::Rsqrt,
+        "exp" => UnIr::Exp,
+        "log" => UnIr::Log,
+        "popc" => UnIr::Popc,
+        "clz" => UnIr::Clz,
+        "brev" => UnIr::Brev,
+        _ => return None,
+    })
+}
+
+/// Parses one instruction in the printer's format.
+pub fn parse_inst(text: &str) -> Result<Inst, String> {
+    let text = text.trim();
+    // Forms without a destination.
+    if text == "ret" {
+        return Ok(Inst::Ret);
+    }
+    if let Some(rest) = text.strip_prefix("bar.sync ") {
+        let mut it = rest.split(',');
+        let id: u32 =
+            it.next().ok_or("missing id")?.trim().parse().map_err(|_| "bad barrier id")?;
+        return Ok(match it.next() {
+            Some(n) => Inst::Bar {
+                id,
+                count: BarCount::Fixed(n.trim().parse().map_err(|_| "bad barrier count")?),
+            },
+            None => Inst::Bar { id, count: BarCount::All },
+        });
+    }
+    if let Some(rest) = text.strip_prefix("bra.z ") {
+        let (c, t) = rest.split_once(',').ok_or("bra.z needs cond, @target")?;
+        return Ok(Inst::Bra { cond: reg(c)?, if_zero: true, target: target(t)? });
+    }
+    if let Some(rest) = text.strip_prefix("bra.nz ") {
+        let (c, t) = rest.split_once(',').ok_or("bra.nz needs cond, @target")?;
+        return Ok(Inst::Bra { cond: reg(c)?, if_zero: false, target: target(t)? });
+    }
+    if let Some(rest) = text.strip_prefix("bra ") {
+        return Ok(Inst::Jmp { target: target(rest)? });
+    }
+    if let Some(rest) = text.strip_prefix("st.") {
+        // st.<ty> [rA], rV
+        let (ty, rest) = rest.split_once(' ').ok_or("st needs operands")?;
+        let (addr, val) = rest.split_once(',').ok_or("st needs [addr], val")?;
+        let addr = addr.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        return Ok(Inst::St {
+            ty: scalar_ty(ty)?,
+            addr: reg(addr.ok_or("bad address operand")?)?,
+            val: reg(val)?,
+        });
+    }
+
+    // Destination forms: `rD = <op> ...`.
+    let (dst, rhs) = text.split_once('=').ok_or("expected `=`")?;
+    let dst = reg(dst)?;
+    let rhs = rhs.trim();
+
+    if let Some(rest) = rhs.strip_prefix("imm ") {
+        return Ok(Inst::Imm { dst, value: parse_imm(rest)? });
+    }
+    if let Some(rest) = rhs.strip_prefix("mov ") {
+        let rest = rest.trim();
+        if let Some(offset) = rest.strip_prefix("shared+") {
+            return Ok(Inst::SharedAddr {
+                dst,
+                offset: offset.parse().map_err(|_| "bad shared offset")?,
+            });
+        }
+        if let Some(offset) = rest.strip_prefix("local+") {
+            return Ok(Inst::LocalAddr {
+                dst,
+                offset: offset.parse().map_err(|_| "bad local offset")?,
+            });
+        }
+        if rest.starts_with('%') {
+            return Ok(Inst::Special { dst, reg: special(rest)? });
+        }
+        return Ok(Inst::Mov { dst, src: reg(rest)? });
+    }
+    if let Some(rest) = rhs.strip_prefix("ld.param ") {
+        let idx = rest.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        return Ok(Inst::LdParam {
+            dst,
+            index: idx.and_then(|i| i.parse().ok()).ok_or("bad param index")?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("ld.") {
+        let (ty, addr) = rest.split_once(' ').ok_or("ld needs an address")?;
+        let addr = addr.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        return Ok(Inst::Ld {
+            ty: scalar_ty(ty)?,
+            dst,
+            addr: reg(addr.ok_or("bad address operand")?)?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("atom.") {
+        // atom.<op>.<ty> [rA], rV
+        let (opty, rest) = rest.split_once(' ').ok_or("atom needs operands")?;
+        let (op_name, ty_name) = opty.split_once('.').ok_or("atom needs op.ty")?;
+        let op = match op_name {
+            "add" => AtomOp::Add,
+            "max" => AtomOp::Max,
+            "exch" => AtomOp::Exch,
+            other => return Err(format!("unknown atomic `{other}`")),
+        };
+        let (addr, val) = rest.split_once(',').ok_or("atom needs [addr], val")?;
+        let addr = addr.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        return Ok(Inst::Atom {
+            op,
+            ty: scalar_ty(ty_name)?,
+            dst,
+            addr: reg(addr.ok_or("bad address operand")?)?,
+            val: reg(val)?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("shfl.") {
+        let (kind, rest) = rest.split_once(' ').ok_or("shfl needs operands")?;
+        let kind = match kind {
+            "bfly" => ShflKind::Xor,
+            "down" => ShflKind::Down,
+            other => return Err(format!("unknown shuffle `{other}`")),
+        };
+        let ops: Vec<&str> = rest.split(',').collect();
+        let [src, lane, width] = ops.as_slice() else {
+            return Err("shfl needs src, lane, width".to_owned());
+        };
+        return Ok(Inst::Shfl { kind, dst, src: reg(src)?, lane: reg(lane)?, width: reg(width)? });
+    }
+    if let Some(rest) = rhs.strip_prefix("vote.") {
+        let (kind, src) = rest.split_once(' ').ok_or("vote needs an operand")?;
+        let kind = match kind {
+            "ballot" => VoteKind::Ballot,
+            "any" => VoteKind::Any,
+            "all" => VoteKind::All,
+            other => return Err(format!("unknown vote `{other}`")),
+        };
+        return Ok(Inst::Vote { kind, dst, src: reg(src)? });
+    }
+    if let Some(rest) = rhs.strip_prefix("cvt.") {
+        // cvt.<to>.<from> rS
+        let (tys, src) = rest.split_once(' ').ok_or("cvt needs an operand")?;
+        let (to, from) = tys.split_once('.').ok_or("cvt needs to.from")?;
+        return Ok(Inst::Cast {
+            dst,
+            src: reg(src)?,
+            from: scalar_ty(from)?,
+            to: scalar_ty(to)?,
+        });
+    }
+    // Generic `name.ty operands` binary/unary.
+    let (opty, rest) = rhs.split_once(' ').ok_or("expected operands")?;
+    let (op_name, ty_name) = opty.rsplit_once('.').ok_or("expected op.ty")?;
+    let ty = scalar_ty(ty_name)?;
+    let ops: Vec<&str> = rest.split(',').collect();
+    if let Some(op) = bin_op(op_name) {
+        let [a, b] = ops.as_slice() else {
+            return Err(format!("{op_name} needs two operands"));
+        };
+        return Ok(Inst::Bin { op, ty, dst, a: reg(a)?, b: reg(b)? });
+    }
+    if let Some(op) = un_op(op_name) {
+        let [a] = ops.as_slice() else {
+            return Err(format!("{op_name} needs one operand"));
+        };
+        return Ok(Inst::Un { op, ty, dst, a: reg(a)? });
+    }
+    Err(format!("unknown instruction `{rhs}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use crate::printer::{format_inst, print_kernel_ir};
+    use cuda_frontend::parse_kernel;
+
+    #[test]
+    fn every_instruction_kind_round_trips() {
+        let samples = vec![
+            Inst::Imm { dst: 0, value: 42 },
+            Inst::Imm { dst: 1, value: 0xdead_beef },
+            Inst::Mov { dst: 2, src: 0 },
+            Inst::Bin { op: BinIr::Xor, ty: ScalarTy::U32, dst: 3, a: 1, b: 2 },
+            Inst::Bin { op: BinIr::Le, ty: ScalarTy::F64, dst: 4, a: 3, b: 3 },
+            Inst::Un { op: UnIr::Rsqrt, ty: ScalarTy::F32, dst: 5, a: 4 },
+            Inst::Cast { dst: 6, src: 5, from: ScalarTy::F32, to: ScalarTy::I64 },
+            Inst::Ld { ty: ScalarTy::U64, dst: 7, addr: 6 },
+            Inst::St { ty: ScalarTy::F32, addr: 7, val: 5 },
+            Inst::Atom { op: AtomOp::Add, ty: ScalarTy::U32, dst: 8, addr: 7, val: 3 },
+            Inst::Shfl { kind: ShflKind::Xor, dst: 9, src: 8, lane: 3, width: 2 },
+            Inst::Shfl { kind: ShflKind::Down, dst: 10, src: 9, lane: 3, width: 2 },
+            Inst::Vote { kind: VoteKind::Ballot, dst: 15, src: 4 },
+            Inst::Vote { kind: VoteKind::Any, dst: 16, src: 4 },
+            Inst::Vote { kind: VoteKind::All, dst: 17, src: 4 },
+            Inst::Bar { id: 0, count: BarCount::All },
+            Inst::Bar { id: 3, count: BarCount::Fixed(224) },
+            Inst::Special { dst: 11, reg: SpecialReg::GridDimX },
+            Inst::LdParam { dst: 12, index: 4 },
+            Inst::SharedAddr { dst: 13, offset: 160 },
+            Inst::LocalAddr { dst: 14, offset: 8 },
+            Inst::Bra { cond: 4, if_zero: true, target: 2 },
+            Inst::Bra { cond: 4, if_zero: false, target: 0 },
+            Inst::Jmp { target: 1 },
+            Inst::Ret,
+        ];
+        for inst in samples {
+            let text = format_inst(&inst);
+            let parsed = parse_inst(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, inst, "text was `{text}`");
+        }
+    }
+
+    #[test]
+    fn full_kernel_listing_round_trips() {
+        let k = parse_kernel(
+            "__global__ void k(float* out, float* in, int n) {\
+               __shared__ float s[32];\
+               int i = blockIdx.x * blockDim.x + threadIdx.x;\
+               s[threadIdx.x % 32] = in[i % n];\
+               __syncthreads();\
+               float v = s[(threadIdx.x + 1) % 32];\
+               v += __shfl_xor_sync(0xffffffffu, v, 1, 32);\
+               if (i < n) { out[i] = v; }\
+             }",
+        )
+        .expect("parse");
+        let ir = lower_kernel(&k).expect("lower");
+        let listing = print_kernel_ir(&ir);
+        let reparsed = parse_kernel_ir(&listing).expect("assemble");
+        assert_eq!(reparsed.insts, ir.insts, "instructions must round-trip exactly");
+        assert_eq!(reparsed.num_regs, ir.num_regs);
+    }
+
+    #[test]
+    fn all_benchmark_kernels_round_trip_through_text() {
+        // The heavyweight guarantee: listing → parse reproduces the exact
+        // instruction stream for every benchmark kernel.
+        for src in [
+            "__global__ void a(float* p) { p[threadIdx.x] = 1.0f; }",
+            "__global__ void b(unsigned int* p, int n) {\
+               for (int i = threadIdx.x; i < n; i += blockDim.x) { atomicAdd(&p[0], 1u); }\
+             }",
+        ] {
+            let ir = lower_kernel(&parse_kernel(src).expect("parse")).expect("lower");
+            let reparsed = parse_kernel_ir(&print_kernel_ir(&ir)).expect("assemble");
+            assert_eq!(reparsed.insts, ir.insts);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(parse_inst("r1 = frob.u32 r2, r3").is_err());
+        assert!(parse_inst("r1 = imm zz").is_err());
+        assert!(parse_inst("bra.z r1").is_err());
+        assert!(parse_kernel_ir("").is_err());
+        // Missing terminator fails verification.
+        assert!(parse_kernel_ir("r0 = imm 1").is_err());
+    }
+
+    #[test]
+    fn hand_written_fixture_assembles_and_runs_structurally() {
+        let listing = "\
+            r0 = mov %tid.x\n\
+            r1 = imm 2\n\
+            r2 = mul.s32 r0, r1\n\
+            @3:\n\
+            ret\n";
+        let k = parse_kernel_ir(listing).expect("assemble");
+        assert_eq!(k.insts.len(), 4);
+        assert_eq!(k.num_regs, 3);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! A flat SIMT register IR for GPU kernels, plus the lowering from the
+//! CUDA-dialect AST, liveness-based register-pressure analysis, and a spill
+//! model for register-bound compilation.
+//!
+//! The IR is the interface between the frontend and the simulator:
+//!
+//! * [`ir`] — instruction set ([`ir::Inst`]), kernel container
+//!   ([`ir::KernelIr`]), and the tagged 64-bit address encoding
+//!   ([`ir::MemAddr`]).
+//! * [`lower`] — compiles a preprocessed [`cuda_frontend::Function`] into a
+//!   [`ir::KernelIr`]. Control flow becomes explicit branches; each thread
+//!   executes the instruction stream with its own program counter
+//!   (divergence is handled by the simulator's warp stepper).
+//! * [`liveness`] — dataflow liveness and the register-pressure estimate the
+//!   occupancy model uses for `NRegs(S)`.
+//! * [`spill`] — selects virtual registers to demote to local memory when a
+//!   register bound (`maxrregcount`) is applied.
+//! * [`verify`] — structural well-formedness checks on the IR.
+//!
+//! # Example
+//!
+//! ```
+//! use cuda_frontend::parse_kernel;
+//! use thread_ir::lower::lower_kernel;
+//!
+//! let k = parse_kernel(
+//!     "__global__ void axpy(float* y, float* x, float a, int n) {
+//!          int i = blockIdx.x * blockDim.x + threadIdx.x;
+//!          if (i < n) { y[i] = a * x[i] + y[i]; }
+//!      }",
+//! )?;
+//! let ir = lower_kernel(&k)?;
+//! assert!(ir.insts.len() > 5);
+//! assert!(ir.reg_pressure() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod alu;
+pub mod asm;
+pub mod cfg;
+pub mod ir;
+pub mod liveness;
+pub mod lower;
+pub mod opt;
+pub mod printer;
+pub mod spill;
+pub mod verify;
+
+pub use ir::{Inst, KernelIr, MemAddr, ScalarTy, Space};
+pub use lower::{lower_kernel, lower_kernel_unoptimized};

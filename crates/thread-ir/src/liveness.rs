@@ -1,0 +1,377 @@
+//! Dataflow liveness analysis and register-pressure estimation.
+//!
+//! Register pressure is the occupancy model's `NRegs(S)`: the maximum number
+//! of simultaneously live virtual registers at any program point, plus a
+//! small architectural overhead mimicking the fixed registers a real
+//! compiler reserves.
+
+use crate::ir::{Inst, KernelIr, Reg};
+
+/// Floor on any pressure estimate — even an empty kernel occupies a few
+/// architectural registers.
+pub const MIN_REGS: u32 = 8;
+
+/// Fixed overhead added to the max-live count, mimicking the scheduling
+/// and addressing registers `nvcc` keeps beyond the dataflow minimum (our
+/// estimates sit well below `nvcc`'s reported counts otherwise).
+pub const REG_OVERHEAD: u32 = 12;
+
+/// Hardware limit per thread.
+pub const MAX_REGS: u32 = 255;
+
+/// A dense bitset over virtual registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// Creates an empty set able to hold `n` registers.
+    pub fn new(n: u32) -> Self {
+        Self { words: vec![0; (n as usize).div_ceil(64)] }
+    }
+
+    /// Inserts `r`; returns true if it was newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: Reg) {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of registers in the set, optionally ignoring some registers.
+    pub fn count_excluding(&self, excluded: Option<&RegSet>) -> u32 {
+        match excluded {
+            None => self.words.iter().map(|w| w.count_ones()).sum(),
+            Some(ex) => self
+                .words
+                .iter()
+                .zip(&ex.words)
+                .map(|(w, e)| (w & !e).count_ones())
+                .sum(),
+        }
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> u32 {
+        self.count_excluding(None)
+    }
+
+    /// True when no register is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            if next != *a {
+                *a = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Iterates over the registers in the set.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1 << b) != 0 {
+                    Some((wi * 64 + b) as Reg)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Successor program counters of the instruction at `pc`.
+pub fn successors(insts: &[Inst], pc: usize) -> SmallSuccs {
+    match &insts[pc] {
+        Inst::Ret => SmallSuccs::none(),
+        Inst::Jmp { target } => SmallSuccs::one(*target),
+        Inst::Bra { target, .. } => SmallSuccs::two(pc + 1, *target),
+        _ => {
+            if pc + 1 < insts.len() {
+                SmallSuccs::one(pc + 1)
+            } else {
+                SmallSuccs::none()
+            }
+        }
+    }
+}
+
+/// Up to two successor PCs, without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallSuccs {
+    items: [usize; 2],
+    len: u8,
+}
+
+impl SmallSuccs {
+    fn none() -> Self {
+        Self { items: [0; 2], len: 0 }
+    }
+    fn one(a: usize) -> Self {
+        Self { items: [a, 0], len: 1 }
+    }
+    fn two(a: usize, b: usize) -> Self {
+        Self { items: [a, b], len: 2 }
+    }
+
+    /// The successors as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.items[..self.len as usize]
+    }
+}
+
+/// Per-instruction live-in sets (registers live immediately before each
+/// instruction executes), computed by iterative backward dataflow.
+pub fn live_in_sets(kernel: &KernelIr) -> Vec<RegSet> {
+    let insts = &kernel.insts;
+    let n = insts.len();
+    let mut live_in: Vec<RegSet> = vec![RegSet::new(kernel.num_regs); n];
+    let mut srcs_buf: Vec<Reg> = Vec::with_capacity(3);
+
+    // Iterate to a fixed point. Reverse order converges quickly on mostly
+    // forward CFGs.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in (0..n).rev() {
+            // live_out = union of successors' live_in
+            let mut out = RegSet::new(kernel.num_regs);
+            for &s in successors(insts, pc).as_slice() {
+                out.union_with(&live_in[s]);
+            }
+            // live_in = (live_out - def) | use
+            if let Some(d) = insts[pc].dst() {
+                out.remove(d);
+            }
+            srcs_buf.clear();
+            insts[pc].srcs_into(&mut srcs_buf);
+            for &s in &srcs_buf {
+                out.insert(s);
+            }
+            if out != live_in[pc] {
+                live_in[pc] = out;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+/// Registers that a real compiler would not keep in the register file:
+/// defined exclusively by immediates, parameter loads, or static address
+/// materialization, all of which SASS encodes as instruction immediates or
+/// constant-bank reads. They are excluded from pressure so that constant
+/// pooling does not distort occupancy.
+pub fn rematerializable_regs(kernel: &KernelIr) -> RegSet {
+    let mut cheap = RegSet::new(kernel.num_regs);
+    let mut expensive = RegSet::new(kernel.num_regs);
+    for inst in &kernel.insts {
+        if let Some(d) = inst.dst() {
+            match inst {
+                Inst::Imm { .. }
+                | Inst::LdParam { .. }
+                | Inst::SharedAddr { .. }
+                | Inst::LocalAddr { .. } => {
+                    cheap.insert(d);
+                }
+                _ => {
+                    expensive.insert(d);
+                }
+            }
+        }
+    }
+    for r in expensive.iter() {
+        cheap.remove(r);
+    }
+    cheap
+}
+
+/// Register pressure: the maximum over program points of simultaneously live
+/// registers (excluding `excluded` and rematerializable constants), plus
+/// [`REG_OVERHEAD`], clamped to `[MIN_REGS, MAX_REGS]`.
+pub fn pressure_excluding(kernel: &KernelIr, excluded: Option<&RegSet>) -> u32 {
+    let live = live_in_sets(kernel);
+    let mut skip = rematerializable_regs(kernel);
+    if let Some(ex) = excluded {
+        skip.union_with(ex);
+    }
+    let max_live = live.iter().map(|s| s.count_excluding(Some(&skip))).max().unwrap_or(0);
+    (max_live + REG_OVERHEAD).clamp(MIN_REGS, MAX_REGS)
+}
+
+/// Register pressure of the kernel as lowered (no exclusions).
+pub fn register_pressure(kernel: &KernelIr) -> u32 {
+    pressure_excluding(kernel, None)
+}
+
+/// Per-register statistics used by the spill heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegStats {
+    /// The register.
+    pub reg: Reg,
+    /// Number of program points at which the register is live.
+    pub live_points: u32,
+    /// Static def + use count.
+    pub occurrences: u32,
+}
+
+/// Computes live-length and occurrence counts for every register.
+pub fn reg_stats(kernel: &KernelIr) -> Vec<RegStats> {
+    let live = live_in_sets(kernel);
+    let mut stats: Vec<RegStats> = (0..kernel.num_regs)
+        .map(|reg| RegStats { reg, live_points: 0, occurrences: 0 })
+        .collect();
+    for set in &live {
+        for r in set.iter() {
+            stats[r as usize].live_points += 1;
+        }
+    }
+    let mut srcs = Vec::with_capacity(3);
+    for inst in &kernel.insts {
+        if let Some(d) = inst.dst() {
+            stats[d as usize].occurrences += 1;
+        }
+        srcs.clear();
+        inst.srcs_into(&mut srcs);
+        for &s in &srcs {
+            stats[s as usize].occurrences += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel_unoptimized;
+    use cuda_frontend::parse_kernel;
+
+    fn lower(src: &str) -> KernelIr {
+        // Liveness unit tests inspect the raw lowering (the optimizer would
+        // delete the dead code some of them rely on).
+        lower_kernel_unoptimized(&parse_kernel(src).expect("parse")).expect("lower")
+    }
+
+    #[test]
+    fn regset_basic_operations() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        s.remove(0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn regset_union() {
+        let mut a = RegSet::new(64);
+        a.insert(1);
+        let mut b = RegSet::new(64);
+        b.insert(2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn straight_line_pressure_counts_overlap() {
+        // x and y are both live across the final store.
+        let ir = lower(
+            "__global__ void k(float* a) { float x = a[0]; float y = a[1]; a[2] = x + y; }",
+        );
+        let p = register_pressure(&ir);
+        assert!(p >= MIN_REGS, "pressure {p}");
+        assert!(p < 32, "pressure {p} too high for a tiny kernel");
+    }
+
+    #[test]
+    fn dead_values_do_not_add_pressure() {
+        let narrow = lower("__global__ void k(float* a) { a[0] = 1.0f; a[1] = 2.0f; }");
+        let wide = lower(
+            "__global__ void k(float* a) {\
+              float x0 = a[0]; float x1 = a[1]; float x2 = a[2]; float x3 = a[3];\
+              float x4 = a[4]; float x5 = a[5]; float x6 = a[6]; float x7 = a[7];\
+              a[0] = x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;\
+            }",
+        );
+        assert!(
+            register_pressure(&wide) > register_pressure(&narrow),
+            "eight live loads must out-pressure two dead stores: {} vs {}",
+            register_pressure(&wide),
+            register_pressure(&narrow)
+        );
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let ir = lower(
+            "__global__ void k(float* a, int n) {\
+               float acc = 0.0f;\
+               for (int i = 0; i < n; i++) { acc += a[i]; }\
+               a[0] = acc;\
+             }",
+        );
+        let live = live_in_sets(&ir);
+        // The accumulator's register must be live at the loop back-edge.
+        let backedge = ir
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Jmp { target } if *target < ir.insts.len()))
+            .expect("loop jump");
+        assert!(!live[backedge].is_empty());
+    }
+
+    #[test]
+    fn stats_track_occurrences() {
+        let ir = lower("__global__ void k(int n) { n = n + n; }");
+        let stats = reg_stats(&ir);
+        // The register bound to `n` (param reg 0) is read twice and written.
+        let n_stats = stats[0];
+        assert!(n_stats.occurrences >= 3, "{n_stats:?}");
+    }
+
+    #[test]
+    fn pressure_excluding_reduces() {
+        let ir = lower(
+            "__global__ void k(float* a) {\
+              float x0 = a[0]; float x1 = a[1]; float x2 = a[2]; float x3 = a[3];\
+              a[0] = x0 + x1 + x2 + x3;\
+            }",
+        );
+        let base = pressure_excluding(&ir, None);
+        let live = live_in_sets(&ir);
+        // Exclude the register with the longest live range.
+        let stats = reg_stats(&ir);
+        let longest = stats.iter().max_by_key(|s| s.live_points).expect("stats").reg;
+        let mut ex = RegSet::new(ir.num_regs);
+        ex.insert(longest);
+        let reduced = pressure_excluding(&ir, Some(&ex));
+        assert!(reduced <= base, "{reduced} vs {base}");
+        let _ = live;
+    }
+}

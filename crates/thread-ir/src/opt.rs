@@ -1,0 +1,972 @@
+//! Machine-independent optimizations on the flat IR.
+//!
+//! Real GPU compilers eliminate most of the redundancy a naive lowering
+//! produces (re-materialized constants, repeated address arithmetic,
+//! loop-invariant subexpressions). Without these passes, simulated kernels
+//! issue far more instructions than their SASS counterparts, which distorts
+//! the issue-utilization balance the fusion study depends on. Three classic
+//! passes run to a fixed point:
+//!
+//! * **LICM** — hoists pure, loop-invariant instructions into a loop
+//!   preheader (safe here because no pure instruction can fault: integer
+//!   division by zero is defined to produce 0).
+//! * **local CSE** — value-numbers pure instructions within each basic
+//!   block, deleting recomputations (or downgrading them to register moves
+//!   when the redundant destination is live out of the block).
+//! * **DCE** — removes pure instructions whose results are never used.
+
+use std::collections::HashMap;
+
+use crate::cfg::{Bb, BlockId, Cfg, Term};
+use crate::ir::{Inst, KernelIr, Reg};
+use crate::liveness::RegSet;
+
+/// Counters describing what [`optimize`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions hoisted to loop preheaders.
+    pub hoisted: usize,
+    /// Instructions removed (or downgraded to moves) by CSE.
+    pub cse_removed: usize,
+    /// Dead instructions removed.
+    pub dce_removed: usize,
+    /// Instructions replaced by immediates through constant folding.
+    pub folded: usize,
+}
+
+/// Like [`optimize`] but prints the listing after every pass (debugging
+/// aid; not part of the stable API).
+#[doc(hidden)]
+pub fn optimize_debug(kernel: &mut KernelIr) {
+    for round in 0..4 {
+        let mut cfg = Cfg::build(kernel);
+        let f = const_fold(&mut cfg, kernel.num_regs);
+        kernel.insts = cfg.flatten();
+        eprintln!("== round {round} after fold ({f}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        let mut cfg = Cfg::build(kernel);
+        let p = peephole(&mut cfg, &mut kernel.num_regs);
+        kernel.insts = cfg.flatten();
+        eprintln!("== round {round} after peephole ({p}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        let mut cfg = Cfg::build(kernel);
+        let c1 = local_cse(&mut cfg, kernel.num_regs);
+        kernel.insts = cfg.flatten();
+        eprintln!("== round {round} after cse1 ({c1}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        let mut cfg = Cfg::build(kernel);
+        let h = licm(&mut cfg, kernel.num_regs);
+        let c2 = local_cse(&mut cfg, kernel.num_regs);
+        let d = dce(&mut cfg, kernel.num_regs);
+        kernel.insts = cfg.flatten();
+        eprintln!("== round {round} after licm/cse2/dce ({h}/{c2}/{d}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        if f + p + c1 + h + c2 + d == 0 { break; }
+    }
+}
+
+/// True for instructions that have no side effects and cannot fault.
+fn is_pure(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Imm { .. }
+            | Inst::Mov { .. }
+            | Inst::Bin { .. }
+            | Inst::Un { .. }
+            | Inst::Cast { .. }
+            | Inst::Special { .. }
+            | Inst::LdParam { .. }
+            | Inst::SharedAddr { .. }
+            | Inst::LocalAddr { .. }
+    )
+}
+
+/// Optimizes the kernel in place and refreshes its register-pressure
+/// estimate. Returns the pass statistics.
+pub fn optimize(kernel: &mut KernelIr) -> OptStats {
+    let mut stats = OptStats::default();
+    for _round in 0..4 {
+        let mut cfg = Cfg::build(kernel);
+        let folded =
+            const_fold(&mut cfg, kernel.num_regs) + peephole(&mut cfg, &mut kernel.num_regs);
+        // CSE must run before LICM: folding can leave many copies of the
+        // same constant in a loop body, and hoisting them individually
+        // would turn each into a loop-long live range.
+        let cse_removed = local_cse(&mut cfg, kernel.num_regs);
+        let hoisted = licm(&mut cfg, kernel.num_regs);
+        let cse_removed = cse_removed + local_cse(&mut cfg, kernel.num_regs);
+        let dce_removed = dce(&mut cfg, kernel.num_regs);
+        kernel.insts = cfg.flatten();
+        stats.folded += folded;
+        stats.hoisted += hoisted;
+        stats.cse_removed += cse_removed;
+        stats.dce_removed += dce_removed;
+        if folded + hoisted + cse_removed + dce_removed == 0 {
+            break;
+        }
+    }
+    kernel.pressure = crate::liveness::register_pressure(kernel);
+    debug_assert!(crate::verify::verify(kernel).is_ok());
+    stats
+}
+
+// ---- liveness over the CFG --------------------------------------------------
+
+fn block_uses_defs(bb: &Bb, num_regs: u32) -> (RegSet, RegSet) {
+    let mut uses = RegSet::new(num_regs);
+    let mut defs = RegSet::new(num_regs);
+    let mut srcs = Vec::with_capacity(3);
+    for inst in &bb.insts {
+        srcs.clear();
+        inst.srcs_into(&mut srcs);
+        for &s in &srcs {
+            if !defs.contains(s) {
+                uses.insert(s);
+            }
+        }
+        if let Some(d) = inst.dst() {
+            defs.insert(d);
+        }
+    }
+    if let Term::Bra { cond, .. } = &bb.term {
+        if !defs.contains(*cond) {
+            uses.insert(*cond);
+        }
+    }
+    (uses, defs)
+}
+
+/// Per-block live-in / live-out sets.
+fn block_liveness(cfg: &Cfg, num_regs: u32) -> (Vec<RegSet>, Vec<RegSet>) {
+    let n = cfg.blocks.len();
+    let mut live_in = vec![RegSet::new(num_regs); n];
+    let mut live_out = vec![RegSet::new(num_regs); n];
+    let ud: Vec<(RegSet, RegSet)> =
+        cfg.blocks.iter().map(|b| block_uses_defs(b, num_regs)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut out = RegSet::new(num_regs);
+            for s in cfg.blocks[b].term.succs() {
+                out.union_with(&live_in[s]);
+            }
+            // in = use | (out - def)
+            let mut inn = ud[b].0.clone();
+            for r in out.iter() {
+                if !ud[b].1.contains(r) {
+                    inn.insert(r);
+                }
+            }
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    (live_in, live_out)
+}
+
+// ---- constant folding ---------------------------------------------------------
+
+/// Replaces pure computations over constant operands with immediates.
+///
+/// A register is *known constant* when its only definition in the whole
+/// kernel is an `Imm`. Folding uses the exact runtime ALU semantics
+/// ([`crate::alu`]), so values are bit-identical (including the defined
+/// division-by-zero and oversized-shift behavior).
+fn const_fold(cfg: &mut Cfg, num_regs: u32) -> usize {
+    let mut folded = 0;
+    loop {
+        // Map each reg to its constant value when its single definition is
+        // an Imm.
+        let mut def_count = vec![0u32; num_regs as usize];
+        let mut value: Vec<Option<u64>> = vec![None; num_regs as usize];
+        for bb in &cfg.blocks {
+            for inst in &bb.insts {
+                if let Some(d) = inst.dst() {
+                    def_count[d as usize] += 1;
+                    value[d as usize] = match inst {
+                        Inst::Imm { value, .. } => Some(*value),
+                        _ => None,
+                    };
+                }
+            }
+        }
+        let known = |r: Reg| {
+            if def_count[r as usize] == 1 {
+                value[r as usize]
+            } else {
+                None
+            }
+        };
+        let mut changed = 0;
+        for bb in &mut cfg.blocks {
+            for inst in &mut bb.insts {
+                let replacement = match inst {
+                    Inst::Bin { op, ty, dst, a, b } => match (known(*a), known(*b)) {
+                        (Some(va), Some(vb)) => {
+                            Some(Inst::Imm { dst: *dst, value: crate::alu::bin(*op, *ty, va, vb) })
+                        }
+                        _ => None,
+                    },
+                    Inst::Un { op, ty, dst, a } => known(*a).map(|va| Inst::Imm {
+                        dst: *dst,
+                        value: crate::alu::un(*op, *ty, va),
+                    }),
+                    Inst::Cast { dst, src, from, to } => known(*src).map(|v| Inst::Imm {
+                        dst: *dst,
+                        value: crate::alu::cast(*from, *to, v),
+                    }),
+                    Inst::Mov { dst, src } => {
+                        known(*src).map(|v| Inst::Imm { dst: *dst, value: v })
+                    }
+                    _ => None,
+                };
+                if let Some(imm) = replacement {
+                    *inst = imm;
+                    changed += 1;
+                }
+            }
+        }
+        folded += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    folded
+}
+
+/// Algebraic simplification and strength reduction, as `nvcc`/`ptxas`
+/// perform: identities (`x + 0`, `x * 1`, `x ^ 0`, shifts by 0) become
+/// moves, multiplication/division/remainder by powers of two become shifts
+/// and masks (unsigned only for div/rem — signed division rounds toward
+/// zero, not down). This matters for timing: the simulator's divide class
+/// is an order of magnitude slower than a shift.
+fn peephole(cfg: &mut Cfg, num_regs: &mut u32) -> usize {
+    use crate::ir::{BinIr, ScalarTy};
+    // Known-constant registers (single definition, and it is an Imm).
+    let n = *num_regs as usize;
+    let mut def_count = vec![0u32; n];
+    let mut value: Vec<Option<u64>> = vec![None; n];
+    for bb in &cfg.blocks {
+        for inst in &bb.insts {
+            if let Some(d) = inst.dst() {
+                def_count[d as usize] += 1;
+                value[d as usize] = match inst {
+                    Inst::Imm { value, .. } => Some(*value),
+                    _ => None,
+                };
+            }
+        }
+    }
+    let known = |r: Reg| if def_count[r as usize] == 1 { value[r as usize] } else { None };
+
+    let mut changed = 0;
+    for bb in &mut cfg.blocks {
+        let mut out: Vec<Inst> = Vec::with_capacity(bb.insts.len());
+        for inst in std::mem::take(&mut bb.insts) {
+            let Inst::Bin { op, ty, dst, a, b } = inst else {
+                out.push(inst);
+                continue;
+            };
+            if ty.is_float() {
+                // Float identities are not exact (-0.0, NaN); leave them.
+                out.push(inst);
+                continue;
+            }
+            let ka = known(a);
+            let kb = known(b);
+            let width = ty.size_bytes() * 8;
+            let mask = if width == 32 { 0xffff_ffffu64 } else { u64::MAX };
+            // Emits a fresh constant register holding `v` just before the
+            // rewritten instruction.
+            let mut fresh_const = |v: u64, out: &mut Vec<Inst>| -> Reg {
+                let r = *num_regs;
+                *num_regs += 1;
+                out.push(Inst::Imm { dst: r, value: v });
+                r
+            };
+            let replacement = match (op, ka, kb) {
+                // x + 0, x - 0, x | 0, x ^ 0, x << 0, x >> 0
+                (
+                    BinIr::Add | BinIr::Sub | BinIr::Or | BinIr::Xor | BinIr::Shl | BinIr::Shr,
+                    _,
+                    Some(0),
+                ) => Some(Inst::Mov { dst, src: a }),
+                (BinIr::Add | BinIr::Or | BinIr::Xor, Some(0), _) => {
+                    Some(Inst::Mov { dst, src: b })
+                }
+                // x * 1
+                (BinIr::Mul, _, Some(1)) => Some(Inst::Mov { dst, src: a }),
+                (BinIr::Mul, Some(1), _) => Some(Inst::Mov { dst, src: b }),
+                // x * 2^k  ->  x << k (two's-complement wrap-safe)
+                (BinIr::Mul, _, Some(c)) if (c & mask).is_power_of_two() && (c & mask) > 1 => {
+                    let sh = fresh_const(u64::from((c & mask).trailing_zeros()), &mut out);
+                    Some(Inst::Bin { op: BinIr::Shl, ty, dst, a, b: sh })
+                }
+                // unsigned x / 2^k  ->  x >> k
+                (BinIr::Div, _, Some(c))
+                    if matches!(ty, ScalarTy::U32 | ScalarTy::U64)
+                        && (c & mask).is_power_of_two() =>
+                {
+                    let sh = fresh_const(u64::from((c & mask).trailing_zeros()), &mut out);
+                    Some(Inst::Bin { op: BinIr::Shr, ty, dst, a, b: sh })
+                }
+                // unsigned x % 2^k  ->  x & (2^k - 1)
+                (BinIr::Rem, _, Some(c))
+                    if matches!(ty, ScalarTy::U32 | ScalarTy::U64)
+                        && (c & mask).is_power_of_two() =>
+                {
+                    let m = fresh_const((c & mask) - 1, &mut out);
+                    Some(Inst::Bin { op: BinIr::And, ty, dst, a, b: m })
+                }
+                _ => None,
+            };
+            match replacement {
+                Some(r) => {
+                    out.push(r);
+                    changed += 1;
+                }
+                None => out.push(inst),
+            }
+        }
+        bb.insts = out;
+    }
+    changed
+}
+
+// ---- LICM -------------------------------------------------------------------
+
+fn licm(cfg: &mut Cfg, num_regs: u32) -> usize {
+    let mut hoisted_total = 0;
+    // Collect loops up front; preheader insertion appends blocks, so body
+    // bitmaps must be padded when consulted later.
+    let loops = cfg.natural_loops();
+    for (header, body) in loops {
+        let (live_in, _) = block_liveness(cfg, num_regs);
+        let in_body = |b: BlockId| body.get(b).copied().unwrap_or(false);
+
+        // Count definitions of each register inside the loop.
+        let mut def_count: HashMap<Reg, u32> = HashMap::new();
+        for (b, bb) in cfg.blocks.iter().enumerate() {
+            if !in_body(b) {
+                continue;
+            }
+            for inst in &bb.insts {
+                if let Some(d) = inst.dst() {
+                    *def_count.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Iteratively mark invariant instructions: pure, single def in the
+        // loop, destination not live into the header (its pre-loop value is
+        // never observed), and all operands either defined outside the loop
+        // or by an already-invariant instruction.
+        let mut invariant_defs: RegSet = RegSet::new(num_regs);
+        let mut hoist: Vec<(BlockId, usize)> = Vec::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (b, bb) in cfg.blocks.iter().enumerate() {
+                if !in_body(b) {
+                    continue;
+                }
+                for (i, inst) in bb.insts.iter().enumerate() {
+                    if hoist.contains(&(b, i)) || !is_pure(inst) {
+                        continue;
+                    }
+                    // Constants are rematerializable (cost-free in the
+                    // pressure model); hoisting them only lengthens live
+                    // ranges.
+                    if matches!(
+                        inst,
+                        Inst::Imm { .. }
+                            | Inst::LdParam { .. }
+                            | Inst::SharedAddr { .. }
+                            | Inst::LocalAddr { .. }
+                    ) {
+                        continue;
+                    }
+                    let Some(d) = inst.dst() else { continue };
+                    if def_count.get(&d).copied().unwrap_or(0) != 1 {
+                        continue;
+                    }
+                    if live_in[header].contains(d) {
+                        continue;
+                    }
+                    let ok = inst.srcs().iter().all(|&s| {
+                        def_count.get(&s).copied().unwrap_or(0) == 0 || invariant_defs.contains(s)
+                    });
+                    if ok {
+                        invariant_defs.insert(d);
+                        hoist.push((b, i));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if hoist.is_empty() {
+            continue;
+        }
+        // Move the instructions, preserving their program order: collect in
+        // (block-layout, index) order.
+        let layout_pos: HashMap<BlockId, usize> =
+            cfg.layout.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        hoist.sort_by_key(|&(b, i)| (layout_pos.get(&b).copied().unwrap_or(usize::MAX), i));
+        let pre = cfg.insert_preheader(header, &body);
+        let mut moved = Vec::with_capacity(hoist.len());
+        // Remove from the back of each block to keep indices valid.
+        let mut by_block: HashMap<BlockId, Vec<usize>> = HashMap::new();
+        for &(b, i) in &hoist {
+            by_block.entry(b).or_default().push(i);
+        }
+        let mut extracted: HashMap<(BlockId, usize), Inst> = HashMap::new();
+        for (b, mut idxs) in by_block {
+            idxs.sort_unstable_by(|a, c| c.cmp(a));
+            for i in idxs {
+                extracted.insert((b, i), cfg.blocks[b].insts.remove(i));
+            }
+        }
+        for key in &hoist {
+            moved.push(extracted.remove(key).expect("extracted above"));
+        }
+        hoisted_total += moved.len();
+        cfg.blocks[pre].insts = moved;
+    }
+    hoisted_total
+}
+
+// ---- local CSE ----------------------------------------------------------------
+
+/// A value-number key: the instruction shape with operand registers
+/// replaced by (register, version-at-read) pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Imm(u64),
+    Mov(Reg, u32),
+    Bin(crate::ir::BinIr, crate::ir::ScalarTy, (Reg, u32), (Reg, u32)),
+    Un(crate::ir::UnIr, crate::ir::ScalarTy, (Reg, u32)),
+    Cast(crate::ir::ScalarTy, crate::ir::ScalarTy, (Reg, u32)),
+    Special(crate::ir::SpecialReg),
+    LdParam(u32),
+    SharedAddr(u32),
+    LocalAddr(u32),
+}
+
+/// Maximum reuse distance (in instructions) for non-constant CSE hits.
+/// Reusing a value computed far earlier keeps it live across the whole gap,
+/// which real compilers avoid (they rematerialize instead of inflating
+/// register pressure); BLAKE's repeating message schedule is the archetypal
+/// victim.
+const CSE_WINDOW: usize = 120;
+
+fn local_cse(cfg: &mut Cfg, num_regs: u32) -> usize {
+    let (_, live_out) = block_liveness(cfg, num_regs);
+    let mut removed = 0;
+    for (bi, bb) in cfg.blocks.iter_mut().enumerate() {
+        let mut version: HashMap<Reg, u32> = HashMap::new();
+        let ver = |version: &HashMap<Reg, u32>, r: Reg| version.get(&r).copied().unwrap_or(0);
+        // key → (canonical register, canonical's version at definition,
+        // definition position). A hit is only valid while the canonical
+        // register still holds that version — a redefinition of the
+        // canonical (e.g. `b = 2; b = 3;` where `b` became canonical for
+        // Imm(2)) silently invalidates the entry via the version check.
+        let mut avail: HashMap<Key, (Reg, u32, usize)> = HashMap::new();
+        // Map from a deleted destination to its canonical register, applied
+        // to subsequent operands; an entry dies when either side is
+        // redefined.
+        let mut rename: HashMap<Reg, Reg> = HashMap::new();
+
+        let mut out: Vec<Inst> = Vec::with_capacity(bb.insts.len());
+        let mut defined_later: RegSet = RegSet::new(num_regs);
+        // Precompute which regs are redefined after each point is not
+        // needed: liveness-out plus in-block subsequent uses are handled by
+        // keeping Movs when the dst is live-out OR used later in the block
+        // after a redefinition of the canonical — conservatively, keep a
+        // Mov when dst is live out of the block; in-block uses are renamed.
+        let _ = &mut defined_later;
+
+        for (pos, mut inst) in std::mem::take(&mut bb.insts).into_iter().enumerate() {
+            // Apply operand renames.
+            remap_srcs(&mut inst, &rename);
+            let key = match &inst {
+                Inst::Imm { value, .. } => Some(Key::Imm(*value)),
+                Inst::Mov { src, .. } => Some(Key::Mov(*src, ver(&version, *src))),
+                Inst::Bin { op, ty, a, b, .. } => Some(Key::Bin(
+                    *op,
+                    *ty,
+                    (*a, ver(&version, *a)),
+                    (*b, ver(&version, *b)),
+                )),
+                Inst::Un { op, ty, a, .. } => Some(Key::Un(*op, *ty, (*a, ver(&version, *a)))),
+                Inst::Cast { from, to, src, .. } => {
+                    Some(Key::Cast(*from, *to, (*src, ver(&version, *src))))
+                }
+                Inst::Special { reg, .. } => Some(Key::Special(*reg)),
+                Inst::LdParam { index, .. } => Some(Key::LdParam(*index)),
+                Inst::SharedAddr { offset, .. } => Some(Key::SharedAddr(*offset)),
+                Inst::LocalAddr { offset, .. } => Some(Key::LocalAddr(*offset)),
+                _ => None,
+            };
+            let dst = inst.dst();
+            if let (Some(key), Some(d)) = (key, dst) {
+                // Constants cost nothing to keep live (they never occupy a
+                // hardware register); other values only dedup within the
+                // scheduling window.
+                let windowless = matches!(
+                    key,
+                    Key::Imm(_) | Key::LdParam(_) | Key::SharedAddr(_) | Key::LocalAddr(_)
+                );
+                match avail.get(&key).copied() {
+                    Some((canonical, def_ver, def_pos))
+                        if canonical != d
+                            && def_ver == ver(&version, canonical)
+                            && (windowless || pos - def_pos <= CSE_WINDOW) =>
+                    {
+                        if live_out[bi].contains(d) {
+                            // `d` is really redefined on both live-out
+                            // paths, so rescue its aliases first.
+                            on_redefine(d, &mut rename, &mut version, &mut out);
+                            bump(&mut version, d);
+                            if windowless {
+                                // A live-out constant is cheaper re-issued
+                                // than kept alive through a move.
+                                out.push(inst);
+                                continue;
+                            }
+                            // Keep the architectural value with a cheap move.
+                            removed += 1;
+                            out.push(Inst::Mov { dst: d, src: canonical });
+                        } else {
+                            // Deleted: `d`'s register is NOT clobbered, so
+                            // aliases pointing at `d` stay valid — only
+                            // `d`'s own alias entry (if any) dies.
+                            removed += 1;
+                            bump(&mut version, d);
+                            rename.remove(&d);
+                            rename.insert(d, canonical);
+                        }
+                        continue;
+                    }
+                    _ => {
+                        // Miss, out of window, stale canonical version, or
+                        // an idempotent recompute into the canonical itself:
+                        // make this definition the new canonical. Its
+                        // version becomes current-version + 1 because the
+                        // bump below happens after this insert.
+                        avail.insert(key, (d, ver(&version, d) + 1, pos));
+                    }
+                }
+            }
+            if let Some(d) = dst {
+                on_redefine(d, &mut rename, &mut version, &mut out);
+                bump(&mut version, d);
+            }
+            out.push(inst);
+        }
+        // Terminator condition may also need renaming.
+        if let Term::Bra { cond, .. } = &mut bb.term {
+            if let Some(&c) = rename.get(cond) {
+                *cond = c;
+            }
+        }
+        bb.insts = out;
+    }
+    removed
+}
+
+fn bump(version: &mut HashMap<Reg, u32>, r: Reg) {
+    *version.entry(r).or_insert(0) += 1;
+}
+
+/// Handles an *actual* redefinition of `d` during CSE: every alias that was
+/// renamed to `d` (its own defining instruction was deleted) would be
+/// orphaned by the clobber, so materialize each with a compensation move
+/// first, then drop all entries involving `d`.
+fn on_redefine(
+    d: Reg,
+    rename: &mut HashMap<Reg, Reg>,
+    version: &mut HashMap<Reg, u32>,
+    out: &mut Vec<Inst>,
+) {
+    let mut orphans: Vec<Reg> =
+        rename.iter().filter(|(_, &v)| v == d).map(|(&k, _)| k).collect();
+    orphans.sort_unstable(); // deterministic emission order
+    for k in orphans {
+        out.push(Inst::Mov { dst: k, src: d });
+        bump(version, k);
+    }
+    rename.retain(|k, v| *k != d && *v != d);
+}
+
+fn remap_srcs(inst: &mut Inst, rename: &HashMap<Reg, Reg>) {
+    if rename.is_empty() {
+        return;
+    }
+    let m = |r: &mut Reg| {
+        if let Some(&c) = rename.get(r) {
+            *r = c;
+        }
+    };
+    match inst {
+        Inst::Mov { src, .. } => m(src),
+        Inst::Bin { a, b, .. } => {
+            m(a);
+            m(b);
+        }
+        Inst::Un { a, .. } => m(a),
+        Inst::Cast { src, .. } => m(src),
+        Inst::Ld { addr, .. } => m(addr),
+        Inst::St { addr, val, .. } => {
+            m(addr);
+            m(val);
+        }
+        Inst::Atom { addr, val, .. } => {
+            m(addr);
+            m(val);
+        }
+        Inst::Shfl { src, lane, width, .. } => {
+            m(src);
+            m(lane);
+            m(width);
+        }
+        Inst::Bra { cond, .. } => m(cond),
+        _ => {}
+    }
+}
+
+// ---- DCE ---------------------------------------------------------------------
+
+fn dce(cfg: &mut Cfg, num_regs: u32) -> usize {
+    let (_, live_out) = block_liveness(cfg, num_regs);
+    let mut removed = 0;
+    for (bi, bb) in cfg.blocks.iter_mut().enumerate() {
+        let mut live = live_out[bi].clone();
+        if let Term::Bra { cond, .. } = &bb.term {
+            live.insert(*cond);
+        }
+        let mut keep: Vec<bool> = vec![true; bb.insts.len()];
+        for (i, inst) in bb.insts.iter().enumerate().rev() {
+            let dead = is_pure(inst) && inst.dst().is_some_and(|d| !live.contains(d));
+            if dead {
+                keep[i] = false;
+                removed += 1;
+                continue;
+            }
+            if let Some(d) = inst.dst() {
+                live.remove(d);
+            }
+            for s in inst.srcs() {
+                live.insert(s);
+            }
+        }
+        let mut idx = 0;
+        bb.insts.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel_unoptimized;
+    use cuda_frontend::parse_kernel;
+
+    fn raw(src: &str) -> KernelIr {
+        lower_kernel_unoptimized(&parse_kernel(src).expect("parse")).expect("lower")
+    }
+
+    fn optimized(src: &str) -> (KernelIr, OptStats) {
+        let mut k = raw(src);
+        let stats = optimize(&mut k);
+        crate::verify::verify(&k).expect("optimized kernel verifies");
+        (k, stats)
+    }
+
+    #[test]
+    fn cse_removes_recomputed_constants() {
+        let (k, stats) = optimized(
+            "__global__ void k(float* p) { p[0] = 1.0f; p[1] = 1.0f; p[2] = 1.0f; }",
+        );
+        assert!(stats.cse_removed + stats.dce_removed > 0, "{stats:?}");
+        let imms = k.insts.iter().filter(|i| matches!(i, Inst::Imm { .. })).count();
+        // 1.0f once, scale constant 4 once, offsets folded into adds.
+        assert!(imms <= 5, "{imms} immediates left: {:#?}", k.insts);
+    }
+
+    #[test]
+    fn cse_removes_repeated_subexpressions() {
+        let before = raw(
+            "__global__ void k(float* p, int i) { p[i * 7 + 1] = p[i * 7 + 2] + p[i * 7 + 3]; }",
+        );
+        let (after, _) = optimized(
+            "__global__ void k(float* p, int i) { p[i * 7 + 1] = p[i * 7 + 2] + p[i * 7 + 3]; }",
+        );
+        assert!(
+            after.insts.len() < before.insts.len(),
+            "{} !< {}",
+            after.insts.len(),
+            before.insts.len()
+        );
+    }
+
+    #[test]
+    fn licm_hoists_invariant_address_math() {
+        let (k, stats) = optimized(
+            "__global__ void k(float* p, int n, int c) {\
+               for (int i = 0; i < n; i++) { p[i] = c * 12 + 5; }\
+             }",
+        );
+        assert!(stats.hoisted > 0, "{stats:?}");
+        // The c*12+5 computation must appear before the loop's backward edge
+        // region exactly once — verify by counting Bin Mul instructions.
+        let muls = k
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: crate::ir::BinIr::Mul, .. }))
+            .count();
+        assert!(muls <= 3, "expected hoisted mul, got {muls}");
+    }
+
+    #[test]
+    fn loop_variant_values_not_hoisted() {
+        let (k, _) = optimized(
+            "__global__ void k(unsigned int* p, int n) {\
+               unsigned int acc = 1u;\
+               for (int i = 0; i < n; i++) { acc = acc * 3u + 1u; p[i] = acc; }\
+             }",
+        );
+        // acc's multiply must stay in the loop: find the loop's backward
+        // jump and check a Mul exists between the header and it.
+        let back = k
+            .insts
+            .iter()
+            .enumerate()
+            .find_map(|(pc, i)| match i {
+                Inst::Jmp { target } if *target < pc => Some((*target, pc)),
+                Inst::Bra { target, .. } if *target < pc => Some((*target, pc)),
+                _ => None,
+            })
+            .expect("loop exists");
+        let in_loop_mul = k.insts[back.0..back.1]
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: crate::ir::BinIr::Mul, .. }));
+        assert!(in_loop_mul, "accumulator multiply must remain in loop: {:#?}", k.insts);
+    }
+
+    #[test]
+    fn dce_removes_unused_results() {
+        let (_, stats) = optimized(
+            "__global__ void k(float* p, int n) { int unused = n * 12345; p[0] = 1.0f; }",
+        );
+        assert!(stats.dce_removed > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn optimization_shrinks_grid_stride_loops_substantially() {
+        let src = "__global__ void k(float* out, float* in, int n) {\
+            for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;\
+                 i += gridDim.x * blockDim.x) {\
+              out[i] = in[i] * 2.0f + 1.0f;\
+            }\
+          }";
+        let before = raw(src).insts.len();
+        let (after, _) = optimized(src);
+        assert!(
+            (after.insts.len() as f64) < before as f64 * 0.85,
+            "expected >15% reduction: {before} -> {}",
+            after.insts.len()
+        );
+    }
+
+    #[test]
+    fn stores_and_atomics_never_removed() {
+        let src = "__global__ void k(unsigned int* p) {\
+            atomicAdd(&p[0], 1u); p[1] = 2u; atomicAdd(&p[0], 1u);\
+          }";
+        let before =
+            raw(src).insts.iter().filter(|i| matches!(i, Inst::Atom { .. } | Inst::St { .. })).count();
+        let (after, _) = optimized(src);
+        let after_n =
+            after.insts.iter().filter(|i| matches!(i, Inst::Atom { .. } | Inst::St { .. })).count();
+        assert_eq!(before, after_n);
+    }
+
+    #[test]
+    fn barriers_and_shuffles_preserved() {
+        let src = "__global__ void k(float* p) {\
+            __shared__ float s[32];\
+            s[threadIdx.x % 32] = p[threadIdx.x];\
+            __syncthreads();\
+            float v = s[(threadIdx.x + 1) % 32];\
+            v += __shfl_xor_sync(0xffffffffu, v, 1, 32);\
+            p[threadIdx.x] = v;\
+          }";
+        let (after, _) = optimized(src);
+        assert!(after.insts.iter().any(|i| matches!(i, Inst::Bar { .. })));
+        assert!(after.insts.iter().any(|i| matches!(i, Inst::Shfl { .. })));
+    }
+
+    #[test]
+    fn peephole_turns_power_of_two_rem_into_mask() {
+        let (k, _) = optimized(
+            "__global__ void k(unsigned int* out, unsigned int x) {\
+               unsigned int m = 32u;\
+               unsigned int mask = 31u;\
+               out[0] = x % m + x / m + mask;\
+             }",
+        );
+        assert!(
+            !k.insts.iter().any(|i| matches!(
+                i,
+                Inst::Bin { op: crate::ir::BinIr::Div | crate::ir::BinIr::Rem, .. }
+            )),
+            "div/rem by 32u should strength-reduce: {:#?}",
+            k.insts
+        );
+    }
+
+    #[test]
+    fn peephole_respects_signed_division() {
+        // -1 / 2 == 0 in C but -1 >> 1 == -1: signed div must survive.
+        let (k, _) = optimized(
+            "__global__ void k(int* out, int x) { int two = 2; out[0] = x / two; }",
+        );
+        assert!(
+            k.insts.iter().any(|i| matches!(
+                i,
+                Inst::Bin { op: crate::ir::BinIr::Div, ty: crate::ir::ScalarTy::I32, .. }
+            )),
+            "signed divide must not become a shift: {:#?}",
+            k.insts
+        );
+    }
+
+    #[test]
+    fn peephole_identities_fold_to_moves() {
+        let (k, _) = optimized(
+            "__global__ void k(unsigned int* out, unsigned int x) {\
+               unsigned int zero = 0u;\
+               unsigned int one = 1u;\
+               out[0] = (x + zero) * one ^ zero;\
+             }",
+        );
+        // No arithmetic should remain on the value path (just address math).
+        let arith = k
+            .insts
+            .iter()
+            .filter(|i| matches!(
+                i,
+                Inst::Bin { op: crate::ir::BinIr::Xor | crate::ir::BinIr::Mul, .. }
+            ))
+            .count();
+        assert_eq!(arith, 0, "{:#?}", k.insts);
+    }
+
+    #[test]
+    fn cse_compensates_when_canonical_register_is_redefined() {
+        // r-level scenario: `a = x*2; b = x*2; a = 0; use b` — CSE deletes
+        // b's computation (renamed to a), so redefining a must first save
+        // the value back into b.
+        let src = "__global__ void k(unsigned int* out, unsigned int x) {\
+            unsigned int a = x * 3u;\
+            unsigned int b = x * 3u;\
+            a = 0u;\
+            out[0] = b;\
+            out[1] = a;\
+          }";
+        let ast = cuda_frontend::parse_kernel(src).expect("parse");
+        let raw = crate::lower::lower_kernel_unoptimized(&ast).expect("raw");
+        let mut opt = raw.clone();
+        let _ = optimize(&mut opt);
+        crate::verify::verify(&opt).expect("verifies");
+        assert_eq!(mini_eval(&raw, 7, 2), [21, 0]);
+        assert_eq!(mini_eval(&opt, 7, 2), [21, 0], "CSE must not lose b when a is clobbered");
+    }
+
+    /// Interprets a straight-line/branchy ALU kernel with a miniature
+    /// single-thread evaluator: param 0 is a u32 output buffer at address 0,
+    /// param 1 is the scalar `x`. Returns the final buffer contents.
+    fn mini_eval(k: &KernelIr, x: u64, mem_len: usize) -> Vec<u64> {
+        let mut regs = vec![0u64; k.num_regs as usize];
+        let mut mem = vec![0u64; mem_len];
+        let mut pc = 0usize;
+        loop {
+            match &k.insts[pc] {
+                Inst::Ret => break,
+                Inst::Jmp { target } => {
+                    pc = *target;
+                    continue;
+                }
+                Inst::Bra { cond, if_zero, target } => {
+                    if (regs[*cond as usize] == 0) == *if_zero {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Inst::Imm { dst, value } => regs[*dst as usize] = *value,
+                Inst::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                Inst::LdParam { dst, index } => {
+                    regs[*dst as usize] = if *index == 1 { x } else { 0 };
+                }
+                Inst::Bin { op, ty, dst, a, b } => {
+                    regs[*dst as usize] =
+                        crate::alu::bin(*op, *ty, regs[*a as usize], regs[*b as usize]);
+                }
+                Inst::Un { op, ty, dst, a } => {
+                    regs[*dst as usize] = crate::alu::un(*op, *ty, regs[*a as usize]);
+                }
+                Inst::Cast { dst, src, from, to } => {
+                    regs[*dst as usize] = crate::alu::cast(*from, *to, regs[*src as usize]);
+                }
+                Inst::St { addr, val, .. } => {
+                    let a = regs[*addr as usize] as u32 as usize / 4;
+                    mem[a] = regs[*val as usize];
+                }
+                other => panic!("unexpected instruction in test kernel: {other:?}"),
+            }
+            pc += 1;
+        }
+        mem
+    }
+
+    #[test]
+    fn cse_ignores_stale_canonical_after_redefinition() {
+        // Regression (found by proptest): in a non-entry block, `b = 2u`
+        // makes b's register the block-local canonical for Imm(2); the
+        // immediate redefinition `b = 3u` must invalidate that entry, or
+        // the address shift constant materialized for `out[x]` (also an
+        // Imm(2), since u32 elements are 4 bytes) gets renamed to a
+        // register that now holds 3, computing `out + x*8`.
+        let src = "__global__ void k(unsigned int* out, unsigned int x) {\
+            unsigned int a = x;\
+            for (int i = 0; i < 1; i++) { a = a + 1u; }\
+            unsigned int b = 2u;\
+            b = 3u;\
+            out[x] = a ^ b;\
+          }";
+        let ast = cuda_frontend::parse_kernel(src).expect("parse");
+        let raw = crate::lower::lower_kernel_unoptimized(&ast).expect("raw");
+        let mut opt = raw.clone();
+        let _ = optimize(&mut opt);
+        crate::verify::verify(&opt).expect("verifies");
+        // x = 7: a = 8, b = 3, out[7] = 8 ^ 3 = 11.
+        let mut expected = vec![0u64; 16];
+        expected[7] = 11;
+        assert_eq!(mini_eval(&raw, 7, 16), expected);
+        assert_eq!(
+            mini_eval(&opt, 7, 16),
+            expected,
+            "redefined canonical register must not satisfy later CSE hits"
+        );
+    }
+
+    #[test]
+    fn pressure_is_recomputed() {
+        let (k, _) = optimized("__global__ void k(float* p) { p[0] = 1.0f; }");
+        assert!(k.pressure >= crate::liveness::MIN_REGS);
+    }
+}

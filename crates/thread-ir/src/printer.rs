@@ -1,0 +1,223 @@
+//! A readable text format for the IR, in the spirit of a PTX listing.
+//!
+//! Useful for debugging lowered kernels (`hfuse compile --dump-ir`) and for
+//! golden tests that pin down exactly what a pass produces.
+
+use std::fmt::Write as _;
+
+use crate::ir::{AtomOp, BarCount, BinIr, Inst, KernelIr, ShflKind, SpecialReg, UnIr, VoteKind};
+
+/// Formats one instruction as assembly-like text (without its index).
+pub fn format_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Imm { dst, value } => {
+            // Show small values in decimal, others in hex.
+            if *value < 4096 {
+                format!("r{dst} = imm {value}")
+            } else {
+                format!("r{dst} = imm {value:#x}")
+            }
+        }
+        Inst::Mov { dst, src } => format!("r{dst} = mov r{src}"),
+        Inst::Bin { op, ty, dst, a, b } => {
+            format!("r{dst} = {}.{ty} r{a}, r{b}", bin_name(*op))
+        }
+        Inst::Un { op, ty, dst, a } => format!("r{dst} = {}.{ty} r{a}", un_name(*op)),
+        Inst::Cast { dst, src, from, to } => format!("r{dst} = cvt.{to}.{from} r{src}"),
+        Inst::Ld { ty, dst, addr } => format!("r{dst} = ld.{ty} [r{addr}]"),
+        Inst::St { ty, addr, val } => format!("st.{ty} [r{addr}], r{val}"),
+        Inst::Atom { op, ty, dst, addr, val } => {
+            format!("r{dst} = atom.{}.{ty} [r{addr}], r{val}", atom_name(*op))
+        }
+        Inst::Shfl { kind, dst, src, lane, width } => {
+            let k = match kind {
+                ShflKind::Xor => "bfly",
+                ShflKind::Down => "down",
+            };
+            format!("r{dst} = shfl.{k} r{src}, r{lane}, r{width}")
+        }
+        Inst::Vote { kind, dst, src } => {
+            let k = match kind {
+                VoteKind::Ballot => "ballot",
+                VoteKind::Any => "any",
+                VoteKind::All => "all",
+            };
+            format!("r{dst} = vote.{k} r{src}")
+        }
+        Inst::Bar { id, count } => match count {
+            BarCount::All => format!("bar.sync {id}"),
+            BarCount::Fixed(n) => format!("bar.sync {id}, {n}"),
+        },
+        Inst::Special { dst, reg } => format!("r{dst} = mov {}", special_name(*reg)),
+        Inst::LdParam { dst, index } => format!("r{dst} = ld.param [{index}]"),
+        Inst::SharedAddr { dst, offset } => format!("r{dst} = mov shared+{offset}"),
+        Inst::LocalAddr { dst, offset } => format!("r{dst} = mov local+{offset}"),
+        Inst::Bra { cond, if_zero, target } => {
+            let sense = if *if_zero { "z" } else { "nz" };
+            format!("bra.{sense} r{cond}, @{target}")
+        }
+        Inst::Jmp { target } => format!("bra @{target}"),
+        Inst::Ret => "ret".to_owned(),
+    }
+}
+
+/// Formats a whole kernel as a listing with instruction indices and a
+/// header describing its resources.
+pub fn print_kernel_ir(kernel: &KernelIr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// kernel {} — {} insts, {} regs (pressure {}), shared {}B{}, local {}B",
+        kernel.name,
+        kernel.insts.len(),
+        kernel.num_regs,
+        kernel.reg_pressure(),
+        kernel.shared_static_bytes,
+        if kernel.uses_dynamic_shared { "+dyn" } else { "" },
+        kernel.local_bytes,
+    );
+    if !kernel.spilled_regs.is_empty() {
+        let _ = writeln!(out, "// spilled: {:?}", kernel.spilled_regs);
+    }
+    // Mark branch targets for readability.
+    let mut is_target = vec![false; kernel.insts.len()];
+    for inst in &kernel.insts {
+        match inst {
+            Inst::Bra { target, .. } | Inst::Jmp { target } => is_target[*target] = true,
+            _ => {}
+        }
+    }
+    for (pc, inst) in kernel.insts.iter().enumerate() {
+        if is_target[pc] {
+            let _ = writeln!(out, "@{pc}:");
+        }
+        let _ = writeln!(out, "  {pc:4}  {}", format_inst(inst));
+    }
+    out
+}
+
+fn bin_name(op: BinIr) -> &'static str {
+    match op {
+        BinIr::Add => "add",
+        BinIr::Sub => "sub",
+        BinIr::Mul => "mul",
+        BinIr::Div => "div",
+        BinIr::Rem => "rem",
+        BinIr::Shl => "shl",
+        BinIr::Shr => "shr",
+        BinIr::And => "and",
+        BinIr::Or => "or",
+        BinIr::Xor => "xor",
+        BinIr::Min => "min",
+        BinIr::Max => "max",
+        BinIr::Lt => "setp.lt",
+        BinIr::Le => "setp.le",
+        BinIr::Gt => "setp.gt",
+        BinIr::Ge => "setp.ge",
+        BinIr::Eq => "setp.eq",
+        BinIr::Ne => "setp.ne",
+    }
+}
+
+fn un_name(op: UnIr) -> &'static str {
+    match op {
+        UnIr::Neg => "neg",
+        UnIr::Not => "not",
+        UnIr::BitNot => "bnot",
+        UnIr::Abs => "abs",
+        UnIr::Sqrt => "sqrt",
+        UnIr::Rsqrt => "rsqrt",
+        UnIr::Exp => "exp",
+        UnIr::Log => "log",
+        UnIr::Popc => "popc",
+        UnIr::Clz => "clz",
+        UnIr::Brev => "brev",
+    }
+}
+
+fn atom_name(op: AtomOp) -> &'static str {
+    match op {
+        AtomOp::Add => "add",
+        AtomOp::Max => "max",
+        AtomOp::Exch => "exch",
+    }
+}
+
+fn special_name(reg: SpecialReg) -> &'static str {
+    match reg {
+        SpecialReg::ThreadIdxX => "%tid.x",
+        SpecialReg::ThreadIdxY => "%tid.y",
+        SpecialReg::ThreadIdxZ => "%tid.z",
+        SpecialReg::BlockIdxX => "%ctaid.x",
+        SpecialReg::BlockIdxY => "%ctaid.y",
+        SpecialReg::BlockIdxZ => "%ctaid.z",
+        SpecialReg::BlockDimX => "%ntid.x",
+        SpecialReg::BlockDimY => "%ntid.y",
+        SpecialReg::BlockDimZ => "%ntid.z",
+        SpecialReg::GridDimX => "%nctaid.x",
+        SpecialReg::GridDimY => "%nctaid.y",
+        SpecialReg::GridDimZ => "%nctaid.z",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use cuda_frontend::parse_kernel;
+
+    #[test]
+    fn formats_each_instruction_kind() {
+        use crate::ir::ScalarTy;
+        assert_eq!(format_inst(&Inst::Imm { dst: 1, value: 42 }), "r1 = imm 42");
+        assert_eq!(
+            format_inst(&Inst::Imm { dst: 1, value: 0xdead_beef }),
+            "r1 = imm 0xdeadbeef"
+        );
+        assert_eq!(
+            format_inst(&Inst::Bin { op: BinIr::Add, ty: ScalarTy::F32, dst: 3, a: 1, b: 2 }),
+            "r3 = add.f32 r1, r2"
+        );
+        assert_eq!(
+            format_inst(&Inst::Ld { ty: ScalarTy::U64, dst: 4, addr: 5 }),
+            "r4 = ld.u64 [r5]"
+        );
+        assert_eq!(
+            format_inst(&Inst::Bar { id: 2, count: BarCount::Fixed(128) }),
+            "bar.sync 2, 128"
+        );
+        assert_eq!(
+            format_inst(&Inst::Bra { cond: 7, if_zero: true, target: 12 }),
+            "bra.z r7, @12"
+        );
+        assert_eq!(
+            format_inst(&Inst::Special { dst: 0, reg: SpecialReg::ThreadIdxX }),
+            "r0 = mov %tid.x"
+        );
+    }
+
+    #[test]
+    fn listing_marks_branch_targets() {
+        let k = parse_kernel(
+            "__global__ void k(int n) { for (int i = 0; i < n; i++) { n += i; } }",
+        )
+        .expect("parse");
+        let ir = lower_kernel(&k).expect("lower");
+        let listing = print_kernel_ir(&ir);
+        assert!(listing.contains("// kernel k"), "{listing}");
+        assert!(listing.contains("@"), "loop head must be labelled: {listing}");
+        assert!(listing.contains("ret"), "{listing}");
+    }
+
+    #[test]
+    fn listing_reports_shared_and_spills() {
+        let k = parse_kernel(
+            "__global__ void k(float* p) { __shared__ float s[64]; s[threadIdx.x % 64] = 1.0f; p[0] = s[0]; }",
+        )
+        .expect("parse");
+        let mut ir = lower_kernel(&k).expect("lower");
+        assert!(print_kernel_ir(&ir).contains("shared 256B"));
+        ir.spilled_regs = vec![3];
+        assert!(print_kernel_ir(&ir).contains("spilled: [3]"));
+    }
+}

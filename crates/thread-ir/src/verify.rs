@@ -1,0 +1,163 @@
+//! Structural well-formedness checks on [`KernelIr`].
+
+use crate::ir::{BarCount, Inst, KernelIr};
+
+/// Verifies structural invariants of a kernel:
+///
+/// * every branch target is a valid instruction index,
+/// * every register index is below `num_regs`,
+/// * every `LdParam` index is below the parameter count,
+/// * barrier ids are within the hardware range (0–15),
+/// * the last instruction is a terminator (so the PC cannot run off the end),
+/// * static shared offsets lie within the declared static region.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn verify(kernel: &KernelIr) -> Result<(), String> {
+    let n = kernel.insts.len();
+    if n == 0 {
+        return Err("kernel has no instructions".to_owned());
+    }
+    match kernel.insts.last() {
+        Some(Inst::Ret) | Some(Inst::Jmp { .. }) => {}
+        other => return Err(format!("kernel must end in a terminator, ends in {other:?}")),
+    }
+    let mut srcs = Vec::with_capacity(3);
+    for (pc, inst) in kernel.insts.iter().enumerate() {
+        if let Some(d) = inst.dst() {
+            if d >= kernel.num_regs {
+                return Err(format!("pc {pc}: dst register {d} out of range"));
+            }
+        }
+        srcs.clear();
+        inst.srcs_into(&mut srcs);
+        for &s in &srcs {
+            if s >= kernel.num_regs {
+                return Err(format!("pc {pc}: src register {s} out of range"));
+            }
+        }
+        match inst {
+            Inst::Bra { target, .. } | Inst::Jmp { target }
+                if *target >= n => {
+                    return Err(format!("pc {pc}: branch target {target} out of range"));
+                }
+            Inst::LdParam { index, .. }
+                if *index as usize >= kernel.params.len() => {
+                    return Err(format!("pc {pc}: parameter index {index} out of range"));
+                }
+            Inst::Bar { id, count } => {
+                if *id > 15 {
+                    return Err(format!("pc {pc}: barrier id {id} exceeds hardware maximum 15"));
+                }
+                if let BarCount::Fixed(0) = count {
+                    return Err(format!("pc {pc}: barrier with zero participants"));
+                }
+            }
+            Inst::SharedAddr { offset, .. } => {
+                // The dynamic region base sits exactly at the end of the
+                // statics, so `offset == shared_static_bytes` is legal when
+                // the kernel uses extern shared memory.
+                let limit = kernel.shared_static_bytes;
+                if *offset > limit || (*offset == limit && !kernel.uses_dynamic_shared && limit > 0)
+                {
+                    return Err(format!(
+                        "pc {pc}: shared offset {offset} beyond static region {limit}"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    for &r in &kernel.spilled_regs {
+        if r >= kernel.num_regs {
+            return Err(format!("spilled register {r} out of range"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ParamKind, ScalarTy};
+
+    fn minimal() -> KernelIr {
+        KernelIr {
+            name: "t".to_owned(),
+            insts: vec![Inst::Ret],
+            num_regs: 0,
+            params: vec![],
+            shared_static_bytes: 0,
+            uses_dynamic_shared: false,
+            dynamic_shared_offset: 0,
+            local_bytes: 0,
+            spilled_regs: vec![],
+            pressure: 8,
+        }
+    }
+
+    #[test]
+    fn minimal_kernel_verifies() {
+        assert!(verify(&minimal()).is_ok());
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        let mut k = minimal();
+        k.insts.clear();
+        assert!(verify(&k).is_err());
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut k = minimal();
+        k.insts = vec![Inst::Imm { dst: 0, value: 1 }];
+        k.num_regs = 1;
+        assert!(verify(&k).unwrap_err().contains("terminator"));
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let mut k = minimal();
+        k.insts = vec![Inst::Imm { dst: 3, value: 1 }, Inst::Ret];
+        k.num_regs = 2;
+        assert!(verify(&k).unwrap_err().contains("register 3"));
+    }
+
+    #[test]
+    fn out_of_range_branch_rejected() {
+        let mut k = minimal();
+        k.insts = vec![Inst::Jmp { target: 99 }];
+        assert!(verify(&k).unwrap_err().contains("target 99"));
+    }
+
+    #[test]
+    fn bad_param_index_rejected() {
+        let mut k = minimal();
+        k.insts = vec![Inst::LdParam { dst: 0, index: 2 }, Inst::Ret];
+        k.num_regs = 1;
+        k.params = vec![ParamKind::Scalar(ScalarTy::I32)];
+        assert!(verify(&k).unwrap_err().contains("parameter index"));
+    }
+
+    #[test]
+    fn barrier_id_limit_enforced() {
+        let mut k = minimal();
+        k.insts = vec![
+            Inst::Bar { id: 16, count: crate::ir::BarCount::Fixed(32) },
+            Inst::Ret,
+        ];
+        assert!(verify(&k).unwrap_err().contains("barrier id"));
+    }
+
+    #[test]
+    fn zero_participant_barrier_rejected() {
+        let mut k = minimal();
+        k.insts = vec![
+            Inst::Bar { id: 1, count: crate::ir::BarCount::Fixed(0) },
+            Inst::Ret,
+        ];
+        assert!(verify(&k).unwrap_err().contains("zero participants"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests of the scalar ALU: every operation must agree with native
+//! Rust arithmetic on the corresponding type, for arbitrary bit patterns.
+//! The ALU is the single source of truth for both the interpreter and the
+//! constant folder, so these properties guard the whole pipeline.
+
+use proptest::prelude::*;
+use thread_ir::alu::{bin, canon_load, cast, un};
+use thread_ir::ir::{BinIr, ScalarTy, UnIr};
+
+fn canon_i32(v: i32) -> u64 {
+    v as i64 as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn i32_arithmetic_matches_wrapping_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let (ca, cb) = (canon_i32(a), canon_i32(b));
+        prop_assert_eq!(bin(BinIr::Add, ScalarTy::I32, ca, cb), canon_i32(a.wrapping_add(b)));
+        prop_assert_eq!(bin(BinIr::Sub, ScalarTy::I32, ca, cb), canon_i32(a.wrapping_sub(b)));
+        prop_assert_eq!(bin(BinIr::Mul, ScalarTy::I32, ca, cb), canon_i32(a.wrapping_mul(b)));
+        prop_assert_eq!(bin(BinIr::Xor, ScalarTy::I32, ca, cb), canon_i32(a ^ b));
+        prop_assert_eq!(bin(BinIr::Min, ScalarTy::I32, ca, cb), canon_i32(a.min(b)));
+        prop_assert_eq!(bin(BinIr::Lt, ScalarTy::I32, ca, cb), u64::from(a < b));
+    }
+
+    #[test]
+    fn i32_division_by_zero_yields_zero(a in any::<i32>()) {
+        prop_assert_eq!(bin(BinIr::Div, ScalarTy::I32, canon_i32(a), 0), 0);
+        prop_assert_eq!(bin(BinIr::Rem, ScalarTy::I32, canon_i32(a), 0), 0);
+    }
+
+    #[test]
+    fn i32_division_matches_rust(a in any::<i32>(), b in any::<i32>().prop_filter("nonzero", |b| *b != 0)) {
+        prop_assert_eq!(
+            bin(BinIr::Div, ScalarTy::I32, canon_i32(a), canon_i32(b)),
+            canon_i32(a.wrapping_div(b))
+        );
+        prop_assert_eq!(
+            bin(BinIr::Rem, ScalarTy::I32, canon_i32(a), canon_i32(b)),
+            canon_i32(a.wrapping_rem(b))
+        );
+    }
+
+    #[test]
+    fn u32_results_are_zero_extended(a in any::<u32>(), b in any::<u32>()) {
+        for op in [BinIr::Add, BinIr::Sub, BinIr::Mul, BinIr::And, BinIr::Or, BinIr::Xor] {
+            let r = bin(op, ScalarTy::U32, u64::from(a), u64::from(b));
+            prop_assert!(r <= u64::from(u32::MAX), "{op:?} result not canonical: {r:#x}");
+        }
+    }
+
+    #[test]
+    fn u64_shifts_clamp_at_width(a in any::<u64>(), s in 64u64..2000) {
+        prop_assert_eq!(bin(BinIr::Shl, ScalarTy::U64, a, s), 0);
+        prop_assert_eq!(bin(BinIr::Shr, ScalarTy::U64, a, s), 0);
+    }
+
+    #[test]
+    fn i32_shr_is_arithmetic(a in any::<i32>(), s in 0u64..32) {
+        prop_assert_eq!(
+            bin(BinIr::Shr, ScalarTy::I32, canon_i32(a), s),
+            canon_i32(a >> s)
+        );
+    }
+
+    #[test]
+    fn f32_bin_matches_ieee(a in any::<f32>(), b in any::<f32>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let (ca, cb) = (u64::from(a.to_bits()), u64::from(b.to_bits()));
+        let as_f = |r: u64| f32::from_bits(r as u32);
+        prop_assert_eq!(as_f(bin(BinIr::Add, ScalarTy::F32, ca, cb)).to_bits(), (a + b).to_bits());
+        prop_assert_eq!(as_f(bin(BinIr::Mul, ScalarTy::F32, ca, cb)).to_bits(), (a * b).to_bits());
+        prop_assert_eq!(bin(BinIr::Le, ScalarTy::F32, ca, cb), u64::from(a <= b));
+    }
+
+    #[test]
+    fn cast_i32_f64_round_trips_exactly(a in any::<i32>()) {
+        // i32 → f64 → i32 is lossless.
+        let f = cast(ScalarTy::I32, ScalarTy::F64, canon_i32(a));
+        let back = cast(ScalarTy::F64, ScalarTy::I32, f);
+        prop_assert_eq!(back, canon_i32(a));
+    }
+
+    #[test]
+    fn cast_truncation_matches_rust_as(a in any::<u64>()) {
+        prop_assert_eq!(cast(ScalarTy::U64, ScalarTy::U32, a), u64::from(a as u32));
+        prop_assert_eq!(cast(ScalarTy::U64, ScalarTy::I32, a), canon_i32(a as u32 as i32));
+    }
+
+    #[test]
+    fn float_to_int_cast_saturates_like_rust(a in any::<f32>()) {
+        let bits = u64::from(a.to_bits());
+        prop_assert_eq!(cast(ScalarTy::F32, ScalarTy::I32, bits), canon_i32(a as i32));
+        prop_assert_eq!(cast(ScalarTy::F32, ScalarTy::U32, bits), u64::from(a as u32));
+    }
+
+    #[test]
+    fn canon_load_sign_behaviour(raw in any::<u32>()) {
+        prop_assert_eq!(canon_load(ScalarTy::I32, u64::from(raw)), canon_i32(raw as i32));
+        prop_assert_eq!(canon_load(ScalarTy::U32, u64::from(raw)), u64::from(raw));
+    }
+
+    #[test]
+    fn unary_neg_matches_rust(a in any::<i32>()) {
+        prop_assert_eq!(un(UnIr::Neg, ScalarTy::I32, canon_i32(a)), canon_i32(a.wrapping_neg()));
+    }
+
+    #[test]
+    fn unary_not_is_boolean(a in any::<u64>()) {
+        let r = un(UnIr::Not, ScalarTy::U64, a);
+        prop_assert_eq!(r, u64::from(a == 0));
+    }
+
+    #[test]
+    fn abs_matches_rust(a in any::<f32>()) {
+        prop_assume!(!a.is_nan());
+        let r = un(UnIr::Abs, ScalarTy::F32, u64::from(a.to_bits()));
+        prop_assert_eq!(f32::from_bits(r as u32).to_bits(), a.abs().to_bits());
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's motivating example (Section II-C): fuse PyTorch's
+//! `batch_norm_collect_statistics` with `kernelHistogram1D`, searching the
+//! thread-space partition and register bound automatically, exactly like
+//! `HFuse` does in Fig. 6.
+//!
+//! Run with: `cargo run --release --example batchnorm_hist`
+
+use hfuse::fusion::{measure_native, search_fusion_config, SearchOptions};
+use hfuse::kernels::AnyBenchmark;
+use hfuse::sim::{Gpu, GpuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for cfg in [GpuConfig::pascal_like(), GpuConfig::volta_like()] {
+        println!("=== GPU: {} ===", cfg.name);
+        let batchnorm = AnyBenchmark::by_name("Batchnorm").expect("benchmark exists");
+        let hist = AnyBenchmark::by_name("Hist").expect("benchmark exists");
+
+        let mut gpu = Gpu::new(cfg.clone());
+        let in1 = batchnorm.benchmark().fusion_input(gpu.memory_mut());
+        let in2 = hist.benchmark().fusion_input(gpu.memory_mut());
+
+        let native = measure_native(&gpu, &in1, &in2)?;
+        println!("native co-execution: {} cycles", native.total_cycles);
+
+        // The Fig. 6 search: partitions at a granularity of 128, each
+        // profiled with and without the computed register bound.
+        let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default())?;
+        println!(
+            "{:>6} {:>6} {:>7} {:>9} {:>7} {:>9} {:>7}",
+            "d1", "d2", "bound", "cycles", "util%", "memstall%", "occ%"
+        );
+        for c in &report.candidates {
+            println!(
+                "{:>6} {:>6} {:>7} {:>9} {:>7.1} {:>9.1} {:>7.1}",
+                c.d1,
+                c.d2,
+                c.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                c.cycles,
+                c.issue_util,
+                c.mem_stall,
+                c.occupancy
+            );
+        }
+        let best = report.best();
+        println!(
+            "best: d1 = {} (batchnorm), d2 = {} (hist), bound = {:?} → {} cycles \
+             ({:+.1}% vs native)\n",
+            best.d1,
+            best.d2,
+            best.reg_bound,
+            best.cycles,
+            100.0 * (native.total_cycles as f64 / best.cycles as f64 - 1.0),
+        );
+    }
+
+    // Show the head of the fused source the search settled on (Pascal).
+    let batchnorm = AnyBenchmark::by_name("Batchnorm").expect("benchmark exists");
+    let hist = AnyBenchmark::by_name("Hist").expect("benchmark exists");
+    let mut gpu = Gpu::new(GpuConfig::pascal_like());
+    let in1 = batchnorm.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = hist.benchmark().fusion_input(gpu.memory_mut());
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default())?;
+    let src = hfuse::frontend::printer::print_function(&report.best_function);
+    let head: String = src.lines().take(30).collect::<Vec<_>>().join("\n");
+    println!("=== fused kernel (first 30 lines) ===\n{head}\n...");
+    Ok(())
+}

@@ -1,0 +1,374 @@
+//! `hfuse` — command-line front door to the library, in the spirit of the
+//! paper's source-to-source compiler: fuse CUDA kernel files, inspect what
+//! the compiler pipeline produces, and run the profiling search on the
+//! built-in benchmarks.
+//!
+//! ```text
+//! hfuse fuse a.cu b.cu [more.cu ...] --threads 256,256[,...] [-o fused.cu]
+//! hfuse vfuse a.cu b.cu [-o fused.cu]
+//! hfuse compile file.cu [--no-opt] [--dump-ir]
+//! hfuse search PAIR [--gpu pascal|volta] [--d0 N] [--granularity N]
+//! hfuse bench KERNEL [--gpu pascal|volta]
+//! hfuse list
+//! ```
+
+use std::process::ExitCode;
+
+use hfuse::frontend::{parse_kernel, printer::print_function};
+use hfuse::fusion::{
+    horizontal_fuse_many, measure_native, measure_single, search_fusion_config, vertical_fuse,
+    FusionPart, SearchOptions,
+};
+use hfuse::ir::{lower_kernel, lower_kernel_unoptimized};
+use hfuse::kernels::{all_pairs, AnyBenchmark};
+use hfuse::sim::{Gpu, GpuConfig, Launch};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("fuse") => cmd_fuse(&args[1..], false),
+        Some("vfuse") => cmd_fuse(&args[1..], true),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hfuse — automatic horizontal fusion for GPU kernels
+
+USAGE:
+  hfuse fuse <a.cu> <b.cu> [more.cu ...] [--threads N,N[,..]] [-o OUT]
+      Horizontally fuse two or more kernels (one __global__ per file).
+      --threads gives each kernel's block threads (default 256 each).
+  hfuse vfuse <a.cu> <b.cu> [-o OUT]
+      Vertically fuse two kernels (the baseline the paper compares against).
+  hfuse compile <file.cu> [--no-opt] [--dump-ir]
+      Lower a kernel to the SIMT IR and report size / register pressure.
+  hfuse run <file.cu> --grid G --block B --arg SPEC [--arg SPEC ...]
+      Execute a kernel on the simulator and report metrics. Argument specs
+      match the kernel signature in order:
+        i32:<v> | u32:<v> | f32:<v> | f64:<v> | i64:<v> | u64:<v>
+        buf:<elems>[:<fill>]   (pointer arg: zeroed f32/u32 buffer, or
+                                filled with `fill` as a float; printed back
+                                after the run with --show N)
+  hfuse search <PAIR> [--gpu pascal|volta] [--d0 N] [--granularity N]
+      Run the Fig. 6 configuration search on a built-in benchmark pair,
+      e.g. `hfuse search Batchnorm+Hist`.
+  hfuse bench <KERNEL> [--gpu pascal|volta]
+      Profile one built-in benchmark kernel (a Fig. 8 row).
+  hfuse list
+      List built-in benchmark kernels and evaluation pairs.
+";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            // All our flags take a value except the boolean ones.
+            skip = !matches!(a.as_str(), "--no-opt" | "--dump-ir");
+            let _ = i;
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn gpu_config(args: &[String]) -> Result<GpuConfig, String> {
+    match flag_value(args, "--gpu") {
+        None | Some("pascal") | Some("1080ti") => Ok(GpuConfig::pascal_like()),
+        Some("volta") | Some("v100") => Ok(GpuConfig::volta_like()),
+        Some(other) => Err(format!("unknown GPU `{other}` (use pascal or volta)")),
+    }
+}
+
+fn read_kernel(path: &str) -> Result<hfuse::frontend::Function, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_kernel(&src).map_err(|e| format!("{path}:\n{}", e.render(&src)))
+}
+
+fn write_or_print(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_fuse(args: &[String], vertical: bool) -> Result<(), String> {
+    let files = positional(args);
+    if files.len() < 2 {
+        return Err("fuse needs at least two kernel files".to_owned());
+    }
+    if vertical && files.len() != 2 {
+        return Err("vertical fusion takes exactly two kernels".to_owned());
+    }
+    let kernels: Vec<_> = files.iter().map(|f| read_kernel(f)).collect::<Result<_, _>>()?;
+    let out = flag_value(args, "-o").or_else(|| flag_value(args, "--output"));
+
+    if vertical {
+        let fused = vertical_fuse(&kernels[0], &kernels[1]).map_err(|e| e.to_string())?;
+        return write_or_print(out, &print_function(&fused.function));
+    }
+
+    let threads: Vec<u32> = match flag_value(args, "--threads") {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse::<u32>().map_err(|e| format!("--threads: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![256; kernels.len()],
+    };
+    if threads.len() != kernels.len() {
+        return Err(format!(
+            "--threads lists {} counts for {} kernels",
+            threads.len(),
+            kernels.len()
+        ));
+    }
+    let parts: Vec<FusionPart> = kernels
+        .into_iter()
+        .zip(&threads)
+        .map(|(k, &t)| FusionPart::new(k, (t, 1, 1)))
+        .collect();
+    let fused = horizontal_fuse_many(&parts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fused {} kernels into a {}-thread block (partitions {:?})",
+        parts.len(),
+        fused.block_threads(),
+        fused.partitions
+    );
+    write_or_print(out, &fused.to_source())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let files = positional(args);
+    let [file] = files.as_slice() else {
+        return Err("compile takes exactly one kernel file".to_owned());
+    };
+    let kernel = read_kernel(file)?;
+    let ir = if has_flag(args, "--no-opt") {
+        lower_kernel_unoptimized(&kernel)
+    } else {
+        lower_kernel(&kernel)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("kernel `{}`", ir.name);
+    println!("  instructions:      {}", ir.insts.len());
+    println!("  register pressure: {}", ir.reg_pressure());
+    println!("  static shared:     {} bytes", ir.shared_static_bytes);
+    println!("  dynamic shared:    {}", if ir.uses_dynamic_shared { "yes" } else { "no" });
+    println!("  local memory:      {} bytes/thread", ir.local_bytes);
+    if has_flag(args, "--dump-ir") {
+        print!("{}", thread_ir::printer::print_kernel_ir(&ir));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let files = positional(args);
+    let [file] = files.as_slice() else {
+        return Err("run takes exactly one kernel file".to_owned());
+    };
+    let kernel = read_kernel(file)?;
+    let ir = lower_kernel(&kernel).map_err(|e| e.to_string())?;
+    let cfg = gpu_config(args)?;
+
+    let grid: u32 = flag_value(args, "--grid").unwrap_or("8").parse().map_err(|e| format!("--grid: {e}"))?;
+    let block: u32 =
+        flag_value(args, "--block").unwrap_or("256").parse().map_err(|e| format!("--block: {e}"))?;
+    let show: usize =
+        flag_value(args, "--show").unwrap_or("8").parse().map_err(|e| format!("--show: {e}"))?;
+
+    let mut gpu = Gpu::new(cfg.clone());
+    let mut arg_values = Vec::new();
+    let mut buffers = Vec::new();
+    let mut spec_iter = args.iter().enumerate().filter(|(_, a)| *a == "--arg");
+    let specs: Vec<&str> = spec_iter
+        .by_ref()
+        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .collect();
+    for spec in &specs {
+        let (kind, rest) = spec.split_once(':').ok_or_else(|| format!("bad --arg `{spec}`"))?;
+        use hfuse::sim::ParamValue as P;
+        let v = match kind {
+            "i32" => P::I32(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
+            "u32" => P::U32(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
+            "i64" => P::I64(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
+            "u64" => P::U64(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
+            "f32" => P::F32(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
+            "f64" => P::F64(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
+            "buf" => {
+                let (elems, fill) = match rest.split_once(':') {
+                    Some((n, f)) => (
+                        n.parse::<usize>().map_err(|e| format!("{spec}: {e}"))?,
+                        Some(f.parse::<f32>().map_err(|e| format!("{spec}: {e}"))?),
+                    ),
+                    None => (rest.parse().map_err(|e| format!("{spec}: {e}"))?, None),
+                };
+                let id = match fill {
+                    Some(f) => gpu.memory_mut().alloc_from_f32(&vec![f; elems]),
+                    None => gpu.memory_mut().alloc_f32(elems),
+                };
+                buffers.push((id, elems));
+                P::Ptr(id)
+            }
+            other => return Err(format!("unknown --arg kind `{other}`")),
+        };
+        arg_values.push(v);
+    }
+
+    let launch = Launch {
+        kernel: ir,
+        grid_dim: grid,
+        block_dim: (block, 1, 1),
+        dynamic_shared_bytes: flag_value(args, "--shared")
+            .map(|v| v.parse().map_err(|e| format!("--shared: {e}")))
+            .transpose()?
+            .unwrap_or(0),
+        args: arg_values,
+    };
+    let r = gpu.run(&[launch]).map_err(|e| e.to_string())?;
+    println!("`{}` on {} (grid {grid} × block {block}):", kernel.name, cfg.name);
+    println!("  cycles:            {}", r.total_cycles);
+    println!("  issue slot util:   {:.2}%", r.metrics.issue_slot_utilization());
+    println!("  mem-inst stall:    {:.1}%", r.metrics.mem_stall_pct());
+    println!("  occupancy:         {:.1}%", r.metrics.occupancy_pct());
+    for (i, (id, elems)) in buffers.iter().enumerate() {
+        let n = show.min(*elems);
+        let vals = gpu.memory().read_f32s(*id);
+        println!("  buffer {i} (first {n} as f32): {:?}", &vals[..n]);
+    }
+    Ok(())
+}
+
+fn parse_pair(name: &str) -> Result<(AnyBenchmark, AnyBenchmark), String> {
+    let (a, b) = name
+        .split_once('+')
+        .ok_or_else(|| format!("pair `{name}` must be of the form A+B (see `hfuse list`)"))?;
+    let a = AnyBenchmark::by_name(a).ok_or_else(|| format!("unknown kernel `{a}`"))?;
+    let b = AnyBenchmark::by_name(b).ok_or_else(|| format!("unknown kernel `{b}`"))?;
+    Ok((a, b))
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [pair_name] = pos.as_slice() else {
+        return Err("search takes one PAIR argument, e.g. Batchnorm+Hist".to_owned());
+    };
+    let (a, b) = parse_pair(pair_name)?;
+    let cfg = gpu_config(args)?;
+    let d0 = match flag_value(args, "--d0") {
+        Some(v) => v.parse().map_err(|e| format!("--d0: {e}"))?,
+        None => 1024,
+    };
+    let granularity = match flag_value(args, "--granularity") {
+        Some(v) => v.parse().map_err(|e| format!("--granularity: {e}"))?,
+        None => 128,
+    };
+
+    let mut gpu = Gpu::new(cfg.clone());
+    let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+    let native = measure_native(&gpu, &in1, &in2).map_err(|e| e.to_string())?;
+    println!("GPU {} — native co-execution: {} cycles", cfg.name, native.total_cycles);
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions { d0, granularity })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{:>6} {:>6} {:>7} {:>9} {:>9} {:>7} {:>9} {:>7}",
+        "d1", "d2", "bound", "cycles", "speedup%", "util%", "memstall%", "occ%"
+    );
+    for c in &report.candidates {
+        println!(
+            "{:>6} {:>6} {:>7} {:>9} {:>+9.1} {:>7.1} {:>9.1} {:>7.1}",
+            c.d1,
+            c.d2,
+            c.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            c.cycles,
+            100.0 * (native.total_cycles as f64 / c.cycles as f64 - 1.0),
+            c.issue_util,
+            c.mem_stall,
+            c.occupancy
+        );
+    }
+    let best = report.best();
+    println!(
+        "best: d1 = {}, bound = {:?} → {:+.1}% over native",
+        best.d1,
+        best.reg_bound,
+        100.0 * (native.total_cycles as f64 / best.cycles as f64 - 1.0)
+    );
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [name] = pos.as_slice() else {
+        return Err("bench takes one KERNEL argument, e.g. Ethash".to_owned());
+    };
+    let b = AnyBenchmark::by_name(name).ok_or_else(|| format!("unknown kernel `{name}`"))?;
+    let cfg = gpu_config(args)?;
+    let mut gpu = Gpu::new(cfg.clone());
+    let input = b.benchmark().fusion_input(gpu.memory_mut());
+    let r = measure_single(&gpu, &input).map_err(|e| e.to_string())?;
+    println!("{} on {}:", b.name(), cfg.name);
+    println!("  cycles:            {}", r.total_cycles);
+    println!("  issue slot util:   {:.2}%", r.metrics.issue_slot_utilization());
+    println!("  mem-inst stall:    {:.1}%", r.metrics.mem_stall_pct());
+    println!("  occupancy:         {:.1}%", r.metrics.occupancy_pct());
+    println!("  instructions:      {}", r.metrics.thread_insts);
+    println!("  mem transactions:  {}", r.metrics.mem_transactions);
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("benchmark kernels (paper set, then extensions):");
+    for b in AnyBenchmark::all().into_iter().chain(AnyBenchmark::extensions()) {
+        let bench = b.benchmark();
+        println!(
+            "  {:<10} block {}{}, grid {}",
+            b.name(),
+            bench.default_threads(),
+            if bench.tunable() { " (tunable)" } else { " (fixed)" },
+            bench.grid_dim()
+        );
+    }
+    println!("\nevaluation pairs (starred member is the one the ratio sweep scales):");
+    for p in all_pairs() {
+        println!("  {}", p.name());
+    }
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! End-to-end functional-equivalence tests: for every benchmark pair of the
+//! paper's evaluation, the horizontally fused kernel (at several thread
+//! partitions), the vertically fused kernel, and native execution must all
+//! produce exactly the outputs of the CPU reference implementations.
+
+use hfuse::fusion::{horizontal_fuse, vertical::vertical_fuse_shaped, BlockShape};
+use hfuse::ir::lower_kernel;
+use hfuse::kernels::{AnyBenchmark, Benchmark};
+use hfuse::sim::{Gpu, GpuConfig, Launch};
+
+fn dims_for(b: &dyn Benchmark, threads: u32) -> Option<(u32, u32, u32)> {
+    match b.shape() {
+        BlockShape::Linear => Some((threads, 1, 1)),
+        BlockShape::Rows { y } => {
+            if threads.is_multiple_of(y) {
+                Some((threads / y, y, 1))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Runs the pair natively (functional) and checks both outputs.
+fn check_native(a: &AnyBenchmark, b: &AnyBenchmark) {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let (ba, bb) = (a.benchmark(), b.benchmark());
+    let args_a = ba.setup(gpu.memory_mut());
+    let args_b = bb.setup(gpu.memory_mut());
+    let mk = |bench: &dyn Benchmark, args: &[hfuse::sim::ParamValue]| Launch {
+        kernel: lower_kernel(&bench.kernel()).expect("lower"),
+        grid_dim: bench.grid_dim(),
+        block_dim: dims_for(bench, bench.default_threads()).expect("default dims"),
+        dynamic_shared_bytes: bench.dynamic_shared(),
+        args: args.to_vec(),
+    };
+    gpu.run_functional(&[mk(ba, &args_a), mk(bb, &args_b)]).expect("native run");
+    ba.check(gpu.memory(), &args_a).expect("first kernel output");
+    bb.check(gpu.memory(), &args_b).expect("second kernel output");
+}
+
+/// Fuses at partition (d1, d2) and checks both outputs.
+fn check_fused(a: &AnyBenchmark, b: &AnyBenchmark, d1: u32, d2: u32) {
+    let (ba, bb) = (a.benchmark(), b.benchmark());
+    let (Some(dims1), Some(dims2)) = (dims_for(ba, d1), dims_for(bb, d2)) else {
+        return; // partition incompatible with the block shape
+    };
+    let fused = horizontal_fuse(&ba.kernel(), dims1, &bb.kernel(), dims2)
+        .unwrap_or_else(|e| panic!("fuse {}+{}: {e}", ba.name(), bb.name()));
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let args_a = ba.setup(gpu.memory_mut());
+    let args_b = bb.setup(gpu.memory_mut());
+    let mut args = args_a.clone();
+    args.extend(args_b.iter().copied());
+    gpu.run_functional(&[Launch {
+        kernel: lower_kernel(&fused.function).expect("lower fused"),
+        grid_dim: ba.grid_dim().max(bb.grid_dim()),
+        block_dim: (d1 + d2, 1, 1),
+        dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
+        args,
+    }])
+    .unwrap_or_else(|e| panic!("run fused {}+{} at {d1}/{d2}: {e}", ba.name(), bb.name()));
+    ba.check(gpu.memory(), &args_a)
+        .unwrap_or_else(|e| panic!("{} wrong after fusion at {d1}/{d2}: {e}", ba.name()));
+    bb.check(gpu.memory(), &args_b)
+        .unwrap_or_else(|e| panic!("{} wrong after fusion at {d1}/{d2}: {e}", bb.name()));
+}
+
+/// Vertically fuses and checks both outputs.
+fn check_vertical(a: &AnyBenchmark, b: &AnyBenchmark) {
+    let (ba, bb) = (a.benchmark(), b.benchmark());
+    if ba.grid_dim() != bb.grid_dim() {
+        return;
+    }
+    let threads = ba.default_threads().max(bb.default_threads());
+    let (Some(dims1), Some(dims2)) = (dims_for(ba, threads), dims_for(bb, threads)) else {
+        return;
+    };
+    let fused = vertical_fuse_shaped(&ba.kernel(), dims1, &bb.kernel(), dims2)
+        .unwrap_or_else(|e| panic!("vfuse {}+{}: {e}", ba.name(), bb.name()));
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let args_a = ba.setup(gpu.memory_mut());
+    let args_b = bb.setup(gpu.memory_mut());
+    let mut args = args_a.clone();
+    args.extend(args_b.iter().copied());
+    gpu.run_functional(&[Launch {
+        kernel: lower_kernel(&fused.function).expect("lower vfused"),
+        grid_dim: ba.grid_dim(),
+        block_dim: (threads, 1, 1),
+        dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
+        args,
+    }])
+    .unwrap_or_else(|e| panic!("run vfused {}+{}: {e}", ba.name(), bb.name()));
+    ba.check(gpu.memory(), &args_a)
+        .unwrap_or_else(|e| panic!("{} wrong after vfuse: {e}", ba.name()));
+    bb.check(gpu.memory(), &args_b)
+        .unwrap_or_else(|e| panic!("{} wrong after vfuse: {e}", bb.name()));
+}
+
+/// Shrinks a benchmark's workload so the functional runs stay fast while
+/// still covering every code path.
+fn small(b: &AnyBenchmark) -> AnyBenchmark {
+    b.scaled(0.25)
+}
+
+#[test]
+fn all_dl_pairs_native_and_fused_match_references() {
+    for pair in hfuse::kernels::dl_pairs() {
+        let a = small(&pair.first);
+        let b = small(&pair.second);
+        check_native(&a, &b);
+        // Uneven, even, and reversed-uneven partitions of a 1024 block.
+        for (d1, d2) in [(512, 512), (768, 256), (256, 768)] {
+            check_fused(&a, &b, d1, d2);
+        }
+        check_vertical(&a, &b);
+    }
+}
+
+#[test]
+fn all_crypto_pairs_native_and_fused_match_references() {
+    for pair in hfuse::kernels::crypto_pairs() {
+        // Crypto kernels are not tunable: the only partition is their
+        // native 256/256.
+        check_native(&pair.first, &pair.second);
+        check_fused(&pair.first, &pair.second, 256, 256);
+        check_vertical(&pair.first, &pair.second);
+    }
+}
+
+#[test]
+fn fused_order_does_not_matter_functionally() {
+    // Fusing (A, B) and (B, A) must both be correct.
+    let pair = &hfuse::kernels::dl_pairs()[1]; // Batchnorm+Hist
+    let a = small(&pair.first);
+    let b = small(&pair.second);
+    check_fused(&b, &a, 512, 512);
+}
+
+#[test]
+fn timed_and_functional_runs_agree_for_a_fused_pair() {
+    // The timing engine must not change results.
+    let pair = &hfuse::kernels::dl_pairs()[5]; // Hist+Maxpool
+    let (a, b) = (small(&pair.first), small(&pair.second));
+    let (ba, bb) = (a.benchmark(), b.benchmark());
+    let fused = horizontal_fuse(
+        &ba.kernel(),
+        (512, 1, 1),
+        &bb.kernel(),
+        (512, 1, 1),
+    )
+    .expect("fuse");
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let args_a = ba.setup(gpu.memory_mut());
+    let args_b = bb.setup(gpu.memory_mut());
+    let mut args = args_a.clone();
+    args.extend(args_b.iter().copied());
+    gpu.run(&[Launch {
+        kernel: lower_kernel(&fused.function).expect("lower"),
+        grid_dim: ba.grid_dim(),
+        block_dim: (1024, 1, 1),
+        dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
+        args,
+    }])
+    .expect("timed run");
+    ba.check(gpu.memory(), &args_a).expect("first output");
+    bb.check(gpu.memory(), &args_b).expect("second output");
+}

@@ -1,0 +1,88 @@
+//! End-to-end tests of N-way horizontal fusion (the generalization of the
+//! paper's algorithm): fusing three benchmark kernels into one block must
+//! preserve all three results, and the timing engine must accept it.
+
+use hfuse::fusion::{horizontal_fuse_many, FusionPart};
+use hfuse::ir::lower_kernel;
+use hfuse::kernels::AnyBenchmark;
+use hfuse::sim::{Gpu, GpuConfig, Launch};
+
+#[test]
+fn three_dl_kernels_fuse_and_match_references() {
+    let names = ["Hist", "Maxpool", "Upsample"];
+    let benches: Vec<AnyBenchmark> = names
+        .iter()
+        .map(|n| AnyBenchmark::by_name(n).expect("benchmark exists").scaled(0.25))
+        .collect();
+
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let mut all_args = Vec::new();
+    let mut parts = Vec::new();
+    let mut fused_args = Vec::new();
+    for b in &benches {
+        let bench = b.benchmark();
+        let args = bench.setup(gpu.memory_mut());
+        parts.push(FusionPart::new(bench.kernel(), (256, 1, 1)));
+        fused_args.extend(args.iter().copied());
+        all_args.push(args);
+    }
+    let fused = horizontal_fuse_many(&parts).expect("3-way fuse");
+    assert_eq!(fused.block_threads(), 768);
+
+    let dyn_shared: u32 = benches.iter().map(|b| b.benchmark().dynamic_shared()).sum();
+    gpu.run_functional(&[Launch {
+        kernel: lower_kernel(&fused.function).expect("lower"),
+        grid_dim: benches[0].benchmark().grid_dim(),
+        block_dim: (768, 1, 1),
+        dynamic_shared_bytes: dyn_shared,
+        args: fused_args,
+    }])
+    .expect("fused run");
+
+    for (b, args) in benches.iter().zip(&all_args) {
+        b.benchmark()
+            .check(gpu.memory(), args)
+            .unwrap_or_else(|e| panic!("{} wrong after 3-way fusion: {e}", b.name()));
+    }
+}
+
+#[test]
+fn four_crypto_kernels_fuse_into_one_block() {
+    // All four crypto kernels in one 1024-thread block, each keeping its
+    // native 256 threads.
+    let benches: Vec<AnyBenchmark> = ["Ethash", "SHA256", "Blake256", "Blake2B"]
+        .iter()
+        .map(|n| AnyBenchmark::by_name(n).expect("benchmark exists"))
+        .collect();
+
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let mut all_args = Vec::new();
+    let mut parts = Vec::new();
+    let mut fused_args = Vec::new();
+    for b in &benches {
+        let bench = b.benchmark();
+        let args = bench.setup(gpu.memory_mut());
+        parts.push(FusionPart::new(bench.kernel(), (256, 1, 1)));
+        fused_args.extend(args.iter().copied());
+        all_args.push(args);
+    }
+    let fused = horizontal_fuse_many(&parts).expect("4-way fuse");
+
+    // Timed run (also exercises the scheduler with 4 heterogeneous intervals).
+    let r = gpu
+        .run(&[Launch {
+            kernel: lower_kernel(&fused.function).expect("lower"),
+            grid_dim: benches[0].benchmark().grid_dim(),
+            block_dim: (1024, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: fused_args,
+        }])
+        .expect("fused timed run");
+    assert!(r.total_cycles > 0);
+
+    for (b, args) in benches.iter().zip(&all_args) {
+        b.benchmark()
+            .check(gpu.memory(), args)
+            .unwrap_or_else(|e| panic!("{} wrong after 4-way fusion: {e}", b.name()));
+    }
+}

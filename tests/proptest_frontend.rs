@@ -1,0 +1,134 @@
+//! Property-based tests of the frontend: for arbitrary generated ASTs, the
+//! pretty-printer's output must re-parse to the identical AST (so HFuse's
+//! emitted CUDA is always valid input for the next tool).
+
+use cuda_frontend::ast::{Axis, BinOp, Block, BuiltinVar, Expr, Stmt, Ty, UnOp, VarDecl};
+use cuda_frontend::parser::{parse_block, parse_expr};
+use cuda_frontend::printer::{print_expr, print_stmt};
+use proptest::prelude::*;
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::LogAnd),
+        Just(BinOp::LogOr),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
+}
+
+fn arb_builtin() -> impl Strategy<Value = BuiltinVar> {
+    let axis = prop_oneof![Just(Axis::X), Just(Axis::Y), Just(Axis::Z)];
+    prop_oneof![
+        axis.clone().prop_map(BuiltinVar::ThreadIdx),
+        axis.clone().prop_map(BuiltinVar::BlockIdx),
+        axis.clone().prop_map(BuiltinVar::BlockDim),
+        axis.prop_map(BuiltinVar::GridDim),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Non-negative literals only: `-5` re-parses as Neg(5).
+        (0i64..1000).prop_map(Expr::int),
+        (0u32..4096).prop_map(|v| Expr::FloatLit(f64::from(v) / 8.0, Ty::F32)),
+        prop_oneof![Just("x"), Just("y"), Just("z"), Just("buf")]
+            .prop_map(Expr::ident),
+        arb_builtin().prop_map(Expr::Builtin),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (arb_unop(), inner.clone())
+                .prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
+                Expr::Ternary(Box::new(c), Box::new(t), Box::new(f))
+            }),
+            inner
+                .clone()
+                .prop_map(|i| Expr::Index(Box::new(Expr::ident("buf")), Box::new(i))),
+            (prop_oneof![Just(Ty::I32), Just(Ty::U32), Just(Ty::F32)], inner.clone())
+                .prop_map(|(ty, e)| Expr::Cast(ty, Box::new(e))),
+            proptest::collection::vec(inner, 1..3)
+                .prop_map(|args| Expr::Call("fmaxf".to_owned(), args)),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let assign = (arb_expr(), prop_oneof![Just("x"), Just("y")]).prop_map(|(e, v)| {
+        Stmt::Expr(Expr::Assign(
+            cuda_frontend::ast::AssignOp::Assign,
+            Box::new(Expr::ident(v)),
+            Box::new(e),
+        ))
+    });
+    let decl = (arb_expr(), prop_oneof![Just(Ty::I32), Just(Ty::F32)]).prop_map(|(e, ty)| {
+        Stmt::Decl(VarDecl {
+            name: "v".to_owned(),
+            ty,
+            quals: Default::default(),
+            array_len: None,
+            init: Some(e),
+        })
+    });
+    let leaf = prop_oneof![assign, decl, Just(Stmt::SyncThreads), Just(Stmt::Break)];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..4).prop_map(Block::new);
+        prop_oneof![
+            (arb_expr(), block.clone(), proptest::option::of(block.clone()))
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            (arb_expr(), block.clone()).prop_map(|(c, b)| Stmt::While(c, b)),
+            (block.clone(), arb_expr()).prop_map(|(b, c)| Stmt::DoWhile(b, c)),
+            block.prop_map(Stmt::Block),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn expr_print_parse_round_trip(e in arb_expr()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printed `{printed}` failed to parse: {err}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn stmt_print_parse_round_trip(s in arb_stmt()) {
+        let printed = format!("{{\n{}}}", print_stmt(&s));
+        let reparsed = parse_block(&printed)
+            .unwrap_or_else(|err| panic!("printed `{printed}` failed to parse: {err}"));
+        prop_assert_eq!(reparsed.stmts.len(), 1, "printed: {}", printed);
+        prop_assert_eq!(&reparsed.stmts[0], &s, "printed: {}", printed);
+    }
+
+    #[test]
+    fn printed_expressions_are_stable(e in arb_expr()) {
+        // print(parse(print(e))) == print(e): printing is idempotent.
+        let p1 = print_expr(&e);
+        let reparsed = parse_expr(&p1).expect("reparse");
+        let p2 = print_expr(&reparsed);
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based semantics tests across the whole pipeline: for randomly
+//! generated kernels,
+//!
+//! * the optimizer (const-fold + CSE + LICM + DCE) must not change results,
+//! * horizontal fusion must produce exactly the memory state of running the
+//!   two kernels natively,
+//! * the register-bound spill pass must not change results.
+
+use hfuse::fusion::{horizontal_fuse, horizontal_fuse_many, FusionPart};
+use hfuse::frontend::parse_kernel;
+use hfuse::ir::{lower_kernel, lower_kernel_unoptimized};
+use hfuse::sim::{Gpu, GpuConfig, Launch, ParamValue};
+use proptest::prelude::*;
+
+/// Generates a random arithmetic statement over `a`, `b`, `c` (unsigned) —
+/// rich enough to exercise CSE/LICM/folding, always well-defined.
+fn arb_calc_stmt() -> impl Strategy<Value = String> {
+    let var = prop_oneof![Just("a"), Just("b"), Just("c")];
+    let term = prop_oneof![
+        var.clone().prop_map(str::to_owned),
+        (1u32..97).prop_map(|k| format!("{k}u")),
+        Just("(unsigned int)threadIdx.x".to_owned()),
+        Just("(unsigned int)blockIdx.x".to_owned()),
+    ];
+    let op = prop_oneof![Just("+"), Just("*"), Just("^"), Just("|"), Just("&")];
+    prop_oneof![
+        // v = t op t op t;
+        (var.clone(), term.clone(), op.clone(), term.clone(), op.clone(), term.clone())
+            .prop_map(|(v, t1, o1, t2, o2, t3)| format!("{v} = {t1} {o1} {t2} {o2} {t3};")),
+        // v = (t op t) >> k;
+        (var.clone(), term.clone(), op.clone(), term.clone(), 0u32..31).prop_map(
+            |(v, t1, o, t2, k)| format!("{v} = ({t1} {o} {t2}) >> {k}u;")
+        ),
+        // if (v % k == 0) { v2 = expr; }
+        (var.clone(), 2u32..7, var.clone(), term.clone(), op, term.clone()).prop_map(
+            |(v, k, v2, t1, o, t2)| format!("if ({v} % {k}u == 0u) {{ {v2} = {t1} {o} {t2}; }}")
+        ),
+        // plain constant assignment: after const-folding this becomes an
+        // `imm` that CSE may alias to the constant pool — the pattern that
+        // once orphaned aliases when the register was later redefined.
+        (var.clone(), 0u32..5).prop_map(|(v, k)| format!("{v} = {k}u;")),
+        // bounded loop with an accumulator
+        (var, 1u32..6, term).prop_map(|(v, n, t)| {
+            format!("for (int i = 0; i < {n}; i++) {{ {v} = {v} * 3u + {t} + (unsigned int)i; }}")
+        }),
+    ]
+}
+
+/// Builds a complete kernel from generated statements. Each thread mixes
+/// its state into a distinct output slot, so any semantic change is visible.
+fn kernel_source(name: &str, stmts: &[String]) -> String {
+    format!(
+        "__global__ void {name}(unsigned int* out, unsigned int* in, int n) {{\n\
+           unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;\n\
+           unsigned int a = in[gid % (unsigned int)n] + 1u;\n\
+           unsigned int b = gid * 2654435761u;\n\
+           unsigned int c = 0x9e3779b9u;\n\
+           {body}\n\
+           out[gid] = a ^ b ^ c;\n\
+         }}",
+        body = stmts.join("\n           ")
+    )
+}
+
+const GRID: u32 = 2;
+const BLOCK: u32 = 64;
+const N: usize = 256;
+
+fn run_kernel(ir: thread_ir::KernelIr, extra: Option<thread_ir::KernelIr>) -> (Vec<u32>, Vec<u32>) {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let input: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+    let in_buf = gpu.memory_mut().alloc_from_u32(&input);
+    let out1 = gpu.memory_mut().alloc_u32((GRID * BLOCK) as usize);
+    let out2 = gpu.memory_mut().alloc_u32((GRID * BLOCK) as usize);
+    let mut launches = vec![];
+    match extra {
+        None => {
+            launches.push(Launch {
+                kernel: ir,
+                grid_dim: GRID,
+                block_dim: (BLOCK, 1, 1),
+                dynamic_shared_bytes: 0,
+                args: vec![
+                    ParamValue::Ptr(out1),
+                    ParamValue::Ptr(in_buf),
+                    ParamValue::I32(N as i32),
+                ],
+            });
+        }
+        Some(second) => {
+            for (k, out) in [(ir, out1), (second, out2)] {
+                launches.push(Launch {
+                    kernel: k,
+                    grid_dim: GRID,
+                    block_dim: (BLOCK, 1, 1),
+                    dynamic_shared_bytes: 0,
+                    args: vec![
+                        ParamValue::Ptr(out),
+                        ParamValue::Ptr(in_buf),
+                        ParamValue::I32(N as i32),
+                    ],
+                });
+            }
+        }
+    }
+    gpu.run_functional(&launches).expect("functional run");
+    (gpu.memory().read_u32s(out1), gpu.memory().read_u32s(out2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn optimizer_preserves_semantics(stmts in proptest::collection::vec(arb_calc_stmt(), 1..8)) {
+        let src = kernel_source("k", &stmts);
+        let ast = parse_kernel(&src).expect("generated kernel parses");
+        let raw = lower_kernel_unoptimized(&ast).expect("lower raw");
+        let opt = lower_kernel(&ast).expect("lower optimized");
+        prop_assert!(
+            opt.insts.len() <= raw.insts.len() + 8,
+            "optimizer should not bloat code: {} -> {}",
+            raw.insts.len(),
+            opt.insts.len()
+        );
+        let (raw_out, _) = run_kernel(raw, None);
+        let (opt_out, _) = run_kernel(opt, None);
+        prop_assert_eq!(raw_out, opt_out, "source:\n{}", src);
+    }
+
+    #[test]
+    fn fusion_preserves_semantics(
+        s1 in proptest::collection::vec(arb_calc_stmt(), 1..6),
+        s2 in proptest::collection::vec(arb_calc_stmt(), 1..6),
+    ) {
+        let k1 = parse_kernel(&kernel_source("k1", &s1)).expect("k1 parses");
+        let k2 = parse_kernel(&kernel_source("k2", &s2)).expect("k2 parses");
+
+        // Native: two separate launches.
+        let (native1, native2) = run_kernel(
+            lower_kernel(&k1).expect("lower k1"),
+            Some(lower_kernel(&k2).expect("lower k2")),
+        );
+
+        // Fused: one launch with the concatenated argument list.
+        let fused = horizontal_fuse(&k1, (BLOCK, 1, 1), &k2, (BLOCK, 1, 1)).expect("fuse");
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let input: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+        let in_buf = gpu.memory_mut().alloc_from_u32(&input);
+        let out1 = gpu.memory_mut().alloc_u32((GRID * BLOCK) as usize);
+        let out2 = gpu.memory_mut().alloc_u32((GRID * BLOCK) as usize);
+        gpu.run_functional(&[Launch {
+            kernel: lower_kernel(&fused.function).expect("lower fused"),
+            grid_dim: GRID,
+            block_dim: (2 * BLOCK, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: vec![
+                ParamValue::Ptr(out1),
+                ParamValue::Ptr(in_buf),
+                ParamValue::I32(N as i32),
+                ParamValue::Ptr(out2),
+                ParamValue::Ptr(in_buf),
+                ParamValue::I32(N as i32),
+            ],
+        }])
+        .expect("fused run");
+        prop_assert_eq!(gpu.memory().read_u32s(out1), native1);
+        prop_assert_eq!(gpu.memory().read_u32s(out2), native2);
+    }
+
+    #[test]
+    fn three_way_fusion_preserves_semantics(
+        s1 in proptest::collection::vec(arb_calc_stmt(), 1..4),
+        s2 in proptest::collection::vec(arb_calc_stmt(), 1..4),
+        s3 in proptest::collection::vec(arb_calc_stmt(), 1..4),
+    ) {
+        let kernels: Vec<_> = [("k1", &s1), ("k2", &s2), ("k3", &s3)]
+            .iter()
+            .map(|(n, s)| parse_kernel(&kernel_source(n, s)).expect("parses"))
+            .collect();
+
+        // Native: three separate functional launches on one GPU.
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let input: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+        let in_buf = gpu.memory_mut().alloc_from_u32(&input);
+        let outs: Vec<_> =
+            (0..3).map(|_| gpu.memory_mut().alloc_u32((GRID * BLOCK) as usize)).collect();
+        let launches: Vec<Launch> = kernels
+            .iter()
+            .zip(&outs)
+            .map(|(k, &out)| Launch {
+                kernel: lower_kernel(k).expect("lower"),
+                grid_dim: GRID,
+                block_dim: (BLOCK, 1, 1),
+                dynamic_shared_bytes: 0,
+                args: vec![
+                    ParamValue::Ptr(out),
+                    ParamValue::Ptr(in_buf),
+                    ParamValue::I32(N as i32),
+                ],
+            })
+            .collect();
+        gpu.run_functional(&launches).expect("native runs");
+        let native: Vec<Vec<u32>> = outs.iter().map(|&o| gpu.memory().read_u32s(o)).collect();
+
+        // Fused: one launch over three intervals.
+        let parts: Vec<FusionPart> = kernels
+            .iter()
+            .map(|k| FusionPart::new(k.clone(), (BLOCK, 1, 1)))
+            .collect();
+        let fused = horizontal_fuse_many(&parts).expect("3-way fuse");
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let in_buf = gpu.memory_mut().alloc_from_u32(&input);
+        let outs: Vec<_> =
+            (0..3).map(|_| gpu.memory_mut().alloc_u32((GRID * BLOCK) as usize)).collect();
+        let mut args = Vec::new();
+        for &out in &outs {
+            args.extend([
+                ParamValue::Ptr(out),
+                ParamValue::Ptr(in_buf),
+                ParamValue::I32(N as i32),
+            ]);
+        }
+        gpu.run_functional(&[Launch {
+            kernel: lower_kernel(&fused.function).expect("lower fused"),
+            grid_dim: GRID,
+            block_dim: (3 * BLOCK, 1, 1),
+            dynamic_shared_bytes: 0,
+            args,
+        }])
+        .expect("fused run");
+        for (i, &out) in outs.iter().enumerate() {
+            prop_assert_eq!(gpu.memory().read_u32s(out), native[i].clone(), "kernel {}", i);
+        }
+    }
+
+    #[test]
+    fn register_bound_preserves_semantics(stmts in proptest::collection::vec(arb_calc_stmt(), 2..8)) {
+        let ast = parse_kernel(&kernel_source("k", &stmts)).expect("parses");
+        let mut ir = lower_kernel(&ast).expect("lower");
+        let (plain_out, _) = run_kernel(ir.clone(), None);
+        let bound = thread_ir::liveness::MIN_REGS.max(ir.reg_pressure().saturating_sub(6));
+        thread_ir::spill::apply_register_bound(&mut ir, bound);
+        let (spilled_out, _) = run_kernel(ir, None);
+        prop_assert_eq!(plain_out, spilled_out);
+    }
+}
