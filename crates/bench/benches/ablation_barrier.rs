@@ -42,18 +42,25 @@ fn fused_cycles(
     args.extend(in2.args.iter().copied());
     let mut gpu = gpu;
     let launch = Launch {
-        kernel: lower_kernel(&fused.function).map_err(|e| e.to_string())?,
+        kernel: lower_kernel(&fused.function)
+            .map_err(|e| e.to_string())?
+            .into(),
         grid_dim: in1.grid_dim,
         block_dim: (1024, 1, 1),
         dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
         args,
     };
-    gpu.run(&[launch]).map(|r| r.total_cycles).map_err(|e| e.to_string())
+    gpu.run(&[launch])
+        .map(|r| r.total_cycles)
+        .map_err(|e| e.to_string())
 }
 
 fn main() {
     let cfg = GpuConfig::pascal_like();
-    println!("# Ablation — partial vs full-block barriers in the fused kernel ({})", cfg.name);
+    println!(
+        "# Ablation — partial vs full-block barriers in the fused kernel ({})",
+        cfg.name
+    );
 
     // Case 1: equal barrier counts — coupling cost.
     let a = AnyBenchmark::by_name("Batchnorm").expect("benchmark exists");

@@ -23,7 +23,10 @@ fn main() {
         let (a, b) = pair.at_scale(1.0);
         for granularity in [64u32, 128, 256, 512] {
             let (gpu, in1, in2) = build_inputs(&cfg, &a, &b);
-            let opts = SearchOptions { d0: 1024, granularity };
+            let opts = SearchOptions {
+                d0: 1024,
+                granularity,
+            };
             match search_fusion_config(&gpu, &in1, &in2, opts) {
                 Ok(report) => {
                     let best = report.best();
@@ -33,7 +36,9 @@ fn main() {
                         granularity,
                         report.candidates.len(),
                         best.d1,
-                        best.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                        best.reg_bound
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "-".into()),
                         best.cycles,
                     );
                 }

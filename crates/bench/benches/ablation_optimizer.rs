@@ -19,7 +19,7 @@ fn run(cfg: &GpuConfig, b: &AnyBenchmark, ir: KernelIr) -> u64 {
         BlockShape::Linear => (bench.default_threads(), 1, 1),
     };
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: bench.grid_dim(),
         block_dim: dims,
         dynamic_shared_bytes: bench.dynamic_shared(),
@@ -30,12 +30,18 @@ fn run(cfg: &GpuConfig, b: &AnyBenchmark, ir: KernelIr) -> u64 {
 
 fn main() {
     let cfg = GpuConfig::pascal_like();
-    println!("# Ablation — IR optimizer (const-fold + peephole + CSE + LICM + DCE), {}", cfg.name);
+    println!(
+        "# Ablation — IR optimizer (const-fold + peephole + CSE + LICM + DCE), {}",
+        cfg.name
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>16} {:>18}",
         "Kernel", "insts raw→opt", "press raw→opt", "cycles raw", "cycles opt (Δ%)"
     );
-    for b in AnyBenchmark::all().into_iter().chain(AnyBenchmark::extensions()) {
+    for b in AnyBenchmark::all()
+        .into_iter()
+        .chain(AnyBenchmark::extensions())
+    {
         let k = b.benchmark().kernel();
         let raw = lower_kernel_unoptimized(&k).expect("lower raw");
         let opt = lower_kernel(&k).expect("lower opt");

@@ -14,8 +14,9 @@ use hfuse_kernels::{crypto_pairs, dl_pairs};
 fn scaled_config(base: &GpuConfig, num_sms: u32) -> GpuConfig {
     let mut cfg = base.clone();
     // Keep per-SM bandwidth constant while scaling the SM count.
-    cfg.dram_transactions_per_cycle =
-        (base.dram_transactions_per_cycle * num_sms).div_ceil(base.num_sms).max(1);
+    cfg.dram_transactions_per_cycle = (base.dram_transactions_per_cycle * num_sms)
+        .div_ceil(base.num_sms)
+        .max(1);
     cfg.num_sms = num_sms;
     cfg.name = format!("{}@{}SM", base.name, num_sms);
     cfg
@@ -24,7 +25,10 @@ fn scaled_config(base: &GpuConfig, num_sms: u32) -> GpuConfig {
 fn main() {
     let base = GpuConfig::pascal_like();
     println!("# Ablation — SM-count sensitivity (per-SM resources fixed, DRAM scaled)");
-    println!("{:<22} {:>6} {:>10} {:>10} {:>12}", "Pair", "SMs", "native", "hfuse", "speedup(%)");
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>12}",
+        "Pair", "SMs", "native", "hfuse", "speedup(%)"
+    );
     let pairs = [
         dl_pairs().remove(5),     // Hist+*Maxpool* — a winner in the paper
         crypto_pairs().remove(1), // Blake256+*Ethash* — a winner

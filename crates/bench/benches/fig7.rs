@@ -12,7 +12,7 @@
 //! speedup across ratios — the horizontal lines of the paper's subplots —
 //! closes each block.
 
-use hfuse_bench::pairs::{measure_pair, sweep_scales, both_gpus};
+use hfuse_bench::pairs::{both_gpus, measure_pair, sweep_scales};
 use hfuse_kernels::all_pairs;
 
 fn main() {
@@ -58,7 +58,10 @@ fn main() {
                     vf.map(|v| format!("{v:+.1}")).unwrap_or_else(|| "-".into()),
                     nv.map(|v| format!("{v:+.1}")).unwrap_or_else(|| "-".into()),
                     m.hfuse.d1,
-                    m.hfuse.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                    m.hfuse
+                        .reg_bound
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "-".into()),
                 );
             }
             let avg = |i: usize| {

@@ -10,7 +10,10 @@ use hfuse_kernels::AnyBenchmark;
 
 fn main() {
     let [pascal, volta] = both_gpus();
-    println!("# Fig. 8 — Metrics of individual kernels ({} / {})", pascal.name, volta.name);
+    println!(
+        "# Fig. 8 — Metrics of individual kernels ({} / {})",
+        pascal.name, volta.name
+    );
     println!(
         "{:<10} {:>17} {:>19} {:>15} {:>15}",
         "Kernel", "Time (kcycles)", "IssueSlotUtil (%)", "MemInstStall(%)", "Occupancy (%)"

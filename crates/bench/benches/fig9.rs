@@ -35,7 +35,13 @@ fn main() {
     );
     println!(
         "{:<22} {:<8} {:>15} {:>17} {:>15} {:>13} {:>13}",
-        "Pair", "Type", "Speedup (%)", "IssueUtil (%)", "NativeUtil (%)", "MemStall (%)", "Occup (%)"
+        "Pair",
+        "Type",
+        "Speedup (%)",
+        "IssueUtil (%)",
+        "NativeUtil (%)",
+        "MemStall (%)",
+        "Occup (%)"
     );
     for pair in all_pairs() {
         let (a, b) = pair.at_scale(1.0);
@@ -49,7 +55,11 @@ fn main() {
             }
         };
         for (ty, select) in [
-            ("N-RegCap", &(|m: &PairMeasurement| m.hfuse_nocap) as &dyn Fn(&PairMeasurement) -> Option<FusedOutcome>),
+            (
+                "N-RegCap",
+                &(|m: &PairMeasurement| m.hfuse_nocap)
+                    as &dyn Fn(&PairMeasurement) -> Option<FusedOutcome>,
+            ),
             ("RegCap", &|m: &PairMeasurement| m.hfuse_cap),
         ] {
             let (Some(rp), Some(rv)) = (select(&p), select(&v)) else {

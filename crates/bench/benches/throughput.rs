@@ -1,69 +1,87 @@
-//! Criterion benches of the toolchain itself: how fast the frontend parses,
-//! the fuser fuses, the lowerer + optimizer compile, and the simulator
-//! executes instructions. These are the engineering-cost numbers a user of
-//! the library cares about (the paper's search profiles dozens of fused
+//! Benches of the toolchain itself: how fast the frontend parses, the fuser
+//! fuses, the lowerer + optimizer compile, and the simulator executes
+//! instructions. These are the engineering-cost numbers a user of the
+//! library cares about (the paper's search profiles dozens of fused
 //! variants, so compile + simulate throughput bounds search time).
+//!
+//! Uses a plain `std::time::Instant` harness so the workspace builds with no
+//! network access (no external bench framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use gpu_sim::{Gpu, GpuConfig, Launch, ParamValue};
+use std::time::Instant;
+
+use gpu_sim::{Gpu, GpuConfig, Launch};
 use hfuse_core::horizontal_fuse;
 use hfuse_kernels::{AnyBenchmark, Benchmark};
 use thread_ir::lower_kernel;
 
-fn bench_parse(c: &mut Criterion) {
-    let src = AnyBenchmark::by_name("Batchnorm").expect("exists").benchmark().source();
-    c.bench_function("parse_batchnorm", |b| {
-        b.iter(|| cuda_frontend::parse_kernel(std::hint::black_box(&src)).expect("parse"))
-    });
+/// Runs `f` repeatedly (after warmup) and reports the mean wall time.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<36} {:>12.1} µs/iter ({iters} iters)",
+        total.as_secs_f64() * 1e6 / f64::from(iters)
+    );
 }
 
-fn bench_fuse(c: &mut Criterion) {
-    let k1 = AnyBenchmark::by_name("Batchnorm").expect("exists").benchmark().kernel();
-    let k2 = AnyBenchmark::by_name("Hist").expect("exists").benchmark().kernel();
-    c.bench_function("horizontal_fuse_batchnorm_hist", |b| {
-        b.iter(|| {
-            horizontal_fuse(
-                std::hint::black_box(&k1),
-                (56, 16, 1),
-                std::hint::black_box(&k2),
-                (128, 1, 1),
-            )
-            .expect("fuse")
-        })
+fn main() {
+    let src = AnyBenchmark::by_name("Batchnorm")
+        .expect("exists")
+        .benchmark()
+        .source();
+    bench("parse_batchnorm", 200, || {
+        cuda_frontend::parse_kernel(std::hint::black_box(&src)).expect("parse")
     });
-}
 
-fn bench_lower_optimize(c: &mut Criterion) {
-    let k = AnyBenchmark::by_name("Blake256").expect("exists").benchmark().kernel();
-    c.bench_function("lower_optimize_blake256", |b| {
-        b.iter(|| lower_kernel(std::hint::black_box(&k)).expect("lower"))
+    let k1 = AnyBenchmark::by_name("Batchnorm")
+        .expect("exists")
+        .benchmark()
+        .kernel();
+    let k2 = AnyBenchmark::by_name("Hist")
+        .expect("exists")
+        .benchmark()
+        .kernel();
+    bench("horizontal_fuse_batchnorm_hist", 100, || {
+        horizontal_fuse(
+            std::hint::black_box(&k1),
+            (56, 16, 1),
+            std::hint::black_box(&k2),
+            (128, 1, 1),
+        )
+        .expect("fuse")
     });
-}
 
-fn bench_simulate(c: &mut Criterion) {
-    let wl = hfuse_kernels::dl::maxpool::Maxpool { channels: 8, height: 32, width: 32 };
-    let ir = lower_kernel(&wl.kernel()).expect("lower");
+    let k = AnyBenchmark::by_name("Blake256")
+        .expect("exists")
+        .benchmark()
+        .kernel();
+    bench("lower_optimize_blake256", 100, || {
+        lower_kernel(std::hint::black_box(&k)).expect("lower")
+    });
+
+    let wl = hfuse_kernels::dl::maxpool::Maxpool {
+        channels: 8,
+        height: 32,
+        width: 32,
+    };
+    let ir = std::sync::Arc::new(lower_kernel(&wl.kernel()).expect("lower"));
     let mut proto = Gpu::new(GpuConfig::pascal_like());
     let args = wl.setup(proto.memory_mut());
-    c.bench_function("simulate_maxpool_8x32x32", |b| {
-        b.iter(|| {
-            let mut gpu = proto.clone();
-            let launch = Launch {
-                kernel: ir.clone(),
-                grid_dim: 8,
-                block_dim: (256, 1, 1),
-                dynamic_shared_bytes: 0,
-                args: args.clone(),
-            };
-            gpu.run(std::hint::black_box(&[launch])).expect("run")
-        })
+    bench("simulate_maxpool_8x32x32", 20, || {
+        let mut gpu = proto.clone();
+        let launch = Launch {
+            kernel: ir.clone(),
+            grid_dim: 8,
+            block_dim: (256, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run(std::hint::black_box(&[launch])).expect("run")
     });
-    let _ = ParamValue::I32(0);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_parse, bench_fuse, bench_lower_optimize, bench_simulate
-}
-criterion_main!(benches);

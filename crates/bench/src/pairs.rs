@@ -148,7 +148,9 @@ pub fn measure_pair(
         hfuse,
         hfuse_nocap: best(false),
         hfuse_cap: best(true),
-        vfuse_cycles: measure_vertical(&gpu, &in1, &in2).ok().map(|r| r.total_cycles),
+        vfuse_cycles: measure_vertical(&gpu, &in1, &in2)
+            .ok()
+            .map(|r| r.total_cycles),
         naive_cycles: measure_naive_horizontal(&gpu, &in1, &in2, 1024)
             .ok()
             .map(|r| r.total_cycles),

@@ -139,9 +139,12 @@ pub fn horizontal_fuse_with(
     // Prologue: fused linear thread id and per-kernel remapped indices.
     let gtid = "__hf_gtid";
     let mut prologue: Vec<Stmt> = Vec::new();
-    prologue.push(decl_i32(gtid, Some(Expr::Builtin(cuda_frontend::ast::BuiltinVar::ThreadIdx(
-        cuda_frontend::ast::Axis::X,
-    )))));
+    prologue.push(decl_i32(
+        gtid,
+        Some(Expr::Builtin(cuda_frontend::ast::BuiltinVar::ThreadIdx(
+            cuda_frontend::ast::Axis::X,
+        ))),
+    ));
     let remap1 = ThreadRemap::new("__hf_k1", dims1, Expr::ident(gtid));
     let remap2 = ThreadRemap::new(
         "__hf_k2",
@@ -178,7 +181,11 @@ pub fn horizontal_fuse_with(
     body.push(Stmt::If(
         Expr::Unary(
             UnOp::Not,
-            Box::new(Expr::bin(BinOp::Lt, Expr::ident(gtid), Expr::int(i64::from(d1)))),
+            Box::new(Expr::bin(
+                BinOp::Lt,
+                Expr::ident(gtid),
+                Expr::int(i64::from(d1)),
+            )),
         ),
         Block::new(vec![Stmt::Goto(k1_end.clone())]),
         None,
@@ -203,7 +210,14 @@ pub fn horizontal_fuse_with(
         is_kernel: true,
         body: Block::new(body),
     };
-    Ok(FusedKernel { function, d1, d2, dims1, dims2, params_split })
+    Ok(FusedKernel {
+        function,
+        d1,
+        d2,
+        dims1,
+        dims2,
+        params_split,
+    })
 }
 
 /// Splits a lifted kernel body into its leading declarations and the rest.
@@ -394,7 +408,12 @@ mod tests {
         let a = k("__global__ void a(float* data) { data[threadIdx.x] = 1.0f; }");
         let b = k("__global__ void b(float* data) { data[threadIdx.x] = 2.0f; }");
         let fused = horizontal_fuse(&a, (32, 1, 1), &b, (32, 1, 1)).expect("fuse");
-        let names: Vec<&str> = fused.function.params.iter().map(|p| p.name.as_str()).collect();
+        let names: Vec<&str> = fused
+            .function
+            .params
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
         assert_eq!(names.len(), 2);
         assert_ne!(names[0], names[1]);
     }

@@ -86,7 +86,9 @@ pub fn horizontal_fuse_many(parts: &[FusionPart]) -> Result<MultiFusedKernel, Fr
     for (i, p) in parts.iter().enumerate() {
         let t = p.threads();
         if t == 0 {
-            return Err(FrontendError::new(format!("member {i} has an empty block shape")));
+            return Err(FrontendError::new(format!(
+                "member {i} has an empty block shape"
+            )));
         }
         if i + 1 < parts.len() && !(offset + t).is_multiple_of(32) {
             return Err(FrontendError::new(format!(
@@ -152,7 +154,11 @@ pub fn horizontal_fuse_many(parts: &[FusionPart]) -> Result<MultiFusedKernel, Fr
         let in_range = Expr::bin(
             BinOp::LogAnd,
             Expr::bin(BinOp::Ge, Expr::ident(gtid), Expr::int(i64::from(offset))),
-            Expr::bin(BinOp::Lt, Expr::ident(gtid), Expr::int(i64::from(offset + d))),
+            Expr::bin(
+                BinOp::Lt,
+                Expr::ident(gtid),
+                Expr::int(i64::from(offset + d)),
+            ),
         );
         let end_label = format!("__hf_k{}_end", i + 1);
         guarded.push(Stmt::If(
@@ -315,8 +321,9 @@ mod tests {
     fn rejects_too_few_or_too_many() {
         let one = vec![FusionPart::new(writer("a", 1.0), (32, 1, 1))];
         assert!(horizontal_fuse_many(&one).is_err());
-        let many: Vec<FusionPart> =
-            (0..16).map(|i| FusionPart::new(writer(&format!("k{i}"), 1.0), (32, 1, 1))).collect();
+        let many: Vec<FusionPart> = (0..16)
+            .map(|i| FusionPart::new(writer(&format!("k{i}"), 1.0), (32, 1, 1)))
+            .collect();
         assert!(horizontal_fuse_many(&many).is_err());
     }
 

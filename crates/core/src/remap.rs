@@ -99,7 +99,10 @@ mod tests {
         let r = ThreadRemap::new("__t", (56, 16, 1), Expr::ident("lt"));
         let printed: String = r.decls().iter().map(print_stmt).collect();
         assert!(printed.contains("int __t_tid_x = lt % 56;"), "{printed}");
-        assert!(printed.contains("int __t_tid_y = lt / 56 % 16;"), "{printed}");
+        assert!(
+            printed.contains("int __t_tid_y = lt / 56 % 16;"),
+            "{printed}"
+        );
         assert!(printed.contains("int __t_tid_z = lt / 896;"), "{printed}");
         assert!(printed.contains("int __t_dim_x = 56;"), "{printed}");
     }

@@ -11,6 +11,7 @@
 //! fused kernel can keep as many resident blocks as the originals.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cuda_frontend::ast::Function;
 use cuda_frontend::FrontendError;
@@ -123,7 +124,10 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { d0: 1024, granularity: 128 }
+        Self {
+            d0: 1024,
+            granularity: 128,
+        }
     }
 }
 
@@ -177,25 +181,25 @@ fn compile_fused(fused: &FusedKernel, bound: Option<u32>) -> Result<KernelIr, Hf
     Ok(ir)
 }
 
-/// Profiles a compiled fused kernel on a fresh copy of the base memory.
+/// Profiles a compiled fused kernel on a fresh copy of the base device
+/// state. The argument list, grid, and shared-memory size are precomputed
+/// once by the caller; cloning the base device only bumps buffer refcounts
+/// (copy-on-write), and `ir` is shared, so each profile is cheap to set up.
 fn profile_fused(
-    cfg: &GpuConfig,
     base: &Gpu,
-    ir: &KernelIr,
-    in1: &FusionInput,
-    in2: &FusionInput,
+    ir: &Arc<KernelIr>,
+    args: &[ParamValue],
+    grid_dim: u32,
+    dynamic_shared_bytes: u32,
     d0: u32,
 ) -> Result<SearchCandidate, HfuseError> {
     let mut gpu = base.clone();
-    debug_assert_eq!(cfg, gpu.config());
-    let mut args = in1.args.clone();
-    args.extend(in2.args.iter().copied());
     let launch = Launch {
-        kernel: ir.clone(),
-        grid_dim: in1.grid_dim.max(in2.grid_dim),
+        kernel: Arc::clone(ir),
+        grid_dim,
         block_dim: (d0, 1, 1),
-        dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
-        args,
+        dynamic_shared_bytes,
+        args: args.to_vec(),
     };
     let res = gpu.run(&[launch])?;
     Ok(SearchCandidate {
@@ -224,7 +228,10 @@ pub fn register_bound(
 ) -> u32 {
     let b1 = cfg.regs_per_sm / (d1 * nregs1).max(1);
     let b2 = cfg.regs_per_sm / (d2 * nregs2).max(1);
-    let b_sh = if shmem_fused == 0 { u32::MAX } else { cfg.shared_per_sm / shmem_fused };
+    let b_sh = cfg
+        .shared_per_sm
+        .checked_div(shmem_fused)
+        .unwrap_or(u32::MAX);
     let b_th = cfg.max_threads_per_sm / d0.max(1);
     let b0 = b1.min(b2).min(b_sh).min(b_th).max(1);
     (cfg.regs_per_sm / (b0 * d0).max(1)).max(1)
@@ -277,7 +284,7 @@ pub fn search_fusion_config(
         d2: u32,
         bound: Option<u32>,
         fused: FusedKernel,
-        ir: KernelIr,
+        ir: Arc<KernelIr>,
     }
     let mut compiled: Vec<Candidate> = Vec::new();
     for (d1, d2) in partitions {
@@ -288,13 +295,31 @@ pub fn search_fusion_config(
             continue;
         };
         let d0 = d1 + d2;
-        let ir = compile_fused(&fused, None)?;
+        let ir = Arc::new(compile_fused(&fused, None)?);
         let shmem_fused = ir.shared_bytes(in1.dynamic_shared + in2.dynamic_shared);
         let r0 = register_bound(&cfg, d1, nregs1, d2, nregs2, shmem_fused, d0);
-        let ir_capped = compile_fused(&fused, Some(r0))?;
-        compiled.push(Candidate { d1, d2, bound: None, fused: fused.clone(), ir });
-        compiled.push(Candidate { d1, d2, bound: Some(r0), fused, ir: ir_capped });
+        let ir_capped = Arc::new(compile_fused(&fused, Some(r0))?);
+        compiled.push(Candidate {
+            d1,
+            d2,
+            bound: None,
+            fused: fused.clone(),
+            ir,
+        });
+        compiled.push(Candidate {
+            d1,
+            d2,
+            bound: Some(r0),
+            fused,
+            ir: ir_capped,
+        });
     }
+
+    // Shared profile inputs, computed once for the whole sweep.
+    debug_assert_eq!(&cfg, base.config());
+    let fused_args: Vec<ParamValue> = in1.args.iter().chain(in2.args.iter()).copied().collect();
+    let fused_grid = in1.grid_dim.max(in2.grid_dim);
+    let fused_dyn_shared = in1.dynamic_shared + in2.dynamic_shared;
 
     // `HFUSE_SEARCH_THREADS` overrides the worker count (useful both to
     // force the parallel path on single-core CI and to cap it on shared
@@ -304,11 +329,19 @@ pub fn search_fusion_config(
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .min(8);
-    let results: Vec<Result<SearchCandidate, HfuseError>> = if threads <= 1 || compiled.len() <= 1
-    {
+    let results: Vec<Result<SearchCandidate, HfuseError>> = if threads <= 1 || compiled.len() <= 1 {
         compiled
             .iter()
-            .map(|c| profile_fused(&cfg, base, &c.ir, in1, in2, c.d1 + c.d2))
+            .map(|c| {
+                profile_fused(
+                    base,
+                    &c.ir,
+                    &fused_args,
+                    fused_grid,
+                    fused_dyn_shared,
+                    c.d1 + c.d2,
+                )
+            })
             .collect()
     } else {
         let mut slots: Vec<Option<Result<SearchCandidate, HfuseError>>> =
@@ -320,16 +353,26 @@ pub fn search_fusion_config(
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(cand) = compiled.get(i) else { break };
-                    let r = profile_fused(&cfg, base, &cand.ir, in1, in2, cand.d1 + cand.d2);
+                    let r = profile_fused(
+                        base,
+                        &cand.ir,
+                        &fused_args,
+                        fused_grid,
+                        fused_dyn_shared,
+                        cand.d1 + cand.d2,
+                    );
                     slots_mutex.lock().expect("no panics while profiling")[i] = Some(r);
                 });
             }
         });
-        slots.into_iter().map(|r| r.expect("every candidate profiled")).collect()
+        slots
+            .into_iter()
+            .map(|r| r.expect("every candidate profiled"))
+            .collect()
     };
 
     let mut candidates = Vec::new();
-    let mut best: Option<(u64, usize, Function, KernelIr)> = None;
+    let mut best: Option<(u64, usize, Function, Arc<KernelIr>)> = None;
     for (cand, result) in compiled.into_iter().zip(results) {
         match result {
             Ok(mut c) => {
@@ -349,10 +392,16 @@ pub fn search_fusion_config(
         }
     }
 
-    let (_, best_idx, best_function, best_kernel) = best.ok_or_else(|| {
-        HfuseError::Config("no feasible fusion configuration found".to_owned())
-    })?;
-    Ok(SearchReport { candidates, best_idx, best_function, best_kernel, d0: opts.d0 })
+    let (_, best_idx, best_function, best_kernel) = best
+        .ok_or_else(|| HfuseError::Config("no feasible fusion configuration found".to_owned()))?;
+    let best_kernel = Arc::try_unwrap(best_kernel).unwrap_or_else(|shared| (*shared).clone());
+    Ok(SearchReport {
+        candidates,
+        best_idx,
+        best_function,
+        best_kernel,
+        d0: opts.d0,
+    })
 }
 
 /// Measures native co-execution of the two kernels (two launches on
@@ -372,7 +421,7 @@ pub fn measure_native(
             .dims(inp.default_threads)
             .ok_or_else(|| HfuseError::Config("bad default block shape".to_owned()))?;
         Ok(Launch {
-            kernel: lower_kernel(&inp.kernel)?,
+            kernel: lower_kernel(&inp.kernel)?.into(),
             grid_dim: inp.grid_dim,
             block_dim: dims,
             dynamic_shared_bytes: inp.dynamic_shared,
@@ -394,7 +443,7 @@ pub fn measure_single(base: &Gpu, inp: &FusionInput) -> Result<gpu_sim::RunResul
         .dims(inp.default_threads)
         .ok_or_else(|| HfuseError::Config("bad default block shape".to_owned()))?;
     let launch = Launch {
-        kernel: lower_kernel(&inp.kernel)?,
+        kernel: lower_kernel(&inp.kernel)?.into(),
         grid_dim: inp.grid_dim,
         block_dim: dims,
         dynamic_shared_bytes: inp.dynamic_shared,
@@ -415,7 +464,9 @@ pub fn measure_vertical(
     in2: &FusionInput,
 ) -> Result<gpu_sim::RunResult, HfuseError> {
     if in1.grid_dim != in2.grid_dim {
-        return Err(HfuseError::Config("vertical fusion requires equal grids".to_owned()));
+        return Err(HfuseError::Config(
+            "vertical fusion requires equal grids".to_owned(),
+        ));
     }
     let threads = in1.default_threads.max(in2.default_threads);
     let dims1 = in1
@@ -429,7 +480,7 @@ pub fn measure_vertical(
     let mut args = in1.args.clone();
     args.extend(in2.args.iter().copied());
     let launch = Launch {
-        kernel: lower_kernel(&v.function)?,
+        kernel: lower_kernel(&v.function)?.into(),
         grid_dim: in1.grid_dim,
         block_dim: (v.block_threads, 1, 1),
         dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
@@ -467,7 +518,7 @@ pub fn measure_naive_horizontal(
     let mut args = in1.args.clone();
     args.extend(in2.args.iter().copied());
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: in1.grid_dim.max(in2.grid_dim),
         block_dim: (d1 + d2, 1, 1),
         dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
@@ -557,7 +608,10 @@ mod tests {
             &gpu,
             &in1,
             &in2,
-            SearchOptions { d0: 512, granularity: 128 },
+            SearchOptions {
+                d0: 512,
+                granularity: 128,
+            },
         )
         .expect("search");
         // 3 partitions × 2 register variants.
@@ -614,14 +668,14 @@ mod tests {
         native
             .run_functional(&[
                 Launch {
-                    kernel: lower_kernel(&in1.kernel).expect("lower"),
+                    kernel: lower_kernel(&in1.kernel).expect("lower").into(),
                     grid_dim: 4,
                     block_dim: (256, 1, 1),
                     dynamic_shared_bytes: 0,
                     args: in1.args.clone(),
                 },
                 Launch {
-                    kernel: lower_kernel(&in2.kernel).expect("lower"),
+                    kernel: lower_kernel(&in2.kernel).expect("lower").into(),
                     grid_dim: 4,
                     block_dim: (256, 1, 1),
                     dynamic_shared_bytes: 0,
@@ -636,7 +690,7 @@ mod tests {
         let mut args = in1.args.clone();
         args.extend(in2.args.iter().copied());
         gpu2.run_functional(&[Launch {
-            kernel: lower_kernel(&fused.function).expect("lower"),
+            kernel: lower_kernel(&fused.function).expect("lower").into(),
             grid_dim: 4,
             block_dim: (512, 1, 1),
             dynamic_shared_bytes: 0,

@@ -96,7 +96,10 @@ fn fuse_impl(
 
     if let (Some(dims1), Some(dims2)) = (dims1, dims2) {
         let gtid = "__vf_gtid";
-        body.push(decl_i32(gtid, Some(Expr::Builtin(BuiltinVar::ThreadIdx(Axis::X)))));
+        body.push(decl_i32(
+            gtid,
+            Some(Expr::Builtin(BuiltinVar::ThreadIdx(Axis::X))),
+        ));
         let remap1 = ThreadRemap::new("__vf_k1", dims1, Expr::ident(gtid));
         let remap2 = ThreadRemap::new("__vf_k2", dims2, Expr::ident(gtid));
         body.extend(remap1.decls());
@@ -213,7 +216,8 @@ mod tests {
 
     #[test]
     fn shaped_fusion_remaps_builtins() {
-        let a = k("__global__ void a(float* x) { x[threadIdx.x + threadIdx.y * blockDim.x] = 1.0f; }");
+        let a =
+            k("__global__ void a(float* x) { x[threadIdx.x + threadIdx.y * blockDim.x] = 1.0f; }");
         let b = k("__global__ void b(float* y) { y[threadIdx.x] = 2.0f; }");
         let v = vertical_fuse_shaped(&a, (32, 16, 1), &b, (512, 1, 1)).expect("vfuse");
         assert_eq!(v.block_threads, 512);

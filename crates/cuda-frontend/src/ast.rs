@@ -178,7 +178,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators (result type `int` 0/1).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// True for the short-circuiting logical operators.
@@ -412,7 +415,9 @@ impl Block {
 
 impl FromIterator<Stmt> for Block {
     fn from_iter<I: IntoIterator<Item = Stmt>>(iter: I) -> Self {
-        Block { stmts: iter.into_iter().collect() }
+        Block {
+            stmts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -539,7 +544,11 @@ mod tests {
         // 2 * 2 * WARP_SIZE + WARP_SIZE with WARP_SIZE already expanded to 32.
         let e = Expr::bin(
             BinOp::Add,
-            Expr::bin(BinOp::Mul, Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(2)), Expr::int(32)),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(2)),
+                Expr::int(32),
+            ),
             Expr::int(32),
         );
         assert_eq!(const_eval_int(&e), Some(160));

@@ -11,12 +11,18 @@ pub struct FrontendError {
 impl FrontendError {
     /// Creates an error without source-position information.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into(), line: None }
+        Self {
+            message: message.into(),
+            line: None,
+        }
     }
 
     /// Creates an error attached to a 1-based source line.
     pub fn at_line(message: impl Into<String>, line: u32) -> Self {
-        Self { message: message.into(), line: Some(line) }
+        Self {
+            message: message.into(),
+            line: Some(line),
+        }
     }
 
     /// The human-readable message (without position).
@@ -78,7 +84,10 @@ mod tests {
         let src = "__global__ void k(int n) {\n  n = ;\n}";
         let e = FrontendError::at_line("expected expression", 2);
         let rendered = e.render(src);
-        assert!(rendered.contains("error: expected expression"), "{rendered}");
+        assert!(
+            rendered.contains("error: expected expression"),
+            "{rendered}"
+        );
         assert!(rendered.contains("  2 |   n = ;"), "{rendered}");
     }
 

@@ -70,7 +70,8 @@ impl<'a> Lexer<'a> {
                 b'\n' => {
                     self.bump();
                     if self.in_directive {
-                        self.out.push(Token::new(TokenKind::DirectiveEnd, self.line - 1));
+                        self.out
+                            .push(Token::new(TokenKind::DirectiveEnd, self.line - 1));
                         self.in_directive = false;
                     }
                     self.at_line_start = true;
@@ -127,7 +128,8 @@ impl<'a> Lexer<'a> {
             }
         }
         if self.in_directive {
-            self.out.push(Token::new(TokenKind::DirectiveEnd, self.line));
+            self.out
+                .push(Token::new(TokenKind::DirectiveEnd, self.line));
         }
         Ok(self.out)
     }
@@ -153,7 +155,10 @@ impl<'a> Lexer<'a> {
                 }
                 Some(c) => s.push(c as char),
                 None => {
-                    return Err(FrontendError::at_line("unterminated string literal", start_line))
+                    return Err(FrontendError::at_line(
+                        "unterminated string literal",
+                        start_line,
+                    ))
                 }
             }
         }
@@ -247,21 +252,28 @@ impl<'a> Lexer<'a> {
         }
 
         if is_float {
-            let value: f64 = digits
-                .parse()
-                .map_err(|_| FrontendError::at_line(format!("bad float literal `{digits}`"), line))?;
+            let value: f64 = digits.parse().map_err(|_| {
+                FrontendError::at_line(format!("bad float literal `{digits}`"), line)
+            })?;
             self.push(TokenKind::FloatLit { value, single });
         } else {
-            let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+            let value = if let Some(hex) = digits
+                .strip_prefix("0x")
+                .or_else(|| digits.strip_prefix("0X"))
             {
-                u64::from_str_radix(hex, 16)
-                    .map_err(|_| FrontendError::at_line(format!("bad hex literal `{digits}`"), line))?
+                u64::from_str_radix(hex, 16).map_err(|_| {
+                    FrontendError::at_line(format!("bad hex literal `{digits}`"), line)
+                })?
             } else {
                 digits.parse().map_err(|_| {
                     FrontendError::at_line(format!("bad integer literal `{digits}`"), line)
                 })?
             };
-            self.push(TokenKind::IntLit { value, unsigned, long });
+            self.push(TokenKind::IntLit {
+                value,
+                unsigned,
+                long,
+            });
         }
         Ok(())
     }
@@ -366,7 +378,11 @@ mod tests {
     use crate::token::Punct as P;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lex failed").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex failed")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -375,7 +391,11 @@ mod tests {
             kinds("foo 42"),
             vec![
                 TokenKind::Ident("foo".into()),
-                TokenKind::IntLit { value: 42, unsigned: false, long: false }
+                TokenKind::IntLit {
+                    value: 42,
+                    unsigned: false,
+                    long: false
+                }
             ]
         );
     }
@@ -385,8 +405,16 @@ mod tests {
         assert_eq!(
             kinds("0xFFu 7ull"),
             vec![
-                TokenKind::IntLit { value: 255, unsigned: true, long: false },
-                TokenKind::IntLit { value: 7, unsigned: true, long: true },
+                TokenKind::IntLit {
+                    value: 255,
+                    unsigned: true,
+                    long: false
+                },
+                TokenKind::IntLit {
+                    value: 7,
+                    unsigned: true,
+                    long: true
+                },
             ]
         );
     }
@@ -396,9 +424,18 @@ mod tests {
         assert_eq!(
             kinds("1.5f 2.0 1e3"),
             vec![
-                TokenKind::FloatLit { value: 1.5, single: true },
-                TokenKind::FloatLit { value: 2.0, single: false },
-                TokenKind::FloatLit { value: 1000.0, single: false },
+                TokenKind::FloatLit {
+                    value: 1.5,
+                    single: true
+                },
+                TokenKind::FloatLit {
+                    value: 2.0,
+                    single: false
+                },
+                TokenKind::FloatLit {
+                    value: 1000.0,
+                    single: false
+                },
             ]
         );
     }
@@ -422,11 +459,23 @@ mod tests {
         assert_eq!(
             kinds("1 << 2 <= 3"),
             vec![
-                TokenKind::IntLit { value: 1, unsigned: false, long: false },
+                TokenKind::IntLit {
+                    value: 1,
+                    unsigned: false,
+                    long: false
+                },
                 TokenKind::Punct(P::Shl),
-                TokenKind::IntLit { value: 2, unsigned: false, long: false },
+                TokenKind::IntLit {
+                    value: 2,
+                    unsigned: false,
+                    long: false
+                },
                 TokenKind::Punct(P::Le),
-                TokenKind::IntLit { value: 3, unsigned: false, long: false },
+                TokenKind::IntLit {
+                    value: 3,
+                    unsigned: false,
+                    long: false
+                },
             ]
         );
     }
@@ -451,7 +500,10 @@ mod tests {
     fn directive_line_continuation() {
         let ks = kinds("#define N 1 + \\\n 2\ny");
         // The continuation keeps both `1 + 2` inside the directive.
-        let end = ks.iter().position(|k| *k == TokenKind::DirectiveEnd).expect("end");
+        let end = ks
+            .iter()
+            .position(|k| *k == TokenKind::DirectiveEnd)
+            .expect("end");
         assert_eq!(end, 6); // # define N 1 + 2
     }
 
@@ -462,7 +514,10 @@ mod tests {
 
     #[test]
     fn string_literal_with_escapes() {
-        assert_eq!(kinds(r#""bar.sync 1, 896;""#), vec![TokenKind::StrLit("bar.sync 1, 896;".into())]);
+        assert_eq!(
+            kinds(r#""bar.sync 1, 896;""#),
+            vec![TokenKind::StrLit("bar.sync 1, 896;".into())]
+        );
     }
 
     #[test]

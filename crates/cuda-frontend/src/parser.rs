@@ -62,8 +62,9 @@ struct Parser {
     pos: usize,
 }
 
-const TYPE_KEYWORDS: &[&str] =
-    &["void", "bool", "int", "unsigned", "long", "float", "double", "signed"];
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "bool", "int", "unsigned", "long", "float", "double", "signed",
+];
 
 impl Parser {
     fn at_end(&self) -> bool {
@@ -243,7 +244,13 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(Function { name, params, ret, is_kernel, body })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            is_kernel,
+            body,
+        })
     }
 
     // ---- statements ---------------------------------------------------------
@@ -322,7 +329,12 @@ impl Parser {
                 };
                 self.expect_punct(Punct::RParen)?;
                 let body = self.stmt_as_block()?;
-                out.push(Stmt::For { init, cond, step, body });
+                out.push(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                });
             }
             Some("while") => {
                 self.pos += 1;
@@ -470,7 +482,13 @@ impl Parser {
             } else {
                 None
             };
-            out.push(Stmt::Decl(VarDecl { name, ty, quals, array_len, init }));
+            out.push(Stmt::Decl(VarDecl {
+                name,
+                ty,
+                quals,
+                array_len,
+                init,
+            }));
             if self.eat_punct(Punct::Semi) {
                 break;
             }
@@ -500,13 +518,19 @@ impl Parser {
                 if cases.iter().any(|c| c.value == Some(value)) {
                     return Err(self.error(format!("duplicate case label {value}")));
                 }
-                cases.push(SwitchCase { value: Some(value), body: Vec::new() });
+                cases.push(SwitchCase {
+                    value: Some(value),
+                    body: Vec::new(),
+                });
             } else if self.eat_ident("default") {
                 self.expect_punct(Punct::Colon)?;
                 if cases.iter().any(|c| c.value.is_none()) {
                     return Err(self.error("duplicate default label"));
                 }
-                cases.push(SwitchCase { value: None, body: Vec::new() });
+                cases.push(SwitchCase {
+                    value: None,
+                    body: Vec::new(),
+                });
             } else {
                 let case = cases
                     .last_mut()
@@ -539,7 +563,9 @@ impl Parser {
         }
         self.expect_punct(Punct::Semi)?;
         parse_bar_sync(&text).ok_or_else(|| {
-            self.error(format!("unsupported inline asm `{text}` (only `bar.sync id, count;`)"))
+            self.error(format!(
+                "unsupported inline asm `{text}` (only `bar.sync id, count;`)"
+            ))
         })
     }
 
@@ -583,7 +609,11 @@ impl Parser {
             let then_e = self.expr()?;
             self.expect_punct(Punct::Colon)?;
             let else_e = self.ternary_expr()?;
-            Ok(Expr::Ternary(Box::new(cond), Box::new(then_e), Box::new(else_e)))
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(else_e),
+            ))
         } else {
             Ok(cond)
         }
@@ -592,13 +622,9 @@ impl Parser {
     /// Precedence-climbing binary expression parser.
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, FrontendError> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let (op, prec) = match self.peek() {
-                Some(TokenKind::Punct(p)) => match binop_of_punct(*p) {
-                    Some(pair) => pair,
-                    None => break,
-                },
-                _ => break,
+        while let Some(TokenKind::Punct(p)) = self.peek() {
+            let Some((op, prec)) = binop_of_punct(*p) else {
+                break;
             };
             if prec < min_prec {
                 break;
@@ -639,12 +665,20 @@ impl Parser {
             Some(TokenKind::Punct(Punct::PlusPlus)) => {
                 self.pos += 1;
                 let target = self.unary_expr()?;
-                Ok(Expr::IncDec { inc: true, pre: true, target: Box::new(target) })
+                Ok(Expr::IncDec {
+                    inc: true,
+                    pre: true,
+                    target: Box::new(target),
+                })
             }
             Some(TokenKind::Punct(Punct::MinusMinus)) => {
                 self.pos += 1;
                 let target = self.unary_expr()?;
-                Ok(Expr::IncDec { inc: false, pre: true, target: Box::new(target) })
+                Ok(Expr::IncDec {
+                    inc: false,
+                    pre: true,
+                    target: Box::new(target),
+                })
             }
             // C-style cast: `(` type ... `)` unary
             Some(TokenKind::Punct(Punct::LParen)) if self.is_cast_start() => {
@@ -670,11 +704,19 @@ impl Parser {
                 }
                 Some(TokenKind::Punct(Punct::PlusPlus)) => {
                     self.pos += 1;
-                    e = Expr::IncDec { inc: true, pre: false, target: Box::new(e) };
+                    e = Expr::IncDec {
+                        inc: true,
+                        pre: false,
+                        target: Box::new(e),
+                    };
                 }
                 Some(TokenKind::Punct(Punct::MinusMinus)) => {
                     self.pos += 1;
-                    e = Expr::IncDec { inc: false, pre: false, target: Box::new(e) };
+                    e = Expr::IncDec {
+                        inc: false,
+                        pre: false,
+                        target: Box::new(e),
+                    };
                 }
                 Some(TokenKind::Punct(Punct::Dot)) => {
                     return Err(self.error("`.` member access is only valid on builtin variables"));
@@ -687,7 +729,11 @@ impl Parser {
 
     fn primary_expr(&mut self) -> Result<Expr, FrontendError> {
         match self.peek().cloned() {
-            Some(TokenKind::IntLit { value, unsigned, long }) => {
+            Some(TokenKind::IntLit {
+                value,
+                unsigned,
+                long,
+            }) => {
                 self.pos += 1;
                 let ty = match (unsigned, long) {
                     (false, false) => {
@@ -705,7 +751,10 @@ impl Parser {
             }
             Some(TokenKind::FloatLit { value, single }) => {
                 self.pos += 1;
-                Ok(Expr::FloatLit(value, if single { Ty::F32 } else { Ty::F64 }))
+                Ok(Expr::FloatLit(
+                    value,
+                    if single { Ty::F32 } else { Ty::F64 },
+                ))
             }
             Some(TokenKind::Punct(Punct::LParen)) => {
                 self.pos += 1;
@@ -900,7 +949,11 @@ mod tests {
     fn precedence_mul_over_add() {
         assert_eq!(
             expr("1 + 2 * 3"),
-            Expr::bin(BinOp::Add, Expr::int(1), Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3)))
+            Expr::bin(
+                BinOp::Add,
+                Expr::int(1),
+                Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3))
+            )
         );
     }
 
@@ -908,7 +961,11 @@ mod tests {
     fn shift_precedence_below_add() {
         assert_eq!(
             expr("1 << 2 + 3"),
-            Expr::bin(BinOp::Shl, Expr::int(1), Expr::bin(BinOp::Add, Expr::int(2), Expr::int(3)))
+            Expr::bin(
+                BinOp::Shl,
+                Expr::int(1),
+                Expr::bin(BinOp::Add, Expr::int(2), Expr::int(3))
+            )
         );
     }
 
@@ -916,7 +973,11 @@ mod tests {
     fn left_associativity() {
         assert_eq!(
             expr("1 - 2 - 3"),
-            Expr::bin(BinOp::Sub, Expr::bin(BinOp::Sub, Expr::int(1), Expr::int(2)), Expr::int(3))
+            Expr::bin(
+                BinOp::Sub,
+                Expr::bin(BinOp::Sub, Expr::int(1), Expr::int(2)),
+                Expr::int(3)
+            )
         );
     }
 
@@ -934,8 +995,14 @@ mod tests {
 
     #[test]
     fn compound_assignment() {
-        assert!(matches!(expr("x += 2"), Expr::Assign(AssignOp::Compound(BinOp::Add), ..)));
-        assert!(matches!(expr("x <<= 1"), Expr::Assign(AssignOp::Compound(BinOp::Shl), ..)));
+        assert!(matches!(
+            expr("x += 2"),
+            Expr::Assign(AssignOp::Compound(BinOp::Add), ..)
+        ));
+        assert!(matches!(
+            expr("x <<= 1"),
+            Expr::Assign(AssignOp::Compound(BinOp::Shl), ..)
+        ));
     }
 
     #[test]
@@ -945,14 +1012,23 @@ mod tests {
 
     #[test]
     fn builtin_variables() {
-        assert_eq!(expr("threadIdx.x"), Expr::Builtin(BuiltinVar::ThreadIdx(Axis::X)));
-        assert_eq!(expr("gridDim.y"), Expr::Builtin(BuiltinVar::GridDim(Axis::Y)));
+        assert_eq!(
+            expr("threadIdx.x"),
+            Expr::Builtin(BuiltinVar::ThreadIdx(Axis::X))
+        );
+        assert_eq!(
+            expr("gridDim.y"),
+            Expr::Builtin(BuiltinVar::GridDim(Axis::Y))
+        );
         assert!(parse_expr("threadIdx.w").is_err());
     }
 
     #[test]
     fn cast_expressions() {
-        assert_eq!(expr("(float)x"), Expr::Cast(Ty::F32, Box::new(Expr::ident("x"))));
+        assert_eq!(
+            expr("(float)x"),
+            Expr::Cast(Ty::F32, Box::new(Expr::ident("x")))
+        );
         assert_eq!(
             expr("(float*)p"),
             Expr::Cast(Ty::F32.ptr_to(), Box::new(Expr::ident("p")))
@@ -961,7 +1037,10 @@ mod tests {
             expr("reinterpret_cast<unsigned int*>(p)"),
             Expr::Cast(Ty::U32.ptr_to(), Box::new(Expr::ident("p")))
         );
-        assert_eq!(expr("float(0)"), Expr::Cast(Ty::F32, Box::new(Expr::int(0))));
+        assert_eq!(
+            expr("float(0)"),
+            Expr::Cast(Ty::F32, Box::new(Expr::int(0)))
+        );
     }
 
     #[test]
@@ -983,8 +1062,22 @@ mod tests {
 
     #[test]
     fn inc_dec_forms() {
-        assert!(matches!(expr("i++"), Expr::IncDec { inc: true, pre: false, .. }));
-        assert!(matches!(expr("--i"), Expr::IncDec { inc: false, pre: true, .. }));
+        assert!(matches!(
+            expr("i++"),
+            Expr::IncDec {
+                inc: true,
+                pre: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            expr("--i"),
+            Expr::IncDec {
+                inc: false,
+                pre: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1057,24 +1150,29 @@ mod tests {
 
     #[test]
     fn rejects_non_barrier_asm() {
-        assert!(crate::parse_kernel("__global__ void k(int n) { asm(\"mov.u32 r, 0;\"); }").is_err());
+        assert!(
+            crate::parse_kernel("__global__ void k(int n) { asm(\"mov.u32 r, 0;\"); }").is_err()
+        );
     }
 
     #[test]
     fn parses_goto_and_label() {
-        let f = parse_k(
-            "__global__ void k(int n) { if (n < 0) goto end; n = n + 1; end: ; }",
-        );
-        assert!(f.body.stmts.iter().any(|s| matches!(s, Stmt::Label(l) if l == "end")));
+        let f = parse_k("__global__ void k(int n) { if (n < 0) goto end; n = n + 1; end: ; }");
+        assert!(f
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Label(l) if l == "end")));
     }
 
     #[test]
     fn parses_for_loop_with_decl_init() {
-        let f = parse_k(
-            "__global__ void k(int n) { for (int i = 0; i < n; i += 1) { n = n - 1; } }",
-        );
+        let f =
+            parse_k("__global__ void k(int n) { for (int i = 0; i < n; i += 1) { n = n - 1; } }");
         match &f.body.stmts[0] {
-            Stmt::For { init, cond, step, .. } => {
+            Stmt::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(step.is_some());
@@ -1132,19 +1230,17 @@ mod tests {
             "__global__ void k(int n) { switch (n) { case 1: break; case 1: break; } }"
         )
         .is_err());
-        assert!(crate::parse_kernel(
-            "__global__ void k(int n) { switch (n) { case n: break; } }"
-        )
-        .is_err());
-        assert!(crate::parse_kernel(
-            "__global__ void k(int n) { switch (n) { n = 1; } }"
-        )
-        .is_err());
+        assert!(
+            crate::parse_kernel("__global__ void k(int n) { switch (n) { case n: break; } }")
+                .is_err()
+        );
+        assert!(crate::parse_kernel("__global__ void k(int n) { switch (n) { n = 1; } }").is_err());
     }
 
     #[test]
     fn parses_unbraced_bodies() {
-        let f = parse_k("__global__ void k(int n) { if (n) n = 0; else n = 1; while (n) n = n - 1; }");
+        let f =
+            parse_k("__global__ void k(int n) { if (n) n = 0; else n = 1; while (n) n = n - 1; }");
         assert_eq!(f.body.stmts.len(), 2);
     }
 

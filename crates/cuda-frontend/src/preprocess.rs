@@ -44,7 +44,10 @@ pub fn expand_macros(tokens: Vec<Token>) -> Result<Vec<Token>, FrontendError> {
         }
     }
     if let Some(frame) = conds.last() {
-        return Err(FrontendError::at_line("unterminated #ifdef/#ifndef", frame.line));
+        return Err(FrontendError::at_line(
+            "unterminated #ifdef/#ifndef",
+            frame.line,
+        ));
     }
     Ok(out)
 }
@@ -59,7 +62,9 @@ struct CondFrame {
 /// True when any *enclosing* conditional (all frames but the innermost) is
 /// inactive — an `#else` inside an inactive region must stay inactive.
 fn suppressed_above(conds: &[CondFrame]) -> bool {
-    conds[..conds.len().saturating_sub(1)].iter().any(|c| !c.active)
+    conds[..conds.len().saturating_sub(1)]
+        .iter()
+        .any(|c| !c.active)
 }
 
 /// Parses one directive starting at the `#` token; returns the index just
@@ -79,7 +84,12 @@ fn parse_directive(
         .ok_or_else(|| FrontendError::at_line("unterminated directive", line))?;
     let name = match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(s)) => s.clone(),
-        _ => return Err(FrontendError::at_line("expected directive name after `#`", line)),
+        _ => {
+            return Err(FrontendError::at_line(
+                "expected directive name after `#`",
+                line,
+            ))
+        }
     };
     i += 1;
     let suppressed = !conds.iter().all(|c| c.active);
@@ -93,7 +103,11 @@ fn parse_directive(
         "ifdef" | "ifndef" => {
             let defined = !suppressed && macros.contains_key(&cond_name(i)?);
             let active = !suppressed && (defined == (name == "ifdef"));
-            conds.push(CondFrame { active, taken: active, line });
+            conds.push(CondFrame {
+                active,
+                taken: active,
+                line,
+            });
             return Ok(end + 1);
         }
         "else" => {
@@ -121,53 +135,51 @@ fn parse_directive(
         }
         _ => {}
     }
-    match name.as_str() {
-        "define" => {
-            let mac_name = match tokens.get(i).map(|t| &t.kind) {
-                Some(TokenKind::Ident(s)) if i < end => s.clone(),
-                _ => return Err(FrontendError::at_line("expected macro name", line)),
-            };
+    // Everything but `#define` below this point (#include, #pragma, ...) is
+    // ignored.
+    if name == "define" {
+        let mac_name = match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) if i < end => s.clone(),
+            _ => return Err(FrontendError::at_line("expected macro name", line)),
+        };
+        i += 1;
+        // Function-like only when `(` immediately follows (we do not track
+        // whitespace between tokens, so any `(` right after the name is
+        // treated as a parameter list — sufficient for the dialect).
+        let params = if i < end && tokens[i].kind == TokenKind::Punct(Punct::LParen) {
             i += 1;
-            // Function-like only when `(` immediately follows (we do not track
-            // whitespace between tokens, so any `(` right after the name is
-            // treated as a parameter list — sufficient for the dialect).
-            let params = if i < end && tokens[i].kind == TokenKind::Punct(Punct::LParen) {
-                i += 1;
-                let mut params = Vec::new();
-                if i < end && tokens[i].kind != TokenKind::Punct(Punct::RParen) {
-                    loop {
-                        match tokens.get(i).map(|t| &t.kind) {
-                            Some(TokenKind::Ident(p)) if i < end => params.push(p.clone()),
-                            _ => {
-                                return Err(FrontendError::at_line(
-                                    "expected macro parameter name",
-                                    line,
-                                ))
-                            }
+            let mut params = Vec::new();
+            if i < end && tokens[i].kind != TokenKind::Punct(Punct::RParen) {
+                loop {
+                    match tokens.get(i).map(|t| &t.kind) {
+                        Some(TokenKind::Ident(p)) if i < end => params.push(p.clone()),
+                        _ => {
+                            return Err(FrontendError::at_line(
+                                "expected macro parameter name",
+                                line,
+                            ))
                         }
-                        i += 1;
-                        match tokens.get(i).map(|t| &t.kind) {
-                            Some(TokenKind::Punct(Punct::Comma)) if i < end => i += 1,
-                            Some(TokenKind::Punct(Punct::RParen)) if i < end => break,
-                            _ => {
-                                return Err(FrontendError::at_line(
-                                    "expected `,` or `)` in macro parameter list",
-                                    line,
-                                ))
-                            }
+                    }
+                    i += 1;
+                    match tokens.get(i).map(|t| &t.kind) {
+                        Some(TokenKind::Punct(Punct::Comma)) if i < end => i += 1,
+                        Some(TokenKind::Punct(Punct::RParen)) if i < end => break,
+                        _ => {
+                            return Err(FrontendError::at_line(
+                                "expected `,` or `)` in macro parameter list",
+                                line,
+                            ))
                         }
                     }
                 }
-                i += 1; // consume `)`
-                Some(params)
-            } else {
-                None
-            };
-            let body = tokens[i..end].to_vec();
-            macros.insert(mac_name, Macro { params, body });
-        }
-        // Ignore everything else (#include, #pragma, #ifdef guards, ...).
-        _ => {}
+            }
+            i += 1; // consume `)`
+            Some(params)
+        } else {
+            None
+        };
+        let body = tokens[i..end].to_vec();
+        macros.insert(mac_name, Macro { params, body });
     }
     Ok(end + 1)
 }
@@ -183,7 +195,10 @@ fn expand_at(
 ) -> Result<usize, FrontendError> {
     let tok = &tokens[i];
     if depth > MAX_EXPANSION_DEPTH {
-        return Err(FrontendError::at_line("macro expansion too deep (recursive macro?)", tok.line));
+        return Err(FrontendError::at_line(
+            "macro expansion too deep (recursive macro?)",
+            tok.line,
+        ));
     }
     let name = match tok.kind.as_ident() {
         Some(n) => n.to_owned(),
@@ -227,8 +242,10 @@ fn expand_at(
             }
             let mut substituted = Vec::new();
             for t in &mac.body {
-                if let Some(param_idx) =
-                    t.kind.as_ident().and_then(|id| params.iter().position(|p| p == id))
+                if let Some(param_idx) = t
+                    .kind
+                    .as_ident()
+                    .and_then(|id| params.iter().position(|p| p == id))
                 {
                     substituted.extend(expanded_args[param_idx].iter().cloned());
                 } else {
@@ -316,7 +333,10 @@ mod tests {
 
     #[test]
     fn object_macro_referencing_macro() {
-        assert_eq!(expand("#define A 1\n#define B A + A\nB"), vec!["1", "+", "1"]);
+        assert_eq!(
+            expand("#define A 1\n#define B A + A\nB"),
+            vec!["1", "+", "1"]
+        );
     }
 
     #[test]
@@ -326,7 +346,10 @@ mod tests {
 
     #[test]
     fn function_macro_with_nested_parens_in_arg() {
-        assert_eq!(expand("#define ID(x) x\nID(f(a, b))"), vec!["f", "(", "a", ",", "b", ")"]);
+        assert_eq!(
+            expand("#define ID(x) x\nID(f(a, b))"),
+            vec!["f", "(", "a", ",", "b", ")"]
+        );
     }
 
     #[test]
@@ -362,33 +385,50 @@ mod tests {
     #[test]
     fn ifdef_selects_defined_branch() {
         assert_eq!(
-            expand("#define FAST 1
+            expand(
+                "#define FAST 1
 #ifdef FAST
 a
 #else
 b
 #endif
-c"),
+c"
+            ),
             vec!["a", "c"]
         );
-        assert_eq!(expand("#ifdef FAST
+        assert_eq!(
+            expand(
+                "#ifdef FAST
 a
 #else
 b
 #endif
-c"), vec!["b", "c"]);
+c"
+            ),
+            vec!["b", "c"]
+        );
     }
 
     #[test]
     fn ifndef_is_the_complement() {
-        assert_eq!(expand("#ifndef FAST
+        assert_eq!(
+            expand(
+                "#ifndef FAST
 a
-#endif"), vec!["a"]);
-        assert_eq!(expand("#define FAST 1
+#endif"
+            ),
+            vec!["a"]
+        );
+        assert_eq!(
+            expand(
+                "#define FAST 1
 #ifndef FAST
 a
 #endif
-b"), vec!["b"]);
+b"
+            ),
+            vec!["b"]
+        );
     }
 
     #[test]
@@ -418,10 +458,12 @@ z";
     #[test]
     fn defines_inside_inactive_branch_are_skipped() {
         assert_eq!(
-            expand("#ifdef MISSING
+            expand(
+                "#ifdef MISSING
 #define N 9
 #endif
-N"),
+N"
+            ),
             vec!["N"],
             "N must stay an identifier, not expand to 9"
         );
@@ -429,24 +471,38 @@ N"),
 
     #[test]
     fn undef_removes_macro() {
-        assert_eq!(expand("#define N 4
+        assert_eq!(
+            expand(
+                "#define N 4
 #undef N
-N"), vec!["N"]);
+N"
+            ),
+            vec!["N"]
+        );
     }
 
     #[test]
     fn unterminated_ifdef_is_error() {
         let toks = lex("#ifdef A
-x").expect("lex");
+x")
+        .expect("lex");
         assert!(expand_macros(toks).is_err());
     }
 
     #[test]
     fn stray_else_and_endif_are_errors() {
-        assert!(expand_macros(lex("#else
-").expect("lex")).is_err());
-        assert!(expand_macros(lex("#endif
-").expect("lex")).is_err());
+        assert!(expand_macros(
+            lex("#else
+")
+            .expect("lex")
+        )
+        .is_err());
+        assert!(expand_macros(
+            lex("#endif
+")
+            .expect("lex")
+        )
+        .is_err());
     }
 
     #[test]

@@ -6,9 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::ast::{
-    ArrayLen, Block, Expr, Function, Stmt, TranslationUnit, Ty, UnOp, VarDecl,
-};
+use crate::ast::{ArrayLen, Block, Expr, Function, Stmt, TranslationUnit, Ty, UnOp, VarDecl};
 
 /// Pretty-prints a whole translation unit.
 pub fn print_translation_unit(tu: &TranslationUnit) -> String {
@@ -50,7 +48,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Self { out: String::new(), indent: 0 }
+        Self {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line_start(&mut self) {
@@ -118,7 +119,12 @@ impl Printer {
                 }
                 self.out.push('\n');
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.out.push_str("for (");
                 match init.as_deref() {
                     Some(Stmt::Decl(d)) => self.decl(d),
@@ -161,7 +167,7 @@ impl Printer {
                     self.line_start();
                     match case.value {
                         Some(v) => {
-                            let _ = write!(self.out, "case {v}:\n");
+                            let _ = writeln!(self.out, "case {v}:");
                         }
                         None => self.out.push_str("default:\n"),
                     }
@@ -265,7 +271,12 @@ impl Printer {
                 let clash = *op == UnOp::Neg
                     && matches!(
                         inner.as_ref(),
-                        Expr::Unary(UnOp::Neg, _) | Expr::IncDec { inc: false, pre: true, .. }
+                        Expr::Unary(UnOp::Neg, _)
+                            | Expr::IncDec {
+                                inc: false,
+                                pre: true,
+                                ..
+                            }
                     );
                 self.expr(inner, if clash { POSTFIX_PREC + 1 } else { UNARY_PREC });
             }
@@ -462,7 +473,8 @@ mod tests {
 
     #[test]
     fn prints_translation_unit() {
-        let src = "__device__ int sq(int x) { return x * x; }\n__global__ void k(int n) { n = sq(n); }\n";
+        let src =
+            "__device__ int sq(int x) { return x * x; }\n__global__ void k(int n) { n = sq(n); }\n";
         let tu = parse_translation_unit(src).expect("parse");
         let printed = print_translation_unit(&tu);
         let tu2 = parse_translation_unit(&printed).expect("reparse");
@@ -472,7 +484,10 @@ mod tests {
     #[test]
     fn prints_ternary_nested() {
         assert_eq!(round_trip_expr("a ? b : c ? d : e"), "a ? b : c ? d : e");
-        assert_eq!(round_trip_expr("(a ? b : c) ? d : e"), "(a ? b : c) ? d : e");
+        assert_eq!(
+            round_trip_expr("(a ? b : c) ? d : e"),
+            "(a ? b : c) ? d : e"
+        );
     }
 
     #[test]

@@ -23,8 +23,7 @@ const MAX_INLINE_DEPTH: u32 = 32;
 /// explicitly leaves recursion unsupported — for unsupported callee shapes,
 /// and for calls in positions that cannot be hoisted (loop conditions).
 pub fn inline_calls(kernel: &mut Function, helpers: &[Function]) -> Result<(), FrontendError> {
-    let by_name: HashMap<&str, &Function> =
-        helpers.iter().map(|f| (f.name.as_str(), f)).collect();
+    let by_name: HashMap<&str, &Function> = helpers.iter().map(|f| (f.name.as_str(), f)).collect();
     let mut names = NameGen::new();
     let body = std::mem::take(&mut kernel.body);
     kernel.body = inline_block(body, &by_name, &mut names, 0)?;
@@ -65,10 +64,17 @@ fn inline_stmt(
         Stmt::If(mut c, t, e) => {
             hoist_calls_in_expr(&mut c, helpers, names, depth, out)?;
             let t = inline_block(t, helpers, names, depth)?;
-            let e = e.map(|b| inline_block(b, helpers, names, depth)).transpose()?;
+            let e = e
+                .map(|b| inline_block(b, helpers, names, depth))
+                .transpose()?;
             out.push(Stmt::If(c, t, e));
         }
-        Stmt::For { init, mut cond, mut step, body } => {
+        Stmt::For {
+            init,
+            mut cond,
+            mut step,
+            body,
+        } => {
             let init = match init {
                 Some(s) => {
                     let mut pre = Vec::new();
@@ -88,7 +94,12 @@ fn inline_stmt(
                 reject_calls(s, helpers, "loop step")?;
             }
             let body = inline_block(body, helpers, names, depth)?;
-            out.push(Stmt::For { init, cond, step, body });
+            out.push(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         Stmt::While(mut c, body) => {
             reject_calls(&mut c, helpers, "loop condition")?;
@@ -108,19 +119,23 @@ fn inline_stmt(
             let b = inline_block(b, helpers, names, depth)?;
             out.push(Stmt::Block(b));
         }
-        Stmt::Switch { mut scrutinee, cases } => {
+        Stmt::Switch {
+            mut scrutinee,
+            cases,
+        } => {
             hoist_calls_in_expr(&mut scrutinee, helpers, names, depth, out)?;
             let mut new_cases = Vec::with_capacity(cases.len());
             for case in cases {
-                let body = inline_block(
-                    crate::ast::Block::new(case.body),
-                    helpers,
-                    names,
-                    depth,
-                )?;
-                new_cases.push(crate::ast::SwitchCase { value: case.value, body: body.stmts });
+                let body = inline_block(crate::ast::Block::new(case.body), helpers, names, depth)?;
+                new_cases.push(crate::ast::SwitchCase {
+                    value: case.value,
+                    body: body.stmts,
+                });
             }
-            out.push(Stmt::Switch { scrutinee, cases: new_cases });
+            out.push(Stmt::Switch {
+                scrutinee,
+                cases: new_cases,
+            });
         }
         other => out.push(other),
     }
@@ -237,17 +252,16 @@ fn hoist_calls_in_expr(
 
     // Split off the trailing return, if any.
     let mut stmts = body_fn.body.stmts;
-    let has_other_returns =
-        |ss: &mut [Stmt]| {
-            let mut found = false;
-            let mut block = Block { stmts: ss.to_vec() };
-            crate::transform::visit::walk_stmts(&mut block, &mut |s| {
-                if matches!(s, Stmt::Return(_)) {
-                    found = true;
-                }
-            });
-            found
-        };
+    let has_other_returns = |ss: &mut [Stmt]| {
+        let mut found = false;
+        let mut block = Block { stmts: ss.to_vec() };
+        crate::transform::visit::walk_stmts(&mut block, &mut |s| {
+            if matches!(s, Stmt::Return(_)) {
+                found = true;
+            }
+        });
+        found
+    };
     let result_expr = match stmts.last() {
         Some(Stmt::Return(Some(_))) => match stmts.pop() {
             Some(Stmt::Return(Some(expr))) => Some(expr),
@@ -307,10 +321,18 @@ mod tests {
 
     fn inline_first_kernel(src: &str) -> Result<Function, FrontendError> {
         let tu = parse_translation_unit(src)?;
-        let helpers: Vec<Function> =
-            tu.functions.iter().filter(|f| !f.is_kernel).cloned().collect();
-        let mut kernel =
-            tu.functions.iter().find(|f| f.is_kernel).expect("kernel present").clone();
+        let helpers: Vec<Function> = tu
+            .functions
+            .iter()
+            .filter(|f| !f.is_kernel)
+            .cloned()
+            .collect();
+        let mut kernel = tu
+            .functions
+            .iter()
+            .find(|f| f.is_kernel)
+            .expect("kernel present")
+            .clone();
         inline_calls(&mut kernel, &helpers)?;
         Ok(kernel)
     }

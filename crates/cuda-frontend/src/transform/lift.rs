@@ -42,7 +42,12 @@ fn lift_block(block: Block, decls: &mut Vec<VarDecl>) -> Block {
                 lift_block(t, decls),
                 e.map(|b| lift_block(b, decls)),
             )),
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let init = init.map(|s| match *s {
                     Stmt::Decl(mut d) => {
                         let i = d.init.take();
@@ -99,7 +104,11 @@ mod tests {
     }
 
     fn leading_decl_count(f: &Function) -> usize {
-        f.body.stmts.iter().take_while(|s| matches!(s, Stmt::Decl(_))).count()
+        f.body
+            .stmts
+            .iter()
+            .take_while(|s| matches!(s, Stmt::Decl(_)))
+            .count()
     }
 
     fn total_decl_count(f: &Function) -> usize {

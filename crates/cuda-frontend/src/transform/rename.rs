@@ -114,7 +114,12 @@ fn rename_stmt(
                 rename_block(e, scopes, names, labels);
             }
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             // The for-init declaration scopes over cond/step/body.
             scopes.push(HashMap::new());
             if let Some(init) = init {
@@ -160,7 +165,10 @@ fn rename_stmt(
                 *l = fresh.clone();
             }
         }
-        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::SyncThreads
+        Stmt::Return(None)
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::SyncThreads
         | Stmt::BarSync { .. } => {}
     }
 }

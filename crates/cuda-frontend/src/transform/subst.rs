@@ -34,14 +34,12 @@ impl BuiltinSubst {
 
     /// Convenience: maps `threadIdx.{x,y,z}` and `blockDim.{x,y,z}` to the
     /// given identifier names (the prologue variables of the fused kernel).
-    pub fn thread_remap(
-        mut self,
-        tid_names: [&str; 3],
-        dim_names: [&str; 3],
-    ) -> Self {
+    pub fn thread_remap(mut self, tid_names: [&str; 3], dim_names: [&str; 3]) -> Self {
         for (i, axis) in Axis::ALL.iter().enumerate() {
-            self.map.insert(BuiltinVar::ThreadIdx(*axis), Expr::ident(tid_names[i]));
-            self.map.insert(BuiltinVar::BlockDim(*axis), Expr::ident(dim_names[i]));
+            self.map
+                .insert(BuiltinVar::ThreadIdx(*axis), Expr::ident(tid_names[i]));
+            self.map
+                .insert(BuiltinVar::BlockDim(*axis), Expr::ident(dim_names[i]));
         }
         self
     }

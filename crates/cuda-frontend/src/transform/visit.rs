@@ -28,7 +28,12 @@ pub fn walk_exprs_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
                 walk_exprs_block(e, f);
             }
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(init) = init {
                 walk_exprs_stmt(init, f);
             }
@@ -72,9 +77,7 @@ pub fn walk_exprs_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
 pub fn walk_expr(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
     match expr {
         Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Ident(_) | Expr::Builtin(_) => {}
-        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => {
-            walk_expr(a, f)
-        }
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => walk_expr(a, f),
         Expr::IncDec { target, .. } => walk_expr(target, f),
         Expr::Binary(_, a, b) | Expr::Assign(_, a, b) | Expr::Index(a, b) => {
             walk_expr(a, f);

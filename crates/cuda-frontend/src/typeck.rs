@@ -110,7 +110,9 @@ pub struct ScopeStack {
 impl ScopeStack {
     /// Creates an environment with one (outermost) scope.
     pub fn new() -> Self {
-        Self { scopes: vec![HashMap::new()] }
+        Self {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     /// Enters a nested scope.
@@ -130,7 +132,10 @@ impl ScopeStack {
 
     /// Declares a variable in the innermost scope.
     pub fn declare(&mut self, name: impl Into<String>, ty: Ty) {
-        self.scopes.last_mut().expect("at least one scope").insert(name.into(), ty);
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.into(), ty);
     }
 
     /// Looks a variable up, innermost scope first.
@@ -259,7 +264,10 @@ pub fn intrinsic_result_ty(
             Ok(promote(&a, &b))
         }
         Intrinsic::FminF | Intrinsic::FmaxF => Ok(Ty::F32),
-        Intrinsic::FabsF | Intrinsic::SqrtF | Intrinsic::RsqrtF | Intrinsic::ExpF
+        Intrinsic::FabsF
+        | Intrinsic::SqrtF
+        | Intrinsic::RsqrtF
+        | Intrinsic::ExpF
         | Intrinsic::LogF => Ok(Ty::F32),
         Intrinsic::ShflXor | Intrinsic::ShflDown => {
             expr_ty(&args[intrinsic.value_arg(args.len())], env)

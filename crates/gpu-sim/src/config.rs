@@ -183,9 +183,21 @@ mod tests {
     #[test]
     fn presets_match_paper_resources() {
         for cfg in [GpuConfig::pascal_like(), GpuConfig::volta_like()] {
-            assert_eq!(cfg.regs_per_sm, 65536, "{}: paper says 64K registers", cfg.name);
-            assert_eq!(cfg.shared_per_sm, 98304, "{}: paper says 96K shared", cfg.name);
-            assert_eq!(cfg.max_threads_per_sm, 2048, "{}: paper says 2048 threads", cfg.name);
+            assert_eq!(
+                cfg.regs_per_sm, 65536,
+                "{}: paper says 64K registers",
+                cfg.name
+            );
+            assert_eq!(
+                cfg.shared_per_sm, 98304,
+                "{}: paper says 96K shared",
+                cfg.name
+            );
+            assert_eq!(
+                cfg.max_threads_per_sm, 2048,
+                "{}: paper says 2048 threads",
+                cfg.name
+            );
             assert_eq!(cfg.max_warps_per_sm(), 64);
         }
     }

@@ -1,0 +1,294 @@
+//! Differential tests of the event-driven fast-forward path against the
+//! naive single-step reference loop ([`Gpu::run_naive`]). The fast-forward
+//! must be *bit-identical* in every reported number — total cycles, the
+//! full stall breakdown, occupancy inputs, trace samples — across kernels
+//! that exercise each skip condition (long memory latencies, scoreboard
+//! chains, barriers, multi-stream launches).
+//!
+//! Also home of the copy-on-write device-memory tests: cloning a [`Gpu`]
+//! must not copy buffer bytes until one side writes.
+
+#![cfg(test)]
+
+use cuda_frontend::parse_kernel;
+use thread_ir::lower_kernel;
+
+use crate::config::GpuConfig;
+use crate::launch::{Launch, ParamValue};
+use crate::timing::Gpu;
+
+fn compile(src: &str) -> thread_ir::KernelIr {
+    lower_kernel(&parse_kernel(src).expect("parse")).expect("lower")
+}
+
+/// Runs the same launches through the fast-forward and the naive loop on
+/// identical fresh devices and asserts every reported metric matches.
+fn assert_paths_identical(cfg: GpuConfig, build: impl Fn(&mut Gpu) -> Vec<Launch>) {
+    let mut fast = Gpu::new(cfg.clone());
+    let launches = build(&mut fast);
+    let fast_res = fast.run(&launches).expect("fast-forward run");
+
+    let mut naive = Gpu::new(cfg);
+    let launches = build(&mut naive);
+    let naive_res = naive.run_naive(&launches).expect("naive run");
+
+    assert_eq!(
+        fast_res.total_cycles, naive_res.total_cycles,
+        "total cycles diverge"
+    );
+    assert_eq!(fast_res.metrics, naive_res.metrics, "metrics diverge");
+    assert_eq!(
+        fast_res.launch_finish, naive_res.launch_finish,
+        "finish cycles diverge"
+    );
+}
+
+fn memory_bound_launch(gpu: &mut Gpu) -> Vec<Launch> {
+    // Dependent loads: every iteration waits out a full DRAM round trip, so
+    // the device spends most cycles with every warp scoreboard-blocked —
+    // the prime fast-forward case.
+    let ir = compile(
+        "__global__ void chase(unsigned int* data, unsigned int* out, int n) {\
+           unsigned int idx = threadIdx.x;\
+           for (int i = 0; i < 48; i++) { idx = data[idx % n]; }\
+           out[threadIdx.x] = idx;\
+         }",
+    );
+    let n = 4096;
+    let data: Vec<u32> = (0..n as u64)
+        .map(|i| ((i * 2654435761) % n as u64) as u32)
+        .collect();
+    let d = gpu.memory_mut().alloc_from_u32(&data);
+    let o = gpu.memory_mut().alloc_u32(64);
+    vec![Launch::new(ir, 2, (64, 1, 1))
+        .arg(ParamValue::Ptr(d))
+        .arg(ParamValue::Ptr(o))
+        .arg(ParamValue::I32(n))]
+}
+
+fn compute_bound_launch(gpu: &mut Gpu) -> Vec<Launch> {
+    // Long in-register ALU chains: almost no idle windows, so this checks
+    // the fast-forward never fires incorrectly on a busy device.
+    let ir = compile(
+        "__global__ void alu(unsigned int* out) {\
+           unsigned int x = threadIdx.x + 1u;\
+           unsigned int y = threadIdx.x + 7u;\
+           for (int i = 0; i < 150; i++) {\
+             x = x * 1664525u + 1013904223u;\
+             y = (y << 5) ^ (y >> 3) ^ x;\
+           }\
+           out[threadIdx.x] = x ^ y;\
+         }",
+    );
+    let o = gpu.memory_mut().alloc_u32(256);
+    vec![Launch::new(ir, 4, (64, 1, 1)).arg(ParamValue::Ptr(o))]
+}
+
+fn barrier_heavy_launch(gpu: &mut Gpu) -> Vec<Launch> {
+    // Alternating loads and barriers: warps park in the Sync state (which
+    // imposes no wakeup time) while others drain memory latencies.
+    let ir = compile(
+        "__global__ void reduce(float* out, float* in) {\
+           __shared__ float s[128];\
+           int t = threadIdx.x;\
+           s[t] = in[blockIdx.x * 128 + t];\
+           __syncthreads();\
+           for (int stride = 64; stride > 0; stride = stride / 2) {\
+             if (t < stride) { s[t] += s[t + stride]; }\
+             __syncthreads();\
+           }\
+           if (t == 0) { out[blockIdx.x] = s[0]; }\
+         }",
+    );
+    let input: Vec<f32> = (0..512).map(|i| i as f32).collect();
+    let i = gpu.memory_mut().alloc_from_f32(&input);
+    let o = gpu.memory_mut().alloc_f32(4);
+    vec![Launch::new(ir, 4, (128, 1, 1))
+        .arg(ParamValue::Ptr(o))
+        .arg(ParamValue::Ptr(i))]
+}
+
+fn multi_stream_launches(gpu: &mut Gpu) -> Vec<Launch> {
+    // Two back-to-back launches (leftover dispatch policy): exercises
+    // fast-forward across the gap where one launch drains before the next
+    // one's blocks dispatch.
+    let mem = compile(
+        "__global__ void gather(float* out, float* in, int n) {\
+           int i = blockIdx.x * blockDim.x + threadIdx.x;\
+           float acc = 0.0f;\
+           for (int j = 0; j < 24; j++) { acc += in[(i * 97 + j * 1031) % n]; }\
+           out[i % n] = acc;\
+         }",
+    );
+    let alu = compile(
+        "__global__ void spin(unsigned int* out) {\
+           unsigned int x = threadIdx.x;\
+           for (int i = 0; i < 80; i++) { x = x * 1103515245u + 12345u; }\
+           out[threadIdx.x] = x;\
+         }",
+    );
+    let n = 2048;
+    let a = gpu.memory_mut().alloc_f32(n as usize);
+    let b = gpu.memory_mut().alloc_f32(n as usize);
+    let c = gpu.memory_mut().alloc_u32(64);
+    vec![
+        Launch::new(mem, 4, (64, 1, 1))
+            .arg(ParamValue::Ptr(a))
+            .arg(ParamValue::Ptr(b))
+            .arg(ParamValue::I32(n)),
+        Launch::new(alu, 1, (64, 1, 1)).arg(ParamValue::Ptr(c)),
+    ]
+}
+
+#[test]
+fn fast_forward_matches_naive_memory_bound() {
+    assert_paths_identical(GpuConfig::test_tiny(), memory_bound_launch);
+}
+
+#[test]
+fn fast_forward_matches_naive_memory_bound_pascal() {
+    assert_paths_identical(GpuConfig::pascal_like(), memory_bound_launch);
+}
+
+#[test]
+fn fast_forward_matches_naive_compute_bound() {
+    assert_paths_identical(GpuConfig::test_tiny(), compute_bound_launch);
+}
+
+#[test]
+fn fast_forward_matches_naive_barrier_heavy() {
+    assert_paths_identical(GpuConfig::test_tiny(), barrier_heavy_launch);
+}
+
+#[test]
+fn fast_forward_matches_naive_multi_stream() {
+    assert_paths_identical(GpuConfig::test_tiny(), multi_stream_launches);
+}
+
+#[test]
+fn fast_forward_detects_same_deadlock() {
+    // Barrier expecting 64 participants with only 32 threads: the naive
+    // loop spins to the deadlock threshold; the fast-forward must report
+    // the same error without actually spinning.
+    let ir = compile("__global__ void k(int n) { asm(\"bar.sync 1, 64;\"); }");
+    let mk = || Launch::new(ir.clone(), 1, (32, 1, 1)).arg(ParamValue::I32(0));
+    let fast_err = Gpu::new(GpuConfig::test_tiny()).run(&[mk()]).unwrap_err();
+    let naive_err = Gpu::new(GpuConfig::test_tiny())
+        .run_naive(&[mk()])
+        .unwrap_err();
+    assert_eq!(fast_err.message(), naive_err.message());
+}
+
+#[test]
+fn traced_windows_identical_across_long_stall_spans() {
+    // trace_interval far smaller than the DRAM round trip, so one
+    // all-stalled window spans several sample boundaries: every window
+    // must still be emitted, at the same cycle with the same contents.
+    let build = memory_bound_launch;
+    let interval = 16;
+
+    let mut fast = Gpu::new(GpuConfig::test_tiny());
+    let launches = build(&mut fast);
+    let (fast_res, fast_trace) = fast.run_traced(&launches, interval).expect("fast traced");
+
+    let mut naive = Gpu::new(GpuConfig::test_tiny());
+    let launches = build(&mut naive);
+    let (naive_res, naive_trace) = naive
+        .run_traced_naive(&launches, interval)
+        .expect("naive traced");
+
+    assert_eq!(fast_res.total_cycles, naive_res.total_cycles);
+    assert_eq!(fast_res.metrics, naive_res.metrics);
+    assert_eq!(fast_trace.len(), naive_trace.len(), "sample count diverges");
+    for (f, n) in fast_trace.iter().zip(&naive_trace) {
+        assert_eq!(f.cycle, n.cycle);
+        assert_eq!(
+            f.issue_util.to_bits(),
+            n.issue_util.to_bits(),
+            "cycle {}",
+            f.cycle
+        );
+        assert_eq!(
+            f.avg_warps.to_bits(),
+            n.avg_warps.to_bits(),
+            "cycle {}",
+            f.cycle
+        );
+    }
+    // The whole point of the scenario: idle spans must cover multiple
+    // consecutive all-stalled windows.
+    assert!(
+        fast_trace.iter().filter(|s| s.issue_util == 0.0).count() >= 2,
+        "expected several fully-stalled trace windows"
+    );
+}
+
+#[test]
+fn cloning_gpu_shares_buffers_until_written() {
+    let mut base = Gpu::new(GpuConfig::test_tiny());
+    let data: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+    let buf = base.memory_mut().alloc_from_f32(&data);
+
+    // Clone is O(1) per buffer: both devices point at the same bytes.
+    let mut clone = base.clone();
+    assert!(
+        base.memory().shares_buffer(clone.memory(), buf),
+        "clone must not copy bytes"
+    );
+
+    // A write through one clone materializes a private copy there...
+    clone.memory_mut().write_f32s(buf, &[-1.0]);
+    assert!(!base.memory().shares_buffer(clone.memory(), buf));
+    assert_eq!(clone.memory().read_f32(buf, 0), -1.0);
+    // ...and leaves the other side untouched.
+    assert_eq!(base.memory().read_f32(buf, 0), 0.0);
+    assert_eq!(base.memory().read_f32s(buf), data);
+}
+
+#[test]
+fn kernel_store_unshares_only_written_buffer() {
+    let ir = compile(
+        "__global__ void k(float* out, float* in) {\
+           out[threadIdx.x] = in[threadIdx.x] * 2.0f;\
+         }",
+    );
+    let mut base = Gpu::new(GpuConfig::test_tiny());
+    let input: Vec<f32> = (0..32).map(|i| i as f32).collect();
+    let i = base.memory_mut().alloc_from_f32(&input);
+    let o = base.memory_mut().alloc_f32(32);
+
+    let mut worker = base.clone();
+    let launch = Launch::new(ir, 1, (32, 1, 1))
+        .arg(ParamValue::Ptr(o))
+        .arg(ParamValue::Ptr(i));
+    worker.run(&[launch]).expect("run");
+
+    // The read-only input stays shared; only the output buffer was copied.
+    assert!(
+        base.memory().shares_buffer(worker.memory(), i),
+        "read-only buffer copied"
+    );
+    assert!(!base.memory().shares_buffer(worker.memory(), o));
+    assert_eq!(worker.memory().read_f32(o, 3), 6.0);
+    assert_eq!(base.memory().read_f32(o, 3), 0.0, "base output clobbered");
+}
+
+#[test]
+fn env_var_forces_naive_loop() {
+    // `HFUSE_SIM_NO_SKIP` selects the naive loop inside plain `run()`;
+    // results must (trivially) match the fast path. Run both paths through
+    // the API the escape hatch guards to make sure the hatch still exists.
+    let build = memory_bound_launch;
+    let mut a = Gpu::new(GpuConfig::test_tiny());
+    let launches = build(&mut a);
+    let fast = a.run(&launches).expect("fast");
+
+    std::env::set_var("HFUSE_SIM_NO_SKIP", "1");
+    let mut b = Gpu::new(GpuConfig::test_tiny());
+    let launches = build(&mut b);
+    let naive = b.run(&launches).expect("naive via env");
+    std::env::remove_var("HFUSE_SIM_NO_SKIP");
+
+    assert_eq!(fast.total_cycles, naive.total_cycles);
+    assert_eq!(fast.metrics, naive.metrics);
+}

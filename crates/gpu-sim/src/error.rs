@@ -11,7 +11,9 @@ pub struct SimError {
 impl SimError {
     /// Creates an error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 
     /// The error description.

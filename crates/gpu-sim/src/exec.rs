@@ -156,7 +156,13 @@ impl BlockExec {
     /// Decodes the memory space a `Ld`/`St`/`Atom` at the group's PC will
     /// touch, by inspecting the first active lane's (already computed)
     /// address register. Returns `None` for non-memory instructions.
-    pub fn peek_space(&self, warp: usize, mask: u32, pc: usize, kernel: &KernelIr) -> Option<thread_ir::Space> {
+    pub fn peek_space(
+        &self,
+        warp: usize,
+        mask: u32,
+        pc: usize,
+        kernel: &KernelIr,
+    ) -> Option<thread_ir::Space> {
         let addr_reg = match &kernel.insts[pc] {
             Inst::Ld { addr, .. } | Inst::St { addr, .. } | Inst::Atom { addr, .. } => *addr,
             _ => return None,
@@ -220,7 +226,11 @@ impl BlockExec {
         let (warp_start, _) = self.warp_bounds(warp);
         let lanes: Lanes = Lanes { mask };
 
-        let simple = |kind: IssueKind| ExecOutcome { kind, transactions: 0, conflict_extra: 0 };
+        let simple = |kind: IssueKind| ExecOutcome {
+            kind,
+            transactions: 0,
+            conflict_extra: 0,
+        };
 
         match inst {
             Inst::Imm { dst, value } => {
@@ -334,7 +344,11 @@ impl BlockExec {
                         thread_ir::Space::Shared => {}
                     }
                 }
-                Ok(ExecOutcome { kind, transactions: segs.count(), conflict_extra: 0 })
+                Ok(ExecOutcome {
+                    kind,
+                    transactions: segs.count(),
+                    conflict_extra: 0,
+                })
             }
             Inst::St { ty, addr, val } => {
                 let mut segs = SegmentSet::new();
@@ -354,9 +368,19 @@ impl BlockExec {
                         thread_ir::Space::Shared => {}
                     }
                 }
-                Ok(ExecOutcome { kind, transactions: segs.count(), conflict_extra: 0 })
+                Ok(ExecOutcome {
+                    kind,
+                    transactions: segs.count(),
+                    conflict_extra: 0,
+                })
             }
-            Inst::Atom { op, ty, dst, addr, val } => {
+            Inst::Atom {
+                op,
+                ty,
+                dst,
+                addr,
+                val,
+            } => {
                 let mut segs = SegmentSet::new();
                 let mut kind = IssueKind::SharedAtomic;
                 let mut addrs: Vec<u64> = Vec::new();
@@ -382,16 +406,27 @@ impl BlockExec {
                 }
                 // Serialization cost: colliding addresses retry one by one.
                 addrs.sort_unstable();
-                let conflicts =
-                    addrs.windows(2).filter(|w| w[0] == w[1]).count() as u32;
-                Ok(ExecOutcome { kind, transactions: segs.count(), conflict_extra: conflicts })
+                let conflicts = addrs.windows(2).filter(|w| w[0] == w[1]).count() as u32;
+                Ok(ExecOutcome {
+                    kind,
+                    transactions: segs.count(),
+                    conflict_extra: conflicts,
+                })
             }
-            Inst::Shfl { kind, dst, src, lane: lane_reg, width } => {
+            Inst::Shfl {
+                kind,
+                dst,
+                src,
+                lane: lane_reg,
+                width,
+            } => {
                 // Phase 1: read all source values (before any write, since
                 // dst may alias src).
                 let (ws, we) = self.warp_bounds(warp);
-                let warp_vals: Vec<u64> =
-                    self.threads[ws..we].iter().map(|t| t.regs[*src as usize]).collect();
+                let warp_vals: Vec<u64> = self.threads[ws..we]
+                    .iter()
+                    .map(|t| t.regs[*src as usize])
+                    .collect();
                 for lane in lanes {
                     let tid = warp_start + lane;
                     let operand = self.threads[tid].regs[*lane_reg as usize] as u32;
@@ -465,7 +500,11 @@ impl BlockExec {
                 }
                 Ok(simple(IssueKind::Barrier))
             }
-            Inst::Bra { cond, if_zero, target } => {
+            Inst::Bra {
+                cond,
+                if_zero,
+                target,
+            } => {
                 for lane in lanes {
                     let t = &mut self.threads[warp_start + lane];
                     let taken = (t.regs[*cond as usize] == 0) == *if_zero;
@@ -516,9 +555,7 @@ impl BlockExec {
         let w = ty.size_bytes();
         let raw = match addr.space() {
             thread_ir::Space::Global => mem.load(addr.buffer(), addr.offset(), w)?,
-            thread_ir::Space::Shared => {
-                read_bytes(&self.shared, addr.offset(), w, "shared load")?
-            }
+            thread_ir::Space::Shared => read_bytes(&self.shared, addr.offset(), w, "shared load")?,
             thread_ir::Space::Local => {
                 read_bytes(&self.threads[tid].local, addr.offset(), w, "local load")?
             }
@@ -608,7 +645,9 @@ struct SegmentSet {
 
 impl SegmentSet {
     fn new() -> Self {
-        Self { segs: Vec::with_capacity(4) }
+        Self {
+            segs: Vec::with_capacity(4),
+        }
     }
 
     fn insert(&mut self, addr: MemAddr, seg_bytes: u32) {
@@ -723,7 +762,13 @@ mod tests {
     #[test]
     fn special_functions() {
         let four = u64::from(4.0f32.to_bits());
-        assert_eq!(f32::from_bits(alu::un(UnIr::Sqrt, ScalarTy::F32, four) as u32), 2.0);
-        assert_eq!(f32::from_bits(alu::un(UnIr::Rsqrt, ScalarTy::F32, four) as u32), 0.5);
+        assert_eq!(
+            f32::from_bits(alu::un(UnIr::Sqrt, ScalarTy::F32, four) as u32),
+            2.0
+        );
+        assert_eq!(
+            f32::from_bits(alu::un(UnIr::Rsqrt, ScalarTy::F32, four) as u32),
+            0.5
+        );
     }
 }

@@ -1,5 +1,7 @@
 //! Kernel launch descriptors.
 
+use std::sync::Arc;
+
 use thread_ir::ir::{KernelIr, ParamKind};
 use thread_ir::ScalarTy;
 
@@ -41,16 +43,16 @@ impl ParamValue {
     }
 
     fn matches(self, kind: ParamKind) -> bool {
-        match (self, kind) {
-            (ParamValue::Ptr(_), ParamKind::Pointer) => true,
-            (ParamValue::I32(_), ParamKind::Scalar(ScalarTy::I32))
-            | (ParamValue::U32(_), ParamKind::Scalar(ScalarTy::U32))
-            | (ParamValue::I64(_), ParamKind::Scalar(ScalarTy::I64))
-            | (ParamValue::U64(_), ParamKind::Scalar(ScalarTy::U64))
-            | (ParamValue::F32(_), ParamKind::Scalar(ScalarTy::F32))
-            | (ParamValue::F64(_), ParamKind::Scalar(ScalarTy::F64)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, kind),
+            (ParamValue::Ptr(_), ParamKind::Pointer)
+                | (ParamValue::I32(_), ParamKind::Scalar(ScalarTy::I32))
+                | (ParamValue::U32(_), ParamKind::Scalar(ScalarTy::U32))
+                | (ParamValue::I64(_), ParamKind::Scalar(ScalarTy::I64))
+                | (ParamValue::U64(_), ParamKind::Scalar(ScalarTy::U64))
+                | (ParamValue::F32(_), ParamKind::Scalar(ScalarTy::F32))
+                | (ParamValue::F64(_), ParamKind::Scalar(ScalarTy::F64))
+        )
     }
 }
 
@@ -58,8 +60,10 @@ impl ParamValue {
 /// shared memory size, and arguments.
 #[derive(Debug, Clone)]
 pub struct Launch {
-    /// The compiled kernel.
-    pub kernel: KernelIr,
+    /// The compiled kernel. Shared by reference so that cloning a launch
+    /// (the fusion search clones one per profiled candidate) never deep-
+    /// copies the instruction stream.
+    pub kernel: Arc<KernelIr>,
     /// Number of blocks (1-D grid).
     pub grid_dim: u32,
     /// Threads per block along (x, y, z).
@@ -72,8 +76,20 @@ pub struct Launch {
 
 impl Launch {
     /// Creates a launch with no arguments and no dynamic shared memory.
-    pub fn new(kernel: KernelIr, grid_dim: u32, block_dim: (u32, u32, u32)) -> Self {
-        Self { kernel, grid_dim, block_dim, dynamic_shared_bytes: 0, args: Vec::new() }
+    /// Accepts either an owned [`KernelIr`] or an already-shared
+    /// `Arc<KernelIr>`.
+    pub fn new(
+        kernel: impl Into<Arc<KernelIr>>,
+        grid_dim: u32,
+        block_dim: (u32, u32, u32),
+    ) -> Self {
+        Self {
+            kernel: kernel.into(),
+            grid_dim,
+            block_dim,
+            dynamic_shared_bytes: 0,
+            args: Vec::new(),
+        }
     }
 
     /// Appends an argument (builder style).

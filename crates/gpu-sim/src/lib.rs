@@ -56,4 +56,5 @@ pub use metrics::{RunMetrics, RunResult};
 pub use occupancy::{blocks_per_sm, OccupancyLimits};
 pub use timing::Gpu;
 
+mod diff_tests;
 mod sim_tests;

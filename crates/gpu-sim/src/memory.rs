@@ -3,6 +3,16 @@
 //! Pointer parameter values encode a [`BufferId`] plus byte offset (see
 //! [`thread_ir::MemAddr`]); all accesses are bounds-checked, so kernel bugs
 //! surface as [`SimError`]s instead of silent corruption.
+//!
+//! Buffers are copy-on-write: cloning a [`GpuMemory`] (or the [`Gpu`] that
+//! owns it) only bumps reference counts, and a buffer's bytes are copied the
+//! first time one clone stores to it. The fusion search clones the device
+//! per profiled candidate, so this turns O(device-memory) snapshots into
+//! O(buffer-count) ones.
+//!
+//! [`Gpu`]: crate::timing::Gpu
+
+use std::sync::Arc;
 
 use crate::error::SimError;
 
@@ -20,7 +30,7 @@ impl BufferId {
 /// The global-memory pool.
 #[derive(Debug, Default, Clone)]
 pub struct GpuMemory {
-    buffers: Vec<Vec<u8>>,
+    buffers: Vec<Arc<Vec<u8>>>,
 }
 
 impl GpuMemory {
@@ -31,7 +41,7 @@ impl GpuMemory {
 
     /// Allocates a zero-initialized buffer of `bytes` bytes.
     pub fn alloc(&mut self, bytes: usize) -> BufferId {
-        self.buffers.push(vec![0; bytes]);
+        self.buffers.push(Arc::new(vec![0; bytes]));
         BufferId((self.buffers.len() - 1) as u32)
     }
 
@@ -67,8 +77,9 @@ impl GpuMemory {
     /// Allocates and fills a buffer from `u64` data.
     pub fn alloc_from_u64(&mut self, data: &[u64]) -> BufferId {
         let id = self.alloc_u64(data.len());
+        let buf = Arc::make_mut(&mut self.buffers[id.0 as usize]);
         for (i, v) in data.iter().enumerate() {
-            self.buffers[id.0 as usize][i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
         id
     }
@@ -115,7 +126,8 @@ impl GpuMemory {
                 buf.len()
             )));
         }
-        buf[off..off + w].copy_from_slice(&value.to_le_bytes()[..w]);
+        // First store through a shared clone materializes a private copy.
+        Arc::make_mut(buf)[off..off + w].copy_from_slice(&value.to_le_bytes()[..w]);
         Ok(())
     }
 
@@ -125,8 +137,9 @@ impl GpuMemory {
     ///
     /// Panics if the buffer is too small.
     pub fn write_f32s(&mut self, id: BufferId, data: &[f32]) {
+        let buf = Arc::make_mut(&mut self.buffers[id.0 as usize]);
         for (i, v) in data.iter().enumerate() {
-            self.buffers[id.0 as usize][i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            buf[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -136,8 +149,9 @@ impl GpuMemory {
     ///
     /// Panics if the buffer is too small.
     pub fn write_u32s(&mut self, id: BufferId, data: &[u32]) {
+        let buf = Arc::make_mut(&mut self.buffers[id.0 as usize]);
         for (i, v) in data.iter().enumerate() {
-            self.buffers[id.0 as usize][i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            buf[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -154,7 +168,9 @@ impl GpuMemory {
     /// Reads all elements as `f32`.
     pub fn read_f32s(&self, id: BufferId) -> Vec<f32> {
         let buf = &self.buffers[id.0 as usize];
-        buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
+        buf.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
     }
 
     /// Reads the `i`-th `u32` element.
@@ -170,18 +186,29 @@ impl GpuMemory {
     /// Reads all elements as `u32`.
     pub fn read_u32s(&self, id: BufferId) -> Vec<u32> {
         let buf = &self.buffers[id.0 as usize];
-        buf.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
+        buf.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
     }
 
     /// Reads all elements as `u64`.
     pub fn read_u64s(&self, id: BufferId) -> Vec<u64> {
         let buf = &self.buffers[id.0 as usize];
-        buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+        buf.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
     }
 
     /// Raw bytes of a buffer (for snapshot comparisons in tests).
     pub fn bytes(&self, id: BufferId) -> &[u8] {
         &self.buffers[id.0 as usize]
+    }
+
+    /// Whether `self` and `other` still share buffer `id`'s physical bytes
+    /// (copy-on-write has not materialized a private copy in either). Test
+    /// hook for asserting that cloning a device is cheap.
+    pub fn shares_buffer(&self, other: &GpuMemory, id: BufferId) -> bool {
+        Arc::ptr_eq(&self.buffers[id.0 as usize], &other.buffers[id.0 as usize])
     }
 }
 

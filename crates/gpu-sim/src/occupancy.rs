@@ -59,11 +59,10 @@ pub fn occupancy_limits(
     let regs_per_block = regs_per_thread.max(1) * threads_per_block.max(1);
     OccupancyLimits {
         by_registers: cfg.regs_per_sm / regs_per_block.max(1),
-        by_shared_mem: if shared_bytes == 0 {
-            u32::MAX
-        } else {
-            cfg.shared_per_sm / shared_bytes
-        },
+        by_shared_mem: cfg
+            .shared_per_sm
+            .checked_div(shared_bytes)
+            .unwrap_or(u32::MAX),
         by_threads: cfg.max_threads_per_sm / threads_per_block.max(1),
         by_block_slots: cfg.max_blocks_per_sm,
     }

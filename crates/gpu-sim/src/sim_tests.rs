@@ -32,7 +32,7 @@ fn coalesced_loads_cost_fewer_transactions_than_strided() {
         let inp = gpu.memory_mut().alloc_f32(32 * 64);
         let out = gpu.memory_mut().alloc_f32(64);
         let launch = Launch {
-            kernel: ir,
+            kernel: ir.into(),
             grid_dim: 1,
             block_dim: (64, 1, 1),
             dynamic_shared_bytes: 0,
@@ -73,7 +73,7 @@ fn barrier_in_loop_resets_arrival_counter() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(64);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (64, 1, 1),
         dynamic_shared_bytes: 0,
@@ -113,7 +113,7 @@ fn partial_barriers_with_distinct_ids_do_not_interfere() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(64);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (64, 1, 1),
         dynamic_shared_bytes: 0,
@@ -140,7 +140,7 @@ fn shuffle_width_subgroups() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(32);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -165,7 +165,7 @@ fn shfl_down_shifts_within_width() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(32);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -181,13 +181,11 @@ fn shfl_down_shifts_within_width() {
 
 #[test]
 fn float_atomic_add_accumulates() {
-    let ir = compile(
-        "__global__ void k(float* sum) { atomicAdd(&sum[0], 0.5f); }",
-    );
+    let ir = compile("__global__ void k(float* sum) { atomicAdd(&sum[0], 0.5f); }");
     let mut gpu = gpu();
     let sum = gpu.memory_mut().alloc_f32(1);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 2,
         block_dim: (64, 1, 1),
         dynamic_shared_bytes: 0,
@@ -210,7 +208,7 @@ fn sixty_four_bit_loads_and_arithmetic() {
     let inp = gpu.memory_mut().alloc_from_u64(&data);
     let out = gpu.memory_mut().alloc_u64(32);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -237,7 +235,7 @@ fn per_thread_loop_trip_counts_diverge_and_reconverge() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(32);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -262,7 +260,7 @@ fn local_arrays_are_private_per_thread() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(64);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (64, 1, 1),
         dynamic_shared_bytes: 0,
@@ -288,7 +286,7 @@ fn do_while_executes_body_at_least_once() {
     let out = gpu.memory_mut().alloc_u32(32);
     // n = 0: condition false immediately, but the body must run once.
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -311,7 +309,7 @@ fn launch_overlap_is_reported_per_launch() {
     let mut gpu = gpu();
     let p = gpu.memory_mut().alloc_f32(512);
     let mk = || Launch {
-        kernel: ir.clone(),
+        kernel: ir.clone().into(),
         grid_dim: 4,
         block_dim: (128, 1, 1),
         dynamic_shared_bytes: 0,
@@ -342,7 +340,7 @@ fn traced_run_produces_samples_matching_totals() {
     let mut gpu = gpu();
     let p = gpu.memory_mut().alloc_f32(2048);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 8,
         block_dim: (256, 1, 1),
         dynamic_shared_bytes: 0,
@@ -373,11 +371,13 @@ fn bit_intrinsics_compute_correctly() {
          }",
     );
     let mut gpu = gpu();
-    let data: Vec<u32> = (0..32).map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1).collect();
+    let data: Vec<u32> = (0..32)
+        .map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1)
+        .collect();
     let inp = gpu.memory_mut().alloc_from_u32(&data);
     let out = gpu.memory_mut().alloc_u32(96);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -410,7 +410,7 @@ fn switch_dispatch_fallthrough_and_break() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(32);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -418,14 +418,14 @@ fn switch_dispatch_fallthrough_and_break() {
     };
     gpu.run(&[launch]).expect("run");
     let v = gpu.memory().read_u32s(out);
-    for t in 0..32 {
+    for (t, &got) in v.iter().enumerate().take(32) {
         let want = match t % 4 {
-            0 => 100,            // break
-            1 => 211,            // falls through into case 2
-            2 => 11,             // case 2 directly
-            _ => 900,            // default
+            0 => 100, // break
+            1 => 211, // falls through into case 2
+            2 => 11,  // case 2 directly
+            _ => 900, // default
         };
-        assert_eq!(v[t], want, "thread {t}");
+        assert_eq!(got, want, "thread {t}");
     }
 }
 
@@ -447,7 +447,7 @@ fn continue_inside_switch_targets_enclosing_loop() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(32);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,
@@ -476,7 +476,7 @@ fn warp_votes_ballot_any_all() {
     let mut gpu = gpu();
     let out = gpu.memory_mut().alloc_u32(128);
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: 1,
         block_dim: (32, 1, 1),
         dynamic_shared_bytes: 0,

@@ -39,7 +39,10 @@ pub struct Gpu {
 impl Gpu {
     /// Creates a GPU with empty device memory.
     pub fn new(config: GpuConfig) -> Self {
-        Self { config, memory: GpuMemory::new() }
+        Self {
+            config,
+            memory: GpuMemory::new(),
+        }
     }
 
     /// The hardware configuration.
@@ -106,10 +109,34 @@ impl Gpu {
         launches: &[Launch],
         interval: u64,
     ) -> Result<(RunResult, Vec<crate::metrics::TraceSample>), SimError> {
+        self.run_traced_impl(launches, interval, skip_disabled_by_env())
+    }
+
+    /// [`Self::run_traced`] forced through the naive single-step loop (no
+    /// idle-cycle fast-forward). Reference path for differential tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_traced_naive(
+        &mut self,
+        launches: &[Launch],
+        interval: u64,
+    ) -> Result<(RunResult, Vec<crate::metrics::TraceSample>), SimError> {
+        self.run_traced_impl(launches, interval, true)
+    }
+
+    fn run_traced_impl(
+        &mut self,
+        launches: &[Launch],
+        interval: u64,
+        no_skip: bool,
+    ) -> Result<(RunResult, Vec<crate::metrics::TraceSample>), SimError> {
         for l in launches {
             l.validate()?;
         }
         let mut engine = Engine::new(&self.config, launches);
+        engine.no_skip = no_skip;
         engine.trace_interval = interval.max(1);
         let result = engine.run(&mut self.memory)?;
         let trace = std::mem::take(&mut engine.trace);
@@ -123,11 +150,32 @@ impl Gpu {
     /// are only scheduled when every earlier launch has no undispatched
     /// blocks (how concurrent streams behave for saturating kernels).
     ///
+    /// Idle stretches — windows where every warp is provably blocked until
+    /// a known future cycle — are fast-forwarded in one step; the reported
+    /// cycle counts and metrics are bit-identical to single-stepping (see
+    /// [`Self::run_naive`], and set `HFUSE_SIM_NO_SKIP=1` to force the
+    /// single-step loop globally).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] on faults, deadlock, unschedulable blocks, or
     /// cycle-limit overrun.
     pub fn run(&mut self, launches: &[Launch]) -> Result<RunResult, SimError> {
+        self.run_impl(launches, skip_disabled_by_env())
+    }
+
+    /// [`Self::run`] forced through the naive single-step cycle loop. This
+    /// is the reference implementation the fast-forward path must match
+    /// bit-for-bit; differential tests compare the two.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_naive(&mut self, launches: &[Launch]) -> Result<RunResult, SimError> {
+        self.run_impl(launches, true)
+    }
+
+    fn run_impl(&mut self, launches: &[Launch], no_skip: bool) -> Result<RunResult, SimError> {
         for l in launches {
             l.validate()?;
             let blocks = crate::occupancy::blocks_per_sm(
@@ -144,14 +192,26 @@ impl Gpu {
             }
         }
         let mut engine = Engine::new(&self.config, launches);
+        engine.no_skip = no_skip;
         engine.run(&mut self.memory)
     }
+}
+
+/// `HFUSE_SIM_NO_SKIP=1` (any value but `0`) disables idle-cycle
+/// fast-forward globally — the escape hatch for A/B-ing the two loops.
+fn skip_disabled_by_env() -> bool {
+    std::env::var_os("HFUSE_SIM_NO_SKIP").is_some_and(|v| v != "0")
 }
 
 /// Per-launch precomputed issue information.
 struct LaunchCtx {
     /// Per-instruction count of spilled-register operands.
     spill_counts: Vec<u8>,
+    /// Flattened scoreboard-checked registers (sources then destination) of
+    /// every instruction, so the per-cycle issue path never allocates.
+    operand_regs: Vec<u32>,
+    /// Per-instruction `(start, len)` span into [`Self::operand_regs`].
+    operand_spans: Vec<(u32, u8)>,
     regs_per_block: u32,
     shared_per_block: u32,
     threads_per_block: u32,
@@ -165,28 +225,37 @@ impl LaunchCtx {
             spilled[r as usize] = true;
         }
         let mut srcs = Vec::with_capacity(3);
-        let spill_counts = k
-            .insts
-            .iter()
-            .map(|inst| {
-                let mut n = 0u8;
-                if let Some(d) = inst.dst() {
-                    n += u8::from(spilled[d as usize]);
-                }
-                srcs.clear();
-                inst.srcs_into(&mut srcs);
-                for &s in &srcs {
-                    n += u8::from(spilled[s as usize]);
-                }
-                n
-            })
-            .collect();
+        let mut operand_regs = Vec::new();
+        let mut operand_spans = Vec::with_capacity(k.insts.len());
+        let mut spill_counts = Vec::with_capacity(k.insts.len());
+        for inst in &k.insts {
+            let start = operand_regs.len() as u32;
+            srcs.clear();
+            inst.srcs_into(&mut srcs);
+            let mut n: u8 = srcs.iter().map(|&s| u8::from(spilled[s as usize])).sum();
+            if let Some(d) = inst.dst() {
+                srcs.push(d);
+                n += u8::from(spilled[d as usize]);
+            }
+            operand_regs.extend_from_slice(&srcs);
+            operand_spans.push((start, srcs.len() as u8));
+            spill_counts.push(n);
+        }
         LaunchCtx {
             spill_counts,
+            operand_regs,
+            operand_spans,
             regs_per_block: k.reg_pressure() * launch.threads_per_block(),
             shared_per_block: launch.shared_bytes_per_block(),
             threads_per_block: launch.threads_per_block(),
         }
+    }
+
+    /// The scoreboard-checked registers (sources then destination) of the
+    /// instruction at `pc`.
+    fn operands(&self, pc: usize) -> &[u32] {
+        let (start, len) = self.operand_spans[pc];
+        &self.operand_regs[start as usize..start as usize + usize::from(len)]
     }
 }
 
@@ -219,12 +288,43 @@ struct BlockSlot {
     live_warps: u32,
 }
 
+/// Cached outcome of one scheduler's issue scan. While every warp of a
+/// scheduler is blocked, re-walking them each cycle re-derives the same
+/// stall verdict; the scan is skipped — replaying the cached verdict — until
+/// either the earliest wakeup time its warps reported arrives, or an event
+/// on the SM (an issue, a completion, a block dispatch/retirement, a DRAM
+/// token sign flip) invalidates the cache.
+#[derive(Clone, Copy)]
+struct SchedCache {
+    valid: bool,
+    /// The scan's aggregate stall reason (first blocked warp in rr order).
+    reason: StallReason,
+    /// Earliest cycle one of the scheduler's warps gains a new option
+    /// (`u64::MAX` when all its warps wake via events only).
+    wakeup: u64,
+    /// Whether the scan left some warp blocked on MSHR capacity or tokens.
+    cap_blocked: bool,
+}
+
+impl SchedCache {
+    fn invalid() -> Self {
+        SchedCache {
+            valid: false,
+            reason: StallReason::Other,
+            wakeup: 0,
+            cap_blocked: false,
+        }
+    }
+}
+
 struct SmState {
     blocks: Vec<Option<BlockSlot>>,
     warps: Vec<Option<WarpSlot>>,
     /// Warp-slot indices assigned to each scheduler.
     sched_warps: Vec<Vec<usize>>,
     rr: Vec<usize>,
+    /// Per-scheduler cached scan verdicts (fast path only).
+    sched_cache: Vec<SchedCache>,
     regs_used: u32,
     shared_used: u32,
     threads_used: u32,
@@ -248,6 +348,7 @@ impl SmState {
             warps: Vec::new(),
             sched_warps: vec![Vec::new(); cfg.schedulers_per_sm as usize],
             rr: vec![0; cfg.schedulers_per_sm as usize],
+            sched_cache: vec![SchedCache::invalid(); cfg.schedulers_per_sm as usize],
             regs_used: 0,
             shared_used: 0,
             threads_used: 0,
@@ -256,6 +357,12 @@ impl SmState {
             live_warps_total: 0,
             global_pipe_free: 0,
             shared_pipe_free: 0,
+        }
+    }
+
+    fn invalidate_sched_cache(&mut self) {
+        for c in &mut self.sched_cache {
+            c.valid = false;
         }
     }
 
@@ -287,12 +394,44 @@ struct Engine<'a> {
     metrics: RunMetrics,
     launch_finish: Vec<u64>,
     idle_cycles: u64,
+    /// Force the naive single-step loop (no idle-cycle fast-forward).
+    no_skip: bool,
+    /// Earliest future cycle at which any warp blocked during the current
+    /// sweep can change state (scoreboard `stall_until`, memory-pipe free
+    /// time). Collected *during* the issue sweep — which already visits
+    /// every blocked warp — so the fast-forward needs no second scan.
+    sweep_wakeup: u64,
+    /// Whether the current sweep left some warp blocked purely on MSHR
+    /// capacity or DRAM tokens. Only then can a transaction completion or a
+    /// token refill change the sweep's outcome; otherwise an idle window
+    /// may span completions and replay their retirements in bulk.
+    sweep_cap_blocked: bool,
+    /// Scratch for the scheduler scan in flight: min wakeup time among the
+    /// warps visited so far (feeds the scheduler's [`SchedCache`]).
+    scan_wakeup: u64,
+    /// Scratch: whether the scan in flight hit an MSHR/token-blocked warp.
+    scan_cap_blocked: bool,
     /// Sampling interval for [`Gpu::run_traced`] (0 = no tracing).
     trace_interval: u64,
     trace: Vec<crate::metrics::TraceSample>,
     window_issued: u64,
     window_slots: u64,
     window_warp_cycles: u64,
+}
+
+/// The issue sweep of one cycle, summarized so an idle stretch can be
+/// replayed in bulk: while no warp issues, no block dispatches or retires,
+/// and no transaction completes, every subsequent sweep is cycle-for-cycle
+/// identical to the one recorded here.
+#[derive(Default)]
+struct SweepStats {
+    active_sms: u64,
+    active_warps: u64,
+    slots: u64,
+    stall_mem: u64,
+    stall_exec: u64,
+    stall_sync: u64,
+    stall_other: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -305,9 +444,17 @@ impl<'a> Engine<'a> {
             next_block: vec![0; launches.len()],
             blocks_remaining: launches.iter().map(|l| u64::from(l.grid_dim)).sum(),
             dram_tokens: 0,
-            metrics: RunMetrics { max_warps_per_sm: cfg.max_warps_per_sm(), ..Default::default() },
+            metrics: RunMetrics {
+                max_warps_per_sm: cfg.max_warps_per_sm(),
+                ..Default::default()
+            },
             launch_finish: vec![0; launches.len()],
             idle_cycles: 0,
+            no_skip: false,
+            sweep_wakeup: u64::MAX,
+            sweep_cap_blocked: false,
+            scan_wakeup: u64::MAX,
+            scan_cap_blocked: false,
             trace_interval: 0,
             trace: Vec::new(),
             window_issued: 0,
@@ -320,21 +467,33 @@ impl<'a> Engine<'a> {
         let mut cycle: u64 = 0;
         let token_burst = i64::from(self.cfg.dram_transactions_per_cycle) * 4;
         loop {
-            // Refill DRAM bandwidth tokens.
-            self.dram_tokens =
-                (self.dram_tokens + i64::from(self.cfg.dram_transactions_per_cycle))
-                    .min(token_burst);
+            // Refill DRAM bandwidth tokens. Starved-to-available flips can
+            // unblock token-gated warps anywhere on the device.
+            let was_starved = self.dram_tokens <= 0;
+            self.dram_tokens = (self.dram_tokens + i64::from(self.cfg.dram_transactions_per_cycle))
+                .min(token_burst);
+            if was_starved && self.dram_tokens > 0 {
+                for sm in &mut self.sms {
+                    sm.invalidate_sched_cache();
+                }
+            }
 
             let mut progress = false;
 
             // Retire completed memory transactions.
             for sm in &mut self.sms {
+                let mut popped = false;
                 while let Some(&Reverse((t, n))) = sm.completions.peek() {
                     if t > cycle {
                         break;
                     }
                     sm.completions.pop();
                     sm.inflight = sm.inflight.saturating_sub(n);
+                    popped = true;
+                }
+                if popped {
+                    // Freed MSHRs can unblock capacity-gated warps here.
+                    sm.invalidate_sched_cache();
                     progress = true;
                 }
             }
@@ -342,34 +501,76 @@ impl<'a> Engine<'a> {
             // Dispatch blocks (leftover policy, one block per SM per cycle).
             progress |= self.dispatch_blocks();
 
-            // Issue.
+            // Issue. The sweep is summarized in `sweep` so that an idle
+            // stretch can later be replayed in bulk (fast-forward below).
+            let mut sweep = SweepStats::default();
+            self.sweep_wakeup = u64::MAX;
+            self.sweep_cap_blocked = false;
             for sm_idx in 0..self.sms.len() {
                 if !self.sms[sm_idx].is_active() {
                     continue;
                 }
-                self.metrics.active_sm_cycles += 1;
-                self.metrics.active_warp_cycles +=
-                    u64::from(self.sms[sm_idx].live_warps_total);
+                sweep.active_sms += 1;
+                sweep.active_warps += u64::from(self.sms[sm_idx].live_warps_total);
                 for sched in 0..self.cfg.schedulers_per_sm as usize {
-                    self.metrics.total_slots += 1;
-                    match self.issue_one(memory, sm_idx, sched, cycle)? {
-                        IssueResult::Issued => {
-                            self.metrics.issued_slots += 1;
-                            progress = true;
+                    sweep.slots += 1;
+                    // A scheduler whose previous scan found every warp
+                    // blocked replays its cached verdict until the earliest
+                    // wakeup its warps reported, or until an event on this
+                    // SM invalidates the cache. The naive loop never uses
+                    // the cache — it is the reference the cache must match.
+                    let cached = self.sms[sm_idx].sched_cache[sched];
+                    let reason = if !self.no_skip && cached.valid && cached.wakeup > cycle {
+                        self.sweep_wakeup = self.sweep_wakeup.min(cached.wakeup);
+                        self.sweep_cap_blocked |= cached.cap_blocked;
+                        cached.reason
+                    } else {
+                        self.scan_wakeup = u64::MAX;
+                        self.scan_cap_blocked = false;
+                        match self.issue_one(memory, sm_idx, sched, cycle)? {
+                            IssueResult::Issued => {
+                                self.metrics.issued_slots += 1;
+                                progress = true;
+                                // The issue may have freed a barrier, moved
+                                // a pipe, or consumed tokens: every verdict
+                                // on this SM is stale.
+                                self.sms[sm_idx].invalidate_sched_cache();
+                                continue;
+                            }
+                            IssueResult::Stalled(reason) => {
+                                if !self.no_skip {
+                                    self.sms[sm_idx].sched_cache[sched] = SchedCache {
+                                        valid: true,
+                                        reason,
+                                        wakeup: self.scan_wakeup,
+                                        cap_blocked: self.scan_cap_blocked,
+                                    };
+                                }
+                                self.sweep_wakeup = self.sweep_wakeup.min(self.scan_wakeup);
+                                self.sweep_cap_blocked |= self.scan_cap_blocked;
+                                reason
+                            }
                         }
-                        IssueResult::Stalled(reason) => match reason {
-                            StallReason::Memory => self.metrics.stall_mem += 1,
-                            StallReason::Exec => self.metrics.stall_exec += 1,
-                            StallReason::Sync => self.metrics.stall_sync += 1,
-                            StallReason::Other => self.metrics.stall_other += 1,
-                        },
+                    };
+                    match reason {
+                        StallReason::Memory => sweep.stall_mem += 1,
+                        StallReason::Exec => sweep.stall_exec += 1,
+                        StallReason::Sync => sweep.stall_sync += 1,
+                        StallReason::Other => sweep.stall_other += 1,
                     }
                 }
             }
+            self.metrics.active_sm_cycles += sweep.active_sms;
+            self.metrics.active_warp_cycles += sweep.active_warps;
+            self.metrics.total_slots += sweep.slots;
+            self.metrics.stall_mem += sweep.stall_mem;
+            self.metrics.stall_exec += sweep.stall_exec;
+            self.metrics.stall_sync += sweep.stall_sync;
+            self.metrics.stall_other += sweep.stall_other;
 
             // Timeline sampling: emit a window sample from the metric
             // deltas since the previous sample.
-            if self.trace_interval > 0 && (cycle + 1) % self.trace_interval == 0 {
+            if self.trace_interval > 0 && (cycle + 1).is_multiple_of(self.trace_interval) {
                 let issued = self.metrics.issued_slots - self.window_issued;
                 let slots = self.metrics.total_slots - self.window_slots;
                 let warps = self.metrics.active_warp_cycles - self.window_warp_cycles;
@@ -405,6 +606,147 @@ impl<'a> Engine<'a> {
             cycle += 1;
             if cycle > MAX_CYCLES {
                 return Err(SimError::new("cycle limit exceeded"));
+            }
+
+            // Event-driven fast-forward. A cycle with no issue, no
+            // dispatch, and no retirement leaves the device in a state where
+            // every following cycle repeats the exact same sweep until the
+            // next event that can change the sweep's outcome: a
+            // scoreboard-stalled warp reaching its `stall_until`, a memory
+            // pipe freeing, or a trace-sample boundary. Transaction
+            // completions only decrement `inflight`, which the sweep ignores
+            // unless some warp was held back by MSHR capacity or DRAM
+            // tokens (`sweep_cap_blocked`) — so a window may span them, as
+            // long as the in-window retirements (and the idle-counter resets
+            // they cause in the naive loop) are replayed in bulk. Jump
+            // straight to the event, replaying the recorded sweep so every
+            // metric stays bit-identical to the single-step loop
+            // (`HFUSE_SIM_NO_SKIP=1` / `run_naive`).
+            if !progress && !self.no_skip {
+                // `cycle` is already the next cycle to simulate; cycles in
+                // `cycle..next_event` would all repeat the recorded sweep.
+                let consider = |t: u64, next: &mut Option<u64>| {
+                    *next = Some(next.map_or(t, |n: u64| n.min(t)));
+                };
+                let mut next_event: Option<u64> = None;
+                if self.sweep_wakeup != u64::MAX {
+                    consider(self.sweep_wakeup, &mut next_event);
+                }
+                if self.trace_interval > 0 {
+                    // Next cycle that emits a sample; its sweep must run for
+                    // real so the sample is pushed at the right moment.
+                    let m = (cycle + 1) % self.trace_interval;
+                    consider(
+                        cycle + (self.trace_interval - m) % self.trace_interval,
+                        &mut next_event,
+                    );
+                }
+                let rate = i64::from(self.cfg.dram_transactions_per_cycle);
+                let mut completion_event: Option<u64> = None;
+                for sm in &self.sms {
+                    if let Some(&Reverse((t, _))) = sm.completions.peek() {
+                        consider(t, &mut completion_event);
+                    }
+                }
+                let token_event = if self.dram_tokens <= 0 && rate > 0 {
+                    // First cycle whose refill makes tokens positive again.
+                    let j = (1 - self.dram_tokens + rate - 1) / rate;
+                    Some(cycle - 1 + j as u64)
+                } else {
+                    None
+                };
+                if self.sweep_cap_blocked {
+                    // A capacity-starved warp wakes the moment a completion
+                    // frees an MSHR or the token bucket refills.
+                    if let Some(t) = completion_event {
+                        consider(t, &mut next_event);
+                    }
+                    if let Some(t) = token_event {
+                        consider(t, &mut next_event);
+                    }
+                }
+
+                let skip = match next_event {
+                    Some(t) => t - cycle,
+                    None => u64::MAX,
+                };
+                // Spanning completions silently is only sound when the naive
+                // loop could not abort mid-window: completions reset its
+                // idle counter, so without them `idle + skip` bounds every
+                // idle run, and the landing cycle must stay inside the
+                // cycle budget.
+                let spans_ok = !self.sweep_cap_blocked
+                    && self.idle_cycles.saturating_add(skip) <= DEADLOCK_CYCLES
+                    && skip < MAX_CYCLES - cycle + 1;
+                if spans_ok {
+                    if skip > 0 {
+                        let end = cycle + skip;
+                        // Bulk-retire the completions the naive loop would
+                        // have drained one cycle at a time; the last one is
+                        // the naive loop's most recent progress cycle.
+                        let mut last_progress: Option<u64> = None;
+                        for sm in &mut self.sms {
+                            while let Some(&Reverse((t, n))) = sm.completions.peek() {
+                                if t >= end {
+                                    break;
+                                }
+                                sm.completions.pop();
+                                sm.inflight = sm.inflight.saturating_sub(n);
+                                last_progress = Some(last_progress.map_or(t, |x| x.max(t)));
+                            }
+                        }
+                        self.dram_tokens = (self.dram_tokens + skip as i64 * rate).min(token_burst);
+                        self.metrics.active_sm_cycles += skip * sweep.active_sms;
+                        self.metrics.active_warp_cycles += skip * sweep.active_warps;
+                        self.metrics.total_slots += skip * sweep.slots;
+                        self.metrics.stall_mem += skip * sweep.stall_mem;
+                        self.metrics.stall_exec += skip * sweep.stall_exec;
+                        self.metrics.stall_sync += skip * sweep.stall_sync;
+                        self.metrics.stall_other += skip * sweep.stall_other;
+                        self.idle_cycles = match last_progress {
+                            Some(t) => end - 1 - t,
+                            None => self.idle_cycles + skip,
+                        };
+                        cycle = end;
+                    }
+                } else {
+                    // Conservative window: completions and token refills end
+                    // it, so its interior truly has no progress and the
+                    // naive loop's abort conditions translate directly.
+                    if let Some(t) = completion_event {
+                        consider(t, &mut next_event);
+                    }
+                    if let Some(t) = token_event {
+                        consider(t, &mut next_event);
+                    }
+                    let skip = match next_event {
+                        Some(t) => t - cycle,
+                        None => u64::MAX,
+                    };
+                    let to_deadlock = DEADLOCK_CYCLES - self.idle_cycles + 1;
+                    let to_limit = MAX_CYCLES - cycle + 1;
+                    if to_deadlock.min(to_limit) <= skip {
+                        return Err(if to_deadlock <= to_limit {
+                            SimError::new(
+                                "device made no progress (barrier deadlock between thread groups?)",
+                            )
+                        } else {
+                            SimError::new("cycle limit exceeded")
+                        });
+                    }
+                    if skip > 0 {
+                        self.dram_tokens = (self.dram_tokens + skip as i64 * rate).min(token_burst);
+                        self.metrics.active_sm_cycles += skip * sweep.active_sms;
+                        self.metrics.active_warp_cycles += skip * sweep.active_warps;
+                        self.metrics.total_slots += skip * sweep.slots;
+                        self.metrics.stall_mem += skip * sweep.stall_mem;
+                        self.metrics.stall_exec += skip * sweep.stall_exec;
+                        self.metrics.stall_sync += skip * sweep.stall_sync;
+                        self.metrics.stall_other += skip * sweep.stall_other;
+                        self.idle_cycles += skip;
+                        cycle += skip;
+                    }
+                }
             }
         }
         self.metrics.cycles = cycle;
@@ -482,8 +824,13 @@ impl<'a> Engine<'a> {
             warp_slots.push(ws);
         }
         sm.live_warps_total += num_warps as u32;
-        sm.blocks[block_slot] =
-            Some(BlockSlot { exec, launch_idx, warp_slots, live_warps: num_warps as u32 });
+        sm.blocks[block_slot] = Some(BlockSlot {
+            exec,
+            launch_idx,
+            warp_slots,
+            live_warps: num_warps as u32,
+        });
+        sm.invalidate_sched_cache();
     }
 
     fn retire_blocks(&mut self, cycle: u64) -> bool {
@@ -508,6 +855,7 @@ impl<'a> Engine<'a> {
                 self.launch_finish[block.launch_idx] =
                     self.launch_finish[block.launch_idx].max(cycle);
                 self.blocks_remaining -= 1;
+                sm.invalidate_sched_cache();
                 retired = true;
             }
         }
@@ -545,7 +893,9 @@ impl<'a> Engine<'a> {
                 first_block_reason.get_or_insert(r);
             }
         }
-        Ok(IssueResult::Stalled(first_block_reason.unwrap_or(StallReason::Other)))
+        Ok(IssueResult::Stalled(
+            first_block_reason.unwrap_or(StallReason::Other),
+        ))
     }
 
     /// Tries to issue the given warp. Returns:
@@ -573,38 +923,39 @@ impl<'a> Engine<'a> {
             WarpPeek::Exec { pc, mask } => (pc, mask),
         };
         if warp.stall_until > now {
+            self.scan_wakeup = self.scan_wakeup.min(warp.stall_until);
             return Ok(Some(Some(warp.stall_reason)));
         }
         let block_slot = warp.block_slot;
-        let launch_idx =
-            sm.blocks[block_slot].as_ref().expect("warp's block resident").launch_idx;
+        let launch_idx = sm.blocks[block_slot]
+            .as_ref()
+            .expect("warp's block resident")
+            .launch_idx;
         let launch = &self.launches[launch_idx];
         let inst = &launch.kernel.insts[pc];
-        let spill_cnt = self.ctxs[launch_idx].spill_counts[pc];
+        let ctx = &self.ctxs[launch_idx];
+        let spill_cnt = ctx.spill_counts[pc];
 
-        // Scoreboard: operand readiness (RAW) and destination (WAW).
+        // Scoreboard: operand readiness (RAW) and destination (WAW), via
+        // the launch's precomputed operand list (no per-attempt allocation).
         let warp = sm.warps[ws].as_mut().expect("warp checked Some");
         let mut need: u64 = 0;
         let mut blocked_by_mem = false;
-        let check = |r: u32, warp: &WarpSlot| -> (u64, bool) {
-            (warp.ready[r as usize], warp.mem_pending[r as usize])
-        };
-        let mut srcs = Vec::with_capacity(3);
-        inst.srcs_into(&mut srcs);
-        if let Some(d) = inst.dst() {
-            srcs.push(d);
-        }
-        for &r in &srcs {
-            let (t, m) = check(r, warp);
+        for &r in ctx.operands(pc) {
+            let t = warp.ready[r as usize];
             if t > now {
                 need = need.max(t);
-                blocked_by_mem |= m;
+                blocked_by_mem |= warp.mem_pending[r as usize];
             }
         }
         if need > now {
             warp.stall_until = need;
-            warp.stall_reason =
-                if blocked_by_mem { StallReason::Memory } else { StallReason::Exec };
+            warp.stall_reason = if blocked_by_mem {
+                StallReason::Memory
+            } else {
+                StallReason::Exec
+            };
+            self.scan_wakeup = self.scan_wakeup.min(need);
             return Ok(Some(Some(warp.stall_reason)));
         }
 
@@ -615,33 +966,40 @@ impl<'a> Engine<'a> {
             .expect("warp's block resident")
             .exec
             .peek_space(warp_idx, mask, pc, &launch.kernel);
-        let uses_global_pipe =
-            matches!(space, Some(thread_ir::Space::Global | thread_ir::Space::Local))
-                || spill_cnt > 0;
+        let uses_global_pipe = matches!(
+            space,
+            Some(thread_ir::Space::Global | thread_ir::Space::Local)
+        ) || spill_cnt > 0;
         let uses_shared_pipe = space == Some(thread_ir::Space::Shared);
-        if uses_global_pipe
-            && (sm.inflight >= self.cfg.mshrs_per_sm
-                || self.dram_tokens <= 0
-                || sm.global_pipe_free > now)
-        {
-            return Ok(Some(Some(StallReason::Memory)));
+        if uses_global_pipe {
+            // A busy pipe is a wakeup time of its own (and gates the warp
+            // regardless of capacity). A warp held back *only* by MSHRs or
+            // tokens wakes on a completion / token refill — flag it so the
+            // fast-forward treats those as events.
+            if sm.global_pipe_free > now {
+                self.scan_wakeup = self.scan_wakeup.min(sm.global_pipe_free);
+                return Ok(Some(Some(StallReason::Memory)));
+            }
+            if sm.inflight >= self.cfg.mshrs_per_sm || self.dram_tokens <= 0 {
+                self.scan_cap_blocked = true;
+                return Ok(Some(Some(StallReason::Memory)));
+            }
         }
         if uses_shared_pipe && sm.shared_pipe_free > now {
             // Shared-pipe serialization shows up as pipe-busy, not memory
             // dependency, matching nvprof's classification.
+            self.scan_wakeup = self.scan_wakeup.min(sm.shared_pipe_free);
             return Ok(Some(Some(StallReason::Exec)));
         }
 
         // Issue: execute functionally, then account timing.
-        let block = sm.blocks[block_slot].as_mut().expect("warp's block resident");
-        let outcome = block.exec.exec_group(
-            launch,
-            memory,
-            warp_idx,
-            pc,
-            mask,
-            self.cfg.segment_bytes,
-        )?;
+        let block = sm.blocks[block_slot]
+            .as_mut()
+            .expect("warp's block resident");
+        let outcome =
+            block
+                .exec
+                .exec_group(launch, memory, warp_idx, pc, mask, self.cfg.segment_bytes)?;
         self.metrics.thread_insts += u64::from(mask.count_ones());
         self.account_issue(sm_idx, ws, inst, outcome, spill_cnt, now);
         Ok(None)
@@ -737,10 +1095,16 @@ impl<'a> Engine<'a> {
         }
 
         // Refresh cached peeks: barriers may wake other warps of the block.
-        let block_slot = sm.warps[ws].as_ref().expect("issuing warp exists").block_slot;
+        let block_slot = sm.warps[ws]
+            .as_ref()
+            .expect("issuing warp exists")
+            .block_slot;
         if matches!(outcome.kind, IssueKind::Barrier) {
-            let slots =
-                sm.blocks[block_slot].as_ref().expect("block resident").warp_slots.clone();
+            let slots = sm.blocks[block_slot]
+                .as_ref()
+                .expect("block resident")
+                .warp_slots
+                .clone();
             for other in slots {
                 Self::refresh_warp(sm, block_slot, other);
             }
@@ -807,7 +1171,8 @@ mod tests {
         let launch = Launch::new(ir.clone(), 4, (32, 1, 1))
             .arg(ParamValue::Ptr(buf))
             .arg(ParamValue::I32(100));
-        gpu.run_functional(&[launch.clone()]).expect("functional run");
+        gpu.run_functional(std::slice::from_ref(&launch))
+            .expect("functional run");
         let func = gpu.memory().read_f32s(buf);
 
         // timed
@@ -898,9 +1263,7 @@ mod tests {
 
     #[test]
     fn atomics_accumulate_across_blocks() {
-        let ir = compile(
-            "__global__ void k(int* counter) { atomicAdd(&counter[0], 1); }",
-        );
+        let ir = compile("__global__ void k(int* counter) { atomicAdd(&counter[0], 1); }");
         let mut gpu = tiny_gpu();
         let c = gpu.memory_mut().alloc_u32(1);
         let launch = Launch::new(ir, 4, (64, 1, 1)).arg(ParamValue::Ptr(c));
@@ -940,8 +1303,9 @@ mod tests {
         );
         let mut gpu = tiny_gpu();
         let out = gpu.memory_mut().alloc_u32(500);
-        let launch =
-            Launch::new(ir, 2, (32, 1, 1)).arg(ParamValue::Ptr(out)).arg(ParamValue::I32(500));
+        let launch = Launch::new(ir, 2, (32, 1, 1))
+            .arg(ParamValue::Ptr(out))
+            .arg(ParamValue::I32(500));
         gpu.run(&[launch]).expect("run");
         let v = gpu.memory().read_u32s(out);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
@@ -1001,8 +1365,9 @@ mod tests {
         );
         let mut gpu = tiny_gpu();
         let n = 4096;
-        let data: Vec<u32> =
-            (0..n as u64).map(|i| ((i * 2654435761) % n as u64) as u32).collect();
+        let data: Vec<u32> = (0..n as u64)
+            .map(|i| ((i * 2654435761) % n as u64) as u32)
+            .collect();
         let d = gpu.memory_mut().alloc_from_u32(&data);
         let o = gpu.memory_mut().alloc_u32(64);
         let launch = Launch::new(ir, 1, (64, 1, 1))

@@ -2,8 +2,10 @@
 //! of the paper (ten deep-learning pairs, six crypto pairs).
 
 use crate::crypto::{blake256::Blake256, blake2b::Blake2b, ethash::Ethash, sha256::Sha256};
-use crate::dl::{batchnorm::Batchnorm, hist::Hist, im2col::Im2Col, maxpool::Maxpool,
-    softmax::Softmax, transpose::Transpose, upsample::Upsample};
+use crate::dl::{
+    batchnorm::Batchnorm, hist::Hist, im2col::Im2Col, maxpool::Maxpool, softmax::Softmax,
+    transpose::Transpose, upsample::Upsample,
+};
 use crate::Benchmark;
 
 /// Any of the nine benchmark kernels, with its workload parameters.
@@ -121,7 +123,11 @@ pub struct PairSpec {
 
 impl PairSpec {
     fn new(first: AnyBenchmark, second: AnyBenchmark, starred: usize) -> Self {
-        Self { first, second, starred }
+        Self {
+            first,
+            second,
+            starred,
+        }
     }
 
     /// The pair's display name with the starred member marked, e.g.
@@ -149,16 +155,48 @@ impl PairSpec {
 pub fn dl_pairs() -> Vec<PairSpec> {
     use AnyBenchmark as B;
     vec![
-        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Upsample(Upsample::default()), 1),
-        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Hist(Hist::default()), 0),
-        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Im2Col(Im2Col::default()), 0),
-        PairSpec::new(B::Batchnorm(Batchnorm::default()), B::Maxpool(Maxpool::default()), 0),
+        PairSpec::new(
+            B::Batchnorm(Batchnorm::default()),
+            B::Upsample(Upsample::default()),
+            1,
+        ),
+        PairSpec::new(
+            B::Batchnorm(Batchnorm::default()),
+            B::Hist(Hist::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Batchnorm(Batchnorm::default()),
+            B::Im2Col(Im2Col::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Batchnorm(Batchnorm::default()),
+            B::Maxpool(Maxpool::default()),
+            0,
+        ),
         PairSpec::new(B::Hist(Hist::default()), B::Im2Col(Im2Col::default()), 1),
         PairSpec::new(B::Hist(Hist::default()), B::Maxpool(Maxpool::default()), 1),
-        PairSpec::new(B::Hist(Hist::default()), B::Upsample(Upsample::default()), 1),
-        PairSpec::new(B::Im2Col(Im2Col::default()), B::Maxpool(Maxpool::default()), 0),
-        PairSpec::new(B::Im2Col(Im2Col::default()), B::Upsample(Upsample::default()), 1),
-        PairSpec::new(B::Maxpool(Maxpool::default()), B::Upsample(Upsample::default()), 1),
+        PairSpec::new(
+            B::Hist(Hist::default()),
+            B::Upsample(Upsample::default()),
+            1,
+        ),
+        PairSpec::new(
+            B::Im2Col(Im2Col::default()),
+            B::Maxpool(Maxpool::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Im2Col(Im2Col::default()),
+            B::Upsample(Upsample::default()),
+            1,
+        ),
+        PairSpec::new(
+            B::Maxpool(Maxpool::default()),
+            B::Upsample(Upsample::default()),
+            1,
+        ),
     ]
 }
 
@@ -166,12 +204,36 @@ pub fn dl_pairs() -> Vec<PairSpec> {
 pub fn crypto_pairs() -> Vec<PairSpec> {
     use AnyBenchmark as B;
     vec![
-        PairSpec::new(B::Blake2b(Blake2b::default()), B::Ethash(Ethash::default()), 1),
-        PairSpec::new(B::Blake256(Blake256::default()), B::Ethash(Ethash::default()), 1),
-        PairSpec::new(B::Ethash(Ethash::default()), B::Sha256(Sha256::default()), 0),
-        PairSpec::new(B::Blake256(Blake256::default()), B::Blake2b(Blake2b::default()), 0),
-        PairSpec::new(B::Blake256(Blake256::default()), B::Sha256(Sha256::default()), 0),
-        PairSpec::new(B::Blake2b(Blake2b::default()), B::Sha256(Sha256::default()), 0),
+        PairSpec::new(
+            B::Blake2b(Blake2b::default()),
+            B::Ethash(Ethash::default()),
+            1,
+        ),
+        PairSpec::new(
+            B::Blake256(Blake256::default()),
+            B::Ethash(Ethash::default()),
+            1,
+        ),
+        PairSpec::new(
+            B::Ethash(Ethash::default()),
+            B::Sha256(Sha256::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Blake256(Blake256::default()),
+            B::Blake2b(Blake2b::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Blake256(Blake256::default()),
+            B::Sha256(Sha256::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Blake2b(Blake2b::default()),
+            B::Sha256(Sha256::default()),
+            0,
+        ),
     ]
 }
 
@@ -204,9 +266,13 @@ mod tests {
     fn scaling_affects_only_the_starred_member() {
         let pair = &dl_pairs()[1]; // *Batchnorm*+Hist
         let (a, b) = pair.at_scale(2.0);
-        let AnyBenchmark::Batchnorm(bn) = &a else { panic!("first is batchnorm") };
+        let AnyBenchmark::Batchnorm(bn) = &a else {
+            panic!("first is batchnorm")
+        };
         assert_eq!(bn.width, Batchnorm::default().width * 2);
-        let AnyBenchmark::Hist(h) = &b else { panic!("second is hist") };
+        let AnyBenchmark::Hist(h) = &b else {
+            panic!("second is hist")
+        };
         assert_eq!(h.total, Hist::default().total);
     }
 
@@ -222,7 +288,10 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for b in AnyBenchmark::all().into_iter().chain(AnyBenchmark::extensions()) {
+        for b in AnyBenchmark::all()
+            .into_iter()
+            .chain(AnyBenchmark::extensions())
+        {
             let found = AnyBenchmark::by_name(b.name()).expect("find by name");
             assert_eq!(found.name(), b.name());
         }

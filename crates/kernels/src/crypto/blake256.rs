@@ -14,15 +14,13 @@ use super::SIGMA;
 use crate::{ptr_arg, Benchmark};
 
 const IV: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-    0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// The BLAKE-256 constants (digits of π).
 const C: [u32; 16] = [
-    0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344, 0xa4093822, 0x299f31d0, 0x082efa98,
-    0xec4e6c89, 0x452821e6, 0x38d01377, 0xbe5466cf, 0x34e90c6c, 0xc0ac29b7, 0xc97c50dd,
-    0x3f84d5b5, 0xb5470917,
+    0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344, 0xa4093822, 0x299f31d0, 0x082efa98, 0xec4e6c89,
+    0x452821e6, 0x38d01377, 0xbe5466cf, 0x34e90c6c, 0xc0ac29b7, 0xc97c50dd, 0x3f84d5b5, 0xb5470917,
 ];
 
 /// G-call operand columns/diagonals per round position.
@@ -52,14 +50,20 @@ pub struct Blake256 {
 
 impl Default for Blake256 {
     fn default() -> Self {
-        Self { iters: 1, seed: 0xb1ae_0001 }
+        Self {
+            iters: 1,
+            seed: 0xb1ae_0001,
+        }
     }
 }
 
 impl Blake256 {
     /// Scales the per-thread iteration count.
     pub fn scaled(&self, factor: f64) -> Self {
-        Self { iters: ((f64::from(self.iters) * factor).round() as u32).max(1), ..*self }
+        Self {
+            iters: ((f64::from(self.iters) * factor).round() as u32).max(1),
+            ..*self
+        }
     }
 
     fn threads_total(&self) -> usize {
@@ -67,7 +71,10 @@ impl Blake256 {
     }
 
     fn message_word(&self, gid: u32, it: u32, j: u32) -> u32 {
-        self.seed ^ gid.wrapping_mul(MSG_A).wrapping_add((it * 16 + j).wrapping_mul(MSG_B))
+        self.seed
+            ^ gid
+                .wrapping_mul(MSG_A)
+                .wrapping_add((it * 16 + j).wrapping_mul(MSG_B))
     }
 
     /// CPU reference for one thread.
@@ -88,11 +95,15 @@ impl Blake256 {
                 for (i, pos) in G_POS.iter().enumerate() {
                     let [pa, pb, pc, pd] = *pos;
                     let (mut a, mut b, mut c, mut d) = (v[pa], v[pb], v[pc], v[pd]);
-                    a = a.wrapping_add(b).wrapping_add(m[s[2 * i]] ^ C[s[2 * i + 1]]);
+                    a = a
+                        .wrapping_add(b)
+                        .wrapping_add(m[s[2 * i]] ^ C[s[2 * i + 1]]);
                     d = (d ^ a).rotate_right(16);
                     c = c.wrapping_add(d);
                     b = (b ^ c).rotate_right(12);
-                    a = a.wrapping_add(b).wrapping_add(m[s[2 * i + 1]] ^ C[s[2 * i]]);
+                    a = a
+                        .wrapping_add(b)
+                        .wrapping_add(m[s[2 * i + 1]] ^ C[s[2 * i]]);
                     d = (d ^ a).rotate_right(8);
                     c = c.wrapping_add(d);
                     b = (b ^ c).rotate_right(7);
@@ -118,9 +129,7 @@ impl Benchmark for Blake256 {
     fn source(&self) -> String {
         let mut s = String::new();
         s.push_str("#define ROTR(x, n) ((x >> n) | (x << (32 - n)))\n");
-        s.push_str(
-            "__global__ void blake256(unsigned int* out, int iters, unsigned int seed) {\n",
-        );
+        s.push_str("__global__ void blake256(unsigned int* out, int iters, unsigned int seed) {\n");
         s.push_str("    unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;\n");
         for (i, iv) in IV.iter().enumerate() {
             let _ = writeln!(s, "    unsigned int h{i} = {iv}u;");
@@ -224,7 +233,7 @@ mod tests {
         let out = gpu.memory_mut().alloc_u32(64);
         let args = vec![ParamValue::Ptr(out), ParamValue::I32(1), ParamValue::U32(5)];
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 2,
             block_dim: (32, 1, 1),
             dynamic_shared_bytes: 0,

@@ -49,14 +49,20 @@ pub struct Blake2b {
 
 impl Default for Blake2b {
     fn default() -> Self {
-        Self { iters: 1, seed: 0xb1a2_b000_0000_0001 }
+        Self {
+            iters: 1,
+            seed: 0xb1a2_b000_0000_0001,
+        }
     }
 }
 
 impl Blake2b {
     /// Scales the per-thread iteration count.
     pub fn scaled(&self, factor: f64) -> Self {
-        Self { iters: ((f64::from(self.iters) * factor).round() as u32).max(1), ..*self }
+        Self {
+            iters: ((f64::from(self.iters) * factor).round() as u32).max(1),
+            ..*self
+        }
     }
 
     fn threads_total(&self) -> usize {
@@ -222,9 +228,13 @@ mod tests {
         let wl = Blake2b { iters: 1, seed: 99 };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let out = gpu.memory_mut().alloc_u64(64);
-        let args = vec![ParamValue::Ptr(out), ParamValue::I32(1), ParamValue::U64(99)];
+        let args = vec![
+            ParamValue::Ptr(out),
+            ParamValue::I32(1),
+            ParamValue::U64(99),
+        ];
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 2,
             block_dim: (32, 1, 1),
             dynamic_shared_bytes: 0,

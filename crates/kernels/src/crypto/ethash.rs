@@ -27,7 +27,11 @@ pub struct Ethash {
 
 impl Default for Ethash {
     fn default() -> Self {
-        Self { dag_words: 64 * 1024, accesses: 4, seed: 0x5eed_0001 }
+        Self {
+            dag_words: 64 * 1024,
+            accesses: 4,
+            seed: 0x5eed_0001,
+        }
     }
 }
 
@@ -54,7 +58,9 @@ impl Ethash {
     /// CPU reference for one thread id.
     pub fn reference_one(&self, dag: &[u32], gid: u32) -> u32 {
         let mut mix = [
-            (gid ^ self.seed).wrapping_mul(FNV_PRIME).wrapping_add(0x9e37_79b9),
+            (gid ^ self.seed)
+                .wrapping_mul(FNV_PRIME)
+                .wrapping_add(0x9e37_79b9),
             0u32,
             0u32,
             0u32,
@@ -152,11 +158,15 @@ mod tests {
 
     #[test]
     fn gpu_matches_reference() {
-        let wl = Ethash { dag_words: 1024, accesses: 8, seed: 7 };
+        let wl = Ethash {
+            dag_words: 1024,
+            accesses: 8,
+            seed: 7,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: wl.grid_dim(),
             block_dim: (wl.default_threads(), 1, 1),
             dynamic_shared_bytes: 0,
@@ -168,11 +178,15 @@ mod tests {
 
     #[test]
     fn kernel_is_memory_bound_on_simulator() {
-        let wl = Ethash { dag_words: 16 * 1024, accesses: 16, seed: 3 };
+        let wl = Ethash {
+            dag_words: 16 * 1024,
+            accesses: 16,
+            seed: 3,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: wl.grid_dim(),
             block_dim: (wl.default_threads(), 1, 1),
             dynamic_shared_bytes: 0,
@@ -188,10 +202,17 @@ mod tests {
 
     #[test]
     fn reference_depends_on_gid_and_seed() {
-        let wl = Ethash { dag_words: 256, accesses: 4, seed: 1 };
+        let wl = Ethash {
+            dag_words: 256,
+            accesses: 4,
+            seed: 1,
+        };
         let dag = wl.dag_data();
         assert_ne!(wl.reference_one(&dag, 0), wl.reference_one(&dag, 1));
-        let wl2 = Ethash { seed: 2, ..wl.clone() };
+        let wl2 = Ethash {
+            seed: 2,
+            ..wl.clone()
+        };
         // note: different seed also changes the DAG contents
         assert_ne!(
             wl.reference_one(&dag, 0),

@@ -14,21 +14,18 @@ use crate::{ptr_arg, Benchmark};
 
 /// The SHA-256 round constants.
 const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-    0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 const IV: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-    0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 const MSG_A: u32 = 0x9e37_79b9;
@@ -45,14 +42,20 @@ pub struct Sha256 {
 
 impl Default for Sha256 {
     fn default() -> Self {
-        Self { iters: 1, seed: 0x5a5a_0001 }
+        Self {
+            iters: 1,
+            seed: 0x5a5a_0001,
+        }
     }
 }
 
 impl Sha256 {
     /// Scales the per-thread iteration count by `factor`.
     pub fn scaled(&self, factor: f64) -> Self {
-        Self { iters: ((f64::from(self.iters) * factor).round() as u32).max(1), ..*self }
+        Self {
+            iters: ((f64::from(self.iters) * factor).round() as u32).max(1),
+            ..*self
+        }
     }
 
     fn threads_total(&self) -> usize {
@@ -61,7 +64,9 @@ impl Sha256 {
 
     fn message_word(&self, gid: u32, it: u32, t: u32) -> u32 {
         self.seed
-            ^ gid.wrapping_mul(MSG_A).wrapping_add((it * 16 + t).wrapping_mul(MSG_B))
+            ^ gid
+                .wrapping_mul(MSG_A)
+                .wrapping_add((it * 16 + t).wrapping_mul(MSG_B))
     }
 
     /// CPU reference for one thread.
@@ -127,9 +132,7 @@ impl Benchmark for Sha256 {
     fn source(&self) -> String {
         let mut s = String::new();
         s.push_str("#define ROTR(x, n) ((x >> n) | (x << (32 - n)))\n");
-        s.push_str(
-            "__global__ void sha256(unsigned int* out, int iters, unsigned int seed) {\n",
-        );
+        s.push_str("__global__ void sha256(unsigned int* out, int iters, unsigned int seed) {\n");
         s.push_str("    unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;\n");
         for (i, iv) in IV.iter().enumerate() {
             let _ = writeln!(s, "    unsigned int h{i} = {iv}u;");
@@ -149,10 +152,8 @@ impl Benchmark for Sha256 {
                 "        w{t} = seed ^ (gid * {MSG_A}u + ((unsigned int)it * 16u + {t}u) * {MSG_B}u);"
             );
         }
-        s.push_str(
-            "        a = h0; b = h1; c = h2; d = h3; e = h4; f = h5; g = h6; h = h7;\n",
-        );
-        for t in 0..64usize {
+        s.push_str("        a = h0; b = h1; c = h2; d = h3; e = h4; f = h5; g = h6; h = h7;\n");
+        for (t, &kt) in K.iter().enumerate() {
             if t >= 16 {
                 let _ = writeln!(
                     s,
@@ -168,7 +169,7 @@ impl Benchmark for Sha256 {
                 s,
                 "        t1 = h + (ROTR(e, 6) ^ ROTR(e, 11) ^ ROTR(e, 25)) \
                  + ((e & f) ^ (~e & g)) + {k}u + w{cur};",
-                k = K[t],
+                k = kt,
                 cur = t % 16,
             );
             s.push_str(
@@ -240,9 +241,13 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         // Small geometry for the functional check.
         let out = gpu.memory_mut().alloc_u32(64);
-        let args = vec![ParamValue::Ptr(out), ParamValue::I32(1), ParamValue::U32(42)];
+        let args = vec![
+            ParamValue::Ptr(out),
+            ParamValue::I32(1),
+            ParamValue::U32(42),
+        ];
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 2,
             block_dim: (32, 1, 1),
             dynamic_shared_bytes: 0,
@@ -271,7 +276,7 @@ mod tests {
         let out = gpu.memory_mut().alloc_u32(512);
         let args = vec![ParamValue::Ptr(out), ParamValue::I32(1), ParamValue::U32(9)];
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 4,
             block_dim: (128, 1, 1),
             dynamic_shared_bytes: 0,
@@ -282,6 +287,9 @@ mod tests {
         // percentage-of-stalls metric is noisy when almost nothing stalls).
         let m = res.metrics;
         let mem_share = m.stall_mem as f64 / m.total_slots as f64;
-        assert!(mem_share < 0.2, "sha256 must not stall on memory: {mem_share}");
+        assert!(
+            mem_share < 0.2,
+            "sha256 must not stall on memory: {mem_share}"
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct Batchnorm {
 
 impl Default for Batchnorm {
     fn default() -> Self {
-        Self { batch: 8, channels: crate::DEFAULT_GRID, width: 512 }
+        Self {
+            batch: 8,
+            channels: crate::DEFAULT_GRID,
+            width: 512,
+        }
     }
 }
 
@@ -54,7 +58,11 @@ impl Batchnorm {
     /// CPU reference: per-channel `(mean, var_n)` where `var_n` is the sum
     /// of squared deviations (what the kernel's Welford merge produces).
     pub fn reference(&self, input: &[f32]) -> (Vec<f32>, Vec<f32>) {
-        let (n, c, w) = (self.batch as usize, self.channels as usize, self.width as usize);
+        let (n, c, w) = (
+            self.batch as usize,
+            self.channels as usize,
+            self.width as usize,
+        );
         let mut means = vec![0.0f32; c];
         let mut vars = vec![0.0f32; c];
         for ci in 0..c {
@@ -207,7 +215,7 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: wl.grid_dim(),
             block_dim: block,
             dynamic_shared_bytes: 0,
@@ -219,7 +227,11 @@ mod tests {
 
     #[test]
     fn gpu_matches_reference_default_block() {
-        let wl = Batchnorm { batch: 4, channels: 2, width: 96 };
+        let wl = Batchnorm {
+            batch: 4,
+            channels: 2,
+            width: 96,
+        };
         run_and_check(&wl, (32, 16, 1));
     }
 
@@ -227,7 +239,11 @@ mod tests {
     fn gpu_matches_reference_alternate_blocks() {
         // The kernel must be correct for every tunable block size the
         // search may try.
-        let wl = Batchnorm { batch: 3, channels: 2, width: 64 };
+        let wl = Batchnorm {
+            batch: 3,
+            channels: 2,
+            width: 64,
+        };
         run_and_check(&wl, (8, 16, 1)); // 128 threads
         run_and_check(&wl, (24, 16, 1)); // 384 threads
     }
@@ -236,16 +252,26 @@ mod tests {
     fn kernel_has_two_barriers_and_shuffles() {
         let wl = Batchnorm::default();
         let ir = lower_kernel(&wl.kernel()).expect("lower");
-        let bars =
-            ir.insts.iter().filter(|i| matches!(i, thread_ir::Inst::Bar { .. })).count();
+        let bars = ir
+            .insts
+            .iter()
+            .filter(|i| matches!(i, thread_ir::Inst::Bar { .. }))
+            .count();
         assert_eq!(bars, 2);
-        assert!(ir.insts.iter().any(|i| matches!(i, thread_ir::Inst::Shfl { .. })));
+        assert!(ir
+            .insts
+            .iter()
+            .any(|i| matches!(i, thread_ir::Inst::Shfl { .. })));
         assert_eq!(ir.shared_static_bytes, 160 * 4);
     }
 
     #[test]
     fn reference_statistics_are_correct() {
-        let wl = Batchnorm { batch: 1, channels: 1, width: 4 };
+        let wl = Batchnorm {
+            batch: 1,
+            channels: 1,
+            width: 4,
+        };
         let (m, v) = wl.reference(&[1.0, 2.0, 3.0, 4.0]);
         assert!((m[0] - 2.5).abs() < 1e-6);
         assert!((v[0] - 5.0).abs() < 1e-5); // sum of squared deviations

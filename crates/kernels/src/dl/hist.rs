@@ -25,7 +25,12 @@ pub struct Hist {
 
 impl Default for Hist {
     fn default() -> Self {
-        Self { nbins: 64, total: 256 * 1024, min_value: -1.0, max_value: 1.0 }
+        Self {
+            nbins: 64,
+            total: 256 * 1024,
+            min_value: -1.0,
+            max_value: 1.0,
+        }
     }
 }
 
@@ -153,11 +158,16 @@ mod tests {
 
     #[test]
     fn gpu_matches_reference() {
-        let wl = Hist { nbins: 16, total: 4096, min_value: -1.0, max_value: 1.0 };
+        let wl = Hist {
+            nbins: 16,
+            total: 4096,
+            min_value: -1.0,
+            max_value: 1.0,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 4,
             block_dim: (128, 1, 1),
             dynamic_shared_bytes: wl.dynamic_shared(),
@@ -169,11 +179,16 @@ mod tests {
 
     #[test]
     fn timed_run_counts_every_in_range_element() {
-        let wl = Hist { nbins: 8, total: 2048, min_value: -1.0, max_value: 1.0 };
+        let wl = Hist {
+            nbins: 8,
+            total: 2048,
+            min_value: -1.0,
+            max_value: 1.0,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 2,
             block_dim: (64, 1, 1),
             dynamic_shared_bytes: wl.dynamic_shared(),
@@ -185,7 +200,12 @@ mod tests {
 
     #[test]
     fn reference_respects_range() {
-        let wl = Hist { nbins: 4, total: 0, min_value: 0.0, max_value: 1.0 };
+        let wl = Hist {
+            nbins: 4,
+            total: 0,
+            min_value: 0.0,
+            max_value: 1.0,
+        };
         let bins = wl.reference(&[-0.5, 0.1, 0.99, 1.5, 1.0]);
         assert_eq!(bins.iter().sum::<u32>(), 3); // -0.5 and 1.5 excluded
         assert_eq!(bins[3], 2); // 0.99 and the inclusive max fall in the top bin

@@ -24,7 +24,11 @@ pub struct Im2Col {
 
 impl Default for Im2Col {
     fn default() -> Self {
-        Self { channels: 8, height: 32, width: 32 }
+        Self {
+            channels: 8,
+            height: 32,
+            width: 32,
+        }
     }
 }
 
@@ -57,7 +61,11 @@ impl Im2Col {
 
     /// CPU reference: output layout `(c, kh, kw, h, w)`.
     pub fn reference(&self, input: &[f32]) -> Vec<f32> {
-        let (c, h, w) = (self.channels as usize, self.height as usize, self.width as usize);
+        let (c, h, w) = (
+            self.channels as usize,
+            self.height as usize,
+            self.width as usize,
+        );
         let mut out = vec![0.0f32; self.out_len()];
         for ci in 0..c {
             for kh in 0..K {
@@ -66,8 +74,7 @@ impl Im2Col {
                         for x in 0..w {
                             let iy = y as isize + kh as isize - 1;
                             let ix = x as isize + kw as isize - 1;
-                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                            {
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                 input[(ci * h + iy as usize) * w + ix as usize]
                             } else {
                                 0.0
@@ -140,11 +147,15 @@ mod tests {
 
     #[test]
     fn gpu_matches_reference() {
-        let wl = Im2Col { channels: 2, height: 8, width: 8 };
+        let wl = Im2Col {
+            channels: 2,
+            height: 8,
+            width: 8,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 4,
             block_dim: (128, 1, 1),
             dynamic_shared_bytes: 0,
@@ -156,7 +167,11 @@ mod tests {
 
     #[test]
     fn center_tap_is_identity() {
-        let wl = Im2Col { channels: 1, height: 4, width: 4 };
+        let wl = Im2Col {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let input: Vec<f32> = (0..16).map(|i| i as f32 + 1.0).collect();
         let out = wl.reference(&input);
         // kh = kw = 1 is the center tap: exact copy of the image.
@@ -166,7 +181,11 @@ mod tests {
 
     #[test]
     fn borders_are_zero_padded() {
-        let wl = Im2Col { channels: 1, height: 4, width: 4 };
+        let wl = Im2Col {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let input = vec![1.0f32; 16];
         let out = wl.reference(&input);
         // kh = kw = 0 shifts up-left: the first row/column read the pad.

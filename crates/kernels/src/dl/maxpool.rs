@@ -22,7 +22,11 @@ pub struct Maxpool {
 
 impl Default for Maxpool {
     fn default() -> Self {
-        Self { channels: 64, height: 64, width: 64 }
+        Self {
+            channels: 64,
+            height: 64,
+            width: 64,
+        }
     }
 }
 
@@ -41,7 +45,11 @@ impl Maxpool {
     /// sweeps). Width is kept a multiple of 2.
     pub fn scaled(&self, factor: f64) -> Self {
         let h = (((f64::from(self.height) * factor).round() as u32).max(4) + 1) & !1;
-        Self { channels: self.channels, height: h, width: self.width }
+        Self {
+            channels: self.channels,
+            height: h,
+            width: self.width,
+        }
     }
 
     fn input_data(&self) -> Vec<f32> {
@@ -56,7 +64,11 @@ impl Maxpool {
 
     /// CPU reference.
     pub fn reference(&self, input: &[f32]) -> Vec<f32> {
-        let (c, h, w) = (self.channels as usize, self.height as usize, self.width as usize);
+        let (c, h, w) = (
+            self.channels as usize,
+            self.height as usize,
+            self.width as usize,
+        );
         let (oh, ow) = (h / 2, w / 2);
         let mut out = vec![0.0f32; c * oh * ow];
         for ci in 0..c {
@@ -131,11 +143,15 @@ mod tests {
 
     #[test]
     fn gpu_matches_reference() {
-        let wl = Maxpool { channels: 4, height: 16, width: 16 };
+        let wl = Maxpool {
+            channels: 4,
+            height: 16,
+            width: 16,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: wl.grid_dim(),
             block_dim: (wl.default_threads(), 1, 1),
             dynamic_shared_bytes: 0,
@@ -147,11 +163,15 @@ mod tests {
 
     #[test]
     fn timed_run_matches_reference_too() {
-        let wl = Maxpool { channels: 2, height: 8, width: 8 };
+        let wl = Maxpool {
+            channels: 2,
+            height: 8,
+            width: 8,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 2,
             block_dim: (64, 1, 1),
             dynamic_shared_bytes: 0,
@@ -171,7 +191,11 @@ mod tests {
 
     #[test]
     fn reference_picks_window_max() {
-        let wl = Maxpool { channels: 1, height: 2, width: 2 };
+        let wl = Maxpool {
+            channels: 1,
+            height: 2,
+            width: 2,
+        };
         let out = wl.reference(&[1.0, 5.0, 3.0, 2.0]);
         assert_eq!(out, vec![5.0]);
     }

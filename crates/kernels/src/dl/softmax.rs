@@ -22,7 +22,10 @@ pub struct Softmax {
 
 impl Default for Softmax {
     fn default() -> Self {
-        Self { rows: crate::DEFAULT_GRID, cols: 2048 }
+        Self {
+            rows: crate::DEFAULT_GRID,
+            cols: 2048,
+        }
     }
 }
 
@@ -160,7 +163,7 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: wl.grid_dim(),
             block_dim: (threads, 1, 1),
             dynamic_shared_bytes: 0,
@@ -196,7 +199,10 @@ mod tests {
         let ir = lower_kernel(&Softmax::default().kernel()).expect("lower");
         assert!(ir.insts.iter().any(|i| matches!(
             i,
-            thread_ir::Inst::Un { op: thread_ir::ir::UnIr::Exp, .. }
+            thread_ir::Inst::Un {
+                op: thread_ir::ir::UnIr::Exp,
+                ..
+            }
         )));
     }
 }

@@ -39,7 +39,9 @@ impl Transpose {
     /// scales by roughly `factor`), keeping it tile-aligned.
     pub fn scaled(&self, factor: f64) -> Self {
         let dim = (f64::from(self.size) * factor.sqrt()).round() as u32;
-        Self { size: (dim.max(TILE) + TILE - 1) / TILE * TILE }
+        Self {
+            size: dim.max(TILE).div_ceil(TILE) * TILE,
+        }
     }
 
     fn input_data(&self) -> Vec<f32> {
@@ -135,7 +137,7 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: grid,
             block_dim: block,
             dynamic_shared_bytes: 0,

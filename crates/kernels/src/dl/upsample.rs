@@ -22,7 +22,11 @@ pub struct Upsample {
 
 impl Default for Upsample {
     fn default() -> Self {
-        Self { channels: 16, height: 32, width: 64 }
+        Self {
+            channels: 16,
+            height: 32,
+            width: 64,
+        }
     }
 }
 
@@ -55,10 +59,22 @@ impl Upsample {
 
     /// CPU reference (bilinear, align_corners = true).
     pub fn reference(&self, input: &[f32]) -> Vec<f32> {
-        let (c, h, w) = (self.channels as usize, self.height as usize, self.width as usize);
+        let (c, h, w) = (
+            self.channels as usize,
+            self.height as usize,
+            self.width as usize,
+        );
         let (oh, ow) = (h * 2, w * 2);
-        let rh = if oh > 1 { (h - 1) as f32 / (oh - 1) as f32 } else { 0.0 };
-        let rw = if ow > 1 { (w - 1) as f32 / (ow - 1) as f32 } else { 0.0 };
+        let rh = if oh > 1 {
+            (h - 1) as f32 / (oh - 1) as f32
+        } else {
+            0.0
+        };
+        let rw = if ow > 1 {
+            (w - 1) as f32 / (ow - 1) as f32
+        } else {
+            0.0
+        };
         let mut out = vec![0.0f32; c * oh * ow];
         for ci in 0..c {
             for oy in 0..oh {
@@ -152,11 +168,15 @@ mod tests {
 
     #[test]
     fn gpu_matches_reference() {
-        let wl = Upsample { channels: 2, height: 8, width: 8 };
+        let wl = Upsample {
+            channels: 2,
+            height: 8,
+            width: 8,
+        };
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         let args = wl.setup(gpu.memory_mut());
         let launch = Launch {
-            kernel: lower_kernel(&wl.kernel()).expect("lower"),
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
             grid_dim: 4,
             block_dim: (64, 1, 1),
             dynamic_shared_bytes: 0,
@@ -169,7 +189,11 @@ mod tests {
     #[test]
     fn corners_are_exact() {
         // align_corners = true: corner outputs equal corner inputs.
-        let wl = Upsample { channels: 1, height: 4, width: 4 };
+        let wl = Upsample {
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
         let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
         let out = wl.reference(&input);
         assert_eq!(out[0], input[0]);

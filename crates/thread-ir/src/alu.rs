@@ -34,9 +34,17 @@ pub fn bin(op: BinIr, ty: ScalarTy, a: u64, b: u64) -> u64 {
                 BinIr::Mul => canon_i32(x.wrapping_mul(y)),
                 BinIr::Div => canon_i32(if y == 0 { 0 } else { x.wrapping_div(y) }),
                 BinIr::Rem => canon_i32(if y == 0 { 0 } else { x.wrapping_rem(y) }),
-                BinIr::Shl => canon_i32(if (y as u32) >= 32 { 0 } else { x.wrapping_shl(y as u32) }),
+                BinIr::Shl => canon_i32(if (y as u32) >= 32 {
+                    0
+                } else {
+                    x.wrapping_shl(y as u32)
+                }),
                 BinIr::Shr => canon_i32(if (y as u32) >= 32 {
-                    if x < 0 { -1 } else { 0 }
+                    if x < 0 {
+                        -1
+                    } else {
+                        0
+                    }
                 } else {
                     x.wrapping_shr(y as u32)
                 }),
@@ -59,7 +67,7 @@ pub fn bin(op: BinIr, ty: ScalarTy, a: u64, b: u64) -> u64 {
                 BinIr::Add => canon_u32(x.wrapping_add(y)),
                 BinIr::Sub => canon_u32(x.wrapping_sub(y)),
                 BinIr::Mul => canon_u32(x.wrapping_mul(y)),
-                BinIr::Div => canon_u32(if y == 0 { 0 } else { x / y }),
+                BinIr::Div => canon_u32(x.checked_div(y).unwrap_or(0)),
                 BinIr::Rem => canon_u32(if y == 0 { 0 } else { x % y }),
                 BinIr::Shl => canon_u32(if y >= 32 { 0 } else { x.wrapping_shl(y) }),
                 BinIr::Shr => canon_u32(if y >= 32 { 0 } else { x.wrapping_shr(y) }),
@@ -117,13 +125,7 @@ pub fn bin(op: BinIr, ty: ScalarTy, a: u64, b: u64) -> u64 {
                 BinIr::Add => x.wrapping_add(y),
                 BinIr::Sub => x.wrapping_sub(y),
                 BinIr::Mul => x.wrapping_mul(y),
-                BinIr::Div => {
-                    if y == 0 {
-                        0
-                    } else {
-                        x / y
-                    }
-                }
+                BinIr::Div => x.checked_div(y).unwrap_or(0),
                 BinIr::Rem => {
                     if y == 0 {
                         0

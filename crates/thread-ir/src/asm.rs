@@ -4,8 +4,8 @@
 //! IR fixtures.
 
 use crate::ir::{
-    AtomOp, BarCount, BinIr, Inst, KernelIr, ParamKind, Reg, ScalarTy, ShflKind, SpecialReg,
-    UnIr, VoteKind,
+    AtomOp, BarCount, BinIr, Inst, KernelIr, ParamKind, Reg, ScalarTy, ShflKind, SpecialReg, UnIr,
+    VoteKind,
 };
 
 /// Parses a kernel listing produced by [`crate::printer::print_kernel_ir`].
@@ -112,7 +112,8 @@ fn parse_imm(tok: &str) -> Result<u64, String> {
     if let Some(hex) = t.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
     } else {
-        t.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+        t.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
     }
 }
 
@@ -184,32 +185,52 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
     }
     if let Some(rest) = text.strip_prefix("bar.sync ") {
         let mut it = rest.split(',');
-        let id: u32 =
-            it.next().ok_or("missing id")?.trim().parse().map_err(|_| "bad barrier id")?;
+        let id: u32 = it
+            .next()
+            .ok_or("missing id")?
+            .trim()
+            .parse()
+            .map_err(|_| "bad barrier id")?;
         return Ok(match it.next() {
             Some(n) => Inst::Bar {
                 id,
                 count: BarCount::Fixed(n.trim().parse().map_err(|_| "bad barrier count")?),
             },
-            None => Inst::Bar { id, count: BarCount::All },
+            None => Inst::Bar {
+                id,
+                count: BarCount::All,
+            },
         });
     }
     if let Some(rest) = text.strip_prefix("bra.z ") {
         let (c, t) = rest.split_once(',').ok_or("bra.z needs cond, @target")?;
-        return Ok(Inst::Bra { cond: reg(c)?, if_zero: true, target: target(t)? });
+        return Ok(Inst::Bra {
+            cond: reg(c)?,
+            if_zero: true,
+            target: target(t)?,
+        });
     }
     if let Some(rest) = text.strip_prefix("bra.nz ") {
         let (c, t) = rest.split_once(',').ok_or("bra.nz needs cond, @target")?;
-        return Ok(Inst::Bra { cond: reg(c)?, if_zero: false, target: target(t)? });
+        return Ok(Inst::Bra {
+            cond: reg(c)?,
+            if_zero: false,
+            target: target(t)?,
+        });
     }
     if let Some(rest) = text.strip_prefix("bra ") {
-        return Ok(Inst::Jmp { target: target(rest)? });
+        return Ok(Inst::Jmp {
+            target: target(rest)?,
+        });
     }
     if let Some(rest) = text.strip_prefix("st.") {
         // st.<ty> [rA], rV
         let (ty, rest) = rest.split_once(' ').ok_or("st needs operands")?;
         let (addr, val) = rest.split_once(',').ok_or("st needs [addr], val")?;
-        let addr = addr.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        let addr = addr
+            .trim()
+            .strip_prefix('[')
+            .and_then(|a| a.strip_suffix(']'));
         return Ok(Inst::St {
             ty: scalar_ty(ty)?,
             addr: reg(addr.ok_or("bad address operand")?)?,
@@ -223,7 +244,10 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
     let rhs = rhs.trim();
 
     if let Some(rest) = rhs.strip_prefix("imm ") {
-        return Ok(Inst::Imm { dst, value: parse_imm(rest)? });
+        return Ok(Inst::Imm {
+            dst,
+            value: parse_imm(rest)?,
+        });
     }
     if let Some(rest) = rhs.strip_prefix("mov ") {
         let rest = rest.trim();
@@ -240,12 +264,21 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
             });
         }
         if rest.starts_with('%') {
-            return Ok(Inst::Special { dst, reg: special(rest)? });
+            return Ok(Inst::Special {
+                dst,
+                reg: special(rest)?,
+            });
         }
-        return Ok(Inst::Mov { dst, src: reg(rest)? });
+        return Ok(Inst::Mov {
+            dst,
+            src: reg(rest)?,
+        });
     }
     if let Some(rest) = rhs.strip_prefix("ld.param ") {
-        let idx = rest.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        let idx = rest
+            .trim()
+            .strip_prefix('[')
+            .and_then(|a| a.strip_suffix(']'));
         return Ok(Inst::LdParam {
             dst,
             index: idx.and_then(|i| i.parse().ok()).ok_or("bad param index")?,
@@ -253,7 +286,10 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
     }
     if let Some(rest) = rhs.strip_prefix("ld.") {
         let (ty, addr) = rest.split_once(' ').ok_or("ld needs an address")?;
-        let addr = addr.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        let addr = addr
+            .trim()
+            .strip_prefix('[')
+            .and_then(|a| a.strip_suffix(']'));
         return Ok(Inst::Ld {
             ty: scalar_ty(ty)?,
             dst,
@@ -271,7 +307,10 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
             other => return Err(format!("unknown atomic `{other}`")),
         };
         let (addr, val) = rest.split_once(',').ok_or("atom needs [addr], val")?;
-        let addr = addr.trim().strip_prefix('[').and_then(|a| a.strip_suffix(']'));
+        let addr = addr
+            .trim()
+            .strip_prefix('[')
+            .and_then(|a| a.strip_suffix(']'));
         return Ok(Inst::Atom {
             op,
             ty: scalar_ty(ty_name)?,
@@ -291,7 +330,13 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
         let [src, lane, width] = ops.as_slice() else {
             return Err("shfl needs src, lane, width".to_owned());
         };
-        return Ok(Inst::Shfl { kind, dst, src: reg(src)?, lane: reg(lane)?, width: reg(width)? });
+        return Ok(Inst::Shfl {
+            kind,
+            dst,
+            src: reg(src)?,
+            lane: reg(lane)?,
+            width: reg(width)?,
+        });
     }
     if let Some(rest) = rhs.strip_prefix("vote.") {
         let (kind, src) = rest.split_once(' ').ok_or("vote needs an operand")?;
@@ -301,7 +346,11 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
             "all" => VoteKind::All,
             other => return Err(format!("unknown vote `{other}`")),
         };
-        return Ok(Inst::Vote { kind, dst, src: reg(src)? });
+        return Ok(Inst::Vote {
+            kind,
+            dst,
+            src: reg(src)?,
+        });
     }
     if let Some(rest) = rhs.strip_prefix("cvt.") {
         // cvt.<to>.<from> rS
@@ -323,13 +372,24 @@ pub fn parse_inst(text: &str) -> Result<Inst, String> {
         let [a, b] = ops.as_slice() else {
             return Err(format!("{op_name} needs two operands"));
         };
-        return Ok(Inst::Bin { op, ty, dst, a: reg(a)?, b: reg(b)? });
+        return Ok(Inst::Bin {
+            op,
+            ty,
+            dst,
+            a: reg(a)?,
+            b: reg(b)?,
+        });
     }
     if let Some(op) = un_op(op_name) {
         let [a] = ops.as_slice() else {
             return Err(format!("{op_name} needs one operand"));
         };
-        return Ok(Inst::Un { op, ty, dst, a: reg(a)? });
+        return Ok(Inst::Un {
+            op,
+            ty,
+            dst,
+            a: reg(a)?,
+        });
     }
     Err(format!("unknown instruction `{rhs}`"))
 }
@@ -345,28 +405,111 @@ mod tests {
     fn every_instruction_kind_round_trips() {
         let samples = vec![
             Inst::Imm { dst: 0, value: 42 },
-            Inst::Imm { dst: 1, value: 0xdead_beef },
+            Inst::Imm {
+                dst: 1,
+                value: 0xdead_beef,
+            },
             Inst::Mov { dst: 2, src: 0 },
-            Inst::Bin { op: BinIr::Xor, ty: ScalarTy::U32, dst: 3, a: 1, b: 2 },
-            Inst::Bin { op: BinIr::Le, ty: ScalarTy::F64, dst: 4, a: 3, b: 3 },
-            Inst::Un { op: UnIr::Rsqrt, ty: ScalarTy::F32, dst: 5, a: 4 },
-            Inst::Cast { dst: 6, src: 5, from: ScalarTy::F32, to: ScalarTy::I64 },
-            Inst::Ld { ty: ScalarTy::U64, dst: 7, addr: 6 },
-            Inst::St { ty: ScalarTy::F32, addr: 7, val: 5 },
-            Inst::Atom { op: AtomOp::Add, ty: ScalarTy::U32, dst: 8, addr: 7, val: 3 },
-            Inst::Shfl { kind: ShflKind::Xor, dst: 9, src: 8, lane: 3, width: 2 },
-            Inst::Shfl { kind: ShflKind::Down, dst: 10, src: 9, lane: 3, width: 2 },
-            Inst::Vote { kind: VoteKind::Ballot, dst: 15, src: 4 },
-            Inst::Vote { kind: VoteKind::Any, dst: 16, src: 4 },
-            Inst::Vote { kind: VoteKind::All, dst: 17, src: 4 },
-            Inst::Bar { id: 0, count: BarCount::All },
-            Inst::Bar { id: 3, count: BarCount::Fixed(224) },
-            Inst::Special { dst: 11, reg: SpecialReg::GridDimX },
+            Inst::Bin {
+                op: BinIr::Xor,
+                ty: ScalarTy::U32,
+                dst: 3,
+                a: 1,
+                b: 2,
+            },
+            Inst::Bin {
+                op: BinIr::Le,
+                ty: ScalarTy::F64,
+                dst: 4,
+                a: 3,
+                b: 3,
+            },
+            Inst::Un {
+                op: UnIr::Rsqrt,
+                ty: ScalarTy::F32,
+                dst: 5,
+                a: 4,
+            },
+            Inst::Cast {
+                dst: 6,
+                src: 5,
+                from: ScalarTy::F32,
+                to: ScalarTy::I64,
+            },
+            Inst::Ld {
+                ty: ScalarTy::U64,
+                dst: 7,
+                addr: 6,
+            },
+            Inst::St {
+                ty: ScalarTy::F32,
+                addr: 7,
+                val: 5,
+            },
+            Inst::Atom {
+                op: AtomOp::Add,
+                ty: ScalarTy::U32,
+                dst: 8,
+                addr: 7,
+                val: 3,
+            },
+            Inst::Shfl {
+                kind: ShflKind::Xor,
+                dst: 9,
+                src: 8,
+                lane: 3,
+                width: 2,
+            },
+            Inst::Shfl {
+                kind: ShflKind::Down,
+                dst: 10,
+                src: 9,
+                lane: 3,
+                width: 2,
+            },
+            Inst::Vote {
+                kind: VoteKind::Ballot,
+                dst: 15,
+                src: 4,
+            },
+            Inst::Vote {
+                kind: VoteKind::Any,
+                dst: 16,
+                src: 4,
+            },
+            Inst::Vote {
+                kind: VoteKind::All,
+                dst: 17,
+                src: 4,
+            },
+            Inst::Bar {
+                id: 0,
+                count: BarCount::All,
+            },
+            Inst::Bar {
+                id: 3,
+                count: BarCount::Fixed(224),
+            },
+            Inst::Special {
+                dst: 11,
+                reg: SpecialReg::GridDimX,
+            },
             Inst::LdParam { dst: 12, index: 4 },
-            Inst::SharedAddr { dst: 13, offset: 160 },
+            Inst::SharedAddr {
+                dst: 13,
+                offset: 160,
+            },
             Inst::LocalAddr { dst: 14, offset: 8 },
-            Inst::Bra { cond: 4, if_zero: true, target: 2 },
-            Inst::Bra { cond: 4, if_zero: false, target: 0 },
+            Inst::Bra {
+                cond: 4,
+                if_zero: true,
+                target: 2,
+            },
+            Inst::Bra {
+                cond: 4,
+                if_zero: false,
+                target: 0,
+            },
             Inst::Jmp { target: 1 },
             Inst::Ret,
         ];
@@ -394,7 +537,10 @@ mod tests {
         let ir = lower_kernel(&k).expect("lower");
         let listing = print_kernel_ir(&ir);
         let reparsed = parse_kernel_ir(&listing).expect("assemble");
-        assert_eq!(reparsed.insts, ir.insts, "instructions must round-trip exactly");
+        assert_eq!(
+            reparsed.insts, ir.insts,
+            "instructions must round-trip exactly"
+        );
         assert_eq!(reparsed.num_regs, ir.num_regs);
     }
 

@@ -35,7 +35,9 @@ impl Term {
     /// Successor block ids.
     pub fn succs(&self) -> Vec<BlockId> {
         match self {
-            Term::Bra { taken, fallthrough, .. } => vec![*fallthrough, *taken],
+            Term::Bra {
+                taken, fallthrough, ..
+            } => vec![*fallthrough, *taken],
             Term::Jmp(t) => vec![*t],
             Term::Ret => vec![],
         }
@@ -43,7 +45,9 @@ impl Term {
 
     fn retarget(&mut self, from: BlockId, to: BlockId) {
         match self {
-            Term::Bra { taken, fallthrough, .. } => {
+            Term::Bra {
+                taken, fallthrough, ..
+            } => {
                 if *taken == from {
                     *taken = to;
                 }
@@ -109,23 +113,21 @@ impl Cfg {
                         is_leader[pc + 1] = true;
                     }
                 }
-                Inst::Ret
-                    if pc + 1 < n => {
-                        is_leader[pc + 1] = true;
-                    }
+                Inst::Ret if pc + 1 < n => {
+                    is_leader[pc + 1] = true;
+                }
                 _ => {}
             }
         }
-        let leaders: Vec<usize> =
-            (0..n).filter(|&i| is_leader[i]).collect();
+        let leaders: Vec<usize> = (0..n).filter(|&i| is_leader[i]).collect();
         let block_of_pc = {
             let mut map = vec![0usize; n];
             let mut b = 0;
-            for pc in 0..n {
+            for (pc, slot) in map.iter_mut().enumerate() {
                 if b + 1 < leaders.len() && pc >= leaders[b + 1] {
                     b += 1;
                 }
-                map[pc] = b;
+                *slot = b;
             }
             map
         };
@@ -135,7 +137,11 @@ impl Cfg {
             let end = leaders.get(bi + 1).copied().unwrap_or(n);
             let last = end - 1;
             let (body_end, term) = match &insts[last] {
-                Inst::Bra { cond, if_zero, target } => (
+                Inst::Bra {
+                    cond,
+                    if_zero,
+                    target,
+                } => (
                     last,
                     Term::Bra {
                         cond: *cond,
@@ -150,7 +156,10 @@ impl Cfg {
                 // Fallthrough block (ends because the next pc is a leader).
                 _ => (end, Term::Jmp(bi + 1)),
             };
-            blocks.push(Bb { insts: insts[start..body_end].to_vec(), term });
+            blocks.push(Bb {
+                insts: insts[start..body_end].to_vec(),
+                term,
+            });
         }
         let layout = (0..blocks.len()).collect();
         Cfg { blocks, layout }
@@ -231,10 +240,10 @@ impl Cfg {
         let dom = self.dominators();
         let preds = self.preds();
         let mut loops: Vec<(BlockId, Vec<bool>)> = Vec::new();
-        for b in 0..n {
+        for (b, dom_b) in dom.iter().enumerate() {
             for h in self.blocks[b].term.succs() {
                 // Back edge b -> h when h dominates b.
-                if !dom[b][h] {
+                if !dom_b[h] {
                     continue;
                 }
                 let mut body = vec![false; n];
@@ -264,7 +273,10 @@ impl Cfg {
     /// new block's id.
     pub fn insert_preheader(&mut self, header: BlockId, body: &[bool]) -> BlockId {
         let pre = self.blocks.len();
-        self.blocks.push(Bb { insts: Vec::new(), term: Term::Jmp(header) });
+        self.blocks.push(Bb {
+            insts: Vec::new(),
+            term: Term::Jmp(header),
+        });
         for b in 0..pre {
             // `body` may be shorter than `blocks` when earlier transforms
             // appended blocks after the loop analysis ran.
@@ -324,14 +336,21 @@ impl Cfg {
                         out.push(Inst::Jmp { target: start[*t] });
                     }
                 }
-                Term::Bra { cond, if_zero, taken, fallthrough } => {
+                Term::Bra {
+                    cond,
+                    if_zero,
+                    taken,
+                    fallthrough,
+                } => {
                     out.push(Inst::Bra {
                         cond: *cond,
                         if_zero: *if_zero,
                         target: start[*taken],
                     });
                     if next_in_layout(i) != Some(*fallthrough) {
-                        out.push(Inst::Jmp { target: start[*fallthrough] });
+                        out.push(Inst::Jmp {
+                            target: start[*fallthrough],
+                        });
                     }
                 }
             }
@@ -421,7 +440,10 @@ mod tests {
         // is the preheader.
         let preds = cfg.preds();
         for &p in &preds[header] {
-            assert!(p == pre || body[p], "pred {p} should be preheader or in-loop");
+            assert!(
+                p == pre || body[p],
+                "pred {p} should be preheader or in-loop"
+            );
         }
         // Flattening still verifies.
         let mut out = k.clone();

@@ -236,19 +236,47 @@ pub enum Inst {
     /// `dst = src`.
     Mov { dst: Reg, src: Reg },
     /// `dst = a <op> b` under `ty`.
-    Bin { op: BinIr, ty: ScalarTy, dst: Reg, a: Reg, b: Reg },
+    Bin {
+        op: BinIr,
+        ty: ScalarTy,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// `dst = <op> a` under `ty`.
-    Un { op: UnIr, ty: ScalarTy, dst: Reg, a: Reg },
+    Un {
+        op: UnIr,
+        ty: ScalarTy,
+        dst: Reg,
+        a: Reg,
+    },
     /// `dst = (to)(from)src` — numeric conversion.
-    Cast { dst: Reg, src: Reg, from: ScalarTy, to: ScalarTy },
+    Cast {
+        dst: Reg,
+        src: Reg,
+        from: ScalarTy,
+        to: ScalarTy,
+    },
     /// Load `ty` from the address in `addr`.
     Ld { ty: ScalarTy, dst: Reg, addr: Reg },
     /// Store `ty` to the address in `addr`.
     St { ty: ScalarTy, addr: Reg, val: Reg },
     /// Atomic read-modify-write; `dst` receives the old value.
-    Atom { op: AtomOp, ty: ScalarTy, dst: Reg, addr: Reg, val: Reg },
+    Atom {
+        op: AtomOp,
+        ty: ScalarTy,
+        dst: Reg,
+        addr: Reg,
+        val: Reg,
+    },
     /// Warp shuffle: `dst = register `src` of the source lane`.
-    Shfl { kind: ShflKind, dst: Reg, src: Reg, lane: Reg, width: Reg },
+    Shfl {
+        kind: ShflKind,
+        dst: Reg,
+        src: Reg,
+        lane: Reg,
+        width: Reg,
+    },
     /// Warp vote over the executing group's predicate values.
     Vote { kind: VoteKind, dst: Reg, src: Reg },
     /// Named barrier with participation count.
@@ -262,7 +290,11 @@ pub enum Inst {
     /// Materialize the base address of a per-thread local allocation.
     LocalAddr { dst: Reg, offset: u32 },
     /// Conditional branch: if (`cond` == 0) == `if_zero`, jump to `target`.
-    Bra { cond: Reg, if_zero: bool, target: usize },
+    Bra {
+        cond: Reg,
+        if_zero: bool,
+        target: usize,
+    },
     /// Unconditional jump.
     Jmp { target: usize },
     /// Thread exit.
@@ -309,7 +341,9 @@ impl Inst {
                 out.push(*addr);
                 out.push(*val);
             }
-            Inst::Shfl { src, lane, width, .. } => {
+            Inst::Shfl {
+                src, lane, width, ..
+            } => {
                 out.push(*src);
                 out.push(*lane);
                 out.push(*width);
@@ -424,11 +458,21 @@ mod tests {
 
     #[test]
     fn inst_dst_and_srcs() {
-        let i = Inst::Bin { op: BinIr::Add, ty: ScalarTy::I32, dst: 5, a: 1, b: 2 };
+        let i = Inst::Bin {
+            op: BinIr::Add,
+            ty: ScalarTy::I32,
+            dst: 5,
+            a: 1,
+            b: 2,
+        };
         assert_eq!(i.dst(), Some(5));
         assert_eq!(i.srcs(), vec![1, 2]);
 
-        let st = Inst::St { ty: ScalarTy::F32, addr: 3, val: 4 };
+        let st = Inst::St {
+            ty: ScalarTy::F32,
+            addr: 3,
+            val: 4,
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.srcs(), vec![3, 4]);
         assert!(st.is_memory());

@@ -28,7 +28,9 @@ pub struct RegSet {
 impl RegSet {
     /// Creates an empty set able to hold `n` registers.
     pub fn new(n: u32) -> Self {
-        Self { words: vec![0; (n as usize).div_ceil(64)] }
+        Self {
+            words: vec![0; (n as usize).div_ceil(64)],
+        }
     }
 
     /// Inserts `r`; returns true if it was newly inserted.
@@ -126,13 +128,22 @@ pub struct SmallSuccs {
 
 impl SmallSuccs {
     fn none() -> Self {
-        Self { items: [0; 2], len: 0 }
+        Self {
+            items: [0; 2],
+            len: 0,
+        }
     }
     fn one(a: usize) -> Self {
-        Self { items: [a, 0], len: 1 }
+        Self {
+            items: [a, 0],
+            len: 1,
+        }
     }
     fn two(a: usize, b: usize) -> Self {
-        Self { items: [a, b], len: 2 }
+        Self {
+            items: [a, b],
+            len: 2,
+        }
     }
 
     /// The successors as a slice.
@@ -216,7 +227,11 @@ pub fn pressure_excluding(kernel: &KernelIr, excluded: Option<&RegSet>) -> u32 {
     if let Some(ex) = excluded {
         skip.union_with(ex);
     }
-    let max_live = live.iter().map(|s| s.count_excluding(Some(&skip))).max().unwrap_or(0);
+    let max_live = live
+        .iter()
+        .map(|s| s.count_excluding(Some(&skip)))
+        .max()
+        .unwrap_or(0);
     (max_live + REG_OVERHEAD).clamp(MIN_REGS, MAX_REGS)
 }
 
@@ -240,7 +255,11 @@ pub struct RegStats {
 pub fn reg_stats(kernel: &KernelIr) -> Vec<RegStats> {
     let live = live_in_sets(kernel);
     let mut stats: Vec<RegStats> = (0..kernel.num_regs)
-        .map(|reg| RegStats { reg, live_points: 0, occurrences: 0 })
+        .map(|reg| RegStats {
+            reg,
+            live_points: 0,
+            occurrences: 0,
+        })
         .collect();
     for set in &live {
         for r in set.iter() {
@@ -301,9 +320,8 @@ mod tests {
     #[test]
     fn straight_line_pressure_counts_overlap() {
         // x and y are both live across the final store.
-        let ir = lower(
-            "__global__ void k(float* a) { float x = a[0]; float y = a[1]; a[2] = x + y; }",
-        );
+        let ir =
+            lower("__global__ void k(float* a) { float x = a[0]; float y = a[1]; a[2] = x + y; }");
         let p = register_pressure(&ir);
         assert!(p >= MIN_REGS, "pressure {p}");
         assert!(p < 32, "pressure {p} too high for a tiny kernel");
@@ -367,7 +385,11 @@ mod tests {
         let live = live_in_sets(&ir);
         // Exclude the register with the longest live range.
         let stats = reg_stats(&ir);
-        let longest = stats.iter().max_by_key(|s| s.live_points).expect("stats").reg;
+        let longest = stats
+            .iter()
+            .max_by_key(|s| s.live_points)
+            .expect("stats")
+            .reg;
         let mut ex = RegSet::new(ir.num_regs);
         ex.insert(longest);
         let reduced = pressure_excluding(&ir, Some(&ex));

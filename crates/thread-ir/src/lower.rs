@@ -14,17 +14,17 @@
 
 use std::collections::HashMap;
 
-use cuda_frontend::ast::{
-    ArrayLen, AssignOp, Axis, BinOp, Block, BuiltinVar, Expr, Function, Stmt, Ty, UnOp,
-    VarDecl, const_eval_int,
-};
 use cuda_frontend::ast::SwitchCase;
-use cuda_frontend::FrontendError;
+use cuda_frontend::ast::{
+    const_eval_int, ArrayLen, AssignOp, Axis, BinOp, Block, BuiltinVar, Expr, Function, Stmt, Ty,
+    UnOp, VarDecl,
+};
 use cuda_frontend::typeck::{promote, Intrinsic};
+use cuda_frontend::FrontendError;
 
 use crate::ir::{
-    AtomOp, BarCount, BinIr, Inst, KernelIr, ParamKind, Reg, ScalarTy, ShflKind, SpecialReg,
-    UnIr, VoteKind,
+    AtomOp, BarCount, BinIr, Inst, KernelIr, ParamKind, Reg, ScalarTy, ShflKind, SpecialReg, UnIr,
+    VoteKind,
 };
 
 /// Lowers a preprocessed kernel to IR and computes its register pressure.
@@ -49,7 +49,10 @@ pub fn lower_kernel_unoptimized(f: &Function) -> Result<KernelIr, FrontendError>
     let mut lw = Lowerer::new(&f.name);
     for (i, p) in f.params.iter().enumerate() {
         let reg = lw.fresh();
-        lw.emit(Inst::LdParam { dst: reg, index: i as u32 });
+        lw.emit(Inst::LdParam {
+            dst: reg,
+            index: i as u32,
+        });
         lw.params.push(match &p.ty {
             Ty::Ptr(_) => ParamKind::Pointer,
             t => ParamKind::Scalar(scalar_of(t)),
@@ -248,7 +251,11 @@ impl Lowerer {
     /// Emits a branch whose target is patched in [`Self::finish`]. Targets
     /// temporarily hold the label id.
     fn emit_bra(&mut self, cond: Reg, if_zero: bool, label: LabelId) {
-        self.emit(Inst::Bra { cond, if_zero, target: label });
+        self.emit(Inst::Bra {
+            cond,
+            if_zero,
+            target: label,
+        });
     }
 
     fn emit_jmp(&mut self, label: LabelId) {
@@ -333,14 +340,22 @@ impl Lowerer {
                 let (c, cty) = self.expr(cond)?;
                 let c = self.truthy(c, &cty);
                 self.emit_bra(c, true, l_end);
-                self.loops.push(LoopCtx { continue_label: Some(l_cond), break_label: l_end });
+                self.loops.push(LoopCtx {
+                    continue_label: Some(l_cond),
+                    break_label: l_end,
+                });
                 self.block(body)?;
                 self.loops.pop();
                 self.emit_jmp(l_cond);
                 self.bind_label(l_end);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.stmt(init)?;
@@ -354,7 +369,10 @@ impl Lowerer {
                     let c = self.truthy(c, &cty);
                     self.emit_bra(c, true, l_end);
                 }
-                self.loops.push(LoopCtx { continue_label: Some(l_cont), break_label: l_end });
+                self.loops.push(LoopCtx {
+                    continue_label: Some(l_cont),
+                    break_label: l_end,
+                });
                 self.block(body)?;
                 self.loops.pop();
                 self.bind_label(l_cont);
@@ -371,7 +389,10 @@ impl Lowerer {
                 let l_cond = self.new_label();
                 let l_end = self.new_label();
                 self.bind_label(l_top);
-                self.loops.push(LoopCtx { continue_label: Some(l_cond), break_label: l_end });
+                self.loops.push(LoopCtx {
+                    continue_label: Some(l_cond),
+                    break_label: l_end,
+                });
                 self.block(body)?;
                 self.loops.pop();
                 self.bind_label(l_cond);
@@ -386,9 +407,7 @@ impl Lowerer {
                 self.emit(Inst::Ret);
                 Ok(())
             }
-            Stmt::Return(Some(_)) => {
-                Err(FrontendError::new("kernels cannot return a value"))
-            }
+            Stmt::Return(Some(_)) => Err(FrontendError::new("kernels cannot return a value")),
             Stmt::Break => {
                 let l = self
                     .loops
@@ -410,11 +429,17 @@ impl Lowerer {
             }
             Stmt::Block(b) => self.block(b),
             Stmt::SyncThreads => {
-                self.emit(Inst::Bar { id: 0, count: BarCount::All });
+                self.emit(Inst::Bar {
+                    id: 0,
+                    count: BarCount::All,
+                });
                 Ok(())
             }
             Stmt::BarSync { id, count } => {
-                self.emit(Inst::Bar { id: *id, count: BarCount::Fixed(*count) });
+                self.emit(Inst::Bar {
+                    id: *id,
+                    count: BarCount::Fixed(*count),
+                });
                 Ok(())
             }
             Stmt::Goto(name) => {
@@ -435,7 +460,11 @@ impl Lowerer {
     /// case bodies in order (fallthrough is the natural successor).
     fn switch(&mut self, scrutinee: &Expr, cases: &[SwitchCase]) -> Result<(), FrontendError> {
         let (v, vty) = self.expr(scrutinee)?;
-        let common = if vty.is_integer() { promote(&vty, &Ty::I32) } else { vty.clone() };
+        let common = if vty.is_integer() {
+            promote(&vty, &Ty::I32)
+        } else {
+            vty.clone()
+        };
         if !common.is_integer() {
             return Err(FrontendError::new("switch scrutinee must be an integer"));
         }
@@ -465,7 +494,10 @@ impl Lowerer {
         self.emit_jmp(default.unwrap_or(l_end));
 
         // Bodies, in source order; `break` exits, fallthrough continues.
-        self.loops.push(LoopCtx { continue_label: None, break_label: l_end });
+        self.loops.push(LoopCtx {
+            continue_label: None,
+            break_label: l_end,
+        });
         self.scopes.push(HashMap::new());
         for (case, &label) in cases.iter().zip(&case_labels) {
             self.bind_label(label);
@@ -502,11 +534,23 @@ impl Lowerer {
                 if shared {
                     let offset = self.shared_offset;
                     self.shared_offset += bytes;
-                    self.declare(&d.name, Binding::SharedArray { offset, elem: d.ty.clone() });
+                    self.declare(
+                        &d.name,
+                        Binding::SharedArray {
+                            offset,
+                            elem: d.ty.clone(),
+                        },
+                    );
                 } else {
                     let offset = self.local_offset;
                     self.local_offset += bytes;
-                    self.declare(&d.name, Binding::LocalArray { offset, elem: d.ty.clone() });
+                    self.declare(
+                        &d.name,
+                        Binding::LocalArray {
+                            offset,
+                            elem: d.ty.clone(),
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -526,7 +570,13 @@ impl Lowerer {
                 let bytes = align8(d.ty.size_bytes());
                 let offset = self.shared_offset;
                 self.shared_offset += bytes;
-                self.declare(&d.name, Binding::SharedArray { offset, elem: d.ty.clone() });
+                self.declare(
+                    &d.name,
+                    Binding::SharedArray {
+                        offset,
+                        elem: d.ty.clone(),
+                    },
+                );
                 Ok(())
             }
         }
@@ -562,7 +612,10 @@ impl Lowerer {
                     let dst = self.fresh();
                     // The dynamic region starts right after the statics; the
                     // simulator adds the block's frame base.
-                    self.emit(Inst::SharedAddr { dst, offset: u32::MAX });
+                    self.emit(Inst::SharedAddr {
+                        dst,
+                        offset: u32::MAX,
+                    });
                     Ok((dst, elem.ptr_to()))
                 }
                 Binding::LocalArray { offset, elem } => {
@@ -578,21 +631,36 @@ impl Lowerer {
                     UnOp::Not => {
                         let a = self.truthy(a, &aty);
                         let dst = self.fresh();
-                        self.emit(Inst::Un { op: UnIr::Not, ty: ScalarTy::I32, dst, a });
+                        self.emit(Inst::Un {
+                            op: UnIr::Not,
+                            ty: ScalarTy::I32,
+                            dst,
+                            a,
+                        });
                         Ok((dst, Ty::I32))
                     }
                     UnOp::Neg => {
                         let rty = promote(&aty, &Ty::I32);
                         let a = self.coerce(a, &aty, &rty);
                         let dst = self.fresh();
-                        self.emit(Inst::Un { op: UnIr::Neg, ty: scalar_of(&rty), dst, a });
+                        self.emit(Inst::Un {
+                            op: UnIr::Neg,
+                            ty: scalar_of(&rty),
+                            dst,
+                            a,
+                        });
                         Ok((dst, rty))
                     }
                     UnOp::BitNot => {
                         let rty = promote(&aty, &Ty::I32);
                         let a = self.coerce(a, &aty, &rty);
                         let dst = self.fresh();
-                        self.emit(Inst::Un { op: UnIr::BitNot, ty: scalar_of(&rty), dst, a });
+                        self.emit(Inst::Un {
+                            op: UnIr::BitNot,
+                            ty: scalar_of(&rty),
+                            dst,
+                            a,
+                        });
                         Ok((dst, rty))
                     }
                 }
@@ -626,7 +694,10 @@ impl Lowerer {
                 let (old, ty) = self.read_place(&place);
                 // Preserve the old value for the postfix result.
                 let saved = self.fresh();
-                self.emit(Inst::Mov { dst: saved, src: old });
+                self.emit(Inst::Mov {
+                    dst: saved,
+                    src: old,
+                });
                 let bits = if ty.is_float() {
                     match scalar_of(&ty) {
                         ScalarTy::F32 => u64::from(1f32.to_bits()),
@@ -638,7 +709,13 @@ impl Lowerer {
                 let one = self.imm(bits);
                 let dst = self.fresh();
                 let op = if *inc { BinIr::Add } else { BinIr::Sub };
-                self.emit(Inst::Bin { op, ty: scalar_of(&ty), dst, a: old, b: one });
+                self.emit(Inst::Bin {
+                    op,
+                    ty: scalar_of(&ty),
+                    dst,
+                    a: old,
+                    b: one,
+                });
                 // Pointer step must scale — but `p++` on pointers is not in
                 // the dialect; reject for clarity.
                 if ty.is_pointer() {
@@ -665,12 +742,18 @@ impl Lowerer {
                     promote(&tty, &fty_probe)
                 };
                 let tv = self.coerce(tv, &tty, &rty);
-                self.emit(Inst::Mov { dst: result, src: tv });
+                self.emit(Inst::Mov {
+                    dst: result,
+                    src: tv,
+                });
                 self.emit_jmp(l_end);
                 self.bind_label(l_else);
                 let (fv, fty) = self.expr(f)?;
                 let fv = self.coerce(fv, &fty, &rty);
-                self.emit(Inst::Mov { dst: result, src: fv });
+                self.emit(Inst::Mov {
+                    dst: result,
+                    src: fv,
+                });
                 self.bind_label(l_end);
                 Ok((result, rty))
             }
@@ -688,9 +771,9 @@ impl Lowerer {
                 let place = self.place(inner)?;
                 match place {
                     Place::Mem { addr, ty } => Ok((addr, ty.ptr_to())),
-                    Place::Reg(..) => {
-                        Err(FrontendError::new("cannot take the address of a register variable"))
-                    }
+                    Place::Reg(..) => Err(FrontendError::new(
+                        "cannot take the address of a register variable",
+                    )),
                 }
             }
         }
@@ -761,29 +844,30 @@ impl Lowerer {
             Expr::IncDec { target, .. } => self.probe_ty(target)?,
             Expr::AddrOf(inner) => self.probe_ty(inner)?.ptr_to(),
             Expr::Call(name, args) => match Intrinsic::lookup(name, args.len()) {
-                Some(Intrinsic::FminF | Intrinsic::FmaxF | Intrinsic::FabsF | Intrinsic::SqrtF
-                | Intrinsic::RsqrtF | Intrinsic::ExpF | Intrinsic::LogF) => Ty::F32,
+                Some(
+                    Intrinsic::FminF
+                    | Intrinsic::FmaxF
+                    | Intrinsic::FabsF
+                    | Intrinsic::SqrtF
+                    | Intrinsic::RsqrtF
+                    | Intrinsic::ExpF
+                    | Intrinsic::LogF,
+                ) => Ty::F32,
                 Some(Intrinsic::Min | Intrinsic::Max) => {
                     promote(&self.probe_ty(&args[0])?, &self.probe_ty(&args[1])?)
                 }
                 Some(Intrinsic::ShflXor | Intrinsic::ShflDown) => {
                     self.probe_ty(&args[cuda_frontend::typeck::shuffle_value_arg(args.len())])?
                 }
-                Some(Intrinsic::Popc | Intrinsic::Clz | Intrinsic::Any | Intrinsic::All) => {
-                    Ty::I32
-                }
+                Some(Intrinsic::Popc | Intrinsic::Clz | Intrinsic::Any | Intrinsic::All) => Ty::I32,
                 Some(Intrinsic::Brev | Intrinsic::Ballot) => Ty::U32,
-                Some(
-                    Intrinsic::AtomicAdd | Intrinsic::AtomicMax | Intrinsic::AtomicExch,
-                ) => {
+                Some(Intrinsic::AtomicAdd | Intrinsic::AtomicMax | Intrinsic::AtomicExch) => {
                     let pt = self.probe_ty(&args[0])?;
                     pt.pointee()
                         .cloned()
                         .ok_or_else(|| FrontendError::new("atomic on non-pointer"))?
                 }
-                None => {
-                    return Err(FrontendError::new(format!("unknown function `{name}`")))
-                }
+                None => return Err(FrontendError::new(format!("unknown function `{name}`"))),
             },
         })
     }
@@ -796,21 +880,37 @@ impl Lowerer {
             let (b, bty) = self.expr(rhs)?;
             let b = self.truthy(b, &bty);
             let dst = self.fresh();
-            let ir_op = if op == BinOp::LogAnd { BinIr::And } else { BinIr::Or };
-            self.emit(Inst::Bin { op: ir_op, ty: ScalarTy::I32, dst, a, b });
+            let ir_op = if op == BinOp::LogAnd {
+                BinIr::And
+            } else {
+                BinIr::Or
+            };
+            self.emit(Inst::Bin {
+                op: ir_op,
+                ty: ScalarTy::I32,
+                dst,
+                a,
+                b,
+            });
             Ok((dst, Ty::I32))
         } else {
             // Short-circuit form.
             let result = self.fresh();
             let (a, aty) = self.expr(lhs)?;
             let a = self.truthy(a, &aty);
-            self.emit(Inst::Mov { dst: result, src: a });
+            self.emit(Inst::Mov {
+                dst: result,
+                src: a,
+            });
             let l_end = self.new_label();
             // `&&`: skip rhs when lhs is false; `||`: skip when lhs is true.
             self.emit_bra(a, op == BinOp::LogAnd, l_end);
             let (b, bty) = self.expr(rhs)?;
             let b = self.truthy(b, &bty);
-            self.emit(Inst::Mov { dst: result, src: b });
+            self.emit(Inst::Mov {
+                dst: result,
+                src: b,
+            });
             self.bind_label(l_end);
             Ok((result, Ty::I32))
         }
@@ -862,7 +962,13 @@ impl Lowerer {
             BinOp::Ne => BinIr::Ne,
             BinOp::LogAnd | BinOp::LogOr => unreachable!("handled by logical()"),
         };
-        self.emit(Inst::Bin { op: ir_op, ty: sc, dst, a, b });
+        self.emit(Inst::Bin {
+            op: ir_op,
+            ty: sc,
+            dst,
+            a,
+            b,
+        });
         let rty = if op.is_comparison() { Ty::I32 } else { common };
         Ok((dst, rty))
     }
@@ -880,19 +986,44 @@ impl Lowerer {
                 let elem = aty.pointee().expect("pointer checked").size_bytes();
                 let scaled = self.scale_index(b, bty, elem);
                 let dst = self.fresh();
-                let ir_op = if op == BinOp::Add { BinIr::Add } else { BinIr::Sub };
-                self.emit(Inst::Bin { op: ir_op, ty: ScalarTy::U64, dst, a, b: scaled });
+                let ir_op = if op == BinOp::Add {
+                    BinIr::Add
+                } else {
+                    BinIr::Sub
+                };
+                self.emit(Inst::Bin {
+                    op: ir_op,
+                    ty: ScalarTy::U64,
+                    dst,
+                    a,
+                    b: scaled,
+                });
                 Ok((dst, aty.clone()))
             }
             (BinOp::Add, false, true) => self.pointer_arith(op, b, bty, a, aty),
             (BinOp::Sub, true, true) => {
                 let elem = aty.pointee().expect("pointer checked").size_bytes();
                 let diff = self.fresh();
-                self.emit(Inst::Bin { op: BinIr::Sub, ty: ScalarTy::I64, dst: diff, a, b });
+                self.emit(Inst::Bin {
+                    op: BinIr::Sub,
+                    ty: ScalarTy::I64,
+                    dst: diff,
+                    a,
+                    b,
+                });
                 let size = self.fresh();
-                self.emit(Inst::Imm { dst: size, value: u64::from(elem) });
+                self.emit(Inst::Imm {
+                    dst: size,
+                    value: u64::from(elem),
+                });
                 let dst = self.fresh();
-                self.emit(Inst::Bin { op: BinIr::Div, ty: ScalarTy::I64, dst, a: diff, b: size });
+                self.emit(Inst::Bin {
+                    op: BinIr::Div,
+                    ty: ScalarTy::I64,
+                    dst,
+                    a: diff,
+                    b: size,
+                });
                 Ok((dst, Ty::I64))
             }
             (op, _, _) if op.is_comparison() => {
@@ -906,7 +1037,13 @@ impl Lowerer {
                     BinOp::Ne => BinIr::Ne,
                     _ => unreachable!("comparison checked"),
                 };
-                self.emit(Inst::Bin { op: ir_op, ty: ScalarTy::U64, dst, a, b });
+                self.emit(Inst::Bin {
+                    op: ir_op,
+                    ty: ScalarTy::U64,
+                    dst,
+                    a,
+                    b,
+                });
                 Ok((dst, Ty::I32))
             }
             _ => Err(FrontendError::new(format!(
@@ -926,7 +1063,13 @@ impl Lowerer {
         }
         let size = self.imm(u64::from(elem_bytes));
         let dst = self.fresh();
-        self.emit(Inst::Bin { op: BinIr::Mul, ty: ScalarTy::I64, dst, a: wide, b: size });
+        self.emit(Inst::Bin {
+            op: BinIr::Mul,
+            ty: ScalarTy::I64,
+            dst,
+            a: wide,
+            b: size,
+        });
         dst
     }
 
@@ -945,8 +1088,18 @@ impl Lowerer {
                 let a = self.coerce(a, &aty, &common);
                 let b = self.coerce(b, &bty, &common);
                 let dst = self.fresh();
-                let op = if intrinsic == Intrinsic::Min { BinIr::Min } else { BinIr::Max };
-                self.emit(Inst::Bin { op, ty: scalar_of(&common), dst, a, b });
+                let op = if intrinsic == Intrinsic::Min {
+                    BinIr::Min
+                } else {
+                    BinIr::Max
+                };
+                self.emit(Inst::Bin {
+                    op,
+                    ty: scalar_of(&common),
+                    dst,
+                    a,
+                    b,
+                });
                 Ok((dst, common))
             }
             Intrinsic::FminF | Intrinsic::FmaxF => {
@@ -955,11 +1108,24 @@ impl Lowerer {
                 let a = self.coerce(a, &aty, &Ty::F32);
                 let b = self.coerce(b, &bty, &Ty::F32);
                 let dst = self.fresh();
-                let op = if intrinsic == Intrinsic::FminF { BinIr::Min } else { BinIr::Max };
-                self.emit(Inst::Bin { op, ty: ScalarTy::F32, dst, a, b });
+                let op = if intrinsic == Intrinsic::FminF {
+                    BinIr::Min
+                } else {
+                    BinIr::Max
+                };
+                self.emit(Inst::Bin {
+                    op,
+                    ty: ScalarTy::F32,
+                    dst,
+                    a,
+                    b,
+                });
                 Ok((dst, Ty::F32))
             }
-            Intrinsic::FabsF | Intrinsic::SqrtF | Intrinsic::RsqrtF | Intrinsic::ExpF
+            Intrinsic::FabsF
+            | Intrinsic::SqrtF
+            | Intrinsic::RsqrtF
+            | Intrinsic::ExpF
             | Intrinsic::LogF => {
                 let (a, aty) = self.expr(&args[0])?;
                 let a = self.coerce(a, &aty, &Ty::F32);
@@ -971,7 +1137,12 @@ impl Lowerer {
                     Intrinsic::ExpF => UnIr::Exp,
                     _ => UnIr::Log,
                 };
-                self.emit(Inst::Un { op, ty: ScalarTy::F32, dst, a });
+                self.emit(Inst::Un {
+                    op,
+                    ty: ScalarTy::F32,
+                    dst,
+                    a,
+                });
                 Ok((dst, Ty::F32))
             }
             Intrinsic::ShflXor | Intrinsic::ShflDown => {
@@ -995,7 +1166,13 @@ impl Lowerer {
                 } else {
                     ShflKind::Down
                 };
-                self.emit(Inst::Shfl { kind, dst, src, lane, width });
+                self.emit(Inst::Shfl {
+                    kind,
+                    dst,
+                    src,
+                    lane,
+                    width,
+                });
                 Ok((dst, vty))
             }
             Intrinsic::Ballot | Intrinsic::Any | Intrinsic::All => {
@@ -1024,7 +1201,12 @@ impl Lowerer {
                     Intrinsic::Clz => (UnIr::Clz, Ty::I32),
                     _ => (UnIr::Brev, Ty::U32),
                 };
-                self.emit(Inst::Un { op, ty: ScalarTy::U32, dst, a });
+                self.emit(Inst::Un {
+                    op,
+                    ty: ScalarTy::U32,
+                    dst,
+                    a,
+                });
                 Ok((dst, rty))
             }
             Intrinsic::AtomicAdd | Intrinsic::AtomicMax | Intrinsic::AtomicExch => {
@@ -1041,7 +1223,13 @@ impl Lowerer {
                     Intrinsic::AtomicMax => AtomOp::Max,
                     _ => AtomOp::Exch,
                 };
-                self.emit(Inst::Atom { op, ty: scalar_of(&elem), dst, addr, val: v });
+                self.emit(Inst::Atom {
+                    op,
+                    ty: scalar_of(&elem),
+                    dst,
+                    addr,
+                    val: v,
+                });
                 Ok((dst, elem))
             }
         }
@@ -1053,7 +1241,9 @@ impl Lowerer {
         match e {
             Expr::Ident(name) => match self.lookup(name)?.clone() {
                 Binding::Scalar(reg, ty) => Ok(Place::Reg(reg, ty)),
-                _ => Err(FrontendError::new(format!("array `{name}` is not assignable"))),
+                _ => Err(FrontendError::new(format!(
+                    "array `{name}` is not assignable"
+                ))),
             },
             Expr::Index(base, idx) => {
                 let (base_reg, base_ty) = self.expr(base)?;
@@ -1090,7 +1280,11 @@ impl Lowerer {
             Place::Reg(r, ty) => (*r, ty.clone()),
             Place::Mem { addr, ty } => {
                 let dst = self.fresh();
-                self.emit(Inst::Ld { ty: scalar_of(ty), dst, addr: *addr });
+                self.emit(Inst::Ld {
+                    ty: scalar_of(ty),
+                    dst,
+                    addr: *addr,
+                });
                 (dst, ty.clone())
             }
         }
@@ -1099,9 +1293,11 @@ impl Lowerer {
     fn write_place(&mut self, place: &Place, val: Reg) {
         match place {
             Place::Reg(r, _) => self.emit(Inst::Mov { dst: *r, src: val }),
-            Place::Mem { addr, ty } => {
-                self.emit(Inst::St { ty: scalar_of(ty), addr: *addr, val })
-            }
+            Place::Mem { addr, ty } => self.emit(Inst::St {
+                ty: scalar_of(ty),
+                addr: *addr,
+                val,
+            }),
         }
     }
 
@@ -1117,7 +1313,12 @@ impl Lowerer {
             return v;
         }
         let dst = self.fresh();
-        self.emit(Inst::Cast { dst, src: v, from: from_sc, to: to_sc });
+        self.emit(Inst::Cast {
+            dst,
+            src: v,
+            from: from_sc,
+            to: to_sc,
+        });
         dst
     }
 
@@ -1127,7 +1328,13 @@ impl Lowerer {
         // emit `v != 0` under the value's own type. Cheap (one ALU op).
         let zero = self.imm(0);
         let dst = self.fresh();
-        self.emit(Inst::Bin { op: BinIr::Ne, ty: scalar_of(ty), dst, a: v, b: zero });
+        self.emit(Inst::Bin {
+            op: BinIr::Ne,
+            ty: scalar_of(ty),
+            dst,
+            a: v,
+            b: zero,
+        });
         dst
     }
 }
@@ -1212,15 +1419,28 @@ mod tests {
     #[test]
     fn lowers_minimal_kernel() {
         let ir = lower("__global__ void k(float* a, int n) { a[0] = 1.0f; }");
-        assert_eq!(ir.params, vec![ParamKind::Pointer, ParamKind::Scalar(ScalarTy::I32)]);
+        assert_eq!(
+            ir.params,
+            vec![ParamKind::Pointer, ParamKind::Scalar(ScalarTy::I32)]
+        );
         assert!(matches!(ir.insts.last(), Some(Inst::Ret)));
-        assert!(ir.insts.iter().any(|i| matches!(i, Inst::St { ty: ScalarTy::F32, .. })));
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            Inst::St {
+                ty: ScalarTy::F32,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn if_produces_branch_and_join() {
         let ir = lower("__global__ void k(int n) { if (n) { n = 1; } }");
-        let branches = ir.insts.iter().filter(|i| matches!(i, Inst::Bra { .. })).count();
+        let branches = ir
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bra { .. }))
+            .count();
         assert_eq!(branches, 1);
     }
 
@@ -1255,9 +1475,8 @@ mod tests {
 
     #[test]
     fn extern_shared_is_dynamic() {
-        let ir = lower(
-            "__global__ void k(int n) { extern __shared__ float buf[]; buf[0] = 0.0f; }",
-        );
+        let ir =
+            lower("__global__ void k(int n) { extern __shared__ float buf[]; buf[0] = 0.0f; }");
         assert!(ir.uses_dynamic_shared);
         assert_eq!(ir.shared_static_bytes, 0);
     }
@@ -1273,12 +1492,13 @@ mod tests {
     fn pointer_arithmetic_scales_by_element_size() {
         // Inspect the raw lowering: the optimizer strength-reduces the
         // multiply into a shift.
-        let k = parse_kernel("__global__ void k(float* p, int i) { p[i] = 0.0f; }")
-            .expect("parse");
+        let k = parse_kernel("__global__ void k(float* p, int i) { p[i] = 0.0f; }").expect("parse");
         let ir = crate::lower::lower_kernel_unoptimized(&k).expect("lower");
         // Must multiply the index by 4 somewhere.
         assert!(
-            ir.insts.iter().any(|inst| matches!(inst, Inst::Imm { value: 4, .. })),
+            ir.insts
+                .iter()
+                .any(|inst| matches!(inst, Inst::Imm { value: 4, .. })),
             "expected a 4-byte scale constant: {:#?}",
             ir.insts
         );
@@ -1287,16 +1507,25 @@ mod tests {
     #[test]
     fn syncthreads_lowered_to_bar_all() {
         let ir = lower("__global__ void k(int n) { __syncthreads(); }");
-        assert!(ir.insts.iter().any(|i| matches!(i, Inst::Bar { id: 0, count: BarCount::All })));
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            Inst::Bar {
+                id: 0,
+                count: BarCount::All
+            }
+        )));
     }
 
     #[test]
     fn partial_barrier_keeps_id_and_count() {
         let ir = lower("__global__ void k(int n) { asm(\"bar.sync 2, 128;\"); }");
-        assert!(ir
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bar { id: 2, count: BarCount::Fixed(128) })));
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            Inst::Bar {
+                id: 2,
+                count: BarCount::Fixed(128)
+            }
+        )));
     }
 
     #[test]
@@ -1342,25 +1571,41 @@ mod tests {
         let ir = lower(
             "__global__ void k(float* p) { float v = p[0]; v += __shfl_xor_sync(0xffffffffu, v, 1, 32); p[0] = v; }",
         );
-        assert!(ir.insts.iter().any(|i| matches!(i, Inst::Shfl { kind: ShflKind::Xor, .. })));
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            Inst::Shfl {
+                kind: ShflKind::Xor,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn atomic_add_on_shared() {
-        let ir = lower(
-            "__global__ void k(int n) { __shared__ int c[4]; atomicAdd(&c[0], 1); }",
-        );
-        assert!(ir
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Atom { op: AtomOp::Add, ty: ScalarTy::I32, .. })));
+        let ir = lower("__global__ void k(int n) { __shared__ int c[4]; atomicAdd(&c[0], 1); }");
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            Inst::Atom {
+                op: AtomOp::Add,
+                ty: ScalarTy::I32,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn compound_assign_on_memory_reads_then_writes() {
         let ir = lower("__global__ void k(float* p) { p[0] += 2.0f; }");
-        let ld = ir.insts.iter().position(|i| matches!(i, Inst::Ld { .. })).expect("load");
-        let st = ir.insts.iter().position(|i| matches!(i, Inst::St { .. })).expect("store");
+        let ld = ir
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Ld { .. }))
+            .expect("load");
+        let st = ir
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::St { .. }))
+            .expect("store");
         assert!(ld < st);
     }
 
@@ -1368,14 +1613,26 @@ mod tests {
     fn short_circuit_with_impure_rhs_branches() {
         let ir = lower("__global__ void k(int* p, int n) { if (n && p[0]) { n = 1; } }");
         // rhs loads memory, so a short-circuit branch must guard it.
-        let branches = ir.insts.iter().filter(|i| matches!(i, Inst::Bra { .. })).count();
-        assert!(branches >= 2, "expected short-circuit branch: {:#?}", ir.insts);
+        let branches = ir
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bra { .. }))
+            .count();
+        assert!(
+            branches >= 2,
+            "expected short-circuit branch: {:#?}",
+            ir.insts
+        );
     }
 
     #[test]
     fn pure_logical_is_branch_free() {
         let ir = lower("__global__ void k(int a, int b, int* o) { o[0] = (a > 1 && b < 2); }");
-        let branches = ir.insts.iter().filter(|i| matches!(i, Inst::Bra { .. })).count();
+        let branches = ir
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bra { .. }))
+            .count();
         assert_eq!(branches, 0, "pure && should lower eagerly: {:#?}", ir.insts);
     }
 
@@ -1383,16 +1640,23 @@ mod tests {
     fn float_literal_f32_bits() {
         let ir = lower("__global__ void k(float* p) { p[0] = 1.5f; }");
         let expected = u64::from(1.5f32.to_bits());
-        assert!(ir.insts.iter().any(|i| matches!(i, Inst::Imm { value, .. } if *value == expected)));
+        assert!(ir
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Imm { value, .. } if *value == expected)));
     }
 
     #[test]
     fn int_to_float_cast_emitted() {
         let ir = lower("__global__ void k(float* p, int n) { p[0] = n; }");
-        assert!(ir
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Cast { from: ScalarTy::I32, to: ScalarTy::F32, .. })));
+        assert!(ir.insts.iter().any(|i| matches!(
+            i,
+            Inst::Cast {
+                from: ScalarTy::I32,
+                to: ScalarTy::F32,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1420,9 +1684,8 @@ mod tests {
     fn kernel_with_return_value_rejected() {
         let k = parse_kernel("__global__ void k(int n) { return; }").expect("parse");
         assert!(lower_kernel(&k).is_ok());
-        let tu =
-            cuda_frontend::parse_translation_unit("__device__ int f(int n) { return n; }")
-                .expect("parse");
+        let tu = cuda_frontend::parse_translation_unit("__device__ int f(int n) { return n; }")
+            .expect("parse");
         assert!(lower_kernel(&tu.functions[0]).is_err());
     }
 }

@@ -42,22 +42,36 @@ pub fn optimize_debug(kernel: &mut KernelIr) {
         let mut cfg = Cfg::build(kernel);
         let f = const_fold(&mut cfg, kernel.num_regs);
         kernel.insts = cfg.flatten();
-        eprintln!("== round {round} after fold ({f}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        eprintln!(
+            "== round {round} after fold ({f}) ==\n{}",
+            crate::printer::print_kernel_ir(kernel)
+        );
         let mut cfg = Cfg::build(kernel);
         let p = peephole(&mut cfg, &mut kernel.num_regs);
         kernel.insts = cfg.flatten();
-        eprintln!("== round {round} after peephole ({p}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        eprintln!(
+            "== round {round} after peephole ({p}) ==\n{}",
+            crate::printer::print_kernel_ir(kernel)
+        );
         let mut cfg = Cfg::build(kernel);
         let c1 = local_cse(&mut cfg, kernel.num_regs);
         kernel.insts = cfg.flatten();
-        eprintln!("== round {round} after cse1 ({c1}) ==\n{}", crate::printer::print_kernel_ir(kernel));
+        eprintln!(
+            "== round {round} after cse1 ({c1}) ==\n{}",
+            crate::printer::print_kernel_ir(kernel)
+        );
         let mut cfg = Cfg::build(kernel);
         let h = licm(&mut cfg, kernel.num_regs);
         let c2 = local_cse(&mut cfg, kernel.num_regs);
         let d = dce(&mut cfg, kernel.num_regs);
         kernel.insts = cfg.flatten();
-        eprintln!("== round {round} after licm/cse2/dce ({h}/{c2}/{d}) ==\n{}", crate::printer::print_kernel_ir(kernel));
-        if f + p + c1 + h + c2 + d == 0 { break; }
+        eprintln!(
+            "== round {round} after licm/cse2/dce ({h}/{c2}/{d}) ==\n{}",
+            crate::printer::print_kernel_ir(kernel)
+        );
+        if f + p + c1 + h + c2 + d == 0 {
+            break;
+        }
     }
 }
 
@@ -137,8 +151,11 @@ fn block_liveness(cfg: &Cfg, num_regs: u32) -> (Vec<RegSet>, Vec<RegSet>) {
     let n = cfg.blocks.len();
     let mut live_in = vec![RegSet::new(num_regs); n];
     let mut live_out = vec![RegSet::new(num_regs); n];
-    let ud: Vec<(RegSet, RegSet)> =
-        cfg.blocks.iter().map(|b| block_uses_defs(b, num_regs)).collect();
+    let ud: Vec<(RegSet, RegSet)> = cfg
+        .blocks
+        .iter()
+        .map(|b| block_uses_defs(b, num_regs))
+        .collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -202,9 +219,10 @@ fn const_fold(cfg: &mut Cfg, num_regs: u32) -> usize {
             for inst in &mut bb.insts {
                 let replacement = match inst {
                     Inst::Bin { op, ty, dst, a, b } => match (known(*a), known(*b)) {
-                        (Some(va), Some(vb)) => {
-                            Some(Inst::Imm { dst: *dst, value: crate::alu::bin(*op, *ty, va, vb) })
-                        }
+                        (Some(va), Some(vb)) => Some(Inst::Imm {
+                            dst: *dst,
+                            value: crate::alu::bin(*op, *ty, va, vb),
+                        }),
                         _ => None,
                     },
                     Inst::Un { op, ty, dst, a } => known(*a).map(|va| Inst::Imm {
@@ -215,9 +233,10 @@ fn const_fold(cfg: &mut Cfg, num_regs: u32) -> usize {
                         dst: *dst,
                         value: crate::alu::cast(*from, *to, v),
                     }),
-                    Inst::Mov { dst, src } => {
-                        known(*src).map(|v| Inst::Imm { dst: *dst, value: v })
-                    }
+                    Inst::Mov { dst, src } => known(*src).map(|v| Inst::Imm {
+                        dst: *dst,
+                        value: v,
+                    }),
                     _ => None,
                 };
                 if let Some(imm) = replacement {
@@ -257,7 +276,13 @@ fn peephole(cfg: &mut Cfg, num_regs: &mut u32) -> usize {
             }
         }
     }
-    let known = |r: Reg| if def_count[r as usize] == 1 { value[r as usize] } else { None };
+    let known = |r: Reg| {
+        if def_count[r as usize] == 1 {
+            value[r as usize]
+        } else {
+            None
+        }
+    };
 
     let mut changed = 0;
     for bb in &mut cfg.blocks {
@@ -275,7 +300,11 @@ fn peephole(cfg: &mut Cfg, num_regs: &mut u32) -> usize {
             let ka = known(a);
             let kb = known(b);
             let width = ty.size_bytes() * 8;
-            let mask = if width == 32 { 0xffff_ffffu64 } else { u64::MAX };
+            let mask = if width == 32 {
+                0xffff_ffffu64
+            } else {
+                u64::MAX
+            };
             // Emits a fresh constant register holding `v` just before the
             // rewritten instruction.
             let mut fresh_const = |v: u64, out: &mut Vec<Inst>| -> Reg {
@@ -300,7 +329,13 @@ fn peephole(cfg: &mut Cfg, num_regs: &mut u32) -> usize {
                 // x * 2^k  ->  x << k (two's-complement wrap-safe)
                 (BinIr::Mul, _, Some(c)) if (c & mask).is_power_of_two() && (c & mask) > 1 => {
                     let sh = fresh_const(u64::from((c & mask).trailing_zeros()), &mut out);
-                    Some(Inst::Bin { op: BinIr::Shl, ty, dst, a, b: sh })
+                    Some(Inst::Bin {
+                        op: BinIr::Shl,
+                        ty,
+                        dst,
+                        a,
+                        b: sh,
+                    })
                 }
                 // unsigned x / 2^k  ->  x >> k
                 (BinIr::Div, _, Some(c))
@@ -308,7 +343,13 @@ fn peephole(cfg: &mut Cfg, num_regs: &mut u32) -> usize {
                         && (c & mask).is_power_of_two() =>
                 {
                     let sh = fresh_const(u64::from((c & mask).trailing_zeros()), &mut out);
-                    Some(Inst::Bin { op: BinIr::Shr, ty, dst, a, b: sh })
+                    Some(Inst::Bin {
+                        op: BinIr::Shr,
+                        ty,
+                        dst,
+                        a,
+                        b: sh,
+                    })
                 }
                 // unsigned x % 2^k  ->  x & (2^k - 1)
                 (BinIr::Rem, _, Some(c))
@@ -316,7 +357,13 @@ fn peephole(cfg: &mut Cfg, num_regs: &mut u32) -> usize {
                         && (c & mask).is_power_of_two() =>
                 {
                     let m = fresh_const((c & mask) - 1, &mut out);
-                    Some(Inst::Bin { op: BinIr::And, ty, dst, a, b: m })
+                    Some(Inst::Bin {
+                        op: BinIr::And,
+                        ty,
+                        dst,
+                        a,
+                        b: m,
+                    })
                 }
                 _ => None,
             };
@@ -409,8 +456,12 @@ fn licm(cfg: &mut Cfg, num_regs: u32) -> usize {
         }
         // Move the instructions, preserving their program order: collect in
         // (block-layout, index) order.
-        let layout_pos: HashMap<BlockId, usize> =
-            cfg.layout.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let layout_pos: HashMap<BlockId, usize> = cfg
+            .layout
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, i))
+            .collect();
         hoist.sort_by_key(|&(b, i)| (layout_pos.get(&b).copied().unwrap_or(usize::MAX), i));
         let pre = cfg.insert_preheader(header, &body);
         let mut moved = Vec::with_capacity(hoist.len());
@@ -443,7 +494,12 @@ fn licm(cfg: &mut Cfg, num_regs: u32) -> usize {
 enum Key {
     Imm(u64),
     Mov(Reg, u32),
-    Bin(crate::ir::BinIr, crate::ir::ScalarTy, (Reg, u32), (Reg, u32)),
+    Bin(
+        crate::ir::BinIr,
+        crate::ir::ScalarTy,
+        (Reg, u32),
+        (Reg, u32),
+    ),
     Un(crate::ir::UnIr, crate::ir::ScalarTy, (Reg, u32)),
     Cast(crate::ir::ScalarTy, crate::ir::ScalarTy, (Reg, u32)),
     Special(crate::ir::SpecialReg),
@@ -535,7 +591,10 @@ fn local_cse(cfg: &mut Cfg, num_regs: u32) -> usize {
                             }
                             // Keep the architectural value with a cheap move.
                             removed += 1;
-                            out.push(Inst::Mov { dst: d, src: canonical });
+                            out.push(Inst::Mov {
+                                dst: d,
+                                src: canonical,
+                            });
                         } else {
                             // Deleted: `d`'s register is NOT clobbered, so
                             // aliases pointing at `d` stay valid — only
@@ -588,8 +647,11 @@ fn on_redefine(
     version: &mut HashMap<Reg, u32>,
     out: &mut Vec<Inst>,
 ) {
-    let mut orphans: Vec<Reg> =
-        rename.iter().filter(|(_, &v)| v == d).map(|(&k, _)| k).collect();
+    let mut orphans: Vec<Reg> = rename
+        .iter()
+        .filter(|(_, &v)| v == d)
+        .map(|(&k, _)| k)
+        .collect();
     orphans.sort_unstable(); // deterministic emission order
     for k in orphans {
         out.push(Inst::Mov { dst: k, src: d });
@@ -624,7 +686,9 @@ fn remap_srcs(inst: &mut Inst, rename: &HashMap<Reg, Reg>) {
             m(addr);
             m(val);
         }
-        Inst::Shfl { src, lane, width, .. } => {
+        Inst::Shfl {
+            src, lane, width, ..
+        } => {
             m(src);
             m(lane);
             m(width);
@@ -688,11 +752,14 @@ mod tests {
 
     #[test]
     fn cse_removes_recomputed_constants() {
-        let (k, stats) = optimized(
-            "__global__ void k(float* p) { p[0] = 1.0f; p[1] = 1.0f; p[2] = 1.0f; }",
-        );
+        let (k, stats) =
+            optimized("__global__ void k(float* p) { p[0] = 1.0f; p[1] = 1.0f; p[2] = 1.0f; }");
         assert!(stats.cse_removed + stats.dce_removed > 0, "{stats:?}");
-        let imms = k.insts.iter().filter(|i| matches!(i, Inst::Imm { .. })).count();
+        let imms = k
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Imm { .. }))
+            .count();
         // 1.0f once, scale constant 4 once, offsets folded into adds.
         assert!(imms <= 5, "{imms} immediates left: {:#?}", k.insts);
     }
@@ -726,7 +793,15 @@ mod tests {
         let muls = k
             .insts
             .iter()
-            .filter(|i| matches!(i, Inst::Bin { op: crate::ir::BinIr::Mul, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: crate::ir::BinIr::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(muls <= 3, "expected hoisted mul, got {muls}");
     }
@@ -751,10 +826,20 @@ mod tests {
                 _ => None,
             })
             .expect("loop exists");
-        let in_loop_mul = k.insts[back.0..back.1]
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: crate::ir::BinIr::Mul, .. }));
-        assert!(in_loop_mul, "accumulator multiply must remain in loop: {:#?}", k.insts);
+        let in_loop_mul = k.insts[back.0..back.1].iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: crate::ir::BinIr::Mul,
+                    ..
+                }
+            )
+        });
+        assert!(
+            in_loop_mul,
+            "accumulator multiply must remain in loop: {:#?}",
+            k.insts
+        );
     }
 
     #[test]
@@ -787,11 +872,17 @@ mod tests {
         let src = "__global__ void k(unsigned int* p) {\
             atomicAdd(&p[0], 1u); p[1] = 2u; atomicAdd(&p[0], 1u);\
           }";
-        let before =
-            raw(src).insts.iter().filter(|i| matches!(i, Inst::Atom { .. } | Inst::St { .. })).count();
+        let before = raw(src)
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Atom { .. } | Inst::St { .. }))
+            .count();
         let (after, _) = optimized(src);
-        let after_n =
-            after.insts.iter().filter(|i| matches!(i, Inst::Atom { .. } | Inst::St { .. })).count();
+        let after_n = after
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Atom { .. } | Inst::St { .. }))
+            .count();
         assert_eq!(before, after_n);
     }
 
@@ -822,7 +913,10 @@ mod tests {
         assert!(
             !k.insts.iter().any(|i| matches!(
                 i,
-                Inst::Bin { op: crate::ir::BinIr::Div | crate::ir::BinIr::Rem, .. }
+                Inst::Bin {
+                    op: crate::ir::BinIr::Div | crate::ir::BinIr::Rem,
+                    ..
+                }
             )),
             "div/rem by 32u should strength-reduce: {:#?}",
             k.insts
@@ -832,13 +926,16 @@ mod tests {
     #[test]
     fn peephole_respects_signed_division() {
         // -1 / 2 == 0 in C but -1 >> 1 == -1: signed div must survive.
-        let (k, _) = optimized(
-            "__global__ void k(int* out, int x) { int two = 2; out[0] = x / two; }",
-        );
+        let (k, _) =
+            optimized("__global__ void k(int* out, int x) { int two = 2; out[0] = x / two; }");
         assert!(
             k.insts.iter().any(|i| matches!(
                 i,
-                Inst::Bin { op: crate::ir::BinIr::Div, ty: crate::ir::ScalarTy::I32, .. }
+                Inst::Bin {
+                    op: crate::ir::BinIr::Div,
+                    ty: crate::ir::ScalarTy::I32,
+                    ..
+                }
             )),
             "signed divide must not become a shift: {:#?}",
             k.insts
@@ -858,10 +955,15 @@ mod tests {
         let arith = k
             .insts
             .iter()
-            .filter(|i| matches!(
-                i,
-                Inst::Bin { op: crate::ir::BinIr::Xor | crate::ir::BinIr::Mul, .. }
-            ))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: crate::ir::BinIr::Xor | crate::ir::BinIr::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(arith, 0, "{:#?}", k.insts);
     }
@@ -884,7 +986,11 @@ mod tests {
         let _ = optimize(&mut opt);
         crate::verify::verify(&opt).expect("verifies");
         assert_eq!(mini_eval(&raw, 7, 2), [21, 0]);
-        assert_eq!(mini_eval(&opt, 7, 2), [21, 0], "CSE must not lose b when a is clobbered");
+        assert_eq!(
+            mini_eval(&opt, 7, 2),
+            [21, 0],
+            "CSE must not lose b when a is clobbered"
+        );
     }
 
     /// Interprets a straight-line/branchy ALU kernel with a miniature
@@ -901,7 +1007,11 @@ mod tests {
                     pc = *target;
                     continue;
                 }
-                Inst::Bra { cond, if_zero, target } => {
+                Inst::Bra {
+                    cond,
+                    if_zero,
+                    target,
+                } => {
                     if (regs[*cond as usize] == 0) == *if_zero {
                         pc = *target;
                         continue;

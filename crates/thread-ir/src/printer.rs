@@ -26,10 +26,22 @@ pub fn format_inst(inst: &Inst) -> String {
         Inst::Cast { dst, src, from, to } => format!("r{dst} = cvt.{to}.{from} r{src}"),
         Inst::Ld { ty, dst, addr } => format!("r{dst} = ld.{ty} [r{addr}]"),
         Inst::St { ty, addr, val } => format!("st.{ty} [r{addr}], r{val}"),
-        Inst::Atom { op, ty, dst, addr, val } => {
+        Inst::Atom {
+            op,
+            ty,
+            dst,
+            addr,
+            val,
+        } => {
             format!("r{dst} = atom.{}.{ty} [r{addr}], r{val}", atom_name(*op))
         }
-        Inst::Shfl { kind, dst, src, lane, width } => {
+        Inst::Shfl {
+            kind,
+            dst,
+            src,
+            lane,
+            width,
+        } => {
             let k = match kind {
                 ShflKind::Xor => "bfly",
                 ShflKind::Down => "down",
@@ -52,7 +64,11 @@ pub fn format_inst(inst: &Inst) -> String {
         Inst::LdParam { dst, index } => format!("r{dst} = ld.param [{index}]"),
         Inst::SharedAddr { dst, offset } => format!("r{dst} = mov shared+{offset}"),
         Inst::LocalAddr { dst, offset } => format!("r{dst} = mov local+{offset}"),
-        Inst::Bra { cond, if_zero, target } => {
+        Inst::Bra {
+            cond,
+            if_zero,
+            target,
+        } => {
             let sense = if *if_zero { "z" } else { "nz" };
             format!("bra.{sense} r{cond}, @{target}")
         }
@@ -73,7 +89,11 @@ pub fn print_kernel_ir(kernel: &KernelIr) -> String {
         kernel.num_regs,
         kernel.reg_pressure(),
         kernel.shared_static_bytes,
-        if kernel.uses_dynamic_shared { "+dyn" } else { "" },
+        if kernel.uses_dynamic_shared {
+            "+dyn"
+        } else {
+            ""
+        },
         kernel.local_bytes,
     );
     if !kernel.spilled_regs.is_empty() {
@@ -171,41 +191,66 @@ mod tests {
         use crate::ir::ScalarTy;
         assert_eq!(format_inst(&Inst::Imm { dst: 1, value: 42 }), "r1 = imm 42");
         assert_eq!(
-            format_inst(&Inst::Imm { dst: 1, value: 0xdead_beef }),
+            format_inst(&Inst::Imm {
+                dst: 1,
+                value: 0xdead_beef
+            }),
             "r1 = imm 0xdeadbeef"
         );
         assert_eq!(
-            format_inst(&Inst::Bin { op: BinIr::Add, ty: ScalarTy::F32, dst: 3, a: 1, b: 2 }),
+            format_inst(&Inst::Bin {
+                op: BinIr::Add,
+                ty: ScalarTy::F32,
+                dst: 3,
+                a: 1,
+                b: 2
+            }),
             "r3 = add.f32 r1, r2"
         );
         assert_eq!(
-            format_inst(&Inst::Ld { ty: ScalarTy::U64, dst: 4, addr: 5 }),
+            format_inst(&Inst::Ld {
+                ty: ScalarTy::U64,
+                dst: 4,
+                addr: 5
+            }),
             "r4 = ld.u64 [r5]"
         );
         assert_eq!(
-            format_inst(&Inst::Bar { id: 2, count: BarCount::Fixed(128) }),
+            format_inst(&Inst::Bar {
+                id: 2,
+                count: BarCount::Fixed(128)
+            }),
             "bar.sync 2, 128"
         );
         assert_eq!(
-            format_inst(&Inst::Bra { cond: 7, if_zero: true, target: 12 }),
+            format_inst(&Inst::Bra {
+                cond: 7,
+                if_zero: true,
+                target: 12
+            }),
             "bra.z r7, @12"
         );
         assert_eq!(
-            format_inst(&Inst::Special { dst: 0, reg: SpecialReg::ThreadIdxX }),
+            format_inst(&Inst::Special {
+                dst: 0,
+                reg: SpecialReg::ThreadIdxX
+            }),
             "r0 = mov %tid.x"
         );
     }
 
     #[test]
     fn listing_marks_branch_targets() {
-        let k = parse_kernel(
-            "__global__ void k(int n) { for (int i = 0; i < n; i++) { n += i; } }",
-        )
-        .expect("parse");
+        let k =
+            parse_kernel("__global__ void k(int n) { for (int i = 0; i < n; i++) { n += i; } }")
+                .expect("parse");
         let ir = lower_kernel(&k).expect("lower");
         let listing = print_kernel_ir(&ir);
         assert!(listing.contains("// kernel k"), "{listing}");
-        assert!(listing.contains("@"), "loop head must be labelled: {listing}");
+        assert!(
+            listing.contains("@"),
+            "loop head must be labelled: {listing}"
+        );
         assert!(listing.contains("ret"), "{listing}");
     }
 

@@ -73,7 +73,10 @@ mod tests {
         }
         body.push_str("a[0] = ");
         body.push_str(
-            &(0..16).map(|i| format!("x{i}")).collect::<Vec<_>>().join(" + "),
+            &(0..16)
+                .map(|i| format!("x{i}"))
+                .collect::<Vec<_>>()
+                .join(" + "),
         );
         body.push(';');
         let src = format!("__global__ void k(float* a) {{ {body} }}");
@@ -98,7 +101,11 @@ mod tests {
         let target = p - 6;
         let spilled = apply_register_bound(&mut k, target);
         assert!(spilled > 0);
-        assert!(k.reg_pressure() <= target, "{} > {target}", k.reg_pressure());
+        assert!(
+            k.reg_pressure() <= target,
+            "{} > {target}",
+            k.reg_pressure()
+        );
         assert_eq!(k.spilled_regs.len(), spilled);
     }
 

@@ -21,7 +21,11 @@ pub fn verify(kernel: &KernelIr) -> Result<(), String> {
     }
     match kernel.insts.last() {
         Some(Inst::Ret) | Some(Inst::Jmp { .. }) => {}
-        other => return Err(format!("kernel must end in a terminator, ends in {other:?}")),
+        other => {
+            return Err(format!(
+                "kernel must end in a terminator, ends in {other:?}"
+            ))
+        }
     }
     let mut srcs = Vec::with_capacity(3);
     for (pc, inst) in kernel.insts.iter().enumerate() {
@@ -38,17 +42,17 @@ pub fn verify(kernel: &KernelIr) -> Result<(), String> {
             }
         }
         match inst {
-            Inst::Bra { target, .. } | Inst::Jmp { target }
-                if *target >= n => {
-                    return Err(format!("pc {pc}: branch target {target} out of range"));
-                }
-            Inst::LdParam { index, .. }
-                if *index as usize >= kernel.params.len() => {
-                    return Err(format!("pc {pc}: parameter index {index} out of range"));
-                }
+            Inst::Bra { target, .. } | Inst::Jmp { target } if *target >= n => {
+                return Err(format!("pc {pc}: branch target {target} out of range"));
+            }
+            Inst::LdParam { index, .. } if *index as usize >= kernel.params.len() => {
+                return Err(format!("pc {pc}: parameter index {index} out of range"));
+            }
             Inst::Bar { id, count } => {
                 if *id > 15 {
-                    return Err(format!("pc {pc}: barrier id {id} exceeds hardware maximum 15"));
+                    return Err(format!(
+                        "pc {pc}: barrier id {id} exceeds hardware maximum 15"
+                    ));
                 }
                 if let BarCount::Fixed(0) = count {
                     return Err(format!("pc {pc}: barrier with zero participants"));
@@ -145,7 +149,10 @@ mod tests {
     fn barrier_id_limit_enforced() {
         let mut k = minimal();
         k.insts = vec![
-            Inst::Bar { id: 16, count: crate::ir::BarCount::Fixed(32) },
+            Inst::Bar {
+                id: 16,
+                count: crate::ir::BarCount::Fixed(32),
+            },
             Inst::Ret,
         ];
         assert!(verify(&k).unwrap_err().contains("barrier id"));
@@ -155,7 +162,10 @@ mod tests {
     fn zero_participant_barrier_rejected() {
         let mut k = minimal();
         k.insts = vec![
-            Inst::Bar { id: 1, count: crate::ir::BarCount::Fixed(0) },
+            Inst::Bar {
+                id: 1,
+                count: crate::ir::BarCount::Fixed(0),
+            },
             Inst::Ret,
         ];
         assert!(verify(&k).unwrap_err().contains("zero participants"));

@@ -2,121 +2,257 @@
 //! Rust arithmetic on the corresponding type, for arbitrary bit patterns.
 //! The ALU is the single source of truth for both the interpreter and the
 //! constant folder, so these properties guard the whole pipeline.
+//!
+//! Inputs come from a seeded SplitMix64 generator (dependency-free, so the
+//! workspace builds with no network access); every run covers the same
+//! deterministic sample plus hand-picked edge cases.
 
-use proptest::prelude::*;
 use thread_ir::alu::{bin, canon_load, cast, un};
 use thread_ir::ir::{BinIr, ScalarTy, UnIr};
+
+/// SplitMix64: tiny, seedable, full-period 64-bit generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn u32(&mut self) -> u32 {
+        self.next() as u32
+    }
+
+    fn i32(&mut self) -> i32 {
+        self.next() as i32
+    }
+
+    fn f32(&mut self) -> f32 {
+        f32::from_bits(self.u32())
+    }
+}
+
+const CASES: usize = 2048;
+
+/// Edge-case i32 values mixed into every random sweep.
+const I32_EDGES: &[i32] = &[0, 1, -1, i32::MIN, i32::MAX, i32::MIN + 1, 2, -2];
+
+fn i32_pairs() -> impl Iterator<Item = (i32, i32)> {
+    let mut rng = Rng(0x5eed_0001);
+    let edges = I32_EDGES
+        .iter()
+        .flat_map(|&a| I32_EDGES.iter().map(move |&b| (a, b)));
+    let random: Vec<(i32, i32)> = (0..CASES).map(|_| (rng.i32(), rng.i32())).collect();
+    edges.chain(random)
+}
 
 fn canon_i32(v: i32) -> u64 {
     v as i64 as u64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    #[test]
-    fn i32_arithmetic_matches_wrapping_semantics(a in any::<i32>(), b in any::<i32>()) {
+#[test]
+fn i32_arithmetic_matches_wrapping_semantics() {
+    for (a, b) in i32_pairs() {
         let (ca, cb) = (canon_i32(a), canon_i32(b));
-        prop_assert_eq!(bin(BinIr::Add, ScalarTy::I32, ca, cb), canon_i32(a.wrapping_add(b)));
-        prop_assert_eq!(bin(BinIr::Sub, ScalarTy::I32, ca, cb), canon_i32(a.wrapping_sub(b)));
-        prop_assert_eq!(bin(BinIr::Mul, ScalarTy::I32, ca, cb), canon_i32(a.wrapping_mul(b)));
-        prop_assert_eq!(bin(BinIr::Xor, ScalarTy::I32, ca, cb), canon_i32(a ^ b));
-        prop_assert_eq!(bin(BinIr::Min, ScalarTy::I32, ca, cb), canon_i32(a.min(b)));
-        prop_assert_eq!(bin(BinIr::Lt, ScalarTy::I32, ca, cb), u64::from(a < b));
+        assert_eq!(
+            bin(BinIr::Add, ScalarTy::I32, ca, cb),
+            canon_i32(a.wrapping_add(b))
+        );
+        assert_eq!(
+            bin(BinIr::Sub, ScalarTy::I32, ca, cb),
+            canon_i32(a.wrapping_sub(b))
+        );
+        assert_eq!(
+            bin(BinIr::Mul, ScalarTy::I32, ca, cb),
+            canon_i32(a.wrapping_mul(b))
+        );
+        assert_eq!(bin(BinIr::Xor, ScalarTy::I32, ca, cb), canon_i32(a ^ b));
+        assert_eq!(bin(BinIr::Min, ScalarTy::I32, ca, cb), canon_i32(a.min(b)));
+        assert_eq!(bin(BinIr::Lt, ScalarTy::I32, ca, cb), u64::from(a < b));
     }
+}
 
-    #[test]
-    fn i32_division_by_zero_yields_zero(a in any::<i32>()) {
-        prop_assert_eq!(bin(BinIr::Div, ScalarTy::I32, canon_i32(a), 0), 0);
-        prop_assert_eq!(bin(BinIr::Rem, ScalarTy::I32, canon_i32(a), 0), 0);
+#[test]
+fn i32_division_by_zero_yields_zero() {
+    for (a, _) in i32_pairs() {
+        assert_eq!(bin(BinIr::Div, ScalarTy::I32, canon_i32(a), 0), 0);
+        assert_eq!(bin(BinIr::Rem, ScalarTy::I32, canon_i32(a), 0), 0);
     }
+}
 
-    #[test]
-    fn i32_division_matches_rust(a in any::<i32>(), b in any::<i32>().prop_filter("nonzero", |b| *b != 0)) {
-        prop_assert_eq!(
+#[test]
+fn i32_division_matches_rust() {
+    for (a, b) in i32_pairs() {
+        if b == 0 {
+            continue;
+        }
+        assert_eq!(
             bin(BinIr::Div, ScalarTy::I32, canon_i32(a), canon_i32(b)),
             canon_i32(a.wrapping_div(b))
         );
-        prop_assert_eq!(
+        assert_eq!(
             bin(BinIr::Rem, ScalarTy::I32, canon_i32(a), canon_i32(b)),
             canon_i32(a.wrapping_rem(b))
         );
     }
+}
 
-    #[test]
-    fn u32_results_are_zero_extended(a in any::<u32>(), b in any::<u32>()) {
-        for op in [BinIr::Add, BinIr::Sub, BinIr::Mul, BinIr::And, BinIr::Or, BinIr::Xor] {
+#[test]
+fn u32_results_are_zero_extended() {
+    let mut rng = Rng(0x5eed_0002);
+    for _ in 0..CASES {
+        let (a, b) = (rng.u32(), rng.u32());
+        for op in [
+            BinIr::Add,
+            BinIr::Sub,
+            BinIr::Mul,
+            BinIr::And,
+            BinIr::Or,
+            BinIr::Xor,
+        ] {
             let r = bin(op, ScalarTy::U32, u64::from(a), u64::from(b));
-            prop_assert!(r <= u64::from(u32::MAX), "{op:?} result not canonical: {r:#x}");
+            assert!(
+                r <= u64::from(u32::MAX),
+                "{op:?} result not canonical: {r:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn u64_shifts_clamp_at_width(a in any::<u64>(), s in 64u64..2000) {
-        prop_assert_eq!(bin(BinIr::Shl, ScalarTy::U64, a, s), 0);
-        prop_assert_eq!(bin(BinIr::Shr, ScalarTy::U64, a, s), 0);
+#[test]
+fn u64_shifts_clamp_at_width() {
+    let mut rng = Rng(0x5eed_0003);
+    for _ in 0..CASES {
+        let a = rng.next();
+        let s = 64 + rng.next() % (2000 - 64);
+        assert_eq!(bin(BinIr::Shl, ScalarTy::U64, a, s), 0);
+        assert_eq!(bin(BinIr::Shr, ScalarTy::U64, a, s), 0);
     }
+}
 
-    #[test]
-    fn i32_shr_is_arithmetic(a in any::<i32>(), s in 0u64..32) {
-        prop_assert_eq!(
+#[test]
+fn i32_shr_is_arithmetic() {
+    let mut rng = Rng(0x5eed_0004);
+    for _ in 0..CASES {
+        let a = rng.i32();
+        let s = rng.next() % 32;
+        assert_eq!(
             bin(BinIr::Shr, ScalarTy::I32, canon_i32(a), s),
             canon_i32(a >> s)
         );
     }
+}
 
-    #[test]
-    fn f32_bin_matches_ieee(a in any::<f32>(), b in any::<f32>()) {
-        prop_assume!(!a.is_nan() && !b.is_nan());
+#[test]
+fn f32_bin_matches_ieee() {
+    let mut rng = Rng(0x5eed_0005);
+    let mut tested = 0;
+    while tested < CASES {
+        let (a, b) = (rng.f32(), rng.f32());
+        if a.is_nan() || b.is_nan() {
+            continue;
+        }
+        tested += 1;
         let (ca, cb) = (u64::from(a.to_bits()), u64::from(b.to_bits()));
         let as_f = |r: u64| f32::from_bits(r as u32);
-        prop_assert_eq!(as_f(bin(BinIr::Add, ScalarTy::F32, ca, cb)).to_bits(), (a + b).to_bits());
-        prop_assert_eq!(as_f(bin(BinIr::Mul, ScalarTy::F32, ca, cb)).to_bits(), (a * b).to_bits());
-        prop_assert_eq!(bin(BinIr::Le, ScalarTy::F32, ca, cb), u64::from(a <= b));
+        assert_eq!(
+            as_f(bin(BinIr::Add, ScalarTy::F32, ca, cb)).to_bits(),
+            (a + b).to_bits()
+        );
+        assert_eq!(
+            as_f(bin(BinIr::Mul, ScalarTy::F32, ca, cb)).to_bits(),
+            (a * b).to_bits()
+        );
+        assert_eq!(bin(BinIr::Le, ScalarTy::F32, ca, cb), u64::from(a <= b));
     }
+}
 
-    #[test]
-    fn cast_i32_f64_round_trips_exactly(a in any::<i32>()) {
+#[test]
+fn cast_i32_f64_round_trips_exactly() {
+    for (a, _) in i32_pairs() {
         // i32 → f64 → i32 is lossless.
         let f = cast(ScalarTy::I32, ScalarTy::F64, canon_i32(a));
         let back = cast(ScalarTy::F64, ScalarTy::I32, f);
-        prop_assert_eq!(back, canon_i32(a));
+        assert_eq!(back, canon_i32(a));
     }
+}
 
-    #[test]
-    fn cast_truncation_matches_rust_as(a in any::<u64>()) {
-        prop_assert_eq!(cast(ScalarTy::U64, ScalarTy::U32, a), u64::from(a as u32));
-        prop_assert_eq!(cast(ScalarTy::U64, ScalarTy::I32, a), canon_i32(a as u32 as i32));
+#[test]
+fn cast_truncation_matches_rust_as() {
+    let mut rng = Rng(0x5eed_0006);
+    for _ in 0..CASES {
+        let a = rng.next();
+        assert_eq!(cast(ScalarTy::U64, ScalarTy::U32, a), u64::from(a as u32));
+        assert_eq!(
+            cast(ScalarTy::U64, ScalarTy::I32, a),
+            canon_i32(a as u32 as i32)
+        );
     }
+}
 
-    #[test]
-    fn float_to_int_cast_saturates_like_rust(a in any::<f32>()) {
+#[test]
+fn float_to_int_cast_saturates_like_rust() {
+    let mut rng = Rng(0x5eed_0007);
+    for _ in 0..CASES {
+        let a = rng.f32();
         let bits = u64::from(a.to_bits());
-        prop_assert_eq!(cast(ScalarTy::F32, ScalarTy::I32, bits), canon_i32(a as i32));
-        prop_assert_eq!(cast(ScalarTy::F32, ScalarTy::U32, bits), u64::from(a as u32));
+        assert_eq!(
+            cast(ScalarTy::F32, ScalarTy::I32, bits),
+            canon_i32(a as i32)
+        );
+        assert_eq!(
+            cast(ScalarTy::F32, ScalarTy::U32, bits),
+            u64::from(a as u32)
+        );
     }
+}
 
-    #[test]
-    fn canon_load_sign_behaviour(raw in any::<u32>()) {
-        prop_assert_eq!(canon_load(ScalarTy::I32, u64::from(raw)), canon_i32(raw as i32));
-        prop_assert_eq!(canon_load(ScalarTy::U32, u64::from(raw)), u64::from(raw));
+#[test]
+fn canon_load_sign_behaviour() {
+    let mut rng = Rng(0x5eed_0008);
+    for _ in 0..CASES {
+        let raw = rng.u32();
+        assert_eq!(
+            canon_load(ScalarTy::I32, u64::from(raw)),
+            canon_i32(raw as i32)
+        );
+        assert_eq!(canon_load(ScalarTy::U32, u64::from(raw)), u64::from(raw));
     }
+}
 
-    #[test]
-    fn unary_neg_matches_rust(a in any::<i32>()) {
-        prop_assert_eq!(un(UnIr::Neg, ScalarTy::I32, canon_i32(a)), canon_i32(a.wrapping_neg()));
+#[test]
+fn unary_neg_matches_rust() {
+    for (a, _) in i32_pairs() {
+        assert_eq!(
+            un(UnIr::Neg, ScalarTy::I32, canon_i32(a)),
+            canon_i32(a.wrapping_neg())
+        );
     }
+}
 
-    #[test]
-    fn unary_not_is_boolean(a in any::<u64>()) {
+#[test]
+fn unary_not_is_boolean() {
+    let mut rng = Rng(0x5eed_0009);
+    for a in (0..CASES).map(|_| rng.next()).chain([0, 1, u64::MAX]) {
         let r = un(UnIr::Not, ScalarTy::U64, a);
-        prop_assert_eq!(r, u64::from(a == 0));
+        assert_eq!(r, u64::from(a == 0));
     }
+}
 
-    #[test]
-    fn abs_matches_rust(a in any::<f32>()) {
-        prop_assume!(!a.is_nan());
+#[test]
+fn abs_matches_rust() {
+    let mut rng = Rng(0x5eed_000a);
+    let mut tested = 0;
+    while tested < CASES {
+        let a = rng.f32();
+        if a.is_nan() {
+            continue;
+        }
+        tested += 1;
         let r = un(UnIr::Abs, ScalarTy::F32, u64::from(a.to_bits()));
-        prop_assert_eq!(f32::from_bits(r as u32).to_bits(), a.abs().to_bits());
+        assert_eq!(f32::from_bits(r as u32).to_bits(), a.abs().to_bits());
     }
 }

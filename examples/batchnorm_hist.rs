@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "{:>6} {:>6} {:>7} {:>9} {:>7.1} {:>9.1} {:>7.1}",
                 c.d1,
                 c.d2,
-                c.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                c.reg_bound
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 c.cycles,
                 c.issue_util,
                 c.mem_stall,

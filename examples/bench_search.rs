@@ -1,0 +1,105 @@
+//! Wall-clock benchmark of the fusion-configuration search with and without
+//! the simulator's event-driven fast-forward (`HFUSE_SIM_NO_SKIP=1` forces
+//! the naive single-step loop). Writes `BENCH_search.json` next to the
+//! working directory.
+//!
+//! Dependency-free (plain `std::time::Instant`); run with:
+//! `cargo run --release --example bench_search`
+
+use std::time::Instant;
+
+use hfuse::fusion::{search_fusion_config, SearchOptions, SearchReport};
+use hfuse::kernels::AnyBenchmark;
+use hfuse::sim::{Gpu, GpuConfig};
+
+struct PairResult {
+    pair: String,
+    wall_ms: f64,
+    wall_ms_naive: f64,
+    speedup: f64,
+    sim_cycles: u64,
+    candidates: usize,
+}
+
+fn run_search(first: &str, second: &str, scale_second: f64) -> (SearchReport, f64) {
+    let mut gpu = Gpu::new(GpuConfig::pascal_like());
+    let b1 = AnyBenchmark::by_name(first).expect("benchmark exists");
+    let b2 = AnyBenchmark::by_name(second)
+        .expect("benchmark exists")
+        .scaled(scale_second);
+    let in1 = b1.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = b2.benchmark().fusion_input(gpu.memory_mut());
+    let start = Instant::now();
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
+    (report, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    // One worker keeps the fast/naive comparison a pure single-thread
+    // wall-clock measurement.
+    std::env::set_var("HFUSE_SEARCH_THREADS", "1");
+
+    // The third pair is the memory-bound one: two independent Ethash
+    // instances (the dual-stream mining co-location from the paper's
+    // workload table). Every candidate — fused or not — is dominated by
+    // uncoalesced, dependent DAG lookups, so the device sits
+    // latency-stalled for most of the simulated time; that is exactly the
+    // case the fast-forward accelerates.
+    let pairs = [
+        ("Maxpool", "Batchnorm", 1.0),
+        ("Upsample", "Hist", 1.0),
+        ("Ethash", "Ethash", 1.0),
+    ];
+
+    let mut results = Vec::new();
+    for (first, second, scale_second) in pairs {
+        let mut name = format!("{}+{}", first.to_lowercase(), second.to_lowercase());
+        if scale_second != 1.0 {
+            name = format!("{name}x{scale_second:.0}");
+        }
+
+        std::env::remove_var("HFUSE_SIM_NO_SKIP");
+        let (report, wall_ms) = run_search(first, second, scale_second);
+
+        std::env::set_var("HFUSE_SIM_NO_SKIP", "1");
+        let (naive_report, wall_ms_naive) = run_search(first, second, scale_second);
+        std::env::remove_var("HFUSE_SIM_NO_SKIP");
+
+        assert_eq!(
+            report.best().cycles,
+            naive_report.best().cycles,
+            "fast-forward changed reported cycles for {name}"
+        );
+
+        let r = PairResult {
+            pair: name,
+            wall_ms,
+            wall_ms_naive,
+            speedup: wall_ms_naive / wall_ms,
+            sim_cycles: report.best().cycles,
+            candidates: report.candidates.len(),
+        };
+        println!(
+            "{:<22} {:>9.1} ms fast | {:>9.1} ms naive | {:>5.2}x | best {} cycles ({} candidates)",
+            r.pair, r.wall_ms, r.wall_ms_naive, r.speedup, r.sim_cycles, r.candidates
+        );
+        results.push(r);
+    }
+
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"pair\": \"{}\", \"wall_ms\": {:.2}, \"wall_ms_naive\": {:.2}, \
+                 \"speedup\": {:.2}, \"sim_cycles\": {}, \"candidates\": {}}}",
+                r.pair, r.wall_ms, r.wall_ms_naive, r.speedup, r.sim_cycles, r.candidates
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    println!("\nwrote BENCH_search.json");
+
+    let best = results.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+    println!("best wall-clock speedup: {best:.2}x");
+}

@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "fused (d1 = {}, d2 = {}, bound = {:>4}): {} cycles, {:.1}% util, {:+.1}% vs native",
             c.d1,
             c.d2,
-            c.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            c.reg_bound
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
             c.cycles,
             c.issue_util,
             100.0 * (native.total_cycles as f64 / c.cycles as f64 - 1.0),

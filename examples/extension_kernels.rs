@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fused_args = Vec::new();
     let mut check_args = Vec::new();
     let mut parts = Vec::new();
-    for (b, dims) in [(&softmax, (256, 1, 1)), (&transpose, (32, 8, 1)), (&hist, (512, 1, 1))] {
+    for (b, dims) in [
+        (&softmax, (256, 1, 1)),
+        (&transpose, (32, 8, 1)),
+        (&hist, (512, 1, 1)),
+    ] {
         let bench = b.benchmark();
         let args = bench.setup(gpu.memory_mut());
         parts.push(FusionPart::new(bench.kernel(), dims));
@@ -57,14 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fused.block_threads()
     );
     let result = gpu.run(&[Launch {
-        kernel: lower_kernel(&fused.function)?,
+        kernel: lower_kernel(&fused.function)?.into(),
         grid_dim: softmax.benchmark().grid_dim(),
         block_dim: (fused.block_threads(), 1, 1),
         dynamic_shared_bytes: hist.benchmark().dynamic_shared(),
         args: fused_args,
     }])?;
     for (b, args) in &check_args {
-        b.benchmark().check(gpu.memory(), args).map_err(std::io::Error::other)?;
+        b.benchmark()
+            .check(gpu.memory(), args)
+            .map_err(std::io::Error::other)?;
     }
     println!(
         "all three kernels' outputs verified ✔  ({} cycles, {:.1}% issue utilization)",

@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "#,
     )?;
-    let helpers: Vec<_> = tu.functions.iter().filter(|f| !f.is_kernel).cloned().collect();
+    let helpers: Vec<_> = tu
+        .functions
+        .iter()
+        .filter(|f| !f.is_kernel)
+        .cloned()
+        .collect();
     let mut kernel = tu.function("rms").expect("kernel present").clone();
 
     println!("=== original ===\n{}", print_function(&kernel));
@@ -41,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Section III-C preprocessing: inline calls, make names unique, lift
     // declarations to the top (so HFuse's goto guards are legal CUDA).
     preprocess_kernel(&mut kernel, &helpers, &mut NameGen::new())?;
-    println!("=== preprocessed (inlined + renamed + lifted) ===\n{}", print_function(&kernel));
+    println!(
+        "=== preprocessed (inlined + renamed + lifted) ===\n{}",
+        print_function(&kernel)
+    );
 
     // Lowering and optimization.
     let raw = lower_kernel_unoptimized(&kernel)?;

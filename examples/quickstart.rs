@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hfuse::fusion::horizontal_fuse;
 use hfuse::frontend::parse_kernel;
+use hfuse::fusion::horizontal_fuse;
 use hfuse::ir::lower_kernel;
 use hfuse::sim::{Gpu, GpuConfig, Launch, ParamValue};
 
@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fuse: 128 threads for the gather, 128 for `horner` (256-thread blocks).
     let fused = horizontal_fuse(&scale, (128, 1, 1), &horner, (128, 1, 1))?;
-    println!("=== fused kernel (as HFuse emits it) ===\n{}", fused.to_source());
+    println!(
+        "=== fused kernel (as HFuse emits it) ===\n{}",
+        fused.to_source()
+    );
 
     // Run natively (two launches) and fused (one launch); compare memory.
     let n = 262144usize;
@@ -59,14 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horner_args = vec![ParamValue::Ptr(out_n), ParamValue::I32(n as i32)];
     let native_result = native.run(&[
         Launch {
-            kernel: lower_kernel(&scale)?,
+            kernel: lower_kernel(&scale)?.into(),
             grid_dim: 128,
             block_dim: (128, 1, 1),
             dynamic_shared_bytes: 0,
             args: scale_args.clone(),
         },
         Launch {
-            kernel: lower_kernel(&horner)?,
+            kernel: lower_kernel(&horner)?.into(),
             grid_dim: 128,
             block_dim: (128, 1, 1),
             dynamic_shared_bytes: 0,
@@ -86,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     args.extend([ParamValue::Ptr(out_f), ParamValue::I32(n as i32)]);
     let fused_result = fused_gpu.run(&[Launch {
-        kernel: lower_kernel(&fused.function)?,
+        kernel: lower_kernel(&fused.function)?.into(),
         grid_dim: 128,
         block_dim: (fused.block_threads(), 1, 1),
         dynamic_shared_bytes: 0,

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let in_b = blake.benchmark().fusion_input(gpu.memory_mut());
     let in_e = ethash.benchmark().fusion_input(gpu.memory_mut());
     let mk = |inp: &hfuse::fusion::FusionInput| Launch {
-        kernel: lower_kernel(&inp.kernel).expect("lower"),
+        kernel: lower_kernel(&inp.kernel).expect("lower").into(),
         grid_dim: inp.grid_dim,
         block_dim: (inp.default_threads, 1, 1),
         dynamic_shared_bytes: inp.dynamic_shared,
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     args.extend(in_e2.args.iter().copied());
     let (fused_res, fused_trace) = gpu2.run_traced(
         &[Launch {
-            kernel: lower_kernel(&fused.function)?,
+            kernel: lower_kernel(&fused.function)?.into(),
             grid_dim: in_b2.grid_dim,
             block_dim: (512, 1, 1),
             dynamic_shared_bytes: 0,
@@ -58,9 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("issue-slot utilization per 4096-cycle window (█ = busy):\n");
-    println!("native (Blake256 launch, then Ethash backfills) — {} cycles", native.total_cycles);
+    println!(
+        "native (Blake256 launch, then Ethash backfills) — {} cycles",
+        native.total_cycles
+    );
     for s in &native_trace {
-        println!("{:>8} |{}| {:5.1}%", s.cycle, bar(s.issue_util), s.issue_util);
+        println!(
+            "{:>8} |{}| {:5.1}%",
+            s.cycle,
+            bar(s.issue_util),
+            s.issue_util
+        );
     }
     println!(
         "\nHFuse fused (Blake warps fill Ethash stalls) — {} cycles ({:+.1}%)",
@@ -68,7 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * (native.total_cycles as f64 / fused_res.total_cycles as f64 - 1.0)
     );
     for s in &fused_trace {
-        println!("{:>8} |{}| {:5.1}%", s.cycle, bar(s.issue_util), s.issue_util);
+        println!(
+            "{:>8} |{}| {:5.1}%",
+            s.cycle,
+            bar(s.issue_util),
+            s.issue_util
+        );
     }
     Ok(())
 }

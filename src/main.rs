@@ -76,7 +76,10 @@ USAGE:
 ";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -137,7 +140,10 @@ fn cmd_fuse(args: &[String], vertical: bool) -> Result<(), String> {
     if vertical && files.len() != 2 {
         return Err("vertical fusion takes exactly two kernels".to_owned());
     }
-    let kernels: Vec<_> = files.iter().map(|f| read_kernel(f)).collect::<Result<_, _>>()?;
+    let kernels: Vec<_> = files
+        .iter()
+        .map(|f| read_kernel(f))
+        .collect::<Result<_, _>>()?;
     let out = flag_value(args, "-o").or_else(|| flag_value(args, "--output"));
 
     if vertical {
@@ -148,7 +154,11 @@ fn cmd_fuse(args: &[String], vertical: bool) -> Result<(), String> {
     let threads: Vec<u32> = match flag_value(args, "--threads") {
         Some(list) => list
             .split(',')
-            .map(|t| t.trim().parse::<u32>().map_err(|e| format!("--threads: {e}")))
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .map_err(|e| format!("--threads: {e}"))
+            })
             .collect::<Result<_, _>>()?,
         None => vec![256; kernels.len()],
     };
@@ -190,7 +200,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     println!("  instructions:      {}", ir.insts.len());
     println!("  register pressure: {}", ir.reg_pressure());
     println!("  static shared:     {} bytes", ir.shared_static_bytes);
-    println!("  dynamic shared:    {}", if ir.uses_dynamic_shared { "yes" } else { "no" });
+    println!(
+        "  dynamic shared:    {}",
+        if ir.uses_dynamic_shared { "yes" } else { "no" }
+    );
     println!("  local memory:      {} bytes/thread", ir.local_bytes);
     if has_flag(args, "--dump-ir") {
         print!("{}", thread_ir::printer::print_kernel_ir(&ir));
@@ -207,11 +220,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let ir = lower_kernel(&kernel).map_err(|e| e.to_string())?;
     let cfg = gpu_config(args)?;
 
-    let grid: u32 = flag_value(args, "--grid").unwrap_or("8").parse().map_err(|e| format!("--grid: {e}"))?;
-    let block: u32 =
-        flag_value(args, "--block").unwrap_or("256").parse().map_err(|e| format!("--block: {e}"))?;
-    let show: usize =
-        flag_value(args, "--show").unwrap_or("8").parse().map_err(|e| format!("--show: {e}"))?;
+    let grid: u32 = flag_value(args, "--grid")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|e| format!("--grid: {e}"))?;
+    let block: u32 = flag_value(args, "--block")
+        .unwrap_or("256")
+        .parse()
+        .map_err(|e| format!("--block: {e}"))?;
+    let show: usize = flag_value(args, "--show")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|e| format!("--show: {e}"))?;
 
     let mut gpu = Gpu::new(cfg.clone());
     let mut arg_values = Vec::new();
@@ -222,7 +242,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
         .collect();
     for spec in &specs {
-        let (kind, rest) = spec.split_once(':').ok_or_else(|| format!("bad --arg `{spec}`"))?;
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad --arg `{spec}`"))?;
         use hfuse::sim::ParamValue as P;
         let v = match kind {
             "i32" => P::I32(rest.parse().map_err(|e| format!("{spec}: {e}"))?),
@@ -252,7 +274,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let launch = Launch {
-        kernel: ir,
+        kernel: ir.into(),
         grid_dim: grid,
         block_dim: (block, 1, 1),
         dynamic_shared_bytes: flag_value(args, "--shared")
@@ -262,9 +284,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         args: arg_values,
     };
     let r = gpu.run(&[launch]).map_err(|e| e.to_string())?;
-    println!("`{}` on {} (grid {grid} × block {block}):", kernel.name, cfg.name);
+    println!(
+        "`{}` on {} (grid {grid} × block {block}):",
+        kernel.name, cfg.name
+    );
     println!("  cycles:            {}", r.total_cycles);
-    println!("  issue slot util:   {:.2}%", r.metrics.issue_slot_utilization());
+    println!(
+        "  issue slot util:   {:.2}%",
+        r.metrics.issue_slot_utilization()
+    );
     println!("  mem-inst stall:    {:.1}%", r.metrics.mem_stall_pct());
     println!("  occupancy:         {:.1}%", r.metrics.occupancy_pct());
     for (i, (id, elems)) in buffers.iter().enumerate() {
@@ -304,7 +332,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let in1 = a.benchmark().fusion_input(gpu.memory_mut());
     let in2 = b.benchmark().fusion_input(gpu.memory_mut());
     let native = measure_native(&gpu, &in1, &in2).map_err(|e| e.to_string())?;
-    println!("GPU {} — native co-execution: {} cycles", cfg.name, native.total_cycles);
+    println!(
+        "GPU {} — native co-execution: {} cycles",
+        cfg.name, native.total_cycles
+    );
     let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions { d0, granularity })
         .map_err(|e| e.to_string())?;
     println!(
@@ -316,7 +347,9 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             "{:>6} {:>6} {:>7} {:>9} {:>+9.1} {:>7.1} {:>9.1} {:>7.1}",
             c.d1,
             c.d2,
-            c.reg_bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            c.reg_bound
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
             c.cycles,
             100.0 * (native.total_cycles as f64 / c.cycles as f64 - 1.0),
             c.issue_util,
@@ -346,7 +379,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let r = measure_single(&gpu, &input).map_err(|e| e.to_string())?;
     println!("{} on {}:", b.name(), cfg.name);
     println!("  cycles:            {}", r.total_cycles);
-    println!("  issue slot util:   {:.2}%", r.metrics.issue_slot_utilization());
+    println!(
+        "  issue slot util:   {:.2}%",
+        r.metrics.issue_slot_utilization()
+    );
     println!("  mem-inst stall:    {:.1}%", r.metrics.mem_stall_pct());
     println!("  occupancy:         {:.1}%", r.metrics.occupancy_pct());
     println!("  instructions:      {}", r.metrics.thread_insts);
@@ -356,13 +392,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
 fn cmd_list() -> Result<(), String> {
     println!("benchmark kernels (paper set, then extensions):");
-    for b in AnyBenchmark::all().into_iter().chain(AnyBenchmark::extensions()) {
+    for b in AnyBenchmark::all()
+        .into_iter()
+        .chain(AnyBenchmark::extensions())
+    {
         let bench = b.benchmark();
         println!(
             "  {:<10} block {}{}, grid {}",
             b.name(),
             bench.default_threads(),
-            if bench.tunable() { " (tunable)" } else { " (fixed)" },
+            if bench.tunable() {
+                " (tunable)"
+            } else {
+                " (fixed)"
+            },
             bench.grid_dim()
         );
     }

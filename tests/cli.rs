@@ -5,7 +5,10 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn hfuse(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_hfuse")).args(args).output().expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_hfuse"))
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 fn write_tmp(name: &str, content: &str) -> PathBuf {
@@ -42,10 +45,23 @@ fn help_lists_commands() {
 fn fuse_emits_parsable_cuda() {
     let a = write_tmp("a.cu", KERNEL_A);
     let b = write_tmp("b.cu", KERNEL_B);
-    let out = hfuse(&["fuse", a.to_str().unwrap(), b.to_str().unwrap(), "--threads", "128,128"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = hfuse(&[
+        "fuse",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threads",
+        "128,128",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let fused = String::from_utf8_lossy(&out.stdout);
-    assert!(fused.contains("__global__ void writer_adder_fused"), "{fused}");
+    assert!(
+        fused.contains("__global__ void writer_adder_fused"),
+        "{fused}"
+    );
     assert!(fused.contains("goto"), "{fused}");
     // Output is valid input.
     hfuse::frontend::parse_kernel(&fused).expect("fused output parses");
@@ -67,7 +83,11 @@ fn fuse_three_way_from_files() {
         "--threads",
         "128,64,32",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("partitions [128, 64, 32]"), "{err}");
 }
@@ -111,7 +131,11 @@ fn run_executes_and_prints_buffers() {
         "--show",
         "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("cycles"), "{text}");
     assert!(text.contains("[6.0, 6.0]"), "5.0 + 1.0 expected: {text}");
@@ -132,7 +156,13 @@ fn list_shows_benchmarks_and_pairs() {
     let out = hfuse(&["list"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["Batchnorm", "Ethash", "Softmax", "Transpose", "*Batchnorm*+Hist"] {
+    for name in [
+        "Batchnorm",
+        "Ethash",
+        "Softmax",
+        "Transpose",
+        "*Batchnorm*+Hist",
+    ] {
         assert!(text.contains(name), "list must mention {name}: {text}");
     }
 }

@@ -28,15 +28,18 @@ fn check_native(a: &AnyBenchmark, b: &AnyBenchmark) {
     let args_a = ba.setup(gpu.memory_mut());
     let args_b = bb.setup(gpu.memory_mut());
     let mk = |bench: &dyn Benchmark, args: &[hfuse::sim::ParamValue]| Launch {
-        kernel: lower_kernel(&bench.kernel()).expect("lower"),
+        kernel: lower_kernel(&bench.kernel()).expect("lower").into(),
         grid_dim: bench.grid_dim(),
         block_dim: dims_for(bench, bench.default_threads()).expect("default dims"),
         dynamic_shared_bytes: bench.dynamic_shared(),
         args: args.to_vec(),
     };
-    gpu.run_functional(&[mk(ba, &args_a), mk(bb, &args_b)]).expect("native run");
-    ba.check(gpu.memory(), &args_a).expect("first kernel output");
-    bb.check(gpu.memory(), &args_b).expect("second kernel output");
+    gpu.run_functional(&[mk(ba, &args_a), mk(bb, &args_b)])
+        .expect("native run");
+    ba.check(gpu.memory(), &args_a)
+        .expect("first kernel output");
+    bb.check(gpu.memory(), &args_b)
+        .expect("second kernel output");
 }
 
 /// Fuses at partition (d1, d2) and checks both outputs.
@@ -53,7 +56,7 @@ fn check_fused(a: &AnyBenchmark, b: &AnyBenchmark, d1: u32, d2: u32) {
     let mut args = args_a.clone();
     args.extend(args_b.iter().copied());
     gpu.run_functional(&[Launch {
-        kernel: lower_kernel(&fused.function).expect("lower fused"),
+        kernel: lower_kernel(&fused.function).expect("lower fused").into(),
         grid_dim: ba.grid_dim().max(bb.grid_dim()),
         block_dim: (d1 + d2, 1, 1),
         dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
@@ -84,7 +87,7 @@ fn check_vertical(a: &AnyBenchmark, b: &AnyBenchmark) {
     let mut args = args_a.clone();
     args.extend(args_b.iter().copied());
     gpu.run_functional(&[Launch {
-        kernel: lower_kernel(&fused.function).expect("lower vfused"),
+        kernel: lower_kernel(&fused.function).expect("lower vfused").into(),
         grid_dim: ba.grid_dim(),
         block_dim: (threads, 1, 1),
         dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
@@ -143,20 +146,15 @@ fn timed_and_functional_runs_agree_for_a_fused_pair() {
     let pair = &hfuse::kernels::dl_pairs()[5]; // Hist+Maxpool
     let (a, b) = (small(&pair.first), small(&pair.second));
     let (ba, bb) = (a.benchmark(), b.benchmark());
-    let fused = horizontal_fuse(
-        &ba.kernel(),
-        (512, 1, 1),
-        &bb.kernel(),
-        (512, 1, 1),
-    )
-    .expect("fuse");
+    let fused =
+        horizontal_fuse(&ba.kernel(), (512, 1, 1), &bb.kernel(), (512, 1, 1)).expect("fuse");
     let mut gpu = Gpu::new(GpuConfig::test_tiny());
     let args_a = ba.setup(gpu.memory_mut());
     let args_b = bb.setup(gpu.memory_mut());
     let mut args = args_a.clone();
     args.extend(args_b.iter().copied());
     gpu.run(&[Launch {
-        kernel: lower_kernel(&fused.function).expect("lower"),
+        kernel: lower_kernel(&fused.function).expect("lower").into(),
         grid_dim: ba.grid_dim(),
         block_dim: (1024, 1, 1),
         dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),

@@ -12,7 +12,11 @@ fn three_dl_kernels_fuse_and_match_references() {
     let names = ["Hist", "Maxpool", "Upsample"];
     let benches: Vec<AnyBenchmark> = names
         .iter()
-        .map(|n| AnyBenchmark::by_name(n).expect("benchmark exists").scaled(0.25))
+        .map(|n| {
+            AnyBenchmark::by_name(n)
+                .expect("benchmark exists")
+                .scaled(0.25)
+        })
         .collect();
 
     let mut gpu = Gpu::new(GpuConfig::test_tiny());
@@ -31,7 +35,7 @@ fn three_dl_kernels_fuse_and_match_references() {
 
     let dyn_shared: u32 = benches.iter().map(|b| b.benchmark().dynamic_shared()).sum();
     gpu.run_functional(&[Launch {
-        kernel: lower_kernel(&fused.function).expect("lower"),
+        kernel: lower_kernel(&fused.function).expect("lower").into(),
         grid_dim: benches[0].benchmark().grid_dim(),
         block_dim: (768, 1, 1),
         dynamic_shared_bytes: dyn_shared,
@@ -71,7 +75,7 @@ fn four_crypto_kernels_fuse_into_one_block() {
     // Timed run (also exercises the scheduler with 4 heterogeneous intervals).
     let r = gpu
         .run(&[Launch {
-            kernel: lower_kernel(&fused.function).expect("lower"),
+            kernel: lower_kernel(&fused.function).expect("lower").into(),
             grid_dim: benches[0].benchmark().grid_dim(),
             block_dim: (1024, 1, 1),
             dynamic_shared_bytes: 0,

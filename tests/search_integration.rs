@@ -23,9 +23,16 @@ fn search_sweeps_all_partitions_for_tunable_pairs() {
     let pair = &dl_pairs()[5]; // Hist+Maxpool
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
-    let report =
-        search_fusion_config(&gpu, &in1, &in2, SearchOptions { d0: 1024, granularity: 128 })
-            .expect("search");
+    let report = search_fusion_config(
+        &gpu,
+        &in1,
+        &in2,
+        SearchOptions {
+            d0: 1024,
+            granularity: 128,
+        },
+    )
+    .expect("search");
     // 7 partitions (128..896) × 2 register variants.
     assert_eq!(report.candidates.len(), 14);
     let best = report.best();
@@ -42,9 +49,16 @@ fn search_respects_granularity_option() {
     let pair = &dl_pairs()[5];
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
-    let coarse =
-        search_fusion_config(&gpu, &in1, &in2, SearchOptions { d0: 1024, granularity: 256 })
-            .expect("search");
+    let coarse = search_fusion_config(
+        &gpu,
+        &in1,
+        &in2,
+        SearchOptions {
+            d0: 1024,
+            granularity: 256,
+        },
+    )
+    .expect("search");
     assert_eq!(coarse.candidates.len(), 6); // 256, 512, 768 × 2 variants
 }
 
@@ -52,8 +66,7 @@ fn search_respects_granularity_option() {
 fn crypto_pair_has_single_partition() {
     let pair = &crypto_pairs()[3]; // Blake256+Blake2B (fast pair)
     let (gpu, in1, in2) = inputs(&pair.first, &pair.second);
-    let report =
-        search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
     assert_eq!(report.candidates.len(), 2);
     assert_eq!(report.best().d1, 256);
     assert_eq!(report.best().d2, 256);
@@ -66,11 +79,17 @@ fn native_time_is_bounded_by_singles() {
     let (gpu, in1, in2) = inputs(&a, &b);
     let t1 = measure_single(&gpu, &in1).expect("single 1").total_cycles;
     let t2 = measure_single(&gpu, &in2).expect("single 2").total_cycles;
-    let native = measure_native(&gpu, &in1, &in2).expect("native").total_cycles;
+    let native = measure_native(&gpu, &in1, &in2)
+        .expect("native")
+        .total_cycles;
     // Co-execution can overlap but cannot be faster than the longer kernel,
     // nor slower than strictly serial plus slack.
     assert!(native >= t1.max(t2), "native {native} < max({t1}, {t2})");
-    assert!(native <= (t1 + t2) * 11 / 10, "native {native} > serial {}", t1 + t2);
+    assert!(
+        native <= (t1 + t2) * 11 / 10,
+        "native {native} > serial {}",
+        t1 + t2
+    );
 }
 
 #[test]
@@ -78,8 +97,7 @@ fn fused_kernel_metrics_are_plausible() {
     let pair = &dl_pairs()[1];
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
-    let report =
-        search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
     for c in &report.candidates {
         assert!(c.cycles > 0);
         assert!((0.0..=100.0).contains(&c.issue_util), "{c:?}");
@@ -104,15 +122,14 @@ fn search_report_carries_runnable_best_kernel() {
     let pair = &dl_pairs()[5];
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
-    let report =
-        search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
+    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
     // The reported best kernel must actually run with the reported config.
     let mut gpu = gpu.clone();
     let mut args = in1.args.clone();
     args.extend(in2.args.iter().copied());
     let r = gpu
         .run(&[hfuse::sim::Launch {
-            kernel: report.best_kernel.clone(),
+            kernel: report.best_kernel.clone().into(),
             grid_dim: in1.grid_dim,
             block_dim: (report.best().d1 + report.best().d2, 1, 1),
             dynamic_shared_bytes: in1.dynamic_shared + in2.dynamic_shared,
@@ -147,8 +164,7 @@ fn parallel_search_path_matches_serial() {
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
     std::env::set_var("HFUSE_SEARCH_THREADS", "1");
-    let serial =
-        search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("serial");
+    let serial = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("serial");
     std::env::set_var("HFUSE_SEARCH_THREADS", "4");
     let parallel =
         search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("parallel");
