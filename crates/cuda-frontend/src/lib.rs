@@ -70,13 +70,18 @@ pub fn parse_translation_unit(src: &str) -> Result<TranslationUnit, FrontendErro
 ///
 /// # Errors
 ///
-/// Returns [`FrontendError`] if parsing fails or if the source does not
-/// contain exactly one kernel.
+/// Returns [`FrontendError`] if parsing fails, if the source does not
+/// contain exactly one kernel, or if the kernel shadows a `__shared__`
+/// declaration (see [`typeck::check_shared_shadowing`]).
 pub fn parse_kernel(src: &str) -> Result<Function, FrontendError> {
     let tu = parse_translation_unit(src)?;
     let mut kernels: Vec<Function> = tu.functions.into_iter().filter(|f| f.is_kernel).collect();
     match kernels.len() {
-        1 => Ok(kernels.pop().expect("len checked")),
+        1 => {
+            let kernel = kernels.pop().expect("len checked");
+            typeck::check_shared_shadowing(&kernel)?;
+            Ok(kernel)
+        }
         n => Err(FrontendError::new(format!(
             "expected exactly one __global__ kernel, found {n}"
         ))),

@@ -290,6 +290,110 @@ pub fn shuffle_value_arg(nargs: usize) -> usize {
     usize::from(nargs == 4)
 }
 
+/// Rejects shadowed `__shared__` declarations in a kernel.
+///
+/// A `__shared__` array is a block-level resource: every thread sees the same
+/// storage regardless of the scope the declaration appears in. Shadowing one
+/// (re-declaring its name while it is visible, or declaring `__shared__`
+/// under a name that is already bound) almost always means two textually
+/// identical names silently refer to different storage — a bug in hand-written
+/// kernels and a hazard for the fusion renamer. Two errors are reported:
+///
+/// * a `__shared__` declaration whose name is already visible, and
+/// * any declaration whose name shadows a visible `__shared__` declaration.
+///
+/// Sibling scopes do not shadow each other; re-use of a name after the
+/// earlier scope closes is accepted.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] naming the offending variable.
+pub fn check_shared_shadowing(f: &crate::ast::Function) -> Result<(), FrontendError> {
+    // Innermost scope last; each entry maps name -> declared __shared__?
+    let mut scopes: Vec<HashMap<String, bool>> = vec![HashMap::new()];
+    for p in &f.params {
+        scopes[0].insert(p.name.clone(), false);
+    }
+    check_block_shadowing(&f.body, &mut scopes)
+}
+
+/// Recursive worker for [`check_shared_shadowing`]: walks one block in a
+/// fresh scope.
+fn check_block_shadowing(
+    block: &crate::ast::Block,
+    scopes: &mut Vec<HashMap<String, bool>>,
+) -> Result<(), FrontendError> {
+    use crate::ast::Stmt;
+
+    scopes.push(HashMap::new());
+    let mut result = Ok(());
+    for stmt in &block.stmts {
+        let r = match stmt {
+            Stmt::Decl(d) => declare_checked(d, scopes),
+            Stmt::If(_, then_b, else_b) => {
+                check_block_shadowing(then_b, scopes).and_then(|()| match else_b {
+                    Some(b) => check_block_shadowing(b, scopes),
+                    None => Ok(()),
+                })
+            }
+            Stmt::For { init, body, .. } => {
+                // The loop variable scopes over the body, like `{ init; body }`.
+                scopes.push(HashMap::new());
+                let mut r = Ok(());
+                if let Some(init) = init {
+                    if let Stmt::Decl(d) = init.as_ref() {
+                        r = declare_checked(d, scopes);
+                    }
+                }
+                let r = r.and_then(|()| check_block_shadowing(body, scopes));
+                scopes.pop();
+                r
+            }
+            Stmt::While(_, body) => check_block_shadowing(body, scopes),
+            Stmt::DoWhile(body, _) => check_block_shadowing(body, scopes),
+            Stmt::Switch { cases, .. } => cases.iter().try_for_each(|case| {
+                let b = crate::ast::Block::new(case.body.clone());
+                check_block_shadowing(&b, scopes)
+            }),
+            Stmt::Block(b) => check_block_shadowing(b, scopes),
+            _ => Ok(()),
+        };
+        if let Err(e) = r {
+            result = Err(e);
+            break;
+        }
+    }
+    scopes.pop();
+    result
+}
+
+/// Binds one declaration, erroring if it participates in `__shared__`
+/// shadowing (either side).
+fn declare_checked(
+    d: &crate::ast::VarDecl,
+    scopes: &mut [HashMap<String, bool>],
+) -> Result<(), FrontendError> {
+    let is_shared = d.quals.shared || d.quals.extern_shared;
+    let shadowed = scopes.iter().rev().find_map(|s| s.get(&d.name).copied());
+    match (is_shared, shadowed) {
+        (true, Some(_)) => Err(FrontendError::new(format!(
+            "__shared__ declaration `{}` shadows an earlier declaration",
+            d.name
+        ))),
+        (false, Some(true)) => Err(FrontendError::new(format!(
+            "declaration `{}` shadows a __shared__ declaration",
+            d.name
+        ))),
+        _ => {
+            scopes
+                .last_mut()
+                .expect("at least one scope")
+                .insert(d.name.clone(), is_shared);
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

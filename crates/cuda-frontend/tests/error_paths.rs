@@ -1,0 +1,159 @@
+//! Error-path coverage for the frontend: malformed `bar.sync` inline asm,
+//! unterminated / unmatched preprocessor conditionals, and shadowed
+//! `__shared__` declarations.
+//!
+//! Every test asserts both that parsing fails *and* that the message names
+//! the actual problem, so a future refactor can't silently swap one error
+//! for a less specific one.
+
+use cuda_frontend::parse_kernel;
+
+/// Parses a kernel expected to fail and returns the error message.
+fn err_of(src: &str) -> String {
+    match parse_kernel(src) {
+        Ok(f) => panic!("expected a frontend error, parsed `{}` fine", f.name),
+        Err(e) => e.to_string(),
+    }
+}
+
+fn kernel_with(body: &str) -> String {
+    format!("__global__ void k(int* out, int n) {{ {body} }}")
+}
+
+// ---- malformed `bar.sync` operands ------------------------------------------
+
+#[test]
+fn bar_sync_without_operands_is_rejected() {
+    let msg = err_of(&kernel_with(r#"asm("bar.sync;");"#));
+    assert!(msg.contains("bar.sync"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn bar_sync_missing_count_is_rejected() {
+    let msg = err_of(&kernel_with(r#"asm("bar.sync 1;");"#));
+    assert!(msg.contains("bar.sync"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn bar_sync_non_numeric_operands_are_rejected() {
+    let msg = err_of(&kernel_with(r#"asm("bar.sync a, b;");"#));
+    assert!(msg.contains("bar.sync"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn bar_sync_id_above_15_is_rejected() {
+    // PTX has 16 named barrier resources; id 16 does not exist.
+    let msg = err_of(&kernel_with(r#"asm("bar.sync 16, 64;");"#));
+    assert!(msg.contains("bar.sync"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn bar_sync_extra_operand_is_rejected() {
+    let msg = err_of(&kernel_with(r#"asm("bar.sync 1, 64, 9;");"#));
+    assert!(msg.contains("bar.sync"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn non_string_asm_body_is_rejected() {
+    let msg = err_of(&kernel_with("asm(42);"));
+    assert!(msg.contains("string literal"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn well_formed_bar_sync_still_parses() {
+    let f = parse_kernel(&kernel_with(r#"asm("bar.sync 1, 64;");"#)).expect("valid bar.sync");
+    assert_eq!(f.name, "k");
+}
+
+// ---- preprocessor conditionals ----------------------------------------------
+
+#[test]
+fn unterminated_ifdef_is_rejected() {
+    let msg = err_of("#ifdef FAST\n__global__ void k(int n) { }\n");
+    assert!(msg.contains("unterminated"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn unterminated_ifndef_is_rejected() {
+    let msg = err_of("#ifndef FAST\n__global__ void k(int n) { }\n");
+    assert!(msg.contains("unterminated"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn unterminated_nested_conditional_is_rejected() {
+    let msg = err_of("#ifdef A\n#ifdef B\n#endif\n__global__ void k(int n) { }\n");
+    assert!(msg.contains("unterminated"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn else_without_ifdef_is_rejected() {
+    let msg = err_of("#else\n__global__ void k(int n) { }\n#endif\n");
+    assert!(msg.contains("#else"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn endif_without_ifdef_is_rejected() {
+    let msg = err_of("__global__ void k(int n) { }\n#endif\n");
+    assert!(msg.contains("#endif"), "unhelpful message: {msg}");
+}
+
+// ---- shadowed __shared__ declarations ---------------------------------------
+
+#[test]
+fn redeclaring_shared_in_nested_block_is_rejected() {
+    let msg = err_of(&kernel_with(
+        "__shared__ int s[32]; { __shared__ int s[32]; s[0] = n; } out[0] = s[0];",
+    ));
+    assert!(
+        msg.contains("__shared__") && msg.contains('s'),
+        "unhelpful message: {msg}"
+    );
+}
+
+#[test]
+fn local_shadowing_a_shared_array_is_rejected() {
+    let msg = err_of(&kernel_with(
+        "__shared__ int s[32]; if (n > 0) { int s = n; out[0] = s; }",
+    ));
+    assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn shared_shadowing_a_param_is_rejected() {
+    let msg = err_of(&kernel_with("__shared__ int n[32]; out[0] = n[0];"));
+    assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn shared_shadowing_a_for_variable_is_rejected() {
+    let msg = err_of(&kernel_with(
+        "for (int i = 0; i < n; i = i + 1) { __shared__ int i[4]; out[0] = i[0]; }",
+    ));
+    assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn shared_shadowing_by_extern_shared_is_rejected() {
+    let msg = err_of(&kernel_with(
+        "int buf = 0; extern __shared__ int buf2[]; __shared__ int buf[16]; out[0] = buf[0] + buf2[0];",
+    ));
+    assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn sibling_scopes_may_reuse_a_name() {
+    // The first `tmp` goes out of scope before the second is declared: no
+    // shadowing, so this must keep parsing.
+    let src = kernel_with(
+        "{ int tmp = 1; out[0] = tmp; } { __shared__ int tmp[8]; tmp[0] = n; out[1] = tmp[0]; }",
+    );
+    parse_kernel(&src).expect("sibling-scope reuse is not shadowing");
+}
+
+#[test]
+fn distinct_shared_arrays_still_parse() {
+    let src = kernel_with(
+        "__shared__ int a[32]; __shared__ int b[32]; a[0] = n; b[0] = a[0]; out[0] = b[0];",
+    );
+    parse_kernel(&src).expect("two distinct shared arrays are fine");
+}

@@ -1,0 +1,281 @@
+//! Spec-driven random kernel generation over the supported CUDA dialect.
+//!
+//! A [`KernelSpec`] is a small, shrinkable description of one kernel:
+//! structured control flow (counted loops, tid-dependent branches),
+//! `__shared__` exchange phases, warp shuffles, integer atomics, and
+//! `__syncthreads()`. Specs render to CUDA *source text* — the oracle then
+//! parses, prints, re-parses, lowers, fuses, and simulates them, so the
+//! whole frontend pipeline is exercised, not just the AST constructors.
+//!
+//! Generated kernels are **race-free and deterministic by construction**:
+//!
+//! * every thread writes only its own `out[g]` slot and its own `s[t]`
+//!   shared slot; cross-thread shared reads happen strictly between
+//!   `__syncthreads()` pairs;
+//! * atomics are commutative integer ops (`atomicAdd`/`atomicMax`) on
+//!   reserved slots past the per-thread output region, so any execution
+//!   order yields the same bits;
+//! * thread counts are warp multiples, so fusion's `d1 % 32 == 0`
+//!   precondition holds and shuffle lanes survive fusion unchanged;
+//! * all arithmetic is `int` (wrapping, bit-exact on the simulator).
+//!
+//! Any divergence between the unfused pair and the fused kernel is
+//! therefore a genuine bug in the frontend, fusion, or simulator.
+
+use std::fmt::Write as _;
+
+use crate::rng::Rng;
+
+/// Reserved atomic slots appended after the `grid * threads` per-thread
+/// output region of the `out` buffer.
+pub const ATOMIC_SLOTS: u32 = 4;
+
+/// One phase of a generated kernel body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// `for (i = 0; i < trips; i++) acc = acc * mul + in[(g + i*stride) % n] + add;`
+    ComputeLoop {
+        /// Loop trip count (≥ 1).
+        trips: u32,
+        /// Multiplier constant.
+        mul: i32,
+        /// Additive constant.
+        add: i32,
+        /// Input stride per iteration.
+        stride: u32,
+    },
+    /// `if (t % modulus == 0) acc = acc * mul + 1; else acc = acc ^ xor;`
+    Branch {
+        /// Branch modulus (≥ 1); 1 makes the branch warp-uniform.
+        modulus: u32,
+        /// Then-side multiplier.
+        mul: i32,
+        /// Else-side xor mask.
+        xor: i32,
+    },
+    /// `s[t] = acc; __syncthreads(); acc += s[(t+offset) % T]; __syncthreads();`
+    SharedExchange {
+        /// Read offset (mod the block size).
+        offset: u32,
+    },
+    /// `acc += __shfl_xor_sync(...)` or `__shfl_down_sync(...)`.
+    Shuffle {
+        /// True for `xor`, false for `down`.
+        xor: bool,
+        /// Lane operand (1..=16).
+        offset: u32,
+    },
+    /// `atomicAdd(&out[NT+slot], acc)` or `atomicMax(...)`.
+    Atomic {
+        /// True for `atomicAdd`, false for `atomicMax`.
+        add: bool,
+        /// Reserved slot index (< [`ATOMIC_SLOTS`]).
+        slot: u32,
+    },
+}
+
+/// A complete generated kernel: geometry plus body phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Kernel name.
+    pub name: String,
+    /// Threads per block (multiple of 32, ≤ 128).
+    pub threads: u32,
+    /// Grid size in blocks.
+    pub grid: u32,
+    /// Input buffer length in `int`s (≥ `grid * threads`).
+    pub n: u32,
+    /// Initial accumulator constant.
+    pub init: i32,
+    /// Body phases, in order.
+    pub segments: Vec<Segment>,
+}
+
+impl KernelSpec {
+    /// Generates a random spec named `name`. `grid` and `threads_choices`
+    /// are imposed by the caller so a *pair* of kernels shares a grid.
+    pub fn generate(rng: &mut Rng, name: &str, grid: u32) -> Self {
+        let threads = 32 * rng.range(1, 5) as u32; // 32, 64, 96, 128
+        let nt = grid * threads;
+        let n = nt + rng.range(0, 17) as u32;
+        let n_segments = rng.range(1, 6);
+        let mut segments = Vec::new();
+        for _ in 0..n_segments {
+            segments.push(Self::gen_segment(rng));
+        }
+        KernelSpec {
+            name: name.to_owned(),
+            threads,
+            grid,
+            n,
+            init: rng.range(0, 100) as i32,
+            segments,
+        }
+    }
+
+    fn gen_segment(rng: &mut Rng) -> Segment {
+        match rng.range(0, 10) {
+            0..=3 => Segment::ComputeLoop {
+                trips: rng.range(1, 9) as u32,
+                mul: *rng.pick(&[1, 3, 5, 7, 31]),
+                add: rng.range(0, 16) as i32,
+                stride: rng.range(0, 8) as u32,
+            },
+            4 | 5 => Segment::Branch {
+                modulus: *rng.pick(&[1, 2, 3, 4, 32]),
+                mul: *rng.pick(&[3, 5, 9]),
+                xor: rng.range(1, 256) as i32,
+            },
+            6 | 7 => Segment::SharedExchange {
+                offset: rng.range(1, 32) as u32,
+            },
+            8 => Segment::Shuffle {
+                xor: rng.chance(1, 2),
+                offset: *rng.pick(&[1, 2, 4, 8, 16]),
+            },
+            _ => Segment::Atomic {
+                add: rng.chance(1, 2),
+                slot: rng.range(0, u64::from(ATOMIC_SLOTS)) as u32,
+            },
+        }
+    }
+
+    /// Length of the `out` buffer in `int`s: one slot per thread plus the
+    /// reserved atomic slots.
+    pub fn out_len(&self) -> u32 {
+        self.grid * self.threads + ATOMIC_SLOTS
+    }
+
+    /// True if any phase touches the `__shared__` array.
+    pub fn uses_shared(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|s| matches!(s, Segment::SharedExchange { .. }))
+    }
+
+    /// Renders the spec as CUDA source.
+    pub fn render(&self) -> String {
+        let mut src = String::new();
+        let _ = writeln!(
+            src,
+            "__global__ void {}(int* out, int* in, int n) {{",
+            self.name
+        );
+        if self.uses_shared() {
+            let _ = writeln!(src, "  __shared__ int s[{}];", self.threads);
+        }
+        src.push_str("  int t = threadIdx.x;\n");
+        src.push_str("  int b = blockIdx.x;\n");
+        src.push_str("  int g = b * blockDim.x + t;\n");
+        let _ = writeln!(src, "  int acc = in[g % n] + {};", self.init);
+        for (i, seg) in self.segments.iter().enumerate() {
+            match seg {
+                Segment::ComputeLoop {
+                    trips,
+                    mul,
+                    add,
+                    stride,
+                } => {
+                    let _ = writeln!(src, "  for (int i{i} = 0; i{i} < {trips}; i{i}++) {{");
+                    let _ = writeln!(
+                        src,
+                        "    acc = acc * {mul} + in[(g + i{i} * {stride}) % n] + {add};"
+                    );
+                    src.push_str("  }\n");
+                }
+                Segment::Branch { modulus, mul, xor } => {
+                    let _ = writeln!(
+                        src,
+                        "  if (t % {modulus} == 0) {{ acc = acc * {mul} + 1; }} \
+                         else {{ acc = acc ^ {xor}; }}"
+                    );
+                }
+                Segment::SharedExchange { offset } => {
+                    src.push_str("  s[t] = acc;\n");
+                    src.push_str("  __syncthreads();\n");
+                    let _ = writeln!(src, "  acc = acc + s[(t + {offset}) % {}];", self.threads);
+                    src.push_str("  __syncthreads();\n");
+                }
+                Segment::Shuffle { xor, offset } => {
+                    let f = if *xor {
+                        "__shfl_xor_sync"
+                    } else {
+                        "__shfl_down_sync"
+                    };
+                    let _ = writeln!(src, "  acc = acc + {f}(0xffffffffu, acc, {offset}, 32);");
+                }
+                Segment::Atomic { add, slot } => {
+                    let f = if *add { "atomicAdd" } else { "atomicMax" };
+                    let idx = self.grid * self.threads + slot;
+                    let _ = writeln!(src, "  {f}(&out[{idx}], acc);");
+                }
+            }
+        }
+        src.push_str("  out[g] = acc;\n");
+        src.push_str("}\n");
+        src
+    }
+}
+
+/// A generated fuzz case: two kernels sharing one grid, fused as (k1, k2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasePair {
+    /// First kernel (fusion partition `d1`).
+    pub k1: KernelSpec,
+    /// Second kernel (fusion partition `d2`).
+    pub k2: KernelSpec,
+}
+
+impl CasePair {
+    /// Generates a case pair from the given stream.
+    pub fn generate(rng: &mut Rng) -> Self {
+        let grid = rng.range(1, 3) as u32;
+        CasePair {
+            k1: KernelSpec::generate(rng, "fz_a", grid),
+            k2: KernelSpec::generate(rng, "fz_b", grid),
+        }
+    }
+
+    /// Deterministic input data for a kernel of this case.
+    pub fn input_data(rng: &mut Rng, len: u32) -> Vec<u32> {
+        (0..len).map(|_| rng.range(0, 256) as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CasePair::generate(&mut Rng::new(42));
+        let b = CasePair::generate(&mut Rng::new(42));
+        assert_eq!(a, b);
+        assert_eq!(a.k1.render(), b.k1.render());
+    }
+
+    #[test]
+    fn geometry_invariants_hold() {
+        for seed in 0..200 {
+            let p = CasePair::generate(&mut Rng::new(seed));
+            for k in [&p.k1, &p.k2] {
+                assert_eq!(k.threads % 32, 0, "warp-multiple block");
+                assert!(k.threads >= 32 && k.threads <= 128);
+                assert!(k.n >= k.grid * k.threads, "inputs cover every thread");
+                assert!(!k.segments.is_empty());
+            }
+            assert_eq!(p.k1.grid, p.k2.grid, "pair shares a grid");
+        }
+    }
+
+    #[test]
+    fn rendered_source_parses() {
+        for seed in 0..50 {
+            let p = CasePair::generate(&mut Rng::new(seed));
+            for k in [&p.k1, &p.k2] {
+                cuda_frontend::parse_kernel(&k.render())
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", k.render()));
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! CLI driver: `hfuse-fuzz --seed N --cases N`.
+//!
+//! Exits non-zero if any case fails the differential oracle, printing the
+//! shrunk reproducer (both kernels' CUDA source) for each failure.
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: hfuse-fuzz [--seed N] [--cases N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 0;
+    let mut cases: u64 = 100;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parse = |v: Option<String>| -> u64 {
+            v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--seed" => seed = parse(args.next()),
+            "--cases" => cases = parse(args.next()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    println!("fuzzing {cases} case(s) from seed {seed} ...");
+    let result = hfuse_fuzz::run_campaign(seed, cases);
+    if result.ok() {
+        println!("ok: {} case(s), zero equivalence failures", result.cases);
+        return ExitCode::SUCCESS;
+    }
+    for f in &result.failures {
+        println!("--- case {} FAILED: {}", f.case, f.failure);
+        println!("shrunk failure: {}", f.shrunk_failure);
+        println!(
+            "shrunk k1 ({} threads, grid {}, n {}):",
+            f.shrunk.k1.threads, f.shrunk.k1.grid, f.shrunk.k1.n
+        );
+        println!("{}", f.shrunk.k1.render());
+        println!(
+            "shrunk k2 ({} threads, grid {}, n {}):",
+            f.shrunk.k2.threads, f.shrunk.k2.grid, f.shrunk.k2.n
+        );
+        println!("{}", f.shrunk.k2.render());
+    }
+    println!(
+        "FAILED: {} of {} case(s) diverged",
+        result.failures.len(),
+        result.cases
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,208 @@
+//! The differential oracle: a generated pair must survive the whole
+//! pipeline — parse, print/re-parse round-trip, lowering, horizontal
+//! fusion, and simulation — with the fused kernel producing *bitwise*
+//! identical device memory to the two unfused launches, and the race
+//! sanitizer staying silent on both schedules.
+
+use cuda_frontend::ast::Function;
+use cuda_frontend::{parse_kernel, printer::print_function};
+use gpu_sim::{Gpu, GpuConfig, Launch, ParamValue};
+use hfuse_core::fuse::horizontal_fuse;
+use thread_ir::lower_kernel;
+
+use crate::gen::CasePair;
+use crate::rng::Rng;
+
+/// Why a case failed the oracle.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Pipeline stage that failed (`parse`, `round-trip`, `lower`, `fuse`,
+    /// `sim-unfused`, `sim-fused`, `memory-diff`, `sanitizer-…`).
+    pub stage: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+fn fail(stage: &'static str, detail: impl Into<String>) -> Failure {
+    Failure {
+        stage,
+        detail: detail.into(),
+    }
+}
+
+/// Parses `src` and checks the printer/parser round-trip: printing the AST
+/// and re-parsing it must reproduce the AST exactly.
+fn parse_round_trip(src: &str) -> Result<Function, Failure> {
+    let f = parse_kernel(src).map_err(|e| fail("parse", format!("{e}\nsource:\n{src}")))?;
+    let printed = print_function(&f);
+    let f2 = parse_kernel(&printed).map_err(|e| {
+        fail(
+            "round-trip",
+            format!("reparse failed: {e}\nprinted:\n{printed}"),
+        )
+    })?;
+    if f != f2 {
+        return Err(fail(
+            "round-trip",
+            format!("print→parse changed the AST\nprinted:\n{printed}"),
+        ));
+    }
+    Ok(f)
+}
+
+/// Runs one generated case through the full differential oracle.
+///
+/// `input_rng` supplies the (deterministic) buffer contents; both schedules
+/// see identical inputs.
+///
+/// # Errors
+///
+/// Returns a [`Failure`] naming the first pipeline stage that diverged.
+pub fn run_case(pair: &CasePair, input_rng: &mut Rng) -> Result<(), Failure> {
+    let src1 = pair.k1.render();
+    let src2 = pair.k2.render();
+    let f1 = parse_round_trip(&src1)?;
+    let f2 = parse_round_trip(&src2)?;
+
+    let ir1 = lower_kernel(&f1).map_err(|e| fail("lower", format!("k1: {e}\n{src1}")))?;
+    let ir2 = lower_kernel(&f2).map_err(|e| fail("lower", format!("k2: {e}\n{src2}")))?;
+
+    let in1 = CasePair::input_data(input_rng, pair.k1.n);
+    let in2 = CasePair::input_data(input_rng, pair.k2.n);
+
+    // Unfused reference: two launches, back to back.
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.enable_sanitizer();
+    let out1 = gpu.memory_mut().alloc_u32(pair.k1.out_len() as usize);
+    let in1b = gpu.memory_mut().alloc_from_u32(&in1);
+    let out2 = gpu.memory_mut().alloc_u32(pair.k2.out_len() as usize);
+    let in2b = gpu.memory_mut().alloc_from_u32(&in2);
+    let l1 = Launch::new(ir1, pair.k1.grid, (pair.k1.threads, 1, 1))
+        .arg(ParamValue::Ptr(out1))
+        .arg(ParamValue::Ptr(in1b))
+        .arg(ParamValue::I32(pair.k1.n as i32));
+    let l2 = Launch::new(ir2, pair.k2.grid, (pair.k2.threads, 1, 1))
+        .arg(ParamValue::Ptr(out2))
+        .arg(ParamValue::Ptr(in2b))
+        .arg(ParamValue::I32(pair.k2.n as i32));
+    gpu.run_functional(&[l1, l2])
+        .map_err(|e| fail("sim-unfused", format!("{e}\nk1:\n{src1}\nk2:\n{src2}")))?;
+    let reports = gpu.take_sanitizer_reports();
+    if !reports.is_empty() {
+        return Err(fail(
+            "sanitizer-unfused",
+            format!("{}\nk1:\n{src1}\nk2:\n{src2}", reports[0]),
+        ));
+    }
+    let ref1 = gpu.memory().bytes(out1).to_vec();
+    let ref2 = gpu.memory().bytes(out2).to_vec();
+
+    // Fused: one launch through core::fuse, via printed source so the
+    // goto/label/bar.sync printer and parser paths are exercised too.
+    let fused = horizontal_fuse(&f1, (pair.k1.threads, 1, 1), &f2, (pair.k2.threads, 1, 1))
+        .map_err(|e| fail("fuse", format!("{e}\nk1:\n{src1}\nk2:\n{src2}")))?;
+    let fused_src = fused.to_source();
+    let fused_fn = parse_kernel(&fused_src)
+        .map_err(|e| fail("round-trip", format!("fused reparse: {e}\n{fused_src}")))?;
+    let fused_ir =
+        lower_kernel(&fused_fn).map_err(|e| fail("lower", format!("fused: {e}\n{fused_src}")))?;
+
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.enable_sanitizer();
+    let fout1 = gpu.memory_mut().alloc_u32(pair.k1.out_len() as usize);
+    let fin1 = gpu.memory_mut().alloc_from_u32(&in1);
+    let fout2 = gpu.memory_mut().alloc_u32(pair.k2.out_len() as usize);
+    let fin2 = gpu.memory_mut().alloc_from_u32(&in2);
+    let launch = Launch::new(fused_ir, pair.k1.grid, (fused.block_threads(), 1, 1))
+        .arg(ParamValue::Ptr(fout1))
+        .arg(ParamValue::Ptr(fin1))
+        .arg(ParamValue::I32(pair.k1.n as i32))
+        .arg(ParamValue::Ptr(fout2))
+        .arg(ParamValue::Ptr(fin2))
+        .arg(ParamValue::I32(pair.k2.n as i32));
+    gpu.run_functional(&[launch])
+        .map_err(|e| fail("sim-fused", format!("{e}\n{fused_src}")))?;
+    let reports = gpu.take_sanitizer_reports();
+    if !reports.is_empty() {
+        return Err(fail(
+            "sanitizer-fused",
+            format!("{}\n{fused_src}", reports[0]),
+        ));
+    }
+
+    if gpu.memory().bytes(fout1) != ref1.as_slice() {
+        return Err(fail(
+            "memory-diff",
+            format!(
+                "k1 output differs after fusion (first diff at int {})\n{fused_src}",
+                first_diff(&ref1, gpu.memory().bytes(fout1))
+            ),
+        ));
+    }
+    if gpu.memory().bytes(fout2) != ref2.as_slice() {
+        return Err(fail(
+            "memory-diff",
+            format!(
+                "k2 output differs after fusion (first diff at int {})\n{fused_src}",
+                first_diff(&ref2, gpu.memory().bytes(fout2))
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn first_diff(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).position(|(x, y)| x != y).unwrap_or(0) / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{KernelSpec, Segment};
+
+    fn spec(name: &str, segments: Vec<Segment>) -> KernelSpec {
+        KernelSpec {
+            name: name.to_owned(),
+            threads: 64,
+            grid: 2,
+            n: 130,
+            init: 3,
+            segments,
+        }
+    }
+
+    #[test]
+    fn hand_built_pair_passes() {
+        let pair = CasePair {
+            k1: spec(
+                "ka",
+                vec![
+                    Segment::SharedExchange { offset: 5 },
+                    Segment::Shuffle {
+                        xor: true,
+                        offset: 4,
+                    },
+                ],
+            ),
+            k2: spec(
+                "kb",
+                vec![
+                    Segment::ComputeLoop {
+                        trips: 3,
+                        mul: 5,
+                        add: 2,
+                        stride: 1,
+                    },
+                    Segment::Atomic { add: true, slot: 0 },
+                ],
+            ),
+        };
+        run_case(&pair, &mut Rng::new(1)).expect("oracle");
+    }
+}

@@ -1,0 +1,76 @@
+//! In-tree seeded RNG (SplitMix64) — the workspace is deliberately
+//! dependency-free, and reproducibility matters more than statistical
+//! quality here: every generated kernel is a pure function of the seed.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Derives an independent stream for sub-task `index` (e.g. one fuzz
+    /// case of a campaign) without consuming this generator.
+    pub fn derive(&self, index: u64) -> Rng {
+        Rng(self
+            .0
+            .wrapping_add(index.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range(0, items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let base = Rng::new(0);
+        assert_ne!(base.derive(0).next_u64(), base.derive(1).next_u64());
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let v = r.range(5, 12);
+            assert!((5..12).contains(&v));
+        }
+    }
+}

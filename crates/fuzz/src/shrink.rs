@@ -1,0 +1,226 @@
+//! Greedy spec-level test-case shrinking.
+//!
+//! Shrinking operates on [`KernelSpec`]s, not source text, so every
+//! candidate is well-formed by construction. The reducers, tried in order
+//! of expected payoff:
+//!
+//! 1. **segment deletion** — drop one body phase of either kernel;
+//! 2. **loop deflation** — cut a `ComputeLoop`'s trip count to 1;
+//! 3. **geometry reduction** — shrink to one block / 32 threads / minimal
+//!    input length;
+//! 4. **constant minimization** — drive multipliers to 1 and additive /
+//!    xor / offset constants toward 0 or 1.
+//!
+//! Each accepted candidate (one the oracle still fails) restarts the scan;
+//! the loop stops at a fixpoint or after [`MAX_ATTEMPTS`] oracle calls.
+
+use crate::gen::{CasePair, KernelSpec, Segment};
+
+/// Upper bound on oracle invocations during one shrink.
+pub const MAX_ATTEMPTS: usize = 400;
+
+/// All single-step reductions of `spec`.
+fn spec_candidates(spec: &KernelSpec) -> Vec<KernelSpec> {
+    let mut out = Vec::new();
+    // Segment deletion (keep at least an empty body — that's still valid).
+    for i in 0..spec.segments.len() {
+        let mut s = spec.clone();
+        s.segments.remove(i);
+        out.push(s);
+    }
+    // Geometry.
+    if spec.grid > 1 {
+        let mut s = spec.clone();
+        s.grid = 1;
+        s.n = s.n.min(s.grid * s.threads.max(32) + 1).max(s.threads);
+        out.push(s);
+    }
+    if spec.threads > 32 {
+        let mut s = spec.clone();
+        s.threads = 32;
+        out.push(s);
+    }
+    if spec.n > spec.grid * spec.threads {
+        let mut s = spec.clone();
+        s.n = s.grid * s.threads;
+        out.push(s);
+    }
+    if spec.init != 0 {
+        let mut s = spec.clone();
+        s.init = 0;
+        out.push(s);
+    }
+    // Per-segment simplifications.
+    for i in 0..spec.segments.len() {
+        for seg in segment_candidates(&spec.segments[i]) {
+            let mut s = spec.clone();
+            s.segments[i] = seg;
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn segment_candidates(seg: &Segment) -> Vec<Segment> {
+    let mut out = Vec::new();
+    match *seg {
+        Segment::ComputeLoop {
+            trips,
+            mul,
+            add,
+            stride,
+        } => {
+            if trips > 1 {
+                out.push(Segment::ComputeLoop {
+                    trips: 1,
+                    mul,
+                    add,
+                    stride,
+                });
+            }
+            if mul != 1 {
+                out.push(Segment::ComputeLoop {
+                    trips,
+                    mul: 1,
+                    add,
+                    stride,
+                });
+            }
+            if add != 0 {
+                out.push(Segment::ComputeLoop {
+                    trips,
+                    mul,
+                    add: 0,
+                    stride,
+                });
+            }
+            if stride != 0 {
+                out.push(Segment::ComputeLoop {
+                    trips,
+                    mul,
+                    add,
+                    stride: 0,
+                });
+            }
+        }
+        Segment::Branch { modulus, mul, xor } => {
+            if modulus != 1 {
+                out.push(Segment::Branch {
+                    modulus: 1,
+                    mul,
+                    xor,
+                });
+            }
+            if xor != 1 {
+                out.push(Segment::Branch {
+                    modulus,
+                    mul,
+                    xor: 1,
+                });
+            }
+            // A branch often reduces to plain arithmetic.
+            out.push(Segment::ComputeLoop {
+                trips: 1,
+                mul,
+                add: 1,
+                stride: 0,
+            });
+        }
+        Segment::SharedExchange { offset } => {
+            if offset != 1 {
+                out.push(Segment::SharedExchange { offset: 1 });
+            }
+        }
+        Segment::Shuffle { xor, offset } => {
+            if offset != 1 {
+                out.push(Segment::Shuffle { xor, offset: 1 });
+            }
+        }
+        Segment::Atomic { add, slot } => {
+            if slot != 0 {
+                out.push(Segment::Atomic { add, slot: 0 });
+            }
+        }
+    }
+    out
+}
+
+/// All single-step reductions of a case pair.
+fn candidates(pair: &CasePair) -> Vec<CasePair> {
+    let mut out = Vec::new();
+    for k1 in spec_candidates(&pair.k1) {
+        out.push(CasePair {
+            k1,
+            k2: pair.k2.clone(),
+        });
+    }
+    for k2 in spec_candidates(&pair.k2) {
+        out.push(CasePair {
+            k1: pair.k1.clone(),
+            k2,
+        });
+    }
+    out
+}
+
+/// Greedily shrinks `pair`, keeping any candidate for which `still_fails`
+/// returns true. Returns the smallest failing pair found.
+pub fn shrink(pair: &CasePair, mut still_fails: impl FnMut(&CasePair) -> bool) -> CasePair {
+    let mut current = pair.clone();
+    let mut attempts = 0;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            if still_fails(&cand) {
+                current = cand;
+                continue 'outer; // restart the scan from the smaller case
+            }
+        }
+        break; // fixpoint: no candidate still fails
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Synthetic predicate: "fails" whenever k1 contains an Atomic segment.
+    /// The shrinker must reduce everything else away.
+    #[test]
+    fn shrinks_to_the_triggering_segment() {
+        let mut rng = Rng::new(11);
+        let mut pair = CasePair::generate(&mut rng);
+        pair.k1
+            .segments
+            .push(Segment::Atomic { add: true, slot: 3 });
+        let has_atomic = |p: &CasePair| {
+            p.k1.segments
+                .iter()
+                .any(|s| matches!(s, Segment::Atomic { .. }))
+        };
+        assert!(has_atomic(&pair));
+        let small = shrink(&pair, has_atomic);
+        assert_eq!(small.k1.segments.len(), 1, "{:?}", small.k1.segments);
+        assert!(matches!(
+            small.k1.segments[0],
+            Segment::Atomic { slot: 0, .. }
+        ));
+        assert!(small.k2.segments.is_empty(), "{:?}", small.k2.segments);
+        assert_eq!(small.k1.threads, 32);
+        assert_eq!(small.k1.grid, 1);
+        assert_eq!(small.k1.init, 0);
+    }
+
+    /// Shrinking a passing case returns it unchanged.
+    #[test]
+    fn fixpoint_on_non_failing_case() {
+        let pair = CasePair::generate(&mut Rng::new(5));
+        let same = shrink(&pair, |_| false);
+        assert_eq!(same, pair);
+    }
+}

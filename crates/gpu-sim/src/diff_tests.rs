@@ -273,6 +273,83 @@ fn kernel_store_unshares_only_written_buffer() {
     assert_eq!(base.memory().read_f32(o, 3), 0.0, "base output clobbered");
 }
 
+/// Builds launches for one fuzzer corpus case: the unfused pair plus the
+/// horizontally fused kernel, all in one stream. Replaying the fuzz corpus
+/// through the timing engine checks the fast-forward on machine-generated
+/// control flow (partial barriers, shuffles, atomics) rather than only the
+/// hand-written scenarios above.
+fn fuzz_case_launches(seed: u64, case: u64) -> impl Fn(&mut Gpu) -> Vec<Launch> {
+    move |gpu: &mut Gpu| {
+        let (pair, mut input_rng) = hfuse_fuzz::case_streams(seed, case);
+        let f1 = parse_kernel(&pair.k1.render()).expect("parse k1");
+        let f2 = parse_kernel(&pair.k2.render()).expect("parse k2");
+        let fused = hfuse_core::fuse::horizontal_fuse(
+            &f1,
+            (pair.k1.threads, 1, 1),
+            &f2,
+            (pair.k2.threads, 1, 1),
+        )
+        .expect("fuse");
+
+        let in1 = hfuse_fuzz::gen::CasePair::input_data(&mut input_rng, pair.k1.n);
+        let in2 = hfuse_fuzz::gen::CasePair::input_data(&mut input_rng, pair.k2.n);
+        let out1 = gpu.memory_mut().alloc_u32(pair.k1.out_len() as usize);
+        let in1b = gpu.memory_mut().alloc_from_u32(&in1);
+        let out2 = gpu.memory_mut().alloc_u32(pair.k2.out_len() as usize);
+        let in2b = gpu.memory_mut().alloc_from_u32(&in2);
+        let fout1 = gpu.memory_mut().alloc_u32(pair.k1.out_len() as usize);
+        let fin1 = gpu.memory_mut().alloc_from_u32(&in1);
+        let fout2 = gpu.memory_mut().alloc_u32(pair.k2.out_len() as usize);
+        let fin2 = gpu.memory_mut().alloc_from_u32(&in2);
+
+        vec![
+            Launch::new(
+                lower_kernel(&f1).expect("lower k1"),
+                pair.k1.grid,
+                (pair.k1.threads, 1, 1),
+            )
+            .arg(ParamValue::Ptr(out1))
+            .arg(ParamValue::Ptr(in1b))
+            .arg(ParamValue::I32(pair.k1.n as i32)),
+            Launch::new(
+                lower_kernel(&f2).expect("lower k2"),
+                pair.k2.grid,
+                (pair.k2.threads, 1, 1),
+            )
+            .arg(ParamValue::Ptr(out2))
+            .arg(ParamValue::Ptr(in2b))
+            .arg(ParamValue::I32(pair.k2.n as i32)),
+            Launch::new(
+                lower_kernel(&fused.function).expect("lower fused"),
+                pair.k1.grid,
+                (fused.block_threads(), 1, 1),
+            )
+            .arg(ParamValue::Ptr(fout1))
+            .arg(ParamValue::Ptr(fin1))
+            .arg(ParamValue::I32(pair.k1.n as i32))
+            .arg(ParamValue::Ptr(fout2))
+            .arg(ParamValue::Ptr(fin2))
+            .arg(ParamValue::I32(pair.k2.n as i32)),
+        ]
+    }
+}
+
+#[test]
+fn fast_forward_matches_naive_on_fuzz_corpus() {
+    for case in 0..6 {
+        assert_paths_identical(GpuConfig::test_tiny(), fuzz_case_launches(0, case));
+    }
+}
+
+#[test]
+fn fast_forward_matches_naive_on_fuzz_corpus_pascal() {
+    // A realistic config changes latencies, MSHR counts, and DRAM token
+    // rates — different skip windows over the same corpus kernels.
+    for case in 0..3 {
+        assert_paths_identical(GpuConfig::pascal_like(), fuzz_case_launches(42, case));
+    }
+}
+
 #[test]
 fn env_var_forces_naive_loop() {
     // `HFUSE_SIM_NO_SKIP` selects the naive loop inside plain `run()`;

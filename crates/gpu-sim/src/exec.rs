@@ -14,6 +14,7 @@ use thread_ir::MemAddr;
 use crate::error::SimError;
 use crate::launch::Launch;
 use crate::memory::GpuMemory;
+use crate::sanitizer::{AccessCtx, Sanitizer};
 
 /// Threads per warp.
 pub const WARP_SIZE: usize = 32;
@@ -202,6 +203,8 @@ impl BlockExec {
     }
 
     /// Executes instruction `pc` for the lane group `mask` of `warp`.
+    /// When `san` is given, memory accesses and barrier events are also
+    /// reported to the sanitizer.
     ///
     /// # Errors
     ///
@@ -212,6 +215,7 @@ impl BlockExec {
     ///
     /// Panics if `mask` does not match runnable threads at `pc` (engine
     /// bug, not user error).
+    #[allow(clippy::too_many_arguments)]
     pub fn exec_group(
         &mut self,
         launch: &Launch,
@@ -220,11 +224,18 @@ impl BlockExec {
         pc: usize,
         mask: u32,
         seg_bytes: u32,
+        mut san: Option<&mut Sanitizer>,
     ) -> Result<ExecOutcome, SimError> {
         let kernel = &launch.kernel;
         let inst = &kernel.insts[pc];
         let (warp_start, _) = self.warp_bounds(warp);
         let lanes: Lanes = Lanes { mask };
+        let san_ctx = AccessCtx {
+            kernel: &kernel.name,
+            launch: self.launch_idx,
+            block: self.block_idx,
+            nthreads: launch.threads_per_block(),
+        };
 
         let simple = |kind: IssueKind| ExecOutcome {
             kind,
@@ -332,6 +343,9 @@ impl BlockExec {
                     let tid = warp_start + lane;
                     let a = MemAddr(self.threads[tid].regs[*addr as usize]);
                     let v = self.load(mem, tid, a, *ty)?;
+                    if let Some(s) = san.as_deref_mut() {
+                        s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), false, false);
+                    }
                     let t = &mut self.threads[tid];
                     t.regs[*dst as usize] = v;
                     t.pc = pc + 1;
@@ -358,6 +372,9 @@ impl BlockExec {
                     let a = MemAddr(self.threads[tid].regs[*addr as usize]);
                     let v = self.threads[tid].regs[*val as usize];
                     self.store(mem, tid, a, *ty, v)?;
+                    if let Some(s) = san.as_deref_mut() {
+                        s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), true, false);
+                    }
                     self.threads[tid].pc = pc + 1;
                     match a.space() {
                         thread_ir::Space::Global => {
@@ -395,6 +412,9 @@ impl BlockExec {
                         AtomOp::Exch => v,
                     };
                     self.store(mem, tid, a, *ty, new)?;
+                    if let Some(s) = san.as_deref_mut() {
+                        s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), true, true);
+                    }
                     let t = &mut self.threads[tid];
                     t.regs[*dst as usize] = old;
                     t.pc = pc + 1;
@@ -482,6 +502,10 @@ impl BlockExec {
                     BarCount::All => launch.threads_per_block(),
                     BarCount::Fixed(n) => *n,
                 };
+                let fixed = matches!(count, BarCount::Fixed(_));
+                if let Some(s) = san.as_deref_mut() {
+                    s.on_barrier_arrival(&san_ctx, *id, expected, fixed);
+                }
                 let group_size = mask.count_ones();
                 for lane in lanes {
                     let t = &mut self.threads[warp_start + lane];
@@ -492,10 +516,18 @@ impl BlockExec {
                 if self.barrier_arrivals[*id as usize] >= expected {
                     self.barrier_arrivals[*id as usize] -= expected;
                     let id8 = *id as u8;
-                    for t in &mut self.threads {
+                    let collect = san.is_some();
+                    let mut released: Vec<u32> = Vec::new();
+                    for (tid, t) in self.threads.iter_mut().enumerate() {
                         if t.waiting_barrier == Some(id8) {
                             t.waiting_barrier = None;
+                            if collect {
+                                released.push(tid as u32);
+                            }
                         }
+                    }
+                    if let Some(s) = san {
+                        s.on_barrier_release(&san_ctx, *id, expected, fixed, &released);
                     }
                 }
                 Ok(simple(IssueKind::Barrier))

@@ -44,6 +44,7 @@ pub mod launch;
 pub mod memory;
 pub mod metrics;
 pub mod occupancy;
+pub mod sanitizer;
 pub mod timing;
 
 mod error;
@@ -54,6 +55,7 @@ pub use launch::{Launch, ParamValue};
 pub use memory::{BufferId, GpuMemory};
 pub use metrics::{RunMetrics, RunResult};
 pub use occupancy::{blocks_per_sm, OccupancyLimits};
+pub use sanitizer::{ReportKind, Sanitizer, SanitizerReport};
 pub use timing::Gpu;
 
 mod diff_tests;

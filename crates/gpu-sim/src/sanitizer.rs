@@ -1,0 +1,638 @@
+//! Opt-in race and barrier sanitizer: the simulator as a correctness oracle.
+//!
+//! HFuse's claim is that a fused kernel is semantically identical to running
+//! the two originals — thread-id guards, renamed declarations, and partial
+//! `bar.sync id, nthreads` barriers must compose without introducing data
+//! races or barrier divergence. This module turns the simulator into the
+//! checker for exactly those properties:
+//!
+//! * **Race detection** (shared and global memory). Every load/store/atomic
+//!   is recorded in a shadow cell per 4-byte word holding the last write and
+//!   the reads since that write, each stamped with the accessing thread's
+//!   *barrier epochs* — per named barrier, the number of releases of that
+//!   barrier the thread has participated in. Two overlapping accesses (at
+//!   least one a write, not both atomic) race unless they are ordered:
+//!   same thread, same warp (lockstep SIMT — the simulator executes a warp's
+//!   min-PC group atomically, matching warp-synchronous code), different
+//!   launches (stream order), or separated by a barrier interval: there is a
+//!   named barrier `b` whose release both threads participated in between
+//!   the two accesses (`cur.epochs[b] > prev.epochs[b]` and the previous
+//!   accessor has itself passed that release). Accesses from different
+//!   blocks of the same launch are never ordered — blocks are concurrent on
+//!   real hardware even though the functional simulator serializes them.
+//! * **Barrier divergence**. Hardware `bar.sync` counts *warps*: when any
+//!   lane of a warp arrives, the whole warp is counted (rounded up to the
+//!   warp size). A partial barrier whose declared `nthreads` does not match
+//!   32 × (distinct arriving warps) — split warps, non-multiple-of-32
+//!   counts, or over-subscribed releases — behaves differently on hardware
+//!   than thread-count simulation suggests, so it is flagged.
+//! * **Barrier count mismatch**. Two arrivals at the same barrier id within
+//!   one release interval that declare different `nthreads` values.
+//!
+//! The sanitizer is off by default and costs nothing when disabled (the
+//! execution layer carries an `Option<&mut Sanitizer>` that is `None`). Set
+//! `HFUSE_SANITIZE=1` to enable it on every [`Gpu`](crate::Gpu) the process
+//! creates, or call [`Gpu::enable_sanitizer`](crate::Gpu::enable_sanitizer)
+//! programmatically. Reports accumulate on the device and are read back with
+//! [`Gpu::sanitizer_reports`](crate::Gpu::sanitizer_reports); they never
+//! abort a run.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use thread_ir::{MemAddr, Space};
+
+use crate::exec::WARP_SIZE;
+
+/// Number of named barriers (PTX `bar.sync` ids 0..=15).
+pub const NUM_BARRIERS: usize = 16;
+
+/// Reports are deduplicated, and collection stops after this many.
+const MAX_REPORTS: usize = 256;
+
+/// Classification of a sanitizer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportKind {
+    /// Unordered conflicting accesses to the same shared-memory word by two
+    /// threads of one block.
+    SharedRace,
+    /// Unordered conflicting accesses to the same global-memory word.
+    GlobalRace,
+    /// A partial barrier whose declared thread count does not match the
+    /// warp set that arrives at it.
+    BarrierDivergence,
+    /// Arrivals at one barrier id declaring different thread counts within
+    /// a single release interval.
+    BarrierCountMismatch,
+}
+
+impl fmt::Display for ReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReportKind::SharedRace => "shared-memory race",
+            ReportKind::GlobalRace => "global-memory race",
+            ReportKind::BarrierDivergence => "barrier divergence",
+            ReportKind::BarrierCountMismatch => "barrier count mismatch",
+        })
+    }
+}
+
+/// One sanitizer finding.
+#[derive(Debug, Clone)]
+pub struct SanitizerReport {
+    /// What went wrong.
+    pub kind: ReportKind,
+    /// Human-readable description (kernel, threads, addresses, pcs).
+    pub message: String,
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+/// Identity of the executing context, passed by the execution layer with
+/// every hook call.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessCtx<'a> {
+    /// Kernel name (for reports).
+    pub kernel: &'a str,
+    /// Launch index within the current run.
+    pub launch: usize,
+    /// `blockIdx.x` of the accessing block.
+    pub block: u32,
+    /// Threads per block of the launch.
+    pub nthreads: u32,
+}
+
+/// One recorded access in a shadow cell.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    /// Run-generation-qualified launch key (different keys = stream order).
+    launch_key: u64,
+    block: u32,
+    tid: u32,
+    pc: u32,
+    atomic: bool,
+    /// Barrier-epoch snapshot of the accessing thread at access time.
+    epochs: [u32; NUM_BARRIERS],
+}
+
+/// Shadow state of one 4-byte memory word.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    write: Option<Access>,
+    /// Reads since the last write, at most one per thread (a newer read by
+    /// the same thread subsumes the older one: any barrier edge ordering
+    /// the newer read against a future write also orders the older one).
+    reads: Vec<Access>,
+}
+
+/// Per-(launch, block) shadow: thread epochs plus shared-memory cells.
+#[derive(Debug, Clone)]
+struct BlockShadow {
+    /// Per-thread count of barrier releases participated in, per barrier id.
+    epochs: Vec<[u32; NUM_BARRIERS]>,
+    /// Shared-memory shadow cells, keyed by word index (byte offset / 4).
+    shared: HashMap<u32, Cell>,
+    /// Declared `nthreads` of the first arrival in the current release
+    /// interval, per barrier id (cleared at each release).
+    declared: [Option<u32>; NUM_BARRIERS],
+}
+
+impl BlockShadow {
+    fn new(nthreads: u32) -> Self {
+        BlockShadow {
+            epochs: vec![[0; NUM_BARRIERS]; nthreads as usize],
+            shared: HashMap::new(),
+            declared: [None; NUM_BARRIERS],
+        }
+    }
+}
+
+/// The sanitizer: shadow memory, barrier bookkeeping, and the report log.
+///
+/// Owned by [`Gpu`](crate::Gpu) when enabled; see the module docs for the
+/// detection model.
+#[derive(Debug, Clone, Default)]
+pub struct Sanitizer {
+    /// Global-memory shadow cells, keyed by (buffer, word index).
+    global: HashMap<(u32, u32), Cell>,
+    /// Per-(launch-key, block) shadow state.
+    blocks: HashMap<(u64, u32), BlockShadow>,
+    reports: Vec<SanitizerReport>,
+    dedup: HashSet<(ReportKind, u64, u32, u32)>,
+    /// Monotonic run generation so accesses from earlier `run*` calls on the
+    /// same device are treated as stream-ordered, not racing.
+    run_gen: u64,
+    /// True once `MAX_REPORTS` was hit and further findings were dropped.
+    truncated: bool,
+}
+
+impl Sanitizer {
+    /// Creates an empty sanitizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collected findings so far.
+    pub fn reports(&self) -> &[SanitizerReport] {
+        &self.reports
+    }
+
+    /// True if findings were dropped after [`MAX_REPORTS`].
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Drains and returns the collected findings.
+    pub fn take_reports(&mut self) -> Vec<SanitizerReport> {
+        self.dedup.clear();
+        self.truncated = false;
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Marks the start of a new `run*` call: launches of different runs are
+    /// stream-ordered against each other, like launches within one run.
+    pub fn begin_run(&mut self) {
+        self.run_gen += 1;
+        // Per-block shadows are scoped to one run; global cells persist so
+        // cross-run accesses are checked (and found ordered by launch key).
+        self.blocks.clear();
+    }
+
+    fn launch_key(&self, launch: usize) -> u64 {
+        (self.run_gen << 20) | launch as u64
+    }
+
+    fn push_report(&mut self, kind: ReportKind, key: (u64, u32, u32), message: String) {
+        if self.reports.len() >= MAX_REPORTS {
+            self.truncated = true;
+            return;
+        }
+        if self.dedup.insert((kind, key.0, key.1, key.2)) {
+            self.reports.push(SanitizerReport { kind, message });
+        }
+    }
+
+    fn block_shadow(&mut self, ctx: &AccessCtx<'_>) -> &mut BlockShadow {
+        let key = (self.launch_key(ctx.launch), ctx.block);
+        self.blocks
+            .entry(key)
+            .or_insert_with(|| BlockShadow::new(ctx.nthreads))
+    }
+
+    /// Records (and checks) one memory access of `width` bytes at `addr` by
+    /// thread `tid` of the block identified by `ctx`. Local (thread-private)
+    /// accesses are ignored.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_access(
+        &mut self,
+        ctx: &AccessCtx<'_>,
+        tid: u32,
+        pc: usize,
+        addr: MemAddr,
+        width: u32,
+        is_write: bool,
+        atomic: bool,
+    ) {
+        let space = addr.space();
+        if space == Space::Local {
+            return;
+        }
+        let launch_key = self.launch_key(ctx.launch);
+        let epochs = self.block_shadow(ctx).epochs[tid as usize];
+        let access = Access {
+            launch_key,
+            block: ctx.block,
+            tid,
+            pc: pc as u32,
+            atomic,
+            epochs,
+        };
+        let first_word = addr.offset() / 4;
+        let words = width.div_ceil(4).max(1);
+        for w in 0..words {
+            let word = first_word + w;
+            self.check_word(ctx, space, addr.buffer(), word, access, is_write);
+        }
+    }
+
+    fn check_word(
+        &mut self,
+        ctx: &AccessCtx<'_>,
+        space: Space,
+        buffer: u32,
+        word: u32,
+        access: Access,
+        is_write: bool,
+    ) {
+        // Pull the cell out to sidestep aliasing with `self` during checks.
+        let cell_key = (buffer, word);
+        let block_key = (access.launch_key, access.block);
+        let mut cell = match space {
+            Space::Shared => self
+                .blocks
+                .get_mut(&block_key)
+                .and_then(|b| b.shared.remove(&word))
+                .unwrap_or_default(),
+            Space::Global => self.global.remove(&cell_key).unwrap_or_default(),
+            Space::Local => unreachable!("local accesses filtered"),
+        };
+
+        let mut conflict: Option<Access> = None;
+        if let Some(prev) = cell.write {
+            if self.races(&prev, &access) {
+                conflict = Some(prev);
+            }
+        }
+        if is_write && conflict.is_none() {
+            for prev in &cell.reads {
+                if self.races(prev, &access) {
+                    conflict = Some(*prev);
+                    break;
+                }
+            }
+        }
+        if let Some(prev) = conflict {
+            let kind = if space == Space::Shared {
+                ReportKind::SharedRace
+            } else {
+                ReportKind::GlobalRace
+            };
+            let what = if is_write { "write" } else { "read" };
+            let scope = if prev.block == access.block {
+                format!("block {}", access.block)
+            } else {
+                format!("blocks {} and {}", prev.block, access.block)
+            };
+            let where_ = match space {
+                Space::Shared => format!("shared word +0x{:x}", word * 4),
+                _ => format!("buffer {} word +0x{:x}", buffer, word * 4),
+            };
+            self.push_report(
+                kind,
+                (access.launch_key, access.pc, prev.pc),
+                format!(
+                    "in `{}`: {what} of {where_} by thread {} (pc {}) conflicts with \
+                     earlier access by thread {} (pc {}) in {scope} with no ordering \
+                     barrier between them",
+                    ctx.kernel, access.tid, access.pc, prev.tid, prev.pc
+                ),
+            );
+        }
+
+        if is_write {
+            cell.write = Some(access);
+            cell.reads.clear();
+        } else {
+            match cell.reads.iter_mut().find(|r| {
+                r.tid == access.tid && r.block == access.block && r.launch_key == access.launch_key
+            }) {
+                Some(r) => *r = access,
+                None => cell.reads.push(access),
+            }
+        }
+
+        match space {
+            Space::Shared => {
+                if let Some(b) = self.blocks.get_mut(&block_key) {
+                    b.shared.insert(word, cell);
+                }
+            }
+            Space::Global => {
+                self.global.insert(cell_key, cell);
+            }
+            Space::Local => unreachable!(),
+        }
+    }
+
+    /// True when `prev` and `cur` form a data race: conflicting (not both
+    /// atomic) and unordered under the stream / warp / barrier-epoch model.
+    fn races(&self, prev: &Access, cur: &Access) -> bool {
+        if prev.atomic && cur.atomic {
+            return false;
+        }
+        if prev.launch_key != cur.launch_key {
+            return false; // launches are stream-ordered
+        }
+        if prev.block != cur.block {
+            return true; // concurrent blocks share no barrier
+        }
+        if prev.tid == cur.tid {
+            return false;
+        }
+        if prev.tid as usize / WARP_SIZE == cur.tid as usize / WARP_SIZE {
+            return false; // lockstep warp execution
+        }
+        // Barrier-interval ordering: some barrier `b` was released after
+        // `prev` (its thread participated: its *current* epoch passed the
+        // snapshot) and before `cur` (the snapshot of `cur` passed it too).
+        if let Some(shadow) = self.blocks.get(&(cur.launch_key, cur.block)) {
+            let prev_now = &shadow.epochs[prev.tid as usize];
+            for (b, now) in prev_now.iter().enumerate() {
+                if cur.epochs[b] > prev.epochs[b] && *now > prev.epochs[b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Records a group of `arrivals` threads arriving at barrier `id`
+    /// declaring `declared` participants. `fixed` is false for plain
+    /// `__syncthreads()` (which is exempt from warp-set checks: all threads
+    /// of the block participate by definition).
+    pub fn on_barrier_arrival(&mut self, ctx: &AccessCtx<'_>, id: u32, declared: u32, fixed: bool) {
+        let launch_key = self.launch_key(ctx.launch);
+        if fixed && !(declared as usize).is_multiple_of(WARP_SIZE) {
+            self.push_report(
+                ReportKind::BarrierDivergence,
+                (launch_key, id, declared),
+                format!(
+                    "in `{}`: bar.sync {id} declares {declared} threads, not a multiple \
+                     of the warp size (hardware barriers count whole warps)",
+                    ctx.kernel
+                ),
+            );
+        }
+        let shadow = self.block_shadow(ctx);
+        match shadow.declared[id as usize] {
+            None => shadow.declared[id as usize] = Some(declared),
+            Some(c) if c != declared && fixed => {
+                self.push_report(
+                    ReportKind::BarrierCountMismatch,
+                    (launch_key, id, declared.min(c)),
+                    format!(
+                        "in `{}`: arrivals at barrier {id} disagree on the thread count \
+                         ({c} vs {declared}) within one release interval",
+                        ctx.kernel
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Records the release of barrier `id`: `released` lists the thread ids
+    /// freed (including the arriving group). Bumps their epochs and, for
+    /// partial barriers, checks the arriving warp set against `declared`.
+    pub fn on_barrier_release(
+        &mut self,
+        ctx: &AccessCtx<'_>,
+        id: u32,
+        declared: u32,
+        fixed: bool,
+        released: &[u32],
+    ) {
+        let launch_key = self.launch_key(ctx.launch);
+        if fixed {
+            let mut warps: Vec<u32> = released
+                .iter()
+                .map(|t| t / WARP_SIZE as u32)
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
+            warps.sort_unstable();
+            let hw_count = warps.len() as u32 * WARP_SIZE as u32;
+            if hw_count != declared || released.len() as u32 != declared {
+                self.push_report(
+                    ReportKind::BarrierDivergence,
+                    (launch_key, id, declared),
+                    format!(
+                        "in `{}`: bar.sync {id} declares {declared} threads but released \
+                         {} threads spanning {} warp(s) (hardware would count {hw_count})",
+                        ctx.kernel,
+                        released.len(),
+                        warps.len(),
+                    ),
+                );
+            }
+        }
+        let shadow = self.block_shadow(ctx);
+        for &t in released {
+            shadow.epochs[t as usize][id as usize] += 1;
+        }
+        shadow.declared[id as usize] = None;
+    }
+}
+
+/// `HFUSE_SANITIZE=1` (any value but `0`) enables the sanitizer on every
+/// device the process creates.
+pub fn sanitize_enabled_by_env() -> bool {
+    std::env::var_os("HFUSE_SANITIZE").is_some_and(|v| v != "0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(launch: usize, block: u32) -> (String, usize, u32) {
+        ("k".to_owned(), launch, block)
+    }
+
+    fn acc(
+        s: &mut Sanitizer,
+        (name, launch, block): &(String, usize, u32),
+        tid: u32,
+        pc: usize,
+        addr: MemAddr,
+        write: bool,
+    ) {
+        let c = AccessCtx {
+            kernel: name,
+            launch: *launch,
+            block: *block,
+            nthreads: 128,
+        };
+        s.on_access(&c, tid, pc, addr, 4, write, false);
+    }
+
+    #[test]
+    fn cross_warp_shared_write_write_races() {
+        let mut s = Sanitizer::new();
+        let c = ctx(0, 0);
+        acc(&mut s, &c, 0, 1, MemAddr::shared(0), true);
+        acc(&mut s, &c, 40, 2, MemAddr::shared(0), true); // other warp
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].kind, ReportKind::SharedRace);
+    }
+
+    #[test]
+    fn same_warp_accesses_are_exempt() {
+        let mut s = Sanitizer::new();
+        let c = ctx(0, 0);
+        acc(&mut s, &c, 0, 1, MemAddr::shared(0), true);
+        acc(&mut s, &c, 31, 2, MemAddr::shared(0), true);
+        assert!(s.reports().is_empty());
+    }
+
+    #[test]
+    fn barrier_orders_cross_warp_accesses() {
+        let mut s = Sanitizer::new();
+        let c = ctx(0, 0);
+        let actx = AccessCtx {
+            kernel: "k",
+            launch: 0,
+            block: 0,
+            nthreads: 128,
+        };
+        acc(&mut s, &c, 0, 1, MemAddr::shared(0), true);
+        let released: Vec<u32> = (0..128).collect();
+        s.on_barrier_release(&actx, 0, 128, false, &released);
+        acc(&mut s, &c, 40, 2, MemAddr::shared(0), false);
+        assert!(s.reports().is_empty(), "{:?}", s.reports());
+    }
+
+    #[test]
+    fn partial_barrier_orders_only_participants() {
+        let mut s = Sanitizer::new();
+        let c = ctx(0, 0);
+        let actx = AccessCtx {
+            kernel: "k",
+            launch: 0,
+            block: 0,
+            nthreads: 128,
+        };
+        acc(&mut s, &c, 0, 1, MemAddr::shared(0), true);
+        // Barrier 1 releases threads 0..64 only.
+        let released: Vec<u32> = (0..64).collect();
+        s.on_barrier_release(&actx, 1, 64, true, &released);
+        // A participant's read is ordered...
+        acc(&mut s, &c, 63, 2, MemAddr::shared(0), false);
+        assert!(s.reports().is_empty(), "{:?}", s.reports());
+        // ...a non-participant's write is not.
+        acc(&mut s, &c, 100, 3, MemAddr::shared(0), true);
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn cross_block_global_conflict_races_but_cross_launch_does_not() {
+        let mut s = Sanitizer::new();
+        let b0 = ctx(0, 0);
+        let b1 = ctx(0, 1);
+        let l1 = ctx(1, 0);
+        acc(&mut s, &b0, 0, 1, MemAddr::global(3, 0), true);
+        acc(&mut s, &b1, 0, 2, MemAddr::global(3, 0), true); // other block: race
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].kind, ReportKind::GlobalRace);
+        acc(&mut s, &l1, 0, 3, MemAddr::global(3, 0), true); // next launch: ordered
+        assert_eq!(s.reports().len(), 1, "{:?}", s.reports());
+    }
+
+    #[test]
+    fn atomics_do_not_race_with_atomics() {
+        let mut s = Sanitizer::new();
+        let actx = AccessCtx {
+            kernel: "k",
+            launch: 0,
+            block: 0,
+            nthreads: 128,
+        };
+        s.on_access(&actx, 0, 1, MemAddr::global(0, 0), 4, true, true);
+        s.on_access(&actx, 70, 2, MemAddr::global(0, 0), 4, true, true);
+        assert!(s.reports().is_empty());
+        // ...but an atomic against a plain write does.
+        s.on_access(&actx, 99, 3, MemAddr::global(0, 0), 4, true, false);
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn split_warp_arrival_flagged() {
+        let mut s = Sanitizer::new();
+        let actx = AccessCtx {
+            kernel: "k",
+            launch: 0,
+            block: 0,
+            nthreads: 64,
+        };
+        // 16 lanes of each of two warps: hardware would count 64, not 32.
+        let released: Vec<u32> = (0..16).chain(32..48).collect();
+        s.on_barrier_release(&actx, 1, 32, true, &released);
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].kind, ReportKind::BarrierDivergence);
+    }
+
+    #[test]
+    fn aligned_full_warp_release_is_clean() {
+        let mut s = Sanitizer::new();
+        let actx = AccessCtx {
+            kernel: "k",
+            launch: 0,
+            block: 0,
+            nthreads: 64,
+        };
+        let released: Vec<u32> = (0..32).collect();
+        s.on_barrier_release(&actx, 1, 32, true, &released);
+        assert!(s.reports().is_empty(), "{:?}", s.reports());
+    }
+
+    #[test]
+    fn mismatched_declared_counts_flagged() {
+        let mut s = Sanitizer::new();
+        let actx = AccessCtx {
+            kernel: "k",
+            launch: 0,
+            block: 0,
+            nthreads: 64,
+        };
+        s.on_barrier_arrival(&actx, 1, 64, true);
+        s.on_barrier_arrival(&actx, 1, 32, true);
+        assert!(s
+            .reports()
+            .iter()
+            .any(|r| r.kind == ReportKind::BarrierCountMismatch));
+    }
+
+    #[test]
+    fn reports_deduplicate() {
+        let mut s = Sanitizer::new();
+        let c = ctx(0, 0);
+        for i in 0..10 {
+            acc(&mut s, &c, 0, 1, MemAddr::shared(i * 64), true);
+            acc(&mut s, &c, 40, 2, MemAddr::shared(i * 64), true);
+        }
+        assert_eq!(s.reports().len(), 1, "same pc pair dedupes");
+    }
+}

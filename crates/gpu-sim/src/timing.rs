@@ -21,6 +21,7 @@ use crate::exec::{BlockExec, ExecOutcome, IssueKind, WarpPeek, WARP_SIZE};
 use crate::launch::Launch;
 use crate::memory::GpuMemory;
 use crate::metrics::{RunMetrics, RunResult};
+use crate::sanitizer::{sanitize_enabled_by_env, Sanitizer, SanitizerReport};
 
 /// Abort threshold: consecutive cycles with no issue, no retirement, and no
 /// dispatch anywhere on the device (a barrier deadlock or engine bug).
@@ -34,15 +35,44 @@ const MAX_CYCLES: u64 = 2_000_000_000;
 pub struct Gpu {
     config: GpuConfig,
     memory: GpuMemory,
+    /// Race/barrier sanitizer (see [`crate::sanitizer`]); `None` when off.
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Gpu {
-    /// Creates a GPU with empty device memory.
+    /// Creates a GPU with empty device memory. The sanitizer starts enabled
+    /// when `HFUSE_SANITIZE=1` is set in the environment.
     pub fn new(config: GpuConfig) -> Self {
         Self {
             config,
             memory: GpuMemory::new(),
+            sanitizer: sanitize_enabled_by_env().then(|| Box::new(Sanitizer::new())),
         }
+    }
+
+    /// Turns on the race/barrier sanitizer for subsequent runs (idempotent;
+    /// previously collected reports are kept).
+    pub fn enable_sanitizer(&mut self) {
+        if self.sanitizer.is_none() {
+            self.sanitizer = Some(Box::new(Sanitizer::new()));
+        }
+    }
+
+    /// True when the sanitizer is active.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Sanitizer findings collected so far (empty when disabled).
+    pub fn sanitizer_reports(&self) -> &[SanitizerReport] {
+        self.sanitizer.as_ref().map_or(&[], |s| s.reports())
+    }
+
+    /// Drains and returns the sanitizer findings collected so far.
+    pub fn take_sanitizer_reports(&mut self) -> Vec<SanitizerReport> {
+        self.sanitizer
+            .as_mut()
+            .map_or_else(Vec::new, |s| s.take_reports())
     }
 
     /// The hardware configuration.
@@ -69,6 +99,9 @@ impl Gpu {
     /// Returns [`SimError`] on faults or barrier deadlock.
     pub fn run_functional(&mut self, launches: &[Launch]) -> Result<(), SimError> {
         let seg = self.config.segment_bytes;
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.begin_run();
+        }
         for (li, launch) in launches.iter().enumerate() {
             launch.validate()?;
             for b in 0..launch.grid_dim {
@@ -77,7 +110,15 @@ impl Gpu {
                     let mut progressed = false;
                     for w in 0..blk.num_warps() {
                         while let WarpPeek::Exec { pc, mask } = blk.peek_warp(w) {
-                            blk.exec_group(launch, &mut self.memory, w, pc, mask, seg)?;
+                            blk.exec_group(
+                                launch,
+                                &mut self.memory,
+                                w,
+                                pc,
+                                mask,
+                                seg,
+                                self.sanitizer.as_deref_mut(),
+                            )?;
                             progressed = true;
                         }
                     }
@@ -138,7 +179,10 @@ impl Gpu {
         let mut engine = Engine::new(&self.config, launches);
         engine.no_skip = no_skip;
         engine.trace_interval = interval.max(1);
-        let result = engine.run(&mut self.memory)?;
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.begin_run();
+        }
+        let result = engine.run(&mut self.memory, self.sanitizer.as_deref_mut())?;
         let trace = std::mem::take(&mut engine.trace);
         Ok((result, trace))
     }
@@ -193,7 +237,10 @@ impl Gpu {
         }
         let mut engine = Engine::new(&self.config, launches);
         engine.no_skip = no_skip;
-        engine.run(&mut self.memory)
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.begin_run();
+        }
+        engine.run(&mut self.memory, self.sanitizer.as_deref_mut())
     }
 }
 
@@ -463,7 +510,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(&mut self, memory: &mut GpuMemory) -> Result<RunResult, SimError> {
+    fn run(
+        &mut self,
+        memory: &mut GpuMemory,
+        mut san: Option<&mut Sanitizer>,
+    ) -> Result<RunResult, SimError> {
         let mut cycle: u64 = 0;
         let token_burst = i64::from(self.cfg.dram_transactions_per_cycle) * 4;
         loop {
@@ -527,7 +578,7 @@ impl<'a> Engine<'a> {
                     } else {
                         self.scan_wakeup = u64::MAX;
                         self.scan_cap_blocked = false;
-                        match self.issue_one(memory, sm_idx, sched, cycle)? {
+                        match self.issue_one(memory, san.as_deref_mut(), sm_idx, sched, cycle)? {
                             IssueResult::Issued => {
                                 self.metrics.issued_slots += 1;
                                 progress = true;
@@ -867,6 +918,7 @@ impl<'a> Engine<'a> {
     fn issue_one(
         &mut self,
         memory: &mut GpuMemory,
+        mut san: Option<&mut Sanitizer>,
         sm_idx: usize,
         sched: usize,
         now: u64,
@@ -880,7 +932,7 @@ impl<'a> Engine<'a> {
         for k in 0..n_warps {
             let pos = (start + k) % n_warps;
             let ws = self.sms[sm_idx].sched_warps[sched][pos];
-            let reason = match self.try_issue_warp(memory, sm_idx, ws, now)? {
+            let reason = match self.try_issue_warp(memory, san.as_deref_mut(), sm_idx, ws, now)? {
                 None => {
                     // Issued: advance round-robin past this warp.
                     let sm = &mut self.sms[sm_idx];
@@ -906,6 +958,7 @@ impl<'a> Engine<'a> {
     fn try_issue_warp(
         &mut self,
         memory: &mut GpuMemory,
+        san: Option<&mut Sanitizer>,
         sm_idx: usize,
         ws: usize,
         now: u64,
@@ -996,10 +1049,15 @@ impl<'a> Engine<'a> {
         let block = sm.blocks[block_slot]
             .as_mut()
             .expect("warp's block resident");
-        let outcome =
-            block
-                .exec
-                .exec_group(launch, memory, warp_idx, pc, mask, self.cfg.segment_bytes)?;
+        let outcome = block.exec.exec_group(
+            launch,
+            memory,
+            warp_idx,
+            pc,
+            mask,
+            self.cfg.segment_bytes,
+            san,
+        )?;
         self.metrics.thread_insts += u64::from(mask.count_ones());
         self.account_issue(sm_idx, ws, inst, outcome, spill_cnt, now);
         Ok(None)

@@ -1,0 +1,267 @@
+//! Seeded-race regression suite for the simulator's sanitizer
+//! (`HFUSE_SANITIZE=1` / [`Gpu::enable_sanitizer`]).
+//!
+//! Two halves: hand-written kernels with known races or malformed partial
+//! barriers that the sanitizer **must** flag, and clean kernels — including
+//! every paper benchmark, unfused and fused — on which it **must** stay
+//! silent. Together they pin down both the detector's recall and its
+//! false-positive rate.
+
+use hfuse::frontend::parse_kernel;
+use hfuse::fusion::{horizontal_fuse, BlockShape};
+use hfuse::ir::lower_kernel;
+use hfuse::kernels::{crypto_pairs, dl_pairs, Benchmark};
+use hfuse::sim::{Gpu, GpuConfig, Launch, ParamValue, ReportKind, SanitizerReport};
+
+/// Runs `src` as a single `(int* out, int n)` kernel launch with the
+/// sanitizer on and returns the reports.
+fn reports_for(src: &str, grid: u32, threads: u32) -> Vec<SanitizerReport> {
+    let f = parse_kernel(src).expect("fixture parses");
+    let kernel = lower_kernel(&f).expect("fixture lowers");
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.enable_sanitizer();
+    let n = (grid * threads) as usize;
+    let out = gpu.memory_mut().alloc_u32(n);
+    gpu.run_functional(&[Launch {
+        kernel: kernel.into(),
+        grid_dim: grid,
+        block_dim: (threads, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::I32(n as i32)],
+    }])
+    .expect("fixture runs");
+    gpu.take_sanitizer_reports()
+}
+
+fn assert_flags(src: &str, grid: u32, threads: u32, kind: ReportKind) {
+    let reports = reports_for(src, grid, threads);
+    assert!(
+        reports.iter().any(|r| r.kind == kind),
+        "expected a {kind} report, got {reports:?}"
+    );
+}
+
+fn assert_clean(src: &str, grid: u32, threads: u32) {
+    let reports = reports_for(src, grid, threads);
+    assert!(reports.is_empty(), "expected no reports, got {reports:?}");
+}
+
+// ---- kernels the sanitizer must flag ----------------------------------------
+
+#[test]
+fn cross_warp_shared_write_write_race_is_flagged() {
+    // Threads 0 and 32 are in different warps and both store to s[0] with no
+    // barrier ordering them.
+    assert_flags(
+        "__global__ void k(int* out, int n) {
+            __shared__ int s[64];
+            int t = threadIdx.x;
+            s[0] = t;
+            __syncthreads();
+            out[t] = s[0];
+        }",
+        1,
+        64,
+        ReportKind::SharedRace,
+    );
+}
+
+#[test]
+fn unsynced_shared_read_write_race_is_flagged() {
+    // Each thread reads the slot the opposite warp writes, with no
+    // __syncthreads() between the store and the load.
+    assert_flags(
+        "__global__ void k(int* out, int n) {
+            __shared__ int s[64];
+            int t = threadIdx.x;
+            s[t] = t;
+            out[t] = s[(t + 32) % 64];
+        }",
+        1,
+        64,
+        ReportKind::SharedRace,
+    );
+}
+
+#[test]
+fn cross_block_global_write_race_is_flagged() {
+    // Blocks share no barrier: both writing out[0] is a race even though
+    // each block alone would be fine.
+    assert_flags(
+        "__global__ void k(int* out, int n) {
+            out[0] = blockIdx.x;
+        }",
+        2,
+        32,
+        ReportKind::GlobalRace,
+    );
+}
+
+#[test]
+fn non_warp_multiple_barrier_count_is_flagged() {
+    // bar.sync counts whole warps in hardware; declaring 48 participants
+    // cannot match any warp set.
+    assert_flags(
+        "__global__ void k(int* out, int n) {
+            int t = threadIdx.x;
+            if (t < 48) { asm(\"bar.sync 1, 48;\"); }
+            out[t] = t;
+        }",
+        1,
+        64,
+        ReportKind::BarrierDivergence,
+    );
+}
+
+#[test]
+fn split_warp_barrier_arrival_is_flagged() {
+    // 32 threads arrive, but they are the even lanes of two different warps:
+    // the hardware barrier would count 64 threads, not 32.
+    assert_flags(
+        "__global__ void k(int* out, int n) {
+            int t = threadIdx.x;
+            if (t % 2 == 0) { asm(\"bar.sync 1, 32;\"); }
+            out[t] = t;
+        }",
+        1,
+        64,
+        ReportKind::BarrierDivergence,
+    );
+}
+
+#[test]
+fn mismatched_barrier_counts_are_flagged() {
+    // Both warps name barrier 3 but disagree on the participant count
+    // within one release interval.
+    assert_flags(
+        "__global__ void k(int* out, int n) {
+            int t = threadIdx.x;
+            if (t < 32) { asm(\"bar.sync 3, 64;\"); } else { asm(\"bar.sync 3, 32;\"); }
+            out[t] = t;
+        }",
+        1,
+        64,
+        ReportKind::BarrierCountMismatch,
+    );
+}
+
+// ---- kernels the sanitizer must NOT flag ------------------------------------
+
+#[test]
+fn atomic_contention_is_not_a_race() {
+    // The racy global fixture, repaired with atomics: contended but ordered.
+    assert_clean(
+        "__global__ void k(int* out, int n) {
+            atomicAdd(&out[0], 1);
+        }",
+        2,
+        64,
+    );
+}
+
+#[test]
+fn synced_shared_exchange_is_clean() {
+    // The racy shared fixture, repaired with a barrier between the store
+    // and the cross-warp load.
+    assert_clean(
+        "__global__ void k(int* out, int n) {
+            __shared__ int s[64];
+            int t = threadIdx.x;
+            s[t] = t;
+            __syncthreads();
+            out[t] = s[(t + 32) % 64];
+        }",
+        1,
+        64,
+    );
+}
+
+#[test]
+fn whole_warp_partial_barrier_is_clean() {
+    // A correctly formed partial barrier: 64 declared, exactly warps 0-1
+    // arrive, warp 2 skips it entirely.
+    assert_clean(
+        "__global__ void k(int* out, int n) {
+            int t = threadIdx.x;
+            if (t < 64) { asm(\"bar.sync 1, 64;\"); }
+            out[t] = t;
+        }",
+        1,
+        96,
+    );
+}
+
+// ---- paper benchmarks, unfused and fused ------------------------------------
+
+fn dims_for(b: &dyn Benchmark, threads: u32) -> Option<(u32, u32, u32)> {
+    match b.shape() {
+        BlockShape::Linear => Some((threads, 1, 1)),
+        BlockShape::Rows { y } => threads.is_multiple_of(y).then(|| (threads / y, y, 1)),
+    }
+}
+
+/// Every benchmark pair of the paper's evaluation at quarter scale, run
+/// unfused (two launches) with the sanitizer enabled: zero reports.
+#[test]
+fn paper_benchmarks_unfused_are_clean() {
+    for pair in dl_pairs().into_iter().chain(crypto_pairs()) {
+        let (a, b) = pair.at_scale(0.25);
+        let (ba, bb) = (a.benchmark(), b.benchmark());
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_sanitizer();
+        let args_a = ba.setup(gpu.memory_mut());
+        let args_b = bb.setup(gpu.memory_mut());
+        let mk = |bench: &dyn Benchmark, args: &[ParamValue]| Launch {
+            kernel: lower_kernel(&bench.kernel()).expect("lower").into(),
+            grid_dim: bench.grid_dim(),
+            block_dim: dims_for(bench, bench.default_threads()).expect("default dims"),
+            dynamic_shared_bytes: bench.dynamic_shared(),
+            args: args.to_vec(),
+        };
+        gpu.run_functional(&[mk(ba, &args_a), mk(bb, &args_b)])
+            .unwrap_or_else(|e| panic!("{}: unfused run: {e}", pair.name()));
+        let reports = gpu.take_sanitizer_reports();
+        assert!(
+            reports.is_empty(),
+            "{}: sanitizer flagged the unfused benchmarks: {reports:?}",
+            pair.name()
+        );
+    }
+}
+
+/// The same pairs horizontally fused at their default thread partition:
+/// the fused kernel's partial barriers and interleaved shared arrays must
+/// also produce zero reports.
+#[test]
+fn paper_benchmarks_fused_are_clean() {
+    for pair in dl_pairs().into_iter().chain(crypto_pairs()) {
+        let (a, b) = pair.at_scale(0.25);
+        let (ba, bb) = (a.benchmark(), b.benchmark());
+        let (d1, d2) = (ba.default_threads(), bb.default_threads());
+        let (Some(dims1), Some(dims2)) = (dims_for(ba, d1), dims_for(bb, d2)) else {
+            continue;
+        };
+        let fused = horizontal_fuse(&ba.kernel(), dims1, &bb.kernel(), dims2)
+            .unwrap_or_else(|e| panic!("{}: fuse: {e}", pair.name()));
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_sanitizer();
+        let args_a = ba.setup(gpu.memory_mut());
+        let args_b = bb.setup(gpu.memory_mut());
+        let mut args = args_a.clone();
+        args.extend(args_b.iter().copied());
+        gpu.run_functional(&[Launch {
+            kernel: lower_kernel(&fused.function).expect("lower fused").into(),
+            grid_dim: ba.grid_dim().max(bb.grid_dim()),
+            block_dim: (d1 + d2, 1, 1),
+            dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
+            args,
+        }])
+        .unwrap_or_else(|e| panic!("{}: fused run: {e}", pair.name()));
+        let reports = gpu.take_sanitizer_reports();
+        assert!(
+            reports.is_empty(),
+            "{}: sanitizer flagged the fused kernel: {reports:?}",
+            pair.name()
+        );
+    }
+}
