@@ -26,6 +26,7 @@ fn main() {
             let opts = SearchOptions {
                 d0: 1024,
                 granularity,
+                ..SearchOptions::default()
             };
             match search_fusion_config(&gpu, &in1, &in2, opts) {
                 Ok(report) => {

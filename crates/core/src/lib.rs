@@ -41,7 +41,11 @@ pub mod search;
 pub mod vertical;
 
 pub use fuse::{horizontal_fuse, horizontal_fuse_with, FuseOptions, FusedKernel};
-pub use multi::{horizontal_fuse_many, FusionPart, MultiFusedKernel, MAX_FUSED_KERNELS};
+pub use multi::{
+    horizontal_fuse_many, register_bound_many, search_multi_fusion_config, FusionPart,
+    MultiFusedKernel, MultiSearchCandidate, MultiSearchReport, MAX_FUSED_KERNELS,
+    MAX_MULTI_PARTITIONS,
+};
 pub use search::{
     measure_naive_horizontal, measure_native, measure_single, measure_vertical,
     search_fusion_config, BlockShape, FusionInput, HfuseError, SearchCandidate, SearchOptions,

@@ -11,12 +11,14 @@
 //! fused kernel can keep as many resident blocks as the originals.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cuda_frontend::ast::Function;
 use cuda_frontend::FrontendError;
-use gpu_sim::{Gpu, GpuConfig, Launch, ParamValue, SimError};
-use thread_ir::ir::KernelIr;
+use gpu_sim::{BudgetedRun, Gpu, GpuConfig, Launch, ParamValue, SimError};
+use thread_ir::ir::{BinIr, Inst, KernelIr, UnIr};
 use thread_ir::lower_kernel;
 use thread_ir::spill::apply_register_bound;
 
@@ -120,6 +122,15 @@ pub struct SearchOptions {
     pub d0: u32,
     /// Partition step (the paper uses 128).
     pub granularity: u32,
+    /// Branch-and-bound pruning: profile candidates best-first (ordered by
+    /// the analytic cost estimate) under a shared cycle budget, so losing
+    /// candidates abort as soon as they exceed the best cycle count seen
+    /// so far. The chosen best candidate, its cycles, and the cycles of
+    /// every *surviving* (non-pruned) candidate are identical to the
+    /// exhaustive search; only which losers get cut short — and at what
+    /// clock — can vary with thread timing. `HFUSE_SEARCH_NO_PRUNE=1`
+    /// forces exhaustive profiling regardless of this flag.
+    pub prune: bool,
 }
 
 impl Default for SearchOptions {
@@ -127,6 +138,7 @@ impl Default for SearchOptions {
         Self {
             d0: 1024,
             granularity: 128,
+            prune: true,
         }
     }
 }
@@ -140,14 +152,20 @@ pub struct SearchCandidate {
     pub d2: u32,
     /// Register bound applied (`None` = unbounded compile).
     pub reg_bound: Option<u32>,
-    /// Profiled execution cycles.
+    /// Profiled execution cycles. For a pruned candidate this is the clock
+    /// at the abort point — a lower bound on its true cycle count, always
+    /// past the winning candidate's cycles.
     pub cycles: u64,
-    /// Issue-slot utilization (%).
+    /// Issue-slot utilization (%). Zero for pruned candidates.
     pub issue_util: f64,
-    /// Memory-stall percentage.
+    /// Memory-stall percentage. Zero for pruned candidates.
     pub mem_stall: f64,
-    /// Achieved occupancy (%).
+    /// Achieved occupancy (%). Zero for pruned candidates.
     pub occupancy: f64,
+    /// `Some(clock)` when the profile run was budget-aborted at that
+    /// simulated cycle (branch-and-bound pruning); `None` when the
+    /// candidate was profiled to completion.
+    pub pruned_at: Option<u64>,
 }
 
 /// The search result: every profiled candidate plus the winner.
@@ -163,12 +181,24 @@ pub struct SearchReport {
     pub best_kernel: KernelIr,
     /// Fused block dimension.
     pub d0: u32,
+    /// Wall-clock milliseconds spent compiling candidates.
+    pub compile_ms: f64,
+    /// Wall-clock milliseconds spent profiling candidates.
+    pub profile_ms: f64,
 }
 
 impl SearchReport {
     /// The winning configuration.
     pub fn best(&self) -> &SearchCandidate {
         &self.candidates[self.best_idx]
+    }
+
+    /// How many candidates were budget-aborted by branch-and-bound pruning.
+    pub fn pruned_count(&self) -> usize {
+        self.candidates
+            .iter()
+            .filter(|c| c.pruned_at.is_some())
+            .count()
     }
 }
 
@@ -182,9 +212,12 @@ fn compile_fused(fused: &FusedKernel, bound: Option<u32>) -> Result<KernelIr, Hf
 }
 
 /// Profiles a compiled fused kernel on a fresh copy of the base device
-/// state. The argument list, grid, and shared-memory size are precomputed
-/// once by the caller; cloning the base device only bumps buffer refcounts
+/// state, stopping early once the simulated clock exceeds `budget`. The
+/// argument list, grid, and shared-memory size are precomputed once by the
+/// caller; cloning the base device only bumps buffer refcounts
 /// (copy-on-write), and `ir` is shared, so each profile is cheap to set up.
+/// A budget-aborted run returns a candidate with `pruned_at` set and zeroed
+/// metrics; the partially-mutated clone is simply discarded.
 fn profile_fused(
     base: &Gpu,
     ir: &Arc<KernelIr>,
@@ -192,6 +225,7 @@ fn profile_fused(
     grid_dim: u32,
     dynamic_shared_bytes: u32,
     d0: u32,
+    budget: u64,
 ) -> Result<SearchCandidate, HfuseError> {
     let mut gpu = base.clone();
     let launch = Launch {
@@ -201,16 +235,190 @@ fn profile_fused(
         dynamic_shared_bytes,
         args: args.to_vec(),
     };
-    let res = gpu.run(&[launch])?;
-    Ok(SearchCandidate {
-        d1: 0,
-        d2: 0,
-        reg_bound: None,
-        cycles: res.total_cycles,
-        issue_util: res.metrics.issue_slot_utilization(),
-        mem_stall: res.metrics.mem_stall_pct(),
-        occupancy: res.metrics.occupancy_pct(),
-    })
+    match gpu.run_with_budget(&[launch], budget)? {
+        BudgetedRun::Completed(res) => Ok(SearchCandidate {
+            d1: 0,
+            d2: 0,
+            reg_bound: None,
+            cycles: res.total_cycles,
+            issue_util: res.metrics.issue_slot_utilization(),
+            mem_stall: res.metrics.mem_stall_pct(),
+            occupancy: res.metrics.occupancy_pct(),
+            pruned_at: None,
+        }),
+        BudgetedRun::Aborted { cycles_so_far } => Ok(SearchCandidate {
+            d1: 0,
+            d2: 0,
+            reg_bound: None,
+            cycles: cycles_so_far,
+            issue_util: 0.0,
+            mem_stall: 0.0,
+            occupancy: 0.0,
+            pruned_at: Some(cycles_so_far),
+        }),
+    }
+}
+
+/// Static per-thread instruction weight used by the analytic cost estimate:
+/// memory and atomic operations count 8, divides 4, transcendental unaries
+/// 2, everything else 1, plus 8 per spilled register (each spill adds
+/// local-memory traffic on every touch).
+pub(crate) fn weighted_inst_cost(ir: &KernelIr) -> u64 {
+    let mut w = 0u64;
+    for inst in &ir.insts {
+        w += match inst {
+            Inst::Ld { .. } | Inst::St { .. } | Inst::Atom { .. } => 8,
+            Inst::Bin {
+                op: BinIr::Div | BinIr::Rem,
+                ..
+            } => 4,
+            Inst::Un {
+                op: UnIr::Sqrt | UnIr::Rsqrt | UnIr::Exp | UnIr::Log,
+                ..
+            } => 2,
+            _ => 1,
+        };
+    }
+    w + 8 * ir.spilled_regs.len() as u64
+}
+
+/// `HFUSE_SEARCH_NO_PRUNE` (set to anything but `0`) forces exhaustive
+/// profiling regardless of [`SearchOptions::prune`] — the escape hatch for
+/// byte-identical reproductions of the unpruned search.
+pub(crate) fn no_prune_by_env() -> bool {
+    std::env::var_os("HFUSE_SEARCH_NO_PRUNE").is_some_and(|v| v != "0")
+}
+
+/// Resolves the profiling worker count from the `HFUSE_SEARCH_THREADS`
+/// value. An explicit numeric override is honored as-is (with a floor of
+/// one worker) — only the auto-detected default is capped at 8 to avoid
+/// oversubscribing shared machines.
+fn worker_threads(env: Option<&str>) -> usize {
+    match env.and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8),
+    }
+}
+
+/// One compiled configuration ready to profile.
+pub(crate) struct ProfileJob {
+    /// The compiled kernel.
+    pub(crate) ir: Arc<KernelIr>,
+    /// Fused block threads.
+    pub(crate) d0: u32,
+}
+
+/// Profiles every job, best-first with branch-and-bound pruning when
+/// `prune` is set, and returns outcomes aligned with the input order.
+///
+/// Jobs are profiled in ascending analytic-cost order (see
+/// [`gpu_sim::cost_estimate`]); the best completed cycle count is shared
+/// across workers through an `AtomicU64` and used as the abort budget for
+/// every subsequent run. Because a run whose true cycle count is at most
+/// the budget always completes with its exact unbudgeted result, the
+/// minimum — and therefore the winner and every surviving candidate's
+/// cycles — is independent of profiling order and thread timing; only
+/// *which* losers get cut short can vary.
+pub(crate) fn profile_jobs(
+    base: &Gpu,
+    jobs: &[ProfileJob],
+    args: &[ParamValue],
+    grid_dim: u32,
+    dynamic_shared_bytes: u32,
+    prune: bool,
+) -> Vec<Result<SearchCandidate, HfuseError>> {
+    let cfg = base.config();
+    let costs: Vec<u64> = jobs
+        .iter()
+        .map(|j| {
+            gpu_sim::cost_estimate(
+                cfg,
+                j.ir.reg_pressure(),
+                j.d0,
+                j.ir.shared_bytes(dynamic_shared_bytes),
+                grid_dim,
+                weighted_inst_cost(&j.ir),
+            )
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (costs[i], i));
+
+    // `HFUSE_SEARCH_THREADS` overrides the worker count (useful both to
+    // force the parallel path on single-core CI and to raise or cap it on
+    // shared machines).
+    let threads = worker_threads(std::env::var("HFUSE_SEARCH_THREADS").ok().as_deref());
+    let mut slots: Vec<Option<Result<SearchCandidate, HfuseError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut best = u64::MAX;
+        for &i in &order {
+            let job = &jobs[i];
+            let budget = if prune { best } else { u64::MAX };
+            let r = profile_fused(
+                base,
+                &job.ir,
+                args,
+                grid_dim,
+                dynamic_shared_bytes,
+                job.d0,
+                budget,
+            );
+            if let Ok(c) = &r {
+                if c.pruned_at.is_none() {
+                    best = best.min(c.cycles);
+                }
+            }
+            slots[i] = Some(r);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let best = AtomicU64::new(u64::MAX);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(jobs.len()) {
+                let tx = tx.clone();
+                let (order, next, best) = (&order, &next, &best);
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(k) else { break };
+                    let job = &jobs[i];
+                    let budget = if prune {
+                        best.load(Ordering::Relaxed)
+                    } else {
+                        u64::MAX
+                    };
+                    let r = profile_fused(
+                        base,
+                        &job.ir,
+                        args,
+                        grid_dim,
+                        dynamic_shared_bytes,
+                        job.d0,
+                        budget,
+                    );
+                    if let Ok(c) = &r {
+                        if c.pruned_at.is_none() {
+                            best.fetch_min(c.cycles, Ordering::Relaxed);
+                        }
+                    }
+                    // Contention-free result collection: each outcome is
+                    // sent exactly once; no shared vector behind a lock.
+                    tx.send((i, r)).expect("receiver outlives the scope");
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every candidate profiled"))
+        .collect()
 }
 
 /// The register bound of Fig. 6 lines 13–16.
@@ -260,6 +468,8 @@ pub fn search_fusion_config(
             in1.grid_dim, in2.grid_dim
         )));
     }
+    let prune = opts.prune && !no_prune_by_env();
+    let compile_start = Instant::now();
     let nregs1 = lower_kernel(&in1.kernel)?.reg_pressure();
     let nregs2 = lower_kernel(&in2.kernel)?.reg_pressure();
 
@@ -320,56 +530,25 @@ pub fn search_fusion_config(
     let fused_args: Vec<ParamValue> = in1.args.iter().chain(in2.args.iter()).copied().collect();
     let fused_grid = in1.grid_dim.max(in2.grid_dim);
     let fused_dyn_shared = in1.dynamic_shared + in2.dynamic_shared;
+    let compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
 
-    // `HFUSE_SEARCH_THREADS` overrides the worker count (useful both to
-    // force the parallel path on single-core CI and to cap it on shared
-    // machines).
-    let threads = std::env::var("HFUSE_SEARCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-        .min(8);
-    let results: Vec<Result<SearchCandidate, HfuseError>> = if threads <= 1 || compiled.len() <= 1 {
-        compiled
-            .iter()
-            .map(|c| {
-                profile_fused(
-                    base,
-                    &c.ir,
-                    &fused_args,
-                    fused_grid,
-                    fused_dyn_shared,
-                    c.d1 + c.d2,
-                )
-            })
-            .collect()
-    } else {
-        let mut slots: Vec<Option<Result<SearchCandidate, HfuseError>>> =
-            (0..compiled.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(compiled.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(cand) = compiled.get(i) else { break };
-                    let r = profile_fused(
-                        base,
-                        &cand.ir,
-                        &fused_args,
-                        fused_grid,
-                        fused_dyn_shared,
-                        cand.d1 + cand.d2,
-                    );
-                    slots_mutex.lock().expect("no panics while profiling")[i] = Some(r);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|r| r.expect("every candidate profiled"))
-            .collect()
-    };
+    let jobs: Vec<ProfileJob> = compiled
+        .iter()
+        .map(|c| ProfileJob {
+            ir: Arc::clone(&c.ir),
+            d0: c.d1 + c.d2,
+        })
+        .collect();
+    let profile_start = Instant::now();
+    let results = profile_jobs(
+        base,
+        &jobs,
+        &fused_args,
+        fused_grid,
+        fused_dyn_shared,
+        prune,
+    );
+    let profile_ms = profile_start.elapsed().as_secs_f64() * 1e3;
 
     let mut candidates = Vec::new();
     let mut best: Option<(u64, usize, Function, Arc<KernelIr>)> = None;
@@ -380,7 +559,10 @@ pub fn search_fusion_config(
                 c.d2 = cand.d2;
                 c.reg_bound = cand.bound;
                 let idx = candidates.len();
-                if best.as_ref().is_none_or(|(cyc, ..)| c.cycles < *cyc) {
+                // A pruned candidate's clock already exceeded some
+                // completed candidate's cycles, so it can never be the
+                // minimum — skip it explicitly.
+                if c.pruned_at.is_none() && best.as_ref().is_none_or(|(cyc, ..)| c.cycles < *cyc) {
                     best = Some((c.cycles, idx, cand.fused.function, cand.ir));
                 }
                 candidates.push(c);
@@ -401,6 +583,8 @@ pub fn search_fusion_config(
         best_function,
         best_kernel,
         d0: opts.d0,
+        compile_ms,
+        profile_ms,
     })
 }
 
@@ -611,6 +795,7 @@ mod tests {
             SearchOptions {
                 d0: 512,
                 granularity: 128,
+                ..SearchOptions::default()
             },
         )
         .expect("search");
@@ -620,6 +805,65 @@ mod tests {
         assert!(report.candidates.iter().all(|c| c.cycles >= best.cycles));
         assert_eq!(best.d1 + best.d2, 512);
         assert!(report.best_kernel.insts.len() > 10);
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_best_and_survivors() {
+        let (gpu, in1, in2) = mk_gpu();
+        let opts = SearchOptions {
+            d0: 512,
+            granularity: 128,
+            ..SearchOptions::default()
+        };
+        let pruned = search_fusion_config(&gpu, &in1, &in2, opts).expect("pruned search");
+        let exhaustive = search_fusion_config(
+            &gpu,
+            &in1,
+            &in2,
+            SearchOptions {
+                prune: false,
+                ..opts
+            },
+        )
+        .expect("exhaustive search");
+        assert!(exhaustive.pruned_count() == 0);
+        assert_eq!(pruned.candidates.len(), exhaustive.candidates.len());
+        assert_eq!(pruned.best_idx, exhaustive.best_idx);
+        assert_eq!(pruned.best().cycles, exhaustive.best().cycles);
+        assert_eq!(pruned.best_kernel, exhaustive.best_kernel);
+        for (p, e) in pruned.candidates.iter().zip(&exhaustive.candidates) {
+            assert_eq!((p.d1, p.d2, p.reg_bound), (e.d1, e.d2, e.reg_bound));
+            if p.pruned_at.is_none() {
+                // Survivors report the exact exhaustive cycle count.
+                assert_eq!(p.cycles, e.cycles);
+            } else {
+                // Pruned candidates report the abort clock, which is a
+                // lower bound on the true count and past the winner.
+                assert_eq!(p.pruned_at, Some(p.cycles));
+                assert!(p.cycles <= e.cycles);
+                assert!(p.cycles > pruned.best().cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_threads_honors_explicit_override_above_cap() {
+        assert_eq!(worker_threads(Some("12")), 12);
+        assert_eq!(worker_threads(Some("3")), 3);
+        assert_eq!(worker_threads(Some("0")), 1);
+        // Garbage and unset fall back to the capped auto-detected default.
+        assert!(worker_threads(Some("lots")) <= 8);
+        assert!(worker_threads(None) >= 1);
+        assert!(worker_threads(None) <= 8);
+    }
+
+    #[test]
+    fn weighted_inst_cost_ranks_memory_heavier_than_alu() {
+        let (_, in1, in2) = mk_gpu();
+        let mem_ir = lower_kernel(&in1.kernel).expect("lower");
+        let alu_ir = lower_kernel(&in2.kernel).expect("lower");
+        assert!(weighted_inst_cost(&mem_ir) > mem_ir.insts.len() as u64);
+        assert!(weighted_inst_cost(&alu_ir) >= alu_ir.insts.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Launch-time pre-decoding of [`KernelIr`] into a flat instruction buffer.
+//!
+//! The interpreter's hot path used to re-derive per-issue facts — source
+//! registers, the address register of memory instructions, whether an
+//! instruction is a candidate for uniform execution — from the `Inst` enum
+//! on every issued group. [`DecodedKernel`] computes them once per launch
+//! and stores them in one contiguous `Box<[DecodedInst]>` indexed by PC, so
+//! the per-issue work is a single cache-friendly array load.
+
+use thread_ir::ir::{Inst, KernelIr, SpecialReg};
+
+/// Marker for "this instruction has no address register".
+pub const NO_REG: u32 = u32::MAX;
+
+/// One pre-decoded instruction: the instruction itself (copied inline) plus
+/// issue metadata derived once at launch time.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInst {
+    /// The instruction (all operands inline; `Inst` is `Copy`).
+    pub inst: Inst,
+    /// Register holding the memory address for `Ld`/`St`/`Atom`
+    /// ([`NO_REG`] for non-memory instructions).
+    pub addr_reg: u32,
+    /// Whether the warp-uniform fast path may apply: the result is a pure
+    /// function of the source-register values (or of block-uniform
+    /// geometry), so when every active lane reads identical operands the
+    /// instruction can be evaluated once and broadcast to the group.
+    pub uniform_eligible: bool,
+}
+
+/// A kernel pre-decoded into a flat, cache-friendly instruction buffer,
+/// built once per launch and shared by every block of that launch.
+#[derive(Debug, Clone)]
+pub struct DecodedKernel {
+    /// Decoded instructions, indexed by PC.
+    pub insts: Box<[DecodedInst]>,
+}
+
+/// True for special registers whose value is identical for every thread of
+/// a block (block geometry and this block's own index).
+fn block_uniform_special(reg: SpecialReg) -> bool {
+    matches!(
+        reg,
+        SpecialReg::BlockIdxX
+            | SpecialReg::BlockIdxY
+            | SpecialReg::BlockIdxZ
+            | SpecialReg::BlockDimX
+            | SpecialReg::BlockDimY
+            | SpecialReg::BlockDimZ
+            | SpecialReg::GridDimX
+            | SpecialReg::GridDimY
+            | SpecialReg::GridDimZ
+    )
+}
+
+impl DecodedKernel {
+    /// Pre-decodes `kernel`. When `uniform_exec` is false every
+    /// `uniform_eligible` flag is cleared, which disables the fast path
+    /// without touching the interpreter (the escape hatch for differential
+    /// testing).
+    pub fn new(kernel: &KernelIr, uniform_exec: bool) -> Self {
+        let insts = kernel
+            .insts
+            .iter()
+            .map(|inst| {
+                let addr_reg = match inst {
+                    Inst::Ld { addr, .. } | Inst::St { addr, .. } | Inst::Atom { addr, .. } => {
+                        *addr
+                    }
+                    _ => NO_REG,
+                };
+                // Register-pure ALU forms broadcast when their operands are
+                // lane-uniform; `Special` reads of block geometry are
+                // uniform by construction. Everything else (memory, control
+                // flow, shuffles, votes, barriers) either has side effects
+                // per lane or per-lane semantics and always runs scalar.
+                let uniform_eligible = uniform_exec
+                    && match inst {
+                        Inst::Mov { .. }
+                        | Inst::Bin { .. }
+                        | Inst::Un { .. }
+                        | Inst::Cast { .. } => true,
+                        Inst::Special { reg, .. } => block_uniform_special(*reg),
+                        _ => false,
+                    };
+                DecodedInst {
+                    inst: *inst,
+                    addr_reg,
+                    uniform_eligible,
+                }
+            })
+            .collect();
+        DecodedKernel { insts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thread_ir::ir::{BinIr, ParamKind, ScalarTy};
+
+    fn mk_kernel(insts: Vec<Inst>) -> KernelIr {
+        KernelIr {
+            name: "t".into(),
+            insts,
+            num_regs: 8,
+            params: vec![ParamKind::Pointer],
+            shared_static_bytes: 0,
+            uses_dynamic_shared: false,
+            dynamic_shared_offset: 0,
+            local_bytes: 0,
+            spilled_regs: Vec::new(),
+            pressure: 8,
+        }
+    }
+
+    #[test]
+    fn decode_extracts_addr_reg_and_uniform_flags() {
+        let k = mk_kernel(vec![
+            Inst::Bin {
+                op: BinIr::Add,
+                ty: ScalarTy::I32,
+                dst: 0,
+                a: 1,
+                b: 2,
+            },
+            Inst::Ld {
+                ty: ScalarTy::F32,
+                dst: 3,
+                addr: 4,
+            },
+            Inst::Special {
+                dst: 5,
+                reg: SpecialReg::ThreadIdxX,
+            },
+            Inst::Special {
+                dst: 5,
+                reg: SpecialReg::BlockIdxX,
+            },
+            Inst::Ret,
+        ]);
+        let d = DecodedKernel::new(&k, true);
+        assert_eq!(d.insts.len(), 5);
+        assert!(d.insts[0].uniform_eligible);
+        assert_eq!(d.insts[0].addr_reg, NO_REG);
+        assert!(!d.insts[1].uniform_eligible, "loads never broadcast");
+        assert_eq!(d.insts[1].addr_reg, 4);
+        assert!(!d.insts[2].uniform_eligible, "threadIdx is per-lane");
+        assert!(d.insts[3].uniform_eligible, "blockIdx is block-uniform");
+        assert!(!d.insts[4].uniform_eligible);
+    }
+
+    #[test]
+    fn decode_with_uniform_disabled_clears_all_flags() {
+        let k = mk_kernel(vec![
+            Inst::Mov { dst: 0, src: 1 },
+            Inst::Special {
+                dst: 2,
+                reg: SpecialReg::GridDimX,
+            },
+        ]);
+        let d = DecodedKernel::new(&k, false);
+        assert!(d.insts.iter().all(|i| !i.uniform_eligible));
+    }
+}

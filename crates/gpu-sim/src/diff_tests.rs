@@ -350,6 +350,68 @@ fn fast_forward_matches_naive_on_fuzz_corpus_pascal() {
     }
 }
 
+/// Runs the same launches with and without the warp-uniform broadcast fast
+/// path and asserts every reported number and the device memory match: the
+/// fast path must be observationally invisible.
+fn assert_uniform_paths_identical(cfg: GpuConfig, build: impl Fn(&mut Gpu) -> Vec<Launch>) {
+    let mut uniform = Gpu::new(cfg.clone());
+    uniform.set_uniform_exec(true);
+    let launches = build(&mut uniform);
+    let uni_res = uniform.run(&launches).expect("uniform run");
+
+    let mut scalar = Gpu::new(cfg);
+    scalar.set_uniform_exec(false);
+    let launches = build(&mut scalar);
+    let sca_res = scalar.run(&launches).expect("scalar run");
+
+    assert_eq!(
+        uni_res.total_cycles, sca_res.total_cycles,
+        "total cycles diverge"
+    );
+    assert_eq!(uni_res.metrics, sca_res.metrics, "metrics diverge");
+    assert_eq!(
+        uni_res.launch_finish, sca_res.launch_finish,
+        "finish cycles diverge"
+    );
+    // Functional equivalence: every output buffer byte-identical.
+    for launch in &launches {
+        for arg in &launch.args {
+            if let ParamValue::Ptr(buf) = arg {
+                assert_eq!(
+                    uniform.memory().read_u32s(*buf),
+                    scalar.memory().read_u32s(*buf),
+                    "buffer contents diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_path_matches_scalar_memory_bound() {
+    assert_uniform_paths_identical(GpuConfig::test_tiny(), memory_bound_launch);
+}
+
+#[test]
+fn uniform_path_matches_scalar_compute_bound() {
+    assert_uniform_paths_identical(GpuConfig::test_tiny(), compute_bound_launch);
+}
+
+#[test]
+fn uniform_path_matches_scalar_barrier_heavy() {
+    assert_uniform_paths_identical(GpuConfig::test_tiny(), barrier_heavy_launch);
+}
+
+#[test]
+fn uniform_path_matches_scalar_on_fuzz_corpus() {
+    for case in 0..4 {
+        assert_uniform_paths_identical(GpuConfig::test_tiny(), fuzz_case_launches(7, case));
+    }
+    for case in 0..2 {
+        assert_uniform_paths_identical(GpuConfig::pascal_like(), fuzz_case_launches(0xdead, case));
+    }
+}
+
 #[test]
 fn env_var_forces_naive_loop() {
     // `HFUSE_SIM_NO_SKIP` selects the naive loop inside plain `run()`;

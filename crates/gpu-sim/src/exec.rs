@@ -7,10 +7,11 @@
 //! arrival count reaches the barrier's participation count.
 
 use thread_ir::ir::{
-    AtomOp, BarCount, BinIr, Inst, KernelIr, ScalarTy, ShflKind, SpecialReg, UnIr, VoteKind,
+    AtomOp, BarCount, BinIr, Inst, ScalarTy, ShflKind, SpecialReg, UnIr, VoteKind,
 };
 use thread_ir::MemAddr;
 
+use crate::decode::{DecodedKernel, NO_REG};
 use crate::error::SimError;
 use crate::launch::Launch;
 use crate::memory::GpuMemory;
@@ -162,12 +163,12 @@ impl BlockExec {
         warp: usize,
         mask: u32,
         pc: usize,
-        kernel: &KernelIr,
+        prog: &DecodedKernel,
     ) -> Option<thread_ir::Space> {
-        let addr_reg = match &kernel.insts[pc] {
-            Inst::Ld { addr, .. } | Inst::St { addr, .. } | Inst::Atom { addr, .. } => *addr,
-            _ => return None,
-        };
+        let addr_reg = prog.insts[pc].addr_reg;
+        if addr_reg == NO_REG {
+            return None;
+        }
         let lane = mask.trailing_zeros() as usize;
         let (start, _) = self.warp_bounds(warp);
         Some(MemAddr(self.threads[start + lane].regs[addr_reg as usize]).space())
@@ -202,7 +203,8 @@ impl BlockExec {
         WarpPeek::Exec { pc: min_pc, mask }
     }
 
-    /// Executes instruction `pc` for the lane group `mask` of `warp`.
+    /// Executes instruction `pc` for the lane group `mask` of `warp`,
+    /// reading the instruction from the pre-decoded buffer `prog`.
     /// When `san` is given, memory accesses and barrier events are also
     /// reported to the sanitizer.
     ///
@@ -219,6 +221,7 @@ impl BlockExec {
     pub fn exec_group(
         &mut self,
         launch: &Launch,
+        prog: &DecodedKernel,
         mem: &mut GpuMemory,
         warp: usize,
         pc: usize,
@@ -227,8 +230,20 @@ impl BlockExec {
         mut san: Option<&mut Sanitizer>,
     ) -> Result<ExecOutcome, SimError> {
         let kernel = &launch.kernel;
-        let inst = &kernel.insts[pc];
+        let dinst = &prog.insts[pc];
         let (warp_start, _) = self.warp_bounds(warp);
+
+        // Warp-uniform fast path: when the whole group reads identical
+        // operand values, evaluate once and broadcast instead of looping
+        // 32 scalar evaluations. Timing-transparent — the outcome kind is
+        // identical to the scalar path's.
+        if dinst.uniform_eligible && mask.count_ones() > 1 {
+            if let Some(out) = self.exec_uniform_group(launch, &dinst.inst, warp_start, pc, mask) {
+                return Ok(out);
+            }
+        }
+
+        let inst = &dinst.inst;
         let lanes: Lanes = Lanes { mask };
         let san_ctx = AccessCtx {
             kernel: &kernel.name,
@@ -557,6 +572,91 @@ impl BlockExec {
                 Ok(simple(IssueKind::Control))
             }
         }
+    }
+
+    /// True when every active lane of the group holds the same value in
+    /// `reg`.
+    fn lanes_uniform(&self, warp_start: usize, mask: u32, reg: u32) -> bool {
+        let first = warp_start + mask.trailing_zeros() as usize;
+        let v = self.threads[first].regs[reg as usize];
+        Lanes { mask }.all(|lane| self.threads[warp_start + lane].regs[reg as usize] == v)
+    }
+
+    /// The warp-uniform fast path: evaluates a register-pure instruction
+    /// once using the first active lane's operands and broadcasts the
+    /// result to the whole group, provided every active lane reads
+    /// identical operand values. Returns `None` when the operands diverge
+    /// (the caller falls back to the scalar loop). The `IssueKind` mapping
+    /// mirrors the scalar path exactly so timing is unchanged.
+    fn exec_uniform_group(
+        &mut self,
+        launch: &Launch,
+        inst: &Inst,
+        warp_start: usize,
+        pc: usize,
+        mask: u32,
+    ) -> Option<ExecOutcome> {
+        let first = warp_start + mask.trailing_zeros() as usize;
+        let (dst, value, kind) = match inst {
+            Inst::Mov { dst, src } => {
+                if !self.lanes_uniform(warp_start, mask, *src) {
+                    return None;
+                }
+                let v = self.threads[first].regs[*src as usize];
+                (*dst, v, IssueKind::Alu)
+            }
+            Inst::Bin { op, ty, dst, a, b } => {
+                if !self.lanes_uniform(warp_start, mask, *a)
+                    || !self.lanes_uniform(warp_start, mask, *b)
+                {
+                    return None;
+                }
+                let va = self.threads[first].regs[*a as usize];
+                let vb = self.threads[first].regs[*b as usize];
+                let kind = if matches!(op, BinIr::Div | BinIr::Rem) {
+                    IssueKind::Div
+                } else {
+                    IssueKind::Alu
+                };
+                (*dst, alu::bin(*op, *ty, va, vb), kind)
+            }
+            Inst::Un { op, ty, dst, a } => {
+                if !self.lanes_uniform(warp_start, mask, *a) {
+                    return None;
+                }
+                let va = self.threads[first].regs[*a as usize];
+                let kind = match op {
+                    UnIr::Sqrt | UnIr::Rsqrt | UnIr::Exp | UnIr::Log => IssueKind::Special,
+                    _ => IssueKind::Alu,
+                };
+                (*dst, alu::un(*op, *ty, va), kind)
+            }
+            Inst::Cast { dst, src, from, to } => {
+                if !self.lanes_uniform(warp_start, mask, *src) {
+                    return None;
+                }
+                let v = self.threads[first].regs[*src as usize];
+                (*dst, alu::cast(*from, *to, v), IssueKind::Alu)
+            }
+            // Decode only marks block-uniform special registers eligible,
+            // so the value is the same for every thread by construction.
+            Inst::Special { dst, reg } => (
+                *dst,
+                self.special_value(launch, *reg, first),
+                IssueKind::Alu,
+            ),
+            _ => return None,
+        };
+        for lane in (Lanes { mask }) {
+            let t = &mut self.threads[warp_start + lane];
+            t.regs[dst as usize] = value;
+            t.pc = pc + 1;
+        }
+        Some(ExecOutcome {
+            kind,
+            transactions: 0,
+            conflict_extra: 0,
+        })
     }
 
     fn special_value(&self, launch: &Launch, reg: SpecialReg, tid: usize) -> u64 {

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod config;
+pub mod decode;
 pub mod exec;
 pub mod launch;
 pub mod memory;
@@ -50,11 +51,12 @@ pub mod timing;
 mod error;
 
 pub use config::GpuConfig;
+pub use decode::DecodedKernel;
 pub use error::SimError;
 pub use launch::{Launch, ParamValue};
 pub use memory::{BufferId, GpuMemory};
-pub use metrics::{RunMetrics, RunResult};
-pub use occupancy::{blocks_per_sm, OccupancyLimits};
+pub use metrics::{BudgetedRun, RunMetrics, RunResult};
+pub use occupancy::{blocks_per_sm, cost_estimate, OccupancyLimits};
 pub use sanitizer::{ReportKind, Sanitizer, SanitizerReport};
 pub use timing::Gpu;
 

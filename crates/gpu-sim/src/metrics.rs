@@ -96,6 +96,40 @@ impl RunResult {
     }
 }
 
+/// The outcome of a budgeted run (see `Gpu::run_with_budget`): either the
+/// run finished within the caller's cycle budget, or it was cut off as soon
+/// as the simulated clock strictly exceeded it.
+///
+/// `cycles_so_far` is a *lower bound* on the run's true cycle count and is
+/// monotonically non-decreasing in the budget: the engine walks the same
+/// deterministic clock sequence regardless of the budget and aborts at the
+/// first clock value past it. An aborted run leaves device memory partially
+/// mutated; callers profiling candidates on cloned devices can simply
+/// discard the clone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetedRun {
+    /// The run finished with total cycles ≤ budget (identical to an
+    /// unbudgeted run).
+    Completed(RunResult),
+    /// The simulated clock strictly exceeded the budget with work still
+    /// outstanding.
+    Aborted {
+        /// Simulated clock at the abort point (strictly greater than the
+        /// budget, and at most the run's true total cycle count).
+        cycles_so_far: u64,
+    },
+}
+
+impl BudgetedRun {
+    /// The completed result, if the run finished within budget.
+    pub fn completed(self) -> Option<RunResult> {
+        match self {
+            BudgetedRun::Completed(r) => Some(r),
+            BudgetedRun::Aborted { .. } => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

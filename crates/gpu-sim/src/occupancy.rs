@@ -79,6 +79,38 @@ pub fn blocks_per_sm(
     occupancy_limits(cfg, regs_per_thread, threads_per_block, shared_bytes).blocks()
 }
 
+/// Analytic cost estimate for ordering fusion candidates best-first before
+/// profiling (the branch-and-bound heuristic in the configuration search).
+///
+/// The estimate is `waves × weighted_insts × threads_per_block`, where
+/// `waves` is how many rounds of occupancy-limited concurrent blocks the
+/// grid needs (`grid_dim / (resident blocks × SMs)`, rounded up) and
+/// `weighted_insts` is a caller-supplied static instruction weight for one
+/// thread of the kernel. Candidates that cannot be scheduled at all
+/// (zero resident blocks) cost `u64::MAX`.
+///
+/// This is a *ranking* heuristic only — it never decides correctness. The
+/// search profiles every candidate; the estimate just makes the likely
+/// winners go first so the shared cycle budget tightens quickly.
+pub fn cost_estimate(
+    cfg: &GpuConfig,
+    regs_per_thread: u32,
+    threads_per_block: u32,
+    shared_bytes: u32,
+    grid_dim: u32,
+    weighted_insts: u64,
+) -> u64 {
+    let blocks = blocks_per_sm(cfg, regs_per_thread, threads_per_block, shared_bytes);
+    if blocks == 0 {
+        return u64::MAX;
+    }
+    let concurrent = blocks.saturating_mul(cfg.num_sms).max(1);
+    let waves = u64::from(grid_dim.div_ceil(concurrent));
+    waves
+        .saturating_mul(weighted_insts)
+        .saturating_mul(u64::from(threads_per_block.max(1)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +162,20 @@ mod tests {
     #[test]
     fn oversized_block_cannot_schedule() {
         assert_eq!(blocks_per_sm(&cfg(), 32, 256, 200 * 1024), 0);
+    }
+
+    #[test]
+    fn cost_estimate_penalizes_lower_occupancy() {
+        // Same work, but the high-register variant fits fewer resident
+        // blocks, so it needs more waves and must rank worse.
+        let cheap = cost_estimate(&cfg(), 32, 512, 24 * 1024, 64, 100);
+        let expensive = cost_estimate(&cfg(), 64, 512, 24 * 1024, 64, 100);
+        assert!(expensive > cheap, "{expensive} <= {cheap}");
+    }
+
+    #[test]
+    fn cost_estimate_unschedulable_is_max() {
+        assert_eq!(cost_estimate(&cfg(), 32, 256, 200 * 1024, 8, 10), u64::MAX);
     }
 
     #[test]

@@ -16,11 +16,12 @@ use std::collections::BinaryHeap;
 use thread_ir::ir::Inst;
 
 use crate::config::GpuConfig;
+use crate::decode::DecodedKernel;
 use crate::error::SimError;
 use crate::exec::{BlockExec, ExecOutcome, IssueKind, WarpPeek, WARP_SIZE};
 use crate::launch::Launch;
 use crate::memory::GpuMemory;
-use crate::metrics::{RunMetrics, RunResult};
+use crate::metrics::{BudgetedRun, RunMetrics, RunResult};
 use crate::sanitizer::{sanitize_enabled_by_env, Sanitizer, SanitizerReport};
 
 /// Abort threshold: consecutive cycles with no issue, no retirement, and no
@@ -37,6 +38,9 @@ pub struct Gpu {
     memory: GpuMemory,
     /// Race/barrier sanitizer (see [`crate::sanitizer`]); `None` when off.
     sanitizer: Option<Box<Sanitizer>>,
+    /// Warp-uniform broadcast fast path in the interpreter (see
+    /// [`crate::decode`]); disabled by `HFUSE_SIM_NO_UNIFORM`.
+    uniform_exec: bool,
 }
 
 impl Gpu {
@@ -47,7 +51,21 @@ impl Gpu {
             config,
             memory: GpuMemory::new(),
             sanitizer: sanitize_enabled_by_env().then(|| Box::new(Sanitizer::new())),
+            uniform_exec: !uniform_disabled_by_env(),
         }
+    }
+
+    /// Enables or disables the warp-uniform broadcast fast path for
+    /// subsequent runs. Results and timing are identical either way; this
+    /// is the programmatic escape hatch differential tests use (the env
+    /// equivalent is `HFUSE_SIM_NO_UNIFORM=1`).
+    pub fn set_uniform_exec(&mut self, on: bool) {
+        self.uniform_exec = on;
+    }
+
+    /// True when the warp-uniform fast path is active.
+    pub fn uniform_exec(&self) -> bool {
+        self.uniform_exec
     }
 
     /// Turns on the race/barrier sanitizer for subsequent runs (idempotent;
@@ -104,6 +122,7 @@ impl Gpu {
         }
         for (li, launch) in launches.iter().enumerate() {
             launch.validate()?;
+            let prog = DecodedKernel::new(&launch.kernel, self.uniform_exec);
             for b in 0..launch.grid_dim {
                 let mut blk = BlockExec::new(launch, li, b);
                 loop {
@@ -112,6 +131,7 @@ impl Gpu {
                         while let WarpPeek::Exec { pc, mask } = blk.peek_warp(w) {
                             blk.exec_group(
                                 launch,
+                                &prog,
                                 &mut self.memory,
                                 w,
                                 pc,
@@ -176,7 +196,7 @@ impl Gpu {
         for l in launches {
             l.validate()?;
         }
-        let mut engine = Engine::new(&self.config, launches);
+        let mut engine = Engine::new(&self.config, launches, self.uniform_exec);
         engine.no_skip = no_skip;
         engine.trace_interval = interval.max(1);
         if let Some(s) = self.sanitizer.as_deref_mut() {
@@ -184,7 +204,7 @@ impl Gpu {
         }
         let result = engine.run(&mut self.memory, self.sanitizer.as_deref_mut())?;
         let trace = std::mem::take(&mut engine.trace);
-        Ok((result, trace))
+        Ok((expect_completed(result), trace))
     }
 
     /// Runs the launches through the timing model and returns cycle counts
@@ -205,7 +225,8 @@ impl Gpu {
     /// Returns [`SimError`] on faults, deadlock, unschedulable blocks, or
     /// cycle-limit overrun.
     pub fn run(&mut self, launches: &[Launch]) -> Result<RunResult, SimError> {
-        self.run_impl(launches, skip_disabled_by_env())
+        self.run_impl(launches, skip_disabled_by_env(), u64::MAX)
+            .map(expect_completed)
     }
 
     /// [`Self::run`] forced through the naive single-step cycle loop. This
@@ -216,10 +237,39 @@ impl Gpu {
     ///
     /// Same as [`Self::run`].
     pub fn run_naive(&mut self, launches: &[Launch]) -> Result<RunResult, SimError> {
-        self.run_impl(launches, true)
+        self.run_impl(launches, true, u64::MAX)
+            .map(expect_completed)
     }
 
-    fn run_impl(&mut self, launches: &[Launch], no_skip: bool) -> Result<RunResult, SimError> {
+    /// [`Self::run`] with a cycle budget: the run is cut off as soon as the
+    /// simulated clock strictly exceeds `budget` with work outstanding,
+    /// returning [`BudgetedRun::Aborted`] with the clock at the abort point
+    /// (a lower bound on the run's true cycle count, monotone in the
+    /// budget). A run that completes within the budget returns exactly what
+    /// [`Self::run`] would.
+    ///
+    /// An aborted run leaves device memory partially mutated — callers that
+    /// profile candidates should run on a cloned [`Gpu`] and discard it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`]; errors that fire before the budget is reached
+    /// (faults, deadlock, unschedulable blocks) are reported as errors, not
+    /// as aborts.
+    pub fn run_with_budget(
+        &mut self,
+        launches: &[Launch],
+        budget: u64,
+    ) -> Result<BudgetedRun, SimError> {
+        self.run_impl(launches, skip_disabled_by_env(), budget)
+    }
+
+    fn run_impl(
+        &mut self,
+        launches: &[Launch],
+        no_skip: bool,
+        budget: u64,
+    ) -> Result<BudgetedRun, SimError> {
         for l in launches {
             l.validate()?;
             let blocks = crate::occupancy::blocks_per_sm(
@@ -235,12 +285,22 @@ impl Gpu {
                 )));
             }
         }
-        let mut engine = Engine::new(&self.config, launches);
+        let mut engine = Engine::new(&self.config, launches, self.uniform_exec);
         engine.no_skip = no_skip;
+        engine.budget = budget;
         if let Some(s) = self.sanitizer.as_deref_mut() {
             s.begin_run();
         }
         engine.run(&mut self.memory, self.sanitizer.as_deref_mut())
+    }
+}
+
+/// Unwraps a [`BudgetedRun`] that cannot have aborted (budget `u64::MAX`;
+/// the engine's cycle ceiling is far below it).
+fn expect_completed(r: BudgetedRun) -> RunResult {
+    match r {
+        BudgetedRun::Completed(res) => res,
+        BudgetedRun::Aborted { .. } => unreachable!("unbudgeted run cannot abort"),
     }
 }
 
@@ -250,8 +310,18 @@ fn skip_disabled_by_env() -> bool {
     std::env::var_os("HFUSE_SIM_NO_SKIP").is_some_and(|v| v != "0")
 }
 
+/// `HFUSE_SIM_NO_UNIFORM=1` (any value but `0`) disables the warp-uniform
+/// broadcast fast path globally — the escape hatch for A/B-ing the
+/// interpreter paths.
+fn uniform_disabled_by_env() -> bool {
+    std::env::var_os("HFUSE_SIM_NO_UNIFORM").is_some_and(|v| v != "0")
+}
+
 /// Per-launch precomputed issue information.
 struct LaunchCtx {
+    /// The launch's kernel pre-decoded into a flat instruction buffer (the
+    /// interpreter's read path; also carries the uniform-eligibility flags).
+    prog: DecodedKernel,
     /// Per-instruction count of spilled-register operands.
     spill_counts: Vec<u8>,
     /// Flattened scoreboard-checked registers (sources then destination) of
@@ -265,7 +335,7 @@ struct LaunchCtx {
 }
 
 impl LaunchCtx {
-    fn new(launch: &Launch) -> Self {
+    fn new(launch: &Launch, uniform_exec: bool) -> Self {
         let k = &launch.kernel;
         let mut spilled = vec![false; k.num_regs as usize];
         for &r in &k.spilled_regs {
@@ -289,6 +359,7 @@ impl LaunchCtx {
             spill_counts.push(n);
         }
         LaunchCtx {
+            prog: DecodedKernel::new(k, uniform_exec),
             spill_counts,
             operand_regs,
             operand_spans,
@@ -443,6 +514,9 @@ struct Engine<'a> {
     idle_cycles: u64,
     /// Force the naive single-step loop (no idle-cycle fast-forward).
     no_skip: bool,
+    /// Cycle budget: the run aborts once the clock strictly exceeds it
+    /// with work outstanding (`u64::MAX` = unbudgeted).
+    budget: u64,
     /// Earliest future cycle at which any warp blocked during the current
     /// sweep can change state (scoreboard `stall_until`, memory-pipe free
     /// time). Collected *during* the issue sweep — which already visits
@@ -482,11 +556,14 @@ struct SweepStats {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a GpuConfig, launches: &'a [Launch]) -> Self {
+    fn new(cfg: &'a GpuConfig, launches: &'a [Launch], uniform_exec: bool) -> Self {
         Engine {
             cfg,
             launches,
-            ctxs: launches.iter().map(LaunchCtx::new).collect(),
+            ctxs: launches
+                .iter()
+                .map(|l| LaunchCtx::new(l, uniform_exec))
+                .collect(),
             sms: (0..cfg.num_sms).map(|_| SmState::new(cfg)).collect(),
             next_block: vec![0; launches.len()],
             blocks_remaining: launches.iter().map(|l| u64::from(l.grid_dim)).sum(),
@@ -498,6 +575,7 @@ impl<'a> Engine<'a> {
             launch_finish: vec![0; launches.len()],
             idle_cycles: 0,
             no_skip: false,
+            budget: u64::MAX,
             sweep_wakeup: u64::MAX,
             sweep_cap_blocked: false,
             scan_wakeup: u64::MAX,
@@ -514,7 +592,7 @@ impl<'a> Engine<'a> {
         &mut self,
         memory: &mut GpuMemory,
         mut san: Option<&mut Sanitizer>,
-    ) -> Result<RunResult, SimError> {
+    ) -> Result<BudgetedRun, SimError> {
         let mut cycle: u64 = 0;
         let token_burst = i64::from(self.cfg.dram_transactions_per_cycle) * 4;
         loop {
@@ -799,13 +877,26 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+
+            // Cycle-budget early-abort. Checked at the very bottom of the
+            // iteration so it covers both the single-step `cycle += 1` and
+            // fast-forward jumps, and only fires while work remains (a run
+            // that completes breaks out above before this is reached). The
+            // clock sequence observed here is budget-independent, so the
+            // reported `cycles_so_far` — a lower bound on the run's true
+            // cycle count — is monotone in the budget.
+            if cycle > self.budget {
+                return Ok(BudgetedRun::Aborted {
+                    cycles_so_far: cycle,
+                });
+            }
         }
         self.metrics.cycles = cycle;
-        Ok(RunResult {
+        Ok(BudgetedRun::Completed(RunResult {
             total_cycles: cycle,
             metrics: self.metrics,
             launch_finish: std::mem::take(&mut self.launch_finish),
-        })
+        }))
     }
 
     /// Picks the launch whose blocks may dispatch (leftover policy) and
@@ -985,8 +1076,8 @@ impl<'a> Engine<'a> {
             .expect("warp's block resident")
             .launch_idx;
         let launch = &self.launches[launch_idx];
-        let inst = &launch.kernel.insts[pc];
         let ctx = &self.ctxs[launch_idx];
+        let inst = ctx.prog.insts[pc].inst;
         let spill_cnt = ctx.spill_counts[pc];
 
         // Scoreboard: operand readiness (RAW) and destination (WAW), via
@@ -1018,7 +1109,7 @@ impl<'a> Engine<'a> {
             .as_ref()
             .expect("warp's block resident")
             .exec
-            .peek_space(warp_idx, mask, pc, &launch.kernel);
+            .peek_space(warp_idx, mask, pc, &ctx.prog);
         let uses_global_pipe = matches!(
             space,
             Some(thread_ir::Space::Global | thread_ir::Space::Local)
@@ -1051,6 +1142,7 @@ impl<'a> Engine<'a> {
             .expect("warp's block resident");
         let outcome = block.exec.exec_group(
             launch,
+            &ctx.prog,
             memory,
             warp_idx,
             pc,
@@ -1059,7 +1151,7 @@ impl<'a> Engine<'a> {
             san,
         )?;
         self.metrics.thread_insts += u64::from(mask.count_ones());
-        self.account_issue(sm_idx, ws, inst, outcome, spill_cnt, now);
+        self.account_issue(sm_idx, ws, &inst, outcome, spill_cnt, now);
         Ok(None)
     }
 
@@ -1504,6 +1596,104 @@ mod tests {
         let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::I32(0));
         let err = gpu.run(&[launch]).unwrap_err();
         assert!(err.message().contains("progress"), "{err}");
+    }
+
+    fn budget_test_launch(gpu: &mut Gpu) -> Launch {
+        let ir = compile(
+            "__global__ void k(unsigned int* out) {\
+               unsigned int x = threadIdx.x + 1u;\
+               for (int i = 0; i < 300; i++) { x = x * 1664525u + 1013904223u; }\
+               out[threadIdx.x + blockIdx.x * blockDim.x] = x;\
+             }",
+        );
+        let o = gpu.memory_mut().alloc_u32(512);
+        Launch::new(ir, 8, (64, 1, 1)).arg(ParamValue::Ptr(o))
+    }
+
+    #[test]
+    fn budget_abort_fires_and_reports_monotone_cycles() {
+        let full = {
+            let mut gpu = tiny_gpu();
+            let launch = budget_test_launch(&mut gpu);
+            gpu.run(&[launch]).expect("full run").total_cycles
+        };
+        assert!(full > 100, "kernel too short for a budget test: {full}");
+
+        let mut prev = 0u64;
+        for budget in [1, 10, full / 4, full / 2, full - 2] {
+            let mut gpu = tiny_gpu();
+            let launch = budget_test_launch(&mut gpu);
+            match gpu.run_with_budget(&[launch], budget).expect("budgeted") {
+                BudgetedRun::Aborted { cycles_so_far } => {
+                    assert!(cycles_so_far > budget, "{cycles_so_far} <= {budget}");
+                    assert!(
+                        cycles_so_far <= full,
+                        "abort clock {cycles_so_far} past true total {full}"
+                    );
+                    assert!(
+                        cycles_so_far >= prev,
+                        "abort clock not monotone: {cycles_so_far} < {prev}"
+                    );
+                    prev = cycles_so_far;
+                }
+                BudgetedRun::Completed(r) => {
+                    panic!(
+                        "budget {budget} should abort, completed in {}",
+                        r.total_cycles
+                    )
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_at_or_above_total_completes_identically() {
+        let mut gpu = tiny_gpu();
+        let launch = budget_test_launch(&mut gpu);
+        let full = gpu
+            .clone()
+            .run(std::slice::from_ref(&launch))
+            .expect("full run");
+        for budget in [full.total_cycles, full.total_cycles * 2, u64::MAX] {
+            let mut g = gpu.clone();
+            match g
+                .run_with_budget(std::slice::from_ref(&launch), budget)
+                .expect("budgeted")
+            {
+                BudgetedRun::Completed(r) => assert_eq!(r, full),
+                BudgetedRun::Aborted { cycles_so_far } => {
+                    panic!("budget {budget} aborted at {cycles_so_far}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_abort_matches_between_fast_and_naive_loop_bounds() {
+        // The fast-forward loop may land past the budget at a different
+        // clock than the naive loop, but both must (a) abort, and (b)
+        // report a clock strictly past the budget and bounded by the true
+        // total.
+        let full = {
+            let mut gpu = tiny_gpu();
+            let launch = budget_test_launch(&mut gpu);
+            gpu.run(&[launch]).expect("full").total_cycles
+        };
+        let budget = full / 3;
+        for no_skip in [false, true] {
+            let mut gpu = tiny_gpu();
+            let launch = budget_test_launch(&mut gpu);
+            let r = gpu
+                .run_impl(&[launch], no_skip, budget)
+                .expect("budgeted run");
+            match r {
+                BudgetedRun::Aborted { cycles_so_far } => {
+                    assert!(cycles_so_far > budget);
+                    assert!(cycles_so_far <= full);
+                }
+                BudgetedRun::Completed(_) => panic!("no_skip={no_skip} did not abort"),
+            }
+        }
     }
 
     #[test]

@@ -228,7 +228,10 @@ pub enum BarCount {
 
 /// One IR instruction. Each executing thread interprets the stream with its
 /// own program counter; branch targets are instruction indices.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every operand is a plain scalar, so instructions are `Copy` — the
+/// simulator pre-decodes kernels into flat instruction buffers by value.
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // operand fields follow the uniform dst/src naming
 pub enum Inst {
     /// `dst = value` (raw 64-bit bits).

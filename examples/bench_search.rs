@@ -1,10 +1,15 @@
-//! Wall-clock benchmark of the fusion-configuration search with and without
-//! the simulator's event-driven fast-forward (`HFUSE_SIM_NO_SKIP=1` forces
-//! the naive single-step loop). Writes `BENCH_search.json` next to the
-//! working directory.
+//! Wall-clock benchmark of the fusion-configuration search. Measures three
+//! arms per pair: the default branch-and-bound pruned search, the
+//! exhaustive search (`prune: false`), and the exhaustive search on the
+//! naive single-step simulator loop (`HFUSE_SIM_NO_SKIP=1`). Writes
+//! `BENCH_search.json` next to the working directory.
+//!
+//! With `--enforce-baseline`, the committed `BENCH_search.json` is read
+//! before being overwritten and the run exits nonzero if any pair's
+//! `wall_ms` regressed by more than 20% — the CI perf gate.
 //!
 //! Dependency-free (plain `std::time::Instant`); run with:
-//! `cargo run --release --example bench_search`
+//! `cargo run --release --example bench_search [-- --enforce-baseline]`
 
 use std::time::Instant;
 
@@ -15,13 +20,17 @@ use hfuse::sim::{Gpu, GpuConfig};
 struct PairResult {
     pair: String,
     wall_ms: f64,
+    wall_ms_exhaustive: f64,
     wall_ms_naive: f64,
     speedup: f64,
     sim_cycles: u64,
     candidates: usize,
+    candidates_pruned: usize,
+    compile_ms: f64,
+    profile_ms: f64,
 }
 
-fn run_search(first: &str, second: &str, scale_second: f64) -> (SearchReport, f64) {
+fn run_search(first: &str, second: &str, scale_second: f64, prune: bool) -> (SearchReport, f64) {
     let mut gpu = Gpu::new(GpuConfig::pascal_like());
     let b1 = AnyBenchmark::by_name(first).expect("benchmark exists");
     let b2 = AnyBenchmark::by_name(second)
@@ -29,13 +38,51 @@ fn run_search(first: &str, second: &str, scale_second: f64) -> (SearchReport, f6
         .scaled(scale_second);
     let in1 = b1.benchmark().fusion_input(gpu.memory_mut());
     let in2 = b2.benchmark().fusion_input(gpu.memory_mut());
+    let opts = SearchOptions {
+        prune,
+        ..SearchOptions::default()
+    };
     let start = Instant::now();
-    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search");
+    let report = search_fusion_config(&gpu, &in1, &in2, opts).expect("search");
     (report, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Pulls `"key": <number>` out of one baseline JSON row (the file is
+/// written by this program, so the hand-rolled extraction is safe).
+fn json_number(row: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = row.find(&pat)? + pat.len();
+    let rest = &row[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn baseline_wall_ms(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for row in json.lines() {
+        let Some(pair_start) = row.find("\"pair\": \"") else {
+            continue;
+        };
+        let rest = &row[pair_start + 9..];
+        let Some(pair_end) = rest.find('"') else {
+            continue;
+        };
+        if let Some(ms) = json_number(row, "wall_ms") {
+            out.push((rest[..pair_end].to_owned(), ms));
+        }
+    }
+    out
+}
+
 fn main() {
-    // One worker keeps the fast/naive comparison a pure single-thread
+    let enforce = std::env::args().any(|a| a == "--enforce-baseline");
+    let baseline = std::fs::read_to_string("BENCH_search.json")
+        .map(|s| baseline_wall_ms(&s))
+        .unwrap_or_default();
+
+    // One worker keeps the arm-to-arm comparison a pure single-thread
     // wall-clock measurement.
     std::env::set_var("HFUSE_SEARCH_THREADS", "1");
 
@@ -44,7 +91,8 @@ fn main() {
     // workload table). Every candidate — fused or not — is dominated by
     // uncoalesced, dependent DAG lookups, so the device sits
     // latency-stalled for most of the simulated time; that is exactly the
-    // case the fast-forward accelerates.
+    // case the fast-forward accelerates. It is also non-tunable (two
+    // candidates), so pruning has little to cut there.
     let pairs = [
         ("Maxpool", "Batchnorm", 1.0),
         ("Upsample", "Hist", 1.0),
@@ -59,14 +107,30 @@ fn main() {
         }
 
         std::env::remove_var("HFUSE_SIM_NO_SKIP");
-        let (report, wall_ms) = run_search(first, second, scale_second);
+        let (report, wall_ms) = run_search(first, second, scale_second, true);
+        let (exhaustive, wall_ms_exhaustive) = run_search(first, second, scale_second, false);
 
         std::env::set_var("HFUSE_SIM_NO_SKIP", "1");
-        let (naive_report, wall_ms_naive) = run_search(first, second, scale_second);
+        let (naive_report, wall_ms_naive) = run_search(first, second, scale_second, false);
         std::env::remove_var("HFUSE_SIM_NO_SKIP");
 
+        // Pruning must not change the winner, and neither may the
+        // event-driven loop.
         assert_eq!(
-            report.best().cycles,
+            (
+                report.best().d1,
+                report.best().reg_bound,
+                report.best().cycles
+            ),
+            (
+                exhaustive.best().d1,
+                exhaustive.best().reg_bound,
+                exhaustive.best().cycles
+            ),
+            "pruning changed the search result for {name}"
+        );
+        assert_eq!(
+            exhaustive.best().cycles,
             naive_report.best().cycles,
             "fast-forward changed reported cycles for {name}"
         );
@@ -74,14 +138,26 @@ fn main() {
         let r = PairResult {
             pair: name,
             wall_ms,
+            wall_ms_exhaustive,
             wall_ms_naive,
             speedup: wall_ms_naive / wall_ms,
             sim_cycles: report.best().cycles,
             candidates: report.candidates.len(),
+            candidates_pruned: report.pruned_count(),
+            compile_ms: report.compile_ms,
+            profile_ms: report.profile_ms,
         };
         println!(
-            "{:<22} {:>9.1} ms fast | {:>9.1} ms naive | {:>5.2}x | best {} cycles ({} candidates)",
-            r.pair, r.wall_ms, r.wall_ms_naive, r.speedup, r.sim_cycles, r.candidates
+            "{:<22} {:>9.1} ms pruned | {:>9.1} ms exhaustive | {:>9.1} ms naive | {:>5.2}x | \
+             best {} cycles ({} candidates, {} pruned)",
+            r.pair,
+            r.wall_ms,
+            r.wall_ms_exhaustive,
+            r.wall_ms_naive,
+            r.speedup,
+            r.sim_cycles,
+            r.candidates,
+            r.candidates_pruned
         );
         results.push(r);
     }
@@ -90,9 +166,20 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"pair\": \"{}\", \"wall_ms\": {:.2}, \"wall_ms_naive\": {:.2}, \
-                 \"speedup\": {:.2}, \"sim_cycles\": {}, \"candidates\": {}}}",
-                r.pair, r.wall_ms, r.wall_ms_naive, r.speedup, r.sim_cycles, r.candidates
+                "  {{\"pair\": \"{}\", \"wall_ms\": {:.2}, \"wall_ms_exhaustive\": {:.2}, \
+                 \"wall_ms_naive\": {:.2}, \"speedup\": {:.2}, \"sim_cycles\": {}, \
+                 \"candidates\": {}, \"candidates_pruned\": {}, \"compile_ms\": {:.2}, \
+                 \"profile_ms\": {:.2}}}",
+                r.pair,
+                r.wall_ms,
+                r.wall_ms_exhaustive,
+                r.wall_ms_naive,
+                r.speedup,
+                r.sim_cycles,
+                r.candidates,
+                r.candidates_pruned,
+                r.compile_ms,
+                r.profile_ms
             )
         })
         .collect();
@@ -101,5 +188,32 @@ fn main() {
     println!("\nwrote BENCH_search.json");
 
     let best = results.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
-    println!("best wall-clock speedup: {best:.2}x");
+    println!("best wall-clock speedup over naive exhaustive: {best:.2}x");
+
+    if enforce {
+        let mut failed = false;
+        for r in &results {
+            match baseline.iter().find(|(p, _)| *p == r.pair) {
+                Some((_, base_ms)) => {
+                    let limit = base_ms * 1.2;
+                    if r.wall_ms > limit {
+                        eprintln!(
+                            "REGRESSION: {} took {:.1} ms (baseline {:.1} ms, limit {:.1} ms)",
+                            r.pair, r.wall_ms, base_ms, limit
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "baseline ok: {} {:.1} ms vs {:.1} ms (+20% limit {:.1} ms)",
+                            r.pair, r.wall_ms, base_ms, limit
+                        );
+                    }
+                }
+                None => println!("baseline missing for {}; skipping gate", r.pair),
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

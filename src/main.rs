@@ -7,7 +7,7 @@
 //! hfuse fuse a.cu b.cu [more.cu ...] --threads 256,256[,...] [-o fused.cu]
 //! hfuse vfuse a.cu b.cu [-o fused.cu]
 //! hfuse compile file.cu [--no-opt] [--dump-ir]
-//! hfuse search PAIR [--gpu pascal|volta] [--d0 N] [--granularity N]
+//! hfuse search PAIR [--gpu pascal|volta] [--d0 N] [--granularity N] [--no-prune]
 //! hfuse bench KERNEL [--gpu pascal|volta]
 //! hfuse list
 //! ```
@@ -66,9 +66,11 @@ USAGE:
         buf:<elems>[:<fill>]   (pointer arg: zeroed f32/u32 buffer, or
                                 filled with `fill` as a float; printed back
                                 after the run with --show N)
-  hfuse search <PAIR> [--gpu pascal|volta] [--d0 N] [--granularity N]
+  hfuse search <PAIR> [--gpu pascal|volta] [--d0 N] [--granularity N] [--no-prune]
       Run the Fig. 6 configuration search on a built-in benchmark pair,
-      e.g. `hfuse search Batchnorm+Hist`.
+      e.g. `hfuse search Batchnorm+Hist`. Candidates are profiled
+      best-first with branch-and-bound pruning; --no-prune (or
+      HFUSE_SEARCH_NO_PRUNE=1) forces exhaustive profiling.
   hfuse bench <KERNEL> [--gpu pascal|volta]
       Profile one built-in benchmark kernel (a Fig. 8 row).
   hfuse list
@@ -96,7 +98,7 @@ fn positional(args: &[String]) -> Vec<&str> {
         }
         if a.starts_with("--") || a == "-o" {
             // All our flags take a value except the boolean ones.
-            skip = !matches!(a.as_str(), "--no-opt" | "--dump-ir");
+            skip = !matches!(a.as_str(), "--no-opt" | "--dump-ir" | "--no-prune");
             let _ = i;
             continue;
         }
@@ -336,13 +338,30 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         "GPU {} — native co-execution: {} cycles",
         cfg.name, native.total_cycles
     );
-    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions { d0, granularity })
-        .map_err(|e| e.to_string())?;
+    let opts = SearchOptions {
+        d0,
+        granularity,
+        prune: !has_flag(args, "--no-prune"),
+    };
+    let report = search_fusion_config(&gpu, &in1, &in2, opts).map_err(|e| e.to_string())?;
     println!(
         "{:>6} {:>6} {:>7} {:>9} {:>9} {:>7} {:>9} {:>7}",
         "d1", "d2", "bound", "cycles", "speedup%", "util%", "memstall%", "occ%"
     );
     for c in &report.candidates {
+        if let Some(at) = c.pruned_at {
+            println!(
+                "{:>6} {:>6} {:>7} {:>9} {:>9}",
+                c.d1,
+                c.d2,
+                c.reg_bound
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                format!(">{at}"),
+                "pruned",
+            );
+            continue;
+        }
         println!(
             "{:>6} {:>6} {:>7} {:>9} {:>+9.1} {:>7.1} {:>9.1} {:>7.1}",
             c.d1,
@@ -363,6 +382,13 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         best.d1,
         best.reg_bound,
         100.0 * (native.total_cycles as f64 / best.cycles as f64 - 1.0)
+    );
+    println!(
+        "search: {} candidates, {} pruned early; compile {:.1} ms, profile {:.1} ms",
+        report.candidates.len(),
+        report.pruned_count(),
+        report.compile_ms,
+        report.profile_ms
     );
     Ok(())
 }

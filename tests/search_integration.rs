@@ -30,6 +30,7 @@ fn search_sweeps_all_partitions_for_tunable_pairs() {
         SearchOptions {
             d0: 1024,
             granularity: 128,
+            ..SearchOptions::default()
         },
     )
     .expect("search");
@@ -56,6 +57,7 @@ fn search_respects_granularity_option() {
         SearchOptions {
             d0: 1024,
             granularity: 256,
+            ..SearchOptions::default()
         },
     )
     .expect("search");
@@ -141,8 +143,11 @@ fn search_report_carries_runnable_best_kernel() {
 
 #[test]
 fn search_is_deterministic_across_runs_and_threads() {
-    // The parallel search must produce byte-identical reports: candidates
-    // profile on independent clones of the device state.
+    // With pruning, which losers get budget-aborted can vary with thread
+    // timing, but the winner, its cycles, and every surviving candidate's
+    // cycles are deterministic: candidates profile on independent clones of
+    // the device state, and a run whose true cycle count is within the
+    // budget always completes with its exact unbudgeted result.
     let pair = &dl_pairs()[5];
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
@@ -150,8 +155,32 @@ fn search_is_deterministic_across_runs_and_threads() {
     let r2 = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("search 2");
     assert_eq!(r1.candidates.len(), r2.candidates.len());
     for (c1, c2) in r1.candidates.iter().zip(&r2.candidates) {
-        assert_eq!(c1, c2);
+        assert_eq!((c1.d1, c1.d2, c1.reg_bound), (c2.d1, c2.d2, c2.reg_bound));
+        if c1.pruned_at.is_none() && c2.pruned_at.is_none() {
+            assert_eq!(c1, c2);
+        }
     }
+    assert_eq!(r1.best_idx, r2.best_idx);
+    assert_eq!(r1.best().cycles, r2.best().cycles);
+    assert_eq!(r1.best_kernel, r2.best_kernel);
+}
+
+#[test]
+fn exhaustive_search_is_byte_identical_across_runs() {
+    // With pruning disabled every candidate profiles to completion, so the
+    // whole report must be byte-identical run to run.
+    let pair = &dl_pairs()[5];
+    let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
+    let (gpu, in1, in2) = inputs(&a, &b);
+    let opts = SearchOptions {
+        prune: false,
+        ..SearchOptions::default()
+    };
+    let r1 = search_fusion_config(&gpu, &in1, &in2, opts).expect("search 1");
+    let r2 = search_fusion_config(&gpu, &in1, &in2, opts).expect("search 2");
+    assert_eq!(r1.pruned_count(), 0);
+    assert_eq!(r2.pruned_count(), 0);
+    assert_eq!(r1.candidates, r2.candidates);
     assert_eq!(r1.best_idx, r2.best_idx);
     assert_eq!(r1.best_kernel, r2.best_kernel);
 }
@@ -159,7 +188,8 @@ fn search_is_deterministic_across_runs_and_threads() {
 #[test]
 fn parallel_search_path_matches_serial() {
     // Force the scoped-thread pool even on single-core machines and check
-    // it produces the same report as the serial path.
+    // it produces the same winner and surviving cycle counts as the serial
+    // path (the pruned set may differ — see above).
     let pair = &dl_pairs()[9];
     let (a, b) = (pair.first.scaled(0.25), pair.second.scaled(0.25));
     let (gpu, in1, in2) = inputs(&a, &b);
@@ -169,6 +199,12 @@ fn parallel_search_path_matches_serial() {
     let parallel =
         search_fusion_config(&gpu, &in1, &in2, SearchOptions::default()).expect("parallel");
     std::env::remove_var("HFUSE_SEARCH_THREADS");
-    assert_eq!(serial.candidates, parallel.candidates);
+    assert_eq!(serial.candidates.len(), parallel.candidates.len());
+    for (s, p) in serial.candidates.iter().zip(&parallel.candidates) {
+        if s.pruned_at.is_none() && p.pruned_at.is_none() {
+            assert_eq!(s, p);
+        }
+    }
     assert_eq!(serial.best_idx, parallel.best_idx);
+    assert_eq!(serial.best().cycles, parallel.best().cycles);
 }
