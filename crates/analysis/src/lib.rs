@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! Static fusion-safety analysis for HFuse.
+//!
+//! Horizontally fused kernels interleave two kernels' barrier structures and
+//! shared-memory footprints inside one thread block; the dynamic sanitizer in
+//! `gpu-sim` catches the resulting bugs at simulation time, but only on the
+//! inputs it happens to run. This crate proves (or refutes) the same
+//! properties statically, per kernel, before any profiling happens:
+//!
+//! * [`cfg`] lowers a kernel AST to a per-kernel control-flow graph with
+//!   barrier-isolated blocks, post-dominators, and control dependences;
+//! * [`uniformity`] runs a forward dataflow classifying every value as
+//!   block-uniform, warp-uniform, or divergent, and — where possible — pins
+//!   it down as an exact affine function of `threadIdx.x`;
+//! * [`lints`] builds three lints on top: **barrier divergence**
+//!   (`__syncthreads()` / `bar.sync` control-dependent on non-uniform
+//!   conditions), **partial-barrier structure** (non-warp-multiple or
+//!   mismatched `bar.sync` counts, arrival sets that disagree with declared
+//!   participant counts), and **definite shared-memory races** (two provable
+//!   thread ids in different warps hitting the same element in one
+//!   barrier-delimited phase);
+//! * [`ir_uniform`] re-derives per-instruction warp-uniformity facts on the
+//!   flat `thread-ir` form so the simulator's uniform fast path can skip its
+//!   runtime operand comparisons where uniformity is proven.
+//!
+//! The race lint is deliberately a *must* analysis — silence on anything it
+//! cannot model exactly — so `hfuse-core` can reject statically-unsafe fusion
+//! candidates without ever rejecting a safe one.
+
+pub mod cfg;
+pub mod ir_uniform;
+pub mod lints;
+pub mod uniformity;
+
+use cuda_frontend::ast::Function;
+use cuda_frontend::diag::{Diagnostic, SpanTable};
+
+pub use lints::{CODE_BARRIER_DIVERGENCE, CODE_PARTIAL_BARRIER, CODE_SHARED_RACE};
+
+/// Options for [`analyze_kernel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions {
+    /// `blockDim.x` when the launch configuration is known. Fuse-time checks
+    /// always pass the fused block width; the standalone `hfuse lint` CLI
+    /// passes it only when the user supplies `--threads`.
+    pub block_threads: Option<u32>,
+}
+
+/// Runs all static fusion-safety lints over one kernel.
+///
+/// `spans` (from [`cuda_frontend::parse_kernel_with_spans`]) lets diagnostics
+/// carry source positions; without it they render without a location.
+/// Diagnostics are returned ordered by source position.
+pub fn analyze_kernel(
+    f: &Function,
+    spans: Option<&SpanTable>,
+    opts: &AnalysisOptions,
+) -> Vec<Diagnostic> {
+    let graph = cfg::Cfg::build(f);
+    let ua = uniformity::UniformityAnalysis::run(&graph, f, opts.block_threads);
+    let ctx = lints::LintCtx {
+        block_threads: opts.block_threads,
+    };
+    let mut diags = lints::barrier_lints(&graph, &ua, spans, &ctx);
+    diags.extend(lints::race_lints(&graph, &ua, f, spans, &ctx));
+    diags.sort_by_key(|d| d.span.map(|s| (s.line, s.col)));
+    diags
+}
+
+/// True when `HFUSE_NO_STATIC_CHECK` is set (to anything but `0`), disabling
+/// the fuse-time static safety gate.
+pub fn static_check_disabled_by_env() -> bool {
+    std::env::var_os("HFUSE_NO_STATIC_CHECK").is_some_and(|v| v != "0")
+}

@@ -1,0 +1,620 @@
+//! The three fusion-safety lints: barrier divergence, partial-barrier
+//! structure, and *definite* shared-memory races.
+//!
+//! The race lint is a must-analysis: it reports only when it can exhibit two
+//! concrete thread ids, in different warps, touching the same shared-memory
+//! element in the same barrier-delimited phase with at least one non-atomic
+//! write. Every unknown (unparsable guard, loop-variant index, address-taken
+//! array, multi-dimensional thread indexing) makes it *silent*, never noisy —
+//! so a diagnostic is a proof, modulo reachability of block-uniform guards.
+//! The barrier lints lean the other way: a barrier whose execution depends on
+//! a non-uniform condition the analysis cannot pin down exactly is an error.
+
+use std::collections::{HashMap, HashSet};
+
+use cuda_frontend::ast::{AssignOp, Axis, BuiltinVar, Expr, Function, Stmt};
+use cuda_frontend::diag::{Diagnostic, Severity, SpanTable};
+
+use crate::cfg::{BlockId, CStmt, CStmtKind, Cfg, Term};
+use crate::uniformity::{
+    eval, eval_mut, eval_pred, AbsVal, IntervalSet, State, Uniformity, UniformityAnalysis,
+};
+
+/// Diagnostic code for barriers under divergent control.
+pub const CODE_BARRIER_DIVERGENCE: &str = "barrier-divergence";
+/// Diagnostic code for malformed `bar.sync` structure.
+pub const CODE_PARTIAL_BARRIER: &str = "partial-barrier";
+/// Diagnostic code for definite shared-memory races.
+pub const CODE_SHARED_RACE: &str = "shared-race";
+
+/// Options threaded through the lints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintCtx {
+    /// `blockDim.x`, when the launch configuration is known (it always is at
+    /// fuse time). `None` means "lint standalone source": thread-set-versus-
+    /// block-size checks that need the block size are skipped, and the τ
+    /// universe defaults to the hardware maximum of 1024.
+    pub block_threads: Option<u32>,
+}
+
+impl LintCtx {
+    fn universe(&self) -> i64 {
+        self.block_threads.map_or(1024, i64::from)
+    }
+}
+
+fn diag(code: &str, span_idx: Option<usize>, spans: Option<&SpanTable>, msg: String) -> Diagnostic {
+    let span = span_idx.and_then(|i| spans.and_then(|t| t.get(i)));
+    Diagnostic::new(Severity::Error, code, span, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Barrier lints
+// ---------------------------------------------------------------------------
+
+/// The arrival set of a block: which τ reach it, as far as the parsable
+/// control dependences say.
+enum Arrival {
+    /// Exactly this set (constrained only by parsable non-uniform guards).
+    Exact(IntervalSet),
+    /// Some non-uniform controlling condition was not parsable.
+    Unknown,
+}
+
+fn arrival_set(cfg: &Cfg, ua: &UniformityAnalysis, block: BlockId, ctx: &LintCtx) -> Arrival {
+    let universe = ctx.universe();
+    let mut set = IntervalSet::full(universe);
+    for cd in &ua.cds[block] {
+        let Term::Branch { cond, .. } = &cfg.blocks[cd.branch].term else {
+            continue;
+        };
+        let Some(st) = ua.outs[cd.branch].as_ref() else {
+            continue;
+        };
+        if eval(cond, st, ctx.block_threads).u == Uniformity::BlockUniform {
+            // Uniform guards cannot split the block; whether the barrier runs
+            // at all is a reachability question, not a divergence one.
+            continue;
+        }
+        match eval_pred(cond, st, universe, ctx.block_threads) {
+            Some(p) => {
+                let p = if cd.polarity {
+                    p
+                } else {
+                    p.complement(universe)
+                };
+                set = set.intersect(&p);
+            }
+            None => return Arrival::Unknown,
+        }
+    }
+    Arrival::Exact(set)
+}
+
+/// Runs the barrier-divergence and partial-barrier lints.
+pub fn barrier_lints(
+    cfg: &Cfg,
+    ua: &UniformityAnalysis,
+    spans: Option<&SpanTable>,
+    ctx: &LintCtx,
+) -> Vec<Diagnostic> {
+    let universe = ctx.universe();
+    let mut out = Vec::new();
+    let mut bar_counts: HashMap<u32, u32> = HashMap::new();
+    for (b, bb) in cfg.blocks.iter().enumerate() {
+        let Some(stmt) = bb.stmts.first() else {
+            continue;
+        };
+        let span_idx = stmt.span_idx;
+        match stmt.kind {
+            CStmtKind::Sync => match arrival_set(cfg, ua, b, ctx) {
+                Arrival::Unknown => out.push(diag(
+                    CODE_BARRIER_DIVERGENCE,
+                    span_idx,
+                    spans,
+                    "__syncthreads() is control-dependent on a non-uniform condition; \
+                     threads of the same block may disagree on reaching this barrier"
+                        .into(),
+                )),
+                Arrival::Exact(set) => {
+                    if ctx.block_threads.is_some() && !set.is_full(universe) {
+                        out.push(diag(
+                            CODE_BARRIER_DIVERGENCE,
+                            span_idx,
+                            spans,
+                            format!(
+                                "__syncthreads() is only reached by {} of {} threads \
+                                 of the block",
+                                set.count(),
+                                universe
+                            ),
+                        ));
+                    }
+                }
+            },
+            CStmtKind::BarSync { id, count } => {
+                if count % 32 != 0 {
+                    out.push(diag(
+                        CODE_PARTIAL_BARRIER,
+                        span_idx,
+                        spans,
+                        format!(
+                            "bar.sync {id} declares {count} participating threads, \
+                             which is not a multiple of the warp size (32)"
+                        ),
+                    ));
+                }
+                if let Some(prev) = bar_counts.insert(id, count) {
+                    if prev != count {
+                        out.push(diag(
+                            CODE_PARTIAL_BARRIER,
+                            span_idx,
+                            spans,
+                            format!(
+                                "bar.sync {id} is used with mismatched thread counts \
+                                 ({prev} and {count})"
+                            ),
+                        ));
+                    }
+                }
+                match arrival_set(cfg, ua, b, ctx) {
+                    Arrival::Unknown => out.push(diag(
+                        CODE_BARRIER_DIVERGENCE,
+                        span_idx,
+                        spans,
+                        format!(
+                            "bar.sync {id} is control-dependent on a non-uniform \
+                             condition the analysis cannot resolve; its arrival set \
+                             is unknown"
+                        ),
+                    )),
+                    Arrival::Exact(set) => {
+                        if ctx.block_threads.is_some() {
+                            if set.count() != i64::from(count) {
+                                out.push(diag(
+                                    CODE_PARTIAL_BARRIER,
+                                    span_idx,
+                                    spans,
+                                    format!(
+                                        "bar.sync {id} declares {count} participants \
+                                         but {} threads arrive",
+                                        set.count()
+                                    ),
+                                ));
+                            } else if !set.is_warp_aligned() {
+                                out.push(diag(
+                                    CODE_PARTIAL_BARRIER,
+                                    span_idx,
+                                    spans,
+                                    format!(
+                                        "the threads arriving at bar.sync {id} do not \
+                                         form whole warps"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory race lint
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Access {
+    arr: String,
+    write: bool,
+    atomic: bool,
+    block: BlockId,
+    /// Index as `a·τ + b` (Const is `a = 0`); `None` disables the access.
+    idx: Option<(i64, i64)>,
+    span_idx: Option<usize>,
+}
+
+struct Collector<'a> {
+    shared: HashSet<String>,
+    poisoned: HashSet<String>,
+    accesses: Vec<Access>,
+    block: BlockId,
+    tset: Option<&'a IntervalSet>,
+    span_idx: Option<usize>,
+    state: &'a State,
+    block_threads: Option<u32>,
+}
+
+impl Collector<'_> {
+    fn record(&mut self, arr: &str, idx: &Expr, write: bool, atomic: bool) {
+        let resolved = self.resolve_index(idx);
+        self.accesses.push(Access {
+            arr: arr.to_owned(),
+            write,
+            atomic,
+            block: self.block,
+            idx: resolved,
+            span_idx: self.span_idx,
+        });
+    }
+
+    /// Resolves an index expression to an exact affine function of τ over the
+    /// access's thread set, or `None`.
+    fn resolve_index(&self, idx: &Expr) -> Option<(i64, i64)> {
+        let v = eval(idx, self.state, self.block_threads).val?;
+        match v {
+            AbsVal::Const(c) => Some((0, c)),
+            AbsVal::Affine { a, b } => Some((a, b)),
+            AbsVal::TidMod { a, b, m, off } => {
+                // `(a·τ + b) % m` collapses to `a·τ + b − k·m` only when the
+                // executing threads keep the argument inside one non-negative
+                // period (C truncated remainder equals math mod only there).
+                let tset = self.tset?;
+                let lo = a
+                    .checked_mul(if a >= 0 { tset.min()? } else { tset.max()? })?
+                    .checked_add(b)?;
+                let hi = a
+                    .checked_mul(if a >= 0 { tset.max()? } else { tset.min()? })?
+                    .checked_add(b)?;
+                let k = div_floor(lo, m);
+                if k >= 0 && div_floor(hi, m) == k {
+                    Some((a, (b - k * m).checked_add(off)?))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn walk(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign(op, lhs, rhs) => {
+                self.walk_lvalue(lhs, matches!(op, AssignOp::Compound(_)));
+                self.walk(rhs);
+            }
+            Expr::IncDec { target, .. } => self.walk_lvalue(target, true),
+            Expr::Call(name, args) => {
+                let is_atomic = matches!(name.as_str(), "atomicAdd" | "atomicMax" | "atomicExch");
+                let mut rest = &args[..];
+                if is_atomic {
+                    if let Some(Expr::AddrOf(inner)) = args.first() {
+                        if let Expr::Index(base, idx) = inner.as_ref() {
+                            if let Expr::Ident(arr) = base.as_ref() {
+                                if self.shared.contains(arr) {
+                                    self.record(&arr.clone(), idx, true, true);
+                                    self.walk(idx);
+                                    rest = &args[1..];
+                                }
+                            }
+                        }
+                    }
+                }
+                for a in rest {
+                    self.walk(a);
+                }
+            }
+            Expr::Index(base, idx) => {
+                if let Expr::Ident(arr) = base.as_ref() {
+                    if self.shared.contains(arr) {
+                        self.record(&arr.clone(), idx, false, false);
+                    }
+                } else {
+                    self.walk(base);
+                }
+                self.walk(idx);
+            }
+            Expr::AddrOf(inner) => {
+                // Any address-taken shared array escapes the index-level
+                // model (the atomic arg0 form is intercepted above).
+                match inner.as_ref() {
+                    Expr::Index(base, idx) => {
+                        if let Expr::Ident(arr) = base.as_ref() {
+                            self.poisoned.insert(arr.clone());
+                        } else {
+                            self.walk(base);
+                        }
+                        self.walk(idx);
+                    }
+                    Expr::Ident(name) => {
+                        self.poisoned.insert(name.clone());
+                    }
+                    other => self.walk(other),
+                }
+            }
+            Expr::Ident(name) => {
+                // A bare use of an array name (pointer decay, casts,
+                // arithmetic) escapes the model too.
+                if self.shared.contains(name) {
+                    self.poisoned.insert(name.clone());
+                }
+            }
+            Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Deref(a) => self.walk(a),
+            Expr::Binary(_, a, b) => {
+                self.walk(a);
+                self.walk(b);
+            }
+            Expr::Ternary(a, b, c) => {
+                self.walk(a);
+                self.walk(b);
+                self.walk(c);
+            }
+            Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Builtin(_) => {}
+        }
+    }
+
+    fn walk_lvalue(&mut self, lhs: &Expr, also_reads: bool) {
+        if let Expr::Index(base, idx) = lhs {
+            if let Expr::Ident(arr) = base.as_ref() {
+                if self.shared.contains(arr) {
+                    let arr = arr.clone();
+                    self.record(&arr, idx, true, false);
+                    if also_reads {
+                        self.record(&arr, idx, false, false);
+                    }
+                    self.walk(idx);
+                    return;
+                }
+            }
+        }
+        self.walk(lhs);
+    }
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn uses_multidim_threads(f: &Function) -> bool {
+    fn expr_uses(e: &Expr) -> bool {
+        let mut found = false;
+        visit_exprs(e, &mut |x| {
+            if let Expr::Builtin(BuiltinVar::ThreadIdx(Axis::Y | Axis::Z)) = x {
+                found = true;
+            }
+        });
+        found
+    }
+    let mut found = false;
+    cuda_frontend::diag::preorder_stmts(f, &mut |s| {
+        if found {
+            return;
+        }
+        found = match s {
+            Stmt::Decl(d) => d.init.as_ref().is_some_and(expr_uses),
+            Stmt::Expr(e) | Stmt::While(e, _) | Stmt::DoWhile(_, e) => expr_uses(e),
+            Stmt::If(e, ..) => expr_uses(e),
+            Stmt::For { cond, step, .. } => {
+                cond.as_ref().is_some_and(expr_uses) || step.as_ref().is_some_and(expr_uses)
+            }
+            Stmt::Switch { scrutinee, .. } => expr_uses(scrutinee),
+            Stmt::Return(e) => e.as_ref().is_some_and(expr_uses),
+            _ => false,
+        };
+    });
+    found
+}
+
+fn visit_exprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => {
+            visit_exprs(a, f)
+        }
+        Expr::Binary(_, a, b) | Expr::Index(a, b) | Expr::Assign(_, a, b) => {
+            visit_exprs(a, f);
+            visit_exprs(b, f);
+        }
+        Expr::Ternary(a, b, c) => {
+            visit_exprs(a, f);
+            visit_exprs(b, f);
+            visit_exprs(c, f);
+        }
+        Expr::IncDec { target, .. } => visit_exprs(target, f),
+        Expr::Call(_, args) => args.iter().for_each(|a| visit_exprs(a, f)),
+        _ => {}
+    }
+}
+
+/// Runs the definite shared-memory race lint.
+pub fn race_lints(
+    cfg: &Cfg,
+    ua: &UniformityAnalysis,
+    f: &Function,
+    spans: Option<&SpanTable>,
+    ctx: &LintCtx,
+) -> Vec<Diagnostic> {
+    // With 2-D/3-D thread indexing, τ alone neither identifies a thread nor
+    // its warp, so "different warp" claims would be unsound. Stay silent.
+    if uses_multidim_threads(f) {
+        return Vec::new();
+    }
+
+    // Per-block executing thread sets (None = some guard unparsable).
+    let tsets: Vec<Option<IntervalSet>> = (0..cfg.blocks.len())
+        .map(|b| match arrival_set(cfg, ua, b, ctx) {
+            Arrival::Exact(s) => Some(s),
+            Arrival::Unknown => None,
+        })
+        .collect();
+
+    // Collect shared arrays, poisoned arrays, and every access.
+    let mut shared: HashSet<String> = HashSet::new();
+    for bb in &cfg.blocks {
+        for s in &bb.stmts {
+            if let CStmtKind::Decl(d) = &s.kind {
+                if d.quals.shared || d.quals.extern_shared {
+                    shared.insert(d.name.clone());
+                }
+            }
+        }
+    }
+    let mut poisoned: HashSet<String> = HashSet::new();
+    let mut accesses: Vec<Access> = Vec::new();
+    for (b, bb) in cfg.blocks.iter().enumerate() {
+        let Some(in_state) = ua.ins[b].as_ref() else {
+            continue;
+        };
+        let mut state = in_state.clone();
+        let visit = |c: &mut Collector, e: &Expr, span: Option<usize>| {
+            c.span_idx = span;
+            c.walk(e);
+        };
+        for s in &bb.stmts {
+            let mut c = Collector {
+                shared: shared.clone(),
+                poisoned: std::mem::take(&mut poisoned),
+                accesses: std::mem::take(&mut accesses),
+                block: b,
+                tset: tsets[b].as_ref(),
+                span_idx: s.span_idx,
+                state: &state,
+                block_threads: ctx.block_threads,
+            };
+            match &s.kind {
+                CStmtKind::Decl(d) => {
+                    if let Some(init) = &d.init {
+                        visit(&mut c, init, s.span_idx);
+                    }
+                }
+                CStmtKind::Expr(e) => visit(&mut c, e, s.span_idx),
+                CStmtKind::Sync | CStmtKind::BarSync { .. } => {}
+            }
+            poisoned = c.poisoned;
+            accesses = c.accesses;
+            // Advance the state past this statement.
+            apply_stmt(s, &mut state, ctx.block_threads);
+        }
+        if let Term::Branch { cond, span_idx, .. } = &bb.term {
+            let mut c = Collector {
+                shared: shared.clone(),
+                poisoned: std::mem::take(&mut poisoned),
+                accesses: std::mem::take(&mut accesses),
+                block: b,
+                tset: tsets[b].as_ref(),
+                span_idx: *span_idx,
+                state: &state,
+                block_threads: ctx.block_threads,
+            };
+            c.walk(cond);
+            poisoned = c.poisoned;
+            accesses = c.accesses;
+        }
+    }
+
+    // Phase-concurrency: two accesses may run unsynchronised iff some phase
+    // start reaches both blocks without crossing a barrier.
+    let reaches: Vec<Vec<bool>> = cfg
+        .phase_starts()
+        .into_iter()
+        .map(|p| cfg.barrier_free_reach(p))
+        .collect();
+    let concurrent = |b1: BlockId, b2: BlockId| reaches.iter().any(|r| r[b1] && r[b2]);
+
+    let live: Vec<&Access> = accesses
+        .iter()
+        .filter(|a| !poisoned.contains(&a.arr) && a.idx.is_some())
+        .collect();
+
+    let mut out = Vec::new();
+    let mut reported: HashSet<(String, Option<usize>, Option<usize>)> = HashSet::new();
+    for (i, a) in live.iter().enumerate() {
+        for b2 in &live[i..] {
+            if a.arr != b2.arr
+                || !(a.write || b2.write)
+                || (a.atomic && b2.atomic)
+                || !concurrent(a.block, b2.block)
+            {
+                continue;
+            }
+            let (Some(sa), Some(sb)) = (&tsets[a.block], &tsets[b2.block]) else {
+                continue;
+            };
+            if sa.count() > 0
+                && racing_pair_exists(a.idx.unwrap(), sa, b2.idx.unwrap(), sb)
+                && reported.insert((
+                    a.arr.clone(),
+                    a.span_idx.min(b2.span_idx),
+                    a.span_idx.max(b2.span_idx),
+                ))
+            {
+                let what = match (a.write, b2.write) {
+                    (true, true) => "two writes",
+                    _ => "a read and a write",
+                };
+                out.push(diag(
+                    CODE_SHARED_RACE,
+                    a.span_idx.or(b2.span_idx),
+                    spans,
+                    format!(
+                        "definite data race on shared array `{}`: {} from threads \
+                         in different warps touch the same element with no \
+                         intervening barrier",
+                        a.arr, what
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn apply_stmt(s: &CStmt, state: &mut State, block_threads: Option<u32>) {
+    match &s.kind {
+        CStmtKind::Decl(d) => {
+            let fact = if d.array_len.is_some() {
+                crate::uniformity::Fact::uniform()
+            } else {
+                match &d.init {
+                    Some(init) => eval_mut(init, state, block_threads),
+                    None => crate::uniformity::Fact::divergent(),
+                }
+            };
+            state.insert(d.name.clone(), fact);
+        }
+        CStmtKind::Expr(e) => {
+            eval_mut(e, state, block_threads);
+        }
+        CStmtKind::Sync | CStmtKind::BarSync { .. } => {}
+    }
+}
+
+/// True when concrete `τ1 ∈ sa`, `τ2 ∈ sb` exist with `τ1 ≠ τ2`, in different
+/// warps, such that `a1·τ1 + b1 == a2·τ2 + b2`.
+fn racing_pair_exists(
+    (a1, b1): (i64, i64),
+    sa: &IntervalSet,
+    (a2, b2): (i64, i64),
+    sb: &IntervalSet,
+) -> bool {
+    for t1 in sa.members() {
+        let Some(target) = a1.checked_mul(t1).and_then(|v| v.checked_add(b1)) else {
+            continue;
+        };
+        if a2 != 0 {
+            let d = target - b2;
+            if d % a2 != 0 {
+                continue;
+            }
+            let t2 = d / a2;
+            if sb.contains(t2) && t2 != t1 && t2 / 32 != t1 / 32 {
+                return true;
+            }
+        } else {
+            if target != b2 {
+                continue;
+            }
+            if sb.members().any(|t2| t2 != t1 && t2 / 32 != t1 / 32) {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,1150 @@
+//! Forward uniformity / divergence dataflow over the analysis CFG.
+//!
+//! Every scalar variable is tracked as a [`Fact`]: a uniformity level plus an
+//! optional abstract value describing how the variable depends on
+//! `threadIdx.x` (written τ below). The value lattice is deliberately tiny —
+//! constants, affine functions `a·τ + b`, and C-truncated remainders
+//! `(a·τ + b) % m` — because the lints built on top only ever claim something
+//! when the dependence is *exactly* known. Anything else collapses to
+//! "unknown", which downstream means "make no claim", never "report".
+//!
+//! Joins inject control-dependence divergence: a value merged from paths
+//! selected by a divergent branch is divergent even if both sides wrote the
+//! same *abstract* fact, unless the abstract value pins the concrete value as
+//! a path-independent function of τ.
+
+use std::collections::HashMap;
+
+use cuda_frontend::ast::{AssignOp, BinOp, BuiltinVar, Expr, Function, Ty, UnOp};
+
+use crate::cfg::{CStmtKind, Cfg, ControlDep, Term};
+
+/// How a value varies across the threads of a block. Ordered by increasing
+/// divergence, so `max` joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Uniformity {
+    /// Identical across the whole thread block.
+    BlockUniform,
+    /// Identical within each warp (may differ across warps).
+    WarpUniform,
+    /// May differ between threads of the same warp.
+    Divergent,
+}
+
+/// Abstract value of an integer variable as a function of τ = `threadIdx.x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// A compile-time constant.
+    Const(i64),
+    /// `a·τ + b`.
+    Affine {
+        /// Coefficient of τ.
+        a: i64,
+        /// Constant offset.
+        b: i64,
+    },
+    /// `((a·τ + b) % m) + off` with C truncated-remainder semantics, `m > 0`.
+    /// The post-modulo offset keeps shapes like `(tid % 64) + 32` — the
+    /// shifted accesses fused kernels produce — exactly representable.
+    TidMod {
+        /// Coefficient of τ.
+        a: i64,
+        /// Constant offset inside the remainder.
+        b: i64,
+        /// Modulus.
+        m: i64,
+        /// Constant offset added after the remainder.
+        off: i64,
+    },
+}
+
+/// The dataflow fact for one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fact {
+    /// Uniformity level.
+    pub u: Uniformity,
+    /// Abstract value, when exactly known.
+    pub val: Option<AbsVal>,
+}
+
+impl Fact {
+    /// A block-uniform fact with unknown value (parameters, block-level
+    /// builtins).
+    pub fn uniform() -> Fact {
+        Fact {
+            u: Uniformity::BlockUniform,
+            val: None,
+        }
+    }
+
+    /// A fully unknown, possibly divergent fact.
+    pub fn divergent() -> Fact {
+        Fact {
+            u: Uniformity::Divergent,
+            val: None,
+        }
+    }
+}
+
+/// Per-variable facts at a program point.
+pub type State = HashMap<String, Fact>;
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluates `e` in `st`, applying side effects (assignments, `++`/`--`) to
+/// the state. `block_dim_x` is `blockDim.x` when known.
+pub fn eval_mut(e: &Expr, st: &mut State, block_dim_x: Option<u32>) -> Fact {
+    match e {
+        Expr::IntLit(v, _) => Fact {
+            u: Uniformity::BlockUniform,
+            val: Some(AbsVal::Const(*v)),
+        },
+        Expr::FloatLit(..) => Fact::uniform(),
+        Expr::Ident(n) => st.get(n).copied().unwrap_or_else(Fact::divergent),
+        Expr::Builtin(b) => match b {
+            BuiltinVar::ThreadIdx(a) => {
+                if *a == cuda_frontend::ast::Axis::X {
+                    Fact {
+                        u: Uniformity::Divergent,
+                        val: Some(AbsVal::Affine { a: 1, b: 0 }),
+                    }
+                } else {
+                    Fact::divergent()
+                }
+            }
+            BuiltinVar::BlockDim(a) => {
+                if *a == cuda_frontend::ast::Axis::X {
+                    Fact {
+                        u: Uniformity::BlockUniform,
+                        val: block_dim_x.map(|v| AbsVal::Const(v as i64)),
+                    }
+                } else {
+                    Fact::uniform()
+                }
+            }
+            BuiltinVar::BlockIdx(_) | BuiltinVar::GridDim(_) => Fact::uniform(),
+        },
+        Expr::Unary(op, inner) => {
+            let f = eval_mut(inner, st, block_dim_x);
+            let val = match (op, f.val) {
+                (UnOp::Neg, Some(AbsVal::Const(v))) => Some(AbsVal::Const(v.wrapping_neg())),
+                (UnOp::Neg, Some(AbsVal::Affine { a, b })) => a
+                    .checked_neg()
+                    .zip(b.checked_neg())
+                    .map(|(a, b)| AbsVal::Affine { a, b }),
+                (UnOp::Not, Some(AbsVal::Const(v))) => Some(AbsVal::Const(i64::from(v == 0))),
+                (UnOp::BitNot, Some(AbsVal::Const(v))) => Some(AbsVal::Const(!v)),
+                _ => None,
+            };
+            Fact { u: f.u, val }
+        }
+        Expr::Binary(op, a, b) => {
+            let fa = eval_mut(a, st, block_dim_x);
+            let fb = eval_mut(b, st, block_dim_x);
+            bin_fact(*op, fa, fb)
+        }
+        Expr::Assign(op, lhs, rhs) => {
+            let stored = match op {
+                AssignOp::Assign => eval_mut(rhs, st, block_dim_x),
+                AssignOp::Compound(bop) => {
+                    let old = if let Expr::Ident(n) = lhs.as_ref() {
+                        st.get(n).copied().unwrap_or_else(Fact::divergent)
+                    } else {
+                        Fact::divergent()
+                    };
+                    let rf = eval_mut(rhs, st, block_dim_x);
+                    bin_fact(*bop, old, rf)
+                }
+            };
+            match lhs.as_ref() {
+                Expr::Ident(n) => {
+                    st.insert(n.clone(), stored);
+                }
+                other => {
+                    // Memory store: evaluate address subexpressions for their
+                    // side effects only.
+                    eval_mut(other, st, block_dim_x);
+                }
+            }
+            stored
+        }
+        Expr::IncDec { inc, pre, target } => {
+            if let Expr::Ident(n) = target.as_ref() {
+                let old = st.get(n).copied().unwrap_or_else(Fact::divergent);
+                let one = Fact {
+                    u: Uniformity::BlockUniform,
+                    val: Some(AbsVal::Const(1)),
+                };
+                let new = bin_fact(if *inc { BinOp::Add } else { BinOp::Sub }, old, one);
+                st.insert(n.clone(), new);
+                if *pre {
+                    new
+                } else {
+                    old
+                }
+            } else {
+                eval_mut(target, st, block_dim_x);
+                Fact::divergent()
+            }
+        }
+        Expr::Ternary(c, t, e2) => {
+            let fc = eval_mut(c, st, block_dim_x);
+            // Evaluate both arms on clones so a side effect from the arm a
+            // thread did not take cannot sharpen its fact.
+            let mut st_t = st.clone();
+            let mut st_e = st.clone();
+            let ft = eval_mut(t, &mut st_t, block_dim_x);
+            let fe = eval_mut(e2, &mut st_e, block_dim_x);
+            merge_ternary_states(st, &st_t, &st_e, fc.u);
+            let val = match fc.val {
+                Some(AbsVal::Const(v)) => {
+                    if v != 0 {
+                        ft.val
+                    } else {
+                        fe.val
+                    }
+                }
+                _ => None,
+            };
+            Fact {
+                u: fc.u.max(ft.u).max(fe.u),
+                val,
+            }
+        }
+        Expr::Call(name, args) => {
+            let mut arg_u = Uniformity::BlockUniform;
+            for a in args {
+                arg_u = arg_u.max(eval_mut(a, st, block_dim_x).u);
+            }
+            let base = name.trim_end_matches("_sync");
+            match base {
+                "__ballot" | "__any" | "__all" => Fact {
+                    u: Uniformity::WarpUniform,
+                    val: None,
+                },
+                "min" | "max" | "fminf" | "fmaxf" | "fabsf" | "sqrtf" | "rsqrtf" | "expf"
+                | "logf" | "__popc" | "__clz" | "__brev" => Fact {
+                    u: arg_u,
+                    val: None,
+                },
+                _ => Fact::divergent(),
+            }
+        }
+        Expr::Index(base, idx) => {
+            eval_mut(base, st, block_dim_x);
+            eval_mut(idx, st, block_dim_x);
+            Fact::divergent()
+        }
+        Expr::Cast(ty, inner) => {
+            let f = eval_mut(inner, st, block_dim_x);
+            if ty.is_integer() && *ty != Ty::Bool {
+                f
+            } else {
+                Fact { u: f.u, val: None }
+            }
+        }
+        Expr::AddrOf(inner) => {
+            let f = eval_mut(inner, st, block_dim_x);
+            Fact { u: f.u, val: None }
+        }
+        Expr::Deref(inner) => {
+            eval_mut(inner, st, block_dim_x);
+            Fact::divergent()
+        }
+    }
+}
+
+/// Evaluates `e` without mutating `st`.
+pub fn eval(e: &Expr, st: &State, block_dim_x: Option<u32>) -> Fact {
+    let mut tmp = st.clone();
+    eval_mut(e, &mut tmp, block_dim_x)
+}
+
+fn merge_ternary_states(st: &mut State, st_t: &State, st_e: &State, cond_u: Uniformity) {
+    let keys: Vec<String> = st_t.keys().chain(st_e.keys()).cloned().collect();
+    for k in keys {
+        match (st_t.get(&k), st_e.get(&k)) {
+            (Some(a), Some(b)) if a == b && a.val.is_some() => {
+                st.insert(k, *a);
+            }
+            (Some(a), Some(b)) => {
+                st.insert(
+                    k,
+                    Fact {
+                        u: a.u.max(b.u).max(cond_u),
+                        val: None,
+                    },
+                );
+            }
+            _ => {
+                st.remove(&k);
+            }
+        }
+    }
+}
+
+/// Combines two facts through a binary operator.
+pub fn bin_fact(op: BinOp, fa: Fact, fb: Fact) -> Fact {
+    let mut u = fa.u.max(fb.u);
+    let val = abs_bin(op, fa.val, fb.val);
+    // `τ / c` and `τ >> k` with a warp-multiple divisor yield the same value
+    // for every lane of a warp.
+    if val.is_none() {
+        let warp_div = match (op, fa.val, fb.val) {
+            (BinOp::Div, Some(AbsVal::Affine { a: 1, b: 0 }), Some(AbsVal::Const(c))) => {
+                c > 0 && c % 32 == 0
+            }
+            (BinOp::Shr, Some(AbsVal::Affine { a: 1, b: 0 }), Some(AbsVal::Const(k))) => {
+                (5..63).contains(&k)
+            }
+            _ => false,
+        };
+        if warp_div {
+            u = u.min(Uniformity::WarpUniform).max(fb.u);
+        }
+    }
+    Fact { u, val }
+}
+
+fn abs_bin(op: BinOp, va: Option<AbsVal>, vb: Option<AbsVal>) -> Option<AbsVal> {
+    use AbsVal::{Affine, Const, TidMod};
+    let (va, vb) = (va?, vb?);
+    // Normalise constants to degenerate affine forms for the linear ops.
+    let lin = |v: AbsVal| match v {
+        Const(c) => Some((0i64, c)),
+        Affine { a, b } => Some((a, b)),
+        TidMod { .. } => None,
+    };
+    match op {
+        BinOp::Add => match (va, vb) {
+            // A constant slides into the post-modulo offset; a τ-term can't.
+            (TidMod { a, b, m, off }, other) | (other, TidMod { a, b, m, off }) => {
+                match lin(other)? {
+                    (0, c) => Some(TidMod {
+                        a,
+                        b,
+                        m,
+                        off: off.checked_add(c)?,
+                    }),
+                    _ => None,
+                }
+            }
+            _ => {
+                let (a1, b1) = lin(va)?;
+                let (a2, b2) = lin(vb)?;
+                mk_affine(a1.checked_add(a2)?, b1.checked_add(b2)?)
+            }
+        },
+        BinOp::Sub => match (va, vb) {
+            (TidMod { a, b, m, off }, other) => match lin(other)? {
+                (0, c) => Some(TidMod {
+                    a,
+                    b,
+                    m,
+                    off: off.checked_sub(c)?,
+                }),
+                _ => None,
+            },
+            (_, TidMod { .. }) => None,
+            _ => {
+                let (a1, b1) = lin(va)?;
+                let (a2, b2) = lin(vb)?;
+                mk_affine(a1.checked_sub(a2)?, b1.checked_sub(b2)?)
+            }
+        },
+        BinOp::Mul => match (va, vb) {
+            (Const(c), other) | (other, Const(c)) => {
+                let (a, b) = lin(other)?;
+                mk_affine(a.checked_mul(c)?, b.checked_mul(c)?)
+            }
+            _ => None,
+        },
+        BinOp::Div => match (va, vb) {
+            (Const(x), Const(c)) if c != 0 => Some(Const(x / c)),
+            (Affine { a, b }, Const(c)) if c > 0 && a % c == 0 && b % c == 0 => {
+                mk_affine(a / c, b / c)
+            }
+            _ => None,
+        },
+        BinOp::Rem => match (va, vb) {
+            (Const(x), Const(c)) if c != 0 => Some(Const(x % c)),
+            (Affine { a, b }, Const(m)) if m > 0 => Some(TidMod { a, b, m, off: 0 }),
+            // `(x % m) % m == x % m` only without a post-modulo offset.
+            (TidMod { a, b, m, off: 0 }, Const(c)) if c == m => Some(TidMod { a, b, m, off: 0 }),
+            _ => None,
+        },
+        BinOp::Shl => match (va, vb) {
+            (Const(x), Const(k)) if (0..63).contains(&k) => x.checked_shl(k as u32).map(Const),
+            (Affine { a, b }, Const(k)) if (0..31).contains(&k) => {
+                mk_affine(a.checked_shl(k as u32)?, b.checked_shl(k as u32)?)
+            }
+            _ => None,
+        },
+        BinOp::Shr => match (va, vb) {
+            (Const(x), Const(k)) if (0..63).contains(&k) => Some(Const(x >> k)),
+            (Affine { a, b }, Const(k)) if (0..31).contains(&k) => {
+                let d = 1i64 << k;
+                if a >= 0 && b >= 0 && a % d == 0 && b % d == 0 {
+                    mk_affine(a / d, b / d)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        BinOp::BitAnd => match (va, vb) {
+            (Const(x), Const(y)) => Some(Const(x & y)),
+            (Affine { a, b }, Const(mask)) | (Const(mask), Affine { a, b })
+                if mask > 0 && ((mask + 1) as u64).is_power_of_two() && a >= 0 && b >= 0 =>
+            {
+                Some(TidMod {
+                    a,
+                    b,
+                    m: mask + 1,
+                    off: 0,
+                })
+            }
+            _ => None,
+        },
+        BinOp::BitOr => match (va, vb) {
+            (Const(x), Const(y)) => Some(Const(x | y)),
+            _ => None,
+        },
+        BinOp::BitXor => match (va, vb) {
+            (Const(x), Const(y)) => Some(Const(x ^ y)),
+            _ => None,
+        },
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => match (va, vb) {
+            (Const(x), Const(y)) => Some(Const(i64::from(match op {
+                BinOp::Lt => x < y,
+                BinOp::Le => x <= y,
+                BinOp::Gt => x > y,
+                BinOp::Ge => x >= y,
+                BinOp::Eq => x == y,
+                _ => x != y,
+            }))),
+            _ => None,
+        },
+        BinOp::LogAnd | BinOp::LogOr => match (va, vb) {
+            (Const(x), Const(y)) => Some(Const(i64::from(if op == BinOp::LogAnd {
+                x != 0 && y != 0
+            } else {
+                x != 0 || y != 0
+            }))),
+            _ => None,
+        },
+    }
+}
+
+fn mk_affine(a: i64, b: i64) -> Option<AbsVal> {
+    if a == 0 {
+        Some(AbsVal::Const(b))
+    } else {
+        Some(AbsVal::Affine { a, b })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval sets over τ
+// ---------------------------------------------------------------------------
+
+/// A finite union of disjoint half-open intervals of thread ids, always a
+/// subset of `[0, universe)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSet {
+    ivs: Vec<(i64, i64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    /// All of `[0, universe)`.
+    pub fn full(universe: i64) -> IntervalSet {
+        IntervalSet::range(0, universe, universe)
+    }
+
+    /// `[lo, hi)` clamped to `[0, universe)`.
+    pub fn range(lo: i64, hi: i64, universe: i64) -> IntervalSet {
+        let lo = lo.max(0);
+        let hi = hi.min(universe);
+        if lo >= hi {
+            IntervalSet::empty()
+        } else {
+            IntervalSet {
+                ivs: vec![(lo, hi)],
+            }
+        }
+    }
+
+    /// The singleton `{t}`, if in range.
+    pub fn point(t: i64, universe: i64) -> IntervalSet {
+        IntervalSet::range(t, t + 1, universe)
+    }
+
+    fn normalize(mut ivs: Vec<(i64, i64)>) -> IntervalSet {
+        ivs.retain(|&(l, h)| l < h);
+        ivs.sort_unstable();
+        let mut out: Vec<(i64, i64)> = Vec::with_capacity(ivs.len());
+        for (l, h) in ivs {
+            if let Some(last) = out.last_mut() {
+                if l <= last.1 {
+                    last.1 = last.1.max(h);
+                    continue;
+                }
+            }
+            out.push((l, h));
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut ivs = self.ivs.clone();
+        ivs.extend_from_slice(&other.ivs);
+        IntervalSet::normalize(ivs)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for &(l1, h1) in &self.ivs {
+            for &(l2, h2) in &other.ivs {
+                let l = l1.max(l2);
+                let h = h1.min(h2);
+                if l < h {
+                    out.push((l, h));
+                }
+            }
+        }
+        IntervalSet::normalize(out)
+    }
+
+    /// `[0, universe) \ self`.
+    pub fn complement(&self, universe: i64) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for &(l, h) in &self.ivs {
+            if cursor < l {
+                out.push((cursor, l));
+            }
+            cursor = cursor.max(h);
+        }
+        if cursor < universe {
+            out.push((cursor, universe));
+        }
+        IntervalSet::normalize(out)
+    }
+
+    /// True when no thread is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// True when the set is exactly `[0, universe)`.
+    pub fn is_full(&self, universe: i64) -> bool {
+        self.ivs == [(0, universe)]
+    }
+
+    /// Number of threads in the set.
+    pub fn count(&self) -> i64 {
+        self.ivs.iter().map(|&(l, h)| h - l).sum()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: i64) -> bool {
+        self.ivs.iter().any(|&(l, h)| l <= t && t < h)
+    }
+
+    /// Smallest member.
+    pub fn min(&self) -> Option<i64> {
+        self.ivs.first().map(|&(l, _)| l)
+    }
+
+    /// Largest member.
+    pub fn max(&self) -> Option<i64> {
+        self.ivs.last().map(|&(_, h)| h - 1)
+    }
+
+    /// Iterates over every member.
+    pub fn members(&self) -> impl Iterator<Item = i64> + '_ {
+        self.ivs.iter().flat_map(|&(l, h)| l..h)
+    }
+
+    /// True when the set is warp-aligned: every warp is either fully in or
+    /// fully out of the set.
+    pub fn is_warp_aligned(&self) -> bool {
+        self.ivs.iter().all(|&(l, h)| l % 32 == 0 && h % 32 == 0)
+    }
+}
+
+/// Parses a branch condition into the exact set of thread ids satisfying it,
+/// given the variable facts in force at the branch. Returns `None` whenever
+/// the set cannot be pinned down exactly.
+pub fn eval_pred(
+    e: &Expr,
+    st: &State,
+    universe: i64,
+    block_dim_x: Option<u32>,
+) -> Option<IntervalSet> {
+    match e {
+        Expr::IntLit(v, _) => Some(if *v != 0 {
+            IntervalSet::full(universe)
+        } else {
+            IntervalSet::empty()
+        }),
+        Expr::Unary(UnOp::Not, inner) => {
+            Some(eval_pred(inner, st, universe, block_dim_x)?.complement(universe))
+        }
+        Expr::Binary(BinOp::LogAnd, l, r) => {
+            let pl = eval_pred(l, st, universe, block_dim_x)?;
+            let pr = eval_pred(r, st, universe, block_dim_x)?;
+            Some(pl.intersect(&pr))
+        }
+        Expr::Binary(BinOp::LogOr, l, r) => {
+            let pl = eval_pred(l, st, universe, block_dim_x)?;
+            let pr = eval_pred(r, st, universe, block_dim_x)?;
+            Some(pl.union(&pr))
+        }
+        Expr::Binary(op, l, r) if op.is_comparison() => {
+            let vl = eval(l, st, block_dim_x).val?;
+            let vr = eval(r, st, block_dim_x).val?;
+            match (vl, vr) {
+                (AbsVal::Const(x), AbsVal::Const(y)) => {
+                    let hold = match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        BinOp::Eq => x == y,
+                        _ => x != y,
+                    };
+                    Some(if hold {
+                        IntervalSet::full(universe)
+                    } else {
+                        IntervalSet::empty()
+                    })
+                }
+                (AbsVal::Affine { a, b }, AbsVal::Const(c)) => {
+                    Some(solve_affine(a, b, *op, c, universe))
+                }
+                (AbsVal::Const(c), AbsVal::Affine { a, b }) => {
+                    Some(solve_affine(a, b, flip_cmp(*op), c, universe))
+                }
+                (AbsVal::TidMod { a, b, m, off }, AbsVal::Const(c)) => {
+                    Some(solve_tidmod(a, b, m, off, *op, c, universe))
+                }
+                (AbsVal::Const(c), AbsVal::TidMod { a, b, m, off }) => {
+                    Some(solve_tidmod(a, b, m, off, flip_cmp(*op), c, universe))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Mirror of a comparison under operand swap: `c OP x` ⇔ `x flip(OP) c`.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Solves `((a·τ + b) % m) + off OP c` for τ over `[0, universe)` by direct
+/// enumeration: the satisfying set is periodic with no closed interval
+/// form, and the universe is at most one block (≤ 1024 threads), so
+/// pointwise evaluation is exact and cheap. `%` is C truncated remainder,
+/// which `i64::%` matches.
+#[allow(clippy::too_many_arguments)]
+fn solve_tidmod(a: i64, b: i64, m: i64, off: i64, op: BinOp, c: i64, universe: i64) -> IntervalSet {
+    debug_assert!(m > 0);
+    let mut set = IntervalSet::empty();
+    let mut run: Option<(i64, i64)> = None;
+    let c = c as i128;
+    for tau in 0..universe {
+        let v = (a as i128 * tau as i128 + b as i128) % m as i128 + off as i128;
+        let hold = match op {
+            BinOp::Lt => v < c,
+            BinOp::Le => v <= c,
+            BinOp::Gt => v > c,
+            BinOp::Ge => v >= c,
+            BinOp::Eq => v == c,
+            _ => v != c,
+        };
+        if hold {
+            match &mut run {
+                Some((_, h)) => *h = tau + 1,
+                None => run = Some((tau, tau + 1)),
+            }
+        } else if let Some((l, h)) = run.take() {
+            set = set.union(&IntervalSet::range(l, h, universe));
+        }
+    }
+    if let Some((l, h)) = run {
+        set = set.union(&IntervalSet::range(l, h, universe));
+    }
+    set
+}
+
+/// Solves `a·τ + b OP c` for τ over `[0, universe)`, with `a != 0`.
+fn solve_affine(a: i64, b: i64, op: BinOp, c: i64, universe: i64) -> IntervalSet {
+    debug_assert!(a != 0);
+    let d = c - b;
+    match op {
+        // a·τ < d  ⇔  τ < d/a (a>0)  |  τ > d/a (a<0)
+        BinOp::Lt => {
+            if a > 0 {
+                IntervalSet::range(0, div_ceil(d, a), universe)
+            } else {
+                IntervalSet::range(div_floor(d, a) + 1, universe, universe)
+            }
+        }
+        BinOp::Le => {
+            if a > 0 {
+                IntervalSet::range(0, div_floor(d, a) + 1, universe)
+            } else {
+                IntervalSet::range(div_ceil(d, a), universe, universe)
+            }
+        }
+        BinOp::Gt => solve_affine(a, b, BinOp::Le, c, universe).complement(universe),
+        BinOp::Ge => solve_affine(a, b, BinOp::Lt, c, universe).complement(universe),
+        BinOp::Eq => {
+            if d % a == 0 {
+                IntervalSet::point(d / a, universe)
+            } else {
+                IntervalSet::empty()
+            }
+        }
+        BinOp::Ne => solve_affine(a, b, BinOp::Eq, c, universe).complement(universe),
+        _ => unreachable!("solve_affine only handles comparisons"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint
+// ---------------------------------------------------------------------------
+
+/// Result of the dataflow: per-block entry and exit states. `None` marks an
+/// unreachable block.
+pub struct UniformityAnalysis {
+    /// State at each block entry.
+    pub ins: Vec<Option<State>>,
+    /// State at each block exit.
+    pub outs: Vec<Option<State>>,
+    /// Control dependences (shared with the lints).
+    pub cds: Vec<Vec<ControlDep>>,
+}
+
+impl UniformityAnalysis {
+    /// Runs the dataflow to fixpoint.
+    pub fn run(cfg: &Cfg, f: &Function, block_dim_x: Option<u32>) -> UniformityAnalysis {
+        let n = cfg.blocks.len();
+        let cds = cfg.control_deps();
+        let preds = cfg.preds();
+        let mut ins: Vec<Option<State>> = vec![None; n];
+        let mut outs: Vec<Option<State>> = vec![None; n];
+
+        let mut init = State::new();
+        for p in &f.params {
+            init.insert(p.name.clone(), Fact::uniform());
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                let computed = if b == 0 {
+                    Some(init.clone())
+                } else {
+                    join_preds(b, &preds, &outs, &cds, cfg, block_dim_x)
+                };
+                let Some(computed) = computed else { continue };
+                let widened = widen(ins[b].as_ref(), computed);
+                if ins[b].as_ref() != Some(&widened) {
+                    ins[b] = Some(widened);
+                    changed = true;
+                }
+                let mut out = ins[b].clone().unwrap();
+                transfer(&cfg.blocks[b], &mut out, block_dim_x);
+                if outs[b].as_ref() != Some(&out) {
+                    outs[b] = Some(out);
+                    changed = true;
+                }
+            }
+        }
+        UniformityAnalysis { ins, outs, cds }
+    }
+
+    /// The uniformity of the controlling condition of `branch` evaluated at
+    /// its own exit state. `Divergent` when the block is unreachable.
+    pub fn branch_cond_uniformity(
+        &self,
+        cfg: &Cfg,
+        branch: usize,
+        block_dim_x: Option<u32>,
+    ) -> Uniformity {
+        let Term::Branch { cond, .. } = &cfg.blocks[branch].term else {
+            return Uniformity::BlockUniform;
+        };
+        match &self.outs[branch] {
+            Some(st) => eval(cond, st, block_dim_x).u,
+            None => Uniformity::Divergent,
+        }
+    }
+}
+
+fn transfer(block: &crate::cfg::BasicBlock, st: &mut State, block_dim_x: Option<u32>) {
+    for s in &block.stmts {
+        match &s.kind {
+            CStmtKind::Decl(d) => {
+                let fact = if d.array_len.is_some() {
+                    // The array name denotes a uniform address.
+                    Fact::uniform()
+                } else {
+                    match &d.init {
+                        Some(init) => eval_mut(init, st, block_dim_x),
+                        None => Fact::divergent(),
+                    }
+                };
+                st.insert(d.name.clone(), fact);
+            }
+            CStmtKind::Expr(e) => {
+                eval_mut(e, st, block_dim_x);
+            }
+            CStmtKind::Sync | CStmtKind::BarSync { .. } => {}
+        }
+    }
+    if let Term::Branch { cond, .. } = &block.term {
+        eval_mut(cond, st, block_dim_x);
+    }
+}
+
+/// Joins the exit states of `b`'s visited predecessors, injecting control
+/// divergence where values merged from divergently-selected paths are not
+/// pinned to a path-independent abstract value.
+fn join_preds(
+    b: usize,
+    preds: &[Vec<usize>],
+    outs: &[Option<State>],
+    cds: &[Vec<ControlDep>],
+    cfg: &Cfg,
+    block_dim_x: Option<u32>,
+) -> Option<State> {
+    let live: Vec<usize> = preds[b]
+        .iter()
+        .copied()
+        .filter(|&p| outs[p].is_some())
+        .collect();
+    if live.is_empty() {
+        return None;
+    }
+    let cu: Vec<Uniformity> = live
+        .iter()
+        .map(|&p| {
+            cds[p]
+                .iter()
+                .map(|cd| {
+                    let Term::Branch { cond, .. } = &cfg.blocks[cd.branch].term else {
+                        return Uniformity::BlockUniform;
+                    };
+                    match &outs[cd.branch] {
+                        Some(st) => eval(cond, st, block_dim_x).u,
+                        None => Uniformity::BlockUniform,
+                    }
+                })
+                .max()
+                .unwrap_or(Uniformity::BlockUniform)
+        })
+        .collect();
+
+    let first = outs[live[0]].as_ref().unwrap();
+    let mut joined = State::new();
+    'vars: for (name, &f0) in first {
+        let mut facts = vec![f0];
+        for &p in &live[1..] {
+            match outs[p].as_ref().unwrap().get(name) {
+                Some(f) => facts.push(*f),
+                None => continue 'vars,
+            }
+        }
+        let all_equal = facts.iter().all(|f| *f == f0);
+        let fact = if all_equal && f0.val.is_some() {
+            // A concrete function of τ is path-independent: no injection.
+            f0
+        } else if all_equal && live.len() == 1 {
+            f0
+        } else {
+            let u = facts
+                .iter()
+                .zip(&cu)
+                .map(|(f, &c)| f.u.max(c))
+                .max()
+                .unwrap();
+            let val = if all_equal { f0.val } else { None };
+            Fact { u, val }
+        };
+        joined.insert(name.clone(), fact);
+    }
+    Some(joined)
+}
+
+/// Classic widening: a variable whose abstract value changed between
+/// iterations loses it, guaranteeing termination despite growing affine
+/// coefficients in loops.
+fn widen(old: Option<&State>, new: State) -> State {
+    let Some(old) = old else { return new };
+    let mut out = State::new();
+    for (name, nf) in new {
+        let f = match old.get(&name) {
+            Some(of) if of.val != nf.val => Fact {
+                u: of.u.max(nf.u),
+                val: None,
+            },
+            Some(of) => Fact {
+                u: of.u.max(nf.u),
+                val: nf.val,
+            },
+            None => nf,
+        };
+        out.insert(name, f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use cuda_frontend::parse_kernel;
+
+    fn analyze(body: &str, bdx: Option<u32>) -> (Cfg, UniformityAnalysis) {
+        let src = format!("__global__ void k(int* out, int n) {{ {body} }}");
+        let f = parse_kernel(&src).expect("parse");
+        let cfg = Cfg::build(&f);
+        let ua = UniformityAnalysis::run(&cfg, &f, bdx);
+        (cfg, ua)
+    }
+
+    fn exit_fact(body: &str, var: &str) -> Fact {
+        let (cfg, ua) = analyze(body, Some(256));
+        // The last block jumping to exit holds the final state.
+        let preds = cfg.preds();
+        let p = preds[cfg.exit][0];
+        ua.outs[p].as_ref().unwrap()[var]
+    }
+
+    #[test]
+    fn tid_is_divergent_affine() {
+        let f = exit_fact("int t = threadIdx.x; out[t] = t;", "t");
+        assert_eq!(f.u, Uniformity::Divergent);
+        assert_eq!(f.val, Some(AbsVal::Affine { a: 1, b: 0 }));
+    }
+
+    #[test]
+    fn affine_arithmetic_composes() {
+        let f = exit_fact("int t = threadIdx.x; int i = 4 * t + 3; out[i] = 0;", "i");
+        assert_eq!(f.val, Some(AbsVal::Affine { a: 4, b: 3 }));
+    }
+
+    #[test]
+    fn params_are_block_uniform() {
+        let f = exit_fact("int m = n + 1; out[0] = m;", "m");
+        assert_eq!(f.u, Uniformity::BlockUniform);
+    }
+
+    #[test]
+    fn warp_id_is_warp_uniform() {
+        let f = exit_fact("int w = threadIdx.x / 32; out[w] = 0;", "w");
+        assert_eq!(f.u, Uniformity::WarpUniform);
+        let f = exit_fact("int w = threadIdx.x >> 5; out[w] = 0;", "w");
+        assert_eq!(f.u, Uniformity::WarpUniform);
+    }
+
+    #[test]
+    fn modulo_becomes_tidmod() {
+        let f = exit_fact("int t = threadIdx.x; int i = t % 64; out[i] = 0;", "i");
+        assert_eq!(
+            f.val,
+            Some(AbsVal::TidMod {
+                a: 1,
+                b: 0,
+                m: 64,
+                off: 0
+            })
+        );
+    }
+
+    #[test]
+    fn mask_becomes_tidmod() {
+        let f = exit_fact("int t = threadIdx.x; int i = t & 31; out[i] = 0;", "i");
+        assert_eq!(
+            f.val,
+            Some(AbsVal::TidMod {
+                a: 1,
+                b: 0,
+                m: 32,
+                off: 0
+            })
+        );
+    }
+
+    #[test]
+    fn uniform_loop_counter_stays_uniform() {
+        let (cfg, ua) = analyze(
+            "int acc = 0; for (int i = 0; i < n; i += 1) { acc = acc + 1; } out[0] = acc;",
+            None,
+        );
+        let preds = cfg.preds();
+        let p = preds[cfg.exit][0];
+        let st = ua.outs[p].as_ref().unwrap();
+        assert_eq!(st["acc"].u, Uniformity::BlockUniform);
+    }
+
+    #[test]
+    fn divergent_branch_poisons_merged_value() {
+        let f = exit_fact(
+            "int t = threadIdx.x; int x = 0; if (t < 16) { x = n; } else { x = n; } out[0] = x;",
+            "x",
+        );
+        // Both arms store a BlockUniform *unknown* value, but which arm ran
+        // depends on the thread: x is divergent.
+        assert_eq!(f.u, Uniformity::Divergent);
+    }
+
+    #[test]
+    fn equal_concrete_values_survive_divergent_merge() {
+        let f = exit_fact(
+            "int t = threadIdx.x; int x = 0; if (t < 16) { x = 5; } else { x = 5; } out[0] = x;",
+            "x",
+        );
+        assert_eq!(f.val, Some(AbsVal::Const(5)));
+    }
+
+    #[test]
+    fn loop_variant_affine_widens_to_unknown() {
+        let f = exit_fact(
+            "int t = threadIdx.x; int x = t; for (int i = 0; i < n; i += 1) { x = x + t; } out[0] = x;",
+            "x",
+        );
+        assert_eq!(f.val, None);
+        assert_eq!(f.u, Uniformity::Divergent);
+    }
+
+    #[test]
+    fn ballot_is_warp_uniform() {
+        let f = exit_fact(
+            "int t = threadIdx.x; int v = __ballot(t < 7); out[0] = v;",
+            "v",
+        );
+        assert_eq!(f.u, Uniformity::WarpUniform);
+    }
+
+    #[test]
+    fn loads_are_divergent() {
+        let f = exit_fact("int v = out[0]; out[1] = v;", "v");
+        assert_eq!(f.u, Uniformity::Divergent);
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let a = IntervalSet::range(0, 10, 32);
+        let b = IntervalSet::range(5, 20, 32);
+        assert_eq!(a.union(&b), IntervalSet::range(0, 20, 32));
+        assert_eq!(a.intersect(&b), IntervalSet::range(5, 10, 32));
+        assert_eq!(a.complement(32), IntervalSet::range(10, 32, 32));
+        assert_eq!(a.count(), 10);
+        assert!(IntervalSet::full(64).is_warp_aligned());
+        assert!(!IntervalSet::range(0, 48, 64).is_warp_aligned());
+    }
+
+    #[test]
+    fn predicates_solve_affine_comparisons() {
+        let src = "__global__ void k(int* out) { int t = threadIdx.x; out[t] = t; }";
+        let f = parse_kernel(src).unwrap();
+        let cfg = Cfg::build(&f);
+        let ua = UniformityAnalysis::run(&cfg, &f, Some(128));
+        let st = ua.outs[0].as_ref().unwrap();
+        let lt = cuda_frontend::parser::parse_expr("t < 64").unwrap();
+        assert_eq!(
+            eval_pred(&lt, st, 128, Some(128)),
+            Some(IntervalSet::range(0, 64, 128))
+        );
+        let not_lt = cuda_frontend::parser::parse_expr("!(t < 64)").unwrap();
+        assert_eq!(
+            eval_pred(&not_lt, st, 128, Some(128)),
+            Some(IntervalSet::range(64, 128, 128))
+        );
+        let eq = cuda_frontend::parser::parse_expr("t == 0").unwrap();
+        assert_eq!(
+            eval_pred(&eq, st, 128, Some(128)),
+            Some(IntervalSet::point(0, 128))
+        );
+        let conj = cuda_frontend::parser::parse_expr("t >= 32 && t < 96").unwrap();
+        assert_eq!(
+            eval_pred(&conj, st, 128, Some(128)),
+            Some(IntervalSet::range(32, 96, 128))
+        );
+        // Modular guards have no closed interval form but are solved
+        // pointwise: `t % 2 == 0` is the even threads.
+        let modded = cuda_frontend::parser::parse_expr("t % 2 == 0").unwrap();
+        let evens = eval_pred(&modded, st, 128, Some(128)).expect("pointwise solve");
+        assert_eq!(evens.count(), 64);
+        assert!(evens.contains(0) && !evens.contains(1) && evens.contains(126));
+        // The fused-kernel remap shape: `(gtid % 64) < 32` selects the low
+        // half of each 64-thread partition.
+        let remap = cuda_frontend::parser::parse_expr("(t % 64) < 32").unwrap();
+        let low = eval_pred(&remap, st, 128, Some(128)).expect("pointwise solve");
+        assert_eq!(
+            low,
+            IntervalSet::range(0, 32, 128).union(&IntervalSet::range(64, 96, 128))
+        );
+        // Data-dependent guards stay unparsable.
+        let data = cuda_frontend::parser::parse_expr("out[t] > 0").unwrap();
+        assert_eq!(eval_pred(&data, st, 128, Some(128)), None);
+    }
+
+    #[test]
+    fn negative_coefficient_comparisons() {
+        // 128 - t > 64  ⇔  t < 64
+        let mut st = State::new();
+        st.insert(
+            "t".into(),
+            Fact {
+                u: Uniformity::Divergent,
+                val: Some(AbsVal::Affine { a: 1, b: 0 }),
+            },
+        );
+        let e = cuda_frontend::parser::parse_expr("128 - t > 64").unwrap();
+        assert_eq!(
+            eval_pred(&e, &st, 128, None),
+            Some(IntervalSet::range(0, 64, 128))
+        );
+    }
+}

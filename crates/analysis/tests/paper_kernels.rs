@@ -1,0 +1,102 @@
+//! Zero-false-positive guarantee over the paper's benchmark set.
+//!
+//! The race lint claims *definite* races and the barrier lints only fire on
+//! provable structure violations, so every paper kernel — all of which are
+//! correct programs — must analyze clean, standalone and after fusion with
+//! every same-domain partner.
+
+use cuda_frontend::parse_kernel_with_spans;
+use hfuse_analysis::{analyze_kernel, AnalysisOptions};
+use hfuse_core::fuse::horizontal_fuse;
+use hfuse_kernels::{crypto_benchmarks, dl_benchmarks, Benchmark};
+
+fn assert_clean(name: &str, src: &str, threads: Option<u32>) {
+    let (f, spans) =
+        parse_kernel_with_spans(src).unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+    let diags = analyze_kernel(
+        &f,
+        Some(&spans),
+        &AnalysisOptions {
+            block_threads: threads,
+        },
+    );
+    assert!(
+        diags.is_empty(),
+        "{name} must produce no diagnostics, got:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    let mut v = dl_benchmarks();
+    v.extend(crypto_benchmarks());
+    v
+}
+
+#[test]
+fn paper_kernels_analyze_clean_standalone() {
+    for b in all_benchmarks() {
+        assert_clean(b.name(), &b.source(), None);
+        assert_clean(b.name(), &b.source(), Some(b.default_threads()));
+    }
+}
+
+#[test]
+fn fused_dl_pairs_analyze_clean() {
+    let benches = dl_benchmarks();
+    for (i, b1) in benches.iter().enumerate() {
+        for b2 in &benches[i + 1..] {
+            check_fused_pair(b1.as_ref(), b2.as_ref());
+        }
+    }
+}
+
+#[test]
+fn fused_crypto_pairs_analyze_clean() {
+    let benches = crypto_benchmarks();
+    for (i, b1) in benches.iter().enumerate() {
+        for b2 in &benches[i + 1..] {
+            check_fused_pair(b1.as_ref(), b2.as_ref());
+        }
+    }
+}
+
+fn check_fused_pair(b1: &dyn Benchmark, b2: &dyn Benchmark) {
+    let k1 = b1.kernel();
+    let k2 = b2.kernel();
+    let d1 = b1
+        .shape()
+        .dims(b1.default_threads())
+        .expect("valid default shape");
+    let d2 = b2
+        .shape()
+        .dims(b2.default_threads())
+        .expect("valid default shape");
+    // `horizontal_fuse` itself now runs the analyzer as a gate, so a clean
+    // fuse already proves "no diagnostics"; analyze explicitly anyway so a
+    // future change to the gate cannot silently weaken this test.
+    let fused = horizontal_fuse(&k1, d1, &k2, d2)
+        .unwrap_or_else(|e| panic!("{} + {} must fuse: {e}", b1.name(), b2.name()));
+    let diags = analyze_kernel(
+        &fused.function,
+        None,
+        &AnalysisOptions {
+            block_threads: Some(fused.block_threads()),
+        },
+    );
+    assert!(
+        diags.is_empty(),
+        "{} + {} fused must analyze clean, got:\n{}",
+        b1.name(),
+        b2.name(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

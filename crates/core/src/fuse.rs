@@ -210,14 +210,39 @@ pub fn horizontal_fuse_with(
         is_kernel: true,
         body: Block::new(body),
     };
-    Ok(FusedKernel {
+    let fused = FusedKernel {
         function,
         d1,
         d2,
         dims1,
         dims2,
         params_split,
-    })
+    };
+    static_safety_check(&fused)?;
+    Ok(fused)
+}
+
+/// Rejects fused kernels the static analyzer can prove unsafe: barriers
+/// under unresolvable divergent control, malformed partial-barrier
+/// structure, or definite shared-memory races. `HFUSE_NO_STATIC_CHECK=1`
+/// disables the gate (restoring pre-analyzer behavior exactly, since the
+/// check runs after the fused kernel is fully built).
+fn static_safety_check(fused: &FusedKernel) -> Result<(), FrontendError> {
+    if hfuse_analysis::static_check_disabled_by_env() {
+        return Ok(());
+    }
+    let opts = hfuse_analysis::AnalysisOptions {
+        block_threads: Some(fused.block_threads()),
+    };
+    let diags = hfuse_analysis::analyze_kernel(&fused.function, None, &opts);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    Err(FrontendError::new(format!(
+        "fused kernel fails static safety checks:\n{}",
+        msgs.join("\n")
+    )))
 }
 
 /// Splits a lifted kernel body into its leading declarations and the rest.

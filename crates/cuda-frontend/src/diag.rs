@@ -1,0 +1,207 @@
+//! Span-carrying diagnostics for static analyses over the AST.
+//!
+//! The parser records a [`Span`] for every statement it produces, in the
+//! canonical statement pre-order defined by [`preorder_stmts`]. Analyses map
+//! statements back to source positions by walking a function in the same
+//! order and zipping against the [`SpanTable`]. Diagnostics render in the
+//! same style as [`crate::FrontendError`], extended with a column.
+
+use std::fmt;
+
+use crate::ast::{Block, Function, Stmt};
+
+/// A 1-based source position (start of a statement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column; 0 when unknown (synthetic code).
+    pub col: u32,
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// Provably unsound code; fusion must reject it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One analysis finding, optionally anchored to a source statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Whether this finding blocks fusion.
+    pub severity: Severity,
+    /// Stable lint identifier, e.g. `barrier-divergence`.
+    pub code: String,
+    /// Position of the offending statement, when the source was parsed with
+    /// spans (fused kernels are synthesized and carry no spans).
+    pub span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        severity: Severity,
+        code: impl Into<String>,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            severity,
+            code: code.into(),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with the offending source line when the
+    /// position is known — mirrors [`crate::FrontendError::render`].
+    pub fn render(&self, source: &str) -> String {
+        match self.span {
+            Some(span) if span.line > 0 => {
+                let text = source.lines().nth(span.line as usize - 1).unwrap_or("");
+                format!(
+                    "{sev}[{code}]: {msg}
+ --> line {line}:{col}
+  |
+{line:3} | {text}
+  |",
+                    sev = self.severity,
+                    code = self.code,
+                    msg = self.message,
+                    line = span.line,
+                    col = span.col,
+                )
+            }
+            _ => format!("{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(
+                f,
+                "line {}:{}: {}[{}]: {}",
+                span.line, span.col, self.severity, self.code, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// Per-function table of statement spans in [`preorder_stmts`] order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    spans: Vec<Span>,
+}
+
+impl SpanTable {
+    /// Wraps a span list recorded in statement pre-order.
+    pub fn new(spans: Vec<Span>) -> Self {
+        Self { spans }
+    }
+
+    /// Span of the statement with pre-order index `idx`.
+    pub fn get(&self, idx: usize) -> Option<Span> {
+        self.spans.get(idx).copied()
+    }
+
+    /// Number of recorded statements.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Visits every statement of `f` in the canonical pre-order the parser uses
+/// when recording spans: each statement before its children, children in
+/// source order (`if`: then-branch then else-branch; `for`: init then body;
+/// `switch`: case bodies in label order).
+pub fn preorder_stmts<'a>(f: &'a Function, visit: &mut dyn FnMut(&'a Stmt)) {
+    preorder_block(&f.body, visit);
+}
+
+fn preorder_block<'a>(b: &'a Block, visit: &mut dyn FnMut(&'a Stmt)) {
+    for s in &b.stmts {
+        preorder_stmt(s, visit);
+    }
+}
+
+fn preorder_stmt<'a>(s: &'a Stmt, visit: &mut dyn FnMut(&'a Stmt)) {
+    visit(s);
+    match s {
+        Stmt::If(_, then_b, else_b) => {
+            preorder_block(then_b, visit);
+            if let Some(e) = else_b {
+                preorder_block(e, visit);
+            }
+        }
+        Stmt::For { init, body, .. } => {
+            if let Some(init) = init {
+                preorder_stmt(init, visit);
+            }
+            preorder_block(body, visit);
+        }
+        Stmt::While(_, body) | Stmt::DoWhile(body, _) => preorder_block(body, visit),
+        Stmt::Switch { cases, .. } => {
+            for case in cases {
+                for cs in &case.body {
+                    preorder_stmt(cs, visit);
+                }
+            }
+        }
+        Stmt::Block(b) => preorder_block(b, visit),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_position_and_code() {
+        let d = Diagnostic::new(
+            Severity::Error,
+            "barrier-divergence",
+            Some(Span { line: 2, col: 14 }),
+            "barrier under divergent control",
+        );
+        let src = "__global__ void k() {\n  if (threadIdx.x < 5) __syncthreads();\n}";
+        let r = d.render(src);
+        assert!(
+            r.contains("error[barrier-divergence]: barrier under divergent control"),
+            "{r}"
+        );
+        assert!(r.contains(" --> line 2:14"), "{r}");
+        assert!(
+            r.contains("  2 |   if (threadIdx.x < 5) __syncthreads();"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn render_without_span_is_plain() {
+        let d = Diagnostic::new(Severity::Warning, "shared-race", None, "boom");
+        assert_eq!(d.render("x"), "warning[shared-race]: boom");
+    }
+}

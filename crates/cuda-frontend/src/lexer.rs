@@ -23,6 +23,11 @@ struct Lexer<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: u32,
+    /// Byte offset of the first character of the current line.
+    line_start: usize,
+    /// Position of the token currently being lexed, captured at dispatch.
+    tok_line: u32,
+    tok_col: u32,
     /// True while we are inside a `#` directive (until the next raw newline).
     in_directive: bool,
     /// True when no token has been produced yet on the current line.
@@ -36,6 +41,9 @@ impl<'a> Lexer<'a> {
             bytes: src.as_bytes(),
             pos: 0,
             line: 1,
+            line_start: 0,
+            tok_line: 1,
+            tok_col: 1,
             in_directive: false,
             at_line_start: true,
             out: Vec::new(),
@@ -55,17 +63,22 @@ impl<'a> Lexer<'a> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         Some(b)
     }
 
     fn push(&mut self, kind: TokenKind) {
-        self.out.push(Token::new(kind, self.line));
+        self.out.push(Token::at(kind, self.tok_line, self.tok_col));
         self.at_line_start = false;
     }
 
     fn run(mut self) -> Result<Vec<Token>, FrontendError> {
         while let Some(b) = self.peek() {
+            // Token positions are captured before any bytes are consumed so
+            // multi-character tokens report their starting column.
+            self.tok_line = self.line;
+            self.tok_col = (self.pos - self.line_start + 1) as u32;
             match b {
                 b'\n' => {
                     self.bump();
@@ -530,5 +543,18 @@ mod tests {
         let toks = lex("a\nb\n\nc").expect("lex");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn tracks_columns() {
+        let toks = lex("ab <<= x\n  y").expect("lex");
+        let pos: Vec<(u32, u32)> = toks.iter().map(|t| (t.line, t.col)).collect();
+        assert_eq!(pos, vec![(1, 1), (1, 4), (1, 8), (2, 3)]);
+    }
+
+    #[test]
+    fn columns_reset_after_comments() {
+        let toks = lex("/* multi\nline */ a").expect("lex");
+        assert_eq!((toks[0].line, toks[0].col), (2, 9));
     }
 }

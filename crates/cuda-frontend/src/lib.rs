@@ -38,6 +38,7 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod preprocess;
@@ -49,6 +50,7 @@ pub mod typeck;
 mod error;
 
 pub use ast::{Block, Expr, Function, Param, Stmt, TranslationUnit, Ty, VarDecl};
+pub use diag::{Diagnostic, Severity, Span, SpanTable};
 pub use error::FrontendError;
 
 /// Parses a full translation unit (macro definitions plus functions).
@@ -74,13 +76,43 @@ pub fn parse_translation_unit(src: &str) -> Result<TranslationUnit, FrontendErro
 /// contain exactly one kernel, or if the kernel shadows a `__shared__`
 /// declaration (see [`typeck::check_shared_shadowing`]).
 pub fn parse_kernel(src: &str) -> Result<Function, FrontendError> {
-    let tu = parse_translation_unit(src)?;
-    let mut kernels: Vec<Function> = tu.functions.into_iter().filter(|f| f.is_kernel).collect();
+    Ok(parse_kernel_with_spans(src)?.0)
+}
+
+/// Like [`parse_translation_unit`], but also returns a per-function
+/// [`SpanTable`] of statement start positions (see
+/// [`diag::preorder_stmts`] for the statement ordering contract).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on any lexical, preprocessing, or syntax error.
+pub fn parse_with_spans(src: &str) -> Result<(TranslationUnit, Vec<SpanTable>), FrontendError> {
+    let tokens = lexer::lex(src)?;
+    let tokens = preprocess::expand_macros(tokens)?;
+    parser::parse_with_spans(tokens)
+}
+
+/// Like [`parse_kernel`], but also returns the kernel's [`SpanTable`] so
+/// analyses can report source positions.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] if parsing fails, if the source does not
+/// contain exactly one kernel, or if the kernel shadows a `__shared__`
+/// declaration.
+pub fn parse_kernel_with_spans(src: &str) -> Result<(Function, SpanTable), FrontendError> {
+    let (tu, tables) = parse_with_spans(src)?;
+    let mut kernels: Vec<(Function, SpanTable)> = tu
+        .functions
+        .into_iter()
+        .zip(tables)
+        .filter(|(f, _)| f.is_kernel)
+        .collect();
     match kernels.len() {
         1 => {
-            let kernel = kernels.pop().expect("len checked");
+            let (kernel, table) = kernels.pop().expect("len checked");
             typeck::check_shared_shadowing(&kernel)?;
-            Ok(kernel)
+            Ok((kernel, table))
         }
         n => Err(FrontendError::new(format!(
             "expected exactly one __global__ kernel, found {n}"

@@ -8,6 +8,7 @@ use crate::ast::{
     ArrayLen, AssignOp, Axis, BinOp, Block, BuiltinVar, DeclQuals, Expr, Function, Param, Stmt,
     SwitchCase, TranslationUnit, Ty, UnOp, VarDecl,
 };
+use crate::diag::{Span, SpanTable};
 use crate::error::FrontendError;
 use crate::token::{Punct, Token, TokenKind};
 
@@ -17,12 +18,28 @@ use crate::token::{Punct, Token, TokenKind};
 ///
 /// Returns [`FrontendError`] on any syntax error.
 pub fn parse(tokens: Vec<Token>) -> Result<TranslationUnit, FrontendError> {
-    let mut p = Parser { tokens, pos: 0 };
+    Ok(parse_with_spans(tokens)?.0)
+}
+
+/// Like [`parse`], but also returns one [`SpanTable`] per function, holding
+/// the start position of every statement in the canonical pre-order defined
+/// by [`crate::diag::preorder_stmts`].
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on any syntax error.
+pub fn parse_with_spans(
+    tokens: Vec<Token>,
+) -> Result<(TranslationUnit, Vec<SpanTable>), FrontendError> {
+    let mut p = Parser::new(tokens);
     let mut functions = Vec::new();
+    let mut tables = Vec::new();
     while !p.at_end() {
+        let start = p.spans.len();
         functions.push(p.parse_function()?);
+        tables.push(SpanTable::new(p.spans.split_off(start)));
     }
-    Ok(TranslationUnit { functions })
+    Ok((TranslationUnit { functions }, tables))
 }
 
 /// Parses a single expression from source text (used heavily in tests and by
@@ -33,7 +50,7 @@ pub fn parse(tokens: Vec<Token>) -> Result<TranslationUnit, FrontendError> {
 /// Returns [`FrontendError`] if the text is not exactly one expression.
 pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
     let tokens = crate::lexer::lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(tokens);
     let e = p.expr()?;
     if !p.at_end() {
         return Err(p.error("trailing tokens after expression"));
@@ -49,7 +66,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
 pub fn parse_block(src: &str) -> Result<Block, FrontendError> {
     let tokens = crate::lexer::lex(src)?;
     let tokens = crate::preprocess::expand_macros(tokens)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(tokens);
     let b = p.block()?;
     if !p.at_end() {
         return Err(p.error("trailing tokens after block"));
@@ -60,6 +77,9 @@ pub fn parse_block(src: &str) -> Result<Block, FrontendError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Statement start positions, appended in the order statements begin
+    /// parsing — which is exactly [`crate::diag::preorder_stmts`] order.
+    spans: Vec<Span>,
 }
 
 const TYPE_KEYWORDS: &[&str] = &[
@@ -67,8 +87,27 @@ const TYPE_KEYWORDS: &[&str] = &[
 ];
 
 impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Self {
+            tokens,
+            pos: 0,
+            spans: Vec::new(),
+        }
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.tokens.len()
+    }
+
+    /// Records the current token's position as the start of the statement
+    /// about to be parsed.
+    fn record_span(&mut self) {
+        let (line, col) = self
+            .tokens
+            .get(self.pos)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0));
+        self.spans.push(Span { line, col });
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -274,6 +313,10 @@ impl Parser {
         if self.eat_punct(Punct::Semi) {
             return Ok(());
         }
+        // One span per produced statement; a multi-declarator declaration
+        // records its extra declarators inside `parse_decl_into`, and a
+        // `for` init statement records its own span in the `for` branch.
+        self.record_span();
         // Label: `ident :` (but not `default:` etc. — no switch in dialect).
         if let (Some(TokenKind::Ident(name)), Some(TokenKind::Punct(Punct::Colon))) =
             (self.peek(), self.peek_n(1))
@@ -305,6 +348,7 @@ impl Parser {
                 let init = if self.eat_punct(Punct::Semi) {
                     None
                 } else if self.is_decl_start() {
+                    self.record_span();
                     let mut decls = Vec::new();
                     self.parse_decl_into(&mut decls)?;
                     if decls.len() != 1 {
@@ -312,6 +356,7 @@ impl Parser {
                     }
                     Some(Box::new(decls.pop().expect("len checked")))
                 } else {
+                    self.record_span();
                     let e = self.expr()?;
                     self.expect_punct(Punct::Semi)?;
                     Some(Box::new(Stmt::Expr(e)))
@@ -459,7 +504,14 @@ impl Parser {
             quals.extern_shared = true;
         }
         let base_ty = self.parse_ty()?;
+        let mut first = true;
         loop {
+            // Each declarator becomes its own `Stmt::Decl`; the caller
+            // recorded the span of the first, later ones start after a comma.
+            if !first {
+                self.record_span();
+            }
+            first = false;
             // Per-declarator extra pointers: `float *p, v;`
             let mut ty = base_ty.clone();
             while self.eat_punct(Punct::Star) {
@@ -1285,5 +1337,71 @@ mod tests {
     fn error_reports_line() {
         let err = parse_translation_unit("__global__ void k(int n) {\n  n = ;\n}").unwrap_err();
         assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn spans_align_with_preorder_walk() {
+        let src = "\
+__global__ void k(int n) {
+  int a = 1, b = 2;
+  if (a < n) {
+    b = 3;
+  } else b = 4;
+  for (int i = 0; i < n; i += 1) {
+    a = a + i;
+  }
+  __syncthreads();
+}";
+        let (f, table) = crate::parse_kernel_with_spans(src).expect("parse");
+        let mut kinds = Vec::new();
+        crate::diag::preorder_stmts(&f, &mut |s| {
+            kinds.push(std::mem::discriminant(s));
+        });
+        assert_eq!(kinds.len(), table.len(), "one span per statement");
+        let mut positions = Vec::new();
+        for i in 0..table.len() {
+            let s = table.get(i).expect("span");
+            positions.push((s.line, s.col));
+        }
+        assert_eq!(
+            positions,
+            vec![
+                (2, 3),  // int a = 1
+                (2, 14), // b = 2
+                (3, 3),  // if
+                (4, 5),  // b = 3
+                (5, 10), // b = 4
+                (6, 3),  // for
+                (6, 8),  // int i = 0
+                (7, 5),  // a = a + i
+                (9, 3),  // __syncthreads()
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_cover_switch_and_labels() {
+        let src = "\
+__global__ void k(int n) {
+  switch (n) {
+    case 0: n = 1; break;
+    default: n = 2;
+  }
+  end: ;
+  goto end;
+}";
+        let (f, table) = crate::parse_kernel_with_spans(src).expect("parse");
+        let mut count = 0;
+        crate::diag::preorder_stmts(&f, &mut |_| count += 1);
+        assert_eq!(count, table.len());
+        // switch, n=1, break, n=2, label, goto
+        assert_eq!(table.len(), 6);
+        assert_eq!(
+            (
+                table.get(1).expect("span").line,
+                table.get(1).expect("span").col
+            ),
+            (3, 13)
+        );
     }
 }

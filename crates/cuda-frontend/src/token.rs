@@ -2,19 +2,27 @@
 
 use std::fmt;
 
-/// A lexical token with its source line (1-based) for diagnostics.
+/// A lexical token with its source position (1-based) for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// 1-based line where the token starts.
     pub line: u32,
+    /// 1-based column where the token starts; 0 for synthetic tokens.
+    pub col: u32,
 }
 
 impl Token {
-    /// Creates a token at the given line.
+    /// Creates a token at the given line with no column information
+    /// (synthetic tokens such as directive markers).
     pub fn new(kind: TokenKind, line: u32) -> Self {
-        Self { kind, line }
+        Self { kind, line, col: 0 }
+    }
+
+    /// Creates a token at a full line/column position.
+    pub fn at(kind: TokenKind, line: u32, col: u32) -> Self {
+        Self { kind, line, col }
     }
 }
 

@@ -122,6 +122,26 @@ fn local_shadowing_a_shared_array_is_rejected() {
 fn shared_shadowing_a_param_is_rejected() {
     let msg = err_of(&kernel_with("__shared__ int n[32]; out[0] = n[0];"));
     assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
+    assert!(msg.contains("`n`"), "should name the variable: {msg}");
+}
+
+#[test]
+fn shared_shadowing_a_pointer_param_is_rejected() {
+    // Shadowing a *pointer* parameter is the dangerous case for the fusion
+    // renamer: `data[i]` silently flips from global to shared storage.
+    let msg = err_of(
+        "__global__ void k(float* data, int n) { __shared__ float data[32]; data[0] = 1.0f; }",
+    );
+    assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
+    assert!(msg.contains("`data`"), "should name the variable: {msg}");
+}
+
+#[test]
+fn shared_shadowing_a_param_in_nested_scope_is_rejected() {
+    let msg = err_of(&kernel_with(
+        "if (n > 0) { __shared__ int n[8]; out[0] = n[0]; }",
+    ));
+    assert!(msg.contains("__shared__"), "unhelpful message: {msg}");
 }
 
 #[test]

@@ -72,6 +72,16 @@ pub enum Segment {
         /// Reserved slot index (< [`ATOMIC_SLOTS`]).
         slot: u32,
     },
+    /// **Fixture only — never generated randomly.** An unsynchronised
+    /// cross-warp shared exchange: `s[t] = acc;` immediately followed by a
+    /// guarded read of `s[t + 32]` with no barrier in between. A definite
+    /// read/write race that both the static race lint and the dynamic
+    /// sanitizer must report.
+    RacyExchange,
+    /// **Fixture only — never generated randomly.** A barrier under a
+    /// tid-dependent guard: `if (t % 2 == 0) __syncthreads();`. Flagged
+    /// statically as barrier divergence and deadlocks dynamically.
+    DivergentBarrier,
 }
 
 /// A complete generated kernel: geometry plus body phases.
@@ -150,7 +160,7 @@ impl KernelSpec {
     pub fn uses_shared(&self) -> bool {
         self.segments
             .iter()
-            .any(|s| matches!(s, Segment::SharedExchange { .. }))
+            .any(|s| matches!(s, Segment::SharedExchange { .. } | Segment::RacyExchange))
     }
 
     /// Renders the spec as CUDA source.
@@ -208,6 +218,17 @@ impl KernelSpec {
                     let f = if *add { "atomicAdd" } else { "atomicMax" };
                     let idx = self.grid * self.threads + slot;
                     let _ = writeln!(src, "  {f}(&out[{idx}], acc);");
+                }
+                Segment::RacyExchange => {
+                    src.push_str("  s[t] = acc;\n");
+                    let _ = writeln!(
+                        src,
+                        "  if (t < {}) {{ acc = acc + s[t + 32]; }}",
+                        self.threads - 32
+                    );
+                }
+                Segment::DivergentBarrier => {
+                    src.push_str("  if (t % 2 == 0) { __syncthreads(); }\n");
                 }
             }
         }

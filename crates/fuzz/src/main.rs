@@ -6,7 +6,7 @@
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: hfuse-fuzz [--seed N] [--cases N]");
+    eprintln!("usage: hfuse-fuzz [--seed N] [--cases N] [--no-sanitize]");
     std::process::exit(2);
 }
 
@@ -21,6 +21,9 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--seed" => seed = parse(args.next()),
             "--cases" => cases = parse(args.next()),
+            // The oracle reads the env var, so the flag and the variable
+            // are the same switch; the sanitizer is on by default.
+            "--no-sanitize" => std::env::set_var("HFUSE_FUZZ_NO_SANITIZE", "1"),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -36,6 +36,15 @@ fn fail(stage: &'static str, detail: impl Into<String>) -> Failure {
     }
 }
 
+/// True when `HFUSE_FUZZ_NO_SANITIZE` (any value but `0`) opts the fuzz
+/// oracle out of the race/barrier sanitizer. The sanitizer is **on by
+/// default**: every case runs both schedules under it and any report is an
+/// oracle failure. The opt-out exists for timing comparisons and for
+/// reproducing a memory-diff failure without the sanitizer aborting first.
+pub fn sanitizer_disabled_by_env() -> bool {
+    std::env::var_os("HFUSE_FUZZ_NO_SANITIZE").is_some_and(|v| v != "0")
+}
+
 /// Parses `src` and checks the printer/parser round-trip: printing the AST
 /// and re-parsing it must reproduce the AST exactly.
 fn parse_round_trip(src: &str) -> Result<Function, Failure> {
@@ -65,6 +74,20 @@ fn parse_round_trip(src: &str) -> Result<Function, Failure> {
 ///
 /// Returns a [`Failure`] naming the first pipeline stage that diverged.
 pub fn run_case(pair: &CasePair, input_rng: &mut Rng) -> Result<(), Failure> {
+    run_case_sanitized(pair, input_rng, !sanitizer_disabled_by_env())
+}
+
+/// [`run_case`] with the sanitizer choice made explicit instead of read
+/// from the environment.
+///
+/// # Errors
+///
+/// Returns a [`Failure`] naming the first pipeline stage that diverged.
+pub fn run_case_sanitized(
+    pair: &CasePair,
+    input_rng: &mut Rng,
+    sanitize: bool,
+) -> Result<(), Failure> {
     let src1 = pair.k1.render();
     let src2 = pair.k2.render();
     let f1 = parse_round_trip(&src1)?;
@@ -78,7 +101,9 @@ pub fn run_case(pair: &CasePair, input_rng: &mut Rng) -> Result<(), Failure> {
 
     // Unfused reference: two launches, back to back.
     let mut gpu = Gpu::new(GpuConfig::test_tiny());
-    gpu.enable_sanitizer();
+    if sanitize {
+        gpu.enable_sanitizer();
+    }
     let out1 = gpu.memory_mut().alloc_u32(pair.k1.out_len() as usize);
     let in1b = gpu.memory_mut().alloc_from_u32(&in1);
     let out2 = gpu.memory_mut().alloc_u32(pair.k2.out_len() as usize);
@@ -114,7 +139,9 @@ pub fn run_case(pair: &CasePair, input_rng: &mut Rng) -> Result<(), Failure> {
         lower_kernel(&fused_fn).map_err(|e| fail("lower", format!("fused: {e}\n{fused_src}")))?;
 
     let mut gpu = Gpu::new(GpuConfig::test_tiny());
-    gpu.enable_sanitizer();
+    if sanitize {
+        gpu.enable_sanitizer();
+    }
     let fout1 = gpu.memory_mut().alloc_u32(pair.k1.out_len() as usize);
     let fin1 = gpu.memory_mut().alloc_from_u32(&in1);
     let fout2 = gpu.memory_mut().alloc_u32(pair.k2.out_len() as usize);

@@ -141,6 +141,9 @@ fn segment_candidates(seg: &Segment) -> Vec<Segment> {
                 out.push(Segment::Atomic { add, slot: 0 });
             }
         }
+        // Hand-written fixtures carry no parameters to reduce; segment
+        // deletion still applies.
+        Segment::RacyExchange | Segment::DivergentBarrier => {}
     }
     out
 }

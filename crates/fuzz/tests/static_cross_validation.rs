@@ -1,0 +1,67 @@
+//! Cross-validation of the static race/barrier analyzer against the dynamic
+//! sanitizer over the committed fuzz corpus.
+//!
+//! The corpus is race-free by construction and the corpus tests prove the
+//! sanitizer stays silent on it; the static lints claim only *definite*
+//! violations, so they must be silent here too (static-flagged ⊆
+//! sanitizer-caught). The `unsafe_fixtures` test is the other inclusion
+//! direction: kernels the sanitizer catches are flagged statically.
+
+use cuda_frontend::parse_kernel_with_spans;
+use hfuse_analysis::{analyze_kernel, AnalysisOptions};
+use hfuse_core::fuse::horizontal_fuse;
+
+const CORPUS_SEEDS: [u64; 4] = [0, 7, 42, 0xdead];
+
+fn assert_clean(label: &str, src: &str, threads: u32) {
+    let (f, spans) = parse_kernel_with_spans(src).unwrap_or_else(|e| panic!("{label}: {e}\n{src}"));
+    let diags = analyze_kernel(
+        &f,
+        Some(&spans),
+        &AnalysisOptions {
+            block_threads: Some(threads),
+        },
+    );
+    assert!(
+        diags.is_empty(),
+        "{label}: static analyzer flagged a sanitizer-clean kernel:\n{}\nsource:\n{src}",
+        diags
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn corpus_kernels_and_fused_outputs_analyze_clean() {
+    for seed in CORPUS_SEEDS {
+        for case in 0..40 {
+            let (pair, _) = hfuse_fuzz::case_streams(seed, case);
+            let src1 = pair.k1.render();
+            let src2 = pair.k2.render();
+            assert_clean(
+                &format!("seed {seed} case {case} k1"),
+                &src1,
+                pair.k1.threads,
+            );
+            assert_clean(
+                &format!("seed {seed} case {case} k2"),
+                &src2,
+                pair.k2.threads,
+            );
+
+            // The fused kernel re-analyzed from its printed source, so the
+            // exact text the gate blessed is what the analyzer sees.
+            let f1 = cuda_frontend::parse_kernel(&src1).expect("parse k1");
+            let f2 = cuda_frontend::parse_kernel(&src2).expect("parse k2");
+            let fused = horizontal_fuse(&f1, (pair.k1.threads, 1, 1), &f2, (pair.k2.threads, 1, 1))
+                .unwrap_or_else(|e| panic!("seed {seed} case {case}: corpus pair must fuse: {e}"));
+            assert_clean(
+                &format!("seed {seed} case {case} fused"),
+                &fused.to_source(),
+                fused.block_threads(),
+            );
+        }
+    }
+}

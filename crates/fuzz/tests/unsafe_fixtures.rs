@@ -1,0 +1,119 @@
+//! The hand-written unsafe fixtures ([`Segment::RacyExchange`] and
+//! [`Segment::DivergentBarrier`]) must be caught by BOTH detectors — the
+//! static analyzer at compile time and the dynamic sanitizer / deadlock
+//! detector at run time — and the fusion gate must refuse to fuse them.
+//! Together with the clean-corpus cross-validation this pins the intended
+//! inclusion: everything the static race lint flags, the dynamic side
+//! catches too (the lint claims *definite* races only).
+
+use cuda_frontend::parse_kernel_with_spans;
+use gpu_sim::{Gpu, GpuConfig, Launch, ParamValue};
+use hfuse_analysis::{analyze_kernel, AnalysisOptions, CODE_BARRIER_DIVERGENCE, CODE_SHARED_RACE};
+use hfuse_core::fuse::horizontal_fuse;
+use hfuse_fuzz::gen::{CasePair, KernelSpec, Segment};
+use hfuse_fuzz::rng::Rng;
+use thread_ir::lower_kernel;
+
+fn fixture(name: &str, segments: Vec<Segment>) -> KernelSpec {
+    KernelSpec {
+        name: name.to_owned(),
+        threads: 64,
+        grid: 1,
+        n: 64,
+        init: 3,
+        segments,
+    }
+}
+
+fn analyze(spec: &KernelSpec) -> Vec<cuda_frontend::Diagnostic> {
+    let src = spec.render();
+    let (f, spans) = parse_kernel_with_spans(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    analyze_kernel(
+        &f,
+        Some(&spans),
+        &AnalysisOptions {
+            block_threads: Some(spec.threads),
+        },
+    )
+}
+
+/// Launches `spec` once on the functional simulator with the sanitizer on
+/// and returns (run result message if any, sanitizer reports).
+fn simulate(spec: &KernelSpec) -> (Result<(), String>, Vec<String>) {
+    let src = spec.render();
+    let f = cuda_frontend::parse_kernel(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let ir = lower_kernel(&f).expect("lower fixture");
+    let input = CasePair::input_data(&mut Rng::new(9), spec.n);
+
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.enable_sanitizer();
+    let out = gpu.memory_mut().alloc_u32(spec.out_len() as usize);
+    let inb = gpu.memory_mut().alloc_from_u32(&input);
+    let launch = Launch::new(ir, spec.grid, (spec.threads, 1, 1))
+        .arg(ParamValue::Ptr(out))
+        .arg(ParamValue::Ptr(inb))
+        .arg(ParamValue::I32(spec.n as i32));
+    let run = gpu.run_functional(&[launch]).map_err(|e| e.to_string());
+    let reports = gpu
+        .take_sanitizer_reports()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    (run, reports)
+}
+
+#[test]
+fn racy_exchange_is_flagged_statically() {
+    let diags = analyze(&fixture("racy", vec![Segment::RacyExchange]));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, CODE_SHARED_RACE);
+}
+
+#[test]
+fn racy_exchange_is_caught_by_the_sanitizer() {
+    let (run, reports) = simulate(&fixture("racy", vec![Segment::RacyExchange]));
+    run.expect("the racy kernel still runs to completion");
+    assert!(
+        reports.iter().any(|r| r.contains("race")),
+        "sanitizer must report the cross-warp exchange, got: {reports:?}"
+    );
+}
+
+#[test]
+fn divergent_barrier_is_flagged_statically() {
+    let diags = analyze(&fixture("divb", vec![Segment::DivergentBarrier]));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, CODE_BARRIER_DIVERGENCE);
+}
+
+#[test]
+fn divergent_barrier_deadlocks_dynamically() {
+    let (run, _) = simulate(&fixture("divb", vec![Segment::DivergentBarrier]));
+    let err = run.expect_err("half the block skips the barrier");
+    assert!(err.contains("deadlock"), "{err}");
+}
+
+#[test]
+fn fusion_gate_rejects_both_fixtures() {
+    let clean = fixture(
+        "ok",
+        vec![Segment::ComputeLoop {
+            trips: 2,
+            mul: 3,
+            add: 1,
+            stride: 1,
+        }],
+    );
+    let fc = cuda_frontend::parse_kernel(&clean.render()).expect("parse clean");
+    for bad_seg in [Segment::RacyExchange, Segment::DivergentBarrier] {
+        let bad = fixture("bad", vec![bad_seg.clone()]);
+        let fb = cuda_frontend::parse_kernel(&bad.render()).expect("parse fixture");
+        let err = horizontal_fuse(&fb, (64, 1, 1), &fc, (64, 1, 1))
+            .err()
+            .unwrap_or_else(|| panic!("{bad_seg:?} must not fuse"));
+        assert!(
+            err.to_string().contains("static safety"),
+            "{bad_seg:?}: {err}"
+        );
+    }
+}

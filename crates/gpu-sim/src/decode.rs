@@ -26,6 +26,11 @@ pub struct DecodedInst {
     /// geometry), so when every active lane reads identical operands the
     /// instruction can be evaluated once and broadcast to the group.
     pub uniform_eligible: bool,
+    /// Whether static uniformity dataflow proved every source register
+    /// warp-uniform here (and the enclosing control flow uniform), so the
+    /// fast path may broadcast without the per-operand runtime comparison.
+    /// Implies `uniform_eligible`.
+    pub statically_uniform: bool,
 }
 
 /// A kernel pre-decoded into a flat, cache-friendly instruction buffer,
@@ -59,10 +64,20 @@ impl DecodedKernel {
     /// without touching the interpreter (the escape hatch for differential
     /// testing).
     pub fn new(kernel: &KernelIr, uniform_exec: bool) -> Self {
+        // One pass of interprocedural-free dataflow per launch; proves for
+        // each PC whether all operands (and the control flow reaching it)
+        // are uniform across the block, letting the fast path skip its
+        // per-operand runtime comparison on those instructions.
+        let static_uniform = if uniform_exec {
+            hfuse_analysis::ir_uniform::uniform_insts(kernel)
+        } else {
+            vec![false; kernel.insts.len()]
+        };
         let insts = kernel
             .insts
             .iter()
-            .map(|inst| {
+            .zip(&static_uniform)
+            .map(|(inst, &stat_u)| {
                 let addr_reg = match inst {
                     Inst::Ld { addr, .. } | Inst::St { addr, .. } | Inst::Atom { addr, .. } => {
                         *addr
@@ -87,6 +102,7 @@ impl DecodedKernel {
                     inst: *inst,
                     addr_reg,
                     uniform_eligible,
+                    statically_uniform: uniform_eligible && stat_u,
                 }
             })
             .collect();
@@ -161,5 +177,39 @@ mod tests {
         ]);
         let d = DecodedKernel::new(&k, false);
         assert!(d.insts.iter().all(|i| !i.uniform_eligible));
+        assert!(d.insts.iter().all(|i| !i.statically_uniform));
+    }
+
+    #[test]
+    fn static_uniformity_proves_param_chains_but_not_tid_chains() {
+        let k = mk_kernel(vec![
+            Inst::LdParam { dst: 0, index: 0 },
+            Inst::Special {
+                dst: 1,
+                reg: SpecialReg::ThreadIdxX,
+            },
+            // Pure function of a parameter: proven uniform statically.
+            Inst::Bin {
+                op: BinIr::Add,
+                ty: ScalarTy::I32,
+                dst: 2,
+                a: 0,
+                b: 0,
+            },
+            // Mixes in threadIdx: eligible for the runtime check but not
+            // statically proven.
+            Inst::Bin {
+                op: BinIr::Add,
+                ty: ScalarTy::I32,
+                dst: 3,
+                a: 0,
+                b: 1,
+            },
+            Inst::Ret,
+        ]);
+        let d = DecodedKernel::new(&k, true);
+        assert!(d.insts[2].statically_uniform, "param+param is uniform");
+        assert!(d.insts[3].uniform_eligible);
+        assert!(!d.insts[3].statically_uniform, "param+tid is per-lane");
     }
 }

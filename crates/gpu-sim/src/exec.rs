@@ -238,7 +238,14 @@ impl BlockExec {
         // 32 scalar evaluations. Timing-transparent — the outcome kind is
         // identical to the scalar path's.
         if dinst.uniform_eligible && mask.count_ones() > 1 {
-            if let Some(out) = self.exec_uniform_group(launch, &dinst.inst, warp_start, pc, mask) {
+            if let Some(out) = self.exec_uniform_group(
+                launch,
+                &dinst.inst,
+                warp_start,
+                pc,
+                mask,
+                dinst.statically_uniform,
+            ) {
                 return Ok(out);
             }
         }
@@ -582,12 +589,30 @@ impl BlockExec {
         Lanes { mask }.all(|lane| self.threads[warp_start + lane].regs[reg as usize] == v)
     }
 
+    /// [`Self::lanes_uniform`] with a static shortcut: when dataflow already
+    /// proved the register uniform at this PC the runtime scan is skipped
+    /// (validated by a debug assertion, which the differential and fuzz
+    /// test suites run with enabled).
+    fn group_uniform(&self, warp_start: usize, mask: u32, reg: u32, proven: bool) -> bool {
+        if proven {
+            debug_assert!(
+                self.lanes_uniform(warp_start, mask, reg),
+                "static uniformity fact violated at runtime for reg {reg}"
+            );
+            return true;
+        }
+        self.lanes_uniform(warp_start, mask, reg)
+    }
+
     /// The warp-uniform fast path: evaluates a register-pure instruction
     /// once using the first active lane's operands and broadcasts the
     /// result to the whole group, provided every active lane reads
-    /// identical operand values. Returns `None` when the operands diverge
-    /// (the caller falls back to the scalar loop). The `IssueKind` mapping
-    /// mirrors the scalar path exactly so timing is unchanged.
+    /// identical operand values. The operand comparison is a runtime scan
+    /// unless `proven` says static analysis already established uniformity
+    /// at this PC. Returns `None` when the operands diverge (the caller
+    /// falls back to the scalar loop). The `IssueKind` mapping mirrors the
+    /// scalar path exactly so timing is unchanged.
+    #[allow(clippy::too_many_arguments)]
     fn exec_uniform_group(
         &mut self,
         launch: &Launch,
@@ -595,19 +620,20 @@ impl BlockExec {
         warp_start: usize,
         pc: usize,
         mask: u32,
+        proven: bool,
     ) -> Option<ExecOutcome> {
         let first = warp_start + mask.trailing_zeros() as usize;
         let (dst, value, kind) = match inst {
             Inst::Mov { dst, src } => {
-                if !self.lanes_uniform(warp_start, mask, *src) {
+                if !self.group_uniform(warp_start, mask, *src, proven) {
                     return None;
                 }
                 let v = self.threads[first].regs[*src as usize];
                 (*dst, v, IssueKind::Alu)
             }
             Inst::Bin { op, ty, dst, a, b } => {
-                if !self.lanes_uniform(warp_start, mask, *a)
-                    || !self.lanes_uniform(warp_start, mask, *b)
+                if !self.group_uniform(warp_start, mask, *a, proven)
+                    || !self.group_uniform(warp_start, mask, *b, proven)
                 {
                     return None;
                 }
@@ -621,7 +647,7 @@ impl BlockExec {
                 (*dst, alu::bin(*op, *ty, va, vb), kind)
             }
             Inst::Un { op, ty, dst, a } => {
-                if !self.lanes_uniform(warp_start, mask, *a) {
+                if !self.group_uniform(warp_start, mask, *a, proven) {
                     return None;
                 }
                 let va = self.threads[first].regs[*a as usize];
@@ -632,7 +658,7 @@ impl BlockExec {
                 (*dst, alu::un(*op, *ty, va), kind)
             }
             Inst::Cast { dst, src, from, to } => {
-                if !self.lanes_uniform(warp_start, mask, *src) {
+                if !self.group_uniform(warp_start, mask, *src, proven) {
                     return None;
                 }
                 let v = self.threads[first].regs[*src as usize];

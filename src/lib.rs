@@ -12,6 +12,9 @@
 //!   with liveness-based register-pressure estimation and spilling.
 //! * [`sim`] (`gpu-sim`) — the cycle-level SIMT GPU simulator used in place
 //!   of the paper's 1080Ti/V100 hardware.
+//! * [`analysis`] (`hfuse-analysis`) — static fusion-safety analysis: CFG
+//!   construction, uniformity dataflow, and the barrier-divergence /
+//!   shared-memory race / partial-barrier lints behind `hfuse lint`.
 //! * [`fusion`] (`hfuse-core`) — the paper's contribution: horizontal fusion,
 //!   the vertical-fusion baseline, and the profiling-driven search.
 //! * [`kernels`] (`hfuse-kernels`) — the nine benchmark kernels with
@@ -19,6 +22,7 @@
 
 pub use cuda_frontend as frontend;
 pub use gpu_sim as sim;
+pub use hfuse_analysis as analysis;
 pub use hfuse_core as fusion;
 pub use hfuse_kernels as kernels;
 pub use thread_ir as ir;

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -73,6 +74,11 @@ USAGE:
       HFUSE_SEARCH_NO_PRUNE=1) forces exhaustive profiling.
   hfuse bench <KERNEL> [--gpu pascal|volta]
       Profile one built-in benchmark kernel (a Fig. 8 row).
+  hfuse lint <file.cu> [more.cu ...] [--threads N] | hfuse lint --paper
+      Run the static fusion-safety analyzer: barrier-divergence, definite
+      shared-memory races, and partial-barrier structure. --threads fixes
+      the block size (sharpens the barrier lints); --paper lints every
+      built-in benchmark kernel instead. Exits nonzero on any diagnostic.
   hfuse list
       List built-in benchmark kernels and evaluation pairs.
 ";
@@ -98,7 +104,10 @@ fn positional(args: &[String]) -> Vec<&str> {
         }
         if a.starts_with("--") || a == "-o" {
             // All our flags take a value except the boolean ones.
-            skip = !matches!(a.as_str(), "--no-opt" | "--dump-ir" | "--no-prune");
+            skip = !matches!(
+                a.as_str(),
+                "--no-opt" | "--dump-ir" | "--no-prune" | "--paper"
+            );
             let _ = i;
             continue;
         }
@@ -414,6 +423,68 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("  instructions:      {}", r.metrics.thread_insts);
     println!("  mem transactions:  {}", r.metrics.mem_transactions);
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let threads = match flag_value(args, "--threads") {
+        Some(t) => Some(
+            t.parse::<u32>()
+                .map_err(|e| format!("--threads {t}: {e}"))?,
+        ),
+        None => None,
+    };
+
+    // (label, source, block threads) for every kernel to analyze.
+    let mut units: Vec<(String, String, Option<u32>)> = Vec::new();
+    if has_flag(args, "--paper") {
+        for b in AnyBenchmark::all() {
+            let bench = b.benchmark();
+            units.push((
+                b.name().to_owned(),
+                bench.source(),
+                Some(threads.unwrap_or_else(|| bench.default_threads())),
+            ));
+        }
+    } else {
+        let files = positional(args);
+        if files.is_empty() {
+            return Err("lint needs at least one kernel file, or --paper".to_owned());
+        }
+        for f in files {
+            let src = std::fs::read_to_string(f).map_err(|e| format!("reading {f}: {e}"))?;
+            units.push((f.to_owned(), src, threads));
+        }
+    }
+
+    let mut total = 0usize;
+    for (label, src, block_threads) in &units {
+        let (func, spans) = hfuse::frontend::parse_kernel_with_spans(src)
+            .map_err(|e| format!("{label}:\n{}", e.render(src)))?;
+        let diags = hfuse::analysis::analyze_kernel(
+            &func,
+            Some(&spans),
+            &hfuse::analysis::AnalysisOptions {
+                block_threads: *block_threads,
+            },
+        );
+        for d in &diags {
+            println!("{label}: {}", d.render(src));
+        }
+        total += diags.len();
+    }
+    if total == 0 {
+        let n = units.len();
+        eprintln!(
+            "checked {n} kernel{}: no diagnostics",
+            if n == 1 { "" } else { "s" }
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{total} diagnostic{} reported",
+            if total == 1 { "" } else { "s" }
+        ))
+    }
 }
 
 fn cmd_list() -> Result<(), String> {
