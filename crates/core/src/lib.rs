@@ -47,8 +47,8 @@ pub use multi::{
     MAX_MULTI_PARTITIONS,
 };
 pub use search::{
-    measure_naive_horizontal, measure_native, measure_single, measure_vertical,
+    calibration_rows, measure_naive_horizontal, measure_native, measure_single, measure_vertical,
     search_fusion_config, BlockShape, FusionInput, HfuseError, SearchCandidate, SearchOptions,
-    SearchReport,
+    SearchReport, MODEL_MARGIN, MODEL_TOP_K,
 };
 pub use vertical::vertical_fuse;

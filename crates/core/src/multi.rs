@@ -19,7 +19,7 @@ use thread_ir::lower_kernel;
 use thread_ir::spill::apply_register_bound;
 
 use crate::remap::{decl_i32, ThreadRemap};
-use crate::search::{no_prune_by_env, profile_jobs, ProfileJob};
+use crate::search::{legacy_scores, no_model_by_env, no_prune_by_env, profile_jobs, ProfileJob};
 use crate::search::{FusionInput, HfuseError, SearchOptions};
 
 /// Maximum member kernels: PTX has 16 barrier ids and fusion assigns one
@@ -389,6 +389,7 @@ pub fn search_multi_fusion_config(
     }
     let cfg = base.config().clone();
     let prune = opts.prune && !no_prune_by_env();
+    let model_filter = opts.model_filter && !no_model_by_env();
     let mut nregs = Vec::with_capacity(inputs.len());
     for inp in inputs {
         nregs.push(lower_kernel(&inp.kernel)?.reg_pressure());
@@ -478,7 +479,52 @@ pub fn search_multi_fusion_config(
             d0: c.partition.iter().sum(),
         })
         .collect();
-    let results = profile_jobs(base, &jobs, &fused_args, grid, total_dyn_shared, prune);
+    // Model ranking: one native measurement per member kernel, then each
+    // candidate is scored over its `Σ_i I_i[c] / d_i` dynamic mix (the
+    // N-kernel generalization of the pairwise model).
+    let scores = if model_filter {
+        let mut issues = Vec::with_capacity(inputs.len());
+        for inp in inputs {
+            issues.push(
+                crate::search::measure_single(base, inp)?
+                    .metrics
+                    .class_issues,
+            );
+        }
+        compiled
+            .iter()
+            .map(|c| {
+                let s = gpu_sim::static_class_mix(&c.ir);
+                let members: Vec<_> = issues
+                    .iter()
+                    .copied()
+                    .zip(c.partition.iter().copied())
+                    .collect();
+                let mix = gpu_sim::fused_dyn_mix(&cfg, &members, s.spills, s.total());
+                let d0: u32 = c.partition.iter().sum();
+                gpu_sim::model_estimate(
+                    &cfg,
+                    c.ir.reg_pressure(),
+                    d0,
+                    c.ir.shared_bytes(total_dyn_shared),
+                    grid,
+                    &mix,
+                )
+            })
+            .collect()
+    } else {
+        legacy_scores(&cfg, &jobs, grid, total_dyn_shared)
+    };
+    let results = profile_jobs(
+        base,
+        &jobs,
+        &fused_args,
+        grid,
+        total_dyn_shared,
+        prune,
+        model_filter,
+        &scores,
+    );
 
     let mut candidates = Vec::new();
     let mut best: Option<(u64, usize, Function, Arc<KernelIr>)> = None;

@@ -131,6 +131,19 @@ pub struct SearchOptions {
     /// clock — can vary with thread timing. `HFUSE_SEARCH_NO_PRUNE=1`
     /// forces exhaustive profiling regardless of this flag.
     pub prune: bool,
+    /// Calibrated analytic pre-filter: rank candidates with the
+    /// per-latency-class model ([`gpu_sim::model_estimate`]) instead of the
+    /// single-weight cost estimate, profile the model's top candidates (and
+    /// every near-tie the model cannot separate within a confidence margin)
+    /// without a budget, and let the rest budget-abort against the best
+    /// completed cycle count. Because an abort requires the simulated clock
+    /// to strictly exceed a *completed* run's cycles, the winner and every
+    /// surviving candidate stay bit-identical to the exhaustive search
+    /// regardless of model quality — the model only decides how early
+    /// losers stop burning simulator cycles. `HFUSE_SEARCH_NO_MODEL=1` (or
+    /// the CLI's `--no-model-filter`) restores the legacy cost-estimate
+    /// ordering.
+    pub model_filter: bool,
 }
 
 impl Default for SearchOptions {
@@ -139,6 +152,7 @@ impl Default for SearchOptions {
             d0: 1024,
             granularity: 128,
             prune: true,
+            model_filter: true,
         }
     }
 }
@@ -166,6 +180,16 @@ pub struct SearchCandidate {
     /// simulated cycle (branch-and-bound pruning); `None` when the
     /// candidate was profiled to completion.
     pub pruned_at: Option<u64>,
+    /// Static ranking score this candidate was ordered by: the calibrated
+    /// analytic model estimate when model filtering is active, the legacy
+    /// single-weight cost estimate otherwise. Pure and deterministic, so it
+    /// is identical across pruned/exhaustive arms of the same mode.
+    pub model_score: u64,
+    /// Issued warp-group instructions per latency class (indexed by
+    /// [`gpu_sim::IssueKind::index`]) from the profile run — the "where did
+    /// the cycles go" explanation for reports. All zeros for pruned
+    /// candidates.
+    pub class_issues: [u64; gpu_sim::IssueKind::COUNT],
 }
 
 /// The search result: every profiled candidate plus the winner.
@@ -199,6 +223,72 @@ impl SearchReport {
             .iter()
             .filter(|c| c.pruned_at.is_some())
             .count()
+    }
+
+    /// The winner's static-model rank among all candidates (1 = the model
+    /// ranked it best). A rank of 1 means the analytic pre-filter alone
+    /// would have picked the same configuration.
+    pub fn best_model_rank(&self) -> usize {
+        let best = self.best();
+        1 + self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|&(i, c)| (c.model_score, i) < (best.model_score, self.best_idx))
+            .count()
+    }
+
+    /// True when the winner lies in the model-exempt front — the analytic
+    /// pre-filter's top-[`MODEL_TOP_K`] candidates plus every near-tie
+    /// within [`MODEL_MARGIN`] of the best score. Candidates in the front
+    /// profile without a budget, so when this holds the winner is found at
+    /// full simulation speed *and* establishes the tightest possible abort
+    /// budget for everything behind it. Correctness never depends on this
+    /// predicate, but the search's speedup does; the model-front smoke test
+    /// keeps it true on every paper pair.
+    pub fn best_in_model_front(&self) -> bool {
+        let Some(best_score) = self.candidates.iter().map(|c| c.model_score).min() else {
+            return false;
+        };
+        self.best_model_rank() <= MODEL_TOP_K
+            || (self.best().model_score as f64) <= best_score as f64 * MODEL_MARGIN
+    }
+
+    /// A one-paragraph human-readable explanation of *why* the winner won:
+    /// its model rank and its issue histogram (densest latency classes
+    /// first), so reports can show where the cycles went.
+    pub fn explain_best(&self) -> String {
+        let best = self.best();
+        let total: u64 = best.class_issues.iter().sum();
+        let mut s = format!(
+            "winner d1={} d2={} (reg bound {}): model rank {}/{}",
+            best.d1,
+            best.d2,
+            best.reg_bound
+                .map_or_else(|| "none".to_owned(), |b| b.to_string()),
+            self.best_model_rank(),
+            self.candidates.len(),
+        );
+        if total > 0 {
+            let mut rows: Vec<(gpu_sim::IssueKind, u64)> = gpu_sim::IssueKind::ALL
+                .iter()
+                .map(|&k| (k, best.class_issues[k.index()]))
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            rows.sort_by_key(|&(k, n)| (std::cmp::Reverse(n), k.index()));
+            s.push_str("; issue mix ");
+            for (i, (k, n)) in rows.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{} {:.0}%",
+                    k.name(),
+                    100.0 * *n as f64 / total as f64
+                ));
+            }
+        }
+        s
     }
 }
 
@@ -245,6 +335,8 @@ fn profile_fused(
             mem_stall: res.metrics.mem_stall_pct(),
             occupancy: res.metrics.occupancy_pct(),
             pruned_at: None,
+            model_score: 0,
+            class_issues: res.metrics.class_issues,
         }),
         BudgetedRun::Aborted { cycles_so_far } => Ok(SearchCandidate {
             d1: 0,
@@ -255,6 +347,8 @@ fn profile_fused(
             mem_stall: 0.0,
             occupancy: 0.0,
             pruned_at: Some(cycles_so_far),
+            model_score: 0,
+            class_issues: [0; gpu_sim::IssueKind::COUNT],
         }),
     }
 }
@@ -286,15 +380,22 @@ pub(crate) fn weighted_inst_cost(ir: &KernelIr) -> u64 {
 /// profiling regardless of [`SearchOptions::prune`] — the escape hatch for
 /// byte-identical reproductions of the unpruned search.
 pub(crate) fn no_prune_by_env() -> bool {
-    std::env::var_os("HFUSE_SEARCH_NO_PRUNE").is_some_and(|v| v != "0")
+    gpu_sim::env::search_no_prune()
+}
+
+/// `HFUSE_SEARCH_NO_MODEL` disables the calibrated analytic pre-filter
+/// regardless of [`SearchOptions::model_filter`].
+pub(crate) fn no_model_by_env() -> bool {
+    gpu_sim::env::search_no_model()
 }
 
 /// Resolves the profiling worker count from the `HFUSE_SEARCH_THREADS`
-/// value. An explicit numeric override is honored as-is (with a floor of
-/// one worker) — only the auto-detected default is capped at 8 to avoid
+/// value (parsed centrally by [`gpu_sim::env::search_threads`]). An
+/// explicit numeric override is honored as-is (with a floor of one worker)
+/// — only the auto-detected default is capped at 8 to avoid
 /// oversubscribing shared machines.
-fn worker_threads(env: Option<&str>) -> usize {
-    match env.and_then(|v| v.parse::<usize>().ok()) {
+fn worker_threads(explicit: Option<usize>) -> usize {
+    match explicit {
         Some(n) => n.max(1),
         None => std::thread::available_parallelism()
             .map_or(1, |n| n.get())
@@ -310,28 +411,25 @@ pub(crate) struct ProfileJob {
     pub(crate) d0: u32,
 }
 
-/// Profiles every job, best-first with branch-and-bound pruning when
-/// `prune` is set, and returns outcomes aligned with the input order.
-///
-/// Jobs are profiled in ascending analytic-cost order (see
-/// [`gpu_sim::cost_estimate`]); the best completed cycle count is shared
-/// across workers through an `AtomicU64` and used as the abort budget for
-/// every subsequent run. Because a run whose true cycle count is at most
-/// the budget always completes with its exact unbudgeted result, the
-/// minimum — and therefore the winner and every surviving candidate's
-/// cycles — is independent of profiling order and thread timing; only
-/// *which* losers get cut short can vary.
-pub(crate) fn profile_jobs(
-    base: &Gpu,
+/// Confidence margin of the analytic pre-filter: candidates whose model
+/// score is within this factor of the best score are "near-ties" the model
+/// cannot separate, and are profiled without a budget.
+pub const MODEL_MARGIN: f64 = 1.10;
+
+/// Minimum number of top-ranked candidates the pre-filter always profiles
+/// without a budget, regardless of margin (the winner and its register-bound
+/// sibling in the common case).
+pub const MODEL_TOP_K: usize = 2;
+
+/// The legacy single-weight ranking scores ([`gpu_sim::cost_estimate`]) for
+/// a job list — the profiling order when the model filter is off.
+pub(crate) fn legacy_scores(
+    cfg: &GpuConfig,
     jobs: &[ProfileJob],
-    args: &[ParamValue],
     grid_dim: u32,
     dynamic_shared_bytes: u32,
-    prune: bool,
-) -> Vec<Result<SearchCandidate, HfuseError>> {
-    let cfg = base.config();
-    let costs: Vec<u64> = jobs
-        .iter()
+) -> Vec<u64> {
+    jobs.iter()
         .map(|j| {
             gpu_sim::cost_estimate(
                 cfg,
@@ -342,21 +440,86 @@ pub(crate) fn profile_jobs(
                 weighted_inst_cost(&j.ir),
             )
         })
-        .collect();
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| (costs[i], i));
+        .collect()
+}
+
+/// Profiles every job, best-first with branch-and-bound pruning when
+/// `prune` is set, and returns outcomes aligned with the input order.
+///
+/// Jobs are profiled in ascending `scores` order — the calibrated analytic
+/// model ([`gpu_sim::model_estimate`]) when the caller runs with the model
+/// filter, the legacy [`legacy_scores`] otherwise. The best completed cycle
+/// count is shared across workers through an `AtomicU64` and used as the
+/// abort budget for every subsequent run. With `model_filter` set, the
+/// model's top-[`MODEL_TOP_K`] candidates — plus every near-tie within
+/// [`MODEL_MARGIN`] of the best score — are *exempt* and profile with an
+/// infinite budget. Because a run whose true cycle count is at most the
+/// budget always completes with its exact unbudgeted result, and the
+/// budget is only ever lowered to a completed run's cycle count, the
+/// minimum — and therefore the winner and every surviving candidate's
+/// cycles — is independent of profiling order, thread timing, and model
+/// quality; only *which* losers get cut short can vary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn profile_jobs(
+    base: &Gpu,
+    jobs: &[ProfileJob],
+    args: &[ParamValue],
+    grid_dim: u32,
+    dynamic_shared_bytes: u32,
+    prune: bool,
+    model_filter: bool,
+    scores: &[u64],
+) -> Vec<Result<SearchCandidate, HfuseError>> {
+    debug_assert_eq!(scores.len(), jobs.len());
+
+    // Identical compiled programs simulate to identical results, so each
+    // unique `(ir, d0)` is profiled once and the result is shared. This
+    // fires on every partition whose register-bound variant is a no-op
+    // (the cap at or above the unbounded pressure compiles to the same
+    // instruction stream), which halves the profile work on the paper's
+    // DL pairs.
+    let mut canon: Vec<usize> = (0..jobs.len()).collect();
+    for i in 0..jobs.len() {
+        for j in 0..i {
+            if canon[j] == j
+                && jobs[j].d0 == jobs[i].d0
+                && (Arc::ptr_eq(&jobs[j].ir, &jobs[i].ir) || *jobs[j].ir == *jobs[i].ir)
+            {
+                canon[i] = j;
+                break;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..jobs.len()).filter(|&i| canon[i] == i).collect();
+    order.sort_by_key(|&i| (scores[i], i));
+
+    // Model-exempt candidates: profiled with an infinite budget, so their
+    // results are exactly the exhaustive ones, and (being scheduled first)
+    // they establish a tight budget for everyone else. Ranks are over
+    // unique programs, so the top-k are k *distinct* candidates.
+    let mut exempt = vec![false; jobs.len()];
+    if prune && model_filter && !order.is_empty() {
+        let best_score = scores[order[0]];
+        for (rank, &i) in order.iter().enumerate() {
+            let near_tie =
+                best_score != u64::MAX && (scores[i] as f64) <= best_score as f64 * MODEL_MARGIN;
+            if rank < MODEL_TOP_K || near_tie {
+                exempt[i] = true;
+            }
+        }
+    }
 
     // `HFUSE_SEARCH_THREADS` overrides the worker count (useful both to
     // force the parallel path on single-core CI and to raise or cap it on
     // shared machines).
-    let threads = worker_threads(std::env::var("HFUSE_SEARCH_THREADS").ok().as_deref());
+    let threads = worker_threads(gpu_sim::env::search_threads());
     let mut slots: Vec<Option<Result<SearchCandidate, HfuseError>>> =
         (0..jobs.len()).map(|_| None).collect();
     if threads <= 1 || jobs.len() <= 1 {
         let mut best = u64::MAX;
         for &i in &order {
             let job = &jobs[i];
-            let budget = if prune { best } else { u64::MAX };
+            let budget = if !prune || exempt[i] { u64::MAX } else { best };
             let r = profile_fused(
                 base,
                 &job.ir,
@@ -380,15 +543,15 @@ pub(crate) fn profile_jobs(
         std::thread::scope(|scope| {
             for _ in 0..threads.min(jobs.len()) {
                 let tx = tx.clone();
-                let (order, next, best) = (&order, &next, &best);
+                let (order, next, best, exempt) = (&order, &next, &best, &exempt);
                 scope.spawn(move || loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = order.get(k) else { break };
                     let job = &jobs[i];
-                    let budget = if prune {
-                        best.load(Ordering::Relaxed)
-                    } else {
+                    let budget = if !prune || exempt[i] {
                         u64::MAX
+                    } else {
+                        best.load(Ordering::Relaxed)
                     };
                     let r = profile_fused(
                         base,
@@ -415,10 +578,203 @@ pub(crate) fn profile_jobs(
             }
         });
     }
+    // Duplicates share their canonical program's result verbatim.
+    for i in 0..jobs.len() {
+        if canon[i] != i {
+            slots[i] = slots[canon[i]].clone();
+        }
+    }
     slots
         .into_iter()
-        .map(|r| r.expect("every candidate profiled"))
+        .zip(scores)
+        .map(|(r, &score)| {
+            let mut r = r.expect("every candidate profiled");
+            if let Ok(c) = &mut r {
+                c.model_score = score;
+            }
+            r
+        })
         .collect()
+}
+
+/// One compiled pairwise candidate: a `(d1, d2)` partition with or without
+/// the register bound applied.
+struct Candidate {
+    d1: u32,
+    d2: u32,
+    bound: Option<u32>,
+    fused: FusedKernel,
+    ir: Arc<KernelIr>,
+}
+
+/// Compiles both register variants of every feasible partition, in sweep
+/// order (infeasible shapes and failed fusions are skipped, like failed
+/// compiles in the paper).
+fn compile_candidates(
+    cfg: &GpuConfig,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    partitions: &[(u32, u32)],
+    nregs1: u32,
+    nregs2: u32,
+) -> Result<Vec<Candidate>, HfuseError> {
+    let mut compiled: Vec<Candidate> = Vec::new();
+    for &(d1, d2) in partitions {
+        let (Some(dims1), Some(dims2)) = (in1.dims(d1), in2.dims(d2)) else {
+            continue;
+        };
+        let Ok(fused) = horizontal_fuse(&in1.kernel, dims1, &in2.kernel, dims2) else {
+            continue;
+        };
+        let d0 = d1 + d2;
+        let ir = Arc::new(compile_fused(&fused, None)?);
+        let shmem_fused = ir.shared_bytes(in1.dynamic_shared + in2.dynamic_shared);
+        let r0 = register_bound(cfg, d1, nregs1, d2, nregs2, shmem_fused, d0);
+        let ir_capped = Arc::new(compile_fused(&fused, Some(r0))?);
+        compiled.push(Candidate {
+            d1,
+            d2,
+            bound: None,
+            fused: fused.clone(),
+            ir,
+        });
+        compiled.push(Candidate {
+            d1,
+            d2,
+            bound: Some(r0),
+            fused,
+            ir: ir_capped,
+        });
+    }
+    Ok(compiled)
+}
+
+/// The candidate partitions the Fig. 6 sweep visits for a pair: every
+/// multiple of the granularity below `d0` when both kernels are tunable,
+/// the native block sizes otherwise.
+fn sweep_partitions(in1: &FusionInput, in2: &FusionInput, opts: SearchOptions) -> Vec<(u32, u32)> {
+    if in1.tunable && in2.tunable {
+        let mut v = Vec::new();
+        let mut d1 = opts.granularity;
+        while d1 < opts.d0 {
+            v.push((d1, opts.d0 - d1));
+            d1 += opts.granularity;
+        }
+        v
+    } else {
+        vec![(in1.default_threads, in2.default_threads)]
+    }
+}
+
+/// Calibrated model scores for every pairwise candidate: measures each
+/// original kernel natively **once** to obtain its per-class issue
+/// histogram, then scores each candidate with the occupancy-aware
+/// per-latency-class model over the candidate's `I1/d1 + I2/d2` dynamic
+/// mix. Pure given the measurements, so scores are identical across
+/// pruned/exhaustive arms.
+fn model_scores(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    compiled: &[Candidate],
+    grid_dim: u32,
+    dynamic_shared_bytes: u32,
+) -> Result<Vec<u64>, HfuseError> {
+    let cfg = base.config();
+    let i1 = measure_single(base, in1)?.metrics.class_issues;
+    let i2 = measure_single(base, in2)?.metrics.class_issues;
+    Ok(compiled
+        .iter()
+        .map(|c| {
+            let s = gpu_sim::static_class_mix(&c.ir);
+            let mix = gpu_sim::fused_dyn_mix(cfg, &[(i1, c.d1), (i2, c.d2)], s.spills, s.total());
+            gpu_sim::model_estimate(
+                cfg,
+                c.ir.reg_pressure(),
+                c.d1 + c.d2,
+                c.ir.shared_bytes(dynamic_shared_bytes),
+                grid_dim,
+                &mix,
+            )
+        })
+        .collect())
+}
+
+/// Builds calibration observations for `hfuse bench --calibrate`: compiles
+/// exactly the candidates [`search_fusion_config`] would for this pair,
+/// profiles every one to completion (no pruning, no model filter), and
+/// pairs each candidate's static model features with its simulated cycle
+/// count. Unschedulable candidates are skipped.
+///
+/// # Errors
+///
+/// Returns [`HfuseError`] on mismatched grids or a non-scheduling profile
+/// failure.
+pub fn calibration_rows(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    opts: SearchOptions,
+) -> Result<Vec<gpu_sim::model::CalibrationRow>, HfuseError> {
+    let cfg = base.config().clone();
+    if in1.grid_dim != in2.grid_dim {
+        return Err(HfuseError::Config(format!(
+            "grid dimensions must match for fusion ({} vs {})",
+            in1.grid_dim, in2.grid_dim
+        )));
+    }
+    let nregs1 = lower_kernel(&in1.kernel)?.reg_pressure();
+    let nregs2 = lower_kernel(&in2.kernel)?.reg_pressure();
+    let partitions = sweep_partitions(in1, in2, opts);
+    let compiled = compile_candidates(&cfg, in1, in2, &partitions, nregs1, nregs2)?;
+
+    let fused_args: Vec<ParamValue> = in1.args.iter().chain(in2.args.iter()).copied().collect();
+    let fused_grid = in1.grid_dim.max(in2.grid_dim);
+    let fused_dyn_shared = in1.dynamic_shared + in2.dynamic_shared;
+    let jobs: Vec<ProfileJob> = compiled
+        .iter()
+        .map(|c| ProfileJob {
+            ir: Arc::clone(&c.ir),
+            d0: c.d1 + c.d2,
+        })
+        .collect();
+    let scores = legacy_scores(&cfg, &jobs, fused_grid, fused_dyn_shared);
+    let results = profile_jobs(
+        base,
+        &jobs,
+        &fused_args,
+        fused_grid,
+        fused_dyn_shared,
+        false,
+        false,
+        &scores,
+    );
+
+    let i1 = measure_single(base, in1)?.metrics.class_issues;
+    let i2 = measure_single(base, in2)?.metrics.class_issues;
+    let mut rows = Vec::new();
+    for (cand, result) in compiled.iter().zip(results) {
+        let c = match result {
+            Ok(c) => c,
+            Err(HfuseError::Sim(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        let s = gpu_sim::static_class_mix(&cand.ir);
+        let mix =
+            gpu_sim::fused_dyn_mix(&cfg, &[(i1, cand.d1), (i2, cand.d2)], s.spills, s.total());
+        if let Some(row) = gpu_sim::model::CalibrationRow::new(
+            &cfg,
+            cand.ir.reg_pressure(),
+            cand.d1 + cand.d2,
+            cand.ir.shared_bytes(fused_dyn_shared),
+            fused_grid,
+            &mix,
+            c.cycles,
+        ) {
+            rows.push(row);
+        }
+    }
+    Ok(rows)
 }
 
 /// The register bound of Fig. 6 lines 13–16.
@@ -469,61 +825,18 @@ pub fn search_fusion_config(
         )));
     }
     let prune = opts.prune && !no_prune_by_env();
+    let model_filter = opts.model_filter && !no_model_by_env();
     let compile_start = Instant::now();
     let nregs1 = lower_kernel(&in1.kernel)?.reg_pressure();
     let nregs2 = lower_kernel(&in2.kernel)?.reg_pressure();
 
-    let partitions: Vec<(u32, u32)> = if in1.tunable && in2.tunable {
-        let mut v = Vec::new();
-        let mut d1 = opts.granularity;
-        while d1 < opts.d0 {
-            v.push((d1, opts.d0 - d1));
-            d1 += opts.granularity;
-        }
-        v
-    } else {
-        vec![(in1.default_threads, in2.default_threads)]
-    };
+    let partitions = sweep_partitions(in1, in2, opts);
 
     // Compile every candidate first (cheap), then profile them in parallel:
     // each profile runs on its own clone of the device state, so candidates
     // are fully independent and the result is deterministic regardless of
     // thread scheduling.
-    struct Candidate {
-        d1: u32,
-        d2: u32,
-        bound: Option<u32>,
-        fused: FusedKernel,
-        ir: Arc<KernelIr>,
-    }
-    let mut compiled: Vec<Candidate> = Vec::new();
-    for (d1, d2) in partitions {
-        let (Some(dims1), Some(dims2)) = (in1.dims(d1), in2.dims(d2)) else {
-            continue;
-        };
-        let Ok(fused) = horizontal_fuse(&in1.kernel, dims1, &in2.kernel, dims2) else {
-            continue;
-        };
-        let d0 = d1 + d2;
-        let ir = Arc::new(compile_fused(&fused, None)?);
-        let shmem_fused = ir.shared_bytes(in1.dynamic_shared + in2.dynamic_shared);
-        let r0 = register_bound(&cfg, d1, nregs1, d2, nregs2, shmem_fused, d0);
-        let ir_capped = Arc::new(compile_fused(&fused, Some(r0))?);
-        compiled.push(Candidate {
-            d1,
-            d2,
-            bound: None,
-            fused: fused.clone(),
-            ir,
-        });
-        compiled.push(Candidate {
-            d1,
-            d2,
-            bound: Some(r0),
-            fused,
-            ir: ir_capped,
-        });
-    }
+    let compiled = compile_candidates(&cfg, in1, in2, &partitions, nregs1, nregs2)?;
 
     // Shared profile inputs, computed once for the whole sweep.
     debug_assert_eq!(&cfg, base.config());
@@ -540,6 +853,11 @@ pub fn search_fusion_config(
         })
         .collect();
     let profile_start = Instant::now();
+    let scores = if model_filter {
+        model_scores(base, in1, in2, &compiled, fused_grid, fused_dyn_shared)?
+    } else {
+        legacy_scores(&cfg, &jobs, fused_grid, fused_dyn_shared)
+    };
     let results = profile_jobs(
         base,
         &jobs,
@@ -547,6 +865,8 @@ pub fn search_fusion_config(
         fused_grid,
         fused_dyn_shared,
         prune,
+        model_filter,
+        &scores,
     );
     let profile_ms = profile_start.elapsed().as_secs_f64() * 1e3;
 
@@ -848,13 +1168,63 @@ mod tests {
 
     #[test]
     fn worker_threads_honors_explicit_override_above_cap() {
-        assert_eq!(worker_threads(Some("12")), 12);
-        assert_eq!(worker_threads(Some("3")), 3);
-        assert_eq!(worker_threads(Some("0")), 1);
-        // Garbage and unset fall back to the capped auto-detected default.
-        assert!(worker_threads(Some("lots")) <= 8);
+        assert_eq!(worker_threads(Some(12)), 12);
+        assert_eq!(worker_threads(Some(3)), 3);
+        assert_eq!(worker_threads(Some(0)), 1);
+        // Unset (or unparseable, which gpu_sim::env maps to None) falls
+        // back to the capped auto-detected default.
         assert!(worker_threads(None) >= 1);
         assert!(worker_threads(None) <= 8);
+    }
+
+    #[test]
+    fn model_filtered_search_matches_unfiltered_winner() {
+        let (gpu, in1, in2) = mk_gpu();
+        let opts = SearchOptions {
+            d0: 512,
+            granularity: 128,
+            ..SearchOptions::default()
+        };
+        assert!(opts.model_filter, "model filter is on by default");
+        let filtered = search_fusion_config(&gpu, &in1, &in2, opts).expect("filtered");
+        let unfiltered = search_fusion_config(
+            &gpu,
+            &in1,
+            &in2,
+            SearchOptions {
+                model_filter: false,
+                ..opts
+            },
+        )
+        .expect("unfiltered");
+        let exhaustive = search_fusion_config(
+            &gpu,
+            &in1,
+            &in2,
+            SearchOptions {
+                prune: false,
+                ..opts
+            },
+        )
+        .expect("exhaustive");
+        // Winner identity holds across all three arms.
+        for arm in [&unfiltered, &exhaustive] {
+            assert_eq!(filtered.best_idx, arm.best_idx);
+            assert_eq!(filtered.best().cycles, arm.best().cycles);
+            assert_eq!(filtered.best_kernel, arm.best_kernel);
+        }
+        // Model scores are pure statics: identical between the filtered and
+        // (unpruned) exhaustive arm, which both use the model ordering.
+        for (f, e) in filtered.candidates.iter().zip(&exhaustive.candidates) {
+            assert_eq!(f.model_score, e.model_score);
+        }
+        // The winner completed, so its issue histogram is populated and the
+        // report can explain it.
+        assert!(filtered.best().class_issues.iter().sum::<u64>() > 0);
+        assert!(filtered.best_model_rank() >= 1);
+        let text = filtered.explain_best();
+        assert!(text.contains("model rank"), "{text}");
+        assert!(text.contains("issue mix"), "{text}");
     }
 
     #[test]

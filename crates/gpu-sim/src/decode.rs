@@ -39,6 +39,11 @@ pub struct DecodedInst {
 pub struct DecodedKernel {
     /// Decoded instructions, indexed by PC.
     pub insts: Box<[DecodedInst]>,
+    /// Whether register-pure instructions run on the lane-vectorized
+    /// interpreter (branch-free masked loops over the SoA lane rows) or on
+    /// the scalar per-lane reference path. Both are bit-identical; the
+    /// scalar path exists as the `HFUSE_SIM_NO_VECTOR` escape hatch.
+    pub vector: bool,
 }
 
 /// True for special registers whose value is identical for every thread of
@@ -61,9 +66,11 @@ fn block_uniform_special(reg: SpecialReg) -> bool {
 impl DecodedKernel {
     /// Pre-decodes `kernel`. When `uniform_exec` is false every
     /// `uniform_eligible` flag is cleared, which disables the fast path
-    /// without touching the interpreter (the escape hatch for differential
+    /// without touching the interpreter; when `vector_exec` is false the
+    /// interpreter runs its scalar per-lane reference loops instead of the
+    /// lane-vectorized ones (both are escape hatches for differential
     /// testing).
-    pub fn new(kernel: &KernelIr, uniform_exec: bool) -> Self {
+    pub fn new(kernel: &KernelIr, uniform_exec: bool, vector_exec: bool) -> Self {
         // One pass of interprocedural-free dataflow per launch; proves for
         // each PC whether all operands (and the control flow reaching it)
         // are uniform across the block, letting the fast path skip its
@@ -106,7 +113,10 @@ impl DecodedKernel {
                 }
             })
             .collect();
-        DecodedKernel { insts }
+        DecodedKernel {
+            insts,
+            vector: vector_exec,
+        }
     }
 }
 
@@ -155,7 +165,7 @@ mod tests {
             },
             Inst::Ret,
         ]);
-        let d = DecodedKernel::new(&k, true);
+        let d = DecodedKernel::new(&k, true, true);
         assert_eq!(d.insts.len(), 5);
         assert!(d.insts[0].uniform_eligible);
         assert_eq!(d.insts[0].addr_reg, NO_REG);
@@ -175,7 +185,7 @@ mod tests {
                 reg: SpecialReg::GridDimX,
             },
         ]);
-        let d = DecodedKernel::new(&k, false);
+        let d = DecodedKernel::new(&k, false, true);
         assert!(d.insts.iter().all(|i| !i.uniform_eligible));
         assert!(d.insts.iter().all(|i| !i.statically_uniform));
     }
@@ -207,7 +217,7 @@ mod tests {
             },
             Inst::Ret,
         ]);
-        let d = DecodedKernel::new(&k, true);
+        let d = DecodedKernel::new(&k, true, true);
         assert!(d.insts[2].statically_uniform, "param+param is uniform");
         assert!(d.insts[3].uniform_eligible);
         assert!(!d.insts[3].statically_uniform, "param+tid is per-lane");

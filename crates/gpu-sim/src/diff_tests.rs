@@ -412,6 +412,140 @@ fn uniform_path_matches_scalar_on_fuzz_corpus() {
     }
 }
 
+/// Runs the same launches with and without the lane-vectorized (SoA,
+/// branch-free masked 32-lane loop) interpreter and asserts every reported
+/// number and the device memory match: vectorization must be
+/// observationally invisible, down to the event stream the sanitizer and
+/// barrier machinery observe.
+fn assert_vector_paths_identical(cfg: GpuConfig, build: impl Fn(&mut Gpu) -> Vec<Launch>) {
+    let mut vector = Gpu::new(cfg.clone());
+    vector.set_vector_exec(true);
+    let launches = build(&mut vector);
+    let vec_res = vector.run(&launches).expect("vector run");
+
+    let mut scalar = Gpu::new(cfg);
+    scalar.set_vector_exec(false);
+    let launches = build(&mut scalar);
+    let sca_res = scalar.run(&launches).expect("scalar run");
+
+    assert_eq!(
+        vec_res.total_cycles, sca_res.total_cycles,
+        "total cycles diverge"
+    );
+    assert_eq!(vec_res.metrics, sca_res.metrics, "metrics diverge");
+    assert_eq!(
+        vec_res.launch_finish, sca_res.launch_finish,
+        "finish cycles diverge"
+    );
+    for launch in &launches {
+        for arg in &launch.args {
+            if let ParamValue::Ptr(buf) = arg {
+                assert_eq!(
+                    vector.memory().read_u32s(*buf),
+                    scalar.memory().read_u32s(*buf),
+                    "buffer contents diverge"
+                );
+            }
+        }
+    }
+}
+
+fn divergent_branch_launch(gpu: &mut Gpu) -> Vec<Launch> {
+    // Nested data-dependent branches splinter the warp into several active
+    // masks; the vectorized loop must execute exactly the lanes the scalar
+    // reconvergence stack would, in the same issue slots.
+    let ir = compile(
+        "__global__ void diverge(unsigned int* out, unsigned int* in, int n) {\
+           int i = blockIdx.x * blockDim.x + threadIdx.x;\
+           unsigned int v = in[i % n];\
+           if ((threadIdx.x & 1u) == 0u) {\
+             if (v % 3u == 0u) { v = v * 2654435761u; }\
+             else { for (int j = 0; j < (int)(v % 7u); j++) { v += in[(i + j) % n]; } }\
+           } else {\
+             if (v > 1000u) { v = v >> 3; } else { v = v << 2; }\
+           }\
+           out[i % n] = v;\
+         }",
+    );
+    let n = 256;
+    let data: Vec<u32> = (0..n as u64).map(|i| (i * 2246822519) as u32).collect();
+    let i = gpu.memory_mut().alloc_from_u32(&data);
+    let o = gpu.memory_mut().alloc_u32(n);
+    vec![Launch::new(ir, 2, (96, 1, 1))
+        .arg(ParamValue::Ptr(o))
+        .arg(ParamValue::Ptr(i))
+        .arg(ParamValue::I32(n as i32))]
+}
+
+fn partial_barrier_launch(gpu: &mut Gpu) -> Vec<Launch> {
+    // A named partial barrier over the first two warps only (the HFUSE
+    // fused-kernel synchronization primitive) while the remaining warp
+    // streams through uninhibited.
+    let ir = compile(
+        "__global__ void partial(unsigned int* out, unsigned int* in) {\
+           __shared__ unsigned int s[64];\
+           unsigned int t = threadIdx.x;\
+           if (t < 64u) {\
+             s[t] = in[blockIdx.x * 64u + t];\
+             asm(\"bar.sync 1, 64;\");\
+             out[blockIdx.x * 64u + t] = s[t ^ 1u] + s[63u - t];\
+           } else {\
+             unsigned int x = t;\
+             for (int i = 0; i < 40; i++) { x = x * 1664525u + 1013904223u; }\
+             out[96u + t] = x;\
+           }\
+         }",
+    );
+    let data: Vec<u32> = (0..128).map(|i| i * 31 + 5).collect();
+    let i = gpu.memory_mut().alloc_from_u32(&data);
+    let o = gpu.memory_mut().alloc_u32(256);
+    vec![Launch::new(ir, 2, (96, 1, 1))
+        .arg(ParamValue::Ptr(o))
+        .arg(ParamValue::Ptr(i))]
+}
+
+#[test]
+fn vector_path_matches_scalar_memory_bound() {
+    assert_vector_paths_identical(GpuConfig::test_tiny(), memory_bound_launch);
+}
+
+#[test]
+fn vector_path_matches_scalar_compute_bound() {
+    assert_vector_paths_identical(GpuConfig::test_tiny(), compute_bound_launch);
+}
+
+#[test]
+fn vector_path_matches_scalar_barrier_heavy() {
+    assert_vector_paths_identical(GpuConfig::test_tiny(), barrier_heavy_launch);
+}
+
+#[test]
+fn vector_path_matches_scalar_multi_stream() {
+    assert_vector_paths_identical(GpuConfig::test_tiny(), multi_stream_launches);
+}
+
+#[test]
+fn vector_path_matches_scalar_divergent_branches() {
+    assert_vector_paths_identical(GpuConfig::test_tiny(), divergent_branch_launch);
+    assert_vector_paths_identical(GpuConfig::pascal_like(), divergent_branch_launch);
+}
+
+#[test]
+fn vector_path_matches_scalar_partial_barrier() {
+    assert_vector_paths_identical(GpuConfig::test_tiny(), partial_barrier_launch);
+    assert_vector_paths_identical(GpuConfig::pascal_like(), partial_barrier_launch);
+}
+
+#[test]
+fn vector_path_matches_scalar_on_fuzz_corpus() {
+    for case in 0..4 {
+        assert_vector_paths_identical(GpuConfig::test_tiny(), fuzz_case_launches(7, case));
+    }
+    for case in 0..2 {
+        assert_vector_paths_identical(GpuConfig::pascal_like(), fuzz_case_launches(0xdead, case));
+    }
+}
+
 #[test]
 fn env_var_forces_naive_loop() {
     // `HFUSE_SIM_NO_SKIP` selects the naive loop inside plain `run()`;

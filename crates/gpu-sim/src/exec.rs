@@ -5,6 +5,30 @@
 //! so divergence serializes naturally and reconvergence happens when PCs
 //! meet again. Barriers park threads; the block releases them when the
 //! arrival count reaches the barrier's participation count.
+//!
+//! # Lane-vectorized execution
+//!
+//! Register state is stored structure-of-arrays: one contiguous `u64` row of
+//! [`WARP_SIZE`] lane slots per `(warp, register)`, padded to a full warp
+//! even for partial warps. Register-pure instructions execute as branch-free
+//! loops over all 32 lanes under the group's active mask — every lane
+//! evaluates (the ALU helpers are total functions, so garbage values in
+//! inactive or padding lanes cannot fault) and a mask select decides whether
+//! the lane's destination slot is overwritten. The `(op, ty)` dispatch is
+//! hoisted out of the lane loop, so the compiler sees a tight
+//! auto-vectorizable kernel per instruction form.
+//!
+//! Memory, shuffle, vote, and barrier instructions have per-lane side
+//! effects (loads, stores, sanitizer events) that must be reported in
+//! ascending lane order; they gather their operands through per-warp lane
+//! buffers and then walk the active lanes exactly like the scalar
+//! interpreter, so the sanitizer and barrier-epoch machinery see identical
+//! event streams in both modes.
+//!
+//! The pre-vectorization scalar interpreter (per-lane match-and-dispatch
+//! through [`alu`]) is kept as the reference path: `HFUSE_SIM_NO_VECTOR=1`
+//! or [`crate::Gpu::set_vector_exec`]`(false)` selects it, and differential
+//! tests assert both paths produce bit-identical memory and cycle counts.
 
 use thread_ir::ir::{
     AtomOp, BarCount, BinIr, Inst, ScalarTy, ShflKind, SpecialReg, UnIr, VoteKind,
@@ -20,20 +44,8 @@ use crate::sanitizer::{AccessCtx, Sanitizer};
 /// Threads per warp.
 pub const WARP_SIZE: usize = 32;
 
-/// One thread's architectural state.
-#[derive(Debug, Clone)]
-pub struct ThreadState {
-    /// Current program counter (instruction index).
-    pub pc: usize,
-    /// True once the thread executed `Ret`.
-    pub done: bool,
-    /// Barrier id the thread is parked at, if any.
-    pub waiting_barrier: Option<u8>,
-    /// Register file (raw 64-bit words).
-    pub regs: Vec<u64>,
-    /// Per-thread local memory (local arrays, spill slots).
-    pub local: Vec<u8>,
-}
+/// Sentinel in the per-thread barrier column: not parked at any barrier.
+const NO_BARRIER: u8 = u8::MAX;
 
 /// What a warp can do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +90,60 @@ pub enum IssueKind {
     Barrier,
 }
 
+impl IssueKind {
+    /// Number of latency classes (the size of per-class histograms).
+    pub const COUNT: usize = 11;
+
+    /// Every class, in [`Self::index`] order.
+    pub const ALL: [IssueKind; Self::COUNT] = [
+        IssueKind::Alu,
+        IssueKind::Div,
+        IssueKind::Special,
+        IssueKind::Shuffle,
+        IssueKind::SharedMem,
+        IssueKind::SharedAtomic,
+        IssueKind::GlobalMem,
+        IssueKind::GlobalAtomic,
+        IssueKind::LocalMem,
+        IssueKind::Control,
+        IssueKind::Barrier,
+    ];
+
+    /// Dense index for histogram arrays (`[u64; IssueKind::COUNT]`).
+    pub fn index(self) -> usize {
+        match self {
+            IssueKind::Alu => 0,
+            IssueKind::Div => 1,
+            IssueKind::Special => 2,
+            IssueKind::Shuffle => 3,
+            IssueKind::SharedMem => 4,
+            IssueKind::SharedAtomic => 5,
+            IssueKind::GlobalMem => 6,
+            IssueKind::GlobalAtomic => 7,
+            IssueKind::LocalMem => 8,
+            IssueKind::Control => 9,
+            IssueKind::Barrier => 10,
+        }
+    }
+
+    /// Short display name (report columns, calibration dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            IssueKind::Alu => "alu",
+            IssueKind::Div => "div",
+            IssueKind::Special => "special",
+            IssueKind::Shuffle => "shuffle",
+            IssueKind::SharedMem => "shared_mem",
+            IssueKind::SharedAtomic => "shared_atomic",
+            IssueKind::GlobalMem => "global_mem",
+            IssueKind::GlobalAtomic => "global_atomic",
+            IssueKind::LocalMem => "local_mem",
+            IssueKind::Control => "control",
+            IssueKind::Barrier => "barrier",
+        }
+    }
+}
+
 /// The result of issuing one group-instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOutcome {
@@ -89,19 +155,40 @@ pub struct ExecOutcome {
     pub conflict_extra: u32,
 }
 
-/// Execution state of one thread block.
+/// Execution state of one thread block, stored structure-of-arrays.
+///
+/// The register file is one flat `u64` vector laid out
+/// `[warp][register][lane]` with every warp padded to [`WARP_SIZE`] lanes,
+/// so a `(warp, reg)` pair addresses one contiguous cache-aligned row of 32
+/// lane slots — the unit the vectorized interpreter operates on. Per-thread
+/// control state (PC, done, parked barrier) lives in parallel columns
+/// indexed by thread id.
 #[derive(Debug, Clone)]
 pub struct BlockExec {
     /// Index of the owning launch within the run.
     pub launch_idx: usize,
     /// This block's `blockIdx.x`.
     pub block_idx: u32,
-    /// All threads, warp-major (thread `i` is lane `i % 32` of warp `i/32`).
-    pub threads: Vec<ThreadState>,
+    /// Threads in the block (the padding lanes past this are inert).
+    num_threads: usize,
+    /// Registers per thread.
+    num_regs: usize,
+    /// Per-thread local-memory bytes.
+    local_stride: usize,
+    /// Per-thread program counters.
+    pc: Vec<usize>,
+    /// Per-thread exit flags.
+    done: Vec<bool>,
+    /// Per-thread parked-barrier id ([`NO_BARRIER`] when runnable).
+    waiting: Vec<u8>,
+    /// SoA register lanes: `((warp * num_regs) + reg) * WARP_SIZE + lane`.
+    regs: Vec<u64>,
+    /// Per-thread local memory, flattened at `local_stride` bytes each.
+    local: Vec<u8>,
     /// The block's shared-memory frame (static + dynamic).
-    pub shared: Vec<u8>,
+    shared: Vec<u8>,
     /// Arrival counters for the 16 named barriers.
-    pub barrier_arrivals: [u32; 16],
+    barrier_arrivals: [u32; 16],
 }
 
 impl BlockExec {
@@ -109,19 +196,20 @@ impl BlockExec {
     pub fn new(launch: &Launch, launch_idx: usize, block_idx: u32) -> Self {
         let n = launch.threads_per_block() as usize;
         let kernel = &launch.kernel;
-        let threads = (0..n)
-            .map(|_| ThreadState {
-                pc: 0,
-                done: false,
-                waiting_barrier: None,
-                regs: vec![0; kernel.num_regs as usize],
-                local: vec![0; kernel.local_bytes as usize],
-            })
-            .collect();
+        let num_regs = kernel.num_regs as usize;
+        let num_warps = n.div_ceil(WARP_SIZE);
+        let local_stride = kernel.local_bytes as usize;
         BlockExec {
             launch_idx,
             block_idx,
-            threads,
+            num_threads: n,
+            num_regs,
+            local_stride,
+            pc: vec![0; n],
+            done: vec![false; n],
+            waiting: vec![NO_BARRIER; n],
+            regs: vec![0; num_warps * num_regs * WARP_SIZE],
+            local: vec![0; n * local_stride],
             shared: vec![0; launch.shared_bytes_per_block() as usize],
             barrier_arrivals: [0; 16],
         }
@@ -129,30 +217,83 @@ impl BlockExec {
 
     /// Number of warps in the block.
     pub fn num_warps(&self) -> usize {
-        self.threads.len().div_ceil(WARP_SIZE)
+        self.num_threads.div_ceil(WARP_SIZE)
     }
 
     /// True once every thread has exited.
     pub fn all_done(&self) -> bool {
-        self.threads.iter().all(|t| t.done)
+        self.done.iter().all(|&d| d)
     }
 
     /// Number of warps with at least one unfinished thread.
     pub fn live_warps(&self) -> u32 {
         (0..self.num_warps())
-            .filter(|&w| self.warp_threads(w).iter().any(|t| !t.done))
+            .filter(|&w| {
+                let (s, e) = self.warp_bounds(w);
+                self.done[s..e].iter().any(|&d| !d)
+            })
             .count() as u32
     }
 
+    /// `[start, end)` thread ids of a warp (`end` is clipped for the last,
+    /// possibly partial, warp).
     fn warp_bounds(&self, warp: usize) -> (usize, usize) {
         let start = warp * WARP_SIZE;
-        let end = (start + WARP_SIZE).min(self.threads.len());
+        let end = (start + WARP_SIZE).min(self.num_threads);
         (start, end)
     }
 
-    fn warp_threads(&self, warp: usize) -> &[ThreadState] {
-        let (s, e) = self.warp_bounds(warp);
-        &self.threads[s..e]
+    /// Index of the first lane slot of `(warp, reg)` in the SoA file.
+    #[inline(always)]
+    fn reg_base(&self, warp: usize, reg: u32) -> usize {
+        (warp * self.num_regs + reg as usize) * WARP_SIZE
+    }
+
+    /// The 32 lane slots of `(warp, reg)`.
+    #[inline(always)]
+    fn warp_reg(&self, warp: usize, reg: u32) -> &[u64; WARP_SIZE] {
+        let b = self.reg_base(warp, reg);
+        self.regs[b..b + WARP_SIZE]
+            .try_into()
+            .expect("lane row is WARP_SIZE long")
+    }
+
+    /// Mutable 32 lane slots of `(warp, reg)`.
+    #[inline(always)]
+    fn warp_reg_mut(&mut self, warp: usize, reg: u32) -> &mut [u64; WARP_SIZE] {
+        let b = self.reg_base(warp, reg);
+        (&mut self.regs[b..b + WARP_SIZE])
+            .try_into()
+            .expect("lane row is WARP_SIZE long")
+    }
+
+    /// Copy of the 32 lane slots of `(warp, reg)` — the gather buffer the
+    /// vectorized ops read through (also sidesteps `dst`/`src` aliasing).
+    #[inline(always)]
+    fn warp_reg_copy(&self, warp: usize, reg: u32) -> [u64; WARP_SIZE] {
+        *self.warp_reg(warp, reg)
+    }
+
+    /// One thread's value of `reg` (scalar path and cross-warp helpers).
+    #[inline(always)]
+    fn lane_reg(&self, tid: usize, reg: u32) -> u64 {
+        self.regs[self.reg_base(tid / WARP_SIZE, reg) + tid % WARP_SIZE]
+    }
+
+    /// Sets one thread's value of `reg`.
+    #[inline(always)]
+    fn set_lane_reg(&mut self, tid: usize, reg: u32, v: u64) {
+        let i = self.reg_base(tid / WARP_SIZE, reg) + tid % WARP_SIZE;
+        self.regs[i] = v;
+    }
+
+    /// Advances the PC of every active lane to `next`.
+    #[inline(always)]
+    fn advance(&mut self, warp: usize, mask: u32, next: usize) {
+        let start = warp * WARP_SIZE;
+        for lane in (Lanes { mask }) {
+            self.pc[start + lane] = next;
+        }
     }
 
     /// Decodes the memory space a `Ld`/`St`/`Atom` at the group's PC will
@@ -170,8 +311,7 @@ impl BlockExec {
             return None;
         }
         let lane = mask.trailing_zeros() as usize;
-        let (start, _) = self.warp_bounds(warp);
-        Some(MemAddr(self.threads[start + lane].regs[addr_reg as usize]).space())
+        Some(MemAddr(self.regs[self.reg_base(warp, addr_reg) + lane]).space())
     }
 
     /// Finds the min-PC runnable group of a warp.
@@ -179,13 +319,13 @@ impl BlockExec {
         let (start, end) = self.warp_bounds(warp);
         let mut min_pc = usize::MAX;
         let mut any_live = false;
-        for t in &self.threads[start..end] {
-            if t.done {
+        for tid in start..end {
+            if self.done[tid] {
                 continue;
             }
             any_live = true;
-            if t.waiting_barrier.is_none() && t.pc < min_pc {
-                min_pc = t.pc;
+            if self.waiting[tid] == NO_BARRIER && self.pc[tid] < min_pc {
+                min_pc = self.pc[tid];
             }
         }
         if !any_live {
@@ -195,9 +335,9 @@ impl BlockExec {
             return WarpPeek::Blocked;
         }
         let mut mask = 0u32;
-        for (lane, t) in self.threads[start..end].iter().enumerate() {
-            if !t.done && t.waiting_barrier.is_none() && t.pc == min_pc {
-                mask |= 1 << lane;
+        for tid in start..end {
+            if !self.done[tid] && self.waiting[tid] == NO_BARRIER && self.pc[tid] == min_pc {
+                mask |= 1 << (tid - start);
             }
         }
         WarpPeek::Exec { pc: min_pc, mask }
@@ -207,6 +347,13 @@ impl BlockExec {
     /// reading the instruction from the pre-decoded buffer `prog`.
     /// When `san` is given, memory accesses and barrier events are also
     /// reported to the sanitizer.
+    ///
+    /// Register-pure instructions run lane-vectorized unless the decoded
+    /// kernel was built with vectorization off (the `HFUSE_SIM_NO_VECTOR`
+    /// escape hatch), in which case the scalar per-lane reference
+    /// interpreter runs; both produce bit-identical state. Instructions
+    /// with per-lane side effects (memory, shuffles, votes, barriers) share
+    /// one implementation that reports events in ascending lane order.
     ///
     /// # Errors
     ///
@@ -231,17 +378,18 @@ impl BlockExec {
     ) -> Result<ExecOutcome, SimError> {
         let kernel = &launch.kernel;
         let dinst = &prog.insts[pc];
-        let (warp_start, _) = self.warp_bounds(warp);
+        let warp_start = warp * WARP_SIZE;
 
         // Warp-uniform fast path: when the whole group reads identical
-        // operand values, evaluate once and broadcast instead of looping
-        // 32 scalar evaluations. Timing-transparent — the outcome kind is
-        // identical to the scalar path's.
+        // operand values, evaluate once and broadcast instead of a full
+        // lane loop — the degenerate single-chunk case of the vectorized
+        // interpreter. Timing-transparent — the outcome kind is identical
+        // to both full paths'.
         if dinst.uniform_eligible && mask.count_ones() > 1 {
             if let Some(out) = self.exec_uniform_group(
                 launch,
                 &dinst.inst,
-                warp_start,
+                warp,
                 pc,
                 mask,
                 dinst.statically_uniform,
@@ -267,29 +415,47 @@ impl BlockExec {
 
         match inst {
             Inst::Imm { dst, value } => {
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.regs[*dst as usize] = *value;
-                    t.pc = pc + 1;
+                if prog.vector {
+                    fill_masked(self.warp_reg_mut(warp, *dst), mask, *value);
+                } else {
+                    for lane in lanes {
+                        self.set_lane_reg(warp_start + lane, *dst, *value);
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::Mov { dst, src } => {
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.regs[*dst as usize] = t.regs[*src as usize];
-                    t.pc = pc + 1;
+                if prog.vector {
+                    let v = self.warp_reg_copy(warp, *src);
+                    lanewise1(self.warp_reg_mut(warp, *dst), &v, mask, |x| x);
+                } else {
+                    for lane in lanes {
+                        let tid = warp_start + lane;
+                        let v = self.lane_reg(tid, *src);
+                        self.set_lane_reg(tid, *dst, v);
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::Bin { op, ty, dst, a, b } => {
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    let va = t.regs[*a as usize];
-                    let vb = t.regs[*b as usize];
-                    t.regs[*dst as usize] = alu::bin(*op, *ty, va, vb);
-                    t.pc = pc + 1;
+                if prog.vector {
+                    let (op, ty) = (*op, *ty);
+                    let va = self.warp_reg_copy(warp, *a);
+                    let vb = self.warp_reg_copy(warp, *b);
+                    lanewise2(self.warp_reg_mut(warp, *dst), &va, &vb, mask, |x, y| {
+                        alu::bin(op, ty, x, y)
+                    });
+                } else {
+                    for lane in lanes {
+                        let tid = warp_start + lane;
+                        let va = self.lane_reg(tid, *a);
+                        let vb = self.lane_reg(tid, *b);
+                        self.set_lane_reg(tid, *dst, alu::bin(*op, *ty, va, vb));
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 // Divides are iterative on real hardware for integers and
                 // a multi-instruction reciprocal sequence for floats.
                 let kind = if matches!(op, BinIr::Div | BinIr::Rem) {
@@ -300,12 +466,20 @@ impl BlockExec {
                 Ok(simple(kind))
             }
             Inst::Un { op, ty, dst, a } => {
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    let va = t.regs[*a as usize];
-                    t.regs[*dst as usize] = alu::un(*op, *ty, va);
-                    t.pc = pc + 1;
+                if prog.vector {
+                    let (op, ty) = (*op, *ty);
+                    let va = self.warp_reg_copy(warp, *a);
+                    lanewise1(self.warp_reg_mut(warp, *dst), &va, mask, |x| {
+                        alu::un(op, ty, x)
+                    });
+                } else {
+                    for lane in lanes {
+                        let tid = warp_start + lane;
+                        let va = self.lane_reg(tid, *a);
+                        self.set_lane_reg(tid, *dst, alu::un(*op, *ty, va));
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 let kind = match op {
                     UnIr::Sqrt | UnIr::Rsqrt | UnIr::Exp | UnIr::Log => IssueKind::Special,
                     _ => IssueKind::Alu,
@@ -313,64 +487,96 @@ impl BlockExec {
                 Ok(simple(kind))
             }
             Inst::Cast { dst, src, from, to } => {
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    let v = t.regs[*src as usize];
-                    t.regs[*dst as usize] = alu::cast(*from, *to, v);
-                    t.pc = pc + 1;
+                if prog.vector {
+                    let (from, to) = (*from, *to);
+                    let v = self.warp_reg_copy(warp, *src);
+                    lanewise1(self.warp_reg_mut(warp, *dst), &v, mask, |x| {
+                        alu::cast(from, to, x)
+                    });
+                } else {
+                    for lane in lanes {
+                        let tid = warp_start + lane;
+                        let v = self.lane_reg(tid, *src);
+                        self.set_lane_reg(tid, *dst, alu::cast(*from, *to, v));
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::Special { dst, reg } => {
-                for lane in lanes {
-                    let tid = warp_start + lane;
-                    let v = self.special_value(launch, *reg, tid);
-                    let t = &mut self.threads[tid];
-                    t.regs[*dst as usize] = v;
-                    t.pc = pc + 1;
+                if prog.vector {
+                    // The value is pure arithmetic on the thread id, so
+                    // padding lanes are harmless to evaluate.
+                    let mut vals = [0u64; WARP_SIZE];
+                    for (l, v) in vals.iter_mut().enumerate() {
+                        *v = self.special_value(launch, *reg, warp_start + l);
+                    }
+                    let d = self.warp_reg_mut(warp, *dst);
+                    for l in 0..WARP_SIZE {
+                        d[l] = if mask & (1 << l) != 0 { vals[l] } else { d[l] };
+                    }
+                } else {
+                    for lane in lanes {
+                        let tid = warp_start + lane;
+                        let v = self.special_value(launch, *reg, tid);
+                        self.set_lane_reg(tid, *dst, v);
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::LdParam { dst, index } => {
                 let bits = launch.args[*index as usize].to_bits();
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.regs[*dst as usize] = bits;
-                    t.pc = pc + 1;
+                if prog.vector {
+                    fill_masked(self.warp_reg_mut(warp, *dst), mask, bits);
+                } else {
+                    for lane in lanes {
+                        self.set_lane_reg(warp_start + lane, *dst, bits);
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::SharedAddr { dst, offset } => {
                 let addr = MemAddr::shared(*offset).0;
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.regs[*dst as usize] = addr;
-                    t.pc = pc + 1;
+                if prog.vector {
+                    fill_masked(self.warp_reg_mut(warp, *dst), mask, addr);
+                } else {
+                    for lane in lanes {
+                        self.set_lane_reg(warp_start + lane, *dst, addr);
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::LocalAddr { dst, offset } => {
                 let addr = MemAddr::local(*offset).0;
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.regs[*dst as usize] = addr;
-                    t.pc = pc + 1;
+                if prog.vector {
+                    fill_masked(self.warp_reg_mut(warp, *dst), mask, addr);
+                } else {
+                    for lane in lanes {
+                        self.set_lane_reg(warp_start + lane, *dst, addr);
+                    }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Alu))
             }
             Inst::Ld { ty, dst, addr } => {
+                // Gather addresses through the per-warp lane buffer, then
+                // perform the actual loads (and sanitizer events) in
+                // ascending lane order — the same event stream as the
+                // scalar interpreter.
+                let addrs = self.warp_reg_copy(warp, *addr);
+                let mut vals = [0u64; WARP_SIZE];
                 let mut segs = SegmentSet::new();
                 let mut kind = IssueKind::SharedMem;
                 for lane in lanes {
                     let tid = warp_start + lane;
-                    let a = MemAddr(self.threads[tid].regs[*addr as usize]);
-                    let v = self.load(mem, tid, a, *ty)?;
+                    let a = MemAddr(addrs[lane]);
+                    vals[lane] = self.load(mem, tid, a, *ty)?;
                     if let Some(s) = san.as_deref_mut() {
                         s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), false, false);
                     }
-                    let t = &mut self.threads[tid];
-                    t.regs[*dst as usize] = v;
-                    t.pc = pc + 1;
                     match a.space() {
                         thread_ir::Space::Global => {
                             kind = IssueKind::GlobalMem;
@@ -380,6 +586,11 @@ impl BlockExec {
                         thread_ir::Space::Shared => {}
                     }
                 }
+                let d = self.warp_reg_mut(warp, *dst);
+                for l in 0..WARP_SIZE {
+                    d[l] = if mask & (1 << l) != 0 { vals[l] } else { d[l] };
+                }
+                self.advance(warp, mask, pc + 1);
                 Ok(ExecOutcome {
                     kind,
                     transactions: segs.count(),
@@ -387,17 +598,17 @@ impl BlockExec {
                 })
             }
             Inst::St { ty, addr, val } => {
+                let addrs = self.warp_reg_copy(warp, *addr);
+                let vals = self.warp_reg_copy(warp, *val);
                 let mut segs = SegmentSet::new();
                 let mut kind = IssueKind::SharedMem;
                 for lane in lanes {
                     let tid = warp_start + lane;
-                    let a = MemAddr(self.threads[tid].regs[*addr as usize]);
-                    let v = self.threads[tid].regs[*val as usize];
-                    self.store(mem, tid, a, *ty, v)?;
+                    let a = MemAddr(addrs[lane]);
+                    self.store(mem, tid, a, *ty, vals[lane])?;
                     if let Some(s) = san.as_deref_mut() {
                         s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), true, false);
                     }
-                    self.threads[tid].pc = pc + 1;
                     match a.space() {
                         thread_ir::Space::Global => {
                             kind = IssueKind::GlobalMem;
@@ -407,6 +618,7 @@ impl BlockExec {
                         thread_ir::Space::Shared => {}
                     }
                 }
+                self.advance(warp, mask, pc + 1);
                 Ok(ExecOutcome {
                     kind,
                     transactions: segs.count(),
@@ -420,13 +632,19 @@ impl BlockExec {
                 addr,
                 val,
             } => {
+                // Atomics are inherently serial per lane (lane i's store
+                // must be visible to lane j > i on the same address); only
+                // the operand gather and result scatter are vector-shaped.
+                let addrs = self.warp_reg_copy(warp, *addr);
+                let vals = self.warp_reg_copy(warp, *val);
+                let mut olds = [0u64; WARP_SIZE];
                 let mut segs = SegmentSet::new();
                 let mut kind = IssueKind::SharedAtomic;
-                let mut addrs: Vec<u64> = Vec::new();
+                let mut sorted_addrs: Vec<u64> = Vec::new();
                 for lane in lanes {
                     let tid = warp_start + lane;
-                    let a = MemAddr(self.threads[tid].regs[*addr as usize]);
-                    let v = self.threads[tid].regs[*val as usize];
+                    let a = MemAddr(addrs[lane]);
+                    let v = vals[lane];
                     let old = self.load(mem, tid, a, *ty)?;
                     let new = match op {
                         AtomOp::Add => alu::bin(BinIr::Add, *ty, old, v),
@@ -437,18 +655,21 @@ impl BlockExec {
                     if let Some(s) = san.as_deref_mut() {
                         s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), true, true);
                     }
-                    let t = &mut self.threads[tid];
-                    t.regs[*dst as usize] = old;
-                    t.pc = pc + 1;
-                    addrs.push(a.0);
+                    olds[lane] = old;
+                    sorted_addrs.push(a.0);
                     if a.space() == thread_ir::Space::Global {
                         kind = IssueKind::GlobalAtomic;
                         segs.insert(a, seg_bytes);
                     }
                 }
+                let d = self.warp_reg_mut(warp, *dst);
+                for l in 0..WARP_SIZE {
+                    d[l] = if mask & (1 << l) != 0 { olds[l] } else { d[l] };
+                }
+                self.advance(warp, mask, pc + 1);
                 // Serialization cost: colliding addresses retry one by one.
-                addrs.sort_unstable();
-                let conflicts = addrs.windows(2).filter(|w| w[0] == w[1]).count() as u32;
+                sorted_addrs.sort_unstable();
+                let conflicts = sorted_addrs.windows(2).filter(|w| w[0] == w[1]).count() as u32;
                 Ok(ExecOutcome {
                     kind,
                     transactions: segs.count(),
@@ -462,17 +683,19 @@ impl BlockExec {
                 lane: lane_reg,
                 width,
             } => {
-                // Phase 1: read all source values (before any write, since
-                // dst may alias src).
+                // The source row is read in full before any write (dst may
+                // alias src); lanes past the block's thread count fall back
+                // to the reading lane's own value, mirroring out-of-range
+                // shuffle semantics.
+                let srcs = self.warp_reg_copy(warp, *src);
+                let ops = self.warp_reg_copy(warp, *lane_reg);
+                let wids = self.warp_reg_copy(warp, *width);
                 let (ws, we) = self.warp_bounds(warp);
-                let warp_vals: Vec<u64> = self.threads[ws..we]
-                    .iter()
-                    .map(|t| t.regs[*src as usize])
-                    .collect();
+                let valid = we - ws;
+                let mut vals = [0u64; WARP_SIZE];
                 for lane in lanes {
-                    let tid = warp_start + lane;
-                    let operand = self.threads[tid].regs[*lane_reg as usize] as u32;
-                    let w = (self.threads[tid].regs[*width as usize] as u32).clamp(1, 32);
+                    let operand = ops[lane] as u32;
+                    let w = (wids[lane] as u32).clamp(1, 32);
                     let lane_u = lane as u32;
                     let src_lane = match kind {
                         ShflKind::Xor => lane_u ^ operand,
@@ -486,14 +709,17 @@ impl BlockExec {
                             }
                         }
                     };
-                    let v = warp_vals
-                        .get(src_lane as usize)
-                        .copied()
-                        .unwrap_or(warp_vals[lane]);
-                    let t = &mut self.threads[tid];
-                    t.regs[*dst as usize] = v;
-                    t.pc = pc + 1;
+                    vals[lane] = if (src_lane as usize) < valid {
+                        srcs[src_lane as usize]
+                    } else {
+                        srcs[lane]
+                    };
                 }
+                let d = self.warp_reg_mut(warp, *dst);
+                for l in 0..WARP_SIZE {
+                    d[l] = if mask & (1 << l) != 0 { vals[l] } else { d[l] };
+                }
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Shuffle))
             }
             Inst::Vote { kind, dst, src } => {
@@ -501,9 +727,10 @@ impl BlockExec {
                 // CUDA `_sync` mask is evaluated and dropped at lowering;
                 // fused-kernel guards are warp-uniform so the group *is*
                 // the active mask).
+                let srcs = self.warp_reg_copy(warp, *src);
                 let mut ballot = 0u32;
                 for lane in lanes {
-                    if self.threads[warp_start + lane].regs[*src as usize] != 0 {
+                    if srcs[lane] != 0 {
                         ballot |= 1 << lane;
                     }
                 }
@@ -512,11 +739,8 @@ impl BlockExec {
                     VoteKind::Any => u64::from(ballot != 0),
                     VoteKind::All => u64::from(ballot == mask),
                 };
-                for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.regs[*dst as usize] = value;
-                    t.pc = pc + 1;
-                }
+                fill_masked(self.warp_reg_mut(warp, *dst), mask, value);
+                self.advance(warp, mask, pc + 1);
                 Ok(simple(IssueKind::Shuffle))
             }
             Inst::Bar { id, count } => {
@@ -529,20 +753,20 @@ impl BlockExec {
                     s.on_barrier_arrival(&san_ctx, *id, expected, fixed);
                 }
                 let group_size = mask.count_ones();
+                let id8 = *id as u8;
                 for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    t.waiting_barrier = Some(*id as u8);
-                    t.pc = pc + 1;
+                    let tid = warp_start + lane;
+                    self.waiting[tid] = id8;
+                    self.pc[tid] = pc + 1;
                 }
                 self.barrier_arrivals[*id as usize] += group_size;
                 if self.barrier_arrivals[*id as usize] >= expected {
                     self.barrier_arrivals[*id as usize] -= expected;
-                    let id8 = *id as u8;
                     let collect = san.is_some();
                     let mut released: Vec<u32> = Vec::new();
-                    for (tid, t) in self.threads.iter_mut().enumerate() {
-                        if t.waiting_barrier == Some(id8) {
-                            t.waiting_barrier = None;
+                    for tid in 0..self.num_threads {
+                        if self.waiting[tid] == id8 {
+                            self.waiting[tid] = NO_BARRIER;
                             if collect {
                                 released.push(tid as u32);
                             }
@@ -559,22 +783,20 @@ impl BlockExec {
                 if_zero,
                 target,
             } => {
+                let conds = self.warp_reg_copy(warp, *cond);
                 for lane in lanes {
-                    let t = &mut self.threads[warp_start + lane];
-                    let taken = (t.regs[*cond as usize] == 0) == *if_zero;
-                    t.pc = if taken { *target } else { pc + 1 };
+                    let taken = (conds[lane] == 0) == *if_zero;
+                    self.pc[warp_start + lane] = if taken { *target } else { pc + 1 };
                 }
                 Ok(simple(IssueKind::Control))
             }
             Inst::Jmp { target } => {
-                for lane in lanes {
-                    self.threads[warp_start + lane].pc = *target;
-                }
+                self.advance(warp, mask, *target);
                 Ok(simple(IssueKind::Control))
             }
             Inst::Ret => {
                 for lane in lanes {
-                    self.threads[warp_start + lane].done = true;
+                    self.done[warp_start + lane] = true;
                 }
                 Ok(simple(IssueKind::Control))
             }
@@ -583,25 +805,25 @@ impl BlockExec {
 
     /// True when every active lane of the group holds the same value in
     /// `reg`.
-    fn lanes_uniform(&self, warp_start: usize, mask: u32, reg: u32) -> bool {
-        let first = warp_start + mask.trailing_zeros() as usize;
-        let v = self.threads[first].regs[reg as usize];
-        Lanes { mask }.all(|lane| self.threads[warp_start + lane].regs[reg as usize] == v)
+    fn lanes_uniform(&self, warp: usize, mask: u32, reg: u32) -> bool {
+        let row = self.warp_reg(warp, reg);
+        let v = row[mask.trailing_zeros() as usize];
+        Lanes { mask }.all(|lane| row[lane] == v)
     }
 
     /// [`Self::lanes_uniform`] with a static shortcut: when dataflow already
     /// proved the register uniform at this PC the runtime scan is skipped
     /// (validated by a debug assertion, which the differential and fuzz
     /// test suites run with enabled).
-    fn group_uniform(&self, warp_start: usize, mask: u32, reg: u32, proven: bool) -> bool {
+    fn group_uniform(&self, warp: usize, mask: u32, reg: u32, proven: bool) -> bool {
         if proven {
             debug_assert!(
-                self.lanes_uniform(warp_start, mask, reg),
+                self.lanes_uniform(warp, mask, reg),
                 "static uniformity fact violated at runtime for reg {reg}"
             );
             return true;
         }
-        self.lanes_uniform(warp_start, mask, reg)
+        self.lanes_uniform(warp, mask, reg)
     }
 
     /// The warp-uniform fast path: evaluates a register-pure instruction
@@ -610,35 +832,34 @@ impl BlockExec {
     /// identical operand values. The operand comparison is a runtime scan
     /// unless `proven` says static analysis already established uniformity
     /// at this PC. Returns `None` when the operands diverge (the caller
-    /// falls back to the scalar loop). The `IssueKind` mapping mirrors the
-    /// scalar path exactly so timing is unchanged.
-    #[allow(clippy::too_many_arguments)]
+    /// falls back to the full lane loop). The `IssueKind` mapping mirrors
+    /// the full paths exactly so timing is unchanged.
     fn exec_uniform_group(
         &mut self,
         launch: &Launch,
         inst: &Inst,
-        warp_start: usize,
+        warp: usize,
         pc: usize,
         mask: u32,
         proven: bool,
     ) -> Option<ExecOutcome> {
-        let first = warp_start + mask.trailing_zeros() as usize;
+        let first = warp * WARP_SIZE + mask.trailing_zeros() as usize;
         let (dst, value, kind) = match inst {
             Inst::Mov { dst, src } => {
-                if !self.group_uniform(warp_start, mask, *src, proven) {
+                if !self.group_uniform(warp, mask, *src, proven) {
                     return None;
                 }
-                let v = self.threads[first].regs[*src as usize];
+                let v = self.lane_reg(first, *src);
                 (*dst, v, IssueKind::Alu)
             }
             Inst::Bin { op, ty, dst, a, b } => {
-                if !self.group_uniform(warp_start, mask, *a, proven)
-                    || !self.group_uniform(warp_start, mask, *b, proven)
+                if !self.group_uniform(warp, mask, *a, proven)
+                    || !self.group_uniform(warp, mask, *b, proven)
                 {
                     return None;
                 }
-                let va = self.threads[first].regs[*a as usize];
-                let vb = self.threads[first].regs[*b as usize];
+                let va = self.lane_reg(first, *a);
+                let vb = self.lane_reg(first, *b);
                 let kind = if matches!(op, BinIr::Div | BinIr::Rem) {
                     IssueKind::Div
                 } else {
@@ -647,10 +868,10 @@ impl BlockExec {
                 (*dst, alu::bin(*op, *ty, va, vb), kind)
             }
             Inst::Un { op, ty, dst, a } => {
-                if !self.group_uniform(warp_start, mask, *a, proven) {
+                if !self.group_uniform(warp, mask, *a, proven) {
                     return None;
                 }
-                let va = self.threads[first].regs[*a as usize];
+                let va = self.lane_reg(first, *a);
                 let kind = match op {
                     UnIr::Sqrt | UnIr::Rsqrt | UnIr::Exp | UnIr::Log => IssueKind::Special,
                     _ => IssueKind::Alu,
@@ -658,10 +879,10 @@ impl BlockExec {
                 (*dst, alu::un(*op, *ty, va), kind)
             }
             Inst::Cast { dst, src, from, to } => {
-                if !self.group_uniform(warp_start, mask, *src, proven) {
+                if !self.group_uniform(warp, mask, *src, proven) {
                     return None;
                 }
-                let v = self.threads[first].regs[*src as usize];
+                let v = self.lane_reg(first, *src);
                 (*dst, alu::cast(*from, *to, v), IssueKind::Alu)
             }
             // Decode only marks block-uniform special registers eligible,
@@ -673,11 +894,8 @@ impl BlockExec {
             ),
             _ => return None,
         };
-        for lane in (Lanes { mask }) {
-            let t = &mut self.threads[warp_start + lane];
-            t.regs[dst as usize] = value;
-            t.pc = pc + 1;
-        }
+        fill_masked(self.warp_reg_mut(warp, dst), mask, value);
+        self.advance(warp, mask, pc + 1);
         Some(ExecOutcome {
             kind,
             transactions: 0,
@@ -715,7 +933,13 @@ impl BlockExec {
             thread_ir::Space::Global => mem.load(addr.buffer(), addr.offset(), w)?,
             thread_ir::Space::Shared => read_bytes(&self.shared, addr.offset(), w, "shared load")?,
             thread_ir::Space::Local => {
-                read_bytes(&self.threads[tid].local, addr.offset(), w, "local load")?
+                let s = tid * self.local_stride;
+                read_bytes(
+                    &self.local[s..s + self.local_stride],
+                    addr.offset(),
+                    w,
+                    "local load",
+                )?
             }
         };
         Ok(alu::canon_load(ty, raw))
@@ -735,14 +959,50 @@ impl BlockExec {
             thread_ir::Space::Shared => {
                 write_bytes(&mut self.shared, addr.offset(), w, value, "shared store")
             }
-            thread_ir::Space::Local => write_bytes(
-                &mut self.threads[tid].local,
-                addr.offset(),
-                w,
-                value,
-                "local store",
-            ),
+            thread_ir::Space::Local => {
+                let s = tid * self.local_stride;
+                write_bytes(
+                    &mut self.local[s..s + self.local_stride],
+                    addr.offset(),
+                    w,
+                    value,
+                    "local store",
+                )
+            }
         }
+    }
+}
+
+/// Branch-free masked unary lane loop: every lane evaluates `f` (total on
+/// garbage inputs), a mask select keeps inactive destinations intact.
+#[inline(always)]
+fn lanewise1(d: &mut [u64; WARP_SIZE], a: &[u64; WARP_SIZE], mask: u32, f: impl Fn(u64) -> u64) {
+    for l in 0..WARP_SIZE {
+        let v = f(a[l]);
+        d[l] = if mask & (1 << l) != 0 { v } else { d[l] };
+    }
+}
+
+/// Branch-free masked binary lane loop (see [`lanewise1`]).
+#[inline(always)]
+fn lanewise2(
+    d: &mut [u64; WARP_SIZE],
+    a: &[u64; WARP_SIZE],
+    b: &[u64; WARP_SIZE],
+    mask: u32,
+    f: impl Fn(u64, u64) -> u64,
+) {
+    for l in 0..WARP_SIZE {
+        let v = f(a[l], b[l]);
+        d[l] = if mask & (1 << l) != 0 { v } else { d[l] };
+    }
+}
+
+/// Branch-free masked broadcast of one value into the active lanes.
+#[inline(always)]
+fn fill_masked(d: &mut [u64; WARP_SIZE], mask: u32, value: u64) {
+    for (l, slot) in d.iter_mut().enumerate() {
+        *slot = if mask & (1 << l) != 0 { value } else { *slot };
     }
 }
 
@@ -831,6 +1091,36 @@ mod tests {
     fn lanes_iterates_set_bits() {
         let lanes: Vec<usize> = Lanes { mask: 0b1010_0001 }.collect();
         assert_eq!(lanes, vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn issue_kind_index_round_trips() {
+        for (i, k) in IssueKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let names: std::collections::HashSet<_> = IssueKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), IssueKind::COUNT, "names must be unique");
+    }
+
+    #[test]
+    fn masked_lane_helpers_leave_inactive_lanes_intact() {
+        let mut d = [7u64; WARP_SIZE];
+        fill_masked(&mut d, 0b101, 9);
+        assert_eq!(d[0], 9);
+        assert_eq!(d[1], 7);
+        assert_eq!(d[2], 9);
+        assert_eq!(d[3], 7);
+
+        let a = [3u64; WARP_SIZE];
+        let b = [4u64; WARP_SIZE];
+        let mut d = [0u64; WARP_SIZE];
+        lanewise2(&mut d, &a, &b, 0b10, |x, y| x + y);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 7);
+
+        let mut d = [1u64; WARP_SIZE];
+        lanewise1(&mut d, &a, 0xffff_ffff, |x| x * 2);
+        assert!(d.iter().all(|&v| v == 6));
     }
 
     #[test]

@@ -40,10 +40,12 @@
 
 pub mod config;
 pub mod decode;
+pub mod env;
 pub mod exec;
 pub mod launch;
 pub mod memory;
 pub mod metrics;
+pub mod model;
 pub mod occupancy;
 pub mod sanitizer;
 pub mod timing;
@@ -53,9 +55,11 @@ mod error;
 pub use config::GpuConfig;
 pub use decode::DecodedKernel;
 pub use error::SimError;
+pub use exec::IssueKind;
 pub use launch::{Launch, ParamValue};
 pub use memory::{BufferId, GpuMemory};
 pub use metrics::{BudgetedRun, RunMetrics, RunResult};
+pub use model::{fused_dyn_mix, model_estimate, static_class_mix, ClassMix, DynMix};
 pub use occupancy::{blocks_per_sm, cost_estimate, OccupancyLimits};
 pub use sanitizer::{ReportKind, Sanitizer, SanitizerReport};
 pub use timing::Gpu;

@@ -1,5 +1,7 @@
 //! Run metrics mirroring the `nvprof` counters the paper reports.
 
+use crate::exec::IssueKind;
+
 /// Aggregate counters for one [`crate::Gpu::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunMetrics {
@@ -29,6 +31,11 @@ pub struct RunMetrics {
     pub thread_insts: u64,
     /// Global-memory transactions issued.
     pub mem_transactions: u64,
+    /// Issued warp-group instructions per latency class, indexed by
+    /// [`IssueKind::index`]. The per-class mix is what the calibrated
+    /// analytic search model fits against, and lets reports explain *where*
+    /// a candidate's cycles went.
+    pub class_issues: [u64; IssueKind::COUNT],
 }
 
 impl RunMetrics {
@@ -63,6 +70,23 @@ impl RunMetrics {
         }
         100.0 * self.active_warp_cycles as f64
             / (self.active_sm_cycles as f64 * f64::from(self.max_warps_per_sm))
+    }
+
+    /// Issued warp-group instructions in one latency class.
+    pub fn class_count(&self, kind: IssueKind) -> u64 {
+        self.class_issues[kind.index()]
+    }
+
+    /// `(class, count)` rows of the issue histogram, densest first, zero
+    /// classes omitted — display form for reports.
+    pub fn class_histogram(&self) -> Vec<(IssueKind, u64)> {
+        let mut rows: Vec<(IssueKind, u64)> = IssueKind::ALL
+            .iter()
+            .map(|&k| (k, self.class_issues[k.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        rows.sort_by_key(|&(k, n)| (std::cmp::Reverse(n), k.index()));
+        rows
     }
 }
 
@@ -107,6 +131,7 @@ impl RunResult {
 /// mutated; callers profiling candidates on cloned devices can simply
 /// discard the clone.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // transient return value, one per profiled run
 pub enum BudgetedRun {
     /// The run finished with total cycles ≤ budget (identical to an
     /// unbudgeted run).
@@ -149,10 +174,28 @@ mod tests {
             max_warps_per_sm: 64,
             thread_insts: 0,
             mem_transactions: 0,
+            class_issues: [0; IssueKind::COUNT],
         };
         assert!((m.issue_slot_utilization() - 30.0).abs() < 1e-9);
         assert!((m.mem_stall_pct() - 70.0).abs() < 1e-9);
         assert!((m.occupancy_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_histogram_sorts_densest_first_and_drops_zeros() {
+        let mut m = RunMetrics::default();
+        m.class_issues[IssueKind::Alu.index()] = 10;
+        m.class_issues[IssueKind::GlobalMem.index()] = 40;
+        m.class_issues[IssueKind::Barrier.index()] = 2;
+        assert_eq!(m.class_count(IssueKind::GlobalMem), 40);
+        assert_eq!(
+            m.class_histogram(),
+            vec![
+                (IssueKind::GlobalMem, 40),
+                (IssueKind::Alu, 10),
+                (IssueKind::Barrier, 2),
+            ]
+        );
     }
 
     #[test]

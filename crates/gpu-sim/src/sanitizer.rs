@@ -461,7 +461,7 @@ impl Sanitizer {
 /// `HFUSE_SANITIZE=1` (any value but `0`) enables the sanitizer on every
 /// device the process creates.
 pub fn sanitize_enabled_by_env() -> bool {
-    std::env::var_os("HFUSE_SANITIZE").is_some_and(|v| v != "0")
+    crate::env::sanitize()
 }
 
 #[cfg(test)]

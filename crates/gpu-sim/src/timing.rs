@@ -41,6 +41,9 @@ pub struct Gpu {
     /// Warp-uniform broadcast fast path in the interpreter (see
     /// [`crate::decode`]); disabled by `HFUSE_SIM_NO_UNIFORM`.
     uniform_exec: bool,
+    /// Lane-vectorized interpreter loops (see [`crate::exec`]); disabled by
+    /// `HFUSE_SIM_NO_VECTOR` (falls back to the scalar per-lane path).
+    vector_exec: bool,
 }
 
 impl Gpu {
@@ -52,6 +55,7 @@ impl Gpu {
             memory: GpuMemory::new(),
             sanitizer: sanitize_enabled_by_env().then(|| Box::new(Sanitizer::new())),
             uniform_exec: !uniform_disabled_by_env(),
+            vector_exec: !vector_disabled_by_env(),
         }
     }
 
@@ -66,6 +70,19 @@ impl Gpu {
     /// True when the warp-uniform fast path is active.
     pub fn uniform_exec(&self) -> bool {
         self.uniform_exec
+    }
+
+    /// Enables or disables the lane-vectorized interpreter for subsequent
+    /// runs. Results and timing are identical either way; this is the
+    /// programmatic escape hatch differential tests use (the env
+    /// equivalent is `HFUSE_SIM_NO_VECTOR=1`).
+    pub fn set_vector_exec(&mut self, on: bool) {
+        self.vector_exec = on;
+    }
+
+    /// True when the lane-vectorized interpreter is active.
+    pub fn vector_exec(&self) -> bool {
+        self.vector_exec
     }
 
     /// Turns on the race/barrier sanitizer for subsequent runs (idempotent;
@@ -122,7 +139,7 @@ impl Gpu {
         }
         for (li, launch) in launches.iter().enumerate() {
             launch.validate()?;
-            let prog = DecodedKernel::new(&launch.kernel, self.uniform_exec);
+            let prog = DecodedKernel::new(&launch.kernel, self.uniform_exec, self.vector_exec);
             for b in 0..launch.grid_dim {
                 let mut blk = BlockExec::new(launch, li, b);
                 loop {
@@ -196,7 +213,7 @@ impl Gpu {
         for l in launches {
             l.validate()?;
         }
-        let mut engine = Engine::new(&self.config, launches, self.uniform_exec);
+        let mut engine = Engine::new(&self.config, launches, self.uniform_exec, self.vector_exec);
         engine.no_skip = no_skip;
         engine.trace_interval = interval.max(1);
         if let Some(s) = self.sanitizer.as_deref_mut() {
@@ -285,7 +302,7 @@ impl Gpu {
                 )));
             }
         }
-        let mut engine = Engine::new(&self.config, launches, self.uniform_exec);
+        let mut engine = Engine::new(&self.config, launches, self.uniform_exec, self.vector_exec);
         engine.no_skip = no_skip;
         engine.budget = budget;
         if let Some(s) = self.sanitizer.as_deref_mut() {
@@ -307,14 +324,21 @@ fn expect_completed(r: BudgetedRun) -> RunResult {
 /// `HFUSE_SIM_NO_SKIP=1` (any value but `0`) disables idle-cycle
 /// fast-forward globally — the escape hatch for A/B-ing the two loops.
 fn skip_disabled_by_env() -> bool {
-    std::env::var_os("HFUSE_SIM_NO_SKIP").is_some_and(|v| v != "0")
+    crate::env::sim_no_skip()
 }
 
 /// `HFUSE_SIM_NO_UNIFORM=1` (any value but `0`) disables the warp-uniform
 /// broadcast fast path globally — the escape hatch for A/B-ing the
 /// interpreter paths.
 fn uniform_disabled_by_env() -> bool {
-    std::env::var_os("HFUSE_SIM_NO_UNIFORM").is_some_and(|v| v != "0")
+    crate::env::sim_no_uniform()
+}
+
+/// `HFUSE_SIM_NO_VECTOR=1` (any value but `0`) selects the scalar per-lane
+/// interpreter globally — the escape hatch for A/B-ing the vectorized lane
+/// loops against the reference path.
+fn vector_disabled_by_env() -> bool {
+    crate::env::sim_no_vector()
 }
 
 /// Per-launch precomputed issue information.
@@ -335,7 +359,7 @@ struct LaunchCtx {
 }
 
 impl LaunchCtx {
-    fn new(launch: &Launch, uniform_exec: bool) -> Self {
+    fn new(launch: &Launch, uniform_exec: bool, vector_exec: bool) -> Self {
         let k = &launch.kernel;
         let mut spilled = vec![false; k.num_regs as usize];
         for &r in &k.spilled_regs {
@@ -359,7 +383,7 @@ impl LaunchCtx {
             spill_counts.push(n);
         }
         LaunchCtx {
-            prog: DecodedKernel::new(k, uniform_exec),
+            prog: DecodedKernel::new(k, uniform_exec, vector_exec),
             spill_counts,
             operand_regs,
             operand_spans,
@@ -556,13 +580,18 @@ struct SweepStats {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a GpuConfig, launches: &'a [Launch], uniform_exec: bool) -> Self {
+    fn new(
+        cfg: &'a GpuConfig,
+        launches: &'a [Launch],
+        uniform_exec: bool,
+        vector_exec: bool,
+    ) -> Self {
         Engine {
             cfg,
             launches,
             ctxs: launches
                 .iter()
-                .map(|l| LaunchCtx::new(l, uniform_exec))
+                .map(|l| LaunchCtx::new(l, uniform_exec, vector_exec))
                 .collect(),
             sms: (0..cfg.num_sms).map(|_| SmState::new(cfg)).collect(),
             next_block: vec![0; launches.len()],
@@ -1176,6 +1205,7 @@ impl<'a> Engine<'a> {
         now: u64,
     ) {
         let lat = &self.cfg.latencies;
+        self.metrics.class_issues[outcome.kind.index()] += 1;
         let extra_tx = u32::from(spill_cnt);
         let (mut latency, is_mem_kind) = match outcome.kind {
             IssueKind::Alu => (lat.alu, false),

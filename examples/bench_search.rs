@@ -1,8 +1,19 @@
-//! Wall-clock benchmark of the fusion-configuration search. Measures three
-//! arms per pair: the default branch-and-bound pruned search, the
-//! exhaustive search (`prune: false`), and the exhaustive search on the
-//! naive single-step simulator loop (`HFUSE_SIM_NO_SKIP=1`). Writes
-//! `BENCH_search.json` next to the working directory.
+//! Wall-clock benchmark of the fusion-configuration search. Measures five
+//! arms per pair:
+//!
+//! * `wall_ms` — the shipped default: branch-and-bound pruning, the
+//!   calibrated analytic pre-filter, and the lane-vectorized interpreter.
+//!   This is the arm the CI `bench-regression` job gates.
+//! * `wall_ms_no_model` — pruning only (`HFUSE_SEARCH_NO_MODEL=1`): what
+//!   the search cost before the model filter existed.
+//! * `wall_ms_scalar` — the default search on the scalar one-lane-at-a-time
+//!   interpreter (`HFUSE_SIM_NO_VECTOR=1`): what vectorization buys.
+//! * `wall_ms_exhaustive` — no pruning, no filter (`prune: false`).
+//! * `wall_ms_naive` — exhaustive on the naive single-step simulator loop
+//!   (`HFUSE_SIM_NO_SKIP=1`): the original reference cost.
+//!
+//! Every arm must report a bit-identical winner. Writes `BENCH_search.json`
+//! in the working directory.
 //!
 //! With `--enforce-baseline`, the committed `BENCH_search.json` is read
 //! before being overwritten and the run exits nonzero if any pair's
@@ -20,12 +31,15 @@ use hfuse::sim::{Gpu, GpuConfig};
 struct PairResult {
     pair: String,
     wall_ms: f64,
+    wall_ms_no_model: f64,
+    wall_ms_scalar: f64,
     wall_ms_exhaustive: f64,
     wall_ms_naive: f64,
     speedup: f64,
     sim_cycles: u64,
     candidates: usize,
     candidates_pruned: usize,
+    model_rank: usize,
     compile_ms: f64,
     profile_ms: f64,
 }
@@ -76,6 +90,10 @@ fn baseline_wall_ms(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+fn winner_key(r: &SearchReport) -> (u32, Option<u32>, u64) {
+    (r.best().d1, r.best().reg_bound, r.best().cycles)
+}
+
 fn main() {
     let enforce = std::env::args().any(|a| a == "--enforce-baseline");
     let baseline = std::fs::read_to_string("BENCH_search.json")
@@ -86,16 +104,18 @@ fn main() {
     // wall-clock measurement.
     std::env::set_var("HFUSE_SEARCH_THREADS", "1");
 
-    // The third pair is the memory-bound one: two independent Ethash
-    // instances (the dual-stream mining co-location from the paper's
-    // workload table). Every candidate — fused or not — is dominated by
-    // uncoalesced, dependent DAG lookups, so the device sits
-    // latency-stalled for most of the simulated time; that is exactly the
-    // case the fast-forward accelerates. It is also non-tunable (two
-    // candidates), so pruning has little to cut there.
+    // Five tunable DL pairs (14 candidates each — where pruning and the
+    // model filter have the most to cut) plus the memory-bound dual-Ethash
+    // mining co-location from the paper's workload table. Ethash is
+    // non-tunable (two candidates), so its wall clock isolates the
+    // simulator-side wins (fast-forward, vectorization) from the
+    // search-side ones.
     let pairs = [
         ("Maxpool", "Batchnorm", 1.0),
         ("Upsample", "Hist", 1.0),
+        ("Batchnorm", "Upsample", 1.0),
+        ("Batchnorm", "Im2Col", 1.0),
+        ("Hist", "Im2Col", 1.0),
         ("Ethash", "Ethash", 1.0),
     ];
 
@@ -107,57 +127,73 @@ fn main() {
         }
 
         std::env::remove_var("HFUSE_SIM_NO_SKIP");
+        std::env::remove_var("HFUSE_SIM_NO_VECTOR");
+        std::env::remove_var("HFUSE_SEARCH_NO_MODEL");
+
+        // The shipped default: prune + model filter + vectorized lanes.
         let (report, wall_ms) = run_search(first, second, scale_second, true);
+
+        // Pruning without the analytic pre-filter.
+        std::env::set_var("HFUSE_SEARCH_NO_MODEL", "1");
+        let (no_model, wall_ms_no_model) = run_search(first, second, scale_second, true);
+        std::env::remove_var("HFUSE_SEARCH_NO_MODEL");
+
+        // The default search on the scalar interpreter.
+        std::env::set_var("HFUSE_SIM_NO_VECTOR", "1");
+        let (scalar, wall_ms_scalar) = run_search(first, second, scale_second, true);
+        std::env::remove_var("HFUSE_SIM_NO_VECTOR");
+
         let (exhaustive, wall_ms_exhaustive) = run_search(first, second, scale_second, false);
 
         std::env::set_var("HFUSE_SIM_NO_SKIP", "1");
         let (naive_report, wall_ms_naive) = run_search(first, second, scale_second, false);
         std::env::remove_var("HFUSE_SIM_NO_SKIP");
 
-        // Pruning must not change the winner, and neither may the
-        // event-driven loop.
-        assert_eq!(
-            (
-                report.best().d1,
-                report.best().reg_bound,
-                report.best().cycles
-            ),
-            (
-                exhaustive.best().d1,
-                exhaustive.best().reg_bound,
-                exhaustive.best().cycles
-            ),
-            "pruning changed the search result for {name}"
-        );
-        assert_eq!(
-            exhaustive.best().cycles,
-            naive_report.best().cycles,
-            "fast-forward changed reported cycles for {name}"
-        );
+        // No arm may change the winner: not the model filter, not the
+        // budget aborts, not vectorization, not the event-driven loop.
+        for (arm, r) in [
+            ("no-model", &no_model),
+            ("scalar", &scalar),
+            ("exhaustive", &exhaustive),
+            ("naive", &naive_report),
+        ] {
+            assert_eq!(
+                winner_key(&report),
+                winner_key(r),
+                "{arm} arm changed the search result for {name}"
+            );
+        }
 
         let r = PairResult {
             pair: name,
             wall_ms,
+            wall_ms_no_model,
+            wall_ms_scalar,
             wall_ms_exhaustive,
             wall_ms_naive,
             speedup: wall_ms_naive / wall_ms,
             sim_cycles: report.best().cycles,
             candidates: report.candidates.len(),
             candidates_pruned: report.pruned_count(),
+            model_rank: report.best_model_rank(),
             compile_ms: report.compile_ms,
             profile_ms: report.profile_ms,
         };
         println!(
-            "{:<22} {:>9.1} ms pruned | {:>9.1} ms exhaustive | {:>9.1} ms naive | {:>5.2}x | \
-             best {} cycles ({} candidates, {} pruned)",
+            "{:<22} {:>8.1} ms default | {:>8.1} ms no-model | {:>8.1} ms scalar | \
+             {:>8.1} ms exhaustive | {:>8.1} ms naive | {:>5.2}x | best {} cycles \
+             ({} candidates, {} pruned, model rank {})",
             r.pair,
             r.wall_ms,
+            r.wall_ms_no_model,
+            r.wall_ms_scalar,
             r.wall_ms_exhaustive,
             r.wall_ms_naive,
             r.speedup,
             r.sim_cycles,
             r.candidates,
-            r.candidates_pruned
+            r.candidates_pruned,
+            r.model_rank
         );
         results.push(r);
     }
@@ -166,18 +202,22 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"pair\": \"{}\", \"wall_ms\": {:.2}, \"wall_ms_exhaustive\": {:.2}, \
+                "  {{\"pair\": \"{}\", \"wall_ms\": {:.2}, \"wall_ms_no_model\": {:.2}, \
+                 \"wall_ms_scalar\": {:.2}, \"wall_ms_exhaustive\": {:.2}, \
                  \"wall_ms_naive\": {:.2}, \"speedup\": {:.2}, \"sim_cycles\": {}, \
-                 \"candidates\": {}, \"candidates_pruned\": {}, \"compile_ms\": {:.2}, \
-                 \"profile_ms\": {:.2}}}",
+                 \"candidates\": {}, \"candidates_pruned\": {}, \"model_rank\": {}, \
+                 \"compile_ms\": {:.2}, \"profile_ms\": {:.2}}}",
                 r.pair,
                 r.wall_ms,
+                r.wall_ms_no_model,
+                r.wall_ms_scalar,
                 r.wall_ms_exhaustive,
                 r.wall_ms_naive,
                 r.speedup,
                 r.sim_cycles,
                 r.candidates,
                 r.candidates_pruned,
+                r.model_rank,
                 r.compile_ms,
                 r.profile_ms
             )

@@ -67,13 +67,21 @@ USAGE:
         buf:<elems>[:<fill>]   (pointer arg: zeroed f32/u32 buffer, or
                                 filled with `fill` as a float; printed back
                                 after the run with --show N)
-  hfuse search <PAIR> [--gpu pascal|volta] [--d0 N] [--granularity N] [--no-prune]
+  hfuse search <PAIR> [--gpu pascal|volta] [--d0 N] [--granularity N]
+               [--no-prune] [--no-model-filter]
       Run the Fig. 6 configuration search on a built-in benchmark pair,
-      e.g. `hfuse search Batchnorm+Hist`. Candidates are profiled
-      best-first with branch-and-bound pruning; --no-prune (or
-      HFUSE_SEARCH_NO_PRUNE=1) forces exhaustive profiling.
+      e.g. `hfuse search Batchnorm+Hist`. Candidates are ranked by the
+      calibrated analytic model and profiled best-first with
+      branch-and-bound pruning; --no-prune (or HFUSE_SEARCH_NO_PRUNE=1)
+      forces exhaustive profiling, --no-model-filter (or
+      HFUSE_SEARCH_NO_MODEL=1) falls back to the legacy cost-estimate
+      ordering. The winner is identical in every mode.
   hfuse bench <KERNEL> [--gpu pascal|volta]
       Profile one built-in benchmark kernel (a Fig. 8 row).
+  hfuse bench --calibrate [--gpu pascal|volta]
+      Refit the analytic search model: exhaustively profile every paper
+      pair's candidates and print the per-latency-class constants (the
+      CALIBRATED_K array in gpu-sim's model.rs) plus fit quality.
   hfuse lint <file.cu> [more.cu ...] [--threads N] | hfuse lint --paper
       Run the static fusion-safety analyzer: barrier-divergence, definite
       shared-memory races, and partial-barrier structure. --threads fixes
@@ -106,7 +114,12 @@ fn positional(args: &[String]) -> Vec<&str> {
             // All our flags take a value except the boolean ones.
             skip = !matches!(
                 a.as_str(),
-                "--no-opt" | "--dump-ir" | "--no-prune" | "--paper"
+                "--no-opt"
+                    | "--dump-ir"
+                    | "--no-prune"
+                    | "--no-model-filter"
+                    | "--paper"
+                    | "--calibrate"
             );
             let _ = i;
             continue;
@@ -351,6 +364,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         d0,
         granularity,
         prune: !has_flag(args, "--no-prune"),
+        model_filter: !has_flag(args, "--no-model-filter"),
     };
     let report = search_fusion_config(&gpu, &in1, &in2, opts).map_err(|e| e.to_string())?;
     println!(
@@ -399,10 +413,14 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         report.compile_ms,
         report.profile_ms
     );
+    println!("{}", report.explain_best());
     Ok(())
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
+    if has_flag(args, "--calibrate") {
+        return cmd_calibrate(args);
+    }
     let pos = positional(args);
     let [name] = pos.as_slice() else {
         return Err("bench takes one KERNEL argument, e.g. Ethash".to_owned());
@@ -422,6 +440,105 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("  occupancy:         {:.1}%", r.metrics.occupancy_pct());
     println!("  instructions:      {}", r.metrics.thread_insts);
     println!("  mem transactions:  {}", r.metrics.mem_transactions);
+    Ok(())
+}
+
+/// `hfuse bench --calibrate`: exhaustively profile every paper pair's
+/// candidates, refit the analytic model's per-class constants, and print
+/// them as the Rust array to check in, with a fit-quality comparison
+/// against the currently compiled-in constants.
+fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+    use hfuse::fusion::calibration_rows;
+    use hfuse::sim::model::{fit_constants, CalibrationRow, CALIBRATED_K, NUM_FEATURES};
+    use hfuse::sim::IssueKind;
+
+    let cfg = gpu_config(args)?;
+    let mut rows: Vec<CalibrationRow> = Vec::new();
+    let mut groups: Vec<(String, std::ops::Range<usize>)> = Vec::new();
+    for pair in all_pairs() {
+        let mut gpu = Gpu::new(cfg.clone());
+        let in1 = pair.first.benchmark().fusion_input(gpu.memory_mut());
+        let in2 = pair.second.benchmark().fusion_input(gpu.memory_mut());
+        let pair_rows = calibration_rows(&gpu, &in1, &in2, SearchOptions::default())
+            .map_err(|e| format!("{}: {e}", pair.name()))?;
+        eprintln!("{}: {} observations", pair.name(), pair_rows.len());
+        let start = rows.len();
+        rows.extend(pair_rows);
+        groups.push((pair.name(), start..rows.len()));
+    }
+    if rows.is_empty() {
+        return Err("no schedulable candidates to calibrate on".to_owned());
+    }
+    let k = fit_constants(&rows);
+
+    // Per-pair top-1 agreement: does the fitted model's best-ranked
+    // candidate coincide with the simulated winner?
+    let argmin = |vals: &[f64]| -> usize {
+        vals.iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map_or(0, |(i, _)| i)
+    };
+    let mut agree = 0;
+    for (name, range) in &groups {
+        let pair_rows = &rows[range.clone()];
+        let preds: Vec<f64> = pair_rows
+            .iter()
+            .map(|r| r.features.iter().zip(&k).map(|(x, c)| x * c).sum())
+            .collect();
+        let sims: Vec<f64> = pair_rows.iter().map(|r| r.cycles as f64).collect();
+        let (mi, si) = (argmin(&preds), argmin(&sims));
+        if mi == si {
+            agree += 1;
+        } else {
+            eprintln!(
+                "{name}: model top-1 is candidate {mi}, simulated winner is {si} \
+                 (model gap {:+.1}%)",
+                100.0 * (sims[mi] / sims[si] - 1.0)
+            );
+        }
+    }
+    eprintln!(
+        "model top-1 matches the simulated winner on {agree}/{} pairs",
+        groups.len()
+    );
+
+    // Mean absolute relative error of predicted vs simulated cycles, for
+    // both the fresh fit and the constants currently compiled in.
+    let mare = |consts: &[f64; NUM_FEATURES]| -> f64 {
+        rows.iter()
+            .map(|r| {
+                let pred: f64 = r.features.iter().zip(consts).map(|(x, c)| x * c).sum();
+                (pred - r.cycles as f64).abs() / (r.cycles as f64).max(1.0)
+            })
+            .sum::<f64>()
+            / rows.len() as f64
+    };
+
+    println!(
+        "// Fitted on {} candidate observations from the {} paper pairs ({}).",
+        rows.len(),
+        all_pairs().len(),
+        cfg.name
+    );
+    println!("pub const CALIBRATED_K: [f64; NUM_FEATURES] = [");
+    for kind in IssueKind::ALL {
+        println!("    {:?}, // {}", k[kind.index()], kind.name());
+    }
+    println!(
+        "    {:?}, // spill operands",
+        k[hfuse::sim::model::SPILL_FEATURE]
+    );
+    println!(
+        "    {:?}, // load imbalance",
+        k[hfuse::sim::model::IMBALANCE_FEATURE]
+    );
+    println!("];");
+    println!(
+        "fit quality: mean |pred-sim|/sim = {:.1}% (compiled-in constants: {:.1}%)",
+        100.0 * mare(&k),
+        100.0 * mare(&CALIBRATED_K)
+    );
     Ok(())
 }
 

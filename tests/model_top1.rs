@@ -1,0 +1,75 @@
+//! Smoke tests of the calibrated analytic pre-filter's ranking quality.
+//!
+//! The search's *correctness* never depends on the model (the budget-abort
+//! argument guarantees a bit-identical winner), but its *speed* does: the
+//! winner must lie in the model-exempt front — the model's top-
+//! [`hfuse::fusion::MODEL_TOP_K`] candidates plus near-ties within
+//! [`hfuse::fusion::MODEL_MARGIN`] — so it profiles unbudgeted and
+//! establishes the tightest abort budget for the rest of the sweep. These
+//! tests pin that property (and the model's top-1 agreement where it is
+//! exact) on every paper pair, so a calibration or feature regression
+//! shows up as a test failure, not as a silent search slowdown.
+
+use hfuse::fusion::{search_fusion_config, SearchOptions};
+use hfuse::kernels::{all_pairs, PairSpec};
+use hfuse::sim::{Gpu, GpuConfig};
+
+fn run_pair(pair: &PairSpec, scale: f64, opts: SearchOptions) -> hfuse::fusion::SearchReport {
+    let (a, b) = pair.at_scale(scale);
+    let mut gpu = Gpu::new(GpuConfig::pascal_like());
+    let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+    search_fusion_config(&gpu, &in1, &in2, opts)
+        .unwrap_or_else(|e| panic!("{}: search failed: {e}", pair.name()))
+}
+
+/// Every paper pair, at the calibration workload (full scale, default
+/// search options): the simulated winner must be inside the model-exempt
+/// front. Expensive in debug; the CI model-front smoke job runs it in
+/// release with `--include-ignored`.
+#[test]
+#[ignore = "full-scale sweep of all 16 paper pairs; run in release by the CI smoke job"]
+fn winner_in_model_front_on_all_paper_pairs() {
+    let mut ranks = Vec::new();
+    for pair in &all_pairs() {
+        let report = run_pair(pair, 1.0, SearchOptions::default());
+        assert!(
+            report.best_in_model_front(),
+            "{}: winner (model rank {}/{}) fell outside the model-exempt front",
+            pair.name(),
+            report.best_model_rank(),
+            report.candidates.len()
+        );
+        ranks.push((pair.name(), report.best_model_rank()));
+    }
+    // The model must rank the true winner first on a solid majority of the
+    // pairs — the level the checked-in constants achieved at calibration
+    // time (11/16); a drop below 10 means the constants are stale.
+    let top1 = ranks.iter().filter(|&&(_, r)| r == 1).count();
+    assert!(top1 >= 10, "model top-1 agreement collapsed: {ranks:?}");
+}
+
+/// Fast canary run in the default (debug) suite: on the cheap Blake/SHA
+/// crypto pairs at the calibration workload the model's top-1 choice must
+/// *be* the simulated winner — these are the pairs where the calibrated
+/// constants get the ordering exactly right, so a sign-level regression in
+/// the constants or the feature extraction trips this before the full CI
+/// sweep does. (The model-exempt front is only pinned at the calibration
+/// workload: at other scales or devices the search stays bit-identical to
+/// exhaustive regardless, it just prunes less effectively.)
+#[test]
+fn model_top1_exact_on_blake_sha_pairs() {
+    let pairs = all_pairs();
+    // all_pairs() = 10 DL pairs then 6 crypto pairs; the last three are
+    // the Ethash-free ones (Blake256+Blake2B, Blake256+SHA256,
+    // Blake2B+SHA256).
+    for pair in &pairs[13..16] {
+        let report = run_pair(pair, 1.0, SearchOptions::default());
+        assert_eq!(
+            report.best_model_rank(),
+            1,
+            "{}: model no longer ranks the simulated winner first",
+            pair.name()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Differential tests of the lane-vectorized warp interpreter on the paper
+//! benchmark pairs: with and without vectorization ([`Gpu::set_vector_exec`],
+//! the programmatic twin of `HFUSE_SIM_NO_VECTOR`), every timed number and
+//! every output byte must be bit-identical — both for a single fused launch
+//! and end to end through the fusion search.
+
+use hfuse::fusion::{horizontal_fuse, search_fusion_config, BlockShape, SearchOptions};
+use hfuse::ir::lower_kernel;
+use hfuse::kernels::{crypto_pairs, dl_pairs, AnyBenchmark, Benchmark};
+use hfuse::sim::{Gpu, GpuConfig, Launch, ParamValue};
+
+fn dims_for(b: &dyn Benchmark, threads: u32) -> Option<(u32, u32, u32)> {
+    match b.shape() {
+        BlockShape::Linear => Some((threads, 1, 1)),
+        BlockShape::Rows { y } => {
+            if threads.is_multiple_of(y) {
+                Some((threads / y, y, 1))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Fuses the pair at its default partition and runs the timed simulator
+/// twice — vectorized and scalar — on identical fresh devices, asserting
+/// cycles, the full metrics struct, and every argument buffer match bit
+/// for bit.
+fn assert_fused_run_identical(a: &AnyBenchmark, b: &AnyBenchmark) {
+    let (ba, bb) = (a.benchmark(), b.benchmark());
+    let (d1, d2) = (ba.default_threads(), bb.default_threads());
+    let (Some(dims1), Some(dims2)) = (dims_for(ba, d1), dims_for(bb, d2)) else {
+        panic!("{}+{}: default dims incompatible", ba.name(), bb.name());
+    };
+    let fused = horizontal_fuse(&ba.kernel(), dims1, &bb.kernel(), dims2)
+        .unwrap_or_else(|e| panic!("fuse {}+{}: {e}", ba.name(), bb.name()));
+    let ir: std::sync::Arc<_> = lower_kernel(&fused.function).expect("lower fused").into();
+
+    let run_arm = |vector: bool| {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.set_vector_exec(vector);
+        let args_a = ba.setup(gpu.memory_mut());
+        let args_b = bb.setup(gpu.memory_mut());
+        let mut args = args_a.clone();
+        args.extend(args_b.iter().copied());
+        let res = gpu
+            .run(&[Launch {
+                kernel: ir.clone(),
+                grid_dim: ba.grid_dim().max(bb.grid_dim()),
+                block_dim: (d1 + d2, 1, 1),
+                dynamic_shared_bytes: ba.dynamic_shared() + bb.dynamic_shared(),
+                args: args.clone(),
+            }])
+            .unwrap_or_else(|e| panic!("run fused {}+{}: {e}", ba.name(), bb.name()));
+        let buffers: Vec<Vec<u32>> = args
+            .iter()
+            .filter_map(|p| match p {
+                ParamValue::Ptr(buf) => Some(gpu.memory().read_u32s(*buf)),
+                _ => None,
+            })
+            .collect();
+        (res, buffers)
+    };
+
+    let label = format!("{}+{}", ba.name(), bb.name());
+    let (vec_res, vec_bufs) = run_arm(true);
+    let (sca_res, sca_bufs) = run_arm(false);
+    assert_eq!(
+        vec_res.total_cycles, sca_res.total_cycles,
+        "{label}: cycles diverge"
+    );
+    assert_eq!(vec_res.metrics, sca_res.metrics, "{label}: metrics diverge");
+    assert_eq!(vec_bufs, sca_bufs, "{label}: buffer contents diverge");
+}
+
+#[test]
+fn fused_dl_pairs_identical_under_vectorization() {
+    for pair in &dl_pairs() {
+        let (a, b) = pair.at_scale(0.125);
+        assert_fused_run_identical(&a, &b);
+    }
+}
+
+#[test]
+fn fused_crypto_pairs_identical_under_vectorization() {
+    // The Ethash pairs dominate the wall clock; scale them down harder.
+    for (i, pair) in crypto_pairs().iter().enumerate() {
+        let scale = if i < 3 { 0.0625 } else { 0.25 };
+        let (a, b) = pair.at_scale(scale);
+        assert_fused_run_identical(&a, &b);
+    }
+}
+
+/// Runs the full fusion search (pruning and model filtering on, as
+/// shipped) on a vectorized and a scalar base device: every candidate —
+/// cycles, abort clocks, model scores, histograms — and the winner must be
+/// identical, so vectorization can never change a search outcome.
+fn assert_search_identical(
+    gpu_of: impl Fn(bool) -> (Gpu, hfuse::fusion::FusionInput, hfuse::fusion::FusionInput),
+    label: &str,
+) {
+    let opts = SearchOptions {
+        d0: 512,
+        granularity: 128,
+        ..SearchOptions::default()
+    };
+    let (vgpu, vin1, vin2) = gpu_of(true);
+    let vec_report = search_fusion_config(&vgpu, &vin1, &vin2, opts)
+        .unwrap_or_else(|e| panic!("{label}: vector search failed: {e}"));
+    let (sgpu, sin1, sin2) = gpu_of(false);
+    let sca_report = search_fusion_config(&sgpu, &sin1, &sin2, opts)
+        .unwrap_or_else(|e| panic!("{label}: scalar search failed: {e}"));
+
+    assert_eq!(
+        vec_report.best_idx, sca_report.best_idx,
+        "{label}: winner diverges"
+    );
+    assert_eq!(
+        vec_report.candidates, sca_report.candidates,
+        "{label}: candidates diverge"
+    );
+    assert_eq!(
+        vec_report.best_kernel, sca_report.best_kernel,
+        "{label}: fused winner source diverges"
+    );
+}
+
+#[test]
+fn search_identical_under_vectorization_on_dl_pairs() {
+    // Three representative DL pairs: tunable reduction + histogram +
+    // 2D-shaped batchnorm member kernels.
+    for idx in [0usize, 5, 9] {
+        let pair = &dl_pairs()[idx];
+        let (a, b) = pair.at_scale(0.25);
+        assert_search_identical(
+            |vector| {
+                let mut gpu = Gpu::new(GpuConfig::test_tiny());
+                gpu.set_vector_exec(vector);
+                let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+                let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+                (gpu, in1, in2)
+            },
+            &pair.name(),
+        );
+    }
+}
+
+#[test]
+fn search_identical_under_vectorization_on_crypto_pair() {
+    let pair = &crypto_pairs()[3]; // Blake256+Blake2B, the fast pair
+    assert_search_identical(
+        |vector| {
+            let mut gpu = Gpu::new(GpuConfig::test_tiny());
+            gpu.set_vector_exec(vector);
+            let in1 = pair.first.benchmark().fusion_input(gpu.memory_mut());
+            let in2 = pair.second.benchmark().fusion_input(gpu.memory_mut());
+            (gpu, in1, in2)
+        },
+        &pair.name(),
+    );
+}
