@@ -13,7 +13,7 @@
 //! same *abstract* fact, unless the abstract value pins the concrete value as
 //! a path-independent function of τ.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cuda_frontend::ast::{AssignOp, BinOp, BuiltinVar, Expr, Function, Ty, UnOp};
 
@@ -776,6 +776,31 @@ impl UniformityAnalysis {
             init.insert(p.name.clone(), Fact::uniform());
         }
 
+        let assigned: Vec<Vec<String>> = cfg.blocks.iter().map(assigned_in_block).collect();
+        // For each branch block: the variables assigned in any block whose
+        // execution that branch decides. Only these can become
+        // path-dependent when the branch's paths merge.
+        let mut controlled_assigns: HashMap<usize, HashSet<&str>> = HashMap::new();
+        for b in 0..n {
+            for cd in &cds[b] {
+                controlled_assigns
+                    .entry(cd.branch)
+                    .or_default()
+                    .extend(assigned[b].iter().map(String::as_str));
+            }
+        }
+        // Address-taken variables can be written through pointers the
+        // assignment scan cannot see: treat them as assigned everywhere.
+        let mut aliased: HashSet<String> = HashSet::new();
+        for bb in &cfg.blocks {
+            collect_address_taken(bb, &mut aliased);
+        }
+        let merge = MergeCtx {
+            cds: &cds,
+            controlled_assigns: &controlled_assigns,
+            aliased: &aliased,
+        };
+
         let mut changed = true;
         while changed {
             changed = false;
@@ -783,7 +808,7 @@ impl UniformityAnalysis {
                 let computed = if b == 0 {
                     Some(init.clone())
                 } else {
-                    join_preds(b, &preds, &outs, &cds, cfg, block_dim_x)
+                    join_preds(b, &preds, &outs, cfg, block_dim_x, &merge)
                 };
                 let Some(computed) = computed else { continue };
                 let widened = widen(ins[b].as_ref(), computed);
@@ -792,7 +817,7 @@ impl UniformityAnalysis {
                     changed = true;
                 }
                 let mut out = ins[b].clone().unwrap();
-                transfer(&cfg.blocks[b], &mut out, block_dim_x);
+                transfer(&cfg.blocks[b], &mut out, block_dim_x, &aliased);
                 if outs[b].as_ref() != Some(&out) {
                     outs[b] = Some(out);
                     changed = true;
@@ -820,11 +845,20 @@ impl UniformityAnalysis {
     }
 }
 
-fn transfer(block: &crate::cfg::BasicBlock, st: &mut State, block_dim_x: Option<u32>) {
+fn transfer(
+    block: &crate::cfg::BasicBlock,
+    st: &mut State,
+    block_dim_x: Option<u32>,
+    aliased: &HashSet<String>,
+) {
     for s in &block.stmts {
         match &s.kind {
             CStmtKind::Decl(d) => {
-                let fact = if d.array_len.is_some() {
+                let fact = if aliased.contains(&d.name) && d.array_len.is_none() {
+                    // Address-taken scalars can be written through pointers
+                    // the dataflow cannot see: never trust them.
+                    Fact::divergent()
+                } else if d.array_len.is_some() {
                     // The array name denotes a uniform address.
                     Fact::uniform()
                 } else {
@@ -846,16 +880,34 @@ fn transfer(block: &crate::cfg::BasicBlock, st: &mut State, block_dim_x: Option<
     }
 }
 
+/// Assignment-visibility context threaded into every join (borrowed from
+/// per-function precomputation in [`UniformityAnalysis::run`]).
+struct MergeCtx<'a> {
+    cds: &'a [Vec<ControlDep>],
+    controlled_assigns: &'a HashMap<usize, HashSet<&'a str>>,
+    aliased: &'a HashSet<String>,
+}
+
 /// Joins the exit states of `b`'s visited predecessors, injecting control
 /// divergence where values merged from divergently-selected paths are not
 /// pinned to a path-independent abstract value.
+///
+/// Injection is per variable and per branch: a branch poisons a variable at
+/// this join only when (a) the branch *separates* the incoming paths — it
+/// decides whether the predecessor runs but not whether the join runs, so
+/// its two outcomes actually reconverge here — and (b) the variable is
+/// assigned in some block that branch controls. A loop counter stepped
+/// outside a divergent `if` therefore stays uniform across it, which the
+/// barrier lint needs for reduction-shaped kernels; and a partition guard
+/// in a fused kernel (which controls partition-internal joins just as much
+/// as their predecessors) never poisons partition-local state.
 fn join_preds(
     b: usize,
     preds: &[Vec<usize>],
     outs: &[Option<State>],
-    cds: &[Vec<ControlDep>],
     cfg: &Cfg,
     block_dim_x: Option<u32>,
+    merge: &MergeCtx<'_>,
 ) -> Option<State> {
     let live: Vec<usize> = preds[b]
         .iter()
@@ -865,22 +917,25 @@ fn join_preds(
     if live.is_empty() {
         return None;
     }
-    let cu: Vec<Uniformity> = live
+    // Per predecessor: the non-uniform branches whose outcomes differ
+    // across paths into this join, with their condition uniformity.
+    let sep: Vec<Vec<(usize, Uniformity)>> = live
         .iter()
         .map(|&p| {
-            cds[p]
+            merge.cds[p]
                 .iter()
-                .map(|cd| {
+                .filter(|cd| !merge.cds[b].contains(cd))
+                .filter_map(|cd| {
                     let Term::Branch { cond, .. } = &cfg.blocks[cd.branch].term else {
-                        return Uniformity::BlockUniform;
+                        return None;
                     };
-                    match &outs[cd.branch] {
+                    let u = match &outs[cd.branch] {
                         Some(st) => eval(cond, st, block_dim_x).u,
                         None => Uniformity::BlockUniform,
-                    }
+                    };
+                    (u > Uniformity::BlockUniform).then_some((cd.branch, u))
                 })
-                .max()
-                .unwrap_or(Uniformity::BlockUniform)
+                .collect()
         })
         .collect();
 
@@ -901,10 +956,25 @@ fn join_preds(
         } else if all_equal && live.len() == 1 {
             f0
         } else {
+            let touched = |branch: &usize| {
+                merge.aliased.contains(name)
+                    || merge
+                        .controlled_assigns
+                        .get(branch)
+                        .is_some_and(|s| s.contains(name.as_str()))
+            };
             let u = facts
                 .iter()
-                .zip(&cu)
-                .map(|(f, &c)| f.u.max(c))
+                .zip(&sep)
+                .map(|(f, s)| {
+                    let c = s
+                        .iter()
+                        .filter(|(branch, _)| touched(branch))
+                        .map(|&(_, u)| u)
+                        .max()
+                        .unwrap_or(Uniformity::BlockUniform);
+                    f.u.max(c)
+                })
                 .max()
                 .unwrap();
             let val = if all_equal { f0.val } else { None };
@@ -913,6 +983,115 @@ fn join_preds(
         joined.insert(name.clone(), fact);
     }
     Some(joined)
+}
+
+/// Every scalar variable declared or assigned in `block`, including
+/// assignments nested inside larger expressions and the terminator's
+/// condition (`for (...; (x = f()) != 0; ...)`).
+fn assigned_in_block(block: &crate::cfg::BasicBlock) -> Vec<String> {
+    let mut names = Vec::new();
+    for s in &block.stmts {
+        match &s.kind {
+            CStmtKind::Decl(d) => {
+                names.push(d.name.clone());
+                if let Some(init) = &d.init {
+                    collect_assigns(init, &mut names);
+                }
+            }
+            CStmtKind::Expr(e) => collect_assigns(e, &mut names),
+            CStmtKind::Sync | CStmtKind::BarSync { .. } => {}
+        }
+    }
+    if let Term::Branch { cond, .. } = &block.term {
+        collect_assigns(cond, &mut names);
+    }
+    names
+}
+
+/// Records names written by `=`, compound assignment, or `++`/`--` anywhere
+/// inside `e`. Writes through arrays or pointers have no scalar binding to
+/// record; their targets still get scanned for nested assignments.
+fn collect_assigns(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Assign(_, lhs, rhs) => {
+            if let Expr::Ident(name) = lhs.as_ref() {
+                out.push(name.clone());
+            } else {
+                collect_assigns(lhs, out);
+            }
+            collect_assigns(rhs, out);
+        }
+        Expr::IncDec { target, .. } => {
+            if let Expr::Ident(name) = target.as_ref() {
+                out.push(name.clone());
+            } else {
+                collect_assigns(target, out);
+            }
+        }
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => {
+            collect_assigns(a, out)
+        }
+        Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+            collect_assigns(a, out);
+            collect_assigns(b, out);
+        }
+        Expr::Ternary(c, t, f) => {
+            collect_assigns(c, out);
+            collect_assigns(t, out);
+            collect_assigns(f, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_assigns(a, out);
+            }
+        }
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Ident(_) | Expr::Builtin(_) => {}
+    }
+}
+
+/// Records names whose address is taken anywhere in `block`.
+fn collect_address_taken(block: &crate::cfg::BasicBlock, out: &mut HashSet<String>) {
+    fn walk(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::AddrOf(inner) => {
+                if let Expr::Ident(name) = inner.as_ref() {
+                    out.insert(name.clone());
+                }
+                walk(inner, out);
+            }
+            Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Deref(a) => walk(a, out),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) | Expr::Assign(_, a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::IncDec { target, .. } => walk(target, out),
+            Expr::Ternary(c, t, f) => {
+                walk(c, out);
+                walk(t, out);
+                walk(f, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    walk(a, out);
+                }
+            }
+            Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Ident(_) | Expr::Builtin(_) => {}
+        }
+    }
+    for s in &block.stmts {
+        match &s.kind {
+            CStmtKind::Decl(d) => {
+                if let Some(init) = &d.init {
+                    walk(init, out);
+                }
+            }
+            CStmtKind::Expr(e) => walk(e, out),
+            CStmtKind::Sync | CStmtKind::BarSync { .. } => {}
+        }
+    }
+    if let Term::Branch { cond, .. } = &block.term {
+        walk(cond, out);
+    }
 }
 
 /// Classic widening: a variable whose abstract value changed between
@@ -1045,6 +1224,42 @@ mod tests {
             "x",
         );
         assert_eq!(f.val, Some(AbsVal::Const(5)));
+    }
+
+    #[test]
+    fn loop_counter_stays_uniform_across_divergent_if() {
+        // k is stepped outside the divergent branch, so the join after the
+        // `if` must not poison it — reduction-shaped kernels put barriers
+        // under loop conditions exactly like this.
+        let f = exit_fact(
+            "int k = 0; int t = threadIdx.x; \
+             for (k = 0; k < 4; k = k + 1) { if (t < 16) { out[k] = 1; } } \
+             out[0] = k;",
+            "k",
+        );
+        assert_eq!(f.u, Uniformity::BlockUniform);
+    }
+
+    #[test]
+    fn variable_assigned_under_divergent_if_diverges_at_join() {
+        let f = exit_fact(
+            "int t = threadIdx.x; int x = n; if (t < 16) { x = n + 1; } out[0] = x;",
+            "x",
+        );
+        assert_eq!(f.u, Uniformity::Divergent);
+    }
+
+    #[test]
+    fn address_taken_variable_is_not_trusted_across_divergent_merge() {
+        // `x` is written through a pointer inside the divergent branch; the
+        // assignment scan cannot see that, so aliasing must force the
+        // conservative join.
+        let f = exit_fact(
+            "int t = threadIdx.x; int x = 0; int* p = &x; \
+             if (t < 16) { *p = 1; } out[0] = x;",
+            "x",
+        );
+        assert_eq!(f.u, Uniformity::Divergent);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use cuda_frontend::parse_kernel_with_spans;
 use hfuse_analysis::{analyze_kernel, AnalysisOptions};
 use hfuse_core::fuse::horizontal_fuse;
-use hfuse_kernels::{crypto_benchmarks, dl_benchmarks, Benchmark};
+use hfuse_kernels::{crypto_benchmarks, dl_benchmarks, family_benchmarks, Benchmark};
 
 fn assert_clean(name: &str, src: &str, threads: Option<u32>) {
     let (f, spans) =
@@ -34,6 +34,7 @@ fn assert_clean(name: &str, src: &str, threads: Option<u32>) {
 fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
     let mut v = dl_benchmarks();
     v.extend(crypto_benchmarks());
+    v.extend(family_benchmarks());
     v
 }
 
@@ -60,6 +61,23 @@ fn fused_crypto_pairs_analyze_clean() {
     let benches = crypto_benchmarks();
     for (i, b1) in benches.iter().enumerate() {
         for b2 in &benches[i + 1..] {
+            check_fused_pair(b1.as_ref(), b2.as_ref());
+        }
+    }
+}
+
+#[test]
+fn fused_family_pairs_analyze_clean() {
+    // Every intra-family pair, plus each family kernel against itself (the
+    // families are small enough that the full triangle is cheap).
+    let benches = family_benchmarks();
+    for (i, b1) in benches.iter().enumerate() {
+        for b2 in &benches[i..] {
+            if b1.dynamic_shared() > 0 && b2.dynamic_shared() > 0 {
+                // Two extern __shared__ users would alias one dynamic
+                // allocation; horizontal_fuse rejects this by design.
+                continue;
+            }
             check_fused_pair(b1.as_ref(), b2.as_ref());
         }
     }

@@ -169,6 +169,14 @@ pub fn measure_one(cfg: &GpuConfig, b: &AnyBenchmark) -> Result<VariantMetrics, 
     Ok(VariantMetrics::from_run(&r))
 }
 
+/// The new-family pairs (BLAS × image × attention crosses) measured
+/// alongside the paper's sixteen. Delegates to
+/// [`hfuse_kernels::family_pairs`] so the figure benches and the search
+/// benchmark share one list.
+pub fn family_pair_specs() -> Vec<hfuse_kernels::PairSpec> {
+    hfuse_kernels::family_pairs()
+}
+
 /// The GPU configurations of the evaluation, in paper order
 /// (1080Ti-like Pascal, V100-like Volta).
 pub fn both_gpus() -> [GpuConfig; 2] {
@@ -178,9 +186,30 @@ pub fn both_gpus() -> [GpuConfig; 2] {
 /// Workload scale factors for the Fig. 7 ratio sweeps. `HFUSE_FAST=1`
 /// trims the sweep for smoke runs.
 pub fn sweep_scales() -> Vec<f64> {
-    if std::env::var_os("HFUSE_FAST").is_some() {
+    if gpu_sim::env::fast() {
         vec![0.5, 1.0, 2.0]
     } else {
         vec![0.33, 0.5, 1.0, 2.0, 3.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_pairs_measure_end_to_end() {
+        // The whole measurement pipeline (singles, native co-execution,
+        // search, vertical, naive) must handle the new families, not just
+        // the paper's sets.
+        let specs = family_pair_specs();
+        assert!(specs.len() >= 3, "at least three family pairs");
+        let spec = &specs[0];
+        let (a, b) = (spec.first.scaled(0.25), spec.second.scaled(0.25));
+        let m = measure_pair(&GpuConfig::test_tiny(), &a, &b)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        assert!(m.hfuse.metrics.cycles > 0);
+        assert!(m.native_cycles > 0);
+        assert!(m.hfuse.d1 > 0);
     }
 }

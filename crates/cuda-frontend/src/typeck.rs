@@ -32,6 +32,10 @@ pub enum Intrinsic {
     ExpF,
     /// `logf(x)`.
     LogF,
+    /// `fmaf(a, b, c)` — `float` multiply-add `a * b + c`. On this
+    /// simulator it lowers to a multiply followed by an add (two roundings),
+    /// so CPU references mirror it as `a * b + c`, not `f32::mul_add`.
+    FmaF,
     /// `__shfl_xor_sync(mask, var, laneMask, width)` or
     /// `__shfl_xor(var, laneMask[, width])` — lane-crossing register exchange.
     ShflXor,
@@ -72,6 +76,7 @@ impl Intrinsic {
             ("rsqrtf", 1) | ("rsqrt", 1) => Intrinsic::RsqrtF,
             ("expf", 1) | ("exp", 1) => Intrinsic::ExpF,
             ("logf", 1) | ("log", 1) => Intrinsic::LogF,
+            ("fmaf", 3) | ("fma", 3) => Intrinsic::FmaF,
             ("__shfl_xor_sync", 4) | ("__shfl_xor", 2) | ("__shfl_xor", 3) => Intrinsic::ShflXor,
             ("__shfl_down_sync", 4) | ("__shfl_down", 2) | ("__shfl_down", 3) => {
                 Intrinsic::ShflDown
@@ -263,7 +268,7 @@ pub fn intrinsic_result_ty(
             let b = expr_ty(&args[1], env)?;
             Ok(promote(&a, &b))
         }
-        Intrinsic::FminF | Intrinsic::FmaxF => Ok(Ty::F32),
+        Intrinsic::FminF | Intrinsic::FmaxF | Intrinsic::FmaF => Ok(Ty::F32),
         Intrinsic::FabsF
         | Intrinsic::SqrtF
         | Intrinsic::RsqrtF
@@ -457,6 +462,8 @@ mod tests {
         assert_eq!(ty("fmaxf(f, f)"), Ty::F32);
         assert_eq!(ty("min(i, u)"), Ty::U32);
         assert_eq!(ty("sqrtf(f)"), Ty::F32);
+        assert_eq!(ty("fmaf(f, f, f)"), Ty::F32);
+        assert_eq!(ty("fmaf(i, f, u)"), Ty::F32);
         assert_eq!(ty("atomicAdd(p, f)"), Ty::F32);
         assert_eq!(ty("atomicAdd(ip, i)"), Ty::I32);
         assert_eq!(ty("__shfl_xor_sync(0xffffffffu, f, 1, 32)"), Ty::F32);

@@ -177,3 +177,22 @@ fn distinct_shared_arrays_still_parse() {
     );
     parse_kernel(&src).expect("two distinct shared arrays are fine");
 }
+
+// ---- intrinsic arity gates ---------------------------------------------------
+
+#[test]
+fn fmaf_requires_exactly_three_args() {
+    use cuda_frontend::typeck::Intrinsic;
+    assert_eq!(Intrinsic::lookup("fmaf", 3), Some(Intrinsic::FmaF));
+    assert_eq!(Intrinsic::lookup("fma", 3), Some(Intrinsic::FmaF));
+    // Wrong arity must fall through to "unknown function", not silently
+    // typecheck with a missing addend.
+    assert_eq!(Intrinsic::lookup("fmaf", 2), None);
+    assert_eq!(Intrinsic::lookup("fmaf", 4), None);
+}
+
+#[test]
+fn fmaf_parses_inside_a_kernel() {
+    let src = kernel_with("float a = 1.0f; out[0] = (int)fmaf(a, a, a);");
+    parse_kernel(&src).expect("fmaf is a dialect intrinsic");
+}

@@ -72,6 +72,28 @@ pub enum Segment {
         /// Reserved slot index (< [`ATOMIC_SLOTS`]).
         slot: u32,
     },
+    /// Shared-memory tree reduction over the whole block, like the BLAS
+    /// `Dot` kernel: `s[t] = acc;` then halving strides with a barrier per
+    /// round, then every thread folds `s[0]` into `acc`. Barriers sit
+    /// outside the `t < r` guard, so the block always converges.
+    TreeReduce,
+    /// 2-D re-indexing read over a `w`-wide image layout, like the stencil
+    /// family: `x = g % w; y = g / w; acc += in[(y*w + (w-1-x)) % n];`.
+    Index2D {
+        /// Row width (≥ 1).
+        w: u32,
+    },
+    /// A separate loop-carried accumulator folded into `acc` at the end,
+    /// like `Gemv`'s row loop:
+    /// `a = acc; for (i < trips) a = a * mul + in[(g*stride + i) % n]; acc += a;`
+    AccumLoop {
+        /// Loop trip count (≥ 1).
+        trips: u32,
+        /// Multiplier constant.
+        mul: i32,
+        /// Per-thread row stride.
+        stride: u32,
+    },
     /// **Fixture only — never generated randomly.** An unsynchronised
     /// cross-warp shared exchange: `s[t] = acc;` immediately followed by a
     /// guarded read of `s[t + 32]` with no barrier in between. A definite
@@ -124,7 +146,7 @@ impl KernelSpec {
     }
 
     fn gen_segment(rng: &mut Rng) -> Segment {
-        match rng.range(0, 10) {
+        match rng.range(0, 13) {
             0..=3 => Segment::ComputeLoop {
                 trips: rng.range(1, 9) as u32,
                 mul: *rng.pick(&[1, 3, 5, 7, 31]),
@@ -143,9 +165,18 @@ impl KernelSpec {
                 xor: rng.chance(1, 2),
                 offset: *rng.pick(&[1, 2, 4, 8, 16]),
             },
-            _ => Segment::Atomic {
+            9 => Segment::Atomic {
                 add: rng.chance(1, 2),
                 slot: rng.range(0, u64::from(ATOMIC_SLOTS)) as u32,
+            },
+            10 => Segment::TreeReduce,
+            11 => Segment::Index2D {
+                w: *rng.pick(&[3, 5, 8, 16]),
+            },
+            _ => Segment::AccumLoop {
+                trips: rng.range(1, 9) as u32,
+                mul: *rng.pick(&[3, 5, 17]),
+                stride: rng.range(1, 8) as u32,
             },
         }
     }
@@ -158,9 +189,12 @@ impl KernelSpec {
 
     /// True if any phase touches the `__shared__` array.
     pub fn uses_shared(&self) -> bool {
-        self.segments
-            .iter()
-            .any(|s| matches!(s, Segment::SharedExchange { .. } | Segment::RacyExchange))
+        self.segments.iter().any(|s| {
+            matches!(
+                s,
+                Segment::SharedExchange { .. } | Segment::TreeReduce | Segment::RacyExchange
+            )
+        })
     }
 
     /// Renders the spec as CUDA source.
@@ -218,6 +252,41 @@ impl KernelSpec {
                     let f = if *add { "atomicAdd" } else { "atomicMax" };
                     let idx = self.grid * self.threads + slot;
                     let _ = writeln!(src, "  {f}(&out[{idx}], acc);");
+                }
+                Segment::TreeReduce => {
+                    src.push_str("  s[t] = acc;\n");
+                    src.push_str("  __syncthreads();\n");
+                    let _ = writeln!(
+                        src,
+                        "  for (int r{i} = {}; r{i} > 0; r{i} = r{i} / 2) {{",
+                        self.threads / 2
+                    );
+                    let _ = writeln!(src, "    if (t < r{i}) {{ s[t] = s[t] + s[t + r{i}]; }}");
+                    src.push_str("    __syncthreads();\n");
+                    src.push_str("  }\n");
+                    // Every thread reads the root; the trailing barrier
+                    // orders later segments' writes to s[t] after it.
+                    src.push_str("  acc = acc + s[0];\n");
+                    src.push_str("  __syncthreads();\n");
+                }
+                Segment::Index2D { w } => {
+                    let _ = writeln!(src, "  int x{i} = g % {w};");
+                    let _ = writeln!(src, "  int y{i} = g / {w};");
+                    let _ = writeln!(
+                        src,
+                        "  acc = acc + in[(y{i} * {w} + ({} - x{i})) % n];",
+                        w - 1
+                    );
+                }
+                Segment::AccumLoop { trips, mul, stride } => {
+                    let _ = writeln!(src, "  int a{i} = acc;");
+                    let _ = writeln!(src, "  for (int i{i} = 0; i{i} < {trips}; i{i}++) {{");
+                    let _ = writeln!(
+                        src,
+                        "    a{i} = a{i} * {mul} + in[(g * {stride} + i{i}) % n];"
+                    );
+                    src.push_str("  }\n");
+                    let _ = writeln!(src, "  acc = acc + a{i};");
                 }
                 Segment::RacyExchange => {
                     src.push_str("  s[t] = acc;\n");
@@ -287,6 +356,58 @@ mod tests {
             }
             assert_eq!(p.k1.grid, p.k2.grid, "pair shares a grid");
         }
+    }
+
+    #[test]
+    fn new_segments_render_and_parse() {
+        let spec = KernelSpec {
+            name: "nz".to_owned(),
+            threads: 96, // non-power-of-two: the reduction must still halve
+            grid: 2,
+            n: 200,
+            init: 3,
+            segments: vec![
+                Segment::Index2D { w: 5 },
+                Segment::TreeReduce,
+                Segment::AccumLoop {
+                    trips: 4,
+                    mul: 17,
+                    stride: 2,
+                },
+            ],
+        };
+        assert!(spec.uses_shared(), "TreeReduce uses the shared array");
+        let src = spec.render();
+        assert!(
+            src.contains("r1 = 48"),
+            "reduction starts at threads/2:\n{src}"
+        );
+        cuda_frontend::parse_kernel(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    }
+
+    #[test]
+    fn generator_emits_every_segment_kind() {
+        // The widened segment space must actually be reachable.
+        let mut seen = [false; 8];
+        for seed in 0..200 {
+            let p = CasePair::generate(&mut Rng::new(seed));
+            for k in [&p.k1, &p.k2] {
+                for s in &k.segments {
+                    seen[match s {
+                        Segment::ComputeLoop { .. } => 0,
+                        Segment::Branch { .. } => 1,
+                        Segment::SharedExchange { .. } => 2,
+                        Segment::Shuffle { .. } => 3,
+                        Segment::Atomic { .. } => 4,
+                        Segment::TreeReduce => 5,
+                        Segment::Index2D { .. } => 6,
+                        Segment::AccumLoop { .. } => 7,
+                        Segment::RacyExchange | Segment::DivergentBarrier => continue,
+                    }] = true;
+                }
+            }
+        }
+        assert_eq!(seen, [true; 8], "some segment kind never generated");
     }
 
     #[test]

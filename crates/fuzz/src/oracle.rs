@@ -42,7 +42,7 @@ fn fail(stage: &'static str, detail: impl Into<String>) -> Failure {
 /// oracle failure. The opt-out exists for timing comparisons and for
 /// reproducing a memory-diff failure without the sanitizer aborting first.
 pub fn sanitizer_disabled_by_env() -> bool {
-    std::env::var_os("HFUSE_FUZZ_NO_SANITIZE").is_some_and(|v| v != "0")
+    gpu_sim::env::fuzz_no_sanitize()
 }
 
 /// Parses `src` and checks the printer/parser round-trip: printing the AST

@@ -141,9 +141,30 @@ fn segment_candidates(seg: &Segment) -> Vec<Segment> {
                 out.push(Segment::Atomic { add, slot: 0 });
             }
         }
-        // Hand-written fixtures carry no parameters to reduce; segment
-        // deletion still applies.
-        Segment::RacyExchange | Segment::DivergentBarrier => {}
+        Segment::AccumLoop { trips, mul, stride } => {
+            if trips > 1 {
+                out.push(Segment::AccumLoop {
+                    trips: 1,
+                    mul,
+                    stride,
+                });
+            }
+            if stride != 1 {
+                out.push(Segment::AccumLoop {
+                    trips,
+                    mul,
+                    stride: 1,
+                });
+            }
+        }
+        Segment::Index2D { w } => {
+            if w != 1 {
+                out.push(Segment::Index2D { w: 1 });
+            }
+        }
+        // The reduction and the hand-written fixtures carry no parameters
+        // to reduce; segment deletion still applies.
+        Segment::TreeReduce | Segment::RacyExchange | Segment::DivergentBarrier => {}
     }
     out
 }

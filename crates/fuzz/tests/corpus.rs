@@ -9,7 +9,10 @@
 
 /// Seeds committed as the regression corpus. Chosen arbitrarily but fixed
 /// forever: changing them silently would invalidate the regression net.
-const CORPUS_SEEDS: [u64; 4] = [0, 7, 42, 0xdead];
+/// The last two were added together with the reduction / 2-D-index /
+/// accumulator-loop segments, so the corpus keeps dedicated coverage of
+/// the wider generator.
+const CORPUS_SEEDS: [u64; 6] = [0, 7, 42, 0xdead, 0xbeef, 2024];
 
 fn assert_clean(seed: u64, cases: u64) {
     let result = hfuse_fuzz::run_campaign(seed, cases);
@@ -42,6 +45,16 @@ fn corpus_seed_42_is_clean() {
 #[test]
 fn corpus_seed_dead_is_clean() {
     assert_clean(CORPUS_SEEDS[3], 120);
+}
+
+#[test]
+fn corpus_seed_beef_is_clean() {
+    assert_clean(CORPUS_SEEDS[4], 120);
+}
+
+#[test]
+fn corpus_seed_2024_is_clean() {
+    assert_clean(CORPUS_SEEDS[5], 120);
 }
 
 /// The printer/parser round-trip holds for every corpus kernel *and* for

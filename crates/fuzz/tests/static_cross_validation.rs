@@ -11,7 +11,7 @@ use cuda_frontend::parse_kernel_with_spans;
 use hfuse_analysis::{analyze_kernel, AnalysisOptions};
 use hfuse_core::fuse::horizontal_fuse;
 
-const CORPUS_SEEDS: [u64; 4] = [0, 7, 42, 0xdead];
+const CORPUS_SEEDS: [u64; 6] = [0, 7, 42, 0xdead, 0xbeef, 2024];
 
 fn assert_clean(label: &str, src: &str, threads: u32) {
     let (f, spans) = parse_kernel_with_spans(src).unwrap_or_else(|e| panic!("{label}: {e}\n{src}"));

@@ -1,11 +1,15 @@
 //! Uniform handle over the nine benchmarks and the sixteen evaluation pairs
-//! of the paper (ten deep-learning pairs, six crypto pairs).
+//! of the paper (ten deep-learning pairs, six crypto pairs), plus the
+//! extension kernels and the BLAS / image-stencil / attention families.
 
+use crate::attn::attention::Attention;
+use crate::blas::{axpy::Axpy, dot::Dot, gemv::Gemv};
 use crate::crypto::{blake256::Blake256, blake2b::Blake2b, ethash::Ethash, sha256::Sha256};
 use crate::dl::{
     batchnorm::Batchnorm, hist::Hist, im2col::Im2Col, maxpool::Maxpool, softmax::Softmax,
     transpose::Transpose, upsample::Upsample,
 };
+use crate::image::{blur::Blur, downsample::Downsample};
 use crate::Benchmark;
 
 /// Any of the nine benchmark kernels, with its workload parameters.
@@ -34,6 +38,19 @@ pub enum AnyBenchmark {
     /// Tiled matrix transpose (extension kernel, not in the paper's
     /// evaluation).
     Transpose(Transpose),
+    /// SAXPY `y = a*x + y` (BLAS family).
+    Axpy(Axpy),
+    /// Block-partial dot product with shared-memory tree reduction (BLAS
+    /// family).
+    Dot(Dot),
+    /// Row-per-thread matrix-vector product (BLAS family).
+    Gemv(Gemv),
+    /// Separable 3×3 binomial blur (image family).
+    Blur(Blur),
+    /// 2× box-filter downsample (image family).
+    Downsample(Downsample),
+    /// Tiled online-softmax attention (attention family).
+    Attention(Attention),
 }
 
 impl AnyBenchmark {
@@ -51,6 +68,12 @@ impl AnyBenchmark {
             AnyBenchmark::Blake2b(b) => b,
             AnyBenchmark::Softmax(b) => b,
             AnyBenchmark::Transpose(b) => b,
+            AnyBenchmark::Axpy(b) => b,
+            AnyBenchmark::Dot(b) => b,
+            AnyBenchmark::Gemv(b) => b,
+            AnyBenchmark::Blur(b) => b,
+            AnyBenchmark::Downsample(b) => b,
+            AnyBenchmark::Attention(b) => b,
         }
     }
 
@@ -74,6 +97,12 @@ impl AnyBenchmark {
             AnyBenchmark::Blake2b(b) => AnyBenchmark::Blake2b(b.scaled(factor)),
             AnyBenchmark::Softmax(b) => AnyBenchmark::Softmax(b.scaled(factor)),
             AnyBenchmark::Transpose(b) => AnyBenchmark::Transpose(b.scaled(factor)),
+            AnyBenchmark::Axpy(b) => AnyBenchmark::Axpy(b.scaled(factor)),
+            AnyBenchmark::Dot(b) => AnyBenchmark::Dot(b.scaled(factor)),
+            AnyBenchmark::Gemv(b) => AnyBenchmark::Gemv(b.scaled(factor)),
+            AnyBenchmark::Blur(b) => AnyBenchmark::Blur(b.scaled(factor)),
+            AnyBenchmark::Downsample(b) => AnyBenchmark::Downsample(b.scaled(factor)),
+            AnyBenchmark::Attention(b) => AnyBenchmark::Attention(b.scaled(factor)),
         }
     }
 
@@ -100,11 +129,26 @@ impl AnyBenchmark {
         ]
     }
 
-    /// Looks a benchmark up by its display name (paper set and extensions).
+    /// The six family kernels (BLAS, image stencil, attention) beyond the
+    /// paper's workload set.
+    pub fn families() -> Vec<AnyBenchmark> {
+        vec![
+            AnyBenchmark::Axpy(Axpy::default()),
+            AnyBenchmark::Dot(Dot::default()),
+            AnyBenchmark::Gemv(Gemv::default()),
+            AnyBenchmark::Blur(Blur::default()),
+            AnyBenchmark::Downsample(Downsample::default()),
+            AnyBenchmark::Attention(Attention::default()),
+        ]
+    }
+
+    /// Looks a benchmark up by its display name (paper set, extensions, and
+    /// families).
     pub fn by_name(name: &str) -> Option<AnyBenchmark> {
         Self::all()
             .into_iter()
             .chain(Self::extensions())
+            .chain(Self::families())
             .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 }
@@ -244,6 +288,31 @@ pub fn all_pairs() -> Vec<PairSpec> {
     v
 }
 
+/// Four pairs drawn from the BLAS / image / attention families (beyond the
+/// paper's evaluation set): a streaming+stencil mix, a reduction+stencil
+/// mix, and two compute-heavy combinations.
+pub fn family_pairs() -> Vec<PairSpec> {
+    use AnyBenchmark as B;
+    vec![
+        PairSpec::new(B::Axpy(Axpy::default()), B::Blur(Blur::default()), 1),
+        PairSpec::new(
+            B::Dot(Dot::default()),
+            B::Downsample(Downsample::default()),
+            0,
+        ),
+        PairSpec::new(
+            B::Gemv(Gemv::default()),
+            B::Attention(Attention::default()),
+            1,
+        ),
+        PairSpec::new(
+            B::Attention(Attention::default()),
+            B::Softmax(Softmax::default()),
+            0,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,10 +356,28 @@ mod tests {
     }
 
     #[test]
+    fn families_are_disjoint_from_paper_set_and_tunable() {
+        let paper: Vec<&str> = AnyBenchmark::all().iter().map(|b| b.name()).collect();
+        for f in AnyBenchmark::families() {
+            assert!(!paper.contains(&f.name()), "{}", f.name());
+            assert!(f.benchmark().tunable(), "{}", f.name());
+            assert_eq!(
+                f.benchmark().grid_dim(),
+                crate::DEFAULT_GRID,
+                "{}",
+                f.name()
+            );
+        }
+        assert_eq!(AnyBenchmark::families().len(), 6);
+        assert_eq!(family_pairs().len(), 4);
+    }
+
+    #[test]
     fn by_name_round_trips() {
         for b in AnyBenchmark::all()
             .into_iter()
             .chain(AnyBenchmark::extensions())
+            .chain(AnyBenchmark::families())
         {
             let found = AnyBenchmark::by_name(b.name()).expect("find by name");
             assert_eq!(found.name(), b.name());

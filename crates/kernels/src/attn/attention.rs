@@ -1,0 +1,255 @@
+//! Tiled single-head attention, one query row per thread.
+//!
+//! Keys and values stream through `__shared__` tiles of 16 rows; each
+//! thread keeps a running online-softmax state (`m`, `l`) and a 16-wide
+//! local accumulator, so no second pass over the scores is needed.
+//!
+//! The outer loop iterates a block-uniform row *base* (`row0`, no
+//! `threadIdx.x` term) and derives each thread's row inside the body, so
+//! the `__syncthreads()` around the cooperative tile loads are reached by
+//! all threads of a block or none — which keeps the kernel legal under the
+//! barrier-divergence lint and fusable as either partition.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Head dimension, fixed in the kernel source (also the K/V tile rows).
+pub const HEAD_DIM: usize = 16;
+
+/// Attention workload: `rows` query rows over `keys` key/value rows, head
+/// dimension fixed at [`HEAD_DIM`].
+#[derive(Debug, Clone)]
+pub struct Attention {
+    /// Query rows.
+    pub rows: u32,
+    /// Key/value rows (multiple of 16).
+    pub keys: u32,
+    /// Score scale (1/√d for real attention).
+    pub scale: f32,
+}
+
+impl Default for Attention {
+    fn default() -> Self {
+        Self {
+            rows: 2048,
+            keys: 64,
+            scale: 0.25,
+        }
+    }
+}
+
+impl Attention {
+    /// Scales the query-row count by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            rows: ((f64::from(self.rows) * factor).round() as u32).max(64),
+            keys: self.keys,
+            scale: self.scale,
+        }
+    }
+
+    fn data(&self, len: usize, mult: u32, add: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(mult).wrapping_add(add);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn q_data(&self) -> Vec<f32> {
+        self.data(self.rows as usize * HEAD_DIM, 2654435761, 0)
+    }
+
+    fn k_data(&self) -> Vec<f32> {
+        self.data(self.keys as usize * HEAD_DIM, 1597334677, 362437)
+    }
+
+    fn v_data(&self) -> Vec<f32> {
+        self.data(self.keys as usize * HEAD_DIM, 747796405, 2891336453)
+    }
+
+    /// CPU reference, mirroring the kernel's key order and rounding exactly
+    /// (`fmaf` is mul-then-add on the simulator; `expf` is `f32::exp`).
+    pub fn reference(&self, q: &[f32], k: &[f32], v: &[f32]) -> Vec<f32> {
+        let (rows, keys) = (self.rows as usize, self.keys as usize);
+        let mut out = vec![0.0f32; rows * HEAD_DIM];
+        for r in 0..rows {
+            let mut m = -1.0e30f32;
+            let mut l = 0.0f32;
+            let mut acc = [0.0f32; HEAD_DIM];
+            for t in 0..keys {
+                let mut s = 0.0f32;
+                for d in 0..HEAD_DIM {
+                    // Mirrors the kernel's `fmaf` lowering (mul-then-add
+                    // operand order) for bitwise agreement.
+                    #[allow(clippy::assign_op_pattern)]
+                    {
+                        s = q[r * HEAD_DIM + d] * k[t * HEAD_DIM + d] + s;
+                    }
+                }
+                s *= self.scale;
+                let mn = m.max(s);
+                let corr = (m - mn).exp();
+                let p = (s - mn).exp();
+                l = l * corr + p;
+                for d in 0..HEAD_DIM {
+                    acc[d] = acc[d] * corr + p * v[t * HEAD_DIM + d];
+                }
+                m = mn;
+            }
+            for d in 0..HEAD_DIM {
+                out[r * HEAD_DIM + d] = acc[d] / l;
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Attention {
+    fn name(&self) -> &'static str {
+        "Attention"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void attention(float* out, float* q, float* k, float* v,
+                          float scale, int M, int N) {
+    __shared__ float kt[256];
+    __shared__ float vt[256];
+    for (int row0 = blockIdx.x * blockDim.x; row0 < M;
+         row0 += gridDim.x * blockDim.x) {
+        int row = row0 + threadIdx.x;
+        float acc[16];
+        float m = -1.0e30f;
+        float l = 0.0f;
+        for (int d = 0; d < 16; d = d + 1) {
+            acc[d] = 0.0f;
+        }
+        for (int t0 = 0; t0 < N; t0 += 16) {
+            __syncthreads();
+            for (int j = threadIdx.x; j < 256; j += blockDim.x) {
+                kt[j] = k[t0 * 16 + j];
+                vt[j] = v[t0 * 16 + j];
+            }
+            __syncthreads();
+            if (row < M) {
+                for (int t = 0; t < 16; t = t + 1) {
+                    float s = 0.0f;
+                    for (int d = 0; d < 16; d = d + 1) {
+                        s = fmaf(q[row * 16 + d], kt[t * 16 + d], s);
+                    }
+                    s = s * scale;
+                    float mn = fmaxf(m, s);
+                    float corr = expf(m - mn);
+                    float p = expf(s - mn);
+                    l = l * corr + p;
+                    for (int d = 0; d < 16; d = d + 1) {
+                        acc[d] = acc[d] * corr + p * vt[t * 16 + d];
+                    }
+                    m = mn;
+                }
+            }
+        }
+        if (row < M) {
+            for (int d = 0; d < 16; d = d + 1) {
+                out[row * 16 + d] = acc[d] / l;
+            }
+        }
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let out_buf = mem.alloc_f32(self.rows as usize * HEAD_DIM);
+        let q_buf = mem.alloc_from_f32(&self.q_data());
+        let k_buf = mem.alloc_from_f32(&self.k_data());
+        let v_buf = mem.alloc_from_f32(&self.v_data());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(q_buf),
+            ParamValue::Ptr(k_buf),
+            ParamValue::Ptr(v_buf),
+            ParamValue::F32(self.scale),
+            ParamValue::I32(self.rows as i32),
+            ParamValue::I32(self.keys as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.q_data(), &self.k_data(), &self.v_data());
+        // Keys are visited in the same order on every geometry: exact match.
+        compare_f32(&got, &want, 0.0, "attention")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    fn run_with_block(wl: &Attention, block: u32) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
+            grid_dim: wl.grid_dim(),
+            block_dim: (block, 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn gpu_matches_reference_bitwise() {
+        run_with_block(
+            &Attention {
+                rows: 256,
+                keys: 32,
+                scale: 0.25,
+            },
+            256,
+        );
+    }
+
+    #[test]
+    fn partial_tail_blocks_are_handled() {
+        // rows not a multiple of the thread count exercises the `row < M`
+        // guard while the block still reaches every barrier.
+        for block in [96, 256] {
+            run_with_block(
+                &Attention {
+                    rows: 100,
+                    keys: 16,
+                    scale: 0.25,
+                },
+                block,
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_weights_sum_to_one() {
+        // With V = all-ones, attention output is exactly the softmax
+        // weights dotted with ones = 1 (up to rounding).
+        let wl = Attention {
+            rows: 4,
+            keys: 16,
+            scale: 0.25,
+        };
+        let q = wl.q_data();
+        let k = wl.k_data();
+        let v = vec![1.0f32; wl.keys as usize * HEAD_DIM];
+        let out = wl.reference(&q, &k, &v);
+        for o in out {
+            assert!((o - 1.0).abs() < 1e-5, "{o}");
+        }
+    }
+}

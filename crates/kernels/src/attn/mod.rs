@@ -1,0 +1,7 @@
+//! Attention-style benchmark kernel: a tiled QKᵀ score computation with an
+//! online-softmax accumulation into ×V, the core loop shape of
+//! FlashAttention-style kernels. Stresses shared-memory tiling inside a
+//! data-sized loop, block-uniform barrier conditions, and a per-thread
+//! local accumulator array.
+
+pub mod attention;

@@ -1,0 +1,133 @@
+//! `y = a*x + y` (SAXPY): one fused multiply-add per element, two loads and
+//! one store — the purest memory-bound streaming kernel in the suite.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Axpy workload: vectors of `n` elements, scalar multiplier `a`.
+#[derive(Debug, Clone)]
+pub struct Axpy {
+    /// Vector length.
+    pub n: u32,
+    /// Scalar multiplier.
+    pub a: f32,
+}
+
+impl Default for Axpy {
+    fn default() -> Self {
+        Self {
+            n: 1 << 16,
+            a: 0.75,
+        }
+    }
+}
+
+impl Axpy {
+    /// Scales the vector length by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            n: ((f64::from(self.n) * factor).round() as u32).max(1024),
+            a: self.a,
+        }
+    }
+
+    fn x_data(&self) -> Vec<f32> {
+        (0..self.n as usize)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn y_data(&self) -> Vec<f32> {
+        (0..self.n as usize)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(40503).wrapping_add(2463534242);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference. `fmaf` lowers to a multiply then an add on the
+    /// simulator (two roundings), so the mirror is `a * x + y`, not
+    /// `f32::mul_add` — the results match bitwise.
+    pub fn reference(&self, x: &[f32], y: &[f32]) -> Vec<f32> {
+        x.iter().zip(y).map(|(xi, yi)| self.a * xi + yi).collect()
+    }
+}
+
+impl Benchmark for Axpy {
+    fn name(&self) -> &'static str {
+        "Axpy"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void axpy(float* y, float* x, float a, int n) {
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;
+         i += gridDim.x * blockDim.x) {
+        y[i] = fmaf(a, x[i], y[i]);
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let y_buf = mem.alloc_from_f32(&self.y_data());
+        let x_buf = mem.alloc_from_f32(&self.x_data());
+        vec![
+            ParamValue::Ptr(y_buf),
+            ParamValue::Ptr(x_buf),
+            ParamValue::F32(self.a),
+            ParamValue::I32(self.n as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.x_data(), &self.y_data());
+        // Per-element work is geometry-independent: exact match required.
+        compare_f32(&got, &want, 0.0, "axpy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference_bitwise() {
+        let wl = Axpy {
+            n: 4096,
+            ..Axpy::default()
+        };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
+            grid_dim: wl.grid_dim(),
+            block_dim: (wl.default_threads(), 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn reference_is_mul_then_add() {
+        let wl = Axpy { n: 1, a: 3.0 };
+        let out = wl.reference(&[2.0], &[1.0]);
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn scaled_keeps_a_floor() {
+        assert!(Axpy::default().scaled(0.001).n >= 1024);
+    }
+}

@@ -1,0 +1,171 @@
+//! Block-partial dot product: a grid-stride fused-multiply-add accumulation
+//! followed by a shared-memory tree reduction, one partial sum per block.
+//!
+//! The reduction descends from the next power of two above `blockDim.x` with
+//! a guarded add, so it stays correct for the non-power-of-two block sizes
+//! (e.g. 384) the fusion search assigns to thread-space partitions. The
+//! barrier sits outside the thread guard: its trip count depends only on
+//! `blockDim.x`, which keeps it block-uniform.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{ptr_arg, Benchmark};
+
+/// Maximum block threads a fused partition can assign; sizes the dynamic
+/// shared scratch so any partition fits.
+const MAX_BLOCK_THREADS: u32 = 1024;
+
+/// Dot workload: two vectors of `n` elements, one partial sum per block.
+#[derive(Debug, Clone)]
+pub struct Dot {
+    /// Vector length.
+    pub n: u32,
+}
+
+impl Default for Dot {
+    fn default() -> Self {
+        Self { n: 1 << 16 }
+    }
+}
+
+impl Dot {
+    /// Scales the vector length by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            n: ((f64::from(self.n) * factor).round() as u32).max(1024),
+        }
+    }
+
+    fn x_data(&self) -> Vec<f32> {
+        (0..self.n as usize)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn y_data(&self) -> Vec<f32> {
+        (0..self.n as usize)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(1597334677).wrapping_add(88675123);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference in `f64`: the order the GPU sums its partials in
+    /// depends on the launch geometry, so the check compares the *sum* of
+    /// the partials against this with a relative tolerance instead of
+    /// demanding bitwise agreement.
+    pub fn reference(&self, x: &[f32], y: &[f32]) -> f64 {
+        x.iter()
+            .zip(y)
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum()
+    }
+}
+
+impl Benchmark for Dot {
+    fn name(&self) -> &'static str {
+        "Dot"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void dot(float* out, float* x, float* y, int n) {
+    extern __shared__ float s[];
+    int t = threadIdx.x;
+    float acc = 0.0f;
+    for (int i = blockIdx.x * blockDim.x + t; i < n;
+         i += gridDim.x * blockDim.x) {
+        acc = fmaf(x[i], y[i], acc);
+    }
+    s[t] = acc;
+    __syncthreads();
+    int r = 1;
+    while (r < blockDim.x) {
+        r = r * 2;
+    }
+    for (r = r / 2; r > 0; r = r / 2) {
+        if (t < r && t + r < blockDim.x) {
+            s[t] = s[t] + s[t + r];
+        }
+        __syncthreads();
+    }
+    if (t == 0) {
+        out[blockIdx.x] = s[0];
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn dynamic_shared(&self) -> u32 {
+        MAX_BLOCK_THREADS * 4
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let out_buf = mem.alloc_f32(self.grid_dim() as usize);
+        let x_buf = mem.alloc_from_f32(&self.x_data());
+        let y_buf = mem.alloc_from_f32(&self.y_data());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(x_buf),
+            ParamValue::Ptr(y_buf),
+            ParamValue::I32(self.n as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let partials = mem.read_f32s(ptr_arg(args, 0));
+        let got: f64 = partials.iter().map(|p| f64::from(*p)).sum();
+        let want = self.reference(&self.x_data(), &self.y_data());
+        let scale = want.abs().max(1.0);
+        if (got - want).abs() > 1e-3 * scale {
+            return Err(format!("dot: got {got}, want {want}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    fn run_with_block(wl: &Dot, block: u32) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
+            grid_dim: wl.grid_dim(),
+            block_dim: (block, 1, 1),
+            dynamic_shared_bytes: wl.dynamic_shared(),
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn gpu_matches_reference() {
+        run_with_block(&Dot { n: 8192 }, 256);
+    }
+
+    #[test]
+    fn tree_reduction_survives_non_power_of_two_blocks() {
+        // The fusion search hands out partitions like 96 or 384 threads.
+        for block in [32, 96, 160, 384] {
+            run_with_block(&Dot { n: 4096 }, block);
+        }
+    }
+
+    #[test]
+    fn reference_is_exact_in_f64() {
+        let wl = Dot { n: 3 };
+        let r = wl.reference(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(r, 32.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dense matrix-vector product, one output row per thread: a loop-carried
+//! fused-multiply-add accumulator over the row's columns. Compute-heavier
+//! than `axpy` but with the same per-output independence, so the CPU mirror
+//! matches bitwise.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Gemv workload: `rows × cols` matrix times a `cols` vector.
+#[derive(Debug, Clone)]
+pub struct Gemv {
+    /// Matrix rows (output length).
+    pub rows: u32,
+    /// Matrix columns (vector length).
+    pub cols: u32,
+}
+
+impl Default for Gemv {
+    fn default() -> Self {
+        Self {
+            rows: 2048,
+            cols: 64,
+        }
+    }
+}
+
+impl Gemv {
+    /// Scales the row count by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            rows: ((f64::from(self.rows) * factor).round() as u32).max(64),
+            cols: self.cols,
+        }
+    }
+
+    fn matrix_data(&self) -> Vec<f32> {
+        (0..(self.rows * self.cols) as usize)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn vector_data(&self) -> Vec<f32> {
+        (0..self.cols as usize)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(747796405).wrapping_add(2891336453);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference, mirroring the kernel's accumulation order exactly
+    /// (`acc = a*x + acc` per column, mul-then-add like the lowered `fmaf`).
+    pub fn reference(&self, a: &[f32], x: &[f32]) -> Vec<f32> {
+        let (m, n) = (self.rows as usize, self.cols as usize);
+        (0..m)
+            .map(|r| {
+                let mut acc = 0.0f32;
+                for c in 0..n {
+                    #[allow(clippy::assign_op_pattern)]
+                    {
+                        acc = a[r * n + c] * x[c] + acc;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Benchmark for Gemv {
+    fn name(&self) -> &'static str {
+        "Gemv"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void gemv(float* y, float* a, float* x, int M, int N) {
+    for (int r = blockIdx.x * blockDim.x + threadIdx.x; r < M;
+         r += gridDim.x * blockDim.x) {
+        float acc = 0.0f;
+        for (int c = 0; c < N; c = c + 1) {
+            acc = fmaf(a[r * N + c], x[c], acc);
+        }
+        y[r] = acc;
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let y_buf = mem.alloc_f32(self.rows as usize);
+        let a_buf = mem.alloc_from_f32(&self.matrix_data());
+        let x_buf = mem.alloc_from_f32(&self.vector_data());
+        vec![
+            ParamValue::Ptr(y_buf),
+            ParamValue::Ptr(a_buf),
+            ParamValue::Ptr(x_buf),
+            ParamValue::I32(self.rows as i32),
+            ParamValue::I32(self.cols as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.matrix_data(), &self.vector_data());
+        // Each row is reduced sequentially by one thread: exact match.
+        compare_f32(&got, &want, 0.0, "gemv")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference_bitwise() {
+        let wl = Gemv {
+            rows: 512,
+            cols: 32,
+        };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
+            grid_dim: wl.grid_dim(),
+            block_dim: (wl.default_threads(), 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn reference_accumulates_in_column_order() {
+        let wl = Gemv { rows: 2, cols: 2 };
+        let y = wl.reference(&[1.0, 2.0, 3.0, 4.0], &[10.0, 100.0]);
+        assert_eq!(y, vec![210.0, 430.0]);
+    }
+}

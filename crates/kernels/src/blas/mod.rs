@@ -1,0 +1,12 @@
+//! BLAS-shaped benchmark kernels (the fusion-set space mapped by
+//! Filipovič et al., arXiv:1305.1183): `axpy`, a block-partial `dot` with a
+//! shared-memory tree reduction, and a row-per-thread `gemv`.
+//!
+//! These stress dialect corners the paper kernels never touch: fused
+//! multiply-add (`fmaf`), a tree reduction that must stay correct for the
+//! non-power-of-two block sizes the fusion search produces, and loop-carried
+//! accumulators.
+
+pub mod axpy;
+pub mod dot;
+pub mod gemv;

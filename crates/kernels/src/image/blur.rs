@@ -1,0 +1,162 @@
+//! Separable 3×3 binomial blur (weights ¼ ½ ¼ per axis): three 3-tap row
+//! sums combined vertically per output pixel, with clamped edges. Nine
+//! loads and one store per pixel — memory-bound with index-heavy 2-D
+//! addressing.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Blur workload: a `height × width` single-channel image.
+#[derive(Debug, Clone)]
+pub struct Blur {
+    /// Image height.
+    pub height: u32,
+    /// Image width.
+    pub width: u32,
+}
+
+impl Default for Blur {
+    fn default() -> Self {
+        Self {
+            height: 128,
+            width: 128,
+        }
+    }
+}
+
+impl Blur {
+    /// Pixels.
+    pub fn len(&self) -> usize {
+        (self.height * self.width) as usize
+    }
+
+    /// True when the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scales the image height by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            height: ((f64::from(self.height) * factor).round() as u32).max(8),
+            width: self.width,
+        }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        (0..self.len())
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference, mirroring the kernel's tap order: each of the three
+    /// row sums is `¼·left + ½·center + ¼·right` (left-to-right adds), the
+    /// rows are then combined `¼·up + ½·mid + ¼·down`.
+    pub fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let (h, w) = (self.height as usize, self.width as usize);
+        let row = |y: usize, x: usize| -> f32 {
+            let xl = x.saturating_sub(1);
+            let xr = (x + 1).min(w - 1);
+            0.25 * input[y * w + xl] + 0.5 * input[y * w + x] + 0.25 * input[y * w + xr]
+        };
+        let mut out = vec![0.0f32; h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let yu = y.saturating_sub(1);
+                let yd = (y + 1).min(h - 1);
+                out[y * w + x] = 0.25 * row(yu, x) + 0.5 * row(y, x) + 0.25 * row(yd, x);
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Blur {
+    fn name(&self) -> &'static str {
+        "Blur"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void blur(float* out, float* in, int H, int W) {
+    int total = H * W;
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+         i += gridDim.x * blockDim.x) {
+        int x = i % W;
+        int y = i / W;
+        int xl = max(x - 1, 0);
+        int xr = min(x + 1, W - 1);
+        int yu = max(y - 1, 0);
+        int yd = min(y + 1, H - 1);
+        float r0 = 0.25f * in[yu * W + xl] + 0.5f * in[yu * W + x]
+                 + 0.25f * in[yu * W + xr];
+        float r1 = 0.25f * in[y * W + xl] + 0.5f * in[y * W + x]
+                 + 0.25f * in[y * W + xr];
+        float r2 = 0.25f * in[yd * W + xl] + 0.5f * in[yd * W + x]
+                 + 0.25f * in[yd * W + xr];
+        out[i] = 0.25f * r0 + 0.5f * r1 + 0.25f * r2;
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let out_buf = mem.alloc_f32(self.len());
+        let in_buf = mem.alloc_from_f32(&self.input_data());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.height as i32),
+            ParamValue::I32(self.width as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        compare_f32(&got, &want, 0.0, "blur")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference_bitwise() {
+        let wl = Blur {
+            height: 32,
+            width: 48,
+        };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
+            grid_dim: wl.grid_dim(),
+            block_dim: (wl.default_threads(), 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn uniform_image_stays_uniform() {
+        // Binomial weights sum to 1 along each axis, so a constant image is
+        // a fixed point (up to rounding, exact for powers of two).
+        let wl = Blur {
+            height: 4,
+            width: 4,
+        };
+        let out = wl.reference(&[2.0; 16]);
+        assert!(out.iter().all(|v| *v == 2.0), "{out:?}");
+    }
+}

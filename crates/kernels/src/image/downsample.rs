@@ -1,0 +1,156 @@
+//! 2× box-filter downsample: each output pixel averages a 2×2 input window
+//! (`0.25·(((a+b)+c)+d)`). The inverse data-movement shape of `Upsample`
+//! and the second stage of a blur→resize image pipeline.
+
+use gpu_sim::{GpuMemory, ParamValue};
+
+use crate::{compare_f32, ptr_arg, Benchmark};
+
+/// Downsample workload: input `height × width` (both even), output halved
+/// along each axis.
+#[derive(Debug, Clone)]
+pub struct Downsample {
+    /// Input height (even).
+    pub height: u32,
+    /// Input width (even).
+    pub width: u32,
+}
+
+impl Default for Downsample {
+    fn default() -> Self {
+        Self {
+            height: 256,
+            width: 256,
+        }
+    }
+}
+
+impl Downsample {
+    /// Input elements.
+    pub fn in_len(&self) -> usize {
+        (self.height * self.width) as usize
+    }
+
+    /// Output elements.
+    pub fn out_len(&self) -> usize {
+        ((self.height / 2) * (self.width / 2)) as usize
+    }
+
+    /// Scales the input height by `factor`, keeping it even.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let h = (((f64::from(self.height) * factor).round() as u32).max(4) + 1) & !1;
+        Self {
+            height: h,
+            width: self.width,
+        }
+    }
+
+    fn input_data(&self) -> Vec<f32> {
+        (0..self.in_len())
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761);
+                (h % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// CPU reference, mirroring the kernel's addition order exactly.
+    pub fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let (h, w) = (self.height as usize, self.width as usize);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; oh * ow];
+        for y in 0..oh {
+            for x in 0..ow {
+                let base = (y * 2) * w + x * 2;
+                out[y * ow + x] = 0.25
+                    * (((input[base] + input[base + 1]) + input[base + w]) + input[base + w + 1]);
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Downsample {
+    fn name(&self) -> &'static str {
+        "Downsample"
+    }
+
+    fn source(&self) -> String {
+        r#"
+__global__ void downsample(float* out, float* in, int H, int W) {
+    int OH = H / 2;
+    int OW = W / 2;
+    int total = OH * OW;
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+         i += gridDim.x * blockDim.x) {
+        int ox = i % OW;
+        int oy = i / OW;
+        int base = (oy * 2) * W + ox * 2;
+        out[i] = 0.25f * (((in[base] + in[base + 1]) + in[base + W])
+                          + in[base + W + 1]);
+    }
+}
+"#
+        .to_owned()
+    }
+
+    fn setup(&self, mem: &mut GpuMemory) -> Vec<ParamValue> {
+        let out_buf = mem.alloc_f32(self.out_len());
+        let in_buf = mem.alloc_from_f32(&self.input_data());
+        vec![
+            ParamValue::Ptr(out_buf),
+            ParamValue::Ptr(in_buf),
+            ParamValue::I32(self.height as i32),
+            ParamValue::I32(self.width as i32),
+        ]
+    }
+
+    fn check(&self, mem: &GpuMemory, args: &[ParamValue]) -> Result<(), String> {
+        let got = mem.read_f32s(ptr_arg(args, 0));
+        let want = self.reference(&self.input_data());
+        compare_f32(&got, &want, 0.0, "downsample")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, Launch};
+    use thread_ir::lower_kernel;
+
+    #[test]
+    fn gpu_matches_reference_bitwise() {
+        let wl = Downsample {
+            height: 32,
+            width: 32,
+        };
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let args = wl.setup(gpu.memory_mut());
+        let launch = Launch {
+            kernel: lower_kernel(&wl.kernel()).expect("lower").into(),
+            grid_dim: wl.grid_dim(),
+            block_dim: (wl.default_threads(), 1, 1),
+            dynamic_shared_bytes: 0,
+            args: args.clone(),
+        };
+        gpu.run_functional(&[launch]).expect("run");
+        wl.check(gpu.memory(), &args).expect("check");
+    }
+
+    #[test]
+    fn scaled_keeps_even_height() {
+        let wl = Downsample::default();
+        for f in [0.3, 0.77, 1.5, 2.0] {
+            assert_eq!(wl.scaled(f).height % 2, 0);
+        }
+    }
+
+    #[test]
+    fn reference_averages_the_window() {
+        let wl = Downsample {
+            height: 2,
+            width: 2,
+        };
+        assert_eq!(wl.reference(&[1.0, 2.0, 3.0, 6.0]), vec![3.0]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Image-stencil benchmark kernels (the pipeline-chain shapes motivating the
+//! Fused Kernel Library, arXiv:2508.07071): a separable 3×3 binomial blur
+//! and a 2× box-filter downsample. Both are 2-D-indexed, clamped-edge,
+//! per-output-independent stencils, so their CPU mirrors match bitwise.
+
+pub mod blur;
+pub mod downsample;

@@ -22,15 +22,30 @@
 //! replication figures): Softmax (special-function-unit bound) and a tiled
 //! Transpose (pure data movement through shared memory).
 //!
+//! Three *family* sets beyond the paper's workloads, opening the scenario
+//! space (ROADMAP item 4):
+//!
+//! | Kernel     | Family | Character | CPU-reference agreement |
+//! |------------|--------|-----------|-------------------------|
+//! | Axpy       | BLAS   | streaming `fmaf`, memory-bound | bitwise |
+//! | Dot        | BLAS   | grid-stride MAC + shared-memory tree reduction | partial-sum tolerance |
+//! | Gemv       | BLAS   | row-per-thread loop-carried accumulator | bitwise |
+//! | Blur       | image  | separable 3×3 stencil, clamped edges, 2-D index | bitwise |
+//! | Downsample | image  | 2× box filter, 2-D index | bitwise |
+//! | Attention  | attn   | tiled QKᵀ + online softmax + ×V, shared tiles in a loop | bitwise |
+//!
 //! Every benchmark implements [`Benchmark`]: it can upload its inputs to a
 //! simulated GPU, produce a [`hfuse_core::FusionInput`] for the fusion
 //! search, and check the GPU results against a CPU reference.
 
 pub mod any;
+pub mod attn;
+pub mod blas;
 pub mod crypto;
 pub mod dl;
+pub mod image;
 
-pub use any::{all_pairs, crypto_pairs, dl_pairs, AnyBenchmark, PairSpec};
+pub use any::{all_pairs, crypto_pairs, dl_pairs, family_pairs, AnyBenchmark, PairSpec};
 
 use cuda_frontend::ast::Function;
 use cuda_frontend::parse_kernel;
@@ -161,13 +176,30 @@ pub fn crypto_benchmarks() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+/// The six family benchmarks (BLAS, image stencil, attention) with default
+/// workloads.
+pub fn family_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(blas::axpy::Axpy::default()),
+        Box::new(blas::dot::Dot::default()),
+        Box::new(blas::gemv::Gemv::default()),
+        Box::new(image::blur::Blur::default()),
+        Box::new(image::downsample::Downsample::default()),
+        Box::new(attn::attention::Attention::default()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn all_benchmark_sources_parse() {
-        for b in dl_benchmarks().iter().chain(crypto_benchmarks().iter()) {
+        for b in dl_benchmarks()
+            .iter()
+            .chain(crypto_benchmarks().iter())
+            .chain(family_benchmarks().iter())
+        {
             let k = b.kernel();
             assert!(k.is_kernel, "{} must be __global__", b.name());
         }
@@ -175,7 +207,11 @@ mod tests {
 
     #[test]
     fn all_benchmarks_lower_to_ir() {
-        for b in dl_benchmarks().iter().chain(crypto_benchmarks().iter()) {
+        for b in dl_benchmarks()
+            .iter()
+            .chain(crypto_benchmarks().iter())
+            .chain(family_benchmarks().iter())
+        {
             let ir = thread_ir::lower_kernel(&b.kernel())
                 .unwrap_or_else(|e| panic!("{} must lower: {e}", b.name()));
             assert!(ir.insts.len() > 5, "{}", b.name());

@@ -851,7 +851,8 @@ impl Lowerer {
                     | Intrinsic::SqrtF
                     | Intrinsic::RsqrtF
                     | Intrinsic::ExpF
-                    | Intrinsic::LogF,
+                    | Intrinsic::LogF
+                    | Intrinsic::FmaF,
                 ) => Ty::F32,
                 Some(Intrinsic::Min | Intrinsic::Max) => {
                     promote(&self.probe_ty(&args[0])?, &self.probe_ty(&args[1])?)
@@ -1119,6 +1120,33 @@ impl Lowerer {
                     dst,
                     a,
                     b,
+                });
+                Ok((dst, Ty::F32))
+            }
+            Intrinsic::FmaF => {
+                // Lowers to mul-then-add (two roundings); CPU references
+                // mirror this as `a * b + c`, not a true fused `mul_add`.
+                let (a, aty) = self.expr(&args[0])?;
+                let (b, bty) = self.expr(&args[1])?;
+                let (c, cty) = self.expr(&args[2])?;
+                let a = self.coerce(a, &aty, &Ty::F32);
+                let b = self.coerce(b, &bty, &Ty::F32);
+                let c = self.coerce(c, &cty, &Ty::F32);
+                let prod = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinIr::Mul,
+                    ty: ScalarTy::F32,
+                    dst: prod,
+                    a,
+                    b,
+                });
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinIr::Add,
+                    ty: ScalarTy::F32,
+                    dst,
+                    a: prod,
+                    b: c,
                 });
                 Ok((dst, Ty::F32))
             }
@@ -1431,6 +1459,44 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn fmaf_lowers_to_mul_then_add() {
+        let ir = lower("__global__ void k(float* a, float s) { a[0] = fmaf(s, a[0], a[1]); }");
+        let mul = ir.insts.iter().position(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinIr::Mul,
+                    ty: ScalarTy::F32,
+                    ..
+                }
+            )
+        });
+        let add = ir.insts.iter().position(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinIr::Add,
+                    ty: ScalarTy::F32,
+                    ..
+                }
+            )
+        });
+        let (mul, add) = (mul.expect("mul"), add.expect("add"));
+        assert!(mul < add, "fmaf must multiply before it adds");
+    }
+
+    #[test]
+    fn fmaf_wrong_arity_is_unknown_function() {
+        let f = parse_kernel("__global__ void k(float* a) { a[0] = fmaf(a[0], a[1]); }")
+            .expect("parse");
+        let err = lower_kernel(&f).expect_err("two-arg fmaf must not lower");
+        assert!(
+            err.to_string().contains("unknown function"),
+            "unhelpful message: {err}"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ fn main() {
     // mining co-location from the paper's workload table. Ethash is
     // non-tunable (two candidates), so its wall clock isolates the
     // simulator-side wins (fast-forward, vectorization) from the
-    // search-side ones.
+    // search-side ones. The last three rows are new-family crosses
+    // (BLAS × image × attention), exercising tree reductions, 2-D stencil
+    // indexing, and loop-carried accumulators in the searched kernels.
     let pairs = [
         ("Maxpool", "Batchnorm", 1.0),
         ("Upsample", "Hist", 1.0),
@@ -117,6 +119,9 @@ fn main() {
         ("Batchnorm", "Im2Col", 1.0),
         ("Hist", "Im2Col", 1.0),
         ("Ethash", "Ethash", 1.0),
+        ("Axpy", "Blur", 1.0),
+        ("Dot", "Downsample", 1.0),
+        ("Gemv", "Attention", 1.0),
     ];
 
     let mut results = Vec::new();

@@ -82,11 +82,13 @@ USAGE:
       Refit the analytic search model: exhaustively profile every paper
       pair's candidates and print the per-latency-class constants (the
       CALIBRATED_K array in gpu-sim's model.rs) plus fit quality.
-  hfuse lint <file.cu> [more.cu ...] [--threads N] | hfuse lint --paper
+  hfuse lint <file.cu> [more.cu ...] [--threads N] | hfuse lint --paper | --all
       Run the static fusion-safety analyzer: barrier-divergence, definite
       shared-memory races, and partial-barrier structure. --threads fixes
       the block size (sharpens the barrier lints); --paper lints every
-      built-in benchmark kernel instead. Exits nonzero on any diagnostic.
+      built-in paper kernel instead, --all additionally covers the
+      extension kernels and the BLAS / image / attention families. Exits
+      nonzero on any diagnostic.
   hfuse list
       List built-in benchmark kernels and evaluation pairs.
 ";
@@ -119,6 +121,7 @@ fn positional(args: &[String]) -> Vec<&str> {
                     | "--no-prune"
                     | "--no-model-filter"
                     | "--paper"
+                    | "--all"
                     | "--calibrate"
             );
             let _ = i;
@@ -553,8 +556,13 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 
     // (label, source, block threads) for every kernel to analyze.
     let mut units: Vec<(String, String, Option<u32>)> = Vec::new();
-    if has_flag(args, "--paper") {
-        for b in AnyBenchmark::all() {
+    if has_flag(args, "--paper") || has_flag(args, "--all") {
+        let mut benches = AnyBenchmark::all();
+        if has_flag(args, "--all") {
+            benches.extend(AnyBenchmark::extensions());
+            benches.extend(AnyBenchmark::families());
+        }
+        for b in benches {
             let bench = b.benchmark();
             units.push((
                 b.name().to_owned(),
@@ -605,10 +613,11 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("benchmark kernels (paper set, then extensions):");
+    println!("benchmark kernels (paper set, extensions, then families):");
     for b in AnyBenchmark::all()
         .into_iter()
         .chain(AnyBenchmark::extensions())
+        .chain(AnyBenchmark::families())
     {
         let bench = b.benchmark();
         println!(
@@ -625,6 +634,10 @@ fn cmd_list() -> Result<(), String> {
     }
     println!("\nevaluation pairs (starred member is the one the ratio sweep scales):");
     for p in all_pairs() {
+        println!("  {}", p.name());
+    }
+    println!("\nfamily pairs (BLAS / image / attention crosses):");
+    for p in hfuse::kernels::family_pairs() {
         println!("  {}", p.name());
     }
     Ok(())
