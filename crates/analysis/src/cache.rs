@@ -1,0 +1,155 @@
+//! Process-wide memoization of [`analyze_kernel`].
+//!
+//! The static fusion-safety analysis runs in three places: the `hfuse
+//! lint` CLI, the safety gate inside `horizontal_fuse`, and (through the
+//! `Session` query layer in `hfuse-core`) the memoized `lints(k)` query.
+//! Before this cache, a kernel linted by the CLI was re-analyzed from
+//! scratch by the fuse gate in the same process, and every register-bound
+//! sibling of a search candidate re-analyzed the identical fused function.
+//! All three paths now share one table keyed by content: the FNV-1a hash
+//! of the *printed* function (so whitespace and macro-expansion history
+//! don't matter) plus the `block_threads` assumption the lints ran under.
+//!
+//! The first computation of a key wins and is shared verbatim — including
+//! its span information. A caller that analyzes with a [`SpanTable`] after
+//! someone already cached the span-less result receives the span-less
+//! diagnostics (and vice versa); diagnostics differ only in source
+//! positions, never in substance, so every consumer (the gate checks
+//! emptiness, the CLI prints messages) stays correct.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cuda_frontend::ast::Function;
+use cuda_frontend::diag::{Diagnostic, SpanTable};
+use cuda_frontend::hash::fnv1a_64;
+use cuda_frontend::printer::print_function;
+
+use crate::{analyze_kernel, AnalysisOptions};
+
+/// Content hash of a kernel: FNV-1a over the pretty-printed function.
+/// Stable under reformatting of the original source, since the printer
+/// canonicalizes layout.
+#[must_use]
+pub fn function_content_hash(f: &Function) -> u64 {
+    fnv1a_64(print_function(f).as_bytes())
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<(u64, Option<u32>), Arc<Vec<Diagnostic>>>,
+    hits: u64,
+    misses: u64,
+}
+
+fn cache() -> &'static Mutex<CacheInner> {
+    static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(CacheInner::default()))
+}
+
+/// Hit/miss counters of the process-wide analysis cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the analysis.
+    pub misses: u64,
+    /// Distinct `(function content, block_threads)` keys cached.
+    pub entries: usize,
+}
+
+/// Snapshot of the cache counters. Tests assert on *deltas* of these, since
+/// the cache is shared by every thread of the process.
+#[must_use]
+pub fn analysis_cache_stats() -> AnalysisCacheStats {
+    let inner = cache().lock().expect("analysis cache poisoned");
+    AnalysisCacheStats {
+        hits: inner.hits,
+        misses: inner.misses,
+        entries: inner.map.len(),
+    }
+}
+
+/// Memoized [`analyze_kernel`]: one analysis per distinct
+/// `(function content, block_threads)` in the process lifetime.
+///
+/// Concurrent first requests for the same key may both run the analysis;
+/// the first insert wins and both count as misses — the analysis is pure,
+/// so this only costs duplicated work, never divergent results.
+pub fn analyze_kernel_memoized(
+    f: &Function,
+    spans: Option<&SpanTable>,
+    opts: &AnalysisOptions,
+) -> Arc<Vec<Diagnostic>> {
+    let key = (function_content_hash(f), opts.block_threads);
+    {
+        let mut inner = cache().lock().expect("analysis cache poisoned");
+        if let Some(cached) = inner.map.get(&key).map(Arc::clone) {
+            inner.hits += 1;
+            return cached;
+        }
+    }
+    // Compute outside the lock: analysis can be expensive and is pure.
+    let diags = Arc::new(analyze_kernel(f, spans, opts));
+    let mut inner = cache().lock().expect("analysis cache poisoned");
+    inner.misses += 1;
+    Arc::clone(inner.map.entry(key).or_insert(diags))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_frontend::parse_kernel_with_spans;
+
+    fn kernel(src: &str) -> (Function, SpanTable) {
+        parse_kernel_with_spans(src).expect("parse")
+    }
+
+    #[test]
+    fn second_analysis_of_same_content_hits() {
+        // Unique kernel text so parallel tests can't pre-populate the key.
+        let src = "__global__ void cache_probe_a(float* x) { x[threadIdx.x] = 61.0f; }";
+        let (f, spans) = kernel(src);
+        let opts = AnalysisOptions {
+            block_threads: Some(64),
+        };
+        let before = analysis_cache_stats();
+        let first = analyze_kernel_memoized(&f, Some(&spans), &opts);
+        let second = analyze_kernel_memoized(&f, Some(&spans), &opts);
+        let after = analysis_cache_stats();
+        assert!(Arc::ptr_eq(&first, &second), "second lookup shares the Arc");
+        assert_eq!(after.misses - before.misses, 1);
+        assert!(after.hits - before.hits >= 1);
+    }
+
+    #[test]
+    fn whitespace_reformat_shares_the_entry() {
+        let a = kernel("__global__ void cache_probe_b(float* x) { x[threadIdx.x] = 62.0f; }").0;
+        let b =
+            kernel("__global__ void cache_probe_b(float* x) {\n    x[threadIdx.x]   =   62.0f;\n}")
+                .0;
+        assert_eq!(function_content_hash(&a), function_content_hash(&b));
+    }
+
+    #[test]
+    fn block_threads_is_part_of_the_key() {
+        let (f, _) = kernel("__global__ void cache_probe_c(float* x) { x[threadIdx.x] = 63.0f; }");
+        let before = analysis_cache_stats();
+        analyze_kernel_memoized(
+            &f,
+            None,
+            &AnalysisOptions {
+                block_threads: Some(128),
+            },
+        );
+        analyze_kernel_memoized(
+            &f,
+            None,
+            &AnalysisOptions {
+                block_threads: Some(256),
+            },
+        );
+        let after = analysis_cache_stats();
+        assert_eq!(after.misses - before.misses, 2);
+    }
+}

@@ -8,7 +8,7 @@
 //! inputs it happens to run. This crate proves (or refutes) the same
 //! properties statically, per kernel, before any profiling happens:
 //!
-//! * [`cfg`] lowers a kernel AST to a per-kernel control-flow graph with
+//! * [`mod@cfg`] lowers a kernel AST to a per-kernel control-flow graph with
 //!   barrier-isolated blocks, post-dominators, and control dependences;
 //! * [`uniformity`] runs a forward dataflow classifying every value as
 //!   block-uniform, warp-uniform, or divergent, and — where possible — pins
@@ -28,6 +28,7 @@
 //! cannot model exactly — so `hfuse-core` can reject statically-unsafe fusion
 //! candidates without ever rejecting a safe one.
 
+pub mod cache;
 pub mod cfg;
 pub mod ir_uniform;
 pub mod lints;
@@ -36,6 +37,7 @@ pub mod uniformity;
 use cuda_frontend::ast::Function;
 use cuda_frontend::diag::{Diagnostic, SpanTable};
 
+pub use cache::{analysis_cache_stats, analyze_kernel_memoized, AnalysisCacheStats};
 pub use lints::{CODE_BARRIER_DIVERGENCE, CODE_PARTIAL_BARRIER, CODE_SHARED_RACE};
 
 /// Options for [`analyze_kernel`].

@@ -5,8 +5,7 @@
 
 use gpu_sim::{Gpu, GpuConfig};
 use hfuse_core::{
-    measure_naive_horizontal, measure_native, measure_single, measure_vertical,
-    search_fusion_config, FusionInput, HfuseError, SearchCandidate, SearchOptions,
+    measure_naive_horizontal, measure_vertical, FusionInput, HfuseError, SearchCandidate, Session,
 };
 use hfuse_kernels::AnyBenchmark;
 
@@ -99,6 +98,10 @@ pub fn build_inputs(
 
 /// Measures every variant of a pair at its current workload.
 ///
+/// Runs through one [`Session`], so the singles, the native baseline, and
+/// the search share the memoized parses (the vertical and naive variants
+/// stay on the free functions — they are one-shot by construction).
+///
 /// # Errors
 ///
 /// Returns [`HfuseError`] when the pair cannot be fused or a simulation
@@ -111,10 +114,13 @@ pub fn measure_pair(
 ) -> Result<PairMeasurement, HfuseError> {
     let (gpu, in1, in2) = build_inputs(cfg, a, b);
 
-    let s1 = measure_single(&gpu, &in1)?;
-    let s2 = measure_single(&gpu, &in2)?;
-    let native = measure_native(&gpu, &in1, &in2)?;
-    let report = search_fusion_config(&gpu, &in1, &in2, SearchOptions::default())?;
+    let mut session = Session::with_gpu(gpu.clone());
+    let ka = session.add_fusion_input(&in1);
+    let kb = session.add_fusion_input(&in2);
+    let s1 = session.single(ka)?;
+    let s2 = session.single(kb)?;
+    let native = session.native(ka, kb)?;
+    let report = session.search_winner(ka, kb)?;
 
     let best = |bound: bool| -> Option<FusedOutcome> {
         report
@@ -142,7 +148,10 @@ pub fn measure_pair(
 
     Ok(PairMeasurement {
         ratio: c1 / c2,
-        single: [VariantMetrics::from_run(&s1), VariantMetrics::from_run(&s2)],
+        single: [
+            VariantMetrics::from_run(s1.as_ref()),
+            VariantMetrics::from_run(s2.as_ref()),
+        ],
         native_cycles: native.total_cycles,
         native_avg_util: (u1 * c1 + u2 * c2) / (c1 + c2),
         hfuse,
@@ -165,8 +174,10 @@ pub fn measure_pair(
 pub fn measure_one(cfg: &GpuConfig, b: &AnyBenchmark) -> Result<VariantMetrics, HfuseError> {
     let mut gpu = Gpu::new(cfg.clone());
     let input = b.benchmark().fusion_input(gpu.memory_mut());
-    let r = measure_single(&gpu, &input)?;
-    Ok(VariantMetrics::from_run(&r))
+    let mut session = Session::with_gpu(gpu);
+    let k = session.add_fusion_input(&input);
+    let r = session.single(k)?;
+    Ok(VariantMetrics::from_run(r.as_ref()))
 }
 
 /// The new-family pairs (BLAS × image × attention crosses) measured

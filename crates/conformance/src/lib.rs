@@ -11,8 +11,9 @@
 //! * [`check_standalone`] — one kernel, simulator vs. reference;
 //! * [`check_fused`] — a pair fused by [`horizontal_fuse`] at an explicit
 //!   thread partition, both outputs checked;
-//! * [`check_search_winner`] — the winning configuration of
-//!   [`search_fusion_config`] re-run functionally, both outputs checked.
+//! * [`check_search_winner`] — the winning configuration of the Fig. 6
+//!   search ([`Session::search_winner`]) re-run functionally, both outputs
+//!   checked.
 //!
 //! Each check runs with the race/barrier sanitizer enabled and fails if it
 //! reports anything, and can be driven on either interpreter arm
@@ -23,7 +24,7 @@
 
 use gpu_sim::{Gpu, GpuConfig, Launch};
 use hfuse_core::fuse::horizontal_fuse;
-use hfuse_core::{search_fusion_config, FusionInput, SearchOptions};
+use hfuse_core::{FusionInput, SearchOptions, Session};
 use hfuse_kernels::{AnyBenchmark, Benchmark};
 use thread_ir::lower_kernel;
 
@@ -170,7 +171,14 @@ pub fn check_search_winner(
     let mut base = Gpu::new(GpuConfig::test_tiny());
     let in1 = ba.fusion_input(base.memory_mut());
     let in2 = bb.fusion_input(base.memory_mut());
-    let report = search_fusion_config(&base, &in1, &in2, opts)
+    // The search runs through the memoized session query (same path the CLI
+    // and benches use); the functional re-run below stays on the raw device.
+    let mut session = Session::with_gpu(base.clone());
+    session.set_search_options(opts);
+    let ka = session.add_fusion_input(&in1);
+    let kb = session.add_fusion_input(&in2);
+    let report = session
+        .search_winner(ka, kb)
         .map_err(|e| format!("{pair}: search: {e}"))?;
     let best = report.best();
     let winner = format!("{pair} winner d1={} d2={}", best.d1, best.d2);

@@ -1,0 +1,72 @@
+//! The unified error type for the fusion pipeline.
+//!
+//! Every public fallible entry point of `hfuse-core` — fusing, lowering,
+//! profiling, the configuration search, and the [`Session`](crate::db::Session)
+//! queries — returns [`HfuseError`]. Layer-specific errors
+//! ([`FrontendError`], [`SimError`], [`AsmError`]) convert in via `From`, so
+//! callers can use `?` across layers and match on one enum at the top.
+
+use std::fmt;
+
+use cuda_frontend::FrontendError;
+use gpu_sim::SimError;
+use thread_ir::AsmError;
+
+/// Errors from fusing or profiling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HfuseError {
+    /// Frontend/lowering failure.
+    Frontend(FrontendError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// Textual IR listing failure (`parse_kernel_ir`).
+    Asm(AsmError),
+    /// Invalid search input (mismatched grids, no viable partition, ...).
+    Config(String),
+}
+
+impl fmt::Display for HfuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfuseError::Frontend(e) => write!(f, "frontend: {e}"),
+            HfuseError::Sim(e) => write!(f, "{e}"),
+            HfuseError::Asm(e) => write!(f, "{e}"),
+            HfuseError::Config(m) => write!(f, "configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HfuseError {}
+
+impl From<FrontendError> for HfuseError {
+    fn from(e: FrontendError) -> Self {
+        HfuseError::Frontend(e)
+    }
+}
+
+impl From<SimError> for HfuseError {
+    fn from(e: SimError) -> Self {
+        HfuseError::Sim(e)
+    }
+}
+
+impl From<AsmError> for HfuseError {
+    fn from(e: AsmError) -> Self {
+        HfuseError::Asm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_with_layer_prefixes() {
+        let e = HfuseError::Config("no viable partition".to_owned());
+        assert_eq!(e.to_string(), "configuration: no viable partition");
+        let e: HfuseError = FrontendError::new("bad token").into();
+        assert!(e.to_string().starts_with("frontend: "));
+        let e: HfuseError = AsmError::new("empty listing").into();
+        assert!(e.to_string().contains("empty listing"));
+    }
+}

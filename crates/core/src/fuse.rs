@@ -227,6 +227,11 @@ pub fn horizontal_fuse_with(
 /// structure, or definite shared-memory races. `HFUSE_NO_STATIC_CHECK=1`
 /// disables the gate (restoring pre-analyzer behavior exactly, since the
 /// check runs after the fused kernel is fully built).
+///
+/// Goes through the process-wide memoized analysis cache, so re-fusing the
+/// same pair at the same partition (the search sweeps each partition twice:
+/// unbounded and register-bounded) analyzes the fused function once, and a
+/// kernel already linted by `hfuse lint` is never re-analyzed by the gate.
 fn static_safety_check(fused: &FusedKernel) -> Result<(), FrontendError> {
     if hfuse_analysis::static_check_disabled_by_env() {
         return Ok(());
@@ -234,7 +239,7 @@ fn static_safety_check(fused: &FusedKernel) -> Result<(), FrontendError> {
     let opts = hfuse_analysis::AnalysisOptions {
         block_threads: Some(fused.block_threads()),
     };
-    let diags = hfuse_analysis::analyze_kernel(&fused.function, None, &opts);
+    let diags = hfuse_analysis::analyze_kernel_memoized(&fused.function, None, &opts);
     if diags.is_empty() {
         return Ok(());
     }

@@ -14,6 +14,11 @@
 //! * [`search`] — the profiling-driven configuration search (Fig. 6): sweep
 //!   thread-space partitions at a granularity of 128 and, for each, also try
 //!   a register bound computed from the occupancy model.
+//! * [`db`] — the incremental query layer: a [`Session`] tracks kernel
+//!   sources, the device, and the search options as inputs, and memoizes
+//!   every derived stage (parse, lower, lint, fuse, measure, search) behind
+//!   content-hash fingerprints. The free functions above remain as thin
+//!   wrappers over a throwaway session.
 //!
 //! # Example
 //!
@@ -34,12 +39,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod db;
+pub mod error;
 pub mod fuse;
 pub mod multi;
 pub mod remap;
 pub mod search;
 pub mod vertical;
 
+pub use db::{KernelId, QueryStats, Session, SessionStats, Workload};
+pub use error::HfuseError;
 pub use fuse::{horizontal_fuse, horizontal_fuse_with, FuseOptions, FusedKernel};
 pub use multi::{
     horizontal_fuse_many, register_bound_many, search_multi_fusion_config, FusionPart,
@@ -48,7 +57,7 @@ pub use multi::{
 };
 pub use search::{
     calibration_rows, measure_naive_horizontal, measure_native, measure_single, measure_vertical,
-    search_fusion_config, BlockShape, FusionInput, HfuseError, SearchCandidate, SearchOptions,
-    SearchReport, MODEL_MARGIN, MODEL_TOP_K,
+    search_fusion_config, BlockShape, FusionInput, SearchCandidate, SearchOptions, SearchReport,
+    MODEL_MARGIN, MODEL_TOP_K,
 };
 pub use vertical::vertical_fuse;

@@ -486,7 +486,7 @@ pub fn search_multi_fusion_config(
         let mut issues = Vec::with_capacity(inputs.len());
         for inp in inputs {
             issues.push(
-                crate::search::measure_single(base, inp)?
+                crate::search::measure_single_impl(base, inp)?
                     .metrics
                     .class_issues,
             );

@@ -10,54 +10,19 @@
 //! `b0 = min(b1, b2, SMShMem/ShMem(F), SMNThreads/d0)` — i.e. capped so the
 //! fused kernel can keep as many resident blocks as the originals.
 
-use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use cuda_frontend::ast::Function;
-use cuda_frontend::FrontendError;
-use gpu_sim::{BudgetedRun, Gpu, GpuConfig, Launch, ParamValue, SimError};
+use gpu_sim::{BudgetedRun, Gpu, GpuConfig, Launch, ParamValue};
 use thread_ir::ir::{BinIr, Inst, KernelIr, UnIr};
 use thread_ir::lower_kernel;
 use thread_ir::spill::apply_register_bound;
 
 use crate::fuse::{horizontal_fuse, FusedKernel};
 
-/// Errors from fusing or profiling.
-#[derive(Debug, Clone, PartialEq)]
-pub enum HfuseError {
-    /// Frontend/lowering failure.
-    Frontend(FrontendError),
-    /// Simulator failure.
-    Sim(SimError),
-    /// Invalid search input (mismatched grids, no viable partition, ...).
-    Config(String),
-}
-
-impl fmt::Display for HfuseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            HfuseError::Frontend(e) => write!(f, "frontend: {e}"),
-            HfuseError::Sim(e) => write!(f, "{e}"),
-            HfuseError::Config(m) => write!(f, "configuration: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for HfuseError {}
-
-impl From<FrontendError> for HfuseError {
-    fn from(e: FrontendError) -> Self {
-        HfuseError::Frontend(e)
-    }
-}
-
-impl From<SimError> for HfuseError {
-    fn from(e: SimError) -> Self {
-        HfuseError::Sim(e)
-    }
-}
+pub use crate::error::HfuseError;
 
 /// How a kernel's block dimension maps to a 3-D shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -681,8 +646,8 @@ fn model_scores(
     dynamic_shared_bytes: u32,
 ) -> Result<Vec<u64>, HfuseError> {
     let cfg = base.config();
-    let i1 = measure_single(base, in1)?.metrics.class_issues;
-    let i2 = measure_single(base, in2)?.metrics.class_issues;
+    let i1 = measure_single_impl(base, in1)?.metrics.class_issues;
+    let i2 = measure_single_impl(base, in2)?.metrics.class_issues;
     Ok(compiled
         .iter()
         .map(|c| {
@@ -750,8 +715,8 @@ pub fn calibration_rows(
         &scores,
     );
 
-    let i1 = measure_single(base, in1)?.metrics.class_issues;
-    let i2 = measure_single(base, in2)?.metrics.class_issues;
+    let i1 = measure_single_impl(base, in1)?.metrics.class_issues;
+    let i2 = measure_single_impl(base, in2)?.metrics.class_issues;
     let mut rows = Vec::new();
     for (cand, result) in compiled.iter().zip(results) {
         let c = match result {
@@ -807,11 +772,31 @@ pub fn register_bound(
 /// Both inputs must use the same grid dimension. For non-tunable kernels
 /// (crypto), the single candidate is the kernels' native block sizes.
 ///
+/// A thin wrapper over a throwaway [`Session`](crate::db::Session); callers
+/// that search repeatedly or incrementally should hold a `Session` and use
+/// [`search_winner`](crate::db::Session::search_winner), which memoizes.
+///
 /// # Errors
 ///
 /// Returns [`HfuseError`] if no candidate partition is feasible or a
 /// profile run fails.
 pub fn search_fusion_config(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+    opts: SearchOptions,
+) -> Result<SearchReport, HfuseError> {
+    let mut s = crate::db::Session::with_gpu(base.clone());
+    s.set_search_options(opts);
+    let a = s.add_fusion_input(in1);
+    let b = s.add_fusion_input(in2);
+    let report = s.search_winner(a, b)?;
+    Ok(Arc::try_unwrap(report).unwrap_or_else(|shared| (*shared).clone()))
+}
+
+/// The actual Fig. 6 search body; [`Session::search_winner`]
+/// (crate::db::Session::search_winner) calls this on cache misses.
+pub(crate) fn search_fusion_config_impl(
     base: &Gpu,
     in1: &FusionInput,
     in2: &FusionInput,
@@ -911,10 +896,26 @@ pub fn search_fusion_config(
 /// Measures native co-execution of the two kernels (two launches on
 /// parallel streams; the simulator's leftover block-dispatch policy).
 ///
+/// A thin wrapper over a throwaway [`Session`](crate::db::Session); see
+/// [`Session::native`](crate::db::Session::native) for the memoized form.
+///
 /// # Errors
 ///
 /// Returns [`HfuseError`] if a launch is invalid or faults.
 pub fn measure_native(
+    base: &Gpu,
+    in1: &FusionInput,
+    in2: &FusionInput,
+) -> Result<gpu_sim::RunResult, HfuseError> {
+    let mut s = crate::db::Session::with_gpu(base.clone());
+    let a = s.add_fusion_input(in1);
+    let b = s.add_fusion_input(in2);
+    let r = s.native(a, b)?;
+    Ok(Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
+}
+
+/// The body of [`measure_native`]; `Session::native` calls this on misses.
+pub(crate) fn measure_native_impl(
     base: &Gpu,
     in1: &FusionInput,
     in2: &FusionInput,
@@ -938,10 +939,24 @@ pub fn measure_native(
 
 /// Measures one kernel alone (for Fig. 8's per-kernel metrics).
 ///
+/// A thin wrapper over a throwaway [`Session`](crate::db::Session); see
+/// [`Session::single`](crate::db::Session::single) for the memoized form.
+///
 /// # Errors
 ///
 /// Returns [`HfuseError`] if the launch is invalid or faults.
 pub fn measure_single(base: &Gpu, inp: &FusionInput) -> Result<gpu_sim::RunResult, HfuseError> {
+    let mut s = crate::db::Session::with_gpu(base.clone());
+    let k = s.add_fusion_input(inp);
+    let r = s.single(k)?;
+    Ok(Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
+}
+
+/// The body of [`measure_single`]; `Session::single` calls this on misses.
+pub(crate) fn measure_single_impl(
+    base: &Gpu,
+    inp: &FusionInput,
+) -> Result<gpu_sim::RunResult, HfuseError> {
     let mut gpu = base.clone();
     let dims = inp
         .dims(inp.default_threads)

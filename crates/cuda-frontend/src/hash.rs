@@ -1,0 +1,121 @@
+//! Content hashing for the incremental compile pipeline.
+//!
+//! The query-based [`Session`](../../hfuse_core/db/index.html) layer keys
+//! every memoized stage by a content hash of its inputs (kernel source
+//! text, printed ASTs, device configurations). The workspace is
+//! deliberately zero-dependency, so the hash is a hand-rolled 64-bit
+//! FNV-1a — fast, deterministic across runs and platforms, and good
+//! enough for cache keys that are compared for exact equality (a
+//! collision can at worst cause a stale-but-plausible cache entry to be
+//! fingerprint-checked and recomputed; fingerprints store the full hash,
+//! so a collision must also match the 64-bit value to go unnoticed).
+//!
+//! Two entry points:
+//!
+//! * [`fnv1a_64`] — one-shot hash of a byte slice;
+//! * [`Fnv64`] — a streaming hasher for mixing several fields into one
+//!   fingerprint without intermediate allocation.
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte slice with 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A streaming 64-bit FNV-1a hasher.
+///
+/// ```
+/// use cuda_frontend::hash::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write(b"kernel source");
+/// h.write_u64(42);
+/// let a = h.finish();
+/// let mut g = Fnv64::new();
+/// g.write(b"kernel source");
+/// g.write_u64(42);
+/// assert_eq!(a, g.finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = Fnv64::new();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = Fnv64::new();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -48,7 +48,7 @@ use crate::exec::WARP_SIZE;
 pub const NUM_BARRIERS: usize = 16;
 
 /// Reports are deduplicated, and collection stops after this many.
-const MAX_REPORTS: usize = 256;
+pub const MAX_REPORTS: usize = 256;
 
 /// Classification of a sanitizer finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

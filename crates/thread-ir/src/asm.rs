@@ -3,10 +3,43 @@
 //! lets tests pin down pass output exactly and lets developers hand-write
 //! IR fixtures.
 
+use std::fmt;
+
 use crate::ir::{
     AtomOp, BarCount, BinIr, Inst, KernelIr, ParamKind, Reg, ScalarTy, ShflKind, SpecialReg, UnIr,
     VoteKind,
 };
+
+/// Error from assembling an IR listing: a malformed line or a listing that
+/// fails structural verification. Carries the offending line's text when
+/// the failure is line-local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    message: String,
+}
+
+impl AsmError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir listing: {}", self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
 
 /// Parses a kernel listing produced by [`crate::printer::print_kernel_ir`].
 ///
@@ -19,8 +52,8 @@ use crate::ir::{
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed line.
-pub fn parse_kernel_ir(text: &str) -> Result<KernelIr, String> {
+/// Returns an [`AsmError`] describing the first malformed line.
+pub fn parse_kernel_ir(text: &str) -> Result<KernelIr, AsmError> {
     let mut insts = Vec::new();
     for raw in text.lines() {
         let line = raw.trim();
@@ -32,10 +65,10 @@ pub fn parse_kernel_ir(text: &str) -> Result<KernelIr, String> {
             Some((idx, rest)) if idx.trim().parse::<usize>().is_ok() => rest.trim(),
             _ => line,
         };
-        insts.push(parse_inst(body).map_err(|e| format!("`{line}`: {e}"))?);
+        insts.push(parse_inst(body).map_err(|e| AsmError::new(format!("`{line}`: {e}")))?);
     }
     if insts.is_empty() {
-        return Err("empty listing".to_owned());
+        return Err(AsmError::new("empty listing"));
     }
 
     // Reconstruct metadata.
@@ -77,7 +110,7 @@ pub fn parse_kernel_ir(text: &str) -> Result<KernelIr, String> {
         pressure: 0,
     };
     kernel.pressure = crate::liveness::register_pressure(&kernel);
-    crate::verify::verify(&kernel)?;
+    crate::verify::verify(&kernel).map_err(AsmError::new)?;
     Ok(kernel)
 }
 

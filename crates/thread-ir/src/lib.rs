@@ -48,5 +48,6 @@ pub mod printer;
 pub mod spill;
 pub mod verify;
 
+pub use asm::{parse_kernel_ir, AsmError};
 pub use ir::{Inst, KernelIr, MemAddr, ScalarTy, Space};
 pub use lower::{lower_kernel, lower_kernel_unoptimized};

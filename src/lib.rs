@@ -16,7 +16,10 @@
 //!   construction, uniformity dataflow, and the barrier-divergence /
 //!   shared-memory race / partial-barrier lints behind `hfuse lint`.
 //! * [`fusion`] (`hfuse-core`) — the paper's contribution: horizontal fusion,
-//!   the vertical-fusion baseline, and the profiling-driven search.
+//!   the vertical-fusion baseline, and the profiling-driven search, behind
+//!   both the one-shot free functions and the incremental
+//!   [`fusion::Session`] query pipeline (content-hashed memoization with
+//!   hit/miss/recompute telemetry).
 //! * [`kernels`] (`hfuse-kernels`) — the nine benchmark kernels with
 //!   workloads and CPU reference implementations.
 

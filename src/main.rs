@@ -11,41 +11,79 @@
 //! hfuse bench KERNEL [--gpu pascal|volta]
 //! hfuse list
 //! ```
+//!
+//! Compile-pipeline subcommands (`fuse`, `compile`, `search`, `bench`,
+//! `lint`) run through a [`Session`] — the incremental query layer in
+//! `hfuse-core` — so repeated work within one invocation (and, for the
+//! static analysis, across the fuse gate and the linter) is memoized.
 
 use std::process::ExitCode;
 
-use hfuse::frontend::{parse_kernel, printer::print_function};
+use hfuse::frontend::printer::print_function;
 use hfuse::fusion::{
-    horizontal_fuse_many, measure_native, measure_single, search_fusion_config, vertical_fuse,
-    FusionPart, SearchOptions,
+    horizontal_fuse_many, vertical_fuse, FusionPart, HfuseError, SearchOptions, Session,
 };
-use hfuse::ir::{lower_kernel, lower_kernel_unoptimized};
+use hfuse::ir::{lower_kernel_unoptimized, KernelIr};
 use hfuse::kernels::{all_pairs, AnyBenchmark};
 use hfuse::sim::{Gpu, GpuConfig, Launch};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("fuse") => cmd_fuse(&args[1..], false),
-        Some("vfuse") => cmd_fuse(&args[1..], true),
-        Some("compile") => cmd_compile(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("search") => cmd_search(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("lint") => cmd_lint(&args[1..]),
-        Some("list") => cmd_list(),
-        Some("--help" | "-h" | "help") | None => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
-    };
-    match result {
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("fuse") => cmd_fuse(
+            &Opts::parse("fuse", &args[1..], &["--threads", "--output"], &[])?,
+            false,
+        ),
+        Some("vfuse") => cmd_fuse(&Opts::parse("vfuse", &args[1..], &["--output"], &[])?, true),
+        Some("compile") => cmd_compile(&Opts::parse(
+            "compile",
+            &args[1..],
+            &[],
+            &["--no-opt", "--dump-ir"],
+        )?),
+        Some("run") => cmd_run(&Opts::parse(
+            "run",
+            &args[1..],
+            &["--grid", "--block", "--show", "--shared", "--gpu", "--arg"],
+            &[],
+        )?),
+        Some("search") => cmd_search(&Opts::parse(
+            "search",
+            &args[1..],
+            &["--gpu", "--d0", "--granularity"],
+            &["--no-prune", "--no-model-filter"],
+        )?),
+        Some("bench") => cmd_bench(&Opts::parse(
+            "bench",
+            &args[1..],
+            &["--gpu"],
+            &["--calibrate"],
+        )?),
+        Some("lint") => cmd_lint(&Opts::parse(
+            "lint",
+            &args[1..],
+            &["--threads"],
+            &["--paper", "--all"],
+        )?),
+        Some("list") => {
+            Opts::parse("list", &args[1..], &[], &[])?;
+            cmd_list()
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
 
@@ -91,58 +129,139 @@ USAGE:
       nonzero on any diagnostic.
   hfuse list
       List built-in benchmark kernels and evaluation pairs.
+
+Flags may be written `--flag value` or `--flag=value`; `-o` is short for
+`--output`.
 ";
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// One subcommand's parsed command line: positional arguments plus
+/// validated flags.
+///
+/// Every subcommand goes through this one parser, so `--flag value`,
+/// `--flag=value`, repeated flags (`--arg`), and the `-o` alias for
+/// `--output` behave identically everywhere — and a flag the subcommand
+/// doesn't declare is an error naming the subcommand instead of being
+/// silently ignored.
+struct Opts {
+    cmd: &'static str,
+    positionals: Vec<String>,
+    /// `(canonical flag, value)` occurrences, in command-line order.
+    values: Vec<(&'static str, String)>,
+    bools: Vec<&'static str>,
 }
 
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn positional(args: &[String]) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
-        if skip {
-            skip = false;
-            continue;
+impl Opts {
+    fn parse(
+        cmd: &'static str,
+        args: &[String],
+        value_flags: &'static [&'static str],
+        bool_flags: &'static [&'static str],
+    ) -> Result<Opts, String> {
+        let mut opts = Opts {
+            cmd,
+            positionals: Vec::new(),
+            values: Vec::new(),
+            bools: Vec::new(),
+        };
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let arg = if arg == "-o" {
+                "--output"
+            } else {
+                arg.as_str()
+            };
+            if !arg.starts_with("--") {
+                opts.positionals.push(arg.to_owned());
+                continue;
+            }
+            let (name, inline) = match arg.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_owned())),
+                None => (arg, None),
+            };
+            if let Some(&canon) = bool_flags.iter().find(|&&f| f == name) {
+                if inline.is_some() {
+                    return Err(format!("`hfuse {cmd}`: flag `{canon}` takes no value"));
+                }
+                opts.bools.push(canon);
+            } else if let Some(&canon) = value_flags.iter().find(|&&f| f == name) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| format!("`hfuse {cmd}`: flag `{canon}` needs a value"))?,
+                };
+                opts.values.push((canon, value));
+            } else {
+                return Err(format!(
+                    "unknown flag `{name}` for `hfuse {cmd}` (see `hfuse --help`)"
+                ));
+            }
         }
-        if a.starts_with("--") || a == "-o" {
-            // All our flags take a value except the boolean ones.
-            skip = !matches!(
-                a.as_str(),
-                "--no-opt"
-                    | "--dump-ir"
-                    | "--no-prune"
-                    | "--no-model-filter"
-                    | "--paper"
-                    | "--all"
-                    | "--calibrate"
-            );
-            let _ = i;
-            continue;
-        }
-        out.push(a.as_str());
+        Ok(opts)
     }
-    out
+
+    /// The last value given for a flag.
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for a repeatable flag, in order.
+    fn values_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.values
+            .iter()
+            .filter(move |(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.bools.contains(&name)
+    }
+
+    /// Parses the last value of a flag, or `None` when absent. Parse errors
+    /// name the flag.
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(name)
+            .map(|v| {
+                v.parse::<T>()
+                    .map_err(|e| format!("`hfuse {}`: {name} {v}: {e}", self.cmd))
+            })
+            .transpose()
+    }
 }
 
-fn gpu_config(args: &[String]) -> Result<GpuConfig, String> {
-    match flag_value(args, "--gpu") {
+fn gpu_config(opts: &Opts) -> Result<GpuConfig, String> {
+    match opts.value("--gpu") {
         None | Some("pascal") | Some("1080ti") => Ok(GpuConfig::pascal_like()),
         Some("volta") | Some("v100") => Ok(GpuConfig::volta_like()),
         Some(other) => Err(format!("unknown GPU `{other}` (use pascal or volta)")),
     }
 }
 
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
 fn read_kernel(path: &str) -> Result<hfuse::frontend::Function, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse_kernel(&src).map_err(|e| format!("{path}:\n{}", e.render(&src)))
+    let src = read_source(path)?;
+    hfuse::frontend::parse_kernel(&src).map_err(|e| format!("{path}:\n{}", e.render(&src)))
+}
+
+/// Renders a session-query error for a kernel loaded from `path`: parse
+/// errors get the multi-line source-context rendering, everything else its
+/// `Display` form.
+fn render_err(e: &HfuseError, path: &str, src: &str) -> String {
+    match e {
+        HfuseError::Frontend(fe) => format!("{path}:\n{}", fe.render(src)),
+        other => other.to_string(),
+    }
 }
 
 fn write_or_print(out: Option<&str>, content: &str) -> Result<(), String> {
@@ -159,26 +278,26 @@ fn write_or_print(out: Option<&str>, content: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_fuse(args: &[String], vertical: bool) -> Result<(), String> {
-    let files = positional(args);
+fn cmd_fuse(opts: &Opts, vertical: bool) -> Result<(), String> {
+    let files: Vec<&str> = opts.positionals.iter().map(String::as_str).collect();
     if files.len() < 2 {
         return Err("fuse needs at least two kernel files".to_owned());
     }
     if vertical && files.len() != 2 {
         return Err("vertical fusion takes exactly two kernels".to_owned());
     }
-    let kernels: Vec<_> = files
-        .iter()
-        .map(|f| read_kernel(f))
-        .collect::<Result<_, _>>()?;
-    let out = flag_value(args, "-o").or_else(|| flag_value(args, "--output"));
+    let out = opts.value("--output");
 
     if vertical {
+        let kernels: Vec<_> = files
+            .iter()
+            .map(|f| read_kernel(f))
+            .collect::<Result<_, _>>()?;
         let fused = vertical_fuse(&kernels[0], &kernels[1]).map_err(|e| e.to_string())?;
         return write_or_print(out, &print_function(&fused.function));
     }
 
-    let threads: Vec<u32> = match flag_value(args, "--threads") {
+    let threads: Vec<u32> = match opts.value("--threads") {
         Some(list) => list
             .split(',')
             .map(|t| {
@@ -187,15 +306,46 @@ fn cmd_fuse(args: &[String], vertical: bool) -> Result<(), String> {
                     .map_err(|e| format!("--threads: {e}"))
             })
             .collect::<Result<_, _>>()?,
-        None => vec![256; kernels.len()],
+        None => vec![256; files.len()],
     };
-    if threads.len() != kernels.len() {
+    if threads.len() != files.len() {
         return Err(format!(
             "--threads lists {} counts for {} kernels",
             threads.len(),
-            kernels.len()
+            files.len()
         ));
     }
+
+    if files.len() == 2 {
+        // Pairwise fusion runs through the session's memoized `fused` query
+        // (same pipeline the search uses).
+        let mut s = Session::new(GpuConfig::pascal_like());
+        let mut ids = Vec::new();
+        let mut sources = Vec::new();
+        for f in &files {
+            let src = read_source(f)?;
+            ids.push(s.add_kernel(src.clone()));
+            sources.push(src);
+        }
+        for (i, &k) in ids.iter().enumerate() {
+            s.ast(k)
+                .map_err(|e| render_err(&e, files[i], &sources[i]))?;
+        }
+        let fused = s
+            .fused(ids[0], ids[1], (threads[0], 1, 1), (threads[1], 1, 1))
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "fused 2 kernels into a {}-thread block (partitions {:?})",
+            fused.block_threads(),
+            [fused.d1, fused.d2]
+        );
+        return write_or_print(out, &fused.to_source());
+    }
+
+    let kernels: Vec<_> = files
+        .iter()
+        .map(|f| read_kernel(f))
+        .collect::<Result<_, _>>()?;
     let parts: Vec<FusionPart> = kernels
         .into_iter()
         .zip(&threads)
@@ -211,18 +361,22 @@ fn cmd_fuse(args: &[String], vertical: bool) -> Result<(), String> {
     write_or_print(out, &fused.to_source())
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let files = positional(args);
-    let [file] = files.as_slice() else {
+fn cmd_compile(opts: &Opts) -> Result<(), String> {
+    let [file] = opts.positionals.as_slice() else {
         return Err("compile takes exactly one kernel file".to_owned());
     };
-    let kernel = read_kernel(file)?;
-    let ir = if has_flag(args, "--no-opt") {
-        lower_kernel_unoptimized(&kernel)
+    let src = read_source(file)?;
+    let ir: KernelIr = if opts.flag("--no-opt") {
+        let kernel = hfuse::frontend::parse_kernel(&src)
+            .map_err(|e| format!("{file}:\n{}", e.render(&src)))?;
+        lower_kernel_unoptimized(&kernel).map_err(|e| e.to_string())?
     } else {
-        lower_kernel(&kernel)
-    }
-    .map_err(|e| e.to_string())?;
+        // The optimized pipeline goes through the session's `ir` query.
+        let mut s = Session::new(GpuConfig::pascal_like());
+        let k = s.add_kernel(src.clone());
+        let ir = s.ir(k).map_err(|e| render_err(&e, file, &src))?;
+        (*ir).clone()
+    };
     println!("kernel `{}`", ir.name);
     println!("  instructions:      {}", ir.insts.len());
     println!("  register pressure: {}", ir.reg_pressure());
@@ -232,43 +386,34 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         if ir.uses_dynamic_shared { "yes" } else { "no" }
     );
     println!("  local memory:      {} bytes/thread", ir.local_bytes);
-    if has_flag(args, "--dump-ir") {
+    if opts.flag("--dump-ir") {
         print!("{}", thread_ir::printer::print_kernel_ir(&ir));
     }
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let files = positional(args);
-    let [file] = files.as_slice() else {
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let [file] = opts.positionals.as_slice() else {
         return Err("run takes exactly one kernel file".to_owned());
     };
-    let kernel = read_kernel(file)?;
-    let ir = lower_kernel(&kernel).map_err(|e| e.to_string())?;
-    let cfg = gpu_config(args)?;
+    let src = read_source(file)?;
+    let cfg = gpu_config(opts)?;
+    let mut s = Session::with_gpu(Gpu::new(cfg.clone()));
+    let kid = s.add_kernel(src.clone());
+    let kernel_name = s
+        .ast(kid)
+        .map_err(|e| render_err(&e, file, &src))?
+        .name
+        .clone();
+    let ir = s.ir(kid).map_err(|e| render_err(&e, file, &src))?;
 
-    let grid: u32 = flag_value(args, "--grid")
-        .unwrap_or("8")
-        .parse()
-        .map_err(|e| format!("--grid: {e}"))?;
-    let block: u32 = flag_value(args, "--block")
-        .unwrap_or("256")
-        .parse()
-        .map_err(|e| format!("--block: {e}"))?;
-    let show: usize = flag_value(args, "--show")
-        .unwrap_or("8")
-        .parse()
-        .map_err(|e| format!("--show: {e}"))?;
+    let grid: u32 = opts.parsed("--grid")?.unwrap_or(8);
+    let block: u32 = opts.parsed("--block")?.unwrap_or(256);
+    let show: usize = opts.parsed("--show")?.unwrap_or(8);
 
-    let mut gpu = Gpu::new(cfg.clone());
     let mut arg_values = Vec::new();
     let mut buffers = Vec::new();
-    let mut spec_iter = args.iter().enumerate().filter(|(_, a)| *a == "--arg");
-    let specs: Vec<&str> = spec_iter
-        .by_ref()
-        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
-        .collect();
-    for spec in &specs {
+    for spec in opts.values_of("--arg") {
         let (kind, rest) = spec
             .split_once(':')
             .ok_or_else(|| format!("bad --arg `{spec}`"))?;
@@ -289,8 +434,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     None => (rest.parse().map_err(|e| format!("{spec}: {e}"))?, None),
                 };
                 let id = match fill {
-                    Some(f) => gpu.memory_mut().alloc_from_f32(&vec![f; elems]),
-                    None => gpu.memory_mut().alloc_f32(elems),
+                    Some(f) => s.gpu_mut().memory_mut().alloc_from_f32(&vec![f; elems]),
+                    None => s.gpu_mut().memory_mut().alloc_f32(elems),
                 };
                 buffers.push((id, elems));
                 P::Ptr(id)
@@ -301,19 +446,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let launch = Launch {
-        kernel: ir.into(),
+        kernel: (*ir).clone().into(),
         grid_dim: grid,
         block_dim: (block, 1, 1),
-        dynamic_shared_bytes: flag_value(args, "--shared")
-            .map(|v| v.parse().map_err(|e| format!("--shared: {e}")))
-            .transpose()?
-            .unwrap_or(0),
+        dynamic_shared_bytes: opts.parsed("--shared")?.unwrap_or(0),
         args: arg_values,
     };
-    let r = gpu.run(&[launch]).map_err(|e| e.to_string())?;
+    let r = s.gpu_mut().run(&[launch]).map_err(|e| e.to_string())?;
     println!(
-        "`{}` on {} (grid {grid} × block {block}):",
-        kernel.name, cfg.name
+        "`{kernel_name}` on {} (grid {grid} × block {block}):",
+        cfg.name
     );
     println!("  cycles:            {}", r.total_cycles);
     println!(
@@ -324,7 +466,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("  occupancy:         {:.1}%", r.metrics.occupancy_pct());
     for (i, (id, elems)) in buffers.iter().enumerate() {
         let n = show.min(*elems);
-        let vals = gpu.memory().read_f32s(*id);
+        let vals = s.gpu().memory().read_f32s(*id);
         println!("  buffer {i} (first {n} as f32): {:?}", &vals[..n]);
     }
     Ok(())
@@ -339,37 +481,37 @@ fn parse_pair(name: &str) -> Result<(AnyBenchmark, AnyBenchmark), String> {
     Ok((a, b))
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let [pair_name] = pos.as_slice() else {
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    let [pair_name] = opts.positionals.as_slice() else {
         return Err("search takes one PAIR argument, e.g. Batchnorm+Hist".to_owned());
     };
     let (a, b) = parse_pair(pair_name)?;
-    let cfg = gpu_config(args)?;
-    let d0 = match flag_value(args, "--d0") {
-        Some(v) => v.parse().map_err(|e| format!("--d0: {e}"))?,
-        None => 1024,
-    };
-    let granularity = match flag_value(args, "--granularity") {
-        Some(v) => v.parse().map_err(|e| format!("--granularity: {e}"))?,
-        None => 128,
-    };
+    let cfg = gpu_config(opts)?;
+    let d0 = opts.parsed("--d0")?.unwrap_or(1024);
+    let granularity = opts.parsed("--granularity")?.unwrap_or(128);
 
     let mut gpu = Gpu::new(cfg.clone());
     let in1 = a.benchmark().fusion_input(gpu.memory_mut());
     let in2 = b.benchmark().fusion_input(gpu.memory_mut());
-    let native = measure_native(&gpu, &in1, &in2).map_err(|e| e.to_string())?;
+
+    // One session carries the whole subcommand: the native baseline and the
+    // search share the memoized parses.
+    let mut s = Session::with_gpu(gpu);
+    s.set_search_options(SearchOptions {
+        d0,
+        granularity,
+        prune: !opts.flag("--no-prune"),
+        model_filter: !opts.flag("--no-model-filter"),
+    });
+    let ka = s.add_fusion_input(&in1);
+    let kb = s.add_fusion_input(&in2);
+
+    let native = s.native(ka, kb).map_err(|e| e.to_string())?;
     println!(
         "GPU {} — native co-execution: {} cycles",
         cfg.name, native.total_cycles
     );
-    let opts = SearchOptions {
-        d0,
-        granularity,
-        prune: !has_flag(args, "--no-prune"),
-        model_filter: !has_flag(args, "--no-model-filter"),
-    };
-    let report = search_fusion_config(&gpu, &in1, &in2, opts).map_err(|e| e.to_string())?;
+    let report = s.search_winner(ka, kb).map_err(|e| e.to_string())?;
     println!(
         "{:>6} {:>6} {:>7} {:>9} {:>9} {:>7} {:>9} {:>7}",
         "d1", "d2", "bound", "cycles", "speedup%", "util%", "memstall%", "occ%"
@@ -420,19 +562,20 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
-    if has_flag(args, "--calibrate") {
-        return cmd_calibrate(args);
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    if opts.flag("--calibrate") {
+        return cmd_calibrate(opts);
     }
-    let pos = positional(args);
-    let [name] = pos.as_slice() else {
+    let [name] = opts.positionals.as_slice() else {
         return Err("bench takes one KERNEL argument, e.g. Ethash".to_owned());
     };
     let b = AnyBenchmark::by_name(name).ok_or_else(|| format!("unknown kernel `{name}`"))?;
-    let cfg = gpu_config(args)?;
+    let cfg = gpu_config(opts)?;
     let mut gpu = Gpu::new(cfg.clone());
     let input = b.benchmark().fusion_input(gpu.memory_mut());
-    let r = measure_single(&gpu, &input).map_err(|e| e.to_string())?;
+    let mut s = Session::with_gpu(gpu);
+    let k = s.add_fusion_input(&input);
+    let r = s.single(k).map_err(|e| e.to_string())?;
     println!("{} on {}:", b.name(), cfg.name);
     println!("  cycles:            {}", r.total_cycles);
     println!(
@@ -450,12 +593,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 /// candidates, refit the analytic model's per-class constants, and print
 /// them as the Rust array to check in, with a fit-quality comparison
 /// against the currently compiled-in constants.
-fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+fn cmd_calibrate(opts: &Opts) -> Result<(), String> {
     use hfuse::fusion::calibration_rows;
     use hfuse::sim::model::{fit_constants, CalibrationRow, CALIBRATED_K, NUM_FEATURES};
     use hfuse::sim::IssueKind;
 
-    let cfg = gpu_config(args)?;
+    let cfg = gpu_config(opts)?;
     let mut rows: Vec<CalibrationRow> = Vec::new();
     let mut groups: Vec<(String, std::ops::Range<usize>)> = Vec::new();
     for pair in all_pairs() {
@@ -545,20 +688,14 @@ fn cmd_calibrate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
-    let threads = match flag_value(args, "--threads") {
-        Some(t) => Some(
-            t.parse::<u32>()
-                .map_err(|e| format!("--threads {t}: {e}"))?,
-        ),
-        None => None,
-    };
+fn cmd_lint(opts: &Opts) -> Result<(), String> {
+    let threads: Option<u32> = opts.parsed("--threads")?;
 
     // (label, source, block threads) for every kernel to analyze.
     let mut units: Vec<(String, String, Option<u32>)> = Vec::new();
-    if has_flag(args, "--paper") || has_flag(args, "--all") {
+    if opts.flag("--paper") || opts.flag("--all") {
         let mut benches = AnyBenchmark::all();
-        if has_flag(args, "--all") {
+        if opts.flag("--all") {
             benches.extend(AnyBenchmark::extensions());
             benches.extend(AnyBenchmark::families());
         }
@@ -571,28 +708,27 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             ));
         }
     } else {
-        let files = positional(args);
-        if files.is_empty() {
+        if opts.positionals.is_empty() {
             return Err("lint needs at least one kernel file, or --paper".to_owned());
         }
-        for f in files {
-            let src = std::fs::read_to_string(f).map_err(|e| format!("reading {f}: {e}"))?;
-            units.push((f.to_owned(), src, threads));
+        for f in &opts.positionals {
+            let src = read_source(f)?;
+            units.push((f.clone(), src, threads));
         }
     }
 
+    // One session for the whole lint run; its `lints` query shares the
+    // process-wide analysis cache with the fuse-time safety gate, so a
+    // kernel linted here is never re-analyzed by a later fuse in the same
+    // process (and vice versa).
+    let mut s = Session::new(GpuConfig::pascal_like());
     let mut total = 0usize;
     for (label, src, block_threads) in &units {
-        let (func, spans) = hfuse::frontend::parse_kernel_with_spans(src)
-            .map_err(|e| format!("{label}:\n{}", e.render(src)))?;
-        let diags = hfuse::analysis::analyze_kernel(
-            &func,
-            Some(&spans),
-            &hfuse::analysis::AnalysisOptions {
-                block_threads: *block_threads,
-            },
-        );
-        for d in &diags {
+        let k = s.add_kernel(src.clone());
+        let diags = s
+            .lints(k, *block_threads)
+            .map_err(|e| render_err(&e, label, src))?;
+        for d in diags.iter() {
             println!("{label}: {}", d.render(src));
         }
         total += diags.len();

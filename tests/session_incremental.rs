@@ -1,0 +1,301 @@
+//! Invalidation-correctness tests for the incremental [`Session`] pipeline.
+//!
+//! These pin down the contract of the query database in `hfuse-core`'s
+//! `db` module: repeated queries on unchanged inputs are pure cache hits
+//! with bitwise-identical results; editing one kernel of a pair recomputes
+//! only that kernel's own queries plus the shared pair queries; a device
+//! configuration change re-runs measurements but no parses or lowers; and
+//! a whitespace-only source edit is cut off at the `ast` query. Everything
+//! is observed through [`Session::stats`] deltas, which is exactly how a
+//! future daemon's cache telemetry would watch the same pipeline.
+
+use std::sync::Arc;
+
+use hfuse::fusion::{search_fusion_config, SearchOptions, Session, SessionStats};
+use hfuse::kernels::AnyBenchmark;
+use hfuse::sim::{Gpu, GpuConfig};
+
+const WRITER: &str = "__global__ void writer(float* x) { x[threadIdx.x] = 1.0f; }";
+const ADDER: &str = "__global__ void adder(float* y) { y[threadIdx.x] = y[threadIdx.x] + 2.0f; }";
+
+/// Search options sized like the conformance harness: small fused block,
+/// paper partition step.
+fn small_search() -> SearchOptions {
+    SearchOptions {
+        d0: 512,
+        granularity: 128,
+        ..SearchOptions::default()
+    }
+}
+
+/// A session over a freshly-built benchmark pair, plus the ids.
+fn pair_session(
+    first: &str,
+    second: &str,
+) -> (Session, hfuse::fusion::KernelId, hfuse::fusion::KernelId) {
+    let a = AnyBenchmark::by_name(first)
+        .expect("benchmark")
+        .scaled(0.25);
+    let b = AnyBenchmark::by_name(second)
+        .expect("benchmark")
+        .scaled(0.25);
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+    let mut s = Session::with_gpu(gpu);
+    s.set_search_options(small_search());
+    let ka = s.add_fusion_input(&in1);
+    let kb = s.add_fusion_input(&in2);
+    (s, ka, kb)
+}
+
+/// Per-query compute deltas between two stats snapshots.
+fn computes_delta(before: SessionStats, after: SessionStats) -> u64 {
+    after.total_computes() - before.total_computes()
+}
+
+#[test]
+fn repeated_queries_are_pure_hits_with_identical_results() {
+    let (mut s, ka, kb) = pair_session("Maxpool", "Batchnorm");
+
+    let ast1 = s.ast(ka).expect("ast");
+    let ir1 = s.ir(ka).expect("ir");
+    let lints1 = s.lints(ka, None).expect("lints");
+    let single1 = s.single(ka).expect("single");
+    let native1 = s.native(ka, kb).expect("native");
+    let report1 = s.search_winner(ka, kb).expect("search");
+    let before = s.stats();
+
+    // Second round: every query must hit, share the exact Arc, and run no
+    // query function at all — in particular, zero new simulations.
+    let ast2 = s.ast(ka).expect("ast");
+    let ir2 = s.ir(ka).expect("ir");
+    let lints2 = s.lints(ka, None).expect("lints");
+    let single2 = s.single(ka).expect("single");
+    let native2 = s.native(ka, kb).expect("native");
+    let report2 = s.search_winner(ka, kb).expect("search");
+    let after = s.stats();
+
+    assert!(Arc::ptr_eq(&ast1, &ast2));
+    assert!(Arc::ptr_eq(&ir1, &ir2));
+    assert!(Arc::ptr_eq(&lints1, &lints2));
+    assert!(Arc::ptr_eq(&single1, &single2));
+    assert!(Arc::ptr_eq(&native1, &native2));
+    assert!(Arc::ptr_eq(&report1, &report2));
+
+    assert_eq!(computes_delta(before, after), 0, "second round ran work");
+    assert_eq!(after.search.hits - before.search.hits, 1);
+    assert_eq!(after.search.computes(), 1, "exactly one search ever ran");
+    assert_eq!(after.single.computes(), 1);
+    assert_eq!(after.native.computes(), 1);
+}
+
+#[test]
+fn editing_one_kernel_recomputes_only_its_suffix() {
+    let (mut s, ka, kb) = pair_session("Maxpool", "Batchnorm");
+
+    // Warm every query for both kernels.
+    s.ast(ka).expect("ast a");
+    s.ast(kb).expect("ast b");
+    s.ir(ka).expect("ir a");
+    s.ir(kb).expect("ir b");
+    s.lints(ka, None).expect("lints a");
+    s.lints(kb, None).expect("lints b");
+    let report1 = s.search_winner(ka, kb).expect("search");
+    let before = s.stats();
+
+    // A semantic edit to kernel `a` only: rename the function. The AST (and
+    // its printed-form hash) changes, so everything downstream of `a` must
+    // re-run — but kernel `b`'s queries must all stay hits.
+    let name = s.ast(ka).expect("ast a").name.clone();
+    let edited = s
+        .kernel_source(ka)
+        .replacen(&name, &format!("{name}_v2"), 1);
+    s.set_kernel_source(ka, edited);
+
+    s.ast(ka).expect("ast a");
+    s.ast(kb).expect("ast b");
+    s.ir(ka).expect("ir a");
+    s.ir(kb).expect("ir b");
+    s.lints(ka, None).expect("lints a");
+    s.lints(kb, None).expect("lints b");
+    let report2 = s.search_winner(ka, kb).expect("search");
+    let after = s.stats();
+
+    // Exactly one recompute per query kind touching `a` (the `ast(ka)`
+    // lookup that fetched the name above already counted it), one hit for
+    // each of `b`'s, and a recomputed search. Nothing is a fresh miss.
+    assert_eq!(after.ast.recomputes - before.ast.recomputes, 1);
+    assert_eq!(after.ir.recomputes - before.ir.recomputes, 1);
+    assert_eq!(after.lints.recomputes - before.lints.recomputes, 1);
+    assert_eq!(after.search.recomputes - before.search.recomputes, 1);
+    assert_eq!(after.ast.misses, before.ast.misses);
+    assert_eq!(after.ir.misses, before.ir.misses);
+    assert_eq!(after.lints.misses, before.lints.misses);
+    assert_eq!(after.search.misses, before.search.misses);
+    // Kernel b's lookups in the second round were all hits.
+    assert_eq!(after.ir.hits - before.ir.hits, 1);
+    assert_eq!(after.lints.hits - before.lints.hits, 1);
+
+    // The rename is behavior-preserving, so the recomputed search must land
+    // on the same configuration.
+    assert_eq!(report1.best().d1, report2.best().d1);
+    assert_eq!(report1.best().d2, report2.best().d2);
+}
+
+#[test]
+fn gpu_config_change_reruns_search_but_no_parses_or_lowers() {
+    let a = AnyBenchmark::by_name("Maxpool")
+        .expect("benchmark")
+        .scaled(0.25);
+    let b = AnyBenchmark::by_name("Batchnorm")
+        .expect("benchmark")
+        .scaled(0.25);
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+    let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+    let mut s = Session::with_gpu(gpu);
+    s.set_search_options(small_search());
+    let ka = s.add_fusion_input(&in1);
+    let kb = s.add_fusion_input(&in2);
+
+    s.ir(ka).expect("ir a");
+    s.ir(kb).expect("ir b");
+    s.search_winner(ka, kb).expect("search");
+    let before = s.stats();
+
+    // A new device with a different configuration, but the same buffers
+    // allocated in the same order — so the workload arguments (buffer ids)
+    // stay valid and hash identically; only the config fingerprint moves.
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.dram_transactions_per_cycle *= 2;
+    let mut gpu2 = Gpu::new(cfg);
+    let re1 = a.benchmark().fusion_input(gpu2.memory_mut());
+    let re2 = b.benchmark().fusion_input(gpu2.memory_mut());
+    assert_eq!(format!("{:?}", re1.args), format!("{:?}", in1.args));
+    assert_eq!(format!("{:?}", re2.args), format!("{:?}", in2.args));
+    s.set_gpu(gpu2);
+
+    s.ir(ka).expect("ir a");
+    s.ir(kb).expect("ir b");
+    s.search_winner(ka, kb).expect("search");
+    let after = s.stats();
+
+    assert_eq!(after.ast.computes(), before.ast.computes(), "no re-parse");
+    assert_eq!(after.ir.computes(), before.ir.computes(), "no re-lower");
+    assert_eq!(after.search.recomputes - before.search.recomputes, 1);
+}
+
+#[test]
+fn whitespace_edit_cuts_off_at_the_ast_query() {
+    let mut s = Session::new(GpuConfig::test_tiny());
+    let k = s.add_kernel(WRITER);
+    let ir1 = s.ir(k).expect("ir");
+    let before = s.stats();
+
+    // Reformat without changing the AST: the parse re-runs (source hash
+    // moved) but prints to the same function, so the lower still hits.
+    s.set_kernel_source(k, WRITER.replace(" = 1.0f;", "   =   1.0f;\n"));
+    let ir2 = s.ir(k).expect("ir");
+    let after = s.stats();
+
+    assert_eq!(after.ast.recomputes - before.ast.recomputes, 1);
+    assert_eq!(after.ir.hits - before.ir.hits, 1);
+    assert_eq!(after.ir.computes(), before.ir.computes());
+    assert!(
+        Arc::ptr_eq(&ir1, &ir2),
+        "early cutoff shares the lowered IR"
+    );
+}
+
+#[test]
+fn fused_query_memoizes_per_partition_and_tracks_both_kernels() {
+    let mut s = Session::new(GpuConfig::test_tiny());
+    let ka = s.add_kernel(WRITER);
+    let kb = s.add_kernel(ADDER);
+
+    let f1 = s.fused(ka, kb, (128, 1, 1), (64, 1, 1)).expect("fuse");
+    let f2 = s.fused(ka, kb, (128, 1, 1), (64, 1, 1)).expect("fuse");
+    assert!(Arc::ptr_eq(&f1, &f2));
+    assert_eq!(s.stats().fused.hits, 1);
+
+    // A different partition is a different key: a miss, not a recompute.
+    s.fused(ka, kb, (256, 1, 1), (64, 1, 1)).expect("fuse");
+    assert_eq!(s.stats().fused.misses, 2);
+
+    // Editing the *second* kernel invalidates the pair query too.
+    s.set_kernel_source(kb, ADDER.replace("+ 2.0f", "+ 3.0f"));
+    let f3 = s.fused(ka, kb, (128, 1, 1), (64, 1, 1)).expect("fuse");
+    assert_eq!(s.stats().fused.recomputes, 1);
+    assert!(!Arc::ptr_eq(&f1, &f3));
+}
+
+#[test]
+fn parse_errors_are_memoized_values() {
+    let mut s = Session::new(GpuConfig::test_tiny());
+    let k = s.add_kernel("__global__ void broken(float* x) { x[threadIdx.x] = ; }");
+    assert!(s.ast(k).is_err());
+    assert!(s.ast(k).is_err());
+    let stats = s.stats();
+    assert_eq!(stats.ast.misses, 1);
+    assert_eq!(stats.ast.hits, 1, "the error is cached, not re-parsed");
+
+    // Fixing the source recomputes and succeeds.
+    s.set_kernel_source(k, WRITER);
+    assert!(s.ast(k).is_ok());
+    assert_eq!(s.stats().ast.recomputes, 1);
+}
+
+/// The bench matrix of `examples/bench_search.rs`: the five tunable DL
+/// pairs, the dual-Ethash co-location, and the three new-family crosses.
+const BENCH_MATRIX: [(&str, &str); 9] = [
+    ("Maxpool", "Batchnorm"),
+    ("Upsample", "Hist"),
+    ("Batchnorm", "Upsample"),
+    ("Batchnorm", "Im2Col"),
+    ("Hist", "Im2Col"),
+    ("Ethash", "Ethash"),
+    ("Axpy", "Blur"),
+    ("Dot", "Downsample"),
+    ("Gemv", "Attention"),
+];
+
+#[test]
+fn session_winners_match_the_free_function_path_bitwise() {
+    for (first, second) in BENCH_MATRIX {
+        let a = AnyBenchmark::by_name(first)
+            .expect("benchmark")
+            .scaled(0.25);
+        let b = AnyBenchmark::by_name(second)
+            .expect("benchmark")
+            .scaled(0.25);
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let in1 = a.benchmark().fusion_input(gpu.memory_mut());
+        let in2 = b.benchmark().fusion_input(gpu.memory_mut());
+
+        let free = search_fusion_config(&gpu, &in1, &in2, small_search())
+            .unwrap_or_else(|e| panic!("{first}+{second}: free search: {e}"));
+
+        let mut s = Session::with_gpu(gpu);
+        s.set_search_options(small_search());
+        let ka = s.add_fusion_input(&in1);
+        let kb = s.add_fusion_input(&in2);
+        let via_session = s
+            .search_winner(ka, kb)
+            .unwrap_or_else(|e| panic!("{first}+{second}: session search: {e}"));
+
+        // Bitwise-identical results: every candidate row, the winner index,
+        // and the compiled winning kernel (wall-clock fields excluded).
+        assert_eq!(
+            via_session.candidates, free.candidates,
+            "{first}+{second}: candidate rows diverge"
+        );
+        assert_eq!(via_session.best_idx, free.best_idx, "{first}+{second}");
+        assert_eq!(via_session.d0, free.d0, "{first}+{second}");
+        assert_eq!(
+            format!("{:?}", via_session.best_kernel),
+            format!("{:?}", free.best_kernel),
+            "{first}+{second}: winning kernels diverge"
+        );
+    }
+}
