@@ -1,4 +1,4 @@
-//! Process-wide memoization of [`analyze_kernel`].
+//! Process-wide memoization of [`analyze_kernel`] and the range summaries.
 //!
 //! The static fusion-safety analysis runs in three places: the `hfuse
 //! lint` CLI, the safety gate inside `horizontal_fuse`, and (through the
@@ -8,7 +8,8 @@
 //! sibling of a search candidate re-analyzed the identical fused function.
 //! All three paths now share one table keyed by content: the FNV-1a hash
 //! of the *printed* function (so whitespace and macro-expansion history
-//! don't matter) plus the `block_threads` assumption the lints ran under.
+//! don't matter), the `block_threads` assumption the lints ran under, and
+//! a fingerprint of the global-extent map feeding the out-of-bounds lint.
 //!
 //! The first computation of a key wins and is shared verbatim — including
 //! its span information. A caller that analyzes with a [`SpanTable`] after
@@ -16,6 +17,10 @@
 //! diagnostics (and vice versa); diagnostics differ only in source
 //! positions, never in substance, so every consumer (the gate checks
 //! emptiness, the CLI prints messages) stays correct.
+//!
+//! A second table memoizes [`summarize_ranges`] the same way (extents do
+//! not feed summaries, so that key is just content × block width); its
+//! counters are surfaced separately in [`AnalysisCacheStats`].
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -25,6 +30,7 @@ use cuda_frontend::diag::{Diagnostic, SpanTable};
 use cuda_frontend::hash::fnv1a_64;
 use cuda_frontend::printer::print_function;
 
+use crate::ranges::{extents_fingerprint, summarize_ranges, KernelRangeSummary};
 use crate::{analyze_kernel, AnalysisOptions};
 
 /// Content hash of a kernel: FNV-1a over the pretty-printed function.
@@ -37,9 +43,12 @@ pub fn function_content_hash(f: &Function) -> u64 {
 
 #[derive(Default)]
 struct CacheInner {
-    map: HashMap<(u64, Option<u32>), Arc<Vec<Diagnostic>>>,
+    map: HashMap<(u64, Option<u32>, u64), Arc<Vec<Diagnostic>>>,
     hits: u64,
     misses: u64,
+    ranges: HashMap<(u64, Option<u32>), Arc<KernelRangeSummary>>,
+    range_hits: u64,
+    range_misses: u64,
 }
 
 fn cache() -> &'static Mutex<CacheInner> {
@@ -50,12 +59,18 @@ fn cache() -> &'static Mutex<CacheInner> {
 /// Hit/miss counters of the process-wide analysis cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AnalysisCacheStats {
-    /// Lookups served from the cache.
+    /// Lint lookups served from the cache.
     pub hits: u64,
-    /// Lookups that ran the analysis.
+    /// Lint lookups that ran the analysis.
     pub misses: u64,
-    /// Distinct `(function content, block_threads)` keys cached.
+    /// Distinct `(function content, block_threads, extents)` lint keys.
     pub entries: usize,
+    /// Range-summary lookups served from the cache.
+    pub range_hits: u64,
+    /// Range-summary lookups that ran the analysis.
+    pub range_misses: u64,
+    /// Distinct `(function content, block_threads)` summary keys.
+    pub range_entries: usize,
 }
 
 /// Snapshot of the cache counters. Tests assert on *deltas* of these, since
@@ -67,11 +82,14 @@ pub fn analysis_cache_stats() -> AnalysisCacheStats {
         hits: inner.hits,
         misses: inner.misses,
         entries: inner.map.len(),
+        range_hits: inner.range_hits,
+        range_misses: inner.range_misses,
+        range_entries: inner.ranges.len(),
     }
 }
 
 /// Memoized [`analyze_kernel`]: one analysis per distinct
-/// `(function content, block_threads)` in the process lifetime.
+/// `(function content, block_threads, extents)` in the process lifetime.
 ///
 /// Concurrent first requests for the same key may both run the analysis;
 /// the first insert wins and both count as misses — the analysis is pure,
@@ -81,7 +99,11 @@ pub fn analyze_kernel_memoized(
     spans: Option<&SpanTable>,
     opts: &AnalysisOptions,
 ) -> Arc<Vec<Diagnostic>> {
-    let key = (function_content_hash(f), opts.block_threads);
+    let key = (
+        function_content_hash(f),
+        opts.block_threads,
+        extents_fingerprint(opts.global_extents.as_deref()),
+    );
     {
         let mut inner = cache().lock().expect("analysis cache poisoned");
         if let Some(cached) = inner.map.get(&key).map(Arc::clone) {
@@ -94,6 +116,26 @@ pub fn analyze_kernel_memoized(
     let mut inner = cache().lock().expect("analysis cache poisoned");
     inner.misses += 1;
     Arc::clone(inner.map.entry(key).or_insert(diags))
+}
+
+/// Memoized [`summarize_ranges`]: one summary per distinct
+/// `(function content, block_threads)` in the process lifetime.
+pub fn summarize_ranges_memoized(
+    f: &Function,
+    block_threads: Option<u32>,
+) -> Arc<KernelRangeSummary> {
+    let key = (function_content_hash(f), block_threads);
+    {
+        let mut inner = cache().lock().expect("analysis cache poisoned");
+        if let Some(cached) = inner.ranges.get(&key).map(Arc::clone) {
+            inner.range_hits += 1;
+            return cached;
+        }
+    }
+    let summary = Arc::new(summarize_ranges(f, block_threads));
+    let mut inner = cache().lock().expect("analysis cache poisoned");
+    inner.range_misses += 1;
+    Arc::clone(inner.ranges.entry(key).or_insert(summary))
 }
 
 #[cfg(test)]
@@ -112,6 +154,7 @@ mod tests {
         let (f, spans) = kernel(src);
         let opts = AnalysisOptions {
             block_threads: Some(64),
+            ..AnalysisOptions::default()
         };
         let before = analysis_cache_stats();
         let first = analyze_kernel_memoized(&f, Some(&spans), &opts);
@@ -140,6 +183,7 @@ mod tests {
             None,
             &AnalysisOptions {
                 block_threads: Some(128),
+                ..AnalysisOptions::default()
             },
         );
         analyze_kernel_memoized(
@@ -147,9 +191,48 @@ mod tests {
             None,
             &AnalysisOptions {
                 block_threads: Some(256),
+                ..AnalysisOptions::default()
             },
         );
         let after = analysis_cache_stats();
         assert_eq!(after.misses - before.misses, 2);
+    }
+
+    #[test]
+    fn extents_are_part_of_the_key() {
+        let (f, _) = kernel("__global__ void cache_probe_d(float* x) { x[threadIdx.x] = 64.0f; }");
+        let mut ext = std::collections::BTreeMap::new();
+        ext.insert("x".to_owned(), 64i64);
+        let before = analysis_cache_stats();
+        analyze_kernel_memoized(
+            &f,
+            None,
+            &AnalysisOptions {
+                block_threads: Some(64),
+                ..AnalysisOptions::default()
+            },
+        );
+        analyze_kernel_memoized(
+            &f,
+            None,
+            &AnalysisOptions {
+                block_threads: Some(64),
+                global_extents: Some(Arc::new(ext)),
+            },
+        );
+        let after = analysis_cache_stats();
+        assert_eq!(after.misses - before.misses, 2);
+    }
+
+    #[test]
+    fn range_summaries_are_memoized() {
+        let (f, _) = kernel("__global__ void cache_probe_e(float* x) { x[threadIdx.x] = 65.0f; }");
+        let before = analysis_cache_stats();
+        let first = summarize_ranges_memoized(&f, Some(64));
+        let second = summarize_ranges_memoized(&f, Some(64));
+        let after = analysis_cache_stats();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(after.range_misses - before.range_misses, 1);
+        assert!(after.range_hits - before.range_hits >= 1);
     }
 }

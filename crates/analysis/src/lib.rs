@@ -32,21 +32,35 @@ pub mod cache;
 pub mod cfg;
 pub mod ir_uniform;
 pub mod lints;
+pub mod ranges;
 pub mod uniformity;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cuda_frontend::ast::Function;
 use cuda_frontend::diag::{Diagnostic, SpanTable};
 
-pub use cache::{analysis_cache_stats, analyze_kernel_memoized, AnalysisCacheStats};
+pub use cache::{
+    analysis_cache_stats, analyze_kernel_memoized, summarize_ranges_memoized, AnalysisCacheStats,
+};
 pub use lints::{CODE_BARRIER_DIVERGENCE, CODE_PARTIAL_BARRIER, CODE_SHARED_RACE};
+pub use ranges::{
+    eliminate_redundant_barriers, summarize_ranges, KernelRangeSummary, CODE_GLOBAL_OOB,
+    CODE_SHARED_OOB,
+};
 
 /// Options for [`analyze_kernel`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AnalysisOptions {
     /// `blockDim.x` when the launch configuration is known. Fuse-time checks
     /// always pass the fused block width; the standalone `hfuse lint` CLI
     /// passes it only when the user supplies `--threads`.
     pub block_threads: Option<u32>,
+    /// Global buffer extents *in elements*, by pointer-parameter name.
+    /// Feeds the out-of-bounds lint; absent entries leave the corresponding
+    /// accesses unchecked. The CLI populates it from `--extent name=len`.
+    pub global_extents: Option<Arc<BTreeMap<String, i64>>>,
 }
 
 /// Runs all static fusion-safety lints over one kernel.
@@ -66,6 +80,14 @@ pub fn analyze_kernel(
     };
     let mut diags = lints::barrier_lints(&graph, &ua, spans, &ctx);
     diags.extend(lints::race_lints(&graph, &ua, f, spans, &ctx));
+    diags.extend(ranges::oob_lints(
+        &graph,
+        &ua,
+        f,
+        spans,
+        &ctx,
+        opts.global_extents.as_deref(),
+    ));
     diags.sort_by_key(|d| d.span.map(|s| (s.line, s.col)));
     diags
 }

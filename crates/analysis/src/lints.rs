@@ -38,7 +38,7 @@ pub struct LintCtx {
 }
 
 impl LintCtx {
-    fn universe(&self) -> i64 {
+    pub(crate) fn universe(&self) -> i64 {
         self.block_threads.map_or(1024, i64::from)
     }
 }
@@ -54,14 +54,19 @@ fn diag(code: &str, span_idx: Option<usize>, spans: Option<&SpanTable>, msg: Str
 
 /// The arrival set of a block: which τ reach it, as far as the parsable
 /// control dependences say.
-enum Arrival {
+pub(crate) enum Arrival {
     /// Exactly this set (constrained only by parsable non-uniform guards).
     Exact(IntervalSet),
     /// Some non-uniform controlling condition was not parsable.
     Unknown,
 }
 
-fn arrival_set(cfg: &Cfg, ua: &UniformityAnalysis, block: BlockId, ctx: &LintCtx) -> Arrival {
+pub(crate) fn arrival_set(
+    cfg: &Cfg,
+    ua: &UniformityAnalysis,
+    block: BlockId,
+    ctx: &LintCtx,
+) -> Arrival {
     let universe = ctx.universe();
     let mut set = IntervalSet::full(universe);
     for cd in &ua.cds[block] {
@@ -372,7 +377,7 @@ fn div_floor(a: i64, b: i64) -> i64 {
     }
 }
 
-fn uses_multidim_threads(f: &Function) -> bool {
+pub(crate) fn uses_multidim_threads(f: &Function) -> bool {
     fn expr_uses(e: &Expr) -> bool {
         let mut found = false;
         visit_exprs(e, &mut |x| {
@@ -588,7 +593,7 @@ fn apply_stmt(s: &CStmt, state: &mut State, block_threads: Option<u32>) {
 
 /// True when concrete `τ1 ∈ sa`, `τ2 ∈ sb` exist with `τ1 ≠ τ2`, in different
 /// warps, such that `a1·τ1 + b1 == a2·τ2 + b2`.
-fn racing_pair_exists(
+pub(crate) fn racing_pair_exists(
     (a1, b1): (i64, i64),
     sa: &IntervalSet,
     (a2, b2): (i64, i64),

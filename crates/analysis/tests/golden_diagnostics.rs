@@ -15,6 +15,7 @@ fn diags_of(src: &str, threads: Option<u32>) -> Vec<cuda_frontend::Diagnostic> {
         Some(&spans),
         &AnalysisOptions {
             block_threads: threads,
+            ..AnalysisOptions::default()
         },
     )
 }
@@ -118,7 +119,7 @@ __global__ void k(float* out, int n) {
 fn definite_shared_race_is_flagged_with_span() {
     let src = "\
 __global__ void k(float* out) {
-    __shared__ float s[128];
+    __shared__ float s[160];
     int t = threadIdx.x;
     s[t] = 1.0f;
     out[t] = s[t + 32];
@@ -162,7 +163,7 @@ __global__ void k(float* out) {
 fn barrier_separated_exchange_is_clean() {
     let src = "\
 __global__ void k(float* out) {
-    __shared__ float s[128];
+    __shared__ float s[160];
     int t = threadIdx.x;
     s[t] = 1.0f;
     __syncthreads();
@@ -389,7 +390,7 @@ __global__ void k(float* out) {
 fn diagnostics_are_ordered_by_position() {
     let src = "\
 __global__ void k(float* out) {
-    __shared__ float s[128];
+    __shared__ float s[160];
     int t = threadIdx.x;
     s[t] = 1.0f;
     out[t] = s[t + 32];

@@ -18,6 +18,7 @@ fn assert_clean(name: &str, src: &str, threads: Option<u32>) {
         Some(&spans),
         &AnalysisOptions {
             block_threads: threads,
+            ..AnalysisOptions::default()
         },
     );
     assert!(
@@ -104,6 +105,7 @@ fn check_fused_pair(b1: &dyn Benchmark, b2: &dyn Benchmark) {
         None,
         &AnalysisOptions {
             block_threads: Some(fused.block_threads()),
+            ..AnalysisOptions::default()
         },
     );
     assert!(

@@ -11,7 +11,8 @@
 //! |---|---|---|
 //! | [`ast(k)`](Session::ast) | source text | FNV-1a of the source |
 //! | [`ir(k)`](Session::ir) | `ast(k)` | hash of the *printed* AST |
-//! | [`lints(k)`](Session::lints) | `ast(k)` + `block_threads` | printed-AST hash |
+//! | [`lints(k)`](Session::lints) | `ast(k)` + `block_threads` + extents | printed-AST hash × extents fingerprint |
+//! | [`ranges(k)`](Session::ranges) | `ast(k)` + `block_threads` | printed-AST hash |
 //! | [`fused(a,b)`](Session::fused) | both ASTs + the partition | both printed-AST hashes |
 //! | [`single(k)`](Session::single) | AST + workload + device | AST, workload, config hashes |
 //! | [`native(a,b)`](Session::native) | ASTs + workloads + device | ditto |
@@ -57,7 +58,7 @@
 //! # Ok::<(), hfuse_core::HfuseError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use cuda_frontend::ast::Function;
@@ -180,6 +181,8 @@ pub struct SessionStats {
     pub ir: QueryStats,
     /// `lints(k)`: static fusion-safety analysis.
     pub lints: QueryStats,
+    /// `ranges(k)`: value-range summary (disjointness facts for the gate).
+    pub ranges: QueryStats,
     /// `fused(a, b, ...)`: horizontal fusion of a pair at a partition.
     pub fused: QueryStats,
     /// `search_winner(a, b)`: the Fig. 6 configuration search.
@@ -188,6 +191,11 @@ pub struct SessionStats {
     pub single: QueryStats,
     /// `native(a, b)`: native co-execution measurement.
     pub native: QueryStats,
+    /// Snapshot of the process-wide `hfuse-analysis` cache counters at the
+    /// time [`Session::stats`] was called (lint and range-summary tables).
+    /// These are process-global, shared with the CLI and the fuse gate —
+    /// assert on deltas, not absolutes.
+    pub analysis_cache: hfuse_analysis::AnalysisCacheStats,
 }
 
 impl SessionStats {
@@ -198,6 +206,7 @@ impl SessionStats {
         self.ast.computes()
             + self.ir.computes()
             + self.lints.computes()
+            + self.ranges.computes()
             + self.fused.computes()
             + self.search.computes()
             + self.single.computes()
@@ -272,11 +281,13 @@ where
 pub struct Session {
     gpu: Gpu,
     opts: SearchOptions,
+    global_extents: Option<Arc<BTreeMap<String, i64>>>,
     sources: Vec<String>,
     workloads: Vec<Option<Workload>>,
     ast_memo: Vec<Option<Memo<AstResult>>>,
     ir_memo: MemoMap<usize, KernelIr>,
     lints_memo: MemoMap<(usize, Option<u32>), Vec<Diagnostic>>,
+    ranges_memo: MemoMap<(usize, Option<u32>), hfuse_analysis::KernelRangeSummary>,
     fused_memo: MemoMap<FusedKey, FusedKernel>,
     search_memo: MemoMap<(usize, usize), SearchReport>,
     single_memo: MemoMap<usize, RunResult>,
@@ -298,11 +309,13 @@ impl Session {
         Session {
             gpu,
             opts: SearchOptions::default(),
+            global_extents: None,
             sources: Vec::new(),
             workloads: Vec::new(),
             ast_memo: Vec::new(),
             ir_memo: HashMap::new(),
             lints_memo: HashMap::new(),
+            ranges_memo: HashMap::new(),
             fused_memo: HashMap::new(),
             search_memo: HashMap::new(),
             single_memo: HashMap::new(),
@@ -345,6 +358,21 @@ impl Session {
     /// invalidates searches (on next demand) but nothing upstream.
     pub fn set_search_options(&mut self, opts: SearchOptions) {
         self.opts = opts;
+    }
+
+    /// The global buffer extents (in elements) the `lints` query feeds to
+    /// the out-of-bounds lint.
+    #[must_use]
+    pub fn global_extents(&self) -> Option<&Arc<BTreeMap<String, i64>>> {
+        self.global_extents.as_ref()
+    }
+
+    /// Sets the global buffer extents (in elements, by pointer-parameter
+    /// name) for the out-of-bounds lint. Changing them invalidates `lints`
+    /// memos on next demand; `None` disables the global-buffer half of the
+    /// lint.
+    pub fn set_global_extents(&mut self, extents: Option<BTreeMap<String, i64>>) {
+        self.global_extents = extents.map(Arc::new);
     }
 
     /// Registers a kernel by source text.
@@ -407,10 +435,13 @@ impl Session {
     }
 
     /// Query counters since construction (or the last
-    /// [`reset_stats`](Session::reset_stats)).
+    /// [`reset_stats`](Session::reset_stats)), with a live snapshot of the
+    /// process-wide analysis-cache counters attached.
     #[must_use]
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.analysis_cache = hfuse_analysis::analysis_cache_stats();
+        stats
     }
 
     /// Zeroes the query counters (memoized values are kept).
@@ -511,22 +542,60 @@ impl Session {
         block_threads: Option<u32>,
     ) -> Result<Arc<Vec<Diagnostic>>, HfuseError> {
         let ast = self.ast_value(k);
-        let fingerprint = match &ast {
-            Ok(v) => v.ast_hash,
-            Err(_) => fnv1a_64(self.sources[k.0].as_bytes()),
-        };
+        let mut fp = Fnv64::new();
+        fp.write_u64(self.dep_hash(k, &ast));
+        fp.write_u64(hfuse_analysis::ranges::extents_fingerprint(
+            self.global_extents.as_deref(),
+        ));
+        let extents = self.global_extents.clone();
         lookup(
             &mut self.lints_memo,
             &mut self.stats.lints,
             (k.0, block_threads),
-            fingerprint,
+            fp.finish(),
             || {
                 let v = ast?;
-                let opts = hfuse_analysis::AnalysisOptions { block_threads };
+                let opts = hfuse_analysis::AnalysisOptions {
+                    block_threads,
+                    global_extents: extents,
+                };
                 Ok(hfuse_analysis::analyze_kernel_memoized(
                     &v.func,
                     v.spans.as_deref(),
                     &opts,
+                ))
+            },
+        )
+    }
+
+    /// The kernel's value-range summary — per-array access facts,
+    /// race-freedom and bounds certificates, and the
+    /// [`fast_gate_clean`](hfuse_analysis::KernelRangeSummary::fast_gate_clean)
+    /// bit the fuse gate's fast path keys on. Memoized on the printed AST
+    /// (per `block_threads`), and backed by the same process-wide summary
+    /// cache the gate uses — summarizing here and fusing later analyzes the
+    /// kernel exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse error.
+    pub fn ranges(
+        &mut self,
+        k: KernelId,
+        block_threads: Option<u32>,
+    ) -> Result<Arc<hfuse_analysis::KernelRangeSummary>, HfuseError> {
+        let ast = self.ast_value(k);
+        let fingerprint = self.dep_hash(k, &ast);
+        lookup(
+            &mut self.ranges_memo,
+            &mut self.stats.ranges,
+            (k.0, block_threads),
+            fingerprint,
+            || {
+                let v = ast?;
+                Ok(hfuse_analysis::summarize_ranges_memoized(
+                    &v.func,
+                    block_threads,
                 ))
             },
         )

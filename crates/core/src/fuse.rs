@@ -36,6 +36,13 @@ pub struct FusedKernel {
     /// Number of parameters taken by the first kernel (the fused parameter
     /// list is `K1`'s parameters followed by `K2`'s).
     pub params_split: usize,
+    /// `__syncthreads()` statements the value-range analysis proved
+    /// redundant and removed from the inputs before interleaving
+    /// (`HFUSE_NO_BARRIER_ELIM=1` forces 0).
+    pub barriers_eliminated: u32,
+    /// True when the safety gate accepted this fusion from the two input
+    /// kernels' range summaries alone, without analyzing the fused function.
+    pub gate_fast_path: bool,
 }
 
 impl FusedKernel {
@@ -132,6 +139,22 @@ pub fn horizontal_fuse_with(
         ));
     }
 
+    // Drop barriers the value-range analysis proves redundant *before*
+    // interleaving: every barrier removed here is one fewer partial barrier
+    // in the fused kernel. Skipped for the full-barrier ablation (it wants
+    // the naive coupling) and under the HFUSE_NO_BARRIER_ELIM hatch.
+    let mut barriers_eliminated = 0;
+    if !options.full_barriers && !gpu_sim::env::no_barrier_elim() {
+        barriers_eliminated += hfuse_analysis::eliminate_redundant_barriers(&mut f1, Some(d1));
+        barriers_eliminated += hfuse_analysis::eliminate_redundant_barriers(&mut f2, Some(d2));
+    }
+
+    // Range summaries of the (preprocessed, barrier-elided) inputs: when both
+    // prove safe on their own, the gate can skip analyzing the fused function.
+    let gate_fast_path = !hfuse_analysis::static_check_disabled_by_env()
+        && hfuse_analysis::summarize_ranges_memoized(&f1, Some(d1)).fast_gate_clean()
+        && hfuse_analysis::summarize_ranges_memoized(&f2, Some(d2)).fast_gate_clean();
+
     // Split lifted declarations from statements.
     let (decls1, mut stmts1) = split_decls(f1.body);
     let (decls2, mut stmts2) = split_decls(f2.body);
@@ -217,6 +240,8 @@ pub fn horizontal_fuse_with(
         dims1,
         dims2,
         params_split,
+        barriers_eliminated,
+        gate_fast_path,
     };
     static_safety_check(&fused)?;
     Ok(fused)
@@ -224,9 +249,16 @@ pub fn horizontal_fuse_with(
 
 /// Rejects fused kernels the static analyzer can prove unsafe: barriers
 /// under unresolvable divergent control, malformed partial-barrier
-/// structure, or definite shared-memory races. `HFUSE_NO_STATIC_CHECK=1`
-/// disables the gate (restoring pre-analyzer behavior exactly, since the
-/// check runs after the fused kernel is fully built).
+/// structure, definite shared-memory races, or definite out-of-bounds
+/// shared accesses. `HFUSE_NO_STATIC_CHECK=1` disables the gate (restoring
+/// pre-analyzer behavior exactly, since the check runs after the fused
+/// kernel is fully built).
+///
+/// When both input kernels' range summaries already certify them
+/// barrier-free, race-free, and in-bounds ([`FusedKernel::gate_fast_path`]),
+/// the interleaved function cannot introduce a new violation — the two
+/// halves run under disjoint `__hf_gtid` guards and the lints are per-block
+/// — so the gate skips analyzing the (larger) fused function entirely.
 ///
 /// Goes through the process-wide memoized analysis cache, so re-fusing the
 /// same pair at the same partition (the search sweeps each partition twice:
@@ -236,8 +268,12 @@ fn static_safety_check(fused: &FusedKernel) -> Result<(), FrontendError> {
     if hfuse_analysis::static_check_disabled_by_env() {
         return Ok(());
     }
+    if fused.gate_fast_path {
+        return Ok(());
+    }
     let opts = hfuse_analysis::AnalysisOptions {
         block_threads: Some(fused.block_threads()),
+        ..hfuse_analysis::AnalysisOptions::default()
     };
     let diags = hfuse_analysis::analyze_kernel_memoized(&fused.function, None, &opts);
     if diags.is_empty() {

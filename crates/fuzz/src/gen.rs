@@ -13,8 +13,9 @@
 //!   shared slot; cross-thread shared reads happen strictly between
 //!   `__syncthreads()` pairs;
 //! * atomics are commutative integer ops (`atomicAdd`/`atomicMax`) on
-//!   reserved slots past the per-thread output region, so any execution
-//!   order yields the same bits;
+//!   reserved slots past the per-thread output region, with slots
+//!   partitioned per op so no slot ever sees an add/max mix: any
+//!   execution order yields the same bits;
 //! * thread counts are warp multiples, so fusion's `d1 % 32 == 0`
 //!   precondition holds and shuffle lanes survive fusion unchanged;
 //! * all arithmetic is `int` (wrapping, bit-exact on the simulator).
@@ -65,7 +66,10 @@ pub enum Segment {
         /// Lane operand (1..=16).
         offset: u32,
     },
-    /// `atomicAdd(&out[NT+slot], acc)` or `atomicMax(...)`.
+    /// `atomicAdd(&out[NT+slot], acc)` or `atomicMax(...)`. Generated
+    /// slots are partitioned by op (adds in the low half, maxes in the
+    /// high half of the reserved region): each op commutes with itself
+    /// but an add/max mix on one slot would be order-sensitive.
     Atomic {
         /// True for `atomicAdd`, false for `atomicMax`.
         add: bool,
@@ -94,6 +98,15 @@ pub enum Segment {
         /// Per-thread row stride.
         stride: u32,
     },
+    /// A boundary-clamped shared read, off-by-one-prone by design:
+    /// `s[t] = acc; __syncthreads();` then `c = t + offset` clamped to
+    /// `threads - 1` before indexing `s[c]`. The clamp keeps it in bounds
+    /// (the static OOB lint and the sanitizer must both stay silent), but
+    /// only the guard narrowing in the range analysis can prove it.
+    ClampedIndex {
+        /// Raw offset before clamping (≥ 1).
+        offset: u32,
+    },
     /// **Fixture only — never generated randomly.** An unsynchronised
     /// cross-warp shared exchange: `s[t] = acc;` immediately followed by a
     /// guarded read of `s[t + 32]` with no barrier in between. A definite
@@ -104,6 +117,16 @@ pub enum Segment {
     /// tid-dependent guard: `if (t % 2 == 0) __syncthreads();`. Flagged
     /// statically as barrier divergence and deadlocks dynamically.
     DivergentBarrier,
+    /// **Fixture only — never generated randomly.** A one-past-the-end
+    /// shared store: `s[t + 1] = acc;` with no clamp, so the last thread
+    /// writes `s[threads]`. Must be caught by the static
+    /// `shared-out-of-bounds` lint and by the dynamic sanitizer.
+    OobShared,
+    /// **Fixture only — never generated randomly.** A global store one
+    /// past the `out` buffer: `if (t == 0) out[out_len] = acc;`. Must be
+    /// caught by the static `global-out-of-bounds` lint (given the buffer
+    /// extent) and by the dynamic sanitizer.
+    OobGlobal,
 }
 
 /// A complete generated kernel: geometry plus body phases.
@@ -146,7 +169,7 @@ impl KernelSpec {
     }
 
     fn gen_segment(rng: &mut Rng) -> Segment {
-        match rng.range(0, 13) {
+        match rng.range(0, 14) {
             0..=3 => Segment::ComputeLoop {
                 trips: rng.range(1, 9) as u32,
                 mul: *rng.pick(&[1, 3, 5, 7, 31]),
@@ -165,18 +188,26 @@ impl KernelSpec {
                 xor: rng.chance(1, 2),
                 offset: *rng.pick(&[1, 2, 4, 8, 16]),
             },
-            9 => Segment::Atomic {
-                add: rng.chance(1, 2),
-                slot: rng.range(0, u64::from(ATOMIC_SLOTS)) as u32,
-            },
+            9 => {
+                // Slots are partitioned by op: adds commute with adds and
+                // maxes with maxes, but an add/max mix on one slot is
+                // order-sensitive and would break the determinism oracle.
+                let add = rng.chance(1, 2);
+                let half = ATOMIC_SLOTS / 2;
+                let slot = rng.range(0, u64::from(half)) as u32 + if add { 0 } else { half };
+                Segment::Atomic { add, slot }
+            }
             10 => Segment::TreeReduce,
             11 => Segment::Index2D {
                 w: *rng.pick(&[3, 5, 8, 16]),
             },
-            _ => Segment::AccumLoop {
+            12 => Segment::AccumLoop {
                 trips: rng.range(1, 9) as u32,
                 mul: *rng.pick(&[3, 5, 17]),
                 stride: rng.range(1, 8) as u32,
+            },
+            _ => Segment::ClampedIndex {
+                offset: rng.range(1, 48) as u32,
             },
         }
     }
@@ -192,7 +223,11 @@ impl KernelSpec {
         self.segments.iter().any(|s| {
             matches!(
                 s,
-                Segment::SharedExchange { .. } | Segment::TreeReduce | Segment::RacyExchange
+                Segment::SharedExchange { .. }
+                    | Segment::TreeReduce
+                    | Segment::ClampedIndex { .. }
+                    | Segment::RacyExchange
+                    | Segment::OobShared
             )
         })
     }
@@ -288,6 +323,15 @@ impl KernelSpec {
                     src.push_str("  }\n");
                     let _ = writeln!(src, "  acc = acc + a{i};");
                 }
+                Segment::ClampedIndex { offset } => {
+                    src.push_str("  s[t] = acc;\n");
+                    src.push_str("  __syncthreads();\n");
+                    let _ = writeln!(src, "  int c{i} = t + {offset};");
+                    let t = self.threads;
+                    let _ = writeln!(src, "  if (c{i} >= {t}) {{ c{i} = {}; }}", t - 1);
+                    let _ = writeln!(src, "  acc = acc + s[c{i}];");
+                    src.push_str("  __syncthreads();\n");
+                }
                 Segment::RacyExchange => {
                     src.push_str("  s[t] = acc;\n");
                     let _ = writeln!(
@@ -298,6 +342,12 @@ impl KernelSpec {
                 }
                 Segment::DivergentBarrier => {
                     src.push_str("  if (t % 2 == 0) { __syncthreads(); }\n");
+                }
+                Segment::OobShared => {
+                    src.push_str("  s[t + 1] = acc;\n");
+                }
+                Segment::OobGlobal => {
+                    let _ = writeln!(src, "  if (t == 0) {{ out[{}] = acc; }}", self.out_len());
                 }
             }
         }
@@ -374,6 +424,7 @@ mod tests {
                     mul: 17,
                     stride: 2,
                 },
+                Segment::ClampedIndex { offset: 40 },
             ],
         };
         assert!(spec.uses_shared(), "TreeReduce uses the shared array");
@@ -382,13 +433,37 @@ mod tests {
             src.contains("r1 = 48"),
             "reduction starts at threads/2:\n{src}"
         );
+        assert!(
+            src.contains("if (c3 >= 96) { c3 = 95; }"),
+            "clamped index renders its guard:\n{src}"
+        );
+        cuda_frontend::parse_kernel(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    }
+
+    #[test]
+    fn oob_fixture_segments_render_and_parse() {
+        let spec = KernelSpec {
+            name: "oob".to_owned(),
+            threads: 64,
+            grid: 1,
+            n: 64,
+            init: 0,
+            segments: vec![Segment::OobShared, Segment::OobGlobal],
+        };
+        assert!(spec.uses_shared(), "OobShared uses the shared array");
+        let src = spec.render();
+        assert!(src.contains("s[t + 1] = acc;"), "{src}");
+        assert!(
+            src.contains(&format!("out[{}] = acc;", spec.out_len())),
+            "{src}"
+        );
         cuda_frontend::parse_kernel(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
     }
 
     #[test]
     fn generator_emits_every_segment_kind() {
         // The widened segment space must actually be reachable.
-        let mut seen = [false; 8];
+        let mut seen = [false; 9];
         for seed in 0..200 {
             let p = CasePair::generate(&mut Rng::new(seed));
             for k in [&p.k1, &p.k2] {
@@ -402,12 +477,16 @@ mod tests {
                         Segment::TreeReduce => 5,
                         Segment::Index2D { .. } => 6,
                         Segment::AccumLoop { .. } => 7,
-                        Segment::RacyExchange | Segment::DivergentBarrier => continue,
+                        Segment::ClampedIndex { .. } => 8,
+                        Segment::RacyExchange
+                        | Segment::DivergentBarrier
+                        | Segment::OobShared
+                        | Segment::OobGlobal => continue,
                     }] = true;
                 }
             }
         }
-        assert_eq!(seen, [true; 8], "some segment kind never generated");
+        assert_eq!(seen, [true; 9], "some segment kind never generated");
     }
 
     #[test]

@@ -137,8 +137,11 @@ fn segment_candidates(seg: &Segment) -> Vec<Segment> {
             }
         }
         Segment::Atomic { add, slot } => {
-            if slot != 0 {
-                out.push(Segment::Atomic { add, slot: 0 });
+            // Shrink to the op's canonical slot, preserving the
+            // slots-partitioned-by-op invariant of the generator.
+            let canon = if add { 0 } else { crate::gen::ATOMIC_SLOTS / 2 };
+            if slot != canon {
+                out.push(Segment::Atomic { add, slot: canon });
             }
         }
         Segment::AccumLoop { trips, mul, stride } => {
@@ -162,9 +165,18 @@ fn segment_candidates(seg: &Segment) -> Vec<Segment> {
                 out.push(Segment::Index2D { w: 1 });
             }
         }
+        Segment::ClampedIndex { offset } => {
+            if offset != 1 {
+                out.push(Segment::ClampedIndex { offset: 1 });
+            }
+        }
         // The reduction and the hand-written fixtures carry no parameters
         // to reduce; segment deletion still applies.
-        Segment::TreeReduce | Segment::RacyExchange | Segment::DivergentBarrier => {}
+        Segment::TreeReduce
+        | Segment::RacyExchange
+        | Segment::DivergentBarrier
+        | Segment::OobShared
+        | Segment::OobGlobal => {}
     }
     out
 }

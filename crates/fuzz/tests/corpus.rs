@@ -9,10 +9,11 @@
 
 /// Seeds committed as the regression corpus. Chosen arbitrarily but fixed
 /// forever: changing them silently would invalidate the regression net.
-/// The last two were added together with the reduction / 2-D-index /
-/// accumulator-loop segments, so the corpus keeps dedicated coverage of
-/// the wider generator.
-const CORPUS_SEEDS: [u64; 6] = [0, 7, 42, 0xdead, 0xbeef, 2024];
+/// `0xdead`/`0xbeef`/`2024` were added together with the reduction /
+/// 2-D-index / accumulator-loop segments; `0x0b0e` and `4242` with the
+/// clamped boundary-index segment and range-proven barrier elimination, so
+/// the corpus keeps dedicated coverage of both.
+const CORPUS_SEEDS: [u64; 8] = [0, 7, 42, 0xdead, 0xbeef, 2024, 0x0b0e, 4242];
 
 fn assert_clean(seed: u64, cases: u64) {
     let result = hfuse_fuzz::run_campaign(seed, cases);
@@ -55,6 +56,41 @@ fn corpus_seed_beef_is_clean() {
 #[test]
 fn corpus_seed_2024_is_clean() {
     assert_clean(CORPUS_SEEDS[5], 120);
+}
+
+#[test]
+fn corpus_seed_0b0e_is_clean() {
+    assert_clean(CORPUS_SEEDS[6], 120);
+}
+
+#[test]
+fn corpus_seed_4242_is_clean() {
+    assert_clean(CORPUS_SEEDS[7], 120);
+}
+
+/// The seeds added with the boundary-index work must actually generate
+/// [`ClampedIndex`] segments, so the corpus keeps exercising the sanitizer
+/// bounds check and the lint's guard narrowing on every run.
+///
+/// [`ClampedIndex`]: hfuse_fuzz::gen::Segment::ClampedIndex
+#[test]
+fn new_seeds_cover_the_clamped_boundary_segment() {
+    use hfuse_fuzz::gen::Segment;
+
+    for seed in [CORPUS_SEEDS[6], CORPUS_SEEDS[7]] {
+        let mut clamped = 0usize;
+        for case in 0..120 {
+            let (pair, _) = hfuse_fuzz::case_streams(seed, case);
+            for k in [&pair.k1, &pair.k2] {
+                clamped += k
+                    .segments
+                    .iter()
+                    .filter(|s| matches!(s, Segment::ClampedIndex { .. }))
+                    .count();
+            }
+        }
+        assert!(clamped > 0, "seed {seed} never generated ClampedIndex");
+    }
 }
 
 /// The printer/parser round-trip holds for every corpus kernel *and* for

@@ -7,19 +7,34 @@
 //! sanitizer-caught). The `unsafe_fixtures` test is the other inclusion
 //! direction: kernels the sanitizer catches are flagged statically.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use cuda_frontend::parse_kernel_with_spans;
 use hfuse_analysis::{analyze_kernel, AnalysisOptions};
 use hfuse_core::fuse::horizontal_fuse;
+use hfuse_fuzz::gen::KernelSpec;
 
-const CORPUS_SEEDS: [u64; 6] = [0, 7, 42, 0xdead, 0xbeef, 2024];
+const CORPUS_SEEDS: [u64; 8] = [0, 7, 42, 0xdead, 0xbeef, 2024, 0x0b0e, 4242];
 
-fn assert_clean(label: &str, src: &str, threads: u32) {
+fn assert_clean(label: &str, src: &str, threads: u32, extents: Option<&KernelSpec>) {
     let (f, spans) = parse_kernel_with_spans(src).unwrap_or_else(|e| panic!("{label}: {e}\n{src}"));
+    // The generated kernels' real buffer lengths: `out` gets one slot per
+    // thread plus the atomic region, `in` has `n` ints. With these extents
+    // the global-out-of-bounds lint is armed, so cleanliness here means it
+    // holds no false positives over the corpus, not just that it abstained.
+    let global_extents = extents.map(|k| {
+        Arc::new(BTreeMap::from([
+            ("out".to_owned(), i64::from(k.out_len())),
+            ("in".to_owned(), i64::from(k.n)),
+        ]))
+    });
     let diags = analyze_kernel(
         &f,
         Some(&spans),
         &AnalysisOptions {
             block_threads: Some(threads),
+            global_extents,
         },
     );
     assert!(
@@ -44,11 +59,13 @@ fn corpus_kernels_and_fused_outputs_analyze_clean() {
                 &format!("seed {seed} case {case} k1"),
                 &src1,
                 pair.k1.threads,
+                Some(&pair.k1),
             );
             assert_clean(
                 &format!("seed {seed} case {case} k2"),
                 &src2,
                 pair.k2.threads,
+                Some(&pair.k2),
             );
 
             // The fused kernel re-analyzed from its printed source, so the
@@ -57,10 +74,12 @@ fn corpus_kernels_and_fused_outputs_analyze_clean() {
             let f2 = cuda_frontend::parse_kernel(&src2).expect("parse k2");
             let fused = horizontal_fuse(&f1, (pair.k1.threads, 1, 1), &f2, (pair.k2.threads, 1, 1))
                 .unwrap_or_else(|e| panic!("seed {seed} case {case}: corpus pair must fuse: {e}"));
+            // Fused parameter names are renamed apart, so no extents here.
             assert_clean(
                 &format!("seed {seed} case {case} fused"),
                 &fused.to_source(),
                 fused.block_threads(),
+                None,
             );
         }
     }

@@ -1,14 +1,21 @@
-//! The hand-written unsafe fixtures ([`Segment::RacyExchange`] and
-//! [`Segment::DivergentBarrier`]) must be caught by BOTH detectors — the
+//! The hand-written unsafe fixtures ([`Segment::RacyExchange`],
+//! [`Segment::DivergentBarrier`], [`Segment::OobShared`], and
+//! [`Segment::OobGlobal`]) must be caught by BOTH detectors — the
 //! static analyzer at compile time and the dynamic sanitizer / deadlock
 //! detector at run time — and the fusion gate must refuse to fuse them.
 //! Together with the clean-corpus cross-validation this pins the intended
 //! inclusion: everything the static race lint flags, the dynamic side
 //! catches too (the lint claims *definite* races only).
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use cuda_frontend::parse_kernel_with_spans;
 use gpu_sim::{Gpu, GpuConfig, Launch, ParamValue};
-use hfuse_analysis::{analyze_kernel, AnalysisOptions, CODE_BARRIER_DIVERGENCE, CODE_SHARED_RACE};
+use hfuse_analysis::{
+    analyze_kernel, AnalysisOptions, CODE_BARRIER_DIVERGENCE, CODE_GLOBAL_OOB, CODE_SHARED_OOB,
+    CODE_SHARED_RACE,
+};
 use hfuse_core::fuse::horizontal_fuse;
 use hfuse_fuzz::gen::{CasePair, KernelSpec, Segment};
 use hfuse_fuzz::rng::Rng;
@@ -33,6 +40,7 @@ fn analyze(spec: &KernelSpec) -> Vec<cuda_frontend::Diagnostic> {
         Some(&spans),
         &AnalysisOptions {
             block_threads: Some(spec.threads),
+            ..AnalysisOptions::default()
         },
     )
 }
@@ -91,6 +99,82 @@ fn divergent_barrier_deadlocks_dynamically() {
     let (run, _) = simulate(&fixture("divb", vec![Segment::DivergentBarrier]));
     let err = run.expect_err("half the block skips the barrier");
     assert!(err.contains("deadlock"), "{err}");
+}
+
+/// Like [`analyze`] but with the fixture's real buffer lengths supplied as
+/// global extents, so the `global-out-of-bounds` lint can fire.
+fn analyze_with_extents(spec: &KernelSpec) -> Vec<cuda_frontend::Diagnostic> {
+    let src = spec.render();
+    let (f, spans) = parse_kernel_with_spans(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let extents: BTreeMap<String, i64> = [
+        ("out".to_owned(), i64::from(spec.out_len())),
+        ("in".to_owned(), i64::from(spec.n)),
+    ]
+    .into();
+    analyze_kernel(
+        &f,
+        Some(&spans),
+        &AnalysisOptions {
+            block_threads: Some(spec.threads),
+            global_extents: Some(Arc::new(extents)),
+        },
+    )
+}
+
+#[test]
+fn oob_shared_is_flagged_statically() {
+    let diags = analyze(&fixture("oobs", vec![Segment::OobShared]));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, CODE_SHARED_OOB);
+}
+
+#[test]
+fn oob_shared_is_caught_by_the_sanitizer() {
+    // The faulting store aborts the run, but only after the sanitizer has
+    // recorded the report.
+    let (run, reports) = simulate(&fixture("oobs", vec![Segment::OobShared]));
+    assert!(run.is_err(), "one-past-the-end store faults");
+    assert!(
+        reports.iter().any(|r| r.contains("out-of-bounds")),
+        "sanitizer must report the shared overrun, got: {reports:?}"
+    );
+}
+
+#[test]
+fn oob_global_is_flagged_statically() {
+    let spec = fixture("oobg", vec![Segment::OobGlobal]);
+    assert!(
+        analyze(&spec).is_empty(),
+        "without extents the analyzer cannot claim a global overrun"
+    );
+    let diags = analyze_with_extents(&spec);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, CODE_GLOBAL_OOB);
+}
+
+#[test]
+fn oob_global_is_caught_by_the_sanitizer() {
+    let (run, reports) = simulate(&fixture("oobg", vec![Segment::OobGlobal]));
+    assert!(run.is_err(), "the store past `out` faults");
+    assert!(
+        reports.iter().any(|r| r.contains("out-of-bounds")),
+        "sanitizer must report the global overrun, got: {reports:?}"
+    );
+}
+
+/// The clamped boundary read is in bounds — but only guard narrowing can
+/// prove it. Both detectors must stay silent, with or without extents.
+#[test]
+fn clamped_index_is_clean_on_both_detectors() {
+    let spec = fixture("clamp", vec![Segment::ClampedIndex { offset: 63 }]);
+    assert!(analyze(&spec).is_empty(), "lint must trust the clamp");
+    assert!(analyze_with_extents(&spec).is_empty());
+    let (run, reports) = simulate(&spec);
+    run.expect("clamped read stays in bounds");
+    assert!(
+        reports.is_empty(),
+        "sanitizer must stay silent: {reports:?}"
+    );
 }
 
 #[test]

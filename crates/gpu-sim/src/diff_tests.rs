@@ -170,13 +170,22 @@ fn fast_forward_detects_same_deadlock() {
     // Barrier expecting 64 participants with only 32 threads: the naive
     // loop spins to the deadlock threshold; the fast-forward must report
     // the same error without actually spinning.
-    let ir = compile("__global__ void k(int n) { asm(\"bar.sync 1, 64;\"); }");
-    let mk = || Launch::new(ir.clone(), 1, (32, 1, 1)).arg(ParamValue::I32(0));
-    let fast_err = Gpu::new(GpuConfig::test_tiny()).run(&[mk()]).unwrap_err();
-    let naive_err = Gpu::new(GpuConfig::test_tiny())
-        .run_naive(&[mk()])
-        .unwrap_err();
-    assert_eq!(fast_err.message(), naive_err.message());
+    // Stores on both sides keep the barrier past redundant-barrier
+    // elimination, so the deadlock is still reachable.
+    let ir = compile(
+        "__global__ void k(unsigned int* p) { p[0] = 1u; asm(\"bar.sync 1, 64;\"); p[1] = 2u; }",
+    );
+    let run_one = |naive: bool| {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let p = gpu.memory_mut().alloc_u32(2);
+        let launch = Launch::new(ir.clone(), 1, (32, 1, 1)).arg(ParamValue::Ptr(p));
+        if naive {
+            gpu.run_naive(&[launch]).unwrap_err()
+        } else {
+            gpu.run(&[launch]).unwrap_err()
+        }
+    };
+    assert_eq!(run_one(false).message(), run_one(true).message());
 }
 
 #[test]

@@ -60,6 +60,10 @@ pub const HATCHES: &[Hatch] = &[
         what: "skip the static fusion-safety gate before fusing (parsed in hfuse-analysis)",
     },
     Hatch {
+        name: "HFUSE_NO_BARRIER_ELIM",
+        what: "keep every __syncthreads(): disable range-proven barrier elimination (AST and IR)",
+    },
+    Hatch {
         name: "HFUSE_FAST",
         what: "trim the benchmark sweep matrix for quick local runs",
     },
@@ -116,6 +120,14 @@ pub fn fuzz_no_sanitize() -> bool {
     flag("HFUSE_FUZZ_NO_SANITIZE")
 }
 
+/// `HFUSE_NO_BARRIER_ELIM`: disable range-proven barrier elimination, both
+/// the AST-level pass in `horizontal_fuse` and the IR-level safety net in
+/// `thread-ir` (which parses the variable itself, as it cannot depend on
+/// this crate — same situation as `HFUSE_NO_STATIC_CHECK`).
+pub fn no_barrier_elim() -> bool {
+    flag("HFUSE_NO_BARRIER_ELIM")
+}
+
 /// `HFUSE_FAST`: trim benchmark sweeps for quick local runs.
 pub fn fast() -> bool {
     flag("HFUSE_FAST")
@@ -160,6 +172,7 @@ mod tests {
             "HFUSE_SEARCH_THREADS",
             "HFUSE_FUZZ_NO_SANITIZE",
             "HFUSE_NO_STATIC_CHECK",
+            "HFUSE_NO_BARRIER_ELIM",
             "HFUSE_FAST",
         ];
         assert_eq!(HATCHES.len(), expected.len());

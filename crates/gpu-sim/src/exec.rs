@@ -573,6 +573,16 @@ impl BlockExec {
                 for lane in lanes {
                     let tid = warp_start + lane;
                     let a = MemAddr(addrs[lane]);
+                    // Report out-of-bounds *before* the load faults, so the
+                    // sanitizer's finding survives the aborted run.
+                    if let Some(s) = san.as_deref_mut() {
+                        if let Some(limit) = self.alloc_limit(mem, a) {
+                            let w = ty.size_bytes();
+                            if u64::from(a.offset()) + u64::from(w) > u64::from(limit) {
+                                s.on_out_of_bounds(&san_ctx, tid as u32, pc, a, w, limit, false);
+                            }
+                        }
+                    }
                     vals[lane] = self.load(mem, tid, a, *ty)?;
                     if let Some(s) = san.as_deref_mut() {
                         s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), false, false);
@@ -605,6 +615,14 @@ impl BlockExec {
                 for lane in lanes {
                     let tid = warp_start + lane;
                     let a = MemAddr(addrs[lane]);
+                    if let Some(s) = san.as_deref_mut() {
+                        if let Some(limit) = self.alloc_limit(mem, a) {
+                            let w = ty.size_bytes();
+                            if u64::from(a.offset()) + u64::from(w) > u64::from(limit) {
+                                s.on_out_of_bounds(&san_ctx, tid as u32, pc, a, w, limit, true);
+                            }
+                        }
+                    }
                     self.store(mem, tid, a, *ty, vals[lane])?;
                     if let Some(s) = san.as_deref_mut() {
                         s.on_access(&san_ctx, tid as u32, pc, a, ty.size_bytes(), true, false);
@@ -645,6 +663,14 @@ impl BlockExec {
                     let tid = warp_start + lane;
                     let a = MemAddr(addrs[lane]);
                     let v = vals[lane];
+                    if let Some(s) = san.as_deref_mut() {
+                        if let Some(limit) = self.alloc_limit(mem, a) {
+                            let w = ty.size_bytes();
+                            if u64::from(a.offset()) + u64::from(w) > u64::from(limit) {
+                                s.on_out_of_bounds(&san_ctx, tid as u32, pc, a, w, limit, true);
+                            }
+                        }
+                    }
                     let old = self.load(mem, tid, a, *ty)?;
                     let new = match op {
                         AtomOp::Add => alu::bin(BinIr::Add, *ty, old, v),
@@ -919,6 +945,18 @@ impl BlockExec {
             SpecialReg::GridDimY | SpecialReg::GridDimZ => 1,
         };
         u64::from(v)
+    }
+
+    /// Allocation size in bytes behind a lane's address: the block's shared
+    /// allocation, the thread's local slab, or the global buffer. `None`
+    /// for an unknown global buffer (the load/store faults with its own
+    /// message).
+    fn alloc_limit(&self, mem: &GpuMemory, addr: MemAddr) -> Option<u32> {
+        match addr.space() {
+            thread_ir::Space::Global => mem.try_len_bytes(addr.buffer()).map(|n| n as u32),
+            thread_ir::Space::Shared => Some(self.shared.len() as u32),
+            thread_ir::Space::Local => Some(self.local_stride as u32),
+        }
     }
 
     fn load(

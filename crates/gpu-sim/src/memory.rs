@@ -89,6 +89,12 @@ impl GpuMemory {
         self.buffers[id.0 as usize].len()
     }
 
+    /// Buffer size in bytes by raw index, `None` for an unknown buffer —
+    /// the non-faulting lookup the sanitizer's bounds check uses.
+    pub(crate) fn try_len_bytes(&self, buffer: u32) -> Option<usize> {
+        self.buffers.get(buffer as usize).map(|b| b.len())
+    }
+
     pub(crate) fn load(&self, buffer: u32, offset: u32, width: u32) -> Result<u64, SimError> {
         let buf = self
             .buffers

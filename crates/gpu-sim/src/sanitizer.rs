@@ -64,6 +64,8 @@ pub enum ReportKind {
     /// Arrivals at one barrier id declaring different thread counts within
     /// a single release interval.
     BarrierCountMismatch,
+    /// A shared or global access outside the bounds of its allocation.
+    OutOfBounds,
 }
 
 impl fmt::Display for ReportKind {
@@ -73,6 +75,7 @@ impl fmt::Display for ReportKind {
             ReportKind::GlobalRace => "global-memory race",
             ReportKind::BarrierDivergence => "barrier divergence",
             ReportKind::BarrierCountMismatch => "barrier count mismatch",
+            ReportKind::OutOfBounds => "out-of-bounds access",
         })
     }
 }
@@ -378,6 +381,40 @@ impl Sanitizer {
             }
         }
         true
+    }
+
+    /// Records an access that falls outside its allocation: `limit` is the
+    /// allocation size in bytes, `addr.offset()` the (first) offending byte
+    /// offset. The execution layer clamps or drops the underlying access to
+    /// keep the simulation deterministic; the report is the observable
+    /// signal (the static `shared-out-of-bounds` / `global-out-of-bounds`
+    /// lints are cross-validated against it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_out_of_bounds(
+        &mut self,
+        ctx: &AccessCtx<'_>,
+        tid: u32,
+        pc: usize,
+        addr: MemAddr,
+        width: u32,
+        limit: u32,
+        is_write: bool,
+    ) {
+        let what = if is_write { "write" } else { "read" };
+        let where_ = match addr.space() {
+            Space::Shared => format!("shared memory at +0x{:x}", addr.offset()),
+            Space::Global => format!("buffer {} at +0x{:x}", addr.buffer(), addr.offset()),
+            Space::Local => format!("local memory at +0x{:x}", addr.offset()),
+        };
+        self.push_report(
+            ReportKind::OutOfBounds,
+            (self.launch_key(ctx.launch), pc as u32, addr.offset()),
+            format!(
+                "in `{}`: {width}-byte {what} of {where_} by thread {tid} of block {} \
+                 exceeds the allocation's {limit} bytes",
+                ctx.kernel, ctx.block
+            ),
+        );
     }
 
     /// Records a group of `arrivals` threads arriving at barrier `id`

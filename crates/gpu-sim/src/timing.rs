@@ -1620,10 +1620,14 @@ mod tests {
 
     #[test]
     fn barrier_deadlock_detected() {
-        // Barrier expects 64 participants but only 32 threads exist.
-        let ir = compile("__global__ void k(int n) { asm(\"bar.sync 1, 64;\"); }");
+        // Barrier expects 64 participants but only 32 threads exist. Stores
+        // on both sides keep it past redundant-barrier elimination.
+        let ir = compile(
+            "__global__ void k(unsigned int* p) { p[0] = 1u; asm(\"bar.sync 1, 64;\"); p[1] = 2u; }",
+        );
         let mut gpu = tiny_gpu();
-        let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::I32(0));
+        let p = gpu.memory_mut().alloc_u32(2);
+        let launch = Launch::new(ir, 1, (32, 1, 1)).arg(ParamValue::Ptr(p));
         let err = gpu.run(&[launch]).unwrap_err();
         assert!(err.message().contains("progress"), "{err}");
     }

@@ -32,6 +32,9 @@ pub struct OptStats {
     pub dce_removed: usize,
     /// Instructions replaced by immediates through constant folding.
     pub folded: usize,
+    /// `Bar` instructions dropped because no memory operation is reachable
+    /// on any path before them, or on any path after them.
+    pub barriers_removed: usize,
 }
 
 /// Like [`optimize`] but prints the listing after every pass (debugging
@@ -115,9 +118,110 @@ pub fn optimize(kernel: &mut KernelIr) -> OptStats {
             break;
         }
     }
+    if !no_barrier_elim() {
+        stats.barriers_removed = redundant_barrier_elim(kernel);
+    }
     kernel.pressure = crate::liveness::register_pressure(kernel);
     debug_assert!(crate::verify::verify(kernel).is_ok());
     stats
+}
+
+/// `HFUSE_NO_BARRIER_ELIM` disables [`redundant_barrier_elim`]. Parsed here
+/// rather than through `gpu_sim::env` because `gpu-sim` depends on this
+/// crate (the same inversion as `HFUSE_NO_STATIC_CHECK` in
+/// `hfuse-analysis`); the variable is listed in the `gpu_sim::env::HATCHES`
+/// registry.
+fn no_barrier_elim() -> bool {
+    std::env::var_os("HFUSE_NO_BARRIER_ELIM").is_some_and(|v| v != "0")
+}
+
+/// Drops `Bar` instructions that provably synchronize nothing: a barrier
+/// only orders memory operations before it against memory operations after
+/// it, so if no `Ld`/`St`/`Atom` is reachable on any path from entry to the
+/// barrier, or on any path from the barrier to exit, removing it cannot
+/// change any thread's observable memory behavior. This is the IR-level
+/// safety net under the range-based AST pass in `hfuse-analysis` (which
+/// proves much stronger facts); it catches barriers whose surroundings
+/// only became empty after DCE/folding.
+fn redundant_barrier_elim(kernel: &mut KernelIr) -> usize {
+    let insts = &kernel.insts;
+    let n = insts.len();
+    if !insts.iter().any(|i| matches!(i, Inst::Bar { .. })) {
+        return 0;
+    }
+    let succs = |i: usize| -> [Option<usize>; 2] {
+        match &insts[i] {
+            Inst::Jmp { target } => [Some(*target), None],
+            Inst::Bra { target, .. } => [Some(*target), (i + 1 < n).then_some(i + 1)],
+            Inst::Ret => [None, None],
+            _ => [(i + 1 < n).then_some(i + 1), None],
+        }
+    };
+    // mem_before[i]: some path from entry to i executes a memory op first.
+    let mut mem_before = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let reaches = mem_before[i] || insts[i].is_memory();
+            for j in succs(i).into_iter().flatten() {
+                if reaches && !mem_before[j] {
+                    mem_before[j] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // mem_after[i]: some path from i (exclusive) reaches a memory op.
+    let mut mem_after = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let after = succs(i)
+                .into_iter()
+                .flatten()
+                .any(|j| insts[j].is_memory() || mem_after[j]);
+            if after && !mem_after[i] {
+                mem_after[i] = true;
+                changed = true;
+            }
+        }
+    }
+    let remove: Vec<bool> = (0..n)
+        .map(|i| {
+            matches!(insts[i], Inst::Bar { .. }) && i + 1 < n && (!mem_before[i] || !mem_after[i])
+        })
+        .collect();
+    let removed = remove.iter().filter(|&&r| r).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Splice the dropped barriers out and remap branch targets. A target
+    // pointing at a removed instruction lands on the next kept one.
+    let mut new_idx = vec![0usize; n + 1];
+    let mut kept = 0usize;
+    for i in 0..n {
+        new_idx[i] = kept;
+        if !remove[i] {
+            kept += 1;
+        }
+    }
+    new_idx[n] = kept;
+    let old = std::mem::take(&mut kernel.insts);
+    kernel.insts = old
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !remove[*i])
+        .map(|(_, mut inst)| {
+            match &mut inst {
+                Inst::Jmp { target } | Inst::Bra { target, .. } => *target = new_idx[*target],
+                _ => {}
+            }
+            inst
+        })
+        .collect();
+    removed
 }
 
 // ---- liveness over the CFG --------------------------------------------------
@@ -899,6 +1003,55 @@ mod tests {
         let (after, _) = optimized(src);
         assert!(after.insts.iter().any(|i| matches!(i, Inst::Bar { .. })));
         assert!(after.insts.iter().any(|i| matches!(i, Inst::Shfl { .. })));
+    }
+
+    #[test]
+    fn entry_barrier_with_no_memory_before_is_dropped() {
+        let src = "__global__ void k(float* p) {\
+            __syncthreads();\
+            p[threadIdx.x] = 1.0f;\
+          }";
+        let (k, stats) = optimized(src);
+        assert!(!k.insts.iter().any(|i| matches!(i, Inst::Bar { .. })));
+        assert_eq!(stats.barriers_removed, 1);
+    }
+
+    #[test]
+    fn trailing_barrier_with_no_memory_after_is_dropped() {
+        let src = "__global__ void k(float* p) {\
+            p[threadIdx.x] = 1.0f;\
+            __syncthreads();\
+          }";
+        let (k, stats) = optimized(src);
+        assert!(!k.insts.iter().any(|i| matches!(i, Inst::Bar { .. })));
+        assert_eq!(stats.barriers_removed, 1);
+    }
+
+    #[test]
+    fn barrier_between_memory_ops_survives_ir_elimination() {
+        let src = "__global__ void k(float* p) {\
+            __shared__ float s[64];\
+            s[threadIdx.x] = p[threadIdx.x];\
+            __syncthreads();\
+            p[threadIdx.x] = s[63 - threadIdx.x];\
+          }";
+        let (k, stats) = optimized(src);
+        assert!(k.insts.iter().any(|i| matches!(i, Inst::Bar { .. })));
+        assert_eq!(stats.barriers_removed, 0);
+    }
+
+    #[test]
+    fn branch_targets_survive_barrier_splice() {
+        // The loop back-edge crosses the dropped trailing barrier's index.
+        let src = "__global__ void k(float* p, int n) {\
+            float acc = 0.0f;\
+            for (int i = 0; i < n; i += 1) { acc += p[i]; }\
+            p[threadIdx.x] = acc;\
+            __syncthreads();\
+          }";
+        let (k, stats) = optimized(src);
+        assert_eq!(stats.barriers_removed, 1);
+        crate::verify::verify(&k).expect("spliced kernel verifies");
     }
 
     #[test]

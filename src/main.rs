@@ -72,8 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("lint") => cmd_lint(&Opts::parse(
             "lint",
             &args[1..],
-            &["--threads"],
-            &["--paper", "--all"],
+            &["--threads", "--extent"],
+            &["--paper", "--all", "--json"],
         )?),
         Some("list") => {
             Opts::parse("list", &args[1..], &[], &[])?;
@@ -120,13 +120,17 @@ USAGE:
       Refit the analytic search model: exhaustively profile every paper
       pair's candidates and print the per-latency-class constants (the
       CALIBRATED_K array in gpu-sim's model.rs) plus fit quality.
-  hfuse lint <file.cu> [more.cu ...] [--threads N] | hfuse lint --paper | --all
+  hfuse lint <file.cu> [more.cu ...] [--threads N] [--extent name=len ...]
+             [--json] | hfuse lint --paper | --all
       Run the static fusion-safety analyzer: barrier-divergence, definite
-      shared-memory races, and partial-barrier structure. --threads fixes
-      the block size (sharpens the barrier lints); --paper lints every
-      built-in paper kernel instead, --all additionally covers the
-      extension kernels and the BLAS / image / attention families. Exits
-      nonzero on any diagnostic.
+      shared-memory races, partial-barrier structure, and value-range
+      out-of-bounds lints. --threads fixes the block size (sharpens the
+      barrier and range lints); --extent declares a global pointer
+      parameter's length in elements, arming the global-out-of-bounds
+      lint for it (repeatable); --json prints machine-readable output;
+      --paper lints every built-in paper kernel instead, --all
+      additionally covers the extension kernels and the BLAS / image /
+      attention families. Exits nonzero on any diagnostic.
   hfuse list
       List built-in benchmark kernels and evaluation pairs.
 
@@ -688,8 +692,41 @@ fn cmd_calibrate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn cmd_lint(opts: &Opts) -> Result<(), String> {
     let threads: Option<u32> = opts.parsed("--threads")?;
+
+    // `--extent out=256` declares a global pointer parameter's length in
+    // elements, arming the global-out-of-bounds lint for that buffer.
+    let mut extents = std::collections::BTreeMap::new();
+    for spec in opts.values_of("--extent") {
+        let (name, len) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("`hfuse lint`: --extent {spec}: expected name=len"))?;
+        let len: i64 = len
+            .parse()
+            .map_err(|e| format!("`hfuse lint`: --extent {spec}: {e}"))?;
+        extents.insert(name.to_owned(), len);
+    }
 
     // (label, source, block threads) for every kernel to analyze.
     let mut units: Vec<(String, String, Option<u32>)> = Vec::new();
@@ -722,23 +759,65 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
     // kernel linted here is never re-analyzed by a later fuse in the same
     // process (and vice versa).
     let mut s = Session::new(GpuConfig::pascal_like());
+    if !extents.is_empty() {
+        s.set_global_extents(Some(extents));
+    }
+    let json = opts.flag("--json");
     let mut total = 0usize;
+    let mut rows: Vec<String> = Vec::new();
     for (label, src, block_threads) in &units {
         let k = s.add_kernel(src.clone());
         let diags = s
             .lints(k, *block_threads)
             .map_err(|e| render_err(&e, label, src))?;
-        for d in diags.iter() {
-            println!("{label}: {}", d.render(src));
+        if json {
+            let ds: Vec<String> = diags
+                .iter()
+                .map(|d| {
+                    let pos = match d.span {
+                        Some(sp) => format!("\"line\": {}, \"col\": {}", sp.line, sp.col),
+                        None => "\"line\": null, \"col\": null".to_owned(),
+                    };
+                    format!(
+                        "      {{ \"severity\": \"{}\", \"code\": \"{}\", {pos}, \"message\": \"{}\" }}",
+                        d.severity,
+                        json_escape(&d.code),
+                        json_escape(&d.message)
+                    )
+                })
+                .collect();
+            rows.push(format!(
+                "  {{\n    \"kernel\": \"{}\",\n    \"diagnostics\": [{}]\n  }}",
+                json_escape(label),
+                if ds.is_empty() {
+                    String::new()
+                } else {
+                    format!("\n{}\n    ", ds.join(",\n"))
+                }
+            ));
+        } else {
+            for d in diags.iter() {
+                println!("{label}: {}", d.render(src));
+            }
         }
         total += diags.len();
     }
-    if total == 0 {
-        let n = units.len();
-        eprintln!(
-            "checked {n} kernel{}: no diagnostics",
-            if n == 1 { "" } else { "s" }
+    if json {
+        println!(
+            "{{\n\"checked\": {}, \"total\": {},\n\"kernels\": [\n{}\n]\n}}",
+            units.len(),
+            total,
+            rows.join(",\n")
         );
+    }
+    if total == 0 {
+        if !json {
+            let n = units.len();
+            eprintln!(
+                "checked {n} kernel{}: no diagnostics",
+                if n == 1 { "" } else { "s" }
+            );
+        }
         Ok(())
     } else {
         Err(format!(

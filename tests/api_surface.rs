@@ -85,6 +85,7 @@ fn analysis_root_lints_directly_and_memoized() {
     let (f, spans) = parse_kernel_with_spans(SRC).expect("parse");
     let opts = AnalysisOptions {
         block_threads: Some(64),
+        ..AnalysisOptions::default()
     };
     let direct = hfuse::analysis::analyze_kernel(&f, Some(&spans), &opts);
     assert!(direct.is_empty(), "probe kernel lints clean");

@@ -168,6 +168,52 @@ fn list_shows_benchmarks_and_pairs() {
 }
 
 #[test]
+fn lint_all_builtins_are_clean() {
+    let out = hfuse(&["lint", "--all"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no diagnostics"), "{err}");
+}
+
+#[test]
+fn lint_json_reports_extent_violation() {
+    let oob = write_tmp(
+        "oob.cu",
+        "__global__ void k(int* out, int n) {\n  int t = threadIdx.x;\n  out[t + 1] = t;\n}\n",
+    );
+    let out = hfuse(&[
+        "lint",
+        oob.to_str().unwrap(),
+        "--threads",
+        "64",
+        "--extent",
+        "out=64",
+        "--json",
+    ]);
+    assert!(!out.status.success(), "the overrun must fail the lint");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"total\": 1"), "{text}");
+    assert!(
+        text.contains("\"code\": \"global-out-of-bounds\""),
+        "{text}"
+    );
+    assert!(text.contains("\"line\": 3"), "{text}");
+    // Without the extent declaration the analyzer cannot claim anything.
+    let out = hfuse(&["lint", oob.to_str().unwrap(), "--threads", "64", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"total\": 0"), "{text}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = hfuse(&["frobnicate"]);
     assert!(!out.status.success());

@@ -46,7 +46,62 @@ fn assert_clean(src: &str, grid: u32, threads: u32) {
     assert!(reports.is_empty(), "expected no reports, got {reports:?}");
 }
 
+/// Like [`reports_for`] but tolerating a faulted run — out-of-bounds
+/// accesses abort the simulation after the sanitizer has recorded them.
+fn reports_for_faulting(src: &str, grid: u32, threads: u32) -> Vec<SanitizerReport> {
+    let f = parse_kernel(src).expect("fixture parses");
+    let kernel = lower_kernel(&f).expect("fixture lowers");
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.enable_sanitizer();
+    let n = (grid * threads) as usize;
+    let out = gpu.memory_mut().alloc_u32(n);
+    let _ = gpu.run_functional(&[Launch {
+        kernel: kernel.into(),
+        grid_dim: grid,
+        block_dim: (threads, 1, 1),
+        dynamic_shared_bytes: 0,
+        args: vec![ParamValue::Ptr(out), ParamValue::I32(n as i32)],
+    }]);
+    gpu.take_sanitizer_reports()
+}
+
 // ---- kernels the sanitizer must flag ----------------------------------------
+
+#[test]
+fn out_of_bounds_shared_write_is_flagged() {
+    // Thread 63 stores s[64] in a 64-element array: one past the end.
+    let reports = reports_for_faulting(
+        "__global__ void k(int* out, int n) {
+            __shared__ int s[64];
+            int t = threadIdx.x;
+            s[t + 1] = t;
+            out[t] = 0;
+        }",
+        1,
+        64,
+    );
+    assert!(
+        reports.iter().any(|r| r.kind == ReportKind::OutOfBounds),
+        "expected an out-of-bounds report, got {reports:?}"
+    );
+}
+
+#[test]
+fn out_of_bounds_global_read_is_flagged() {
+    // out has grid*threads elements; thread 63 reads out[64].
+    let reports = reports_for_faulting(
+        "__global__ void k(int* out, int n) {
+            int t = threadIdx.x;
+            out[t] = out[t + 1];
+        }",
+        1,
+        64,
+    );
+    assert!(
+        reports.iter().any(|r| r.kind == ReportKind::OutOfBounds),
+        "expected an out-of-bounds report, got {reports:?}"
+    );
+}
 
 #[test]
 fn cross_warp_shared_write_write_race_is_flagged() {
@@ -104,6 +159,7 @@ fn non_warp_multiple_barrier_count_is_flagged() {
     assert_flags(
         "__global__ void k(int* out, int n) {
             int t = threadIdx.x;
+            out[t] = 0;
             if (t < 48) { asm(\"bar.sync 1, 48;\"); }
             out[t] = t;
         }",
@@ -120,6 +176,7 @@ fn split_warp_barrier_arrival_is_flagged() {
     assert_flags(
         "__global__ void k(int* out, int n) {
             int t = threadIdx.x;
+            out[t] = 0;
             if (t % 2 == 0) { asm(\"bar.sync 1, 32;\"); }
             out[t] = t;
         }",
@@ -136,6 +193,7 @@ fn mismatched_barrier_counts_are_flagged() {
     assert_flags(
         "__global__ void k(int* out, int n) {
             int t = threadIdx.x;
+            out[t] = 0;
             if (t < 32) { asm(\"bar.sync 3, 64;\"); } else { asm(\"bar.sync 3, 32;\"); }
             out[t] = t;
         }",

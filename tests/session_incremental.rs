@@ -91,6 +91,57 @@ fn repeated_queries_are_pure_hits_with_identical_results() {
 }
 
 #[test]
+fn ranges_query_memoizes_and_surfaces_the_analysis_cache() {
+    let (mut s, ka, _) = pair_session("Maxpool", "Batchnorm");
+
+    let r1 = s.ranges(ka, Some(256)).expect("ranges");
+    let before = s.stats();
+    let r2 = s.ranges(ka, Some(256)).expect("ranges");
+    let after = s.stats();
+
+    assert!(Arc::ptr_eq(&r1, &r2), "cached summary is the same Arc");
+    assert_eq!(after.ranges.hits - before.ranges.hits, 1);
+    assert_eq!(computes_delta(before, after), 0, "second query ran work");
+    // A different block size is a different summary, computed fresh.
+    let r3 = s.ranges(ka, Some(128)).expect("ranges");
+    assert!(!Arc::ptr_eq(&r1, &r3));
+
+    // The process-wide analysis cache shared with the fuse gate is
+    // surfaced through the same snapshot.
+    let stats = s.stats();
+    assert!(
+        stats.analysis_cache.range_entries > 0,
+        "range summaries must land in the shared analysis cache: {stats:?}"
+    );
+}
+
+#[test]
+fn global_extents_invalidate_lints_but_not_ranges() {
+    let mut s = Session::new(GpuConfig::test_tiny());
+    let k = s.add_kernel(
+        "__global__ void k(int* out, int n) {\n  out[threadIdx.x + 1] = 1;\n}\n".to_owned(),
+    );
+
+    let clean = s.lints(k, Some(64)).expect("lints");
+    assert!(clean.is_empty(), "no extents, no claim: {clean:?}");
+    s.ranges(k, Some(64)).expect("ranges");
+    let before = s.stats();
+
+    // Declaring the buffer's real length re-arms the lint and recomputes it;
+    // the range summary itself does not depend on extents and must hit.
+    s.set_global_extents(Some([("out".to_owned(), 64)].into()));
+    let flagged = s.lints(k, Some(64)).expect("lints");
+    s.ranges(k, Some(64)).expect("ranges");
+    let after = s.stats();
+
+    assert_eq!(flagged.len(), 1, "{flagged:?}");
+    assert_eq!(flagged[0].code, "global-out-of-bounds");
+    assert_eq!(after.lints.recomputes - before.lints.recomputes, 1);
+    assert_eq!(after.ranges.hits - before.ranges.hits, 1);
+    assert_eq!(after.ranges.recomputes, before.ranges.recomputes);
+}
+
+#[test]
 fn editing_one_kernel_recomputes_only_its_suffix() {
     let (mut s, ka, kb) = pair_session("Maxpool", "Batchnorm");
 
